@@ -1,0 +1,134 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Conventions (uniform across all benches):
+//   * argument-free runs use laptop-scale defaults;
+//   * --full (or env LMPR_FULL=1) switches to paper-scale parameters
+//     (the 99%/2% stopping rule with the full sample budget, all K
+//     values, longer flit runs);
+//   * --csv PATH exports the printed series;
+//   * --seed N reseeds everything deterministically.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "flow/permutation_study.hpp"
+#include "topology/xgft.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpr::bench {
+
+struct CommonOptions {
+  bool full = false;
+  std::string csv_path;
+  std::uint64_t seed = 7;
+  /// Worker threads for parallelizable studies (--workers N; defaults to
+  /// the machine's spare cores).  Results are worker-count independent.
+  std::size_t workers = 0;
+
+  static CommonOptions from_cli(const util::Cli& cli) {
+    CommonOptions options;
+    options.full = util::full_scale_requested(cli);
+    options.csv_path = cli.get_or("csv", "");
+    options.seed = static_cast<std::uint64_t>(
+        cli.get_or("seed", std::int64_t{7}));
+    options.workers = static_cast<std::size_t>(cli.get_or(
+        "workers",
+        static_cast<std::int64_t>(util::ThreadPool::default_workers())));
+    return options;
+  }
+};
+
+/// Prints the table, appends scale provenance, and honours --csv.
+inline void emit(const util::Table& table, const CommonOptions& options,
+                 const std::string& title) {
+  std::cout << "== " << title << (options.full ? " [full scale]" : " [quick scale; pass --full for paper scale]")
+            << " ==\n";
+  table.print(std::cout);
+  std::cout << std::flush;
+  if (!options.csv_path.empty()) {
+    if (table.write_csv_file(options.csv_path)) {
+      std::cout << "csv written to " << options.csv_path << "\n";
+    }
+  }
+}
+
+/// The paper's stopping rule (99% CI within 2% of the mean, doubling
+/// schedule) at paper scale; a slimmed-down budget for quick runs.
+inline util::CiStoppingRule stopping_rule(bool full) {
+  util::CiStoppingRule rule;
+  if (full) {
+    rule.initial_samples = 100;
+    rule.max_samples = 12800;
+  } else {
+    rule.initial_samples = 30;
+    rule.max_samples = 120;
+  }
+  return rule;
+}
+
+/// The four routing series of Figure 4.
+inline std::vector<route::Heuristic> figure4_series() {
+  return {route::Heuristic::kDModK, route::Heuristic::kShift1,
+          route::Heuristic::kDisjoint, route::Heuristic::kRandom};
+}
+
+/// Runs one Figure-4 style study: average maximum permutation load per
+/// (heuristic, K), one table row per K value.
+inline util::Table run_figure4(const topo::Xgft& xgft,
+                               const std::vector<std::size_t>& k_values,
+                               const CommonOptions& options) {
+  util::Table table({"K", "dmodk", "shift1", "disjoint", "random",
+                     "dmodk_perf", "shift1_perf", "disjoint_perf",
+                     "random_perf", "samples"});
+  util::ThreadPool pool(options.workers);
+  for (const std::size_t k : k_values) {
+    std::vector<std::string> row{util::Table::num(k)};
+    std::vector<std::string> perf_cells;
+    std::size_t samples = 0;
+    for (const route::Heuristic h : figure4_series()) {
+      flow::PermutationStudyConfig config;
+      config.heuristic = h;
+      config.k_paths = k;
+      config.stopping = stopping_rule(options.full);
+      config.seed = options.seed;
+      config.pool = &pool;
+      const auto result = flow::run_permutation_study(xgft, config);
+      row.push_back(util::Table::num(result.max_load.mean()));
+      perf_cells.push_back(util::Table::num(result.perf.mean()));
+      samples = std::max(samples, result.samples);
+    }
+    for (auto& cell : perf_cells) row.push_back(std::move(cell));
+    row.push_back(util::Table::num(samples));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+/// K sweep used by the Figure 4 benches: powers of two up to the
+/// topology's maximum path count (always including 1, 3 and the max),
+/// thinned in quick mode.
+inline std::vector<std::size_t> k_sweep(const topo::Xgft& xgft, bool full) {
+  const auto max_paths =
+      static_cast<std::size_t>(xgft.spec().num_top_switches());
+  std::vector<std::size_t> ks;
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    if (k <= max_paths) ks.push_back(k);
+  }
+  for (std::size_t k = 4; k < max_paths; k *= 2) ks.push_back(k);
+  if (ks.back() != max_paths) ks.push_back(max_paths);
+  if (!full && ks.size() > 5) {
+    // keep 1, 2, one middle value, max/2-ish and max
+    std::vector<std::size_t> slim{ks[0], ks[1], ks[ks.size() / 2],
+                                  ks[ks.size() - 2], ks.back()};
+    return slim;
+  }
+  return ks;
+}
+
+}  // namespace lmpr::bench

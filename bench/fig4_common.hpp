@@ -1,0 +1,25 @@
+// Shared driver for the four Figure 4 benches (average maximum link load
+// over random permutations vs number of paths K).  Each binary pins its
+// paper topology and delegates here.
+#pragma once
+
+#include "bench_support.hpp"
+
+namespace lmpr::bench {
+
+inline int run_fig4_binary(int argc, char** argv, const char* figure,
+                           std::uint32_t ports, std::size_t levels) {
+  const util::Cli cli(argc, argv);
+  auto options = CommonOptions::from_cli(cli);
+  const auto spec = topo::XgftSpec::parse(cli.get_or(
+      "topo", topo::XgftSpec::m_port_n_tree(ports, levels).to_string()));
+  const topo::Xgft xgft{spec};
+  const auto table = run_figure4(xgft, k_sweep(xgft, options.full), options);
+  emit(table, options,
+       std::string("Figure 4(") + figure + "): avg max permutation load, " +
+           spec.to_string() + " (" + std::to_string(ports) + "-port " +
+           std::to_string(levels) + "-tree)");
+  return 0;
+}
+
+}  // namespace lmpr::bench

@@ -1,0 +1,7 @@
+// Figure 4(c): average maximum permutation load vs K on XGFT(2;12,24;1,12)
+// (the 24-port 2-tree).  Same expected shape as Figure 4(a).
+#include "fig4_common.hpp"
+
+int main(int argc, char** argv) {
+  return lmpr::bench::run_fig4_binary(argc, argv, "c", 24, 2);
+}

@@ -1,0 +1,78 @@
+// Shared scaffolding for the flit-level benches (Table 1, Figure 5 and
+// ablations): load grids, run lengths, and seed-averaged saturation
+// throughput under pinned permutation pairings.
+#pragma once
+
+#include <vector>
+
+#include "bench_support.hpp"
+#include "core/route_table.hpp"
+#include "flit/network.hpp"
+#include "flit/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::bench {
+
+inline flit::SimConfig flit_base_config(bool full) {
+  flit::SimConfig config;
+  if (full) {
+    config.warmup_cycles = 10'000;
+    config.measure_cycles = 30'000;
+    config.drain_cycles = 10'000;
+  } else {
+    config.warmup_cycles = 3'000;
+    config.measure_cycles = 9'000;
+    config.drain_cycles = 3'000;
+  }
+  return config;
+}
+
+inline std::vector<double> flit_load_grid(bool full) {
+  return full ? flit::linspace_loads(0.10, 1.00, 10)
+              : std::vector<double>{0.3, 0.45, 0.6, 0.75, 0.9};
+}
+
+/// Permutation pairings shared across heuristics: pairing i is drawn from
+/// seed+i so every routing scheme faces identical traffic.
+inline std::vector<std::vector<std::uint64_t>> shared_pairings(
+    std::uint64_t hosts, std::uint64_t seed, std::size_t count) {
+  std::vector<std::vector<std::uint64_t>> pairings;
+  pairings.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    util::Rng rng{seed + i};
+    const auto perm = rng.permutation(static_cast<std::size_t>(hosts));
+    pairings.emplace_back(perm.begin(), perm.end());
+  }
+  return pairings;
+}
+
+struct SaturationResult {
+  double max_throughput = 0.0;      ///< mean over pairings
+  double delay_at_low_load = 0.0;   ///< mean message delay, first grid load
+  double reorder_at_high_load = 0.0;  ///< out-of-order fraction, last load
+};
+
+/// "Maximum throughput achieved" (paper Table 1): sweep the offered load,
+/// take the best accepted throughput, average over the shared pairings.
+inline SaturationResult measure_saturation(
+    const route::RouteTable& table, const flit::SimConfig& base,
+    const std::vector<double>& loads,
+    const std::vector<std::vector<std::uint64_t>>& pairings) {
+  SaturationResult result;
+  for (std::size_t i = 0; i < pairings.size(); ++i) {
+    flit::SimConfig config = base;
+    config.seed = base.seed + 1000 * (i + 1);
+    config.fixed_destinations = pairings[i];
+    const auto sweep = flit::run_load_sweep(table, config, loads);
+    result.max_throughput += sweep.max_throughput;
+    result.delay_at_low_load += sweep.points.front().mean_message_delay;
+    result.reorder_at_high_load += sweep.points.back().out_of_order_fraction;
+  }
+  const auto n = static_cast<double>(pairings.size());
+  result.max_throughput /= n;
+  result.delay_at_low_load /= n;
+  result.reorder_at_high_load /= n;
+  return result;
+}
+
+}  // namespace lmpr::bench

@@ -1,0 +1,66 @@
+// Micro benchmarks (google-benchmark) for the fabric substrate: topology
+// construction, XGFT recognition from shuffled cable lists, and LFT
+// forwarding queries -- the subnet-manager hot paths.
+#include <benchmark/benchmark.h>
+
+#include "discovery/recognize.hpp"
+#include "fabric/lft.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lmpr;
+
+void BM_XgftConstruction(benchmark::State& state) {
+  const auto spec = topo::XgftSpec::m_port_n_tree(
+      static_cast<std::uint32_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    topo::Xgft xgft{spec};
+    benchmark::DoNotOptimize(xgft.num_links());
+  }
+  state.SetLabel(spec.to_string());
+}
+BENCHMARK(BM_XgftConstruction)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMicrosecond);
+
+void BM_RecognizeShuffledFabric(benchmark::State& state) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(
+      static_cast<std::uint32_t>(state.range(0)), 3)};
+  util::Rng rng{7};
+  const auto fabric = discovery::export_fabric(xgft, &rng);
+  for (auto _ : state) {
+    const auto result = discovery::recognize_xgft(fabric);
+    if (!result.ok) state.SkipWithError("recognition failed");
+    benchmark::DoNotOptimize(result.canonical.size());
+  }
+  state.SetLabel(xgft.spec().to_string());
+}
+BENCHMARK(BM_RecognizeShuffledFabric)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_LftNextLink(benchmark::State& state) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+  const fabric::Lft lft(xgft, 8, fabric::LidLayout::kDisjointLayout);
+  const topo::NodeId node = xgft.node_id(1, 0);
+  std::uint32_t lid = 1;
+  for (auto _ : state) {
+    lid = lid % (lft.lid_end() - 1) + 1;
+    benchmark::DoNotOptimize(lft.next_link(node, lid));
+  }
+}
+BENCHMARK(BM_LftNextLink);
+
+void BM_LftWalk(benchmark::State& state) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+  const fabric::Lft lft(xgft, 8, fabric::LidLayout::kDisjointLayout);
+  std::uint64_t d = 1;
+  for (auto _ : state) {
+    d = (d * 2654435761u + 1) % xgft.num_hosts();
+    if (d == 0) d = 1;
+    benchmark::DoNotOptimize(lft.walk(0, d, 3).delivered);
+  }
+}
+BENCHMARK(BM_LftWalk);
+
+}  // namespace
+
+BENCHMARK_MAIN();

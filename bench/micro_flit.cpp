@@ -1,0 +1,35 @@
+// Micro benchmark (google-benchmark) for the flit-level simulator:
+// simulated cycles per second on the Table 1 topology at a moderate load.
+#include <benchmark/benchmark.h>
+
+#include "core/route_table.hpp"
+#include "flit/network.hpp"
+
+namespace {
+
+using namespace lmpr;
+
+void BM_FlitSimulation(benchmark::State& state) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+  const route::RouteTable table(xgft, route::Heuristic::kDisjoint, 8);
+  const auto cycles = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    flit::SimConfig config;
+    config.warmup_cycles = 0;
+    config.measure_cycles = cycles;
+    config.drain_cycles = 0;
+    config.offered_load = 0.5;
+    flit::Network network(table, config);
+    benchmark::DoNotOptimize(network.run().flits_delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cycles));
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(cycles),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlitSimulation)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Micro benchmarks (google-benchmark) for the routing core: path
+// selection, path materialization, route-table construction and
+// flow-level evaluation throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/heuristics.hpp"
+#include "core/path_index.hpp"
+#include "core/route_table.hpp"
+#include "flow/link_load.hpp"
+#include "flow/oload.hpp"
+#include "flow/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lmpr;
+
+const topo::Xgft& big_tree() {
+  static const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(24, 3)};
+  return xgft;
+}
+
+const topo::Xgft& small_tree() {
+  static const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+  return xgft;
+}
+
+void BM_SelectPaths(benchmark::State& state, route::Heuristic heuristic) {
+  const topo::Xgft& xgft = big_tree();
+  util::Rng rng{1};
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::uint64_t d = 1;
+  for (auto _ : state) {
+    d = (d * 2654435761u + 1) % xgft.num_hosts();
+    if (d == 0) d = 1;
+    benchmark::DoNotOptimize(
+        route::select_path_indices(xgft, 0, d, k, heuristic, rng));
+  }
+}
+BENCHMARK_CAPTURE(BM_SelectPaths, dmodk, route::Heuristic::kDModK)->Arg(1);
+BENCHMARK_CAPTURE(BM_SelectPaths, shift1, route::Heuristic::kShift1)
+    ->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_SelectPaths, disjoint, route::Heuristic::kDisjoint)
+    ->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_SelectPaths, random, route::Heuristic::kRandom)
+    ->Arg(4)->Arg(16);
+
+void BM_MaterializePath(benchmark::State& state) {
+  const topo::Xgft& xgft = big_tree();
+  std::uint64_t d = 1;
+  for (auto _ : state) {
+    d = (d * 2654435761u + 1) % xgft.num_hosts();
+    if (d == 0) d = 1;
+    const std::uint64_t index = 7 % xgft.num_shortest_paths(0, d);
+    benchmark::DoNotOptimize(route::materialize_path(xgft, 0, d, index));
+  }
+}
+BENCHMARK(BM_MaterializePath);
+
+void BM_NcaLevel(benchmark::State& state) {
+  const topo::Xgft& xgft = big_tree();
+  std::uint64_t d = 1;
+  for (auto _ : state) {
+    d = (d * 2654435761u + 1) % xgft.num_hosts();
+    benchmark::DoNotOptimize(xgft.nca_level(17, d));
+  }
+}
+BENCHMARK(BM_NcaLevel);
+
+void BM_RouteTableBuild(benchmark::State& state) {
+  const topo::Xgft& xgft = small_tree();
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    route::RouteTable table(xgft, route::Heuristic::kDisjoint, k);
+    benchmark::DoNotOptimize(table.total_paths());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(xgft.num_hosts() * xgft.num_hosts()));
+}
+BENCHMARK(BM_RouteTableBuild)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_PermutationLoadEval(benchmark::State& state) {
+  const topo::Xgft& xgft = big_tree();
+  util::Rng rng{3};
+  flow::LoadEvaluator eval(xgft);
+  const auto tm = flow::TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval.evaluate(tm, route::Heuristic::kDisjoint, k, rng).max_load);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tm.size()));
+}
+BENCHMARK(BM_PermutationLoadEval)->Arg(1)->Arg(8)->Arg(144)->Unit(benchmark::kMillisecond);
+
+void BM_OloadBound(benchmark::State& state) {
+  const topo::Xgft& xgft = big_tree();
+  util::Rng rng{5};
+  const auto tm = flow::TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::oload(xgft, tm).value);
+  }
+}
+BENCHMARK(BM_OloadBound)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

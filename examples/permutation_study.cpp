@@ -1,0 +1,55 @@
+// Flow-level permutation study from the command line: average maximum
+// link load over random permutations with the paper's 99%/2% stopping
+// rule, for one topology / heuristic / K.
+//
+//   ./permutation_study --topo "XGFT(3;8,8,16;1,8,8)" --heuristic disjoint
+//   ./permutation_study --heuristic dmodk --k 1 --precision 0.02
+#include <iostream>
+
+#include "lmpr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lmpr;
+  const util::Cli cli(argc, argv);
+  const auto spec = topo::XgftSpec::parse(
+      cli.get_or("topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
+  const auto heuristic_name = cli.get_or("heuristic", "disjoint");
+  const auto heuristic = route::heuristic_from_string(heuristic_name);
+  if (!heuristic) {
+    std::cerr << "unknown heuristic '" << heuristic_name
+              << "' (try dmodk, smodk, random1, shift1, disjoint, random, "
+                 "umulti)\n";
+    return 1;
+  }
+
+  flow::PermutationStudyConfig config;
+  config.heuristic = *heuristic;
+  config.k_paths = static_cast<std::size_t>(cli.get_or("k", std::int64_t{4}));
+  config.seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{7}));
+  config.stopping.initial_samples = static_cast<std::size_t>(
+      cli.get_or("initial-samples", std::int64_t{100}));
+  config.stopping.max_samples = static_cast<std::size_t>(
+      cli.get_or("max-samples", std::int64_t{12800}));
+  config.stopping.relative_precision = cli.get_or("precision", 0.02);
+
+  const topo::Xgft xgft{spec};
+  std::cout << "running on " << spec.to_string() << " ("
+            << xgft.num_hosts() << " hosts), heuristic "
+            << to_string(*heuristic) << ", K = " << config.k_paths
+            << " ...\n";
+  const auto result = flow::run_permutation_study(xgft, config);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"samples", util::Table::num(result.samples)});
+  table.add_row({"converged (CI<=2% @99%)", result.converged ? "yes" : "no"});
+  table.add_row({"avg max link load", util::Table::num(result.max_load.mean())});
+  table.add_row({"99% CI half-width",
+                 util::Table::num(result.max_load.ci_half_width(0.99), 4)});
+  table.add_row({"min / max load",
+                 util::Table::num(result.max_load.min()) + " / " +
+                     util::Table::num(result.max_load.max())});
+  table.add_row({"avg performance ratio", util::Table::num(result.perf.mean())});
+  table.add_row({"worst performance ratio", util::Table::num(result.perf.max())});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: build an XGFT, route one SD pair with every heuristic, and
+// evaluate a random permutation at the flow level.
+//
+//   ./quickstart [--topo "XGFT(3;4,4,8;1,4,4)"] [--k 4] [--seed 7]
+#include <iostream>
+
+#include "lmpr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lmpr;
+  const util::Cli cli(argc, argv);
+  const auto spec =
+      topo::XgftSpec::parse(cli.get_or("topo", "XGFT(3;4,4,8;1,4,4)"));
+  const auto k_paths =
+      static_cast<std::size_t>(cli.get_or("k", std::int64_t{4}));
+  util::Rng rng{static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{7}))};
+
+  const topo::Xgft xgft{spec};
+  std::cout << "topology " << spec.to_string() << ": " << xgft.num_hosts()
+            << " hosts, " << xgft.num_nodes() - xgft.num_hosts()
+            << " switches, " << xgft.num_cables() << " cables\n";
+  std::cout << "max shortest paths per SD pair: "
+            << spec.num_top_switches() << "\n\n";
+
+  // 1. Paths one heuristic at a time for the pair (0, last host).
+  const std::uint64_t src = 0;
+  const std::uint64_t dst = xgft.num_hosts() - 1;
+  std::cout << "paths for SD pair (" << src << ", " << dst << "), K = "
+            << k_paths << ":\n";
+  for (const route::Heuristic h :
+       {route::Heuristic::kDModK, route::Heuristic::kShift1,
+        route::Heuristic::kDisjoint, route::Heuristic::kRandom}) {
+    const auto indices =
+        route::select_path_indices(xgft, src, dst, k_paths, h, rng);
+    std::cout << "  " << to_string(h) << ":";
+    for (const auto index : indices) std::cout << " Path " << index;
+    std::cout << '\n';
+  }
+
+  // 2. Flow-level evaluation of one random permutation.
+  const auto tm =
+      flow::TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+  flow::LoadEvaluator evaluator(xgft);
+  const double optimum = flow::oload(xgft, tm).value;
+  std::cout << "\nrandom permutation, optimal max link load = " << optimum
+            << ":\n";
+  util::Table table({"heuristic", "K", "max link load", "perf ratio"});
+  for (const route::Heuristic h :
+       {route::Heuristic::kDModK, route::Heuristic::kShift1,
+        route::Heuristic::kDisjoint, route::Heuristic::kRandom,
+        route::Heuristic::kUmulti}) {
+    const auto load = evaluator.evaluate(tm, h, k_paths, rng);
+    table.add_row({std::string(to_string(h)), util::Table::num(k_paths),
+                   util::Table::num(load.max_load),
+                   util::Table::num(flow::perf_ratio(load.max_load, optimum))});
+  }
+  table.print(std::cout);
+  return 0;
+}

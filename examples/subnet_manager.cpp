@@ -1,0 +1,110 @@
+// An OpenSM-flavoured end-to-end tool: read (or synthesize) a fabric
+// cable list, recognize the XGFT, assign LIDs, build the multi-path
+// forwarding state, verify it by walking every variant of sampled pairs,
+// and optionally dump a switch's DLID->port table.
+//
+//   # synthesize, recognize, verify:
+//   ./subnet_manager --topo "XGFT(3;4,4,8;1,4,4)" --k 4 --shuffle-seed 5
+//   # from a file (see discovery/io.hpp for the format):
+//   ./subnet_manager --fabric my_fabric.txt --k 8 --dump-switch 130
+//   # export a fabric file for later runs:
+//   ./subnet_manager --topo "XGFT(2;4,8;1,4)" --save-fabric out.txt
+#include <iostream>
+
+#include "discovery/io.hpp"
+#include "lmpr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lmpr;
+  const util::Cli cli(argc, argv);
+  const auto k = static_cast<std::uint64_t>(cli.get_or("k", std::int64_t{4}));
+
+  // 1. Acquire the fabric.
+  discovery::RawFabric fabric;
+  try {
+    if (const auto path = cli.get("fabric"); path && !path->empty()) {
+      fabric = discovery::load_fabric_file(*path);
+    } else {
+      const auto spec = topo::XgftSpec::parse(cli.get_or(
+          "topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
+      const topo::Xgft reference{spec};
+      if (cli.has("shuffle-seed")) {
+        util::Rng rng{static_cast<std::uint64_t>(
+            cli.get_or("shuffle-seed", std::int64_t{1}))};
+        fabric = discovery::export_fabric(reference, &rng);
+      } else {
+        fabric = discovery::export_fabric(reference);
+      }
+    }
+    if (const auto out = cli.get("save-fabric"); out && !out->empty()) {
+      discovery::save_fabric_file(fabric, *out);
+      std::cout << "fabric written to " << *out << "\n";
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+  std::cout << "fabric: " << fabric.num_nodes << " nodes, "
+            << fabric.cables.size() << " cables, " << fabric.hosts.size()
+            << " hosts\n";
+
+  // 2. Recognize.
+  const auto recognition = discovery::recognize_xgft(fabric);
+  if (!recognition.ok) {
+    std::cerr << "not an XGFT: " << recognition.error << "\n";
+    return 1;
+  }
+  std::cout << "recognized: " << recognition.spec.to_string() << "\n";
+
+  // 3. Assign LIDs + forwarding state.
+  const topo::Xgft xgft{recognition.spec};
+  const fabric::Lft lft(xgft, k, fabric::LidLayout::kDisjointLayout);
+  const auto cost = route::lid_cost(xgft, k);
+  std::cout << "LIDs: block 2^" << lft.lmc() << " per host, "
+            << lft.lid_end() - 1 << " total ("
+            << (cost.realizable ? "realizable" : "NOT realizable")
+            << " on InfiniBand)\n";
+
+  // 4. Verify: walk every variant for sampled pairs.
+  util::Rng rng{42};
+  std::size_t walked = 0;
+  std::size_t delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t s = rng.below(xgft.num_hosts());
+    std::uint64_t d = rng.below(xgft.num_hosts() - 1);
+    if (d >= s) ++d;
+    for (std::uint32_t j = 0; j < lft.block(); ++j) {
+      ++walked;
+      delivered += lft.walk(s, d, j).delivered;
+    }
+  }
+  std::cout << "verification: " << delivered << "/" << walked
+            << " sampled LFT walks delivered\n";
+
+  // 5. Optional table dump (canonical node id).
+  if (cli.has("dump-switch")) {
+    const auto node = static_cast<topo::NodeId>(
+        cli.get_or("dump-switch", std::int64_t{0}));
+    if (node >= xgft.num_nodes() || xgft.is_host(node)) {
+      std::cerr << "dump-switch expects a switch node id < "
+                << xgft.num_nodes() << "\n";
+      return 1;
+    }
+    const auto table = lft.table_for(node);
+    std::cout << "\nLFT of switch " << xgft.label_of(node).to_string()
+              << " (DLID -> next node):\n";
+    for (std::uint32_t lid = 1; lid < lft.lid_end(); ++lid) {
+      if (table[lid] == topo::kInvalidLink) continue;
+      std::cout << "  " << lid << " -> "
+                << xgft.label_of(xgft.link(table[lid]).dst).to_string()
+                << (lft.variant_of(lid) == 0 ? "  (d-mod-k base)" : "")
+                << "\n";
+      if (lid > 24) {
+        std::cout << "  ... (" << lft.lid_end() - 1 - lid
+                  << " more entries)\n";
+        break;
+      }
+    }
+  }
+  return delivered == walked ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build, test, and run every bench binary (quick scale).  Pass --full to
+# forward paper-scale mode to the benches (expect ~1 h on a laptop).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXTRA=()
+if [[ "${1:-}" == "--full" ]]; then
+  EXTRA+=(--full)
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  [[ -x "$b" && ! -d "$b" ]] || continue
+  echo
+  echo "### $b ${EXTRA[*]:-}"
+  case "$b" in
+    *micro_*) "$b" ;;  # google-benchmark binaries take their own flags
+    *) "$b" "${EXTRA[@]}" ;;
+  esac
+done

@@ -1,0 +1,97 @@
+#include "core/deadlock.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::route {
+
+namespace {
+
+struct DependencyGraph {
+  /// adjacency[channel] = sorted, deduplicated successor channels.
+  std::vector<std::vector<topo::LinkId>> adjacency;
+  std::uint64_t edges = 0;
+
+  explicit DependencyGraph(std::size_t channels) : adjacency(channels) {}
+
+  void finalize() {
+    for (auto& successors : adjacency) {
+      std::sort(successors.begin(), successors.end());
+      successors.erase(std::unique(successors.begin(), successors.end()),
+                       successors.end());
+      edges += successors.size();
+    }
+  }
+
+  /// Iterative three-color DFS cycle detection.
+  topo::LinkId find_cycle_node() const {
+    enum : std::uint8_t { kWhite, kGray, kBlack };
+    std::vector<std::uint8_t> color(adjacency.size(), kWhite);
+    std::vector<std::pair<topo::LinkId, std::size_t>> stack;
+    for (std::size_t root = 0; root < adjacency.size(); ++root) {
+      if (color[root] != kWhite) continue;
+      stack.emplace_back(static_cast<topo::LinkId>(root), 0);
+      color[root] = kGray;
+      while (!stack.empty()) {
+        auto& [node, next] = stack.back();
+        if (next < adjacency[node].size()) {
+          const topo::LinkId successor = adjacency[node][next++];
+          if (color[successor] == kGray) return successor;  // back edge
+          if (color[successor] == kWhite) {
+            color[successor] = kGray;
+            stack.emplace_back(successor, 0);
+          }
+        } else {
+          color[node] = kBlack;
+          stack.pop_back();
+        }
+      }
+    }
+    return topo::kInvalidLink;
+  }
+};
+
+DeadlockAnalysis analyze(DependencyGraph& graph) {
+  graph.finalize();
+  DeadlockAnalysis analysis;
+  analysis.dependencies = graph.edges;
+  analysis.witness = graph.find_cycle_node();
+  analysis.acyclic = (analysis.witness == topo::kInvalidLink);
+  return analysis;
+}
+
+}  // namespace
+
+DeadlockAnalysis analyze_channel_dependencies(const RouteTable& table) {
+  const topo::Xgft& xgft = table.xgft();
+  DependencyGraph graph(static_cast<std::size_t>(xgft.num_links()));
+  const std::uint64_t hosts = xgft.num_hosts();
+  for (std::uint64_t s = 0; s < hosts; ++s) {
+    for (std::uint64_t d = 0; d < hosts; ++d) {
+      if (s == d) continue;
+      for (const Path& path : table.paths(s, d)) {
+        for (std::size_t i = 1; i < path.links.size(); ++i) {
+          graph.adjacency[path.links[i - 1]].push_back(path.links[i]);
+        }
+      }
+    }
+  }
+  return analyze(graph);
+}
+
+DeadlockAnalysis analyze_channel_dependencies(
+    const topo::Xgft& xgft,
+    const std::vector<std::vector<topo::LinkId>>& paths) {
+  DependencyGraph graph(static_cast<std::size_t>(xgft.num_links()));
+  for (const auto& path : paths) {
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      LMPR_EXPECTS(path[i - 1] < xgft.num_links());
+      LMPR_EXPECTS(path[i] < xgft.num_links());
+      graph.adjacency[path[i - 1]].push_back(path[i]);
+    }
+  }
+  return analyze(graph);
+}
+
+}  // namespace lmpr::route

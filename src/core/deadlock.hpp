@@ -1,0 +1,39 @@
+// Deadlock-freedom verification via channel dependency graphs (Dally &
+// Seitz).  A routing is deadlock-free on a single virtual channel iff the
+// directed graph whose nodes are network channels (directed links) and
+// whose edges connect consecutive channels of some packet's path is
+// acyclic.  XGFT up*/down* routing is provably acyclic (a packet never
+// turns down-then-up); this module CHECKS that property for any concrete
+// route table -- a safety net for future routing variants and a test
+// oracle for the flit simulator's single-VC configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/route_table.hpp"
+#include "topology/xgft.hpp"
+
+namespace lmpr::route {
+
+struct DeadlockAnalysis {
+  bool acyclic = true;
+  /// Number of distinct channel-dependency edges the table induces.
+  std::uint64_t dependencies = 0;
+  /// When cyclic: one channel on a dependency cycle (kInvalidLink
+  /// otherwise).
+  topo::LinkId witness = topo::kInvalidLink;
+};
+
+/// Builds the channel dependency graph of every path in the table and
+/// tests it for cycles (iterative DFS three-coloring).
+DeadlockAnalysis analyze_channel_dependencies(const RouteTable& table);
+
+/// Convenience: dependency-graph acyclicity for an explicit path list
+/// (each path a sequence of directed LinkIds), against the given
+/// topology's channel count.
+DeadlockAnalysis analyze_channel_dependencies(
+    const topo::Xgft& xgft,
+    const std::vector<std::vector<topo::LinkId>>& paths);
+
+}  // namespace lmpr::route

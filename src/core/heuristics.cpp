@@ -1,0 +1,126 @@
+#include "core/heuristics.hpp"
+
+#include <algorithm>
+
+#include "core/path_index.hpp"
+#include "core/single_path.hpp"
+#include "util/contracts.hpp"
+
+namespace lmpr::route {
+
+std::string_view to_string(Heuristic heuristic) {
+  switch (heuristic) {
+    case Heuristic::kDModK: return "dmodk";
+    case Heuristic::kSModK: return "smodk";
+    case Heuristic::kRandomSingle: return "random1";
+    case Heuristic::kShift1: return "shift1";
+    case Heuristic::kDisjoint: return "disjoint";
+    case Heuristic::kRandom: return "random";
+    case Heuristic::kUmulti: return "umulti";
+  }
+  return "unknown";
+}
+
+std::optional<Heuristic> heuristic_from_string(std::string_view name) {
+  for (Heuristic h : {Heuristic::kDModK, Heuristic::kSModK,
+                      Heuristic::kRandomSingle, Heuristic::kShift1,
+                      Heuristic::kDisjoint, Heuristic::kRandom,
+                      Heuristic::kUmulti}) {
+    if (to_string(h) == name) return h;
+  }
+  if (name == "d-mod-k") return Heuristic::kDModK;
+  if (name == "s-mod-k") return Heuristic::kSModK;
+  if (name == "shift-1") return Heuristic::kShift1;
+  return std::nullopt;
+}
+
+bool is_single_path(Heuristic heuristic) {
+  return heuristic == Heuristic::kDModK || heuristic == Heuristic::kSModK ||
+         heuristic == Heuristic::kRandomSingle;
+}
+
+std::uint64_t disjoint_offset(const topo::XgftSpec& spec, std::uint32_t nca,
+                              std::uint64_t n) {
+  LMPR_EXPECTS(nca >= 1 && nca <= spec.height());
+  std::uint64_t offset = 0;
+  std::uint64_t rest = n;
+  // Digit c_l (1-based level l) varies fastest for l = 1: the level-1
+  // parent choice flips first, forking the paths as low as possible.
+  for (std::uint32_t l = 1; l <= nca; ++l) {
+    const std::uint32_t radix = spec.w_at(l);
+    const std::uint64_t digit = rest % radix;
+    rest /= radix;
+    offset += digit * choice_stride(spec, nca, l - 1);
+  }
+  LMPR_EXPECTS(rest == 0);  // n < X
+  return offset;
+}
+
+std::vector<std::uint64_t> disjoint_sequence(const topo::XgftSpec& spec,
+                                             std::uint32_t nca,
+                                             std::uint64_t start,
+                                             std::uint64_t count) {
+  std::uint64_t total = 1;
+  for (std::uint32_t i = 1; i <= nca; ++i) total *= spec.w_at(i);
+  LMPR_EXPECTS(start < total);
+  count = std::min(count, total);
+  std::vector<std::uint64_t> indices;
+  indices.reserve(count);
+  for (std::uint64_t n = 0; n < count; ++n) {
+    indices.push_back((start + disjoint_offset(spec, nca, n)) % total);
+  }
+  return indices;
+}
+
+std::vector<std::uint64_t> select_path_indices(const topo::Xgft& xgft,
+                                               std::uint64_t src,
+                                               std::uint64_t dst,
+                                               std::size_t k_paths,
+                                               Heuristic heuristic,
+                                               util::Rng& rng) {
+  LMPR_EXPECTS(k_paths >= 1);
+  if (src == dst) return {0};
+
+  const std::uint64_t total = xgft.num_shortest_paths(src, dst);
+  const std::uint64_t take = std::min<std::uint64_t>(k_paths, total);
+  const std::uint32_t nca = xgft.nca_level(src, dst);
+
+  switch (heuristic) {
+    case Heuristic::kDModK:
+      return {dmodk_index(xgft, src, dst)};
+    case Heuristic::kSModK:
+      return {smodk_index(xgft, src, dst)};
+    case Heuristic::kRandomSingle:
+      return {random_single_index(xgft, src, dst, rng)};
+
+    case Heuristic::kShift1: {
+      const std::uint64_t anchor = dmodk_index(xgft, src, dst);
+      std::vector<std::uint64_t> indices;
+      indices.reserve(take);
+      for (std::uint64_t t = 0; t < take; ++t) {
+        indices.push_back((anchor + t) % total);
+      }
+      return indices;
+    }
+
+    case Heuristic::kDisjoint:
+      return disjoint_sequence(xgft.spec(), nca,
+                               dmodk_index(xgft, src, dst), take);
+
+    case Heuristic::kRandom: {
+      auto sampled = rng.sample_without_replacement(
+          static_cast<std::size_t>(total), static_cast<std::size_t>(take));
+      return {sampled.begin(), sampled.end()};
+    }
+
+    case Heuristic::kUmulti: {
+      std::vector<std::uint64_t> indices(total);
+      for (std::uint64_t i = 0; i < total; ++i) indices[i] = i;
+      return indices;
+    }
+  }
+  LMPR_ASSERT(false);
+  return {};
+}
+
+}  // namespace lmpr::route

@@ -1,0 +1,72 @@
+// Limited multi-path path-selection heuristics (paper Section 4.2).
+//
+// Every heuristic returns min(K, X) *distinct* shortest-path indices for
+// an SD pair with X available paths, converging to UMULTI (all X paths,
+// provably optimal oblivious routing, Theorem 1) as K grows:
+//
+//   shift-1   -- the K consecutive indices starting at the d-mod-k path:
+//                varies the TOP-level switch choice first, so small-K sets
+//                share their lower links (the limitation Section 4.2.2
+//                calls out).
+//   disjoint  -- mixed-radix enumeration around the d-mod-k path that
+//                varies the LOWEST-level parent choice first, then level 2,
+//                etc., maximizing link-disjointness among the first K
+//                paths while every "shift" remains a d-mod-k copy.
+//   random    -- K distinct paths drawn uniformly at random.
+//
+// Traffic is split uniformly across the selected paths (f = 1/K'), as in
+// the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::route {
+
+enum class Heuristic {
+  kDModK,         ///< single-path destination-mod-k (K is ignored)
+  kSModK,         ///< single-path source-mod-k (K is ignored)
+  kRandomSingle,  ///< one uniformly random path (K is ignored)
+  kShift1,        ///< K consecutive paths from the d-mod-k index
+  kDisjoint,      ///< K maximally-disjoint d-mod-k-anchored paths
+  kRandom,        ///< K distinct uniformly random paths
+  kUmulti,        ///< all X paths (unlimited multi-path; K is ignored)
+};
+
+/// Lowercase stable names ("dmodk", "shift1", "disjoint", ...).
+std::string_view to_string(Heuristic heuristic);
+std::optional<Heuristic> heuristic_from_string(std::string_view name);
+
+/// True when the scheme uses exactly one path regardless of K.
+bool is_single_path(Heuristic heuristic);
+
+/// The n-th offset of the disjoint enumeration (n in [0, X)): decompose n
+/// in mixed radix with w_1 the fastest-varying digit and add each digit
+/// times its path-numbering stride.  Offsets are a permutation of [0, X).
+std::uint64_t disjoint_offset(const topo::XgftSpec& spec, std::uint32_t nca,
+                              std::uint64_t n);
+
+/// First `count` paths of the disjoint enumeration starting at `start`
+/// (the level-k disjoint sequence of Section 4.2.3).
+std::vector<std::uint64_t> disjoint_sequence(const topo::XgftSpec& spec,
+                                             std::uint32_t nca,
+                                             std::uint64_t start,
+                                             std::uint64_t count);
+
+/// Selects the path indices the heuristic assigns to (src, dst) with path
+/// limit `k_paths`.  The result is non-empty, sorted by selection order
+/// (first element is the scheme's "primary" path), and contains no
+/// duplicates.  `rng` is consulted only by the randomized schemes.
+std::vector<std::uint64_t> select_path_indices(const topo::Xgft& xgft,
+                                               std::uint64_t src,
+                                               std::uint64_t dst,
+                                               std::size_t k_paths,
+                                               Heuristic heuristic,
+                                               util::Rng& rng);
+
+}  // namespace lmpr::route

@@ -1,0 +1,20 @@
+#include "core/lid_cost.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::route {
+
+LidCost lid_cost(const topo::Xgft& xgft, std::uint64_t k_paths) {
+  LMPR_EXPECTS(k_paths >= 1);
+  LidCost cost;
+  cost.effective_paths =
+      std::min<std::uint64_t>(k_paths, xgft.spec().num_top_switches());
+  while ((1ULL << cost.lmc) < cost.effective_paths) ++cost.lmc;
+  cost.total_lids = xgft.num_hosts() << cost.lmc;
+  cost.realizable = cost.lmc <= kMaxLmc && cost.total_lids <= kUnicastLidSpace;
+  return cost;
+}
+
+}  // namespace lmpr::route

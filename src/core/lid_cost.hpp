@@ -1,0 +1,39 @@
+// InfiniBand realizability model for limited multi-path routing
+// (the resource constraint motivating the paper, Section 1 and the
+// multiple-LID scheme of Lin et al., IPDPS'04).
+//
+// InfiniBand forwards by destination LID; each distinct path to a
+// destination needs its own LID.  An end port is assigned a block of
+// 2^LMC consecutive LIDs (LMC is a 3-bit field, so LMC <= 7), and the
+// unicast LID space holds 48K addresses (0x0001..0xBFFF).  Supporting K
+// paths per SD pair therefore needs LMC = ceil(log2 K), is impossible for
+// K > 128, and consumes N * 2^LMC unicast LIDs.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/xgft.hpp"
+
+namespace lmpr::route {
+
+inline constexpr std::uint32_t kMaxLmc = 7;
+inline constexpr std::uint64_t kUnicastLidSpace = 0xBFFF;  // 49151 LIDs
+
+struct LidCost {
+  /// Paths actually required per destination: min(K, max shortest paths).
+  std::uint64_t effective_paths = 1;
+  /// Smallest LMC with 2^LMC >= effective_paths (may exceed kMaxLmc,
+  /// flagged below).
+  std::uint32_t lmc = 0;
+  /// LIDs consumed: num_hosts * 2^lmc.
+  std::uint64_t total_lids = 0;
+  /// False when the LMC field cannot express the block size or the
+  /// unicast space is exhausted -- i.e. the routing is not realizable on
+  /// InfiniBand, the paper's argument against unlimited multi-path.
+  bool realizable = true;
+};
+
+/// Cost of supporting `k_paths` paths per SD pair on the given topology.
+LidCost lid_cost(const topo::Xgft& xgft, std::uint64_t k_paths);
+
+}  // namespace lmpr::route

@@ -1,0 +1,55 @@
+#include "core/overlap.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::route {
+
+PathSetStats analyze_path_set(const topo::Xgft& xgft,
+                              std::span<const Path> paths) {
+  PathSetStats stats;
+  stats.num_paths = paths.size();
+  stats.distinct_links_per_level.assign(xgft.height(), 0);
+
+  std::unordered_set<topo::LinkId> all_links;
+  std::vector<std::unordered_set<topo::LinkId>> per_level(xgft.height());
+  for (const Path& path : paths) {
+    for (const topo::LinkId link : path.links) {
+      all_links.insert(link);
+      per_level[xgft.link(link).level].insert(link);
+    }
+  }
+  stats.distinct_links = all_links.size();
+  for (std::size_t l = 0; l < per_level.size(); ++l) {
+    stats.distinct_links_per_level[l] = per_level[l].size();
+  }
+
+  std::size_t shared_total = 0;
+  stats.min_pairwise_shared = static_cast<std::size_t>(-1);
+  for (std::size_t a = 0; a < paths.size(); ++a) {
+    std::unordered_set<topo::LinkId> links_a(paths[a].links.begin(),
+                                             paths[a].links.end());
+    for (std::size_t b = a + 1; b < paths.size(); ++b) {
+      std::size_t shared = 0;
+      for (const topo::LinkId link : paths[b].links) {
+        if (links_a.contains(link)) ++shared;
+      }
+      ++stats.total_pairs;
+      shared_total += shared;
+      stats.min_pairwise_shared = std::min(stats.min_pairwise_shared, shared);
+      stats.max_pairwise_shared = std::max(stats.max_pairwise_shared, shared);
+      if (shared == 0) ++stats.disjoint_pairs;
+    }
+  }
+  if (stats.total_pairs == 0) {
+    stats.min_pairwise_shared = 0;
+  } else {
+    stats.mean_pairwise_shared = static_cast<double>(shared_total) /
+                                 static_cast<double>(stats.total_pairs);
+  }
+  return stats;
+}
+
+}  // namespace lmpr::route

@@ -1,0 +1,36 @@
+// Structural analysis of a multi-path set: how link-disjoint are the K
+// paths a heuristic selects?  Quantifies Section 4.2.2's observation that
+// shift-1 spreads traffic only at the top level while disjoint forks as
+// low as possible.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/path_index.hpp"
+#include "topology/xgft.hpp"
+
+namespace lmpr::route {
+
+struct PathSetStats {
+  std::size_t num_paths = 0;
+  /// Distinct directed links used by the whole set.
+  std::size_t distinct_links = 0;
+  /// Distinct directed links at each level (index = level of the cable's
+  /// lower endpoint, 0..h-1).
+  std::vector<std::size_t> distinct_links_per_level;
+  /// Shared-link counts over unordered path pairs (0 pairs => all zero).
+  double mean_pairwise_shared = 0.0;
+  std::size_t min_pairwise_shared = 0;
+  std::size_t max_pairwise_shared = 0;
+  /// Number of unordered pairs that are fully link-disjoint.
+  std::size_t disjoint_pairs = 0;
+  std::size_t total_pairs = 0;
+};
+
+/// Analyzes the paths of one SD pair (all paths must share endpoints).
+PathSetStats analyze_path_set(const topo::Xgft& xgft,
+                              std::span<const Path> paths);
+
+}  // namespace lmpr::route

@@ -1,0 +1,88 @@
+#include "core/path_index.hpp"
+
+#include "util/contracts.hpp"
+
+namespace lmpr::route {
+
+std::uint64_t choice_stride(const topo::XgftSpec& spec, std::uint32_t nca,
+                            std::uint32_t l) {
+  LMPR_EXPECTS(nca <= spec.height());
+  LMPR_EXPECTS(l < nca);
+  std::uint64_t stride = 1;
+  for (std::uint32_t i = l + 2; i <= nca; ++i) stride *= spec.w_at(i);
+  return stride;
+}
+
+UpChoices decode_path_index(const topo::XgftSpec& spec, std::uint32_t nca,
+                            std::uint64_t index) {
+  LMPR_EXPECTS(nca <= spec.height());
+  UpChoices choices(nca);
+  // Least significant digit is the topmost choice j_k.
+  for (std::uint32_t l = nca; l > 0; --l) {
+    const std::uint32_t radix = spec.w_at(l);
+    choices[l - 1] = static_cast<std::uint32_t>(index % radix);
+    index /= radix;
+  }
+  LMPR_EXPECTS(index == 0);  // index < prod w_i
+  return choices;
+}
+
+std::uint64_t encode_path_index(const topo::XgftSpec& spec, std::uint32_t nca,
+                                const UpChoices& choices) {
+  LMPR_EXPECTS(choices.size() == nca);
+  std::uint64_t index = 0;
+  for (std::uint32_t l = 0; l < nca; ++l) {
+    const std::uint32_t radix = spec.w_at(l + 1);
+    LMPR_EXPECTS(choices[l] < radix);
+    index = index * radix + choices[l];
+  }
+  return index;
+}
+
+Path materialize_path(const topo::Xgft& xgft, std::uint64_t src,
+                      std::uint64_t dst, std::uint64_t index) {
+  Path path;
+  path.index = index;
+  path.nodes.push_back(xgft.host(src));
+  if (src == dst) {
+    LMPR_EXPECTS(index == 0);
+    return path;
+  }
+  const std::uint32_t nca = xgft.nca_level(src, dst);
+  const UpChoices choices = decode_path_index(xgft.spec(), nca, index);
+
+  topo::NodeId node = xgft.host(src);
+  for (std::uint32_t l = 0; l < nca; ++l) {
+    path.links.push_back(xgft.up_link(node, choices[l]));
+    node = xgft.parent(node, choices[l]);
+    path.nodes.push_back(node);
+  }
+  for (std::uint32_t l = nca; l >= 1; --l) {
+    const std::uint32_t port = xgft.host_digit(dst, l);
+    path.links.push_back(xgft.down_link(node, port));
+    node = xgft.child(node, port);
+    path.nodes.push_back(node);
+  }
+  LMPR_ENSURES(node == xgft.host(dst));
+  return path;
+}
+
+void append_path_links(const topo::Xgft& xgft, std::uint64_t src,
+                       std::uint64_t dst, std::uint64_t index,
+                       std::vector<topo::LinkId>& out) {
+  if (src == dst) return;
+  const std::uint32_t nca = xgft.nca_level(src, dst);
+  const UpChoices choices = decode_path_index(xgft.spec(), nca, index);
+  topo::NodeId node = xgft.host(src);
+  for (std::uint32_t l = 0; l < nca; ++l) {
+    out.push_back(xgft.up_link(node, choices[l]));
+    node = xgft.parent(node, choices[l]);
+  }
+  for (std::uint32_t l = nca; l >= 1; --l) {
+    const std::uint32_t port = xgft.host_digit(dst, l);
+    out.push_back(xgft.down_link(node, port));
+    node = xgft.child(node, port);
+  }
+}
+
+}  // namespace lmpr::route

@@ -1,0 +1,64 @@
+// Shortest-path enumeration for XGFTs (paper Section 4).
+//
+// An SD pair whose nearest common ancestor (NCA) sits at level k has
+// X = w_1 * .. * w_k shortest paths (Property 1), one per top-level switch
+// of the height-k subtree containing both endpoints.  The paper numbers
+// paths "left to right" over those switches; pinned against the Figure 3
+// worked example, that is the mixed-radix numbering
+//
+//   index = j_1*(w_2..w_k) + j_2*(w_3..w_k) + .. + j_{k-1}*w_k + j_k
+//
+// where j_{l+1} in [0, w_{l+1}) is the upward port chosen at level l.
+// The level-0 choice j_1 is the MOST significant digit; the topmost choice
+// j_k is the least significant.  Consequently "adjacent" path indices
+// differ only in the top-level switch (the shift-1 heuristic's behaviour)
+// while a stride of w_{l+1}..w_k flips the level-l choice (the backbone of
+// the disjoint heuristic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/xgft.hpp"
+
+namespace lmpr::route {
+
+/// Upward port choices of one shortest path: choices[l] = j_{l+1}, the
+/// upper port taken at level l, for l = 0..k-1.
+using UpChoices = std::vector<std::uint32_t>;
+
+/// Stride of the level-l choice (0-based l) in the path numbering:
+/// prod_{i=l+2..k} w_i.  The level-(k-1) (topmost) choice has stride 1.
+std::uint64_t choice_stride(const topo::XgftSpec& spec, std::uint32_t nca,
+                            std::uint32_t l);
+
+/// Decodes a path index into upward port choices.
+UpChoices decode_path_index(const topo::XgftSpec& spec, std::uint32_t nca,
+                            std::uint64_t index);
+
+/// Inverse of decode_path_index.
+std::uint64_t encode_path_index(const topo::XgftSpec& spec, std::uint32_t nca,
+                                const UpChoices& choices);
+
+/// A fully materialized shortest path.
+struct Path {
+  /// Path number within the SD pair's enumeration ("Path i" in the paper).
+  std::uint64_t index = 0;
+  /// Directed links in traversal order: k up links then k down links.
+  std::vector<topo::LinkId> links;
+  /// Nodes in traversal order (2k+1 entries including both hosts).
+  std::vector<topo::NodeId> nodes;
+};
+
+/// Materializes Path `index` between two hosts.  For src == dst the path is
+/// the empty path (no links, single node).
+Path materialize_path(const topo::Xgft& xgft, std::uint64_t src,
+                      std::uint64_t dst, std::uint64_t index);
+
+/// Appends the link ids of Path `index` to `out` without building node
+/// lists -- the flow-level simulator's hot loop.
+void append_path_links(const topo::Xgft& xgft, std::uint64_t src,
+                       std::uint64_t dst, std::uint64_t index,
+                       std::vector<topo::LinkId>& out);
+
+}  // namespace lmpr::route

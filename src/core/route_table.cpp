@@ -1,0 +1,68 @@
+#include "core/route_table.hpp"
+
+#include "util/contracts.hpp"
+
+namespace lmpr::route {
+
+RouteTable::RouteTable(const topo::Xgft& xgft, Heuristic heuristic,
+                       std::size_t k_paths, std::uint64_t seed)
+    : xgft_(&xgft),
+      heuristic_(heuristic),
+      k_paths_(k_paths),
+      num_hosts_(xgft.num_hosts()) {
+  LMPR_EXPECTS(k_paths >= 1);
+  util::Rng rng{seed};
+  const std::uint64_t pairs = num_hosts_ * num_hosts_;
+  first_.reserve(pairs + 1);
+  first_.push_back(0);
+  for (std::uint64_t src = 0; src < num_hosts_; ++src) {
+    for (std::uint64_t dst = 0; dst < num_hosts_; ++dst) {
+      const auto indices =
+          select_path_indices(xgft, src, dst, k_paths, heuristic, rng);
+      for (const std::uint64_t index : indices) {
+        paths_.push_back(materialize_path(xgft, src, dst, index));
+      }
+      first_.push_back(paths_.size());
+    }
+  }
+}
+
+std::size_t RouteTable::pair_slot(std::uint64_t src, std::uint64_t dst) const {
+  LMPR_EXPECTS(src < num_hosts_ && dst < num_hosts_);
+  return static_cast<std::size_t>(src * num_hosts_ + dst);
+}
+
+std::span<const Path> RouteTable::paths(std::uint64_t src,
+                                        std::uint64_t dst) const {
+  const std::size_t slot = pair_slot(src, dst);
+  return {paths_.data() + first_[slot],
+          static_cast<std::size_t>(first_[slot + 1] - first_[slot])};
+}
+
+const Path& RouteTable::pick(std::uint64_t src, std::uint64_t dst,
+                             util::Rng& rng) const {
+  const auto set = paths(src, dst);
+  return set[static_cast<std::size_t>(rng.below(set.size()))];
+}
+
+const Path& RouteTable::pick_round_robin(std::uint64_t src, std::uint64_t dst,
+                                         std::uint64_t counter) const {
+  const auto set = paths(src, dst);
+  return set[static_cast<std::size_t>(counter % set.size())];
+}
+
+double RouteTable::mean_paths_per_pair() const {
+  if (num_hosts_ < 2) return 0.0;
+  std::uint64_t sum = 0;
+  for (std::uint64_t src = 0; src < num_hosts_; ++src) {
+    for (std::uint64_t dst = 0; dst < num_hosts_; ++dst) {
+      if (src == dst) continue;
+      const std::size_t slot = pair_slot(src, dst);
+      sum += first_[slot + 1] - first_[slot];
+    }
+  }
+  return static_cast<double>(sum) /
+         static_cast<double>(num_hosts_ * (num_hosts_ - 1));
+}
+
+}  // namespace lmpr::route

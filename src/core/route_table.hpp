@@ -1,0 +1,65 @@
+// Materialized routing tables: every SD pair's selected paths, split
+// uniformly.  This is what the flit-level simulator and the path-overlap
+// analyses consume; the flow-level simulator computes paths on the fly to
+// stay memory-light on paper-scale (3456-host) topologies.
+//
+// Memory grows as hosts^2 * K * path-length; callers materialize tables
+// only for flit-scale instances (the paper's flit experiments use the
+// 128-host 8-port 3-tree).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/path_index.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::route {
+
+class RouteTable {
+ public:
+  /// Builds the table for every ordered SD pair (self-pairs get a single
+  /// empty path).  `seed` drives the randomized heuristics; the same seed
+  /// reproduces the same table.
+  RouteTable(const topo::Xgft& xgft, Heuristic heuristic, std::size_t k_paths,
+             std::uint64_t seed = 1);
+
+  const topo::Xgft& xgft() const noexcept { return *xgft_; }
+  Heuristic heuristic() const noexcept { return heuristic_; }
+  std::size_t k_paths() const noexcept { return k_paths_; }
+
+  /// All paths selected for (src, dst); at least one entry.
+  std::span<const Path> paths(std::uint64_t src, std::uint64_t dst) const;
+
+  /// Uniformly random member of paths(src, dst) -- the per-message path
+  /// choice implementing the paper's uniform traffic fractions.
+  const Path& pick(std::uint64_t src, std::uint64_t dst,
+                   util::Rng& rng) const;
+
+  /// Round-robin member selection keyed by a caller-maintained counter
+  /// (used by the path-granularity ablation).
+  const Path& pick_round_robin(std::uint64_t src, std::uint64_t dst,
+                               std::uint64_t counter) const;
+
+  /// Mean number of paths per distinct-host SD pair.
+  double mean_paths_per_pair() const;
+
+  /// Total number of stored paths.
+  std::uint64_t total_paths() const noexcept { return paths_.size(); }
+
+ private:
+  std::size_t pair_slot(std::uint64_t src, std::uint64_t dst) const;
+
+  const topo::Xgft* xgft_;
+  Heuristic heuristic_;
+  std::size_t k_paths_;
+  std::uint64_t num_hosts_;
+  /// first_[slot] .. first_[slot+1] indexes into paths_.
+  std::vector<std::uint64_t> first_;
+  std::vector<Path> paths_;
+};
+
+}  // namespace lmpr::route

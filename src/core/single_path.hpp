@@ -1,0 +1,30 @@
+// Baseline single-path routing schemes (paper Section 3.3).
+//
+// d-mod-k: at a level-l node on the upward leg, take upper port
+//   j_{l+1} = (dst / (w_1 * .. * w_l)) mod w_{l+1}.
+// s-mod-k is the mirror image keyed on the source.  Both are "universal"
+// single-path schemes for XGFTs; d-mod-k is the one InfiniBand subnet
+// managers implement and the anchor for the shift-1/disjoint heuristics.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::route {
+
+/// Path index selected by destination-mod-k routing for the SD pair.
+std::uint64_t dmodk_index(const topo::Xgft& xgft, std::uint64_t src,
+                          std::uint64_t dst);
+
+/// Path index selected by source-mod-k routing.
+std::uint64_t smodk_index(const topo::Xgft& xgft, std::uint64_t src,
+                          std::uint64_t dst);
+
+/// Uniformly random single path (the classic randomized routing of
+/// Greenberg & Leiserson: pick a random NCA top-level switch).
+std::uint64_t random_single_index(const topo::Xgft& xgft, std::uint64_t src,
+                                  std::uint64_t dst, util::Rng& rng);
+
+}  // namespace lmpr::route

@@ -1,0 +1,98 @@
+#include "discovery/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lmpr::discovery {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& message) {
+  throw std::runtime_error("fabric parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+RawFabric load_fabric(std::istream& in) {
+  RawFabric fabric;
+  bool have_header = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream iss(line);
+    std::string keyword;
+    if (!(iss >> keyword)) continue;  // blank / comment-only line
+
+    auto read_id = [&]() -> std::uint32_t {
+      std::uint64_t value = 0;
+      if (!(iss >> value)) parse_error(line_no, "expected a node id");
+      if (!have_header) parse_error(line_no, "'fabric' header must come first");
+      if (value >= fabric.num_nodes) {
+        parse_error(line_no, "node id " + std::to_string(value) +
+                                 " out of range");
+      }
+      return static_cast<std::uint32_t>(value);
+    };
+
+    if (keyword == "fabric") {
+      if (have_header) parse_error(line_no, "duplicate 'fabric' header");
+      std::uint64_t count = 0;
+      if (!(iss >> count) || count == 0) {
+        parse_error(line_no, "expected a positive node count");
+      }
+      fabric.num_nodes = static_cast<std::uint32_t>(count);
+      have_header = true;
+    } else if (keyword == "host") {
+      std::uint64_t peek = 0;
+      if (!have_header) parse_error(line_no, "'fabric' header must come first");
+      while (iss >> peek) {
+        if (peek >= fabric.num_nodes) {
+          parse_error(line_no, "host id out of range");
+        }
+        fabric.hosts.push_back(static_cast<std::uint32_t>(peek));
+      }
+    } else if (keyword == "cable") {
+      const std::uint32_t u = read_id();
+      const std::uint32_t v = read_id();
+      fabric.cables.emplace_back(u, v);
+    } else {
+      parse_error(line_no, "unknown directive '" + keyword + "'");
+    }
+  }
+  if (!have_header) {
+    throw std::runtime_error("fabric parse error: missing 'fabric' header");
+  }
+  return fabric;
+}
+
+void save_fabric(const RawFabric& fabric, std::ostream& out) {
+  out << "# lmpr fabric description\n";
+  out << "fabric " << fabric.num_nodes << "\n";
+  out << "host";
+  for (const auto host : fabric.hosts) out << ' ' << host;
+  out << "\n";
+  for (const auto& [u, v] : fabric.cables) {
+    out << "cable " << u << ' ' << v << "\n";
+  }
+}
+
+RawFabric load_fabric_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open fabric file " + path);
+  return load_fabric(in);
+}
+
+void save_fabric_file(const RawFabric& fabric, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write fabric file " + path);
+  save_fabric(fabric, out);
+  if (!out) throw std::runtime_error("failed writing fabric file " + path);
+}
+
+}  // namespace lmpr::discovery

@@ -1,0 +1,29 @@
+// Plain-text serialization of RawFabric cable lists -- the on-disk format
+// the subnet-manager example consumes, and the interchange point for
+// fabrics coming from outside the library.
+//
+// Format (line oriented, '#' starts a comment):
+//
+//   fabric <num_nodes>
+//   host <id> [<id> ...]
+//   cable <u> <v>
+//   ...
+//
+// Parsing is strict: unknown directives, out-of-range ids or a missing
+// header throw std::runtime_error with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "discovery/recognize.hpp"
+
+namespace lmpr::discovery {
+
+RawFabric load_fabric(std::istream& in);
+void save_fabric(const RawFabric& fabric, std::ostream& out);
+
+RawFabric load_fabric_file(const std::string& path);
+void save_fabric_file(const RawFabric& fabric, const std::string& path);
+
+}  // namespace lmpr::discovery

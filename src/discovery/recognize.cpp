@@ -1,0 +1,416 @@
+#include "discovery/recognize.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::discovery {
+
+namespace {
+
+/// Digits 1..k prescribed for a level-k top switch by its parent
+/// recursion (empty = unconstrained call).
+using Constraints = std::map<std::uint32_t, std::vector<std::uint32_t>>;
+
+struct Workspace {
+  std::vector<std::vector<std::uint32_t>> adjacency;
+  std::vector<std::uint32_t> level;
+  /// digits[node][i-1] = a_i (assigned bottom-up during recursion).
+  std::vector<std::vector<std::uint32_t>> digits;
+  /// Inferred arities; 0 = not yet discovered.
+  std::vector<std::uint32_t> m;  // index k-1 holds m_k
+  std::vector<std::uint32_t> w;  // index k-1 holds w_k
+  /// Membership stamps for component splitting (monotone counter).
+  std::vector<std::uint64_t> stamp;
+  std::uint64_t stamp_counter = 0;
+  std::string error;
+
+  bool fail(const std::string& message) {
+    if (error.empty()) error = message;
+    return false;
+  }
+
+  bool set_or_check(std::vector<std::uint32_t>& arity, std::uint32_t k,
+                    std::uint64_t value, const char* what) {
+    if (value == 0 || value > 0xffffffffULL) {
+      return fail(std::string("inconsistent ") + what + " arity");
+    }
+    auto& slot = arity[k - 1];
+    if (slot == 0) {
+      slot = static_cast<std::uint32_t>(value);
+      return true;
+    }
+    if (slot != value) {
+      std::ostringstream oss;
+      oss << what << "_" << k << " differs between sibling subtrees ("
+          << slot << " vs " << value << ")";
+      return fail(oss.str());
+    }
+    return true;
+  }
+};
+
+/// Labels one height-k component (nodes at levels 0..k): assigns digit
+/// positions 1..k of every member and infers m_k / w_k.  `constraints`,
+/// when non-empty, prescribes digits 1..k for every level-k top of this
+/// component (the parent recursion's alignment requirement).
+bool label_component(Workspace& ws, const std::vector<std::uint32_t>& nodes,
+                     std::uint32_t k, const Constraints& constraints) {
+  if (k == 0) {
+    if (nodes.size() != 1 || ws.level[nodes[0]] != 0) {
+      return ws.fail("height-0 component is not a single host");
+    }
+    return true;  // empty digit constraints are trivially satisfied
+  }
+
+  std::vector<std::uint32_t> tops;
+  std::vector<std::uint32_t> rest;
+  for (const auto node : nodes) {
+    (ws.level[node] == k ? tops : rest).push_back(node);
+  }
+  if (tops.empty()) return ws.fail("component missing its top switches");
+  if (rest.empty()) return ws.fail("component has switches but no subtree");
+  if (!constraints.empty()) {
+    for (const auto top : tops) {
+      if (!constraints.contains(top)) {
+        return ws.fail("top switch missing an alignment constraint");
+      }
+    }
+  }
+
+  // Split `rest` into connected components (the m_k copies).
+  const std::uint64_t member_stamp = ++ws.stamp_counter;
+  for (const auto node : rest) ws.stamp[node] = member_stamp;
+  std::vector<std::vector<std::uint32_t>> copies;
+  std::vector<std::uint64_t> copy_of(ws.level.size(), 0);
+  for (const auto seed : rest) {
+    if (copy_of[seed] != 0) continue;
+    copies.emplace_back();
+    auto& copy = copies.back();
+    const std::uint64_t id = copies.size();
+    std::deque<std::uint32_t> frontier{seed};
+    copy_of[seed] = id;
+    while (!frontier.empty()) {
+      const auto node = frontier.front();
+      frontier.pop_front();
+      copy.push_back(node);
+      for (const auto next : ws.adjacency[node]) {
+        if (ws.stamp[next] != member_stamp || copy_of[next] != 0) continue;
+        copy_of[next] = id;
+        frontier.push_back(next);
+      }
+    }
+  }
+
+  if (!ws.set_or_check(ws.m, k, copies.size(), "m")) return false;
+  for (std::size_t c = 1; c < copies.size(); ++c) {
+    if (copies[c].size() != copies[0].size()) {
+      return ws.fail("subtree copies differ in size");
+    }
+  }
+  // The copy index is a free m-digit even under constraints (permuting
+  // copies is an automorphism that fixes all w-digits).
+  for (std::size_t c = 0; c < copies.size(); ++c) {
+    for (const auto node : copies[c]) {
+      ws.digits[node][k - 1] = static_cast<std::uint32_t>(c);
+    }
+  }
+
+  // Wiring sanity common to both modes: every top reaches each copy
+  // exactly once through level-(k-1) sub-tops.
+  std::vector<std::vector<std::uint32_t>> child_in_copy(
+      tops.size(), std::vector<std::uint32_t>(copies.size()));
+  for (std::size_t t = 0; t < tops.size(); ++t) {
+    std::vector<bool> seen(copies.size(), false);
+    std::size_t children = 0;
+    for (const auto neighbor : ws.adjacency[tops[t]]) {
+      // Neighbors one level up are this top's own parents (handled by the
+      // enclosing recursion); only downward neighbors are children here.
+      if (ws.level[neighbor] != k - 1) continue;
+      if (ws.stamp[neighbor] != member_stamp) {
+        return ws.fail("top switch wired outside its component");
+      }
+      const auto c = static_cast<std::size_t>(copy_of[neighbor] - 1);
+      if (seen[c]) return ws.fail("top switch reaches a copy twice");
+      seen[c] = true;
+      child_in_copy[t][c] = neighbor;
+      ++children;
+    }
+    if (children != copies.size()) {
+      return ws.fail("top switch down-degree != copy count");
+    }
+  }
+
+  // Group tops into parallel bundles: tops are parallel iff they share
+  // their child in EVERY copy (in a true XGFT, the w_k switches over
+  // sub-top rank x).  Verified by keying on the full child tuple.
+  std::map<std::vector<std::uint32_t>, std::vector<std::size_t>> bundles;
+  for (std::size_t t = 0; t < tops.size(); ++t) {
+    bundles[child_in_copy[t]].push_back(t);
+  }
+  const std::size_t bundle_size = bundles.begin()->second.size();
+  for (const auto& [children, members] : bundles) {
+    if (members.size() != bundle_size) {
+      return ws.fail("parallel top-switch bundles differ in size");
+    }
+  }
+  if (!ws.set_or_check(ws.w, k, bundle_size, "w")) return false;
+  const std::uint32_t w_k = ws.w[k - 1];
+
+  // Expected number of bundles: one per sub-top rank, prod_{i<k} w_i --
+  // but w_1..w_{k-1} may be undiscovered in unconstrained mode; the count
+  // is re-verified by the final isomorphism check, so here we only need
+  // each copy's sub-top set covered exactly once per bundle, which the
+  // recursion below enforces through rank constraints.
+
+  if (constraints.empty()) {
+    // Free mode: label copy 0 first, then read each bundle's rank off its
+    // copy-0 child and propagate that rank into the other copies.
+    if (!label_component(ws, copies[0], k - 1, {})) return false;
+    // Assign digits to tops: positions 1..k-1 from the copy-0 child,
+    // position k by enumeration within the bundle.
+    std::set<std::vector<std::uint32_t>> ranks_seen;
+    for (const auto& [children, members] : bundles) {
+      const std::uint32_t sample = children[0];
+      std::vector<std::uint32_t> rank_digits(
+          ws.digits[sample].begin(),
+          ws.digits[sample].begin() + (k - 1));
+      if (!ranks_seen.insert(rank_digits).second) {
+        return ws.fail("two top-switch bundles share a sub-top rank");
+      }
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        const auto top = tops[members[j]];
+        for (std::uint32_t i = 1; i < k; ++i) {
+          ws.digits[top][i - 1] = rank_digits[i - 1];
+        }
+        ws.digits[top][k - 1] = static_cast<std::uint32_t>(j);
+      }
+    }
+    // Propagate: in copy c, the bundle's child must take the copy-0
+    // child's rank.
+    for (std::size_t c = 1; c < copies.size(); ++c) {
+      Constraints sub;
+      for (const auto& [children, members] : bundles) {
+        std::vector<std::uint32_t> rank_digits(
+            ws.digits[children[0]].begin(),
+            ws.digits[children[0]].begin() + (k - 1));
+        auto [it, inserted] = sub.emplace(children[c], rank_digits);
+        if (!inserted && it->second != rank_digits) {
+          return ws.fail("conflicting sub-top alignment");
+        }
+      }
+      if (!label_component(ws, copies[c], k - 1, sub)) return false;
+    }
+    return true;
+  }
+
+  // Constrained mode: tops' digits 1..k are prescribed.  Bundles must be
+  // exactly the groups of equal prescribed rank, with the prescribed j
+  // digits forming a permutation of [0, w_k); the prescribed rank becomes
+  // every copy's sub-top constraint.
+  for (const auto& [children, members] : bundles) {
+    std::vector<std::uint32_t> rank_digits;
+    std::vector<bool> j_used(w_k, false);
+    for (std::size_t idx = 0; idx < members.size(); ++idx) {
+      const auto top = tops[members[idx]];
+      const auto& want = constraints.at(top);
+      if (want.size() != k) {
+        return ws.fail("malformed alignment constraint");
+      }
+      std::vector<std::uint32_t> rank(want.begin(), want.end() - 1);
+      if (idx == 0) {
+        rank_digits = rank;
+      } else if (rank != rank_digits) {
+        return ws.fail("bundle members prescribed different ranks");
+      }
+      const std::uint32_t j = want.back();
+      if (j >= w_k || j_used[j]) {
+        return ws.fail("prescribed top digits are not a permutation");
+      }
+      j_used[j] = true;
+      for (std::uint32_t i = 1; i <= k; ++i) {
+        ws.digits[top][i - 1] = want[i - 1];
+      }
+    }
+  }
+  for (std::size_t c = 0; c < copies.size(); ++c) {
+    Constraints sub;
+    for (const auto& [children, members] : bundles) {
+      const auto top = tops[members[0]];
+      std::vector<std::uint32_t> rank_digits(
+          ws.digits[top].begin(), ws.digits[top].begin() + (k - 1));
+      auto [it, inserted] = sub.emplace(children[c], rank_digits);
+      if (!inserted && it->second != rank_digits) {
+        return ws.fail("conflicting sub-top alignment");
+      }
+    }
+    if (!label_component(ws, copies[c], k - 1, sub)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RecognitionResult recognize_xgft(const RawFabric& fabric) {
+  RecognitionResult result;
+  auto fail = [&](const std::string& message) {
+    result.ok = false;
+    result.error = message;
+    return result;
+  };
+
+  if (fabric.num_nodes == 0) return fail("empty fabric");
+  if (fabric.hosts.empty()) return fail("no hosts declared");
+
+  // Adjacency with validation.
+  Workspace ws;
+  ws.adjacency.resize(fabric.num_nodes);
+  {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+    for (const auto& [u, v] : fabric.cables) {
+      if (u >= fabric.num_nodes || v >= fabric.num_nodes) {
+        return fail("cable references unknown node");
+      }
+      if (u == v) return fail("self-loop cable");
+      const auto key = std::minmax(u, v);
+      if (!seen.insert({key.first, key.second}).second) {
+        return fail("duplicate cable");
+      }
+      ws.adjacency[u].push_back(v);
+      ws.adjacency[v].push_back(u);
+    }
+  }
+
+  // Multi-source BFS levels from the hosts.
+  constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
+  ws.level.assign(fabric.num_nodes, kUnset);
+  {
+    std::set<std::uint32_t> host_set(fabric.hosts.begin(),
+                                     fabric.hosts.end());
+    if (host_set.size() != fabric.hosts.size()) {
+      return fail("duplicate host declaration");
+    }
+    std::deque<std::uint32_t> frontier;
+    for (const auto host : fabric.hosts) {
+      if (host >= fabric.num_nodes) return fail("unknown host id");
+      ws.level[host] = 0;
+      frontier.push_back(host);
+    }
+    while (!frontier.empty()) {
+      const auto node = frontier.front();
+      frontier.pop_front();
+      for (const auto next : ws.adjacency[node]) {
+        if (ws.level[next] != kUnset) continue;
+        ws.level[next] = ws.level[node] + 1;
+        frontier.push_back(next);
+      }
+    }
+    for (std::uint32_t node = 0; node < fabric.num_nodes; ++node) {
+      if (ws.level[node] == kUnset) return fail("disconnected node");
+      if (ws.level[node] == 0 && !host_set.contains(node)) {
+        return fail("non-host node at level 0");
+      }
+    }
+  }
+  for (const auto& [u, v] : fabric.cables) {
+    const auto lu = ws.level[u];
+    const auto lv = ws.level[v];
+    if (lu + 1 != lv && lv + 1 != lu) {
+      return fail("cable joins non-adjacent levels");
+    }
+  }
+
+  std::uint32_t height = 0;
+  for (const auto level : ws.level) height = std::max(height, level);
+  if (height == 0) return fail("fabric has no switches");
+
+  ws.digits.assign(fabric.num_nodes,
+                   std::vector<std::uint32_t>(height, 0));
+  ws.m.assign(height, 0);
+  ws.w.assign(height, 0);
+  ws.stamp.assign(fabric.num_nodes, 0);
+
+  std::vector<std::uint32_t> all(fabric.num_nodes);
+  for (std::uint32_t node = 0; node < fabric.num_nodes; ++node) {
+    all[node] = node;
+  }
+  if (!label_component(ws, all, height, {})) return fail(ws.error);
+
+  topo::XgftSpec spec{ws.m, ws.w};
+  try {
+    spec.validate();
+  } catch (const std::exception& ex) {
+    return fail(std::string("inferred spec invalid: ") + ex.what());
+  }
+
+  // Independent verification: map every raw node through its label into a
+  // freshly built Xgft and check the edge sets coincide.
+  const topo::Xgft xgft{spec};
+  if (xgft.num_nodes() != fabric.num_nodes) {
+    return fail("node count does not match the inferred spec");
+  }
+  if (xgft.num_cables() != fabric.cables.size()) {
+    return fail("cable count does not match the inferred spec");
+  }
+  result.canonical.assign(fabric.num_nodes, topo::kInvalidNode);
+  std::vector<bool> used(static_cast<std::size_t>(xgft.num_nodes()), false);
+  for (std::uint32_t node = 0; node < fabric.num_nodes; ++node) {
+    const topo::Label label{ws.level[node], ws.digits[node]};
+    for (std::size_t i = 1; i <= height; ++i) {
+      if (label.digits[i - 1] >=
+          topo::digit_radix(spec, label.level, i)) {
+        return fail("assigned digit exceeds its radix");
+      }
+    }
+    const topo::NodeId mapped = xgft.node_of(label);
+    if (used[mapped]) return fail("labeling is not injective");
+    used[mapped] = true;
+    result.canonical[node] = mapped;
+  }
+  for (const auto& [u, v] : fabric.cables) {
+    const auto [low_raw, high_raw] =
+        ws.level[u] < ws.level[v] ? std::pair{u, v} : std::pair{v, u};
+    const topo::NodeId low = result.canonical[low_raw];
+    const topo::NodeId high = result.canonical[high_raw];
+    bool found = false;
+    for (std::uint32_t j = 0; j < xgft.num_parents(low); ++j) {
+      found |= (xgft.parent(low, j) == high);
+    }
+    if (!found) return fail("cable has no counterpart in the inferred XGFT");
+  }
+
+  result.ok = true;
+  result.spec = std::move(spec);
+  return result;
+}
+
+RawFabric export_fabric(const topo::Xgft& xgft, util::Rng* shuffle) {
+  RawFabric fabric;
+  fabric.num_nodes = static_cast<std::uint32_t>(xgft.num_nodes());
+  std::vector<std::uint32_t> rename(fabric.num_nodes);
+  for (std::uint32_t node = 0; node < fabric.num_nodes; ++node) {
+    rename[node] = node;
+  }
+  if (shuffle != nullptr) shuffle->shuffle(rename);
+
+  for (std::uint64_t c = 0; c < xgft.num_cables(); ++c) {
+    const topo::Link& link = xgft.link(static_cast<topo::LinkId>(c));
+    std::uint32_t u = rename[link.src];
+    std::uint32_t v = rename[link.dst];
+    if (shuffle != nullptr && shuffle->below(2) == 1) std::swap(u, v);
+    fabric.cables.emplace_back(u, v);
+  }
+  if (shuffle != nullptr) shuffle->shuffle(fabric.cables);
+
+  for (std::uint64_t h = 0; h < xgft.num_hosts(); ++h) {
+    fabric.hosts.push_back(rename[xgft.host(h)]);
+  }
+  if (shuffle != nullptr) shuffle->shuffle(fabric.hosts);
+  return fabric;
+}
+
+}  // namespace lmpr::discovery

@@ -1,0 +1,61 @@
+// XGFT topology recognition -- the subnet-manager side of the story.
+//
+// A fabric manager (e.g. OpenSM's fat-tree routing engine) sees only a
+// cable list and which endpoints are hosts; to apply XGFT routing it must
+// first RECOGNIZE the fabric as an XGFT(h; m1..mh; w1..wh) and assign
+// every switch its (level, a_h..a_1) label.  This module implements that
+// recognition:
+//
+//   1. level assignment  -- multi-source BFS from the hosts; every cable
+//      must join adjacent levels;
+//   2. recursive decomposition -- removing the level-k top switches of a
+//      height-k component must leave m_k identical height-(k-1) XGFTs
+//      (the copies), and each top switch must connect to the SAME-ranked
+//      sub-top switch in every copy (the XGFT recursion of Section 3.1);
+//   3. arity inference   -- m_k = copy count, w_k = parallel-switch group
+//      size, checked for consistency across sibling components;
+//   4. verification      -- the inferred labeling is checked edge-by-edge
+//      against a freshly constructed topo::Xgft, so a successful result
+//      is a PROVEN isomorphism, not a guess.
+//
+// recognize_xgft() is total: malformed inputs produce ok = false with a
+// diagnostic instead of UB or exceptions (fabric descriptions come from
+// outside the process).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::discovery {
+
+/// A fabric as a subnet manager sees it: opaque node ids, undirected
+/// cables, and the set of host endpoints.
+struct RawFabric {
+  std::uint32_t num_nodes = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cables;
+  std::vector<std::uint32_t> hosts;
+};
+
+struct RecognitionResult {
+  bool ok = false;
+  std::string error;          ///< diagnostic when !ok
+  topo::XgftSpec spec;        ///< inferred (h; m; w)
+  /// canonical[raw] = node id in topo::Xgft{spec} (labels included via
+  /// Xgft::label_of); only meaningful when ok.
+  std::vector<topo::NodeId> canonical;
+};
+
+RecognitionResult recognize_xgft(const RawFabric& fabric);
+
+/// Exports a topology as a RawFabric, optionally shuffling node ids (and
+/// always shuffling cable order) -- the round-trip test harness for the
+/// recognizer.
+RawFabric export_fabric(const topo::Xgft& xgft, util::Rng* shuffle = nullptr);
+
+}  // namespace lmpr::discovery

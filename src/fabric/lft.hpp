@@ -1,0 +1,114 @@
+// InfiniBand-style destination-based forwarding for XGFTs: LID blocks and
+// linear forwarding tables (LFTs), the mechanism that makes (limited)
+// multi-path routing deployable on real fabrics (the paper's Section 1
+// motivation; Lin et al.'s multiple-LID scheme; OpenSM's fat-tree engine).
+//
+// Model.  Every destination host d owns a block of 2^LMC consecutive LIDs
+// starting at lid_of(d, 0); LID lid_of(d, j) addresses "path variant j".
+// A switch forwards by DLID alone: the variant digit c_l(j) perturbs the
+// d-mod-k upward choice at level l,
+//
+//     up_port_l(d, j) = (dmodk_l(d) + c_l(j)) mod w_{l+1},
+//
+// and the downward leg is the unique descent to d.  Because the rule
+// depends only on (d, j, level), the induced routing is destination-based
+// by construction -- every switch can hold it as a plain DLID-indexed
+// table (materializable via table_for()).
+//
+// Two LID layouts decide which level the variant digit j perturbs first:
+//
+//   kDisjointLayout -- j decomposes bottom-up (radices w_1, w_2, ..):
+//     variant 1 already forks at the lowest level; the first K variants
+//     realize the paper's DISJOINT heuristic for every SD pair.
+//   kShiftLayout -- j decomposes top-down (radices w_h, w_{h-1}, ..):
+//     variants first differ at the top level, the shift-1 spirit.  Pairs
+//     whose NCA sits below the top need LARGE j to see any path
+//     diversity -- shift-style multipath is strictly more expensive to
+//     realize with LIDs (quantified by coverage()).
+//
+// This layer deliberately reuses nothing from route::select_path_indices:
+// it derives paths from forwarding state, so the test suite can check the
+// two implementations against each other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path_index.hpp"
+#include "topology/xgft.hpp"
+
+namespace lmpr::fabric {
+
+enum class LidLayout {
+  kDisjointLayout,
+  kShiftLayout,
+};
+
+/// A fabric-wide LID assignment + the (functional) forwarding tables it
+/// induces.  Forwarding queries are O(h); explicit per-switch tables can
+/// be materialized for inspection on small fabrics.
+class Lft {
+ public:
+  /// `k_paths` is the path limit the fabric must support; the LID block
+  /// size is 2^LMC with LMC = ceil(log2(min(k_paths, max paths))), as on
+  /// InfiniBand.
+  Lft(const topo::Xgft& xgft, std::uint64_t k_paths, LidLayout layout);
+
+  const topo::Xgft& xgft() const noexcept { return *xgft_; }
+  LidLayout layout() const noexcept { return layout_; }
+  std::uint32_t lmc() const noexcept { return lmc_; }
+  /// LIDs per destination (2^LMC).
+  std::uint32_t block() const noexcept { return 1u << lmc_; }
+
+  /// LID of destination d, path variant j (j < block()).  LID 0 is
+  /// reserved (as on InfiniBand); blocks are laid out contiguously.
+  std::uint32_t lid_of(std::uint64_t dst, std::uint32_t j) const;
+  /// Inverse of lid_of.
+  std::uint64_t dst_of(std::uint32_t lid) const;
+  std::uint32_t variant_of(std::uint32_t lid) const;
+  /// One past the largest assigned LID.
+  std::uint32_t lid_end() const noexcept;
+
+  /// The directed link on which `node` forwards a packet addressed to
+  /// `lid`; kInvalidLink when node is the destination host itself.
+  topo::LinkId next_link(topo::NodeId node, std::uint32_t lid) const;
+
+  /// The variant digit applied at level l (0-based: the choice made when
+  /// moving from level l to l+1) for path variant j.
+  std::uint32_t variant_digit(std::uint32_t level, std::uint32_t j) const;
+
+  /// Path index (in the route::PathIndex numbering for the pair's NCA
+  /// level) that variant j induces between s and d.  walk() follows
+  /// exactly materialize_path(s, d, induced_path_index(s, d, j)).
+  std::uint64_t induced_path_index(std::uint64_t src, std::uint64_t dst,
+                                   std::uint32_t j) const;
+
+  struct WalkResult {
+    bool delivered = false;
+    route::Path path;  ///< hop-by-hop record of the forwarding decisions
+  };
+  /// Follows the forwarding tables from src toward lid_of(dst, j); gives
+  /// up (delivered = false) after 4h+2 hops, which cannot happen on a
+  /// well-formed fabric.
+  WalkResult walk(std::uint64_t src, std::uint64_t dst,
+                  std::uint32_t j) const;
+
+  /// Number of DISTINCT paths variants j = 0..block-1 induce for (s, d):
+  /// the multipath degree this LID assignment actually delivers to the
+  /// pair.  For the disjoint layout this is min(block, X); for the shift
+  /// layout it degrades for pairs with a low NCA.
+  std::uint64_t coverage(std::uint64_t src, std::uint64_t dst) const;
+
+  /// Explicit DLID-indexed forwarding table of one node: entry [lid] is
+  /// the LinkId to forward on (kInvalidLink for unassigned LIDs and for
+  /// the node's own host LIDs).  Size = lid_end(); intended for small
+  /// fabrics and debugging.
+  std::vector<topo::LinkId> table_for(topo::NodeId node) const;
+
+ private:
+  const topo::Xgft* xgft_;
+  LidLayout layout_;
+  std::uint32_t lmc_ = 0;
+};
+
+}  // namespace lmpr::fabric

@@ -1,0 +1,100 @@
+// Flit-level simulator configuration (paper Section 5, flit experiments).
+//
+// The simulator models virtual cut-through switching with credit-based
+// flow control and a single virtual channel, "to closely resemble
+// InfiniBand networks":
+//   * links carry one flit per cycle (capacity 1.0 == 1 flit/cycle/host);
+//   * a packet may begin its next hop as soon as its head flit has
+//     arrived AND the downstream input buffer has space for the whole
+//     packet (the VCT condition); otherwise it blocks in place, which is
+//     what produces tree saturation beyond the saturation point;
+//   * message arrivals per host follow a Poisson process whose mean is
+//     set by the offered load; each message is a fixed number of packets.
+//
+// The paper's packet/message/buffer sizes were lost to OCR damage; the
+// defaults below are BookSim-era conventions and are fully configurable
+// (DESIGN.md "Parameter reconstruction").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lmpr::flit {
+
+/// How a multi-path route table is exercised by traffic.
+enum class PathSelection {
+  kRandomPerMessage,  ///< one uniform pick per message (paper's model)
+  kRandomPerPacket,   ///< one uniform pick per packet (ablation)
+  kRoundRobinPerMessage,  ///< deterministic rotation per SD pair (ablation)
+};
+
+/// Routing discipline inside the fabric.
+enum class RoutingMode {
+  /// Packets follow paths drawn from the RouteTable (the paper's
+  /// traffic-oblivious model).
+  kOblivious,
+  /// At each switch on the upward leg the packet takes the upward port
+  /// with the most downstream credits (ties broken round-robin); the
+  /// downward leg is the unique descent.  The credit-based adaptive
+  /// baseline of the paper's related work (Gomez et al., IPDPS'07).
+  kAdaptive,
+};
+
+/// How each message's destination is chosen.
+///
+/// The paper's flit experiments use "uniform random traffic, where each
+/// source sends traffic to a randomly selected destination node such that
+/// each node in the network has an equal probability of being the
+/// destination".  Reproduction note (DESIGN.md): only the FIXED reading --
+/// one uniformly random destination per source, held for the whole run,
+/// i.e. a random permutation -- yields the paper's Table 1 shape, because
+/// with a fresh destination per message every deterministic scheme is
+/// statically balanced and multi-path has nothing to win.  Persistent
+/// flows are what limited multi-path routing exists to spread.
+enum class DestinationMode {
+  kFixedPermutation,  ///< random permutation drawn at t=0 (paper's Table 1)
+  kPerMessage,        ///< fresh uniform destination per message (ablation)
+  kHotspot,           ///< hotspot_fraction of messages hit hotspot_target,
+                      ///< the rest uniform (classic endpoint congestion)
+};
+
+struct SimConfig {
+  std::uint32_t packet_flits = 16;     ///< flits per packet
+  std::uint32_t message_packets = 4;   ///< packets per message
+  std::uint32_t buffer_packets = 8;    ///< input/output buffer capacity
+  /// Virtual channels per link; the paper evaluates with 1.  Each VC has
+  /// its own buffers and credits; packets keep their VC along the path
+  /// (InfiniBand SL->VL style).
+  std::uint32_t num_vcs = 1;
+
+  std::uint64_t warmup_cycles = 10'000;
+  std::uint64_t measure_cycles = 30'000;
+  /// Extra cycles after the measurement window so in-flight measured
+  /// messages can complete (their delays are recorded on delivery).
+  std::uint64_t drain_cycles = 10'000;
+
+  /// Offered load in flits/cycle/host, in (0, 1].
+  double offered_load = 0.5;
+
+  std::uint64_t seed = 42;
+  RoutingMode routing_mode = RoutingMode::kOblivious;
+  PathSelection path_selection = PathSelection::kRandomPerMessage;
+  DestinationMode destination_mode = DestinationMode::kFixedPermutation;
+
+  /// kHotspot parameters.
+  std::uint64_t hotspot_target = 0;
+  double hotspot_fraction = 0.2;
+
+  /// Optional explicit pairing for kFixedPermutation (fixed_destinations[s]
+  /// is host s's destination; s itself silences the source).  When empty, a
+  /// random permutation is drawn from `seed`.  Letting the caller pin the
+  /// pairing makes flit runs comparable across heuristics and lets the
+  /// flow-level analysis see the identical traffic matrix.
+  std::vector<std::uint64_t> fixed_destinations;
+
+  std::uint32_t message_flits() const noexcept {
+    return packet_flits * message_packets;
+  }
+};
+
+}  // namespace lmpr::flit

@@ -1,0 +1,77 @@
+// Measurement results of one flit-level simulation run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/quantiles.hpp"
+#include "util/stats.hpp"
+
+namespace lmpr::flit {
+
+struct SimMetrics {
+  /// Offered load the run was configured with (flits/cycle/host).
+  double offered_load = 0.0;
+
+  /// Flits delivered inside the measurement window divided by
+  /// (measure_cycles * hosts): normalized accepted throughput.
+  double throughput = 0.0;
+
+  /// Message delay statistics (cycles, generation -> last flit delivered)
+  /// over messages generated inside the measurement window and delivered
+  /// by the end of the run (including drain).
+  util::OnlineStats message_delay;
+
+  /// Packet delay statistics (cycles), same accounting.
+  util::OnlineStats packet_delay;
+
+  /// Message-delay distribution (reservoir-sampled); use
+  /// message_delay_dist.median() / .p99() for percentiles.
+  util::ReservoirQuantiles message_delay_dist;
+
+  std::uint64_t messages_generated = 0;  ///< in the measurement window
+  std::uint64_t messages_delivered = 0;  ///< of those, delivered by the end
+  std::uint64_t flits_delivered = 0;     ///< inside the window (all flits)
+
+  /// Packet deliveries (any window) and how many arrived behind an
+  /// already-delivered later packet of the same (src, dst) flow.
+  /// Multi-path routing trades bandwidth for reordering; per-message path
+  /// selection keeps a message's packets in order but messages may still
+  /// interleave.  InfiniBand requires in-order delivery per path, so this
+  /// is the resequencing burden a multi-path receiver would carry.
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_out_of_order = 0;
+
+  /// Packets still queued or in flight when the simulation ended
+  /// (conservation check: generated = delivered + outstanding).
+  std::uint64_t packets_outstanding = 0;
+  std::uint64_t packets_generated = 0;
+
+  double out_of_order_fraction() const noexcept {
+    return packets_delivered == 0
+               ? 0.0
+               : static_cast<double>(packets_out_of_order) /
+                     static_cast<double>(packets_delivered);
+  }
+
+  /// Mean and max utilization (flits per cycle, i.e. fraction of
+  /// capacity) over the measurement window, per cable level and
+  /// direction: [level] indexes the lower endpoint's level.  Lets the
+  /// flow-level static prediction be cross-checked against what the flit
+  /// simulator actually transmitted.
+  std::vector<double> mean_up_utilization;
+  std::vector<double> mean_down_utilization;
+  std::vector<double> max_up_utilization;
+  std::vector<double> max_down_utilization;
+
+  /// messages_delivered / messages_generated; < 1 signals saturation
+  /// (source queues growing without bound).
+  double delivered_fraction() const noexcept {
+    return messages_generated == 0
+               ? 1.0
+               : static_cast<double>(messages_delivered) /
+                     static_cast<double>(messages_generated);
+  }
+};
+
+}  // namespace lmpr::flit

@@ -1,0 +1,398 @@
+#include "flit/network.hpp"
+
+#include "util/contracts.hpp"
+
+namespace lmpr::flit {
+
+Network::Network(const route::RouteTable& table, const SimConfig& config)
+    : table_(&table),
+      xgft_(&table.xgft()),
+      config_(config),
+      num_hosts_(xgft_->num_hosts()) {
+  LMPR_EXPECTS(config_.packet_flits >= 1);
+  LMPR_EXPECTS(config_.message_packets >= 1);
+  LMPR_EXPECTS(config_.buffer_packets >= 1);
+  LMPR_EXPECTS(config_.num_vcs >= 1);
+  LMPR_EXPECTS(config_.offered_load > 0.0 && config_.offered_load <= 1.0);
+  LMPR_EXPECTS(num_hosts_ >= 2);
+
+  const std::size_t channels =
+      static_cast<std::size_t>(xgft_->num_links()) * config_.num_vcs;
+  inputs_.resize(channels);
+  outputs_.resize(channels);
+  for (OutputChannel& out : outputs_) out.credits = config_.buffer_packets;
+  links_.resize(static_cast<std::size_t>(xgft_->num_links()));
+
+  source_queue_.resize(static_cast<std::size_t>(num_hosts_));
+  next_arrival_.resize(static_cast<std::size_t>(num_hosts_));
+  rr_counter_.assign(static_cast<std::size_t>(num_hosts_), 0);
+  util::Rng seeder{config_.seed};
+  host_rng_.reserve(static_cast<std::size_t>(num_hosts_));
+  const double mean_interval =
+      static_cast<double>(config_.message_flits()) / config_.offered_load;
+  for (std::uint64_t h = 0; h < num_hosts_; ++h) {
+    host_rng_.push_back(seeder.fork());
+    next_arrival_[static_cast<std::size_t>(h)] =
+        host_rng_.back().exponential(mean_interval);
+  }
+  if (config_.destination_mode == DestinationMode::kFixedPermutation) {
+    if (!config_.fixed_destinations.empty()) {
+      LMPR_EXPECTS(config_.fixed_destinations.size() == num_hosts_);
+      fixed_dst_ = config_.fixed_destinations;
+      for (const auto dst : fixed_dst_) LMPR_EXPECTS(dst < num_hosts_);
+    } else {
+      const auto perm =
+          seeder.permutation(static_cast<std::size_t>(num_hosts_));
+      fixed_dst_.assign(perm.begin(), perm.end());
+    }
+  }
+
+  calendar_.resize(config_.packet_flits + 4);
+  metrics_.message_delay_dist =
+      util::ReservoirQuantiles(4096, config_.seed ^ 0xd15707ULL);
+
+  const std::size_t flows =
+      static_cast<std::size_t>(num_hosts_) * static_cast<std::size_t>(num_hosts_);
+  flow_next_seq_.assign(flows, 0);
+  flow_max_delivered_.assign(flows, 0);
+  link_flits_.assign(static_cast<std::size_t>(xgft_->num_links()), 0);
+}
+
+Network::PacketId Network::alloc_packet() {
+  if (free_packet_ != kNone) {
+    const PacketId id = free_packet_;
+    free_packet_ = packets_[id].next_free;
+    return id;
+  }
+  packets_.emplace_back();
+  return static_cast<PacketId>(packets_.size() - 1);
+}
+
+void Network::free_packet(PacketId id) {
+  packets_[id].next_free = free_packet_;
+  free_packet_ = id;
+}
+
+Network::MessageId Network::alloc_message() {
+  if (free_message_ != static_cast<MessageId>(-1)) {
+    const MessageId id = free_message_;
+    free_message_ = messages_[id].next_free;
+    return id;
+  }
+  messages_.emplace_back();
+  return static_cast<MessageId>(messages_.size() - 1);
+}
+
+void Network::free_message(MessageId id) {
+  messages_[id].next_free = free_message_;
+  free_message_ = id;
+}
+
+void Network::schedule(Cycle when, Event event) {
+  LMPR_ASSERT(when > current_cycle_);
+  LMPR_ASSERT(when - current_cycle_ < calendar_.size());
+  calendar_[static_cast<std::size_t>(when % calendar_.size())].push_back(
+      event);
+}
+
+void Network::process_events(Cycle now) {
+  auto& bucket = calendar_[static_cast<std::size_t>(now % calendar_.size())];
+  for (const Event& event : bucket) {
+    switch (event.kind) {
+      case EventKind::kCreditReturn:
+        ++outputs_[event.arg].credits;
+        break;
+      case EventKind::kOutputSlotFree:
+        LMPR_ASSERT(outputs_[event.arg].occupancy > 0);
+        --outputs_[event.arg].occupancy;
+        break;
+      case EventKind::kDeliver:
+        deliver(event.arg, now);
+        break;
+    }
+  }
+  bucket.clear();
+}
+
+void Network::generate_message(std::uint64_t host, Cycle now) {
+  util::Rng& rng = host_rng_[static_cast<std::size_t>(host)];
+  std::uint64_t dst;
+  if (config_.destination_mode == DestinationMode::kFixedPermutation) {
+    dst = fixed_dst_[static_cast<std::size_t>(host)];
+    if (dst == host) return;  // permutation fixed point: silent source
+  } else if (config_.destination_mode == DestinationMode::kHotspot &&
+             host != config_.hotspot_target &&
+             rng.uniform01() < config_.hotspot_fraction) {
+    dst = config_.hotspot_target;
+  } else {
+    // Fresh uniform random destination, excluding self.
+    dst = rng.below(num_hosts_ - 1);
+    if (dst >= host) ++dst;
+  }
+
+  const MessageId msg_id = alloc_message();
+  Message& msg = messages_[msg_id];
+  msg.gen_cycle = now;
+  msg.remaining = config_.message_packets;
+  msg.measured = in_measure_window(now);
+  if (msg.measured) ++metrics_.messages_generated;
+
+  const bool adaptive = config_.routing_mode == RoutingMode::kAdaptive;
+  const route::Path* message_path = nullptr;
+  if (!adaptive) {
+    if (config_.path_selection == PathSelection::kRandomPerMessage) {
+      message_path = &table_->pick(host, dst, rng);
+    } else if (config_.path_selection ==
+               PathSelection::kRoundRobinPerMessage) {
+      message_path = &table_->pick_round_robin(
+          host, dst, rr_counter_[static_cast<std::size_t>(host)]++);
+    }
+  }
+
+  for (std::uint32_t i = 0; i < config_.message_packets; ++i) {
+    const PacketId pkt_id = alloc_packet();
+    Packet& pkt = packets_[pkt_id];
+    if (adaptive) {
+      pkt.path = nullptr;
+    } else {
+      pkt.path = message_path != nullptr ? message_path
+                                         : &table_->pick(host, dst, rng);
+      LMPR_ASSERT(!pkt.path->links.empty());
+    }
+    pkt.dst = dst;
+    pkt.flow = host * num_hosts_ + dst;
+    pkt.seq = ++flow_next_seq_[static_cast<std::size_t>(pkt.flow)];
+    pkt.hop = 0;
+    pkt.vc = static_cast<std::uint32_t>(rng.below(config_.num_vcs));
+    pkt.head_arrival = now;
+    pkt.gen_cycle = now;
+    pkt.message = msg_id;
+    ++metrics_.packets_generated;
+    source_queue_[static_cast<std::size_t>(host)].push_back(pkt_id);
+  }
+}
+
+topo::LinkId Network::adaptive_uplink(topo::NodeId node, const Packet& packet,
+                                      Cycle now) const {
+  const std::uint32_t parents = xgft_->num_parents(node);
+  LMPR_ASSERT(parents > 0);
+  topo::LinkId best = topo::kInvalidLink;
+  std::uint64_t best_score = 0;
+  // Rotating tie-break keeps the choice fair across cycles.
+  for (std::uint32_t i = 0; i < parents; ++i) {
+    const std::uint32_t j =
+        static_cast<std::uint32_t>((i + now) % parents);
+    const topo::LinkId link = xgft_->up_link(node, j);
+    const OutputChannel& out = outputs_[channel(link, packet.vc)];
+    // Prefer downstream credit headroom, then free output slots, then an
+    // idle physical channel: 'least congested uplink first'.
+    const std::uint64_t score =
+        1 + out.credits * 4ull +
+        (config_.buffer_packets - out.occupancy) * 2ull +
+        (links_[link].busy_until <= now ? 1ull : 0ull);
+    if (score > best_score) {
+      best_score = score;
+      best = link;
+    }
+  }
+  return best;
+}
+
+topo::LinkId Network::route_output(topo::NodeId node, const Packet& packet,
+                                   Cycle now) const {
+  if (config_.routing_mode == RoutingMode::kOblivious) {
+    return packet.path->links[packet.hop];
+  }
+  if (xgft_->is_ancestor_of_host(node, packet.dst)) {
+    LMPR_ASSERT(xgft_->level_of(node) >= 1);  // hosts never route packets
+    return xgft_->down_link(node, xgft_->down_port_toward(node, packet.dst));
+  }
+  return adaptive_uplink(node, packet, now);
+}
+
+void Network::inject(Cycle now) {
+  for (std::uint64_t host = 0; host < num_hosts_; ++host) {
+    const auto slot = static_cast<std::size_t>(host);
+    while (next_arrival_[slot] <= static_cast<double>(now)) {
+      generate_message(host, now);
+      const double mean_interval =
+          static_cast<double>(config_.message_flits()) / config_.offered_load;
+      next_arrival_[slot] += host_rng_[slot].exponential(mean_interval);
+    }
+    // NIC moves at most one packet per cycle into an uplink output buffer.
+    auto& queue = source_queue_[slot];
+    if (queue.empty()) continue;
+    const PacketId pkt_id = queue.front();
+    Packet& pkt = packets_[pkt_id];
+    const topo::LinkId link =
+        config_.routing_mode == RoutingMode::kOblivious
+            ? pkt.path->links[0]
+            : adaptive_uplink(xgft_->host(host), pkt, now);
+    OutputChannel& out = outputs_[channel(link, pkt.vc)];
+    if (out.occupancy >= config_.buffer_packets) continue;
+    queue.pop_front();
+    pkt.head_arrival = now;
+    out.fifo.push_back(pkt_id);
+    ++out.occupancy;
+  }
+}
+
+void Network::crossbar(Cycle now) {
+  const std::size_t count = inputs_.size();
+  // Rotating start index gives long-run fairness across input channels.
+  const std::size_t offset = static_cast<std::size_t>(now % count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t idx = (i + offset) % count;
+    InputChannel& in = inputs_[idx];
+    if (in.fifo.empty()) continue;
+    const auto in_link =
+        static_cast<topo::LinkId>(idx / config_.num_vcs);
+    const topo::NodeId node = xgft_->link(in_link).dst;
+    // Buffered-crossbar input stage: ANY buffered packet whose head has
+    // arrived may be switched, not only the FIFO head.  At most one grant
+    // per input channel and per output link per cycle.
+    for (std::size_t pos = 0; pos < in.fifo.size(); ++pos) {
+      const PacketId pkt_id = in.fifo[pos];
+      Packet& pkt = packets_[pkt_id];
+      if (pkt.head_arrival > now) break;  // later packets arrive later
+      const topo::LinkId out_link = route_output(node, pkt, now);
+      OutputLink& link_state = links_[out_link];
+      if (link_state.last_grant == now) continue;  // one grant per output
+      OutputChannel& out = outputs_[channel(out_link, pkt.vc)];
+      if (out.occupancy >= config_.buffer_packets) continue;
+      in.fifo.erase(in.fifo.begin() + static_cast<std::ptrdiff_t>(pos));
+      out.fifo.push_back(pkt_id);
+      ++out.occupancy;
+      link_state.last_grant = now;
+      // The input slot clears once the tail flit has streamed through;
+      // only then does the upstream sender regain its credit.
+      const Cycle full_arrival = pkt.head_arrival + config_.packet_flits - 1;
+      const Cycle release = (full_arrival > now ? full_arrival : now) + 1;
+      schedule(release, Event{EventKind::kCreditReturn,
+                              static_cast<std::uint32_t>(idx)});
+      break;  // one grant per input channel per cycle
+    }
+  }
+}
+
+void Network::start_transmissions(Cycle now) {
+  for (std::size_t link_idx = 0; link_idx < links_.size(); ++link_idx) {
+    OutputLink& link_state = links_[link_idx];
+    if (link_state.busy_until > now) continue;
+    // Round-robin over VCs for the physical channel.
+    for (std::uint32_t v = 0; v < config_.num_vcs; ++v) {
+      const std::uint32_t vc =
+          (link_state.next_vc + v) % config_.num_vcs;
+      const ChannelId ch =
+          channel(static_cast<topo::LinkId>(link_idx), vc);
+      OutputChannel& out = outputs_[ch];
+      if (out.fifo.empty() || out.credits == 0) continue;
+      const PacketId pkt_id = out.fifo.front();
+      Packet& pkt = packets_[pkt_id];
+      if (pkt.head_arrival + 1 > now) continue;  // router pipeline latency
+      out.fifo.pop_front();
+      --out.credits;
+      if (in_measure_window(now)) {
+        // Attribute the whole packet's serialization to this cycle's
+        // window; edge effects at the window boundary are one packet.
+        link_flits_[link_idx] += config_.packet_flits;
+      }
+      link_state.busy_until = now + config_.packet_flits;
+      link_state.next_vc = (vc + 1) % config_.num_vcs;
+      schedule(link_state.busy_until, Event{EventKind::kOutputSlotFree, ch});
+      pkt.head_arrival = now + 1;
+      ++pkt.hop;
+      const topo::Link& link = xgft_->link(static_cast<topo::LinkId>(link_idx));
+      if (!link.up && xgft_->is_host(link.dst)) {
+        // Downstream is the destination host: the packet completes when
+        // its tail flit lands; the host input slot frees one cycle later.
+        LMPR_ASSERT(link.dst == xgft_->host(pkt.dst));
+        const Cycle done = now + config_.packet_flits;  // (now+1) + F - 1
+        schedule(done, Event{EventKind::kDeliver, pkt_id});
+        schedule(done + 1, Event{EventKind::kCreditReturn, ch});
+      } else {
+        inputs_[ch].fifo.push_back(pkt_id);
+      }
+      break;  // one packet per physical link per cycle
+    }
+  }
+}
+
+void Network::deliver(PacketId pkt_id, Cycle now) {
+  Packet& pkt = packets_[pkt_id];
+  if (in_measure_window(now)) {
+    metrics_.flits_delivered += config_.packet_flits;
+  }
+  ++metrics_.packets_delivered;
+  auto& max_seq = flow_max_delivered_[static_cast<std::size_t>(pkt.flow)];
+  if (pkt.seq < max_seq) {
+    ++metrics_.packets_out_of_order;
+  } else {
+    max_seq = pkt.seq;
+  }
+  Message& msg = messages_[pkt.message];
+  if (msg.measured) {
+    metrics_.packet_delay.add(static_cast<double>(now - pkt.gen_cycle));
+  }
+  LMPR_ASSERT(msg.remaining > 0);
+  if (--msg.remaining == 0) {
+    if (msg.measured) {
+      const double delay = static_cast<double>(now - msg.gen_cycle);
+      metrics_.message_delay.add(delay);
+      metrics_.message_delay_dist.add(delay);
+      ++metrics_.messages_delivered;
+    }
+    free_message(pkt.message);
+  }
+  free_packet(pkt_id);
+}
+
+SimMetrics Network::run() {
+  const Cycle total =
+      config_.warmup_cycles + config_.measure_cycles + config_.drain_cycles;
+  for (current_cycle_ = 0; current_cycle_ < total; ++current_cycle_) {
+    process_events(current_cycle_);
+    inject(current_cycle_);
+    crossbar(current_cycle_);
+    start_transmissions(current_cycle_);
+  }
+  metrics_.offered_load = config_.offered_load;
+  metrics_.packets_outstanding =
+      metrics_.packets_generated - metrics_.packets_delivered;
+  // Per-level utilization aggregation.
+  const std::uint32_t height = xgft_->height();
+  metrics_.mean_up_utilization.assign(height, 0.0);
+  metrics_.mean_down_utilization.assign(height, 0.0);
+  metrics_.max_up_utilization.assign(height, 0.0);
+  metrics_.max_down_utilization.assign(height, 0.0);
+  std::vector<std::uint64_t> up_count(height, 0);
+  std::vector<std::uint64_t> down_count(height, 0);
+  for (std::size_t id = 0; id < link_flits_.size(); ++id) {
+    const topo::Link& link = xgft_->link(static_cast<topo::LinkId>(id));
+    const double util = static_cast<double>(link_flits_[id]) /
+                        static_cast<double>(config_.measure_cycles);
+    auto& mean = link.up ? metrics_.mean_up_utilization
+                         : metrics_.mean_down_utilization;
+    auto& peak = link.up ? metrics_.max_up_utilization
+                         : metrics_.max_down_utilization;
+    auto& count = link.up ? up_count : down_count;
+    mean[link.level] += util;
+    peak[link.level] = std::max(peak[link.level], util);
+    ++count[link.level];
+  }
+  for (std::uint32_t l = 0; l < height; ++l) {
+    if (up_count[l] > 0) {
+      metrics_.mean_up_utilization[l] /= static_cast<double>(up_count[l]);
+    }
+    if (down_count[l] > 0) {
+      metrics_.mean_down_utilization[l] /= static_cast<double>(down_count[l]);
+    }
+  }
+  metrics_.throughput =
+      static_cast<double>(metrics_.flits_delivered) /
+      (static_cast<double>(config_.measure_cycles) *
+       static_cast<double>(num_hosts_));
+  return metrics_;
+}
+
+}  // namespace lmpr::flit

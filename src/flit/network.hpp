@@ -1,0 +1,183 @@
+// Cycle-driven flit-level network simulator.
+//
+// Architecture (paper Section 5, plus the knobs its methodology implies):
+//
+//   host NIC --up link--> [input buf | crossbar | output buf] --link--> ...
+//
+// * Every directed link carries `num_vcs` virtual channels; each (link,
+//   VC) pair has an input and an output buffer `buffer_packets` deep.
+//   The paper runs with ONE virtual channel ("we run our simulations
+//   using only one virtual channel"); more VCs reduce head-of-line
+//   blocking and are exposed for the VC ablation.
+// * Credit-based flow control per (link, VC): an output channel starts
+//   transmitting a packet only while it holds a credit (a free slot in
+//   the downstream input buffer of the same VC).  Credits return when
+//   the packet has fully arrived downstream and cleared the input stage
+//   -- the virtual cut-through discipline: space for the WHOLE packet is
+//   required before the head advances.
+// * Cut-through timing: a packet's head may be switched and re-
+//   transmitted before its tail arrives.  Since every stage moves one
+//   flit per cycle, a head that departs no earlier than one cycle after
+//   it arrived can never overrun its own tail, so per-flit positions
+//   need not be simulated; per-packet head-arrival timestamps carry full
+//   timing.
+// * The crossbar grants at most one packet per input channel and per
+//   output LINK per cycle, with rotating priority; the input stage is a
+//   buffered crossbar (any buffered packet whose head has arrived may be
+//   switched), the discipline InfiniBand-class switches approximate --
+//   a strict FIFO would cap uniform throughput at the ~58.6% HOL bound.
+// * Routing is either OBLIVIOUS (each packet follows a path drawn from
+//   the route table, the paper's model) or ADAPTIVE (at each switch the
+//   upward port with the most downstream credits wins -- the classic
+//   credit-based adaptive fat-tree scheme of the paper's related work);
+//   the downward leg is the unique descent either way.
+// * Blocked packets wait in place, producing the backpressure / tree
+//   saturation the paper discusses for loads beyond saturation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/route_table.hpp"
+#include "flit/config.hpp"
+#include "flit/metrics.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::flit {
+
+using Cycle = std::uint64_t;
+
+/// Simulates the topology under the configured traffic, routed by `table`
+/// (oblivious mode) or adaptively.  One instance runs one offered-load
+/// point; construct anew per point (construction is cheap next to
+/// simulation).
+class Network {
+ public:
+  Network(const route::RouteTable& table, const SimConfig& config);
+
+  /// Runs warmup + measurement + drain and returns the metrics.
+  SimMetrics run();
+
+ private:
+  using PacketId = std::uint32_t;
+  using MessageId = std::uint32_t;
+  using ChannelId = std::uint32_t;  ///< link * num_vcs + vc
+  static constexpr PacketId kNone = static_cast<PacketId>(-1);
+
+  struct Packet {
+    const route::Path* path = nullptr;  ///< null in adaptive mode
+    std::uint64_t dst = 0;
+    std::uint64_t flow = 0;      ///< src * num_hosts + dst
+    std::uint64_t seq = 0;       ///< per-flow sequence number
+    std::uint32_t hop = 0;       ///< next path link (oblivious mode)
+    std::uint32_t vc = 0;        ///< virtual channel, fixed along the path
+    Cycle head_arrival = 0;      ///< head flit arrival at current stage
+    Cycle gen_cycle = 0;
+    MessageId message = 0;
+    PacketId next_free = kNone;
+  };
+
+  struct Message {
+    Cycle gen_cycle = 0;
+    std::uint32_t remaining = 0;
+    bool measured = false;
+    MessageId next_free = static_cast<MessageId>(-1);
+  };
+
+  struct InputChannel {
+    std::deque<PacketId> fifo;  ///< arrived / arriving packets, FIFO
+  };
+
+  struct OutputChannel {
+    std::deque<PacketId> fifo;   ///< packets granted the crossbar
+    std::uint32_t occupancy = 0; ///< slots held (granted, tail not departed)
+    std::uint32_t credits = 0;   ///< free downstream input slots (this VC)
+  };
+
+  struct OutputLink {
+    Cycle busy_until = 0;        ///< physical channel serialization
+    Cycle last_grant = ~0ULL;    ///< crossbar one-grant-per-cycle guard
+    std::uint32_t next_vc = 0;   ///< round-robin VC service pointer
+  };
+
+  enum class EventKind : std::uint8_t {
+    kCreditReturn,    ///< arg = ChannelId regaining one credit
+    kOutputSlotFree,  ///< arg = ChannelId whose output frees one slot
+    kDeliver,         ///< arg = PacketId delivered at its destination
+  };
+  struct Event {
+    EventKind kind;
+    std::uint32_t arg;
+  };
+
+  // -- per-cycle phases -----------------------------------------------------
+  void process_events(Cycle now);
+  void inject(Cycle now);
+  void crossbar(Cycle now);
+  void start_transmissions(Cycle now);
+
+  void schedule(Cycle when, Event event);
+  void generate_message(std::uint64_t host, Cycle now);
+  void deliver(PacketId packet, Cycle now);
+
+  /// Output link the packet must leave `node` on.  Oblivious: the next
+  /// path hop.  Adaptive: deterministic descent when `node` covers the
+  /// destination, otherwise the upward port with the best credit score.
+  topo::LinkId route_output(topo::NodeId node, const Packet& packet,
+                            Cycle now) const;
+  topo::LinkId adaptive_uplink(topo::NodeId node, const Packet& packet,
+                               Cycle now) const;
+
+  ChannelId channel(topo::LinkId link, std::uint32_t vc) const {
+    return static_cast<ChannelId>(link * config_.num_vcs + vc);
+  }
+
+  PacketId alloc_packet();
+  void free_packet(PacketId id);
+  MessageId alloc_message();
+  void free_message(MessageId id);
+
+  bool in_measure_window(Cycle cycle) const noexcept {
+    return cycle >= config_.warmup_cycles &&
+           cycle < config_.warmup_cycles + config_.measure_cycles;
+  }
+
+  const route::RouteTable* table_;
+  const topo::Xgft* xgft_;
+  SimConfig config_;
+  std::uint64_t num_hosts_;
+
+  std::vector<InputChannel> inputs_;    ///< indexed by ChannelId
+  std::vector<OutputChannel> outputs_;  ///< indexed by ChannelId
+  std::vector<OutputLink> links_;       ///< indexed by LinkId
+
+  /// Per-host injection state.
+  std::vector<std::deque<PacketId>> source_queue_;
+  std::vector<double> next_arrival_;
+  std::vector<std::uint64_t> fixed_dst_;
+  std::vector<util::Rng> host_rng_;
+  std::vector<std::uint64_t> rr_counter_;  ///< per-host round-robin cursor
+
+  /// Per-(src,dst) flow sequence state for the reordering metric: next
+  /// sequence to stamp at generation, and the highest sequence delivered.
+  std::vector<std::uint64_t> flow_next_seq_;
+  std::vector<std::uint64_t> flow_max_delivered_;
+
+  /// Calendar queue: ring of event buckets (horizon <= packet_flits + 2).
+  std::vector<std::vector<Event>> calendar_;
+  Cycle current_cycle_ = 0;
+
+  /// Flits transmitted per directed link inside the measurement window.
+  std::vector<std::uint64_t> link_flits_;
+
+  std::vector<Packet> packets_;
+  PacketId free_packet_ = kNone;
+  std::vector<Message> messages_;
+  MessageId free_message_ = static_cast<MessageId>(-1);
+
+  SimMetrics metrics_;
+};
+
+}  // namespace lmpr::flit

@@ -1,0 +1,65 @@
+#include "flit/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "flit/network.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::flit {
+
+SweepResult run_load_sweep(const route::RouteTable& table,
+                           const SimConfig& base_config,
+                           const std::vector<double>& loads) {
+  SweepResult result;
+  result.points.reserve(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    SimConfig config = base_config;
+    config.offered_load = loads[i];
+    // Independent but reproducible randomness per load point.
+    std::uint64_t mix = base_config.seed + i;
+    config.seed = util::splitmix64(mix);
+
+    Network network(table, config);
+    const SimMetrics metrics = network.run();
+
+    SweepPoint point;
+    point.offered_load = metrics.offered_load;
+    point.throughput = metrics.throughput;
+    point.mean_message_delay =
+        metrics.message_delay.count() > 0
+            ? metrics.message_delay.mean()
+            : std::numeric_limits<double>::quiet_NaN();
+    point.mean_packet_delay =
+        metrics.packet_delay.count() > 0
+            ? metrics.packet_delay.mean()
+            : std::numeric_limits<double>::quiet_NaN();
+    if (metrics.message_delay_dist.sample_size() > 0) {
+      point.median_message_delay = metrics.message_delay_dist.median();
+      point.p99_message_delay = metrics.message_delay_dist.p99();
+    } else {
+      point.median_message_delay = std::numeric_limits<double>::quiet_NaN();
+      point.p99_message_delay = std::numeric_limits<double>::quiet_NaN();
+    }
+    point.delivered_fraction = metrics.delivered_fraction();
+    point.out_of_order_fraction = metrics.out_of_order_fraction();
+    result.points.push_back(point);
+    result.max_throughput = std::max(result.max_throughput, point.throughput);
+  }
+  return result;
+}
+
+std::vector<double> linspace_loads(double lo, double hi, std::size_t count) {
+  LMPR_EXPECTS(count >= 2);
+  LMPR_EXPECTS(lo > 0.0 && hi <= 1.0 && lo <= hi);
+  std::vector<double> loads(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    loads[i] = lo + (hi - lo) * static_cast<double>(i) /
+                        static_cast<double>(count - 1);
+  }
+  return loads;
+}
+
+}  // namespace lmpr::flit

@@ -1,0 +1,40 @@
+// Offered-load sweeps and saturation-throughput extraction (the paper's
+// Table 1 "maximum throughput achieved" and Figure 5 delay-vs-load curves).
+#pragma once
+
+#include <vector>
+
+#include "core/route_table.hpp"
+#include "flit/config.hpp"
+#include "flit/metrics.hpp"
+
+namespace lmpr::flit {
+
+struct SweepPoint {
+  double offered_load = 0.0;
+  double throughput = 0.0;
+  double mean_message_delay = 0.0;  ///< cycles; NaN when nothing delivered
+  double mean_packet_delay = 0.0;
+  double median_message_delay = 0.0;  ///< p50 (reservoir estimate)
+  double p99_message_delay = 0.0;     ///< p99 (reservoir estimate)
+  double delivered_fraction = 1.0;
+  double out_of_order_fraction = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  /// max over points of measured throughput: the paper's
+  /// "maximum throughput achieved" (normalized, 1.0 == capacity).
+  double max_throughput = 0.0;
+};
+
+/// Runs one simulation per offered load in `loads` (each load gets an
+/// independent, deterministic seed derived from config.seed).
+SweepResult run_load_sweep(const route::RouteTable& table,
+                           const SimConfig& base_config,
+                           const std::vector<double>& loads);
+
+/// Evenly spaced loads in [lo, hi] (inclusive), `count` >= 2 points.
+std::vector<double> linspace_loads(double lo, double hi, std::size_t count);
+
+}  // namespace lmpr::flit

@@ -1,0 +1,106 @@
+#include "flow/collectives.hpp"
+
+#include <bit>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::flow {
+
+Collective shift_all_to_all(std::uint64_t num_hosts) {
+  LMPR_EXPECTS(num_hosts >= 2);
+  Collective collective{"shift-all-to-all", {}};
+  collective.phases.reserve(static_cast<std::size_t>(num_hosts - 1));
+  for (std::uint64_t offset = 1; offset < num_hosts; ++offset) {
+    collective.phases.push_back(
+        CollectivePhase{TrafficMatrix::shift(num_hosts, offset), 1});
+  }
+  return collective;
+}
+
+Collective recursive_doubling(std::uint64_t num_hosts) {
+  LMPR_EXPECTS(num_hosts >= 2 && std::has_single_bit(num_hosts));
+  Collective collective{"recursive-doubling", {}};
+  for (std::uint64_t bit = 1; bit < num_hosts; bit <<= 1) {
+    TrafficMatrix tm(num_hosts);
+    for (std::uint64_t i = 0; i < num_hosts; ++i) {
+      tm.add(i, i ^ bit, 1.0);
+    }
+    collective.phases.push_back(CollectivePhase{std::move(tm), 1});
+  }
+  return collective;
+}
+
+Collective ring_allreduce(std::uint64_t num_hosts) {
+  LMPR_EXPECTS(num_hosts >= 2);
+  Collective collective{"ring-allreduce", {}};
+  collective.phases.push_back(CollectivePhase{
+      TrafficMatrix::shift(num_hosts, 1), 2 * (num_hosts - 1)});
+  return collective;
+}
+
+Collective stencil3d(std::uint64_t nx, std::uint64_t ny, std::uint64_t nz) {
+  LMPR_EXPECTS(nx >= 2 && ny >= 2 && nz >= 2);
+  const std::uint64_t num_hosts = nx * ny * nz;
+  Collective collective{"stencil-3d", {}};
+  auto host_of = [&](std::uint64_t x, std::uint64_t y, std::uint64_t z) {
+    return x + nx * (y + ny * z);
+  };
+  struct Dir {
+    std::int64_t dx, dy, dz;
+  };
+  const Dir dirs[] = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
+                      {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+  for (const Dir& dir : dirs) {
+    TrafficMatrix tm(num_hosts);
+    for (std::uint64_t z = 0; z < nz; ++z) {
+      for (std::uint64_t y = 0; y < ny; ++y) {
+        for (std::uint64_t x = 0; x < nx; ++x) {
+          const std::uint64_t tx =
+              (x + static_cast<std::uint64_t>(dir.dx + static_cast<std::int64_t>(nx))) % nx;
+          const std::uint64_t ty =
+              (y + static_cast<std::uint64_t>(dir.dy + static_cast<std::int64_t>(ny))) % ny;
+          const std::uint64_t tz =
+              (z + static_cast<std::uint64_t>(dir.dz + static_cast<std::int64_t>(nz))) % nz;
+          tm.add(host_of(x, y, z), host_of(tx, ty, tz), 1.0);
+        }
+      }
+    }
+    collective.phases.push_back(CollectivePhase{std::move(tm), 1});
+  }
+  return collective;
+}
+
+Collective transpose(std::uint64_t rows, std::uint64_t cols) {
+  LMPR_EXPECTS(rows >= 1 && cols >= 1);
+  const std::uint64_t num_hosts = rows * cols;
+  TrafficMatrix tm(num_hosts);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      tm.add(r * cols + c, c * rows + r, 1.0);
+    }
+  }
+  Collective collective{"transpose", {}};
+  collective.phases.push_back(CollectivePhase{std::move(tm), 1});
+  return collective;
+}
+
+CollectiveCost evaluate_collective(const topo::Xgft& xgft,
+                                   const Collective& collective,
+                                   route::Heuristic heuristic,
+                                   std::size_t k_paths, util::Rng& rng) {
+  CollectiveCost cost;
+  LoadEvaluator evaluator(xgft);
+  for (const CollectivePhase& phase : collective.phases) {
+    LMPR_EXPECTS(phase.tm.num_hosts() == xgft.num_hosts());
+    const double load =
+        evaluator.evaluate(phase.tm, heuristic, k_paths, rng).max_load;
+    const double optimal = oload(xgft, phase.tm).value;
+    cost.time += static_cast<double>(phase.repeat) * load;
+    cost.optimal_time += static_cast<double>(phase.repeat) * optimal;
+  }
+  cost.slowdown = cost.optimal_time > 0.0 ? cost.time / cost.optimal_time
+                                          : 1.0;
+  return cost;
+}
+
+}  // namespace lmpr::flow

@@ -1,0 +1,77 @@
+// Collective-communication workloads: the HPC traffic the paper's
+// introduction motivates, modelled as synchronized phases of traffic
+// matrices (the standard bandwidth-dominated model: a phase completes
+// when its most-loaded link drains, so phase time ∝ max link load).
+//
+// Included schedules:
+//   * shift all-to-all      -- N-1 cyclic-shift phases (Zahavi et al.,
+//                              the paper's reference [17]);
+//   * recursive doubling    -- log2(N) XOR-partner exchange phases
+//                              (allreduce/barrier style);
+//   * ring                  -- neighbour shift repeated 2(N-1) times
+//                              (ring allreduce);
+//   * 3-D stencil halo      -- six ±1 neighbour phases on a periodic
+//                              x-major grid embedding;
+//   * matrix transpose      -- one (r,c) -> (c,r) permutation phase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "flow/link_load.hpp"
+#include "flow/oload.hpp"
+#include "flow/traffic.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::flow {
+
+struct CollectivePhase {
+  TrafficMatrix tm;
+  /// The phase executes this many times back to back (cost multiplier).
+  std::uint64_t repeat = 1;
+};
+
+struct Collective {
+  std::string name;
+  std::vector<CollectivePhase> phases;
+};
+
+/// N-1 phases: phase i sends one unit from every host j to (j+i) mod N.
+Collective shift_all_to_all(std::uint64_t num_hosts);
+
+/// log2(N) phases of XOR-partner exchange; num_hosts must be a power of
+/// two.
+Collective recursive_doubling(std::uint64_t num_hosts);
+
+/// One +1-shift phase repeated 2(N-1) times (ring allreduce traffic).
+Collective ring_allreduce(std::uint64_t num_hosts);
+
+/// Six halo-exchange phases (+/-x, +/-y, +/-z, periodic) on an
+/// nx*ny*nz x-major embedding; requires nx*ny*nz == num_hosts and every
+/// dimension >= 2.
+Collective stencil3d(std::uint64_t nx, std::uint64_t ny, std::uint64_t nz);
+
+/// One phase: element (r, c) of a rows*cols matrix moves to (c, r);
+/// requires rows*cols == num_hosts.
+Collective transpose(std::uint64_t rows, std::uint64_t cols);
+
+struct CollectiveCost {
+  /// Sum over phases of repeat * MLOAD(r, phase): the bandwidth-model
+  /// completion time under the routing.
+  double time = 0.0;
+  /// Same with the optimal per-phase load (Theorem 1's OLOAD).
+  double optimal_time = 0.0;
+  /// time / optimal_time (>= 1; == 1 iff the routing is optimal on every
+  /// phase).
+  double slowdown = 1.0;
+};
+
+CollectiveCost evaluate_collective(const topo::Xgft& xgft,
+                                   const Collective& collective,
+                                   route::Heuristic heuristic,
+                                   std::size_t k_paths, util::Rng& rng);
+
+}  // namespace lmpr::flow

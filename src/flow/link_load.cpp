@@ -1,0 +1,75 @@
+#include "flow/link_load.hpp"
+
+#include <algorithm>
+
+#include "core/path_index.hpp"
+#include "util/contracts.hpp"
+
+namespace lmpr::flow {
+
+LoadEvaluator::LoadEvaluator(const topo::Xgft& xgft)
+    : xgft_(&xgft), loads_(xgft.num_links(), 0.0) {}
+
+void LoadEvaluator::reset() {
+  std::fill(loads_.begin(), loads_.end(), 0.0);
+}
+
+LoadResult LoadEvaluator::finish() {
+  LoadResult result;
+  result.max_up_load_per_level.assign(xgft_->height(), 0.0);
+  result.max_down_load_per_level.assign(xgft_->height(), 0.0);
+  for (std::size_t id = 0; id < loads_.size(); ++id) {
+    const double load = loads_[id];
+    if (load > result.max_load) {
+      result.max_load = load;
+      result.argmax = static_cast<topo::LinkId>(id);
+    }
+    const topo::Link& link = xgft_->link(static_cast<topo::LinkId>(id));
+    auto& per_level = link.up ? result.max_up_load_per_level
+                              : result.max_down_load_per_level;
+    per_level[link.level] = std::max(per_level[link.level], load);
+  }
+  return result;
+}
+
+LoadResult LoadEvaluator::evaluate(const TrafficMatrix& tm,
+                                   route::Heuristic heuristic,
+                                   std::size_t k_paths, util::Rng& rng) {
+  LMPR_EXPECTS(tm.num_hosts() == xgft_->num_hosts());
+  reset();
+  for (const Demand& demand : tm.demands()) {
+    if (demand.src == demand.dst || demand.amount == 0.0) continue;
+    const auto indices = route::select_path_indices(
+        *xgft_, demand.src, demand.dst, k_paths, heuristic, rng);
+    const double fraction =
+        demand.amount / static_cast<double>(indices.size());
+    for (const std::uint64_t index : indices) {
+      scratch_links_.clear();
+      route::append_path_links(*xgft_, demand.src, demand.dst, index,
+                               scratch_links_);
+      for (const topo::LinkId link : scratch_links_) {
+        loads_[link] += fraction;
+      }
+    }
+  }
+  return finish();
+}
+
+LoadResult LoadEvaluator::evaluate(const TrafficMatrix& tm,
+                                   const route::RouteTable& table) {
+  LMPR_EXPECTS(tm.num_hosts() == xgft_->num_hosts());
+  reset();
+  for (const Demand& demand : tm.demands()) {
+    if (demand.src == demand.dst || demand.amount == 0.0) continue;
+    const auto paths = table.paths(demand.src, demand.dst);
+    const double fraction = demand.amount / static_cast<double>(paths.size());
+    for (const route::Path& path : paths) {
+      for (const topo::LinkId link : path.links) {
+        loads_[link] += fraction;
+      }
+    }
+  }
+  return finish();
+}
+
+}  // namespace lmpr::flow

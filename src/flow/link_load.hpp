@@ -1,0 +1,57 @@
+// Flow-level evaluation: the maximum link load MLOAD(r, TM) of a routing
+// on a traffic matrix (paper Section 3.2).  Each SD demand is split
+// uniformly over the K paths the heuristic selects; link loads accumulate
+// additively; the metric is the maximum over all directed links.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/route_table.hpp"
+#include "flow/traffic.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::flow {
+
+struct LoadResult {
+  double max_load = 0.0;
+  topo::LinkId argmax = topo::kInvalidLink;
+  /// Maximum load among links whose cable sits between level l and l+1,
+  /// split by direction -- quantifies where the contention lives
+  /// (Section 4.2.2's lower-level imbalance of shift-1).
+  std::vector<double> max_up_load_per_level;
+  std::vector<double> max_down_load_per_level;
+};
+
+/// Reusable evaluator: owns the per-link load array so repeated samples
+/// (thousands of permutations) do not reallocate.
+class LoadEvaluator {
+ public:
+  explicit LoadEvaluator(const topo::Xgft& xgft);
+
+  /// Evaluates MLOAD for the heuristic with path limit `k_paths`.
+  /// `rng` feeds the randomized heuristics only.
+  LoadResult evaluate(const TrafficMatrix& tm, route::Heuristic heuristic,
+                      std::size_t k_paths, util::Rng& rng);
+
+  /// Evaluates MLOAD for a pre-built route table.
+  LoadResult evaluate(const TrafficMatrix& tm,
+                      const route::RouteTable& table);
+
+  /// Per-link loads of the most recent evaluate() call.
+  const std::vector<double>& link_loads() const noexcept { return loads_; }
+
+  const topo::Xgft& xgft() const noexcept { return *xgft_; }
+
+ private:
+  void reset();
+  LoadResult finish();
+
+  const topo::Xgft* xgft_;
+  std::vector<double> loads_;
+  std::vector<topo::LinkId> scratch_links_;
+};
+
+}  // namespace lmpr::flow

@@ -1,0 +1,50 @@
+#include "flow/oload.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::flow {
+
+OloadResult oload(const topo::Xgft& xgft, const TrafficMatrix& tm) {
+  LMPR_EXPECTS(tm.num_hosts() == xgft.num_hosts());
+  OloadResult result;
+  // For each subtree height k = 0 .. h-1 accumulate per-subtree ingress and
+  // egress, then divide by the cut width TL(k).
+  for (std::uint32_t k = 0; k < xgft.height(); ++k) {
+    const std::uint64_t count = xgft.num_subtrees(k);
+    std::vector<double> out(static_cast<std::size_t>(count), 0.0);
+    std::vector<double> in(static_cast<std::size_t>(count), 0.0);
+    for (const Demand& demand : tm.demands()) {
+      if (demand.amount == 0.0) continue;
+      const std::uint64_t src_tree = xgft.subtree_of(demand.src, k);
+      const std::uint64_t dst_tree = xgft.subtree_of(demand.dst, k);
+      if (src_tree == dst_tree) continue;
+      out[static_cast<std::size_t>(src_tree)] += demand.amount;
+      in[static_cast<std::size_t>(dst_tree)] += demand.amount;
+    }
+    const double width = static_cast<double>(xgft.spec().boundary_links(k));
+    for (std::uint64_t st = 0; st < count; ++st) {
+      const double mt = std::max(out[static_cast<std::size_t>(st)],
+                                 in[static_cast<std::size_t>(st)]);
+      const double bound = mt / width;
+      if (bound > result.value) {
+        result.value = bound;
+        result.cut_height = k;
+        result.cut_subtree = st;
+      }
+    }
+  }
+  return result;
+}
+
+double perf_ratio(double max_load, double oload_value) {
+  LMPR_EXPECTS(max_load >= 0.0 && oload_value >= 0.0);
+  if (oload_value == 0.0) {
+    return max_load == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return max_load / oload_value;
+}
+
+}  // namespace lmpr::flow

@@ -1,0 +1,33 @@
+// Optimal-load computation (paper Section 4.1).
+//
+// Lemma 1: any routing must load some link with at least
+//   ML(TM) = max_k max_{st in ST(k)} MT(TM, st) / TL(k),
+// the max over all subtree cuts of boundary traffic divided by boundary
+// links (singleton "subtrees" of height 0 -- individual hosts -- count).
+// Theorem 1 shows UMULTI achieves exactly ML(TM), hence
+// OLOAD(TM) = ML(TM) and the bound below is the exact optimum.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/traffic.hpp"
+#include "topology/xgft.hpp"
+
+namespace lmpr::flow {
+
+struct OloadResult {
+  /// OLOAD(TM) = ML(TM).
+  double value = 0.0;
+  /// The binding cut: subtree height and index.
+  std::uint32_t cut_height = 0;
+  std::uint64_t cut_subtree = 0;
+};
+
+OloadResult oload(const topo::Xgft& xgft, const TrafficMatrix& tm);
+
+/// PERF(r, TM) = MLOAD / OLOAD (>= 1; == 1 iff r is optimal on TM).
+/// Returns 1.0 for a zero-load TM and +inf when max_load > 0 on a TM whose
+/// optimum is 0 (cannot happen for valid routings).
+double perf_ratio(double max_load, double oload_value);
+
+}  // namespace lmpr::flow

@@ -1,0 +1,77 @@
+#include "flow/permutation_study.hpp"
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lmpr::flow {
+
+namespace {
+
+/// Independent, reproducible RNG for (study seed, sample index, stream).
+util::Rng sample_rng(std::uint64_t seed, std::uint64_t sample,
+                     std::uint64_t stream) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (sample + 1)) ^
+                        (0xc2b2ae3d27d4eb4fULL * (stream + 1));
+  return util::Rng{util::splitmix64(state)};
+}
+
+struct SampleOutcome {
+  double max_load = 0.0;
+  double perf = 0.0;
+};
+
+}  // namespace
+
+PermutationStudyResult run_permutation_study(
+    const topo::Xgft& xgft, const PermutationStudyConfig& config) {
+  PermutationStudyResult result;
+
+  auto evaluate_sample = [&](std::uint64_t sample) {
+    util::Rng perm_rng = sample_rng(config.seed, sample, 0);
+    util::Rng route_rng = sample_rng(config.seed, sample, 1);
+    // Per-sample evaluator: keeps workers independent; allocation cost is
+    // negligible next to the evaluation itself.
+    LoadEvaluator evaluator(xgft);
+    const TrafficMatrix tm =
+        TrafficMatrix::random_permutation(xgft.num_hosts(), perm_rng);
+    SampleOutcome outcome;
+    outcome.max_load =
+        evaluator.evaluate(tm, config.heuristic, config.k_paths, route_rng)
+            .max_load;
+    if (config.track_perf_ratio) {
+      outcome.perf = perf_ratio(outcome.max_load, oload(xgft, tm).value);
+    }
+    return outcome;
+  };
+
+  std::uint64_t completed = 0;
+  while (!config.stopping.satisfied(result.max_load)) {
+    const std::size_t target =
+        config.stopping.next_batch_target(result.max_load.count());
+    const std::size_t batch = target - static_cast<std::size_t>(completed);
+    std::vector<SampleOutcome> outcomes(batch);
+    auto body = [&](std::size_t i) {
+      outcomes[i] = evaluate_sample(completed + i);
+    };
+    if (config.pool != nullptr) {
+      config.pool->parallel_for(batch, body);
+    } else {
+      for (std::size_t i = 0; i < batch; ++i) body(i);
+    }
+    // Merge in index order: the accumulated statistics are byte-identical
+    // for any worker count.
+    for (const SampleOutcome& outcome : outcomes) {
+      result.max_load.add(outcome.max_load);
+      if (config.track_perf_ratio) result.perf.add(outcome.perf);
+    }
+    completed += batch;
+  }
+  result.samples = result.max_load.count();
+  result.converged =
+      result.max_load.ci_half_width(config.stopping.confidence) <=
+      config.stopping.relative_precision * result.max_load.mean();
+  return result;
+}
+
+}  // namespace lmpr::flow

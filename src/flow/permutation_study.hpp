@@ -1,0 +1,43 @@
+// The paper's flow-level experiment (Section 5, Figure 4): average
+// maximum link load over random permutations, sampled until the 99%
+// confidence interval is within 2% of the running mean (doubling the
+// sample count between checks).
+#pragma once
+
+#include <cstdint>
+
+#include "core/heuristics.hpp"
+#include "flow/link_load.hpp"
+#include "flow/oload.hpp"
+#include "topology/xgft.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpr::flow {
+
+struct PermutationStudyConfig {
+  route::Heuristic heuristic = route::Heuristic::kDModK;
+  std::size_t k_paths = 1;
+  util::CiStoppingRule stopping;
+  std::uint64_t seed = 7;
+  /// Also accumulate PERF(r, TM) per sample (costs one OLOAD evaluation
+  /// per permutation).
+  bool track_perf_ratio = true;
+  /// Optional worker pool.  Sample i always derives its RNG streams from
+  /// (seed, i), so the results are IDENTICAL with or without a pool and
+  /// for any worker count.
+  util::ThreadPool* pool = nullptr;
+};
+
+struct PermutationStudyResult {
+  util::OnlineStats max_load;    ///< MLOAD per permutation
+  util::OnlineStats perf;        ///< PERF per permutation (if tracked)
+  std::size_t samples = 0;
+  bool converged = false;        ///< CI criterion met before the cap
+};
+
+/// Runs the adaptive-sampling study.  Deterministic for a given seed.
+PermutationStudyResult run_permutation_study(
+    const topo::Xgft& xgft, const PermutationStudyConfig& config);
+
+}  // namespace lmpr::flow

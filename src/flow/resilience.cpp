@@ -1,0 +1,92 @@
+#include "flow/resilience.hpp"
+
+#include <vector>
+
+#include "core/path_index.hpp"
+#include "util/contracts.hpp"
+
+namespace lmpr::flow {
+
+ResilienceResult measure_resilience(const topo::Xgft& xgft,
+                                    const ResilienceConfig& config) {
+  LMPR_EXPECTS(config.cable_failure_probability >= 0.0 &&
+               config.cable_failure_probability < 1.0);
+  LMPR_EXPECTS(config.trials >= 1);
+  util::Rng rng{config.seed};
+  const std::uint64_t hosts = xgft.num_hosts();
+  const std::uint64_t cables = xgft.num_cables();
+
+  ResilienceResult result;
+  result.connectivity = 0.0;
+  result.surviving_paths = 0.0;
+  std::vector<bool> cable_dead(static_cast<std::size_t>(cables));
+  std::vector<topo::LinkId> scratch;
+
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    std::size_t failed = 0;
+    for (std::uint64_t c = 0; c < cables; ++c) {
+      const bool dead = rng.uniform01() < config.cable_failure_probability;
+      cable_dead[static_cast<std::size_t>(c)] = dead;
+      failed += dead;
+    }
+    result.failed_cables += static_cast<double>(failed);
+
+    auto path_alive = [&](std::uint64_t s, std::uint64_t d,
+                          std::uint64_t index) {
+      scratch.clear();
+      route::append_path_links(xgft, s, d, index, scratch);
+      for (const topo::LinkId link : scratch) {
+        if (cable_dead[static_cast<std::size_t>(xgft.cable_of(link))]) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    std::uint64_t pairs = 0;
+    std::uint64_t connected = 0;
+    double surviving = 0.0;
+    auto account_pair = [&](std::uint64_t s, std::uint64_t d) {
+      const auto indices = route::select_path_indices(
+          xgft, s, d, config.k_paths, config.heuristic, rng);
+      std::size_t alive = 0;
+      for (const std::uint64_t index : indices) {
+        alive += path_alive(s, d, index);
+      }
+      ++pairs;
+      connected += (alive > 0);
+      surviving += static_cast<double>(alive) /
+                   static_cast<double>(indices.size());
+    };
+
+    if (config.pair_samples == 0) {
+      for (std::uint64_t s = 0; s < hosts; ++s) {
+        for (std::uint64_t d = 0; d < hosts; ++d) {
+          if (s != d) account_pair(s, d);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < config.pair_samples; ++i) {
+        const std::uint64_t s = rng.below(hosts);
+        std::uint64_t d = rng.below(hosts - 1);
+        if (d >= s) ++d;
+        account_pair(s, d);
+      }
+    }
+    const double fraction = pairs > 0
+                                ? static_cast<double>(connected) /
+                                      static_cast<double>(pairs)
+                                : 1.0;
+    result.connectivity += fraction;
+    result.worst_connectivity = std::min(result.worst_connectivity, fraction);
+    result.surviving_paths += pairs > 0 ? surviving / static_cast<double>(pairs)
+                                        : 1.0;
+  }
+  const double trials = static_cast<double>(config.trials);
+  result.connectivity /= trials;
+  result.surviving_paths /= trials;
+  result.failed_cables /= trials;
+  return result;
+}
+
+}  // namespace lmpr::flow

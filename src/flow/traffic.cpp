@@ -1,0 +1,150 @@
+#include "flow/traffic.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::flow {
+
+void TrafficMatrix::add(std::uint64_t src, std::uint64_t dst, double amount) {
+  LMPR_EXPECTS(src < num_hosts_ && dst < num_hosts_);
+  LMPR_EXPECTS(amount >= 0.0);
+  demands_.push_back(Demand{src, dst, amount});
+}
+
+double TrafficMatrix::total() const noexcept {
+  double sum = 0.0;
+  for (const Demand& d : demands_) sum += d.amount;
+  return sum;
+}
+
+TrafficMatrix TrafficMatrix::permutation(std::uint64_t num_hosts,
+                                         std::span<const std::size_t> perm,
+                                         double amount) {
+  LMPR_EXPECTS(perm.size() == num_hosts);
+  TrafficMatrix tm(num_hosts);
+  for (std::uint64_t i = 0; i < num_hosts; ++i) {
+    tm.add(i, perm[static_cast<std::size_t>(i)], amount);
+  }
+  return tm;
+}
+
+TrafficMatrix TrafficMatrix::random_permutation(std::uint64_t num_hosts,
+                                                util::Rng& rng) {
+  const auto perm = rng.permutation(static_cast<std::size_t>(num_hosts));
+  return permutation(num_hosts, perm);
+}
+
+TrafficMatrix TrafficMatrix::uniform(std::uint64_t num_hosts, double rate) {
+  LMPR_EXPECTS(num_hosts >= 2);
+  TrafficMatrix tm(num_hosts);
+  const double amount = rate / static_cast<double>(num_hosts - 1);
+  for (std::uint64_t s = 0; s < num_hosts; ++s) {
+    for (std::uint64_t d = 0; d < num_hosts; ++d) {
+      if (s != d) tm.add(s, d, amount);
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix TrafficMatrix::shift(std::uint64_t num_hosts,
+                                   std::uint64_t offset, double amount) {
+  TrafficMatrix tm(num_hosts);
+  for (std::uint64_t i = 0; i < num_hosts; ++i) {
+    tm.add(i, (i + offset) % num_hosts, amount);
+  }
+  return tm;
+}
+
+TrafficMatrix TrafficMatrix::bit_reversal(std::uint64_t num_hosts,
+                                          double amount) {
+  LMPR_EXPECTS(num_hosts >= 2 && std::has_single_bit(num_hosts));
+  const int bits = std::countr_zero(num_hosts);
+  TrafficMatrix tm(num_hosts);
+  for (std::uint64_t i = 0; i < num_hosts; ++i) {
+    std::uint64_t rev = 0;
+    for (int b = 0; b < bits; ++b) {
+      rev |= ((i >> b) & 1ULL) << (bits - 1 - b);
+    }
+    tm.add(i, rev, amount);
+  }
+  return tm;
+}
+
+TrafficMatrix TrafficMatrix::hotspot(std::uint64_t num_hosts,
+                                     std::uint64_t target, double amount) {
+  LMPR_EXPECTS(target < num_hosts);
+  TrafficMatrix tm(num_hosts);
+  for (std::uint64_t i = 0; i < num_hosts; ++i) {
+    if (i != target) tm.add(i, target, amount);
+  }
+  return tm;
+}
+
+namespace {
+
+struct AdversarialShape {
+  std::uint64_t subtree_hosts = 0;  // S = prod_{i<h} m_i
+  std::uint64_t spread = 0;         // W = prod w_i
+  std::uint64_t first_multiple = 0; // A = ceil(S / W)
+};
+
+AdversarialShape adversarial_shape(const topo::XgftSpec& spec) {
+  AdversarialShape shape;
+  shape.subtree_hosts = spec.m_prefix_product(spec.height() - 1);
+  shape.spread = spec.num_top_switches();
+  shape.first_multiple =
+      (shape.subtree_hosts + shape.spread - 1) / shape.spread;
+  if (shape.first_multiple == 0) shape.first_multiple = 1;
+  return shape;
+}
+
+}  // namespace
+
+bool adversarial_dmodk_fits(const topo::XgftSpec& spec) {
+  if (spec.height() < 1) return false;
+  const AdversarialShape shape = adversarial_shape(spec);
+  const std::uint64_t hosts = spec.num_hosts();
+  // Last destination (A + S - 1) * W must be a valid host id, and the
+  // destination stride W must clear the subtree size S so each destination
+  // lands in its own height-(h-1) subtree (tightness of the bound).
+  const std::uint64_t last =
+      (shape.first_multiple + shape.subtree_hosts - 1) * shape.spread;
+  return last <= hosts - 1 && shape.spread >= shape.subtree_hosts;
+}
+
+TrafficMatrix adversarial_dmodk_traffic(const topo::Xgft& xgft) {
+  const topo::XgftSpec& spec = xgft.spec();
+  if (!adversarial_dmodk_fits(spec)) {
+    throw std::invalid_argument(
+        "adversarial_dmodk_traffic: construction does not fit on " +
+        spec.to_string() + "; use adversarial_dmodk_topology()");
+  }
+  const AdversarialShape shape = adversarial_shape(spec);
+  TrafficMatrix tm(xgft.num_hosts());
+  for (std::uint64_t j = 0; j < shape.subtree_hosts; ++j) {
+    tm.add(j, (shape.first_multiple + j) * shape.spread, 1.0);
+  }
+  return tm;
+}
+
+topo::XgftSpec adversarial_dmodk_topology(std::size_t height,
+                                          std::uint32_t spread) {
+  LMPR_EXPECTS(height >= 1);
+  LMPR_EXPECTS(spread >= 2);
+  topo::XgftSpec spec;
+  spec.m.assign(height, spread);
+  spec.w.assign(height, spread);
+  spec.w.front() = 1;
+  // W = spread^(h-1) = S.  Destinations reach (1 + S) * W = W^2 + W, so the
+  // top-level arity must provide W + spread hosts per subtree copy chain.
+  std::uint64_t w_total = 1;
+  for (auto v : spec.w) w_total *= v;
+  spec.m.back() = static_cast<std::uint32_t>(w_total + spread);
+  spec.validate();
+  LMPR_ENSURES(adversarial_dmodk_fits(spec));
+  return spec;
+}
+
+}  // namespace lmpr::flow

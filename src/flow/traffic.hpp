@@ -1,0 +1,93 @@
+// Traffic matrices and the workload generators used by the paper's
+// flow-level evaluation (Section 5) plus the adversarial pattern from the
+// Theorem 2 lower-bound proof.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::flow {
+
+/// One nonzero traffic-matrix entry: `amount` units of demand src -> dst.
+struct Demand {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  double amount = 0.0;
+};
+
+/// Sparse traffic matrix.  Duplicate (src, dst) demands are allowed and
+/// accumulate during evaluation.
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(std::uint64_t num_hosts) : num_hosts_(num_hosts) {}
+
+  std::uint64_t num_hosts() const noexcept { return num_hosts_; }
+  std::span<const Demand> demands() const noexcept { return demands_; }
+  std::size_t size() const noexcept { return demands_.size(); }
+
+  void add(std::uint64_t src, std::uint64_t dst, double amount);
+
+  /// Sum of all demand amounts.
+  double total() const noexcept;
+
+  // --- generators ---------------------------------------------------------
+
+  /// tm[i][perm[i]] = amount.  Fixed points (i == perm[i]) are legal and
+  /// load-free, matching the paper's "possibly itself" permutations.
+  static TrafficMatrix permutation(std::uint64_t num_hosts,
+                                   std::span<const std::size_t> perm,
+                                   double amount = 1.0);
+
+  /// Uniformly random permutation (the paper's "permutation traffic").
+  static TrafficMatrix random_permutation(std::uint64_t num_hosts,
+                                          util::Rng& rng);
+
+  /// Dense uniform traffic: every host sends rate/(N-1) to every other
+  /// host.  Dense in memory -- use for tests and small instances.
+  static TrafficMatrix uniform(std::uint64_t num_hosts, double rate = 1.0);
+
+  /// Cyclic shift pattern: i -> (i + offset) mod N (Zahavi et al.'s
+  /// shift-all-to-all building block).
+  static TrafficMatrix shift(std::uint64_t num_hosts, std::uint64_t offset,
+                             double amount = 1.0);
+
+  /// Bit-reversal permutation (classic adversarial pattern for trees);
+  /// num_hosts must be a power of two.
+  static TrafficMatrix bit_reversal(std::uint64_t num_hosts,
+                                    double amount = 1.0);
+
+  /// Hotspot: every other host sends `amount` to `target`.
+  static TrafficMatrix hotspot(std::uint64_t num_hosts, std::uint64_t target,
+                               double amount = 1.0);
+
+ private:
+  std::uint64_t num_hosts_;
+  std::vector<Demand> demands_;
+};
+
+/// Theorem 2's adversarial pattern for d-mod-k: every host of the first
+/// height-(h-1) subtree sends one unit to a destination that is a multiple
+/// of W = prod(w_i), forcing d-mod-k to emit all of it through ONE upward
+/// link while UMULTI spreads it over all W of them.
+///
+/// Throws std::invalid_argument when the topology is too small to host the
+/// construction (needs roughly m_h >= prod(w_i) worth of headroom; see
+/// adversarial_dmodk_fits).
+TrafficMatrix adversarial_dmodk_traffic(const topo::Xgft& xgft);
+
+/// True when adversarial_dmodk_traffic() can be constructed on this
+/// topology with all destinations valid and in distinct height-(h-1)
+/// subtrees.
+bool adversarial_dmodk_fits(const topo::XgftSpec& spec);
+
+/// A compact topology family on which the construction always fits and
+/// yields PERF(d-mod-k) >= prod(w_i) = `spread`^(h-1) ... handy for the
+/// Theorem 2 bench: XGFT(h; s,..,s, s*spread_total; 1, s,..,s).
+topo::XgftSpec adversarial_dmodk_topology(std::size_t height,
+                                          std::uint32_t spread);
+
+}  // namespace lmpr::flow

@@ -1,0 +1,134 @@
+#include "flow/traffic_aware.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/path_index.hpp"
+#include "util/contracts.hpp"
+
+namespace lmpr::flow {
+
+namespace {
+
+/// Links of every candidate path of one SD pair, materialized once.
+struct CandidateSet {
+  std::vector<std::vector<topo::LinkId>> paths;
+};
+
+CandidateSet candidates_for(const topo::Xgft& xgft, std::uint64_t src,
+                            std::uint64_t dst) {
+  CandidateSet set;
+  const std::uint64_t total = xgft.num_shortest_paths(src, dst);
+  set.paths.resize(static_cast<std::size_t>(total));
+  for (std::uint64_t index = 0; index < total; ++index) {
+    route::append_path_links(xgft, src, dst, index,
+                             set.paths[static_cast<std::size_t>(index)]);
+  }
+  return set;
+}
+
+/// Picks `k` paths greedily (repetition allowed across shares but not
+/// within one selection round) and applies fraction `share` each,
+/// mutating `loads`.  Returns the chosen path indices.
+std::vector<std::size_t> place_demand(const CandidateSet& candidates,
+                                      double share, std::size_t k,
+                                      std::vector<double>& loads) {
+  const std::size_t total = candidates.paths.size();
+  const std::size_t take = std::min(k, total);
+  std::vector<bool> used(total, false);
+  std::vector<std::size_t> chosen;
+  chosen.reserve(take);
+  for (std::size_t round = 0; round < take; ++round) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best = total;
+    for (std::size_t p = 0; p < total; ++p) {
+      if (used[p]) continue;
+      double cost = 0.0;
+      for (const topo::LinkId link : candidates.paths[p]) {
+        cost = std::max(cost, loads[link] + share);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = p;
+      }
+    }
+    LMPR_ASSERT(best < total);
+    used[best] = true;
+    chosen.push_back(best);
+    for (const topo::LinkId link : candidates.paths[best]) {
+      loads[link] += share;
+    }
+  }
+  return chosen;
+}
+
+void unplace(const CandidateSet& candidates,
+             const std::vector<std::size_t>& chosen, double share,
+             std::vector<double>& loads) {
+  for (const std::size_t p : chosen) {
+    for (const topo::LinkId link : candidates.paths[p]) {
+      loads[link] -= share;
+    }
+  }
+}
+
+double max_of(const std::vector<double>& loads) {
+  double best = 0.0;
+  for (const double load : loads) best = std::max(best, load);
+  return best;
+}
+
+}  // namespace
+
+TrafficAwareResult traffic_aware_kpath(const topo::Xgft& xgft,
+                                       const TrafficMatrix& tm,
+                                       const TrafficAwareConfig& config) {
+  LMPR_EXPECTS(config.k_paths >= 1);
+  LMPR_EXPECTS(tm.num_hosts() == xgft.num_hosts());
+
+  std::vector<double> loads(static_cast<std::size_t>(xgft.num_links()), 0.0);
+  struct Placed {
+    CandidateSet candidates;
+    std::vector<std::size_t> chosen;
+    double share = 0.0;
+  };
+  std::vector<Placed> placements;
+  placements.reserve(tm.size());
+
+  TrafficAwareResult result;
+  // Initial greedy placement in matrix order.
+  for (const Demand& demand : tm.demands()) {
+    if (demand.src == demand.dst || demand.amount == 0.0) continue;
+    Placed placed;
+    placed.candidates = candidates_for(xgft, demand.src, demand.dst);
+    const std::size_t take =
+        std::min(config.k_paths, placed.candidates.paths.size());
+    placed.share = demand.amount / static_cast<double>(take);
+    placed.chosen =
+        place_demand(placed.candidates, placed.share, config.k_paths, loads);
+    placements.push_back(std::move(placed));
+  }
+
+  // Rip-up and re-route refinement.
+  for (std::size_t pass = 0; pass < config.refine_passes; ++pass) {
+    bool improved = false;
+    for (Placed& placed : placements) {
+      const double before = max_of(loads);
+      unplace(placed.candidates, placed.chosen, placed.share, loads);
+      const auto rerouted =
+          place_demand(placed.candidates, placed.share, config.k_paths, loads);
+      if (rerouted != placed.chosen) {
+        ++result.reroutes;
+        placed.chosen = rerouted;
+        improved |= (max_of(loads) < before - 1e-12);
+      }
+    }
+    if (!improved) break;
+  }
+
+  result.max_load = max_of(loads);
+  return result;
+}
+
+}  // namespace lmpr::flow

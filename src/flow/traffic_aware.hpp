@@ -1,0 +1,38 @@
+// Traffic-AWARE limited multi-path routing: the non-oblivious comparator.
+//
+// The paper's heuristics must commit to K paths per pair without seeing
+// the traffic.  When the traffic matrix IS known, a simple greedy
+// assignment -- route each demand's K shares one at a time onto the
+// candidate path that minimizes the resulting bottleneck -- gives a
+// strong upper reference ("what does obliviousness cost?").  An optional
+// refinement loop rips up and re-routes every demand until no pass
+// improves the bottleneck.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/traffic.hpp"
+#include "topology/xgft.hpp"
+
+namespace lmpr::flow {
+
+struct TrafficAwareConfig {
+  std::size_t k_paths = 4;
+  /// Rip-up-and-reroute passes after the initial greedy placement.
+  std::size_t refine_passes = 2;
+};
+
+struct TrafficAwareResult {
+  /// Max link load of the greedy K-path routing.
+  double max_load = 0.0;
+  /// How many demand re-routings the refinement performed.
+  std::size_t reroutes = 0;
+};
+
+/// Deterministic (demand order = matrix order; ties broken by lowest
+/// path index).
+TrafficAwareResult traffic_aware_kpath(const topo::Xgft& xgft,
+                                       const TrafficMatrix& tm,
+                                       const TrafficAwareConfig& config);
+
+}  // namespace lmpr::flow

@@ -1,0 +1,96 @@
+#include "flow/worst_case.hpp"
+
+#include <vector>
+
+#include "flow/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::flow {
+
+namespace {
+
+struct Evaluation {
+  double perf = 0.0;
+  double max_load = 0.0;
+  double oload_value = 0.0;
+};
+
+Evaluation evaluate_perm(const topo::Xgft& xgft, LoadEvaluator& evaluator,
+                         const std::vector<std::size_t>& perm,
+                         const WorstCaseConfig& config) {
+  const auto tm = TrafficMatrix::permutation(xgft.num_hosts(), perm);
+  // Fixed per-evaluation RNG: randomized heuristics see a reproducible
+  // path draw, so the search objective is a deterministic function of the
+  // permutation.
+  util::Rng route_rng{config.seed ^ 0xabcdef123456789ULL};
+  Evaluation eval;
+  eval.max_load =
+      evaluator.evaluate(tm, config.heuristic, config.k_paths, route_rng)
+          .max_load;
+  eval.oload_value = oload(xgft, tm).value;
+  eval.perf = perf_ratio(eval.max_load, eval.oload_value);
+  return eval;
+}
+
+struct RestartOutcome {
+  Evaluation best;
+  std::vector<std::size_t> perm;
+  std::size_t evaluations = 0;
+};
+
+RestartOutcome run_restart(const topo::Xgft& xgft,
+                           const WorstCaseConfig& config,
+                           std::size_t restart) {
+  std::uint64_t state =
+      config.seed ^ (0x9e3779b97f4a7c15ULL * (restart + 1));
+  util::Rng rng{util::splitmix64(state)};
+  LoadEvaluator evaluator(xgft);
+  const auto hosts = static_cast<std::size_t>(xgft.num_hosts());
+
+  RestartOutcome outcome;
+  outcome.perm = rng.permutation(hosts);
+  outcome.best = evaluate_perm(xgft, evaluator, outcome.perm, config);
+  ++outcome.evaluations;
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    const std::size_t a = static_cast<std::size_t>(rng.below(hosts));
+    std::size_t b = static_cast<std::size_t>(rng.below(hosts - 1));
+    if (b >= a) ++b;
+    std::swap(outcome.perm[a], outcome.perm[b]);
+    const Evaluation candidate =
+        evaluate_perm(xgft, evaluator, outcome.perm, config);
+    ++outcome.evaluations;
+    if (candidate.perf >= outcome.best.perf) {
+      outcome.best = candidate;  // accept improvements and plateau moves
+    } else {
+      std::swap(outcome.perm[a], outcome.perm[b]);  // revert
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+WorstCaseResult search_worst_permutation(const topo::Xgft& xgft,
+                                         const WorstCaseConfig& config) {
+  std::vector<RestartOutcome> outcomes(config.restarts);
+  auto body = [&](std::size_t r) { outcomes[r] = run_restart(xgft, config, r); };
+  if (config.pool != nullptr) {
+    config.pool->parallel_for(config.restarts, body);
+  } else {
+    for (std::size_t r = 0; r < config.restarts; ++r) body(r);
+  }
+
+  WorstCaseResult result;
+  for (const RestartOutcome& outcome : outcomes) {
+    result.evaluations += outcome.evaluations;
+    if (outcome.best.perf > result.worst_perf) {
+      result.worst_perf = outcome.best.perf;
+      result.worst_max_load = outcome.best.max_load;
+      result.worst_oload = outcome.best.oload_value;
+      result.worst_perm = outcome.perm;
+    }
+  }
+  return result;
+}
+
+}  // namespace lmpr::flow

@@ -1,0 +1,53 @@
+// Adversarial search for bad permutations: how far from optimal can a
+// routing be driven by a worst-case permutation?  The paper's oblivious
+// performance ratio (Section 3.2) maximizes PERF(r, TM) over ALL traffic
+// matrices; restricted to permutation traffic this becomes a discrete
+// search problem, attacked here with seeded random-restart hill climbing
+// (mutation: swap two destinations; plateau moves accepted).
+//
+// For d-mod-k the search should approach the analytic worst case (the
+// Theorem 2 style congestion, bounded by min(m_1*..*m_{h-1}, w_1*..*w_h)
+// on one uplink); for limited multi-path routing it demonstrates that
+// increasing K also shrinks the WORST case, not just the average.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "flow/link_load.hpp"
+#include "flow/oload.hpp"
+#include "topology/xgft.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpr::flow {
+
+struct WorstCaseConfig {
+  route::Heuristic heuristic = route::Heuristic::kDModK;
+  std::size_t k_paths = 1;
+  /// Hill-climbing steps per restart.
+  std::size_t steps = 2000;
+  std::size_t restarts = 4;
+  std::uint64_t seed = 17;
+  /// Optional worker pool: restarts are independent (restart r derives
+  /// its RNG from (seed, r)), so results are identical for any worker
+  /// count.
+  util::ThreadPool* pool = nullptr;
+};
+
+struct WorstCaseResult {
+  /// Best (largest) performance ratio found.
+  double worst_perf = 0.0;
+  /// Max link load / optimal load of the worst permutation found.
+  double worst_max_load = 0.0;
+  double worst_oload = 0.0;
+  /// The offending permutation (worst_perm[i] is host i's destination).
+  std::vector<std::size_t> worst_perm;
+  /// Total routing evaluations spent.
+  std::size_t evaluations = 0;
+};
+
+WorstCaseResult search_worst_permutation(const topo::Xgft& xgft,
+                                         const WorstCaseConfig& config);
+
+}  // namespace lmpr::flow

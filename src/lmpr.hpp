@@ -1,0 +1,44 @@
+// Umbrella header for the lmpr library: limited multi-path routing on
+// extended generalized fat-trees (Mahapatra, Yuan, Nienaber; IPDPS-W 2012).
+//
+// Typical usage:
+//
+//   #include "lmpr.hpp"
+//   using namespace lmpr;
+//
+//   topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+//   util::Rng rng{7};
+//   flow::LoadEvaluator eval(xgft);
+//   auto tm = flow::TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+//   auto load = eval.evaluate(tm, route::Heuristic::kDisjoint, /*K=*/4, rng);
+//   double ratio = flow::perf_ratio(load.max_load, flow::oload(xgft, tm).value);
+#pragma once
+
+#include "core/deadlock.hpp"
+#include "core/heuristics.hpp"
+#include "core/lid_cost.hpp"
+#include "core/overlap.hpp"
+#include "core/path_index.hpp"
+#include "core/route_table.hpp"
+#include "core/single_path.hpp"
+#include "discovery/recognize.hpp"
+#include "fabric/lft.hpp"
+#include "flit/config.hpp"
+#include "flit/metrics.hpp"
+#include "flit/network.hpp"
+#include "flit/sweep.hpp"
+#include "flow/collectives.hpp"
+#include "flow/link_load.hpp"
+#include "flow/oload.hpp"
+#include "flow/permutation_study.hpp"
+#include "flow/resilience.hpp"
+#include "flow/traffic.hpp"
+#include "flow/traffic_aware.hpp"
+#include "flow/worst_case.hpp"
+#include "topology/label.hpp"
+#include "topology/spec.hpp"
+#include "topology/xgft.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"

@@ -1,0 +1,52 @@
+#include "topology/label.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::topo {
+
+std::string Label::to_string() const {
+  std::ostringstream oss;
+  oss << '(' << level << ';';
+  for (std::size_t i = digits.size(); i > 0; --i) {
+    oss << ' ' << digits[i - 1];
+    if (i > 1) oss << ',';
+  }
+  oss << ')';
+  return oss.str();
+}
+
+std::uint32_t digit_radix(const XgftSpec& spec, std::uint32_t level,
+                          std::size_t i) {
+  LMPR_EXPECTS(level <= spec.height());
+  LMPR_EXPECTS(i >= 1 && i <= spec.height());
+  return i <= level ? spec.w_at(i) : spec.m_at(i);
+}
+
+std::uint64_t label_to_rank(const XgftSpec& spec, const Label& label) {
+  LMPR_EXPECTS(label.digits.size() == spec.height());
+  std::uint64_t rank = 0;
+  for (std::size_t i = spec.height(); i >= 1; --i) {
+    const std::uint32_t radix = digit_radix(spec, label.level, i);
+    LMPR_EXPECTS(label.digits[i - 1] < radix);
+    rank = rank * radix + label.digits[i - 1];
+  }
+  return rank;
+}
+
+Label rank_to_label(const XgftSpec& spec, std::uint32_t level,
+                    std::uint64_t rank) {
+  LMPR_EXPECTS(level <= spec.height());
+  Label label{level, std::vector<std::uint32_t>(spec.height())};
+  std::uint64_t rest = rank;
+  for (std::size_t i = 1; i <= spec.height(); ++i) {
+    const std::uint32_t radix = digit_radix(spec, level, i);
+    label.digits[i - 1] = static_cast<std::uint32_t>(rest % radix);
+    rest /= radix;
+  }
+  LMPR_EXPECTS(rest == 0);  // rank was within the level's node count
+  return label;
+}
+
+}  // namespace lmpr::topo

@@ -1,0 +1,56 @@
+// Tuple labelling of XGFT nodes (paper Section 3.1).
+//
+// A node is identified by (l, a_h, a_{h-1}, .., a_1) where l is its level,
+// a_i < m_i for i > l (which height-i subtree copy the node lives in) and
+// a_i < w_i for i <= l (which of the level's switch replicas it is).
+//
+// Within a level, nodes are ranked by the mixed-radix value of the digit
+// string with a_1 least significant; across levels, ids are assigned level
+// 0 first, so processing node p has NodeId p -- matching the paper's host
+// numbering (e.g. the SD pair "(0, 63)" of Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/spec.hpp"
+
+namespace lmpr::topo {
+
+/// Index of a node in the instantiated topology (level-major, level 0
+/// first).  Strongly typed aliases are not worth the friction here: ids
+/// index into dense arrays everywhere.
+using NodeId = std::uint32_t;
+/// Index of a *directed* link.
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+
+/// Decoded label of a node.
+struct Label {
+  std::uint32_t level = 0;
+  /// digits[i-1] = a_i, i = 1..h (a_1 first).
+  std::vector<std::uint32_t> digits;
+
+  friend bool operator==(const Label&, const Label&) = default;
+
+  /// "(2; a_h,..,a_1)" rendering, digits most-significant first as in the
+  /// paper's figures.
+  std::string to_string() const;
+};
+
+/// Radix of digit position i (1-based) for a node at level `level`:
+/// w_i below-or-at the level, m_i above it.
+std::uint32_t digit_radix(const XgftSpec& spec, std::uint32_t level,
+                          std::size_t i);
+
+/// Rank of a label within its level (0-based).
+std::uint64_t label_to_rank(const XgftSpec& spec, const Label& label);
+
+/// Inverse of label_to_rank.
+Label rank_to_label(const XgftSpec& spec, std::uint32_t level,
+                    std::uint64_t rank);
+
+}  // namespace lmpr::topo

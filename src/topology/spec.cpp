@@ -1,0 +1,195 @@
+#include "topology/spec.hpp"
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::topo {
+
+namespace {
+
+std::uint64_t checked_product(const std::vector<std::uint32_t>& values,
+                              std::size_t count) {
+  LMPR_EXPECTS(count <= values.size());
+  std::uint64_t product = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t next = product * values[i];
+    if (values[i] != 0 && next / values[i] != product) {
+      throw std::invalid_argument("XgftSpec: arity product overflows 64 bits");
+    }
+    product = next;
+  }
+  return product;
+}
+
+}  // namespace
+
+std::uint32_t XgftSpec::m_at(std::size_t i) const {
+  LMPR_EXPECTS(i >= 1 && i <= m.size());
+  return m[i - 1];
+}
+
+std::uint32_t XgftSpec::w_at(std::size_t i) const {
+  LMPR_EXPECTS(i >= 1 && i <= w.size());
+  return w[i - 1];
+}
+
+std::uint64_t XgftSpec::num_hosts() const noexcept {
+  std::uint64_t product = 1;
+  for (auto v : m) product *= v;
+  return product;
+}
+
+std::uint64_t XgftSpec::num_top_switches() const noexcept {
+  std::uint64_t product = 1;
+  for (auto v : w) product *= v;
+  return product;
+}
+
+std::uint64_t XgftSpec::nodes_at_level(std::size_t l) const {
+  LMPR_EXPECTS(l <= height());
+  std::uint64_t count = 1;
+  for (std::size_t i = l + 1; i <= height(); ++i) count *= m_at(i);
+  for (std::size_t i = 1; i <= l; ++i) count *= w_at(i);
+  return count;
+}
+
+std::uint64_t XgftSpec::total_nodes() const {
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l <= height(); ++l) total += nodes_at_level(l);
+  return total;
+}
+
+std::uint64_t XgftSpec::m_prefix_product(std::size_t k) const {
+  return checked_product(m, k);
+}
+
+std::uint64_t XgftSpec::w_prefix_product(std::size_t k) const {
+  return checked_product(w, k);
+}
+
+std::uint64_t XgftSpec::boundary_links(std::size_t k) const {
+  LMPR_EXPECTS(k < height());
+  return w_prefix_product(k + 1);
+}
+
+void XgftSpec::validate() const {
+  if (m.empty()) {
+    throw std::invalid_argument("XgftSpec: height must be at least 1");
+  }
+  if (m.size() != w.size()) {
+    throw std::invalid_argument(
+        "XgftSpec: m and w must have the same length (the tree height)");
+  }
+  for (auto v : m) {
+    if (v == 0) throw std::invalid_argument("XgftSpec: every m_i must be >= 1");
+  }
+  for (auto v : w) {
+    if (v == 0) throw std::invalid_argument("XgftSpec: every w_i must be >= 1");
+  }
+  // Triggers the overflow check and bounds total size: an instantiated
+  // topology must be indexable and allocatable.
+  const std::uint64_t hosts = checked_product(m, m.size());
+  const std::uint64_t tops = checked_product(w, w.size());
+  constexpr std::uint64_t kMaxNodes = 1ULL << 32;
+  if (hosts >= kMaxNodes || tops >= kMaxNodes || total_nodes() >= kMaxNodes) {
+    throw std::invalid_argument("XgftSpec: topology exceeds 2^32 nodes");
+  }
+}
+
+std::string XgftSpec::to_string() const {
+  std::ostringstream oss;
+  oss << "XGFT(" << height() << ';';
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i != 0) oss << ',';
+    oss << m[i];
+  }
+  oss << ';';
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i != 0) oss << ',';
+    oss << w[i];
+  }
+  oss << ')';
+  return oss.str();
+}
+
+XgftSpec XgftSpec::parse(const std::string& text) {
+  std::string compact;
+  compact.reserve(text.size());
+  for (char ch : text) {
+    if (!std::isspace(static_cast<unsigned char>(ch))) compact.push_back(ch);
+  }
+  auto fail = [&]() -> XgftSpec {
+    throw std::invalid_argument("XgftSpec::parse: expected XGFT(h;m..;w..), got '" +
+                                text + "'");
+  };
+  const std::string prefix = "XGFT(";
+  if (compact.rfind(prefix, 0) != 0 || compact.back() != ')') return fail();
+  const std::string body = compact.substr(prefix.size(),
+                                          compact.size() - prefix.size() - 1);
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= body.size(); ++i) {
+    if (i == body.size() || body[i] == ';') {
+      parts.push_back(body.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (parts.size() != 3) return fail();
+  auto parse_list = [&](const std::string& list) {
+    std::vector<std::uint32_t> values;
+    std::istringstream iss(list);
+    std::string item;
+    while (std::getline(iss, item, ',')) {
+      values.push_back(static_cast<std::uint32_t>(std::stoul(item)));
+    }
+    return values;
+  };
+  XgftSpec spec{parse_list(parts[1]), parse_list(parts[2])};
+  const auto h = static_cast<std::size_t>(std::stoul(parts[0]));
+  if (h != spec.height()) return fail();
+  spec.validate();
+  return spec;
+}
+
+XgftSpec XgftSpec::m_port_n_tree(std::uint32_t ports, std::size_t levels) {
+  if (ports % 2 != 0) {
+    throw std::invalid_argument("m-port n-tree requires an even port count");
+  }
+  if (levels == 0) {
+    throw std::invalid_argument("m-port n-tree requires at least one level");
+  }
+  const std::uint32_t half = ports / 2;
+  XgftSpec spec;
+  spec.m.assign(levels, half);
+  spec.m.back() = ports;  // top-level switches use all ports downward
+  spec.w.assign(levels, half);
+  spec.w.front() = 1;  // each host attaches to exactly one leaf switch
+  spec.validate();
+  return spec;
+}
+
+XgftSpec XgftSpec::k_ary_n_tree(std::uint32_t arity, std::size_t levels) {
+  if (levels == 0) {
+    throw std::invalid_argument("k-ary n-tree requires at least one level");
+  }
+  XgftSpec spec;
+  spec.m.assign(levels, arity);
+  spec.w.assign(levels, arity);
+  spec.w.front() = 1;
+  spec.validate();
+  return spec;
+}
+
+XgftSpec XgftSpec::gft(std::size_t height, std::uint32_t m, std::uint32_t w) {
+  XgftSpec spec;
+  spec.m.assign(height, m);
+  spec.w.assign(height, w);
+  spec.validate();
+  return spec;
+}
+
+}  // namespace lmpr::topo

@@ -1,0 +1,71 @@
+// XGFT topology specification.
+//
+// An extended generalized fat-tree XGFT(h; m1..mh; w1..wh) (Ohring et al.,
+// IPPS'95) has h+1 levels of nodes.  Level-0 nodes are processing nodes
+// (hosts); levels 1..h are switches.  Each level-i node (i < h) has w_{i+1}
+// parents; each level-i node (i >= 1) has m_i children.  The network has
+// prod(m_i) hosts and prod(w_i) top-level switches.
+//
+// Well-known fat-tree variants are XGFT special cases; the factory
+// functions below build the equivalences the paper uses (Section 5):
+//   m-port n-tree  ==  XGFT(n; m/2,..,m/2,m; 1,m/2,..,m/2)
+//   k-ary  n-tree  ==  XGFT(n; k,..,k; 1,k,..,k)
+//   GFT(h; m, w)   ==  XGFT(h; m,..,m; w,..,w)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmpr::topo {
+
+struct XgftSpec {
+  /// m[i-1] = m_i: children per level-i node, i = 1..h.
+  std::vector<std::uint32_t> m;
+  /// w[i-1] = w_i: parents per level-(i-1) node, i = 1..h.
+  std::vector<std::uint32_t> w;
+
+  std::size_t height() const noexcept { return m.size(); }
+
+  /// m_i / w_i with the paper's 1-based level subscripts.
+  std::uint32_t m_at(std::size_t i) const;
+  std::uint32_t w_at(std::size_t i) const;
+
+  /// prod_{i=1..h} m_i: number of processing nodes.
+  std::uint64_t num_hosts() const noexcept;
+  /// prod_{i=1..h} w_i: number of top-level switches; also the maximum
+  /// number of shortest paths between any two hosts (Property 1 with the
+  /// nearest common ancestor at level h).
+  std::uint64_t num_top_switches() const noexcept;
+  /// Number of nodes at level l: (prod_{i>l} m_i) * (prod_{i<=l} w_i).
+  std::uint64_t nodes_at_level(std::size_t l) const;
+  /// Total node count over all levels 0..h.
+  std::uint64_t total_nodes() const;
+
+  /// prod_{i=1..k} m_i (hosts per height-k subtree).
+  std::uint64_t m_prefix_product(std::size_t k) const;
+  /// prod_{i=1..k} w_i (shortest paths for an SD pair with NCA at level k;
+  /// also top-level switches of a height-k subtree).
+  std::uint64_t w_prefix_product(std::size_t k) const;
+  /// TL(k) = prod_{i=1..k+1} w_i: one-directional links that connect a
+  /// height-k subtree to the rest of the fabric (paper Section 4.1).
+  std::uint64_t boundary_links(std::size_t k) const;
+
+  /// Throws std::invalid_argument when the spec is malformed (empty, zero
+  /// arity, mismatched lengths) or too large to index with 64-bit ids.
+  void validate() const;
+
+  /// "XGFT(3;4,4,8;1,4,4)" -- the paper's notation.
+  std::string to_string() const;
+
+  /// Parses the to_string() format (whitespace-insensitive).
+  static XgftSpec parse(const std::string& text);
+
+  static XgftSpec m_port_n_tree(std::uint32_t ports, std::size_t levels);
+  static XgftSpec k_ary_n_tree(std::uint32_t arity, std::size_t levels);
+  static XgftSpec gft(std::size_t height, std::uint32_t m, std::uint32_t w);
+
+  friend bool operator==(const XgftSpec&, const XgftSpec&) = default;
+};
+
+}  // namespace lmpr::topo

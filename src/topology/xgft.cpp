@@ -1,0 +1,236 @@
+#include "topology/xgft.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::topo {
+
+Xgft::Xgft(XgftSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  const std::size_t h = spec_.height();
+
+  m_prefix_.resize(h + 1);
+  w_prefix_.resize(h + 1);
+  for (std::size_t k = 0; k <= h; ++k) {
+    m_prefix_[k] = spec_.m_prefix_product(k);
+    w_prefix_[k] = spec_.w_prefix_product(k);
+  }
+  num_hosts_ = m_prefix_[h];
+
+  level_base_.resize(h + 2);
+  level_base_[0] = 0;
+  for (std::size_t l = 0; l <= h; ++l) {
+    level_base_[l + 1] = static_cast<NodeId>(level_base_[l] +
+                                             spec_.nodes_at_level(l));
+  }
+
+  const std::uint64_t total = level_base_[h + 1];
+  up_first_.assign(total + 1, 0);
+  down_first_.assign(total + 1, 0);
+
+  // Pass 1: count cables per node (up for lower endpoint, down for upper).
+  std::uint64_t num_cables = 0;
+  for (std::size_t l = 0; l < h; ++l) {
+    num_cables += spec_.nodes_at_level(l) * spec_.w_at(l + 1);
+  }
+  // Prefix sums for the flat arrays.
+  {
+    std::uint64_t up_off = 0;
+    std::uint64_t down_off = 0;
+    for (std::uint64_t node = 0; node < total; ++node) {
+      up_first_[node] = up_off;
+      down_first_[node] = down_off;
+      const std::uint32_t l = level_of(static_cast<NodeId>(node));
+      if (l < h) up_off += spec_.w_at(l + 1);
+      if (l >= 1) down_off += spec_.m_at(l);
+    }
+    up_first_[total] = up_off;
+    down_first_[total] = down_off;
+    LMPR_ASSERT(up_off == num_cables);
+    LMPR_ASSERT(down_off == num_cables);
+  }
+
+  up_cable_dst_.assign(num_cables, kInvalidNode);
+  down_cable_.assign(num_cables, kInvalidLink);
+  links_.resize(2 * num_cables);
+
+  // Pass 2: enumerate cables.  Cable ids follow (level, lower-node rank,
+  // upper port) lexicographic order; the cable id is also the UP LinkId.
+  std::uint64_t cable = 0;
+  for (std::uint32_t l = 0; l < h; ++l) {
+    const std::uint64_t count = spec_.nodes_at_level(l);
+    const std::uint32_t parents = spec_.w_at(l + 1);
+    for (std::uint64_t rank = 0; rank < count; ++rank) {
+      const NodeId lower = node_id(l, rank);
+      Label lab = rank_to_label(spec_, l, rank);
+      const std::uint32_t child_digit = lab.digits[l];  // a_{l+1} of lower
+      lab.level = l + 1;
+      for (std::uint32_t j = 0; j < parents; ++j) {
+        lab.digits[l] = j;  // parent's digit at position l+1
+        const NodeId upper = node_id(l + 1, label_to_rank(spec_, lab));
+        up_cable_dst_[up_first_[lower] + j] = upper;
+        down_cable_[down_first_[upper] + child_digit] =
+            static_cast<std::uint32_t>(cable);
+        links_[cable] = Link{lower, upper, l, /*up=*/true};
+        links_[num_cables + cable] = Link{upper, lower, l, /*up=*/false};
+        ++cable;
+      }
+    }
+  }
+  LMPR_ENSURES(cable == num_cables);
+}
+
+NodeId Xgft::node_id(std::uint32_t level, std::uint64_t rank) const {
+  LMPR_EXPECTS(level <= height());
+  LMPR_EXPECTS(rank < spec_.nodes_at_level(level));
+  return static_cast<NodeId>(level_base_[level] + rank);
+}
+
+NodeId Xgft::host(std::uint64_t i) const {
+  LMPR_EXPECTS(i < num_hosts_);
+  return static_cast<NodeId>(i);
+}
+
+std::uint32_t Xgft::level_of(NodeId node) const {
+  LMPR_EXPECTS(node < num_nodes());
+  std::uint32_t l = 0;
+  while (node >= level_base_[l + 1]) ++l;
+  return l;
+}
+
+std::uint64_t Xgft::rank_of(NodeId node) const {
+  return node - level_base_[level_of(node)];
+}
+
+Label Xgft::label_of(NodeId node) const {
+  const std::uint32_t l = level_of(node);
+  return rank_to_label(spec_, l, node - level_base_[l]);
+}
+
+NodeId Xgft::node_of(const Label& label) const {
+  return node_id(label.level, label_to_rank(spec_, label));
+}
+
+std::uint32_t Xgft::num_parents(NodeId node) const {
+  const std::uint32_t l = level_of(node);
+  return l < height() ? spec_.w_at(l + 1) : 0;
+}
+
+std::uint32_t Xgft::num_children(NodeId node) const {
+  const std::uint32_t l = level_of(node);
+  return l >= 1 ? spec_.m_at(l) : 0;
+}
+
+NodeId Xgft::parent(NodeId node, std::uint32_t j) const {
+  LMPR_EXPECTS(j < num_parents(node));
+  return up_cable_dst_[up_first_[node] + j];
+}
+
+NodeId Xgft::child(NodeId node, std::uint32_t c) const {
+  LMPR_EXPECTS(c < num_children(node));
+  return links_[down_cable_[down_first_[node] + c]].src;
+}
+
+LinkId Xgft::up_link(NodeId node, std::uint32_t j) const {
+  LMPR_EXPECTS(j < num_parents(node));
+  return static_cast<LinkId>(up_first_[node] + j);
+}
+
+LinkId Xgft::down_link(NodeId node, std::uint32_t c) const {
+  LMPR_EXPECTS(c < num_children(node));
+  return static_cast<LinkId>(num_up_links() +
+                             down_cable_[down_first_[node] + c]);
+}
+
+const Link& Xgft::link(LinkId id) const {
+  LMPR_EXPECTS(id < links_.size());
+  return links_[id];
+}
+
+std::uint32_t Xgft::nca_level(std::uint64_t src_host,
+                              std::uint64_t dst_host) const {
+  LMPR_EXPECTS(src_host < num_hosts_ && dst_host < num_hosts_);
+  if (src_host == dst_host) return 0;
+  for (std::uint32_t k = 1; k <= height(); ++k) {
+    if (src_host / m_prefix_[k] == dst_host / m_prefix_[k]) return k;
+  }
+  LMPR_ASSERT(false);  // the whole fabric is a height-h subtree
+  return height();
+}
+
+std::uint64_t Xgft::num_shortest_paths(std::uint64_t src_host,
+                                       std::uint64_t dst_host) const {
+  return w_prefix_[nca_level(src_host, dst_host)];
+}
+
+std::uint64_t Xgft::subtree_of(std::uint64_t host, std::uint32_t k) const {
+  LMPR_EXPECTS(host < num_hosts_);
+  LMPR_EXPECTS(k <= height());
+  return host / m_prefix_[k];
+}
+
+std::uint64_t Xgft::num_subtrees(std::uint32_t k) const {
+  LMPR_EXPECTS(k <= height());
+  return num_hosts_ / m_prefix_[k];
+}
+
+std::uint64_t Xgft::hosts_per_subtree(std::uint32_t k) const {
+  LMPR_EXPECTS(k <= height());
+  return m_prefix_[k];
+}
+
+std::uint64_t Xgft::m_prefix(std::uint32_t k) const {
+  LMPR_EXPECTS(k <= height());
+  return m_prefix_[k];
+}
+
+std::uint64_t Xgft::w_prefix(std::uint32_t k) const {
+  LMPR_EXPECTS(k <= height());
+  return w_prefix_[k];
+}
+
+std::uint32_t Xgft::host_digit(std::uint64_t host, std::size_t i) const {
+  LMPR_EXPECTS(host < num_hosts_);
+  LMPR_EXPECTS(i >= 1 && i <= height());
+  return static_cast<std::uint32_t>((host / m_prefix_[i - 1]) % spec_.m_at(i));
+}
+
+bool Xgft::is_ancestor_of_host(NodeId node, std::uint64_t host) const {
+  LMPR_EXPECTS(host < num_hosts_);
+  const std::uint32_t level = level_of(node);
+  if (level == 0) return node == this->host(host);
+  // A level-l switch covers exactly the hosts whose label digits above l
+  // match its own (the switch's w-digits at <= l select a replica, not a
+  // different host set).
+  const Label label = label_of(node);
+  for (std::size_t i = level + 1; i <= height(); ++i) {
+    if (label.digits[i - 1] != host_digit(host, i)) return false;
+  }
+  return true;
+}
+
+std::uint32_t Xgft::down_port_toward(NodeId node, std::uint64_t host) const {
+  const std::uint32_t level = level_of(node);
+  LMPR_EXPECTS(level >= 1);
+  LMPR_EXPECTS(is_ancestor_of_host(node, host));
+  return host_digit(host, level);
+}
+
+std::string Xgft::to_dot() const {
+  std::ostringstream oss;
+  oss << "graph xgft {\n  rankdir=BT;\n";
+  for (std::uint64_t node = 0; node < num_nodes(); ++node) {
+    const auto id = static_cast<NodeId>(node);
+    oss << "  n" << node << " [label=\"" << label_of(id).to_string()
+        << "\", shape=" << (is_host(id) ? "circle" : "box") << "];\n";
+  }
+  for (std::uint64_t c = 0; c < num_cables(); ++c) {
+    const Link& link = links_[c];
+    oss << "  n" << link.src << " -- n" << link.dst << ";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace lmpr::topo

@@ -1,0 +1,152 @@
+// Instantiated XGFT topology: dense node ids, directed links, adjacency,
+// port numbering, nearest-common-ancestor queries and subtree cuts.
+//
+// Construction cost and memory are linear in the number of nodes + links;
+// all adjacency queries are O(1) and all label queries O(h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topology/label.hpp"
+#include "topology/spec.hpp"
+
+namespace lmpr::topo {
+
+/// One *directed* link.  Every physical cable between a level-l node
+/// ("lower") and a level-(l+1) node ("upper") yields two directed links:
+/// an UP link lower->upper and a DOWN link upper->lower.
+struct Link {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Level of the lower endpoint (0..h-1); "the link lives between level
+  /// `level` and `level`+1".
+  std::uint32_t level = 0;
+  bool up = false;
+};
+
+class Xgft {
+ public:
+  /// Validates the spec and materializes the topology.
+  explicit Xgft(XgftSpec spec);
+
+  const XgftSpec& spec() const noexcept { return spec_; }
+  std::uint32_t height() const noexcept {
+    return static_cast<std::uint32_t>(spec_.height());
+  }
+
+  std::uint64_t num_hosts() const noexcept { return num_hosts_; }
+  std::uint64_t num_nodes() const noexcept { return level_base_.back(); }
+  /// Directed link count (2x the cable count).
+  std::uint64_t num_links() const noexcept { return links_.size(); }
+  std::uint64_t num_cables() const noexcept { return links_.size() / 2; }
+
+  // --- id <-> (level, rank) <-> label ------------------------------------
+
+  NodeId node_id(std::uint32_t level, std::uint64_t rank) const;
+  /// Processing node i (ids coincide: hosts occupy ids [0, num_hosts)).
+  NodeId host(std::uint64_t i) const;
+  bool is_host(NodeId node) const noexcept { return node < num_hosts_; }
+
+  std::uint32_t level_of(NodeId node) const;
+  std::uint64_t rank_of(NodeId node) const;
+  Label label_of(NodeId node) const;
+  NodeId node_of(const Label& label) const;
+
+  // --- adjacency ----------------------------------------------------------
+
+  /// Number of parents of `node` (w_{l+1}; 0 at the top level).
+  std::uint32_t num_parents(NodeId node) const;
+  /// Number of children of `node` (m_l; 0 for hosts).
+  std::uint32_t num_children(NodeId node) const;
+
+  /// Parent reached through (0-based) upper port `j` -- the paper's port
+  /// j+1.  Upper ports are ordered left to right, i.e. by the parent's
+  /// digit at position l+1.
+  NodeId parent(NodeId node, std::uint32_t j) const;
+  /// Child reached through (0-based) lower port `c`, ordered by the
+  /// child's digit at position l (for a node at level l).
+  NodeId child(NodeId node, std::uint32_t c) const;
+
+  /// Directed link ids for O(1) load accounting.
+  LinkId up_link(NodeId node, std::uint32_t j) const;
+  LinkId down_link(NodeId node, std::uint32_t c) const;
+
+  const Link& link(LinkId id) const;
+  std::span<const Link> links() const noexcept { return links_; }
+
+  /// Cable (undirected edge) index of a directed link; the two directions
+  /// of one cable share the index (up links occupy ids [0, num_cables)).
+  std::uint64_t cable_of(LinkId id) const {
+    return id % num_cables();
+  }
+
+  // --- shortest-path structure (paper Section 3.1, Property 1) ------------
+
+  /// Level of the nearest common ancestor switches of hosts s and d
+  /// (0 when s == d: the "path" stays at the host).
+  std::uint32_t nca_level(std::uint64_t src_host,
+                          std::uint64_t dst_host) const;
+
+  /// Number of distinct shortest paths between two hosts:
+  /// prod_{i=1..nca} w_i (Property 1).  1 when src == dst.
+  std::uint64_t num_shortest_paths(std::uint64_t src_host,
+                                   std::uint64_t dst_host) const;
+
+  /// Index of the height-k subtree containing a host (hosts are grouped
+  /// contiguously: subtree j holds hosts [j*M_k, (j+1)*M_k) with
+  /// M_k = prod_{i<=k} m_i).
+  std::uint64_t subtree_of(std::uint64_t host, std::uint32_t k) const;
+  /// Number of height-k subtrees.
+  std::uint64_t num_subtrees(std::uint32_t k) const;
+  /// Hosts per height-k subtree.
+  std::uint64_t hosts_per_subtree(std::uint32_t k) const;
+
+  /// prod_{i<=k} m_i, cached.
+  std::uint64_t m_prefix(std::uint32_t k) const;
+  /// prod_{i<=k} w_i, cached.
+  std::uint64_t w_prefix(std::uint32_t k) const;
+
+  /// Digit a_i of a host's label, i in [1, h] (host digits are all
+  /// m-digits).  Equals (host / m_prefix(i-1)) % m_i.
+  std::uint32_t host_digit(std::uint64_t host, std::size_t i) const;
+
+  /// True when `host` lies in the subtree below `node` (a host is an
+  /// ancestor only of itself).  O(h).
+  bool is_ancestor_of_host(NodeId node, std::uint64_t host) const;
+
+  /// The lower port of `node` (a switch that is an ancestor of `host`)
+  /// on the unique descent toward the host.
+  std::uint32_t down_port_toward(NodeId node, std::uint64_t host) const;
+
+  /// Emits Graphviz DOT of the topology (small instances only: intended
+  /// for documentation and debugging).
+  std::string to_dot() const;
+
+ private:
+  XgftSpec spec_;
+  std::uint64_t num_hosts_ = 0;
+  /// level_base_[l] = NodeId of the first node at level l; the extra
+  /// trailing entry is the total node count.
+  std::vector<NodeId> level_base_;
+  /// Cached prefix products, index k = 0..h.
+  std::vector<std::uint64_t> m_prefix_;
+  std::vector<std::uint64_t> w_prefix_;
+
+  /// Flat adjacency.  up_first_[node] indexes into up_cable_dst_; node has
+  /// num_parents(node) consecutive entries.  The cable index doubles as
+  /// the UP LinkId; DOWN LinkId = num_cables + cable index.
+  std::vector<std::uint64_t> up_first_;
+  std::vector<NodeId> up_cable_dst_;
+  /// down_first_[node] indexes into down_cable_; entry c holds the cable
+  /// index of the node's c-th lower port (whose other end is child(node,c)).
+  std::vector<std::uint64_t> down_first_;
+  std::vector<std::uint32_t> down_cable_;
+
+  std::vector<Link> links_;
+
+  std::uint64_t num_up_links() const noexcept { return links_.size() / 2; }
+};
+
+}  // namespace lmpr::topo

@@ -1,0 +1,71 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace lmpr::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    flags_[name] = std::move(value);
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return flags_.contains(name);
+}
+
+std::optional<std::string> Cli::get(const std::string& name) const {
+  if (auto it = flags_.find(name); it != flags_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::string Cli::get_or(const std::string& name, std::string fallback) const {
+  if (auto v = get(name); v && !v->empty()) return *v;
+  return fallback;
+}
+
+std::string Cli::get_or(const std::string& name, const char* fallback) const {
+  return get_or(name, std::string(fallback));
+}
+
+std::int64_t Cli::get_or(const std::string& name, std::int64_t fallback) const {
+  if (auto v = get(name); v && !v->empty()) return std::stoll(*v);
+  return fallback;
+}
+
+double Cli::get_or(const std::string& name, double fallback) const {
+  if (auto v = get(name); v && !v->empty()) return std::stod(*v);
+  return fallback;
+}
+
+bool Cli::get_or(const std::string& name, bool fallback) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  if (v->empty()) return true;  // bare --switch
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+bool full_scale_requested(const Cli& cli) {
+  if (cli.get_or("full", false)) return true;
+  const char* env = std::getenv("LMPR_FULL");
+  return env != nullptr && std::string_view(env) != "0" &&
+         std::string_view(env) != "";
+}
+
+}  // namespace lmpr::util

@@ -1,0 +1,51 @@
+// A tiny command-line flag parser used by the bench and example binaries.
+//
+// Conventions:  --name value   or   --name=value   or bare --switch.
+// Unknown flags are collected so callers can reject or forward them
+// (google-benchmark binaries forward the rest to the benchmark runner).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lmpr::util {
+
+class Cli {
+ public:
+  /// Parses argv; does not take ownership.  Flags may appear at most once
+  /// (the last occurrence wins).
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, std::string fallback) const;
+  /// Disambiguates string literals (which would otherwise convert to bool).
+  std::string get_or(const std::string& name, const char* fallback) const;
+  std::int64_t get_or(const std::string& name, std::int64_t fallback) const;
+  double get_or(const std::string& name, double fallback) const;
+  bool get_or(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Returns true when paper-scale ("full fidelity") runs were requested via
+/// --full or the LMPR_FULL environment variable.  Bench binaries default to
+/// scaled-down parameters so the whole suite completes on a laptop.
+bool full_scale_requested(const Cli& cli);
+
+}  // namespace lmpr::util

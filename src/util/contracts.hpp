@@ -1,0 +1,37 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures() (I.6, I.8).  Violations indicate programmer error,
+// not recoverable conditions, so they terminate with a diagnostic.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lmpr::util::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "lmpr: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace lmpr::util::detail
+
+/// Precondition check.  Always on: the checks guard index arithmetic that
+/// would otherwise silently corrupt simulation results.
+#define LMPR_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::lmpr::util::detail::contract_failure("precondition", #cond, \
+                                                   __FILE__, __LINE__))
+
+/// Postcondition check.
+#define LMPR_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::lmpr::util::detail::contract_failure("postcondition", #cond, \
+                                                   __FILE__, __LINE__))
+
+/// Internal invariant check.
+#define LMPR_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::lmpr::util::detail::contract_failure("invariant", #cond,  \
+                                                   __FILE__, __LINE__))

@@ -1,0 +1,22 @@
+#include "util/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmpr::util {
+
+double ReservoirQuantiles::quantile(double q) const {
+  LMPR_EXPECTS(q >= 0.0 && q <= 1.0);
+  LMPR_EXPECTS(!reservoir_.empty());
+  if (!sorted_) {
+    std::sort(reservoir_.begin(), reservoir_.end());
+    sorted_ = true;
+  }
+  const auto n = reservoir_.size();
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(std::floor(q * static_cast<double>(n)),
+                       static_cast<double>(n - 1)));
+  return reservoir_[rank];
+}
+
+}  // namespace lmpr::util

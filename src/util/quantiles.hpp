@@ -1,0 +1,59 @@
+// Streaming quantile estimation via uniform reservoir sampling
+// (Vitter's Algorithm R): O(capacity) memory, exact quantiles of a
+// uniform random subsample.  Used for message-delay percentiles in the
+// flit simulator, where the stream length is unbounded but a few
+// thousand samples pin the tail well enough for p50..p99.
+//
+// Deterministic for a fixed seed, like everything else in the library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lmpr::util {
+
+class ReservoirQuantiles {
+ public:
+  explicit ReservoirQuantiles(std::size_t capacity = 4096,
+                              std::uint64_t seed = 0x5eed)
+      : capacity_(capacity), rng_(seed) {
+    LMPR_EXPECTS(capacity >= 1);
+    reservoir_.reserve(capacity);
+  }
+
+  void add(double x) {
+    ++count_;
+    if (reservoir_.size() < capacity_) {
+      reservoir_.push_back(x);
+      sorted_ = false;
+      return;
+    }
+    // Keep each of the `count_` elements with probability capacity/count.
+    const std::uint64_t slot = rng_.below(count_);
+    if (slot < capacity_) {
+      reservoir_[static_cast<std::size_t>(slot)] = x;
+      sorted_ = false;
+    }
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::size_t sample_size() const noexcept { return reservoir_.size(); }
+
+  /// Quantile q in [0, 1] of the reservoir (nearest-rank).  Expects at
+  /// least one sample.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::uint64_t count_ = 0;
+  mutable std::vector<double> reservoir_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace lmpr::util

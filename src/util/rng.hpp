@@ -1,0 +1,138 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Simulation studies must be reproducible run-to-run, so the library does
+// not use std::random_device or rely on the unspecified std::mt19937
+// distribution implementations for cross-platform stability of *sampling
+// helpers*.  The engine is xoshiro256** (Blackman & Vigna), seeded via
+// splitmix64; both are public-domain reference algorithms.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::util {
+
+/// splitmix64 step: used for seeding and as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 engine.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  Rejection sampling on the low bits:
+  /// exactly uniform, and the rejection loop is entered with probability
+  /// (2^64 mod bound) / 2^64, negligible for the path-count bounds here.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    LMPR_EXPECTS(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t value = (*this)();
+      if (value >= threshold) return value % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    LMPR_EXPECTS(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed value with the given mean (for Poisson
+  /// arrival processes: inter-arrival times are Exp(mean)).
+  double exponential(double mean) noexcept {
+    LMPR_EXPECTS(mean > 0.0);
+    // Avoid log(0); uniform01() < 1 so 1-u > 0.
+    double u = uniform01();
+    return -mean * std::log1p(-u);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Random permutation of {0, .., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    shuffle(perm);
+    return perm;
+  }
+
+  /// Sample `k` distinct values from {0, .., n-1}, order randomized.
+  /// Uses a partial Fisher-Yates over an index vector: O(n) setup, fine for
+  /// the path-count universes (<= a few hundred) this library deals with.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k) {
+    LMPR_EXPECTS(k <= n);
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+      using std::swap;
+      swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+  /// Derive an independent child stream (e.g. one per simulated entity).
+  Rng fork() noexcept { return Rng{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace lmpr::util

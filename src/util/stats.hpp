@@ -1,0 +1,112 @@
+// Online statistics and the confidence-interval stopping rule used by the
+// paper's flow-level methodology (Section 5):
+//
+//   "we first sample random permutations and compute the average maximum
+//    permutation load [..].  We then compute the confidence interval with
+//    99% confidence level.  If the confidence interval is less than 2% of
+//    the average, we stop [..] otherwise we double the number of samples."
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::util {
+
+/// Welford online accumulator for mean and variance.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  double sem() const noexcept {
+    return count_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  /// Half-width of the confidence interval on the mean at the given
+  /// two-sided confidence level (normal approximation; the sampler below
+  /// never stops before 100 samples, where z and t are indistinguishable).
+  double ci_half_width(double confidence = 0.99) const noexcept;
+
+  void merge(const OnlineStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Two-sided z critical value (inverse normal CDF of (1+confidence)/2)
+/// via the Acklam rational approximation (|error| < 1.15e-9).
+double z_critical(double confidence) noexcept;
+
+/// Drives the paper's adaptive sampling loop.  Usage:
+///
+///   CiStoppingRule rule{...};
+///   while (!rule.satisfied(stats)) stats.add(draw());
+///
+/// satisfied() returns true once (a) at least `initial_samples` are in and
+/// (b) the CI half-width is within `relative_precision` of the mean -- or
+/// once the hard `max_samples` cap is hit.  The caller controls batching;
+/// next_batch_target() implements the paper's sample-doubling schedule.
+struct CiStoppingRule {
+  std::size_t initial_samples = 100;
+  std::size_t max_samples = 12800;
+  double confidence = 0.99;
+  double relative_precision = 0.02;
+
+  bool satisfied(const OnlineStats& stats) const noexcept {
+    if (stats.count() < initial_samples) return false;
+    if (stats.count() >= max_samples) return true;
+    if (stats.mean() == 0.0) return true;  // degenerate: all-zero loads
+    return stats.ci_half_width(confidence) <=
+           relative_precision * std::abs(stats.mean());
+  }
+
+  /// Paper schedule: evaluate at n0, 2*n0, 4*n0, ... samples.
+  std::size_t next_batch_target(std::size_t current) const noexcept {
+    if (current < initial_samples) return initial_samples;
+    std::size_t target = initial_samples;
+    while (target <= current) target *= 2;
+    return target < max_samples ? target : max_samples;
+  }
+};
+
+}  // namespace lmpr::util

@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LMPR_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LMPR_EXPECTS(cells.size() == headers_.size());
+  cells_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << value;
+  return oss.str();
+}
+
+std::string Table::num(std::size_t value) { return std::to_string(value); }
+std::string Table::num(long long value) { return std::to_string(value); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : cells_) emit_row(row);
+}
+
+namespace {
+
+void csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char ch : cell) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+
+void csv_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c != 0) os << ',';
+    csv_cell(os, row[c]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  csv_row(os, headers_);
+  for (const auto& row : cells_) csv_row(os, row);
+}
+
+bool Table::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "lmpr: cannot open " << path << " for writing\n";
+    return false;
+  }
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace lmpr::util

@@ -1,0 +1,49 @@
+// Minimal column-oriented result table with aligned ASCII rendering and
+// CSV export.  Every bench binary reports its paper table/figure through
+// this type so output formats stay uniform across experiments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmpr::util {
+
+/// A rectangular table of string cells with named columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t columns() const noexcept { return headers_.size(); }
+  std::size_t rows() const noexcept { return cells_.size(); }
+
+  /// Appends a row; must match the number of columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with fixed precision.
+  static std::string num(double value, int precision = 3);
+  static std::string num(std::size_t value);
+  static std::string num(long long value);
+
+  /// Renders an aligned ASCII table (pipe-separated, header rule).
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes CSV to the given path; returns false (and logs to stderr) on
+  /// I/O failure rather than throwing, since bench output is best-effort.
+  bool write_csv_file(const std::string& path) const;
+
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& cells() const noexcept {
+    return cells_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace lmpr::util

@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include "util/contracts.hpp"
+
+namespace lmpr::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+std::size_t ThreadPool::default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+void ThreadPool::run_share(Batch& batch) {
+  for (;;) {
+    const std::size_t index =
+        batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.count) break;
+    try {
+      (*batch.body)(index);
+    } catch (...) {
+      std::lock_guard lock(batch.error_mutex);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    const std::size_t completed =
+        batch.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (completed >= batch.count) {
+      // Synchronize with the waiters' predicate check: acquiring the pool
+      // mutex before notifying rules out the lost-wakeup race.
+      { std::lock_guard lock(mutex_); }
+      finished_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || current_ != nullptr; });
+      if (stopping_) return;
+      batch = current_;
+    }
+    run_share(*batch);
+    // This worker ran out of indices; wait for the batch to be retired
+    // before sleeping on wake_ again, otherwise it would busy-loop on the
+    // same (still-current) batch.
+    std::unique_lock lock(mutex_);
+    finished_.wait(lock,
+                   [this, batch] { return stopping_ || current_ != batch; });
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  Batch batch;
+  batch.count = count;
+  batch.body = &body;
+  {
+    std::lock_guard lock(mutex_);
+    LMPR_EXPECTS(current_ == nullptr);  // no nested / concurrent submit
+    current_ = &batch;
+  }
+  wake_.notify_all();
+  run_share(batch);  // the caller participates
+
+  // Wait for stragglers.
+  {
+    std::unique_lock lock(mutex_);
+    finished_.wait(lock, [&batch] {
+      return batch.done.load(std::memory_order_acquire) >= batch.count;
+    });
+    current_ = nullptr;
+  }
+  finished_.notify_all();  // release workers parked on batch retirement
+
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace lmpr::util

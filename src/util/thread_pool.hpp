@@ -1,0 +1,67 @@
+// A small blocking thread pool with a deterministic parallel_for.
+//
+// Design rules (this is simulation infrastructure, results must not
+// depend on the execution schedule):
+//   * work is partitioned by INDEX, and every index derives its own RNG
+//     seed at the call site -- identical results for any thread count,
+//     including 0 workers (inline execution);
+//   * parallel_for blocks until every index completed; exceptions from
+//     workers are captured and rethrown on the calling thread;
+//   * the pool is explicit (no global singleton); benches create one
+//     sized by std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lmpr::util {
+
+class ThreadPool {
+ public:
+  /// `workers` = number of extra threads; 0 means every parallel_for runs
+  /// inline on the caller (useful for debugging and single-core hosts).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Runs body(i) for every i in [0, count).  Indices are claimed from a
+  /// shared atomic counter (dynamic schedule); the call returns when all
+  /// completed.  The first exception thrown by any body is rethrown here.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// A reasonable default worker count for the current machine.
+  static std::size_t default_workers();
+
+ private:
+  struct Batch {
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  void run_share(Batch& batch);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable finished_;
+  Batch* current_ = nullptr;  // guarded by mutex_
+  bool stopping_ = false;
+};
+
+}  // namespace lmpr::util

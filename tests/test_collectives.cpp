@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flow/collectives.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using flow::Collective;
+using flow::evaluate_collective;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(Collectives, ShiftAllToAllShape) {
+  const auto c = flow::shift_all_to_all(8);
+  EXPECT_EQ(c.phases.size(), 7u);
+  for (std::size_t p = 0; p < c.phases.size(); ++p) {
+    EXPECT_EQ(c.phases[p].tm.size(), 8u);
+    EXPECT_EQ(c.phases[p].repeat, 1u);
+    for (const auto& d : c.phases[p].tm.demands()) {
+      EXPECT_EQ(d.dst, (d.src + p + 1) % 8);
+    }
+  }
+}
+
+TEST(Collectives, RecursiveDoublingShape) {
+  const auto c = flow::recursive_doubling(16);
+  EXPECT_EQ(c.phases.size(), 4u);  // log2(16)
+  // Each phase is an involution pairing: dst ^ src == 2^p.
+  for (std::size_t p = 0; p < c.phases.size(); ++p) {
+    for (const auto& d : c.phases[p].tm.demands()) {
+      EXPECT_EQ(d.src ^ d.dst, 1ull << p);
+    }
+  }
+}
+
+TEST(Collectives, RecursiveDoublingRequiresPowerOfTwo) {
+  EXPECT_DEATH(flow::recursive_doubling(12), "precondition");
+}
+
+TEST(Collectives, RingAllreduceRepeats) {
+  const auto c = flow::ring_allreduce(32);
+  ASSERT_EQ(c.phases.size(), 1u);
+  EXPECT_EQ(c.phases[0].repeat, 62u);  // 2 * (N - 1)
+}
+
+TEST(Collectives, Stencil3dIsSixPermutationPhases) {
+  const auto c = flow::stencil3d(2, 4, 4);  // 32 hosts
+  EXPECT_EQ(c.phases.size(), 6u);
+  for (const auto& phase : c.phases) {
+    EXPECT_EQ(phase.tm.size(), 32u);
+    std::set<std::uint64_t> dsts;
+    for (const auto& d : phase.tm.demands()) {
+      EXPECT_NE(d.src, d.dst);  // every dimension >= 2: no self-sends
+      dsts.insert(d.dst);
+    }
+    EXPECT_EQ(dsts.size(), 32u);  // a permutation
+  }
+}
+
+TEST(Collectives, TransposeFixedPointsOnDiagonal) {
+  const auto c = flow::transpose(4, 4);
+  ASSERT_EQ(c.phases.size(), 1u);
+  std::size_t fixed = 0;
+  for (const auto& d : c.phases[0].tm.demands()) fixed += (d.src == d.dst);
+  EXPECT_EQ(fixed, 4u);  // the diagonal
+}
+
+TEST(Collectives, UmultiIsOptimalOnEveryWorkload) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};  // 32 hosts
+  util::Rng rng{3};
+  for (const Collective& c :
+       {flow::shift_all_to_all(32), flow::recursive_doubling(32),
+        flow::ring_allreduce(32), flow::stencil3d(2, 4, 4),
+        flow::transpose(4, 8)}) {
+    const auto cost = evaluate_collective(xgft, c, route::Heuristic::kUmulti,
+                                          1, rng);
+    EXPECT_NEAR(cost.slowdown, 1.0, 1e-9) << c.name;
+    EXPECT_GT(cost.optimal_time, 0.0) << c.name;
+  }
+}
+
+TEST(Collectives, DmodkIsOptimalOnShiftFamilies) {
+  // Zahavi: d-mod-k routes cyclic shifts optimally -- so the shift
+  // all-to-all and the ring must see slowdown 1.0 under d-mod-k.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  util::Rng rng{5};
+  for (const Collective& c :
+       {flow::shift_all_to_all(128), flow::ring_allreduce(128)}) {
+    const auto cost =
+        evaluate_collective(xgft, c, route::Heuristic::kDModK, 1, rng);
+    EXPECT_NEAR(cost.slowdown, 1.0, 1e-9) << c.name;
+  }
+}
+
+TEST(Collectives, SlowdownAtLeastOneAndMonotoneInK) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  util::Rng rng{7};
+  const auto c = flow::recursive_doubling(128);
+  double previous = 1e30;
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    const auto cost =
+        evaluate_collective(xgft, c, route::Heuristic::kDisjoint, k, rng);
+    EXPECT_GE(cost.slowdown, 1.0 - 1e-9);
+    EXPECT_LE(cost.slowdown, previous + 1e-9) << "K=" << k;
+    previous = cost.slowdown;
+  }
+}
+
+}  // namespace

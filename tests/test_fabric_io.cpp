@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "discovery/io.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using discovery::load_fabric;
+using discovery::RawFabric;
+using discovery::save_fabric;
+
+TEST(FabricIo, SaveLoadRoundTrip) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 2)};
+  util::Rng rng{4};
+  const auto original = discovery::export_fabric(xgft, &rng);
+  std::stringstream buffer;
+  save_fabric(original, buffer);
+  const auto loaded = load_fabric(buffer);
+  EXPECT_EQ(loaded.num_nodes, original.num_nodes);
+  EXPECT_EQ(loaded.hosts, original.hosts);
+  EXPECT_EQ(loaded.cables, original.cables);
+  // And it still recognizes.
+  const auto result = discovery::recognize_xgft(loaded);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.spec, xgft.spec());
+}
+
+TEST(FabricIo, ParsesCommentsAndBlankLines) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "fabric 3   # trailing comment\n"
+      "host 0 1\n"
+      "cable 0 2\n"
+      "cable 1 2\n");
+  const auto fabric = load_fabric(in);
+  EXPECT_EQ(fabric.num_nodes, 3u);
+  EXPECT_EQ(fabric.hosts.size(), 2u);
+  EXPECT_EQ(fabric.cables.size(), 2u);
+}
+
+TEST(FabricIo, RejectsMissingHeader) {
+  std::stringstream in("host 0\n");
+  EXPECT_THROW(load_fabric(in), std::runtime_error);
+}
+
+TEST(FabricIo, RejectsOutOfRangeIds) {
+  std::stringstream in("fabric 2\nhost 0\ncable 0 5\n");
+  EXPECT_THROW(load_fabric(in), std::runtime_error);
+}
+
+TEST(FabricIo, RejectsUnknownDirective) {
+  std::stringstream in("fabric 2\nswitch 1\n");
+  EXPECT_THROW(load_fabric(in), std::runtime_error);
+}
+
+TEST(FabricIo, RejectsDuplicateHeader) {
+  std::stringstream in("fabric 2\nfabric 2\n");
+  EXPECT_THROW(load_fabric(in), std::runtime_error);
+}
+
+TEST(FabricIo, ErrorsCarryLineNumbers) {
+  std::stringstream in("fabric 2\nhost 0\ncable 0 9\n");
+  try {
+    load_fabric(in);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flit/network.hpp"
+#include "flit/sweep.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using flit::DestinationMode;
+using flit::Network;
+using flit::PathSelection;
+using flit::SimConfig;
+using flit::SimMetrics;
+using route::Heuristic;
+using route::RouteTable;
+using topo::Xgft;
+using topo::XgftSpec;
+
+SimConfig quick_config(double load) {
+  SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 6000;
+  config.drain_cycles = 4000;
+  config.offered_load = load;
+  config.seed = 5;
+  return config;
+}
+
+TEST(FlitNetwork, LowLoadDeliversEverything) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const RouteTable table(xgft, Heuristic::kDModK, 1);
+  Network network(table, quick_config(0.1));
+  const SimMetrics metrics = network.run();
+  EXPECT_GT(metrics.messages_generated, 100u);
+  EXPECT_EQ(metrics.messages_delivered, metrics.messages_generated);
+  EXPECT_DOUBLE_EQ(metrics.delivered_fraction(), 1.0);
+  // Accepted throughput tracks the offered load away from saturation.
+  EXPECT_NEAR(metrics.throughput, 0.1, 0.02);
+}
+
+TEST(FlitNetwork, ZeroLoadDelayIsNearAnalyticBound) {
+  // At vanishing load a packet crosses 2*nca links (1 cycle head latency
+  // each, +1 router stage per hop) and pays packet_flits-1 serialization;
+  // a 4-packet message adds 3 packets * 16 flits of injection
+  // serialization.  The measured mean must sit within a small factor of
+  // that bound, which catches gross timing bugs.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const RouteTable table(xgft, Heuristic::kDModK, 1);
+  auto config = quick_config(0.02);
+  Network network(table, config);
+  const SimMetrics metrics = network.run();
+  ASSERT_GT(metrics.message_delay.count(), 20u);
+  const double min_bound = 2.0 * 2.0 + (config.packet_flits - 1.0) +
+                           (config.message_packets - 1.0) * config.packet_flits;
+  EXPECT_GT(metrics.message_delay.mean(), min_bound * 0.9);
+  EXPECT_LT(metrics.message_delay.mean(), min_bound * 2.0);
+  EXPECT_LT(metrics.packet_delay.mean(), metrics.message_delay.mean());
+}
+
+TEST(FlitNetwork, DeterministicForFixedSeed) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const RouteTable table(xgft, Heuristic::kDisjoint, 2);
+  Network a(table, quick_config(0.4));
+  Network b(table, quick_config(0.4));
+  const auto ma = a.run();
+  const auto mb = b.run();
+  EXPECT_EQ(ma.flits_delivered, mb.flits_delivered);
+  EXPECT_EQ(ma.messages_generated, mb.messages_generated);
+  EXPECT_DOUBLE_EQ(ma.message_delay.mean(), mb.message_delay.mean());
+}
+
+TEST(FlitNetwork, SaturationCapsThroughput) {
+  // Beyond saturation, accepted throughput stays below offered load and
+  // undelivered messages pile up.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const RouteTable table(xgft, Heuristic::kDModK, 1);
+  Network network(table, quick_config(0.95));
+  const SimMetrics metrics = network.run();
+  EXPECT_LT(metrics.throughput, 0.95);
+  EXPECT_LT(metrics.delivered_fraction(), 1.0);
+}
+
+TEST(FlitNetwork, DelayGrowsWithLoad) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const RouteTable table(xgft, Heuristic::kDModK, 1);
+  Network low(table, quick_config(0.1));
+  Network high(table, quick_config(0.6));
+  EXPECT_LT(low.run().message_delay.mean(), high.run().message_delay.mean());
+}
+
+TEST(FlitNetwork, PerMessageDestinationModeRuns) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const RouteTable table(xgft, Heuristic::kDisjoint, 2);
+  auto config = quick_config(0.3);
+  config.destination_mode = DestinationMode::kPerMessage;
+  Network network(table, config);
+  const SimMetrics metrics = network.run();
+  EXPECT_GT(metrics.messages_delivered, 0u);
+  EXPECT_NEAR(metrics.throughput, 0.3, 0.05);
+}
+
+TEST(FlitNetwork, PathSelectionModesAllDeliver) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const RouteTable table(xgft, Heuristic::kDisjoint, 4);
+  for (const PathSelection mode :
+       {PathSelection::kRandomPerMessage, PathSelection::kRandomPerPacket,
+        PathSelection::kRoundRobinPerMessage}) {
+    auto config = quick_config(0.2);
+    config.path_selection = mode;
+    Network network(table, config);
+    const SimMetrics metrics = network.run();
+    EXPECT_DOUBLE_EQ(metrics.delivered_fraction(), 1.0)
+        << static_cast<int>(mode);
+  }
+}
+
+TEST(FlitNetwork, SinglePacketMessagesWork) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const RouteTable table(xgft, Heuristic::kDModK, 1);
+  auto config = quick_config(0.25);
+  config.message_packets = 1;
+  config.packet_flits = 4;
+  Network network(table, config);
+  const SimMetrics metrics = network.run();
+  EXPECT_DOUBLE_EQ(metrics.delivered_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.packet_delay.mean(),
+                   metrics.message_delay.mean());
+}
+
+TEST(FlitNetwork, WorksOnMultiParentHosts) {
+  // w_1 = 2: hosts have two uplinks; paths choose between them.
+  const Xgft xgft{XgftSpec{{2, 3, 4}, {2, 2, 3}}};
+  const RouteTable table(xgft, Heuristic::kDisjoint, 4);
+  Network network(table, quick_config(0.2));
+  const SimMetrics metrics = network.run();
+  EXPECT_DOUBLE_EQ(metrics.delivered_fraction(), 1.0);
+}
+
+TEST(FlitSweep, LinspaceEndpoints) {
+  const auto loads = flit::linspace_loads(0.1, 0.9, 5);
+  ASSERT_EQ(loads.size(), 5u);
+  EXPECT_DOUBLE_EQ(loads.front(), 0.1);
+  EXPECT_DOUBLE_EQ(loads.back(), 0.9);
+  EXPECT_DOUBLE_EQ(loads[2], 0.5);
+}
+
+TEST(FlitSweep, MaxThroughputIsMaxOfPoints) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const RouteTable table(xgft, Heuristic::kDModK, 1);
+  auto config = quick_config(0.0);
+  const auto result =
+      flit::run_load_sweep(table, config, {0.1, 0.4, 0.8});
+  ASSERT_EQ(result.points.size(), 3u);
+  double best = 0.0;
+  for (const auto& p : result.points) best = std::max(best, p.throughput);
+  EXPECT_DOUBLE_EQ(result.max_throughput, best);
+  // Offered loads recorded faithfully.
+  EXPECT_DOUBLE_EQ(result.points[1].offered_load, 0.4);
+}
+
+TEST(FlitSweep, ThroughputMonotoneBelowSaturation) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const RouteTable table(xgft, Heuristic::kUmulti, 1);
+  auto config = quick_config(0.0);
+  const auto result = flit::run_load_sweep(table, config, {0.1, 0.2, 0.3});
+  EXPECT_LT(result.points[0].throughput, result.points[1].throughput);
+  EXPECT_LT(result.points[1].throughput, result.points[2].throughput);
+}
+
+}  // namespace

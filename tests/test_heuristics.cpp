@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/heuristics.hpp"
+#include "core/single_path.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using route::disjoint_offset;
+using route::disjoint_sequence;
+using route::Heuristic;
+using route::select_path_indices;
+using topo::Xgft;
+using topo::XgftSpec;
+
+// ---------------------------------------------------------------------------
+// Worked examples from the paper (Section 4.2, Figure 3 topology, SD (0,63)).
+// ---------------------------------------------------------------------------
+
+class Figure3Example : public testing::Test {
+ protected:
+  Xgft xgft_{XgftSpec{{4, 4, 4}, {1, 4, 2}}};
+  util::Rng rng_{1};
+};
+
+TEST_F(Figure3Example, Shift1WithK3) {
+  // "The first path chosen is path0 at index 7, the second at (7+1) mod 8
+  //  = 0 and the third at (7+2) mod 8 = 1."
+  const auto indices =
+      select_path_indices(xgft_, 0, 63, 3, Heuristic::kShift1, rng_);
+  EXPECT_EQ(indices, (std::vector<std::uint64_t>{7, 0, 1}));
+}
+
+TEST_F(Figure3Example, DisjointLevel2Set) {
+  // "The first w_1*w_2 = 4 level-2 disjoint paths are Path 7, Path 1,
+  //  Path 3, and Path 5."
+  const auto indices =
+      select_path_indices(xgft_, 0, 63, 4, Heuristic::kDisjoint, rng_);
+  EXPECT_EQ(indices, (std::vector<std::uint64_t>{7, 1, 3, 5}));
+}
+
+TEST_F(Figure3Example, DisjointFullEnumerationIsPermutation) {
+  const auto indices =
+      select_path_indices(xgft_, 0, 63, 8, Heuristic::kDisjoint, rng_);
+  EXPECT_EQ(indices.size(), 8u);
+  std::set<std::uint64_t> unique(indices.begin(), indices.end());
+  EXPECT_EQ(unique.size(), 8u);
+  // The first four are the paper's level-2 disjoint set, in order.
+  EXPECT_EQ(indices[0], 7u);
+  EXPECT_EQ(indices[1], 1u);
+  EXPECT_EQ(indices[2], 3u);
+  EXPECT_EQ(indices[3], 5u);
+}
+
+TEST_F(Figure3Example, AnchorsAreTheDmodkPath) {
+  for (const Heuristic h : {Heuristic::kShift1, Heuristic::kDisjoint}) {
+    const auto indices = select_path_indices(xgft_, 0, 63, 3, h, rng_);
+    EXPECT_EQ(indices.front(), route::dmodk_index(xgft_, 0, 63));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Disjoint enumeration algebra.
+// ---------------------------------------------------------------------------
+
+TEST(DisjointOffset, MixedRadixOrder) {
+  const XgftSpec spec{{4, 4, 4}, {1, 4, 2}};  // w = (1,4,2), X = 8
+  // c_1 has radix 1 (skipped); c_2 varies fastest with stride w_3 = 2;
+  // then c_3 with stride 1.
+  EXPECT_EQ(disjoint_offset(spec, 3, 0), 0u);
+  EXPECT_EQ(disjoint_offset(spec, 3, 1), 2u);
+  EXPECT_EQ(disjoint_offset(spec, 3, 2), 4u);
+  EXPECT_EQ(disjoint_offset(spec, 3, 3), 6u);
+  EXPECT_EQ(disjoint_offset(spec, 3, 4), 1u);
+  EXPECT_EQ(disjoint_offset(spec, 3, 7), 7u);
+}
+
+TEST(DisjointOffset, LowestLevelVariesFirstWhenW1Above1) {
+  const XgftSpec spec{{2, 3, 4}, {2, 2, 3}};  // w = (2,2,3), X = 12
+  // c_1 (radix 2) stride = w_2*w_3 = 6; so n=1 flips the level-0 choice.
+  EXPECT_EQ(disjoint_offset(spec, 3, 0), 0u);
+  EXPECT_EQ(disjoint_offset(spec, 3, 1), 6u);
+  // n=2: c_2 = 1, stride w_3 = 3.
+  EXPECT_EQ(disjoint_offset(spec, 3, 2), 3u);
+  EXPECT_EQ(disjoint_offset(spec, 3, 3), 9u);
+}
+
+TEST(DisjointSequence, WrapsModuloPathCount) {
+  const XgftSpec spec{{4, 4, 4}, {1, 4, 2}};
+  const auto seq = disjoint_sequence(spec, 3, 7, 8);
+  EXPECT_EQ(seq, (std::vector<std::uint64_t>{7, 1, 3, 5, 0, 2, 4, 6}));
+}
+
+// ---------------------------------------------------------------------------
+// Heuristic contracts over the topology grid.
+// ---------------------------------------------------------------------------
+
+class HeuristicContracts : public testing::TestWithParam<XgftSpec> {};
+
+TEST_P(HeuristicContracts, SelectionsAreDistinctValidAndSized) {
+  const Xgft xgft{GetParam()};
+  util::Rng rng{3};
+  const std::uint64_t hosts = xgft.num_hosts();
+  const std::uint64_t step = hosts > 24 ? hosts / 9 : 1;
+  for (std::uint64_t s = 0; s < hosts; s += step) {
+    for (std::uint64_t d = 0; d < hosts; d += step) {
+      if (s == d) continue;
+      const std::uint64_t total = xgft.num_shortest_paths(s, d);
+      for (const Heuristic h :
+           {Heuristic::kDModK, Heuristic::kSModK, Heuristic::kRandomSingle,
+            Heuristic::kShift1, Heuristic::kDisjoint, Heuristic::kRandom,
+            Heuristic::kUmulti}) {
+        for (const std::size_t k : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{3},
+                                    static_cast<std::size_t>(total + 5)}) {
+          const auto indices = select_path_indices(xgft, s, d, k, h, rng);
+          std::size_t expected;
+          if (route::is_single_path(h)) {
+            expected = 1;
+          } else if (h == Heuristic::kUmulti) {
+            expected = static_cast<std::size_t>(total);
+          } else {
+            expected = static_cast<std::size_t>(
+                std::min<std::uint64_t>(k, total));
+          }
+          EXPECT_EQ(indices.size(), expected)
+              << to_string(h) << " K=" << k << " (" << s << "," << d << ")";
+          std::set<std::uint64_t> unique(indices.begin(), indices.end());
+          EXPECT_EQ(unique.size(), indices.size()) << to_string(h);
+          for (const auto index : indices) EXPECT_LT(index, total);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(HeuristicContracts, LargeKEqualsUmultiSet) {
+  const Xgft xgft{GetParam()};
+  util::Rng rng{5};
+  const std::uint64_t d = xgft.num_hosts() - 1;
+  const std::uint64_t total = xgft.num_shortest_paths(0, d);
+  const auto umulti = select_path_indices(
+      xgft, 0, d, 1, Heuristic::kUmulti, rng);
+  for (const Heuristic h :
+       {Heuristic::kShift1, Heuristic::kDisjoint, Heuristic::kRandom}) {
+    auto indices = select_path_indices(
+        xgft, 0, d, static_cast<std::size_t>(total), h, rng);
+    std::sort(indices.begin(), indices.end());
+    EXPECT_EQ(indices, umulti) << to_string(h);
+  }
+}
+
+TEST_P(HeuristicContracts, TwoLevelShift1EqualsDisjoint) {
+  // Paper Section 5: "For 2-level trees, the shift-1 heuristic and the
+  // disjoint heuristic are identical" -- this holds whenever w_1 = 1.
+  const XgftSpec& spec = GetParam();
+  if (spec.height() != 2 || spec.w_at(1) != 1) GTEST_SKIP();
+  const Xgft xgft{spec};
+  util::Rng rng{7};
+  const std::uint64_t hosts = xgft.num_hosts();
+  for (std::uint64_t s = 0; s < hosts; ++s) {
+    for (std::uint64_t d = 0; d < hosts; ++d) {
+      if (s == d) continue;
+      for (std::size_t k = 1; k <= xgft.num_shortest_paths(s, d); ++k) {
+        EXPECT_EQ(
+            select_path_indices(xgft, s, d, k, Heuristic::kShift1, rng),
+            select_path_indices(xgft, s, d, k, Heuristic::kDisjoint, rng));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, HeuristicContracts,
+                         testing::ValuesIn(lmpr::test::property_grid()),
+                         lmpr::test::grid_name);
+
+// ---------------------------------------------------------------------------
+// Name round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(HeuristicNames, RoundTrip) {
+  for (const Heuristic h :
+       {Heuristic::kDModK, Heuristic::kSModK, Heuristic::kRandomSingle,
+        Heuristic::kShift1, Heuristic::kDisjoint, Heuristic::kRandom,
+        Heuristic::kUmulti}) {
+    const auto parsed = route::heuristic_from_string(to_string(h));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, h);
+  }
+  EXPECT_FALSE(route::heuristic_from_string("bogus").has_value());
+  EXPECT_EQ(route::heuristic_from_string("d-mod-k"), Heuristic::kDModK);
+}
+
+TEST(HeuristicNames, SinglePathClassification) {
+  EXPECT_TRUE(route::is_single_path(Heuristic::kDModK));
+  EXPECT_TRUE(route::is_single_path(Heuristic::kSModK));
+  EXPECT_TRUE(route::is_single_path(Heuristic::kRandomSingle));
+  EXPECT_FALSE(route::is_single_path(Heuristic::kShift1));
+  EXPECT_FALSE(route::is_single_path(Heuristic::kDisjoint));
+  EXPECT_FALSE(route::is_single_path(Heuristic::kRandom));
+  EXPECT_FALSE(route::is_single_path(Heuristic::kUmulti));
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Cross-module integration: the flow-level static analysis must predict
+// flit-level behaviour -- a permutation whose static max link load is L
+// saturates near offered load 1/L, and routings with lower static load
+// sustain strictly more traffic.
+#include <gtest/gtest.h>
+
+#include "flit/network.hpp"
+#include "flow/link_load.hpp"
+#include "flow/oload.hpp"
+#include "flow/traffic.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+
+TEST(Integration, StaticLoadPredictsSaturationOrdering) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+  constexpr std::uint64_t kSeed = 2024;
+
+  // Pin the pairing so the flow level analyzes exactly the flit traffic.
+  util::Rng rng{kSeed};
+  const auto perm = rng.permutation(static_cast<std::size_t>(xgft.num_hosts()));
+  const auto tm = flow::TrafficMatrix::permutation(xgft.num_hosts(), perm);
+
+  flow::LoadEvaluator eval(xgft);
+  const route::RouteTable dmodk(xgft, route::Heuristic::kDModK, 1);
+  const route::RouteTable disjoint(xgft, route::Heuristic::kDisjoint, 8);
+  const double load_dmodk = eval.evaluate(tm, dmodk).max_load;
+  const double load_disjoint = eval.evaluate(tm, disjoint).max_load;
+  ASSERT_LT(load_disjoint, load_dmodk);  // multi-path spreads the flows
+
+  auto run_at = [&](const route::RouteTable& table, double offered) {
+    flit::SimConfig config;
+    config.seed = kSeed;
+    config.fixed_destinations.assign(perm.begin(), perm.end());
+    config.warmup_cycles = 3000;
+    config.measure_cycles = 8000;
+    config.drain_cycles = 3000;
+    config.offered_load = offered;
+    flit::Network network(table, config);
+    return network.run();
+  };
+
+  // Offered load comfortably beyond d-mod-k's static saturation point
+  // (1/load_dmodk) but below disjoint's: d-mod-k must shed traffic while
+  // disjoint sustains it.
+  const double probe = 0.9 / load_disjoint;
+  if (probe <= 1.0 && probe > 1.2 / load_dmodk) {
+    const auto m_dmodk = run_at(dmodk, probe);
+    const auto m_disjoint = run_at(disjoint, probe);
+    EXPECT_LT(m_dmodk.throughput, m_disjoint.throughput);
+    EXPECT_LT(m_dmodk.delivered_fraction(),
+              m_disjoint.delivered_fraction());
+  } else {
+    GTEST_SKIP() << "sampled permutation too benign for the probe load";
+  }
+}
+
+TEST(Integration, FlitUtilizationMatchesFlowPredictionAtLowLoad) {
+  // Below saturation, the flit simulator's measured per-level PEAK link
+  // utilization must track the flow-level static prediction scaled by the
+  // offered load: util(level) ~ offered_load * max_link_load(level).
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+  constexpr std::uint64_t kSeed = 77;
+  util::Rng rng{kSeed};
+  const auto perm = rng.permutation(static_cast<std::size_t>(xgft.num_hosts()));
+  const auto tm = flow::TrafficMatrix::permutation(xgft.num_hosts(), perm);
+
+  const route::RouteTable table(xgft, route::Heuristic::kDModK, 1);
+  flow::LoadEvaluator eval(xgft);
+  eval.evaluate(tm, table);
+  // Per-level mean static load, from the evaluator's per-link loads.
+  std::vector<double> mean_up(3, 0.0);
+  std::vector<double> mean_down(3, 0.0);
+  std::vector<std::size_t> up_n(3, 0);
+  std::vector<std::size_t> down_n(3, 0);
+  for (std::size_t id = 0; id < eval.link_loads().size(); ++id) {
+    const topo::Link& link = xgft.link(static_cast<topo::LinkId>(id));
+    (link.up ? mean_up : mean_down)[link.level] += eval.link_loads()[id];
+    ++(link.up ? up_n : down_n)[link.level];
+  }
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    mean_up[l] /= static_cast<double>(up_n[l]);
+    mean_down[l] /= static_cast<double>(down_n[l]);
+  }
+
+  flit::SimConfig config;
+  config.seed = kSeed;
+  config.fixed_destinations.assign(perm.begin(), perm.end());
+  config.offered_load = 0.15;  // far below saturation: no queueing losses
+  config.warmup_cycles = 4000;
+  config.measure_cycles = 20000;
+  config.drain_cycles = 2000;
+  flit::Network network(table, config);
+  const auto metrics = network.run();
+
+  ASSERT_EQ(metrics.mean_up_utilization.size(), 3u);
+  for (std::uint32_t level = 0; level < 3; ++level) {
+    EXPECT_NEAR(metrics.mean_up_utilization[level], 0.15 * mean_up[level],
+                0.1 * 0.15 * mean_up[level] + 0.005)
+        << "up level " << level;
+    EXPECT_NEAR(metrics.mean_down_utilization[level],
+                0.15 * mean_down[level],
+                0.1 * 0.15 * mean_down[level] + 0.005)
+        << "down level " << level;
+  }
+}
+
+TEST(Integration, ThroughputNeverExceedsStaticBound) {
+  // Accepted per-host throughput of the flows crossing the hottest link
+  // cannot exceed capacity; aggregate throughput at high offered load
+  // stays below 1.0 and the hot flows are throttled.
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 2)};
+  const route::RouteTable table(xgft, route::Heuristic::kDModK, 1);
+  flit::SimConfig config;
+  config.seed = 7;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 6000;
+  config.drain_cycles = 2000;
+  config.offered_load = 1.0;
+  flit::Network network(table, config);
+  const auto metrics = network.run();
+  EXPECT_LT(metrics.throughput, 1.0);
+  EXPECT_GT(metrics.throughput, 0.2);
+}
+
+}  // namespace

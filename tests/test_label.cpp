@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "topology/label.hpp"
+
+namespace {
+
+using lmpr::topo::digit_radix;
+using lmpr::topo::Label;
+using lmpr::topo::label_to_rank;
+using lmpr::topo::rank_to_label;
+using lmpr::topo::XgftSpec;
+
+TEST(Label, DigitRadixSwitchesAtLevel) {
+  const XgftSpec spec{{4, 4, 4}, {1, 4, 2}};
+  // At level 2, digits 1..2 are w-digits, digit 3 is an m-digit.
+  EXPECT_EQ(digit_radix(spec, 2, 1), 1u);
+  EXPECT_EQ(digit_radix(spec, 2, 2), 4u);
+  EXPECT_EQ(digit_radix(spec, 2, 3), 4u);
+  // Hosts (level 0): all m-digits.
+  EXPECT_EQ(digit_radix(spec, 0, 1), 4u);
+  EXPECT_EQ(digit_radix(spec, 0, 3), 4u);
+}
+
+TEST(Label, RankZeroIsAllZeros) {
+  const XgftSpec spec{{2, 3, 4}, {2, 2, 3}};
+  for (std::uint32_t level = 0; level <= 3; ++level) {
+    const Label label = rank_to_label(spec, level, 0);
+    for (const auto digit : label.digits) EXPECT_EQ(digit, 0u);
+  }
+}
+
+TEST(Label, HostRankUsesA1AsLeastSignificantDigit) {
+  const XgftSpec spec{{4, 4, 4}, {1, 4, 2}};
+  const Label label = rank_to_label(spec, 0, 27);  // 27 = 1*16 + 2*4 + 3
+  EXPECT_EQ(label.digits[0], 3u);  // a_1
+  EXPECT_EQ(label.digits[1], 2u);  // a_2
+  EXPECT_EQ(label.digits[2], 1u);  // a_3
+}
+
+TEST(Label, ToStringMostSignificantFirst) {
+  const XgftSpec spec{{4, 4, 4}, {1, 4, 2}};
+  const Label label = rank_to_label(spec, 0, 27);
+  EXPECT_EQ(label.to_string(), "(0; 1, 2, 3)");
+}
+
+class LabelRoundTrip : public testing::TestWithParam<XgftSpec> {};
+
+TEST_P(LabelRoundTrip, RankToLabelToRank) {
+  const XgftSpec& spec = GetParam();
+  for (std::uint32_t level = 0; level <= spec.height(); ++level) {
+    const std::uint64_t count = spec.nodes_at_level(level);
+    for (std::uint64_t rank = 0; rank < count; ++rank) {
+      const Label label = rank_to_label(spec, level, rank);
+      EXPECT_EQ(label.level, level);
+      EXPECT_EQ(label_to_rank(spec, label), rank);
+      for (std::size_t i = 1; i <= spec.height(); ++i) {
+        EXPECT_LT(label.digits[i - 1], digit_radix(spec, level, i));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LabelRoundTrip,
+                         testing::ValuesIn(lmpr::test::property_grid()),
+                         lmpr::test::grid_name);
+
+}  // namespace

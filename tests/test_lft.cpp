@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/heuristics.hpp"
+#include "core/single_path.hpp"
+#include "fabric/lft.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using fabric::Lft;
+using fabric::LidLayout;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(Lft, LidBlocksAreContiguousAndInvertible) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};  // 16 max paths
+  const Lft lft(xgft, 4, LidLayout::kDisjointLayout);
+  EXPECT_EQ(lft.lmc(), 2u);
+  EXPECT_EQ(lft.block(), 4u);
+  EXPECT_EQ(lft.lid_of(0, 0), 1u);  // LID 0 reserved
+  EXPECT_EQ(lft.lid_of(0, 3), 4u);
+  EXPECT_EQ(lft.lid_of(1, 0), 5u);
+  EXPECT_EQ(lft.lid_end(), 1u + 128 * 4);
+  for (std::uint64_t d : {0ull, 7ull, 127ull}) {
+    for (std::uint32_t j = 0; j < lft.block(); ++j) {
+      const auto lid = lft.lid_of(d, j);
+      EXPECT_EQ(lft.dst_of(lid), d);
+      EXPECT_EQ(lft.variant_of(lid), j);
+    }
+  }
+}
+
+TEST(Lft, LmcClampsToMaxPaths) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};  // max 2 paths
+  const Lft lft(xgft, 100, LidLayout::kDisjointLayout);
+  EXPECT_EQ(lft.block(), 2u);
+}
+
+TEST(Lft, VariantZeroIsExactlyDmodk) {
+  // j = 0 leaves the anchor untouched: the fabric's base route is d-mod-k
+  // for every pair, in both layouts.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  for (const auto layout :
+       {LidLayout::kDisjointLayout, LidLayout::kShiftLayout}) {
+    const Lft lft(xgft, 8, layout);
+    util::Rng rng{3};
+    for (int trial = 0; trial < 60; ++trial) {
+      const std::uint64_t s = rng.below(xgft.num_hosts());
+      const std::uint64_t d = rng.below(xgft.num_hosts());
+      if (s == d) continue;
+      EXPECT_EQ(lft.induced_path_index(s, d, 0),
+                route::dmodk_index(xgft, s, d));
+    }
+  }
+}
+
+class LftFabric : public testing::TestWithParam<XgftSpec> {};
+
+TEST_P(LftFabric, WalkDeliversEveryVariantViaShortestPaths) {
+  const Xgft xgft{GetParam()};
+  for (const auto layout :
+       {LidLayout::kDisjointLayout, LidLayout::kShiftLayout}) {
+    const Lft lft(xgft, xgft.spec().num_top_switches(), layout);
+    const std::uint64_t hosts = xgft.num_hosts();
+    const std::uint64_t step = hosts > 24 ? hosts / 7 : 1;
+    for (std::uint64_t s = 0; s < hosts; s += step) {
+      for (std::uint64_t d = 0; d < hosts; d += step) {
+        if (s == d) continue;
+        for (std::uint32_t j = 0; j < lft.block(); ++j) {
+          const auto walk = lft.walk(s, d, j);
+          ASSERT_TRUE(walk.delivered)
+              << "s=" << s << " d=" << d << " j=" << j;
+          lmpr::test::expect_valid_path(xgft, s, d, walk.path);
+          // Forwarding state and the analytic index agree.
+          const auto expected = route::materialize_path(
+              xgft, s, d, lft.induced_path_index(s, d, j));
+          EXPECT_EQ(walk.path.links, expected.links);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LftFabric, DisjointLayoutRealizesTheDisjointHeuristic) {
+  // The heuristic enumerates paths with mod-X arithmetic while
+  // destination-based forwarding is digit-wise (no carries across
+  // levels), so exact agreement holds at the paper's structural
+  // boundaries: for every prefix K = w_1 * .. * w_l (the "level-l
+  // disjoint" sets of Section 4.2.3) the first K variants induce the SAME
+  // path set, and within the first w_1*w_2 variants even the order
+  // matches on w_1 = 1 topologies.
+  const XgftSpec& spec = GetParam();
+  const Xgft xgft{spec};
+  const Lft lft(xgft, spec.num_top_switches(), LidLayout::kDisjointLayout);
+  util::Rng rng{5};
+  const std::uint64_t hosts = xgft.num_hosts();
+  const std::uint64_t step = hosts > 24 ? hosts / 9 : 1;
+  for (std::uint64_t s = 0; s < hosts; s += step) {
+    for (std::uint64_t d = 0; d < hosts; d += step) {
+      if (s == d) continue;
+      const std::uint32_t nca = xgft.nca_level(s, d);
+      for (std::uint32_t l = 1; l <= nca; ++l) {
+        const std::uint64_t prefix = xgft.w_prefix(l);
+        const auto heuristic_set = route::select_path_indices(
+            xgft, s, d, static_cast<std::size_t>(prefix),
+            route::Heuristic::kDisjoint, rng);
+        std::set<std::uint64_t> expected(heuristic_set.begin(),
+                                         heuristic_set.end());
+        std::set<std::uint64_t> induced;
+        for (std::uint64_t j = 0; j < prefix; ++j) {
+          induced.insert(lft.induced_path_index(
+              s, d, static_cast<std::uint32_t>(j)));
+        }
+        EXPECT_EQ(induced, expected)
+            << "s=" << s << " d=" << d << " level " << l;
+      }
+      if (spec.w_at(1) == 1 && nca >= 2) {
+        const std::uint64_t ordered_prefix = xgft.w_prefix(2);
+        const auto heuristic_set = route::select_path_indices(
+            xgft, s, d, static_cast<std::size_t>(ordered_prefix),
+            route::Heuristic::kDisjoint, rng);
+        for (std::uint64_t j = 0; j < ordered_prefix; ++j) {
+          EXPECT_EQ(lft.induced_path_index(s, d,
+                                           static_cast<std::uint32_t>(j)),
+                    heuristic_set[static_cast<std::size_t>(j)]);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LftFabric, DisjointLayoutCoverageIsFull) {
+  // block >= X implies every pair sees all its paths (disjoint layout).
+  const Xgft xgft{GetParam()};
+  const Lft lft(xgft, xgft.spec().num_top_switches(),
+                LidLayout::kDisjointLayout);
+  util::Rng rng{7};
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t s = rng.below(xgft.num_hosts());
+    const std::uint64_t d = rng.below(xgft.num_hosts());
+    if (s == d) continue;
+    EXPECT_EQ(lft.coverage(s, d), xgft.num_shortest_paths(s, d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LftFabric,
+                         testing::ValuesIn(lmpr::test::property_grid()),
+                         lmpr::test::grid_name);
+
+TEST(Lft, ShiftLayoutStarvesLowPairsAtSmallBlocks) {
+  // The realizability asymmetry: with a small LID budget the disjoint
+  // layout gives every pair K distinct paths, while the shift layout
+  // gives pairs below the top level only ONE (their variant digits sit in
+  // the high bits of j).  XGFT(3;4,4,8;1,4,4), K = 4:
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  const Lft disjoint(xgft, 4, LidLayout::kDisjointLayout);
+  const Lft shift(xgft, 4, LidLayout::kShiftLayout);
+  // NCA level 2 pair (4 paths available).
+  const std::uint64_t s = 0;
+  const std::uint64_t d = 8;
+  ASSERT_EQ(xgft.num_shortest_paths(s, d), 4u);
+  EXPECT_EQ(disjoint.coverage(s, d), 4u);
+  EXPECT_EQ(shift.coverage(s, d), 1u);
+  // Top-level pairs get the same diversity from both layouts.
+  EXPECT_EQ(disjoint.coverage(0, 127), 4u);
+  EXPECT_EQ(shift.coverage(0, 127), 4u);
+}
+
+TEST(Lft, TableForMatchesFunctionalForwarding) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const Lft lft(xgft, 2, LidLayout::kDisjointLayout);
+  for (std::uint64_t n = 0; n < xgft.num_nodes(); ++n) {
+    const auto node = static_cast<topo::NodeId>(n);
+    const auto table = lft.table_for(node);
+    ASSERT_EQ(table.size(), lft.lid_end());
+    EXPECT_EQ(table[0], topo::kInvalidLink);  // LID 0 reserved
+    for (std::uint32_t lid = 1; lid < lft.lid_end(); ++lid) {
+      EXPECT_EQ(table[lid], lft.next_link(node, lid));
+    }
+  }
+}
+
+TEST(Lft, WalkLengthMatchesNcaLevel) {
+  const Xgft xgft{XgftSpec{{4, 4, 4}, {1, 4, 2}}};
+  const Lft lft(xgft, 8, LidLayout::kDisjointLayout);
+  // Same-leaf pair: NCA 1, 2 links; full-height pair: NCA 3, 6 links.
+  EXPECT_EQ(lft.walk(0, 1, 0).path.links.size(), 2u);
+  EXPECT_EQ(lft.walk(0, 63, 0).path.links.size(), 6u);
+}
+
+}  // namespace

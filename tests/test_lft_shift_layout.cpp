@@ -1,0 +1,72 @@
+// The shift-layout LFT must realize the shift-1 heuristic for top-level
+// pairs at small K (before carries diverge), complementing
+// test_lft.cpp's disjoint-layout checks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/heuristics.hpp"
+#include "fabric/lft.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using fabric::Lft;
+using fabric::LidLayout;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(LftShiftLayout, TopPairsFollowShift1ForSmallK) {
+  // For pairs whose NCA is the top level and j < w_h, the shift layout's
+  // variant j is exactly the shift-1 heuristic's j-th path (consecutive
+  // top-level switches starting at the d-mod-k anchor).
+  // Destination-based forwarding is digit-wise (no carry into lower
+  // levels), so the correspondence holds until the top digit wraps:
+  // j < w_h - (d-mod-k top digit).
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};  // w = (1,4,4)
+  const Lft lft(xgft, 4, LidLayout::kShiftLayout);
+  util::Rng rng{3};
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t s = rng.below(xgft.num_hosts());
+    const std::uint64_t d = rng.below(xgft.num_hosts());
+    if (s == d || xgft.nca_level(s, d) != xgft.height()) continue;
+    const auto shift_set = route::select_path_indices(
+        xgft, s, d, 4, route::Heuristic::kShift1, rng);
+    const std::uint32_t anchor_top =
+        static_cast<std::uint32_t>(shift_set[0] % 4);  // least-sig digit
+    for (std::uint32_t j = 0; j + anchor_top < 4; ++j) {
+      EXPECT_EQ(lft.induced_path_index(s, d, j), shift_set[j])
+          << "s=" << s << " d=" << d << " j=" << j;
+    }
+  }
+}
+
+TEST(LftShiftLayout, FullBlockCoversTopPairsCompletely) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  const Lft lft(xgft, 16, LidLayout::kShiftLayout);
+  EXPECT_EQ(lft.coverage(0, 127), 16u);
+  // ... and even the low pairs once the block spans the whole tree.
+  EXPECT_EQ(lft.coverage(0, 8), 4u);
+}
+
+TEST(LftShiftLayout, WalksAgreeWithInducedIndices) {
+  const Xgft xgft{XgftSpec{{2, 3, 4}, {2, 2, 3}}};  // w1 = 2 generality
+  const Lft lft(xgft, xgft.spec().num_top_switches(),
+                LidLayout::kShiftLayout);
+  util::Rng rng{5};
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t s = rng.below(xgft.num_hosts());
+    const std::uint64_t d = rng.below(xgft.num_hosts());
+    if (s == d) continue;
+    for (std::uint32_t j = 0; j < lft.block(); ++j) {
+      const auto walk = lft.walk(s, d, j);
+      ASSERT_TRUE(walk.delivered);
+      const auto expected = route::materialize_path(
+          xgft, s, d, lft.induced_path_index(s, d, j));
+      EXPECT_EQ(walk.path.links, expected.links);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "core/lid_cost.hpp"
+
+namespace {
+
+using namespace lmpr;
+using route::lid_cost;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(LidCost, SinglePathNeedsOneLidPerHost) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  const auto cost = lid_cost(xgft, 1);
+  EXPECT_EQ(cost.effective_paths, 1u);
+  EXPECT_EQ(cost.lmc, 0u);
+  EXPECT_EQ(cost.total_lids, 128u);
+  EXPECT_TRUE(cost.realizable);
+}
+
+TEST(LidCost, LmcIsCeilLog2) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};  // max 16 paths
+  EXPECT_EQ(lid_cost(xgft, 2).lmc, 1u);
+  EXPECT_EQ(lid_cost(xgft, 3).lmc, 2u);
+  EXPECT_EQ(lid_cost(xgft, 4).lmc, 2u);
+  EXPECT_EQ(lid_cost(xgft, 5).lmc, 3u);
+  EXPECT_EQ(lid_cost(xgft, 16).lmc, 4u);
+}
+
+TEST(LidCost, KIsClampedToMaxPaths) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};  // max 16 paths
+  const auto cost = lid_cost(xgft, 1000);
+  EXPECT_EQ(cost.effective_paths, 16u);
+  EXPECT_EQ(cost.lmc, 4u);
+}
+
+TEST(LidCost, RangerScaleUnlimitedMultipathIsNotRealizable) {
+  // The paper's Section 4.1 motivation: on the 24-port 3-tree
+  // (TACC Ranger), 144 paths per pair exceed what LMC can express
+  // (needs 2^8 block > LMC max 7) -- unlimited multi-path cannot be
+  // realized on InfiniBand.
+  const Xgft xgft{XgftSpec::m_port_n_tree(24, 3)};
+  const auto unlimited = lid_cost(xgft, 144);
+  EXPECT_EQ(unlimited.lmc, 8u);
+  EXPECT_FALSE(unlimited.realizable);
+  // Limited multi-path with modest K stays realizable.
+  const auto limited = lid_cost(xgft, 8);
+  EXPECT_TRUE(limited.realizable);
+  EXPECT_EQ(limited.total_lids, 3456u * 8);
+}
+
+TEST(LidCost, LidSpaceExhaustionFlagged) {
+  // 16-port 3-tree has 1024 hosts; K = 128 -> 131072 LIDs > 49151.
+  const Xgft xgft{XgftSpec::m_port_n_tree(16, 3)};  // max 64 paths
+  const auto cost = lid_cost(xgft, 64);
+  EXPECT_EQ(cost.lmc, 6u);
+  EXPECT_EQ(cost.total_lids, 1024u * 64);
+  EXPECT_FALSE(cost.realizable);  // 65536 > 49151
+}
+
+}  // namespace

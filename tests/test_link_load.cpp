@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/route_table.hpp"
+#include "flow/link_load.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using flow::LoadEvaluator;
+using flow::TrafficMatrix;
+using route::Heuristic;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(LinkLoad, SingleFlowLoadsEveryPathLinkOnce) {
+  // XGFT(1;2;1): two hosts under one switch.  One unit 0 -> 1 loads the
+  // 0->switch up link and the switch->1 down link with exactly 1.
+  const Xgft xgft{XgftSpec{{2}, {1}}};
+  LoadEvaluator eval(xgft);
+  TrafficMatrix tm(2);
+  tm.add(0, 1, 1.0);
+  util::Rng rng{1};
+  const auto result = eval.evaluate(tm, Heuristic::kDModK, 1, rng);
+  EXPECT_DOUBLE_EQ(result.max_load, 1.0);
+  double total = 0.0;
+  int loaded = 0;
+  for (const double load : eval.link_loads()) {
+    total += load;
+    loaded += (load > 0.0);
+  }
+  EXPECT_EQ(loaded, 2);
+  EXPECT_DOUBLE_EQ(total, 2.0);
+}
+
+TEST(LinkLoad, SelfTrafficIsLoadFree) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  LoadEvaluator eval(xgft);
+  TrafficMatrix tm(xgft.num_hosts());
+  for (std::uint64_t i = 0; i < xgft.num_hosts(); ++i) tm.add(i, i, 5.0);
+  util::Rng rng{1};
+  EXPECT_DOUBLE_EQ(eval.evaluate(tm, Heuristic::kDModK, 1, rng).max_load, 0.0);
+}
+
+TEST(LinkLoad, MultiPathSplitsEvenly) {
+  // XGFT(1;2;4): hosts with 4 parents, 4 shortest paths.  K = 4 puts 1/4
+  // on each of the 8 involved links.
+  const Xgft xgft{XgftSpec{{2}, {4}}};
+  LoadEvaluator eval(xgft);
+  TrafficMatrix tm(2);
+  tm.add(0, 1, 1.0);
+  util::Rng rng{1};
+  const auto result = eval.evaluate(tm, Heuristic::kUmulti, 1, rng);
+  EXPECT_DOUBLE_EQ(result.max_load, 0.25);
+  for (const double load : eval.link_loads()) {
+    EXPECT_TRUE(load == 0.0 || load == 0.25);
+  }
+}
+
+TEST(LinkLoad, AmountsScaleLinearly) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  LoadEvaluator eval(xgft);
+  util::Rng rng{2};
+  TrafficMatrix tm1(xgft.num_hosts());
+  tm1.add(0, 31, 1.0);
+  tm1.add(4, 31, 1.0);
+  const double base = eval.evaluate(tm1, Heuristic::kDModK, 1, rng).max_load;
+  TrafficMatrix tm3(xgft.num_hosts());
+  tm3.add(0, 31, 3.0);
+  tm3.add(4, 31, 3.0);
+  const double scaled = eval.evaluate(tm3, Heuristic::kDModK, 1, rng).max_load;
+  EXPECT_DOUBLE_EQ(scaled, 3.0 * base);
+}
+
+TEST(LinkLoad, ConvergingFlowsAccumulate) {
+  // Both remote leaves send to host 0: the final down link carries 2.
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  LoadEvaluator eval(xgft);
+  TrafficMatrix tm(xgft.num_hosts());
+  tm.add(4, 0, 1.0);
+  tm.add(6, 0, 1.0);
+  util::Rng rng{3};
+  const auto result = eval.evaluate(tm, Heuristic::kUmulti, 1, rng);
+  EXPECT_DOUBLE_EQ(result.max_load, 2.0);
+  const topo::Link& hot = xgft.link(result.argmax);
+  EXPECT_FALSE(hot.up);
+  EXPECT_EQ(hot.dst, xgft.host(0));
+}
+
+TEST(LinkLoad, TableEvaluationMatchesOnTheFly) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  LoadEvaluator eval(xgft);
+  util::Rng rng{4};
+  const auto tm = TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+  for (const Heuristic h :
+       {Heuristic::kDModK, Heuristic::kShift1, Heuristic::kDisjoint,
+        Heuristic::kUmulti}) {
+    util::Rng unused{0};
+    const double direct = eval.evaluate(tm, h, 3, unused).max_load;
+    const route::RouteTable table(xgft, h, 3);
+    const double via_table = eval.evaluate(tm, table).max_load;
+    EXPECT_DOUBLE_EQ(direct, via_table) << to_string(h);
+  }
+}
+
+TEST(LinkLoad, PerLevelMaximaAreConsistent) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  LoadEvaluator eval(xgft);
+  util::Rng rng{5};
+  const auto tm = TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+  const auto result = eval.evaluate(tm, Heuristic::kDModK, 1, rng);
+  double overall = 0.0;
+  ASSERT_EQ(result.max_up_load_per_level.size(), 3u);
+  for (std::size_t l = 0; l < 3; ++l) {
+    overall = std::max({overall, result.max_up_load_per_level[l],
+                        result.max_down_load_per_level[l]});
+  }
+  EXPECT_DOUBLE_EQ(overall, result.max_load);
+}
+
+TEST(LinkLoad, EvaluatorIsReusable) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  LoadEvaluator eval(xgft);
+  util::Rng rng{6};
+  TrafficMatrix heavy(xgft.num_hosts());
+  heavy.add(0, 7, 10.0);
+  TrafficMatrix light(xgft.num_hosts());
+  light.add(0, 7, 1.0);
+  EXPECT_DOUBLE_EQ(eval.evaluate(heavy, Heuristic::kDModK, 1, rng).max_load,
+                   10.0);
+  // A second evaluation must not see stale loads.
+  EXPECT_DOUBLE_EQ(eval.evaluate(light, Heuristic::kDModK, 1, rng).max_load,
+                   1.0);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Odds-and-ends coverage: export determinism, DOT output, spec factories,
+// and cable indexing -- small behaviours the main suites route around.
+#include <gtest/gtest.h>
+
+#include "discovery/recognize.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(ExportFabric, IdentityExportPreservesIds) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const auto fabric = discovery::export_fabric(xgft);
+  ASSERT_EQ(fabric.hosts.size(), xgft.num_hosts());
+  for (std::uint64_t h = 0; h < xgft.num_hosts(); ++h) {
+    EXPECT_EQ(fabric.hosts[static_cast<std::size_t>(h)], h);
+  }
+  ASSERT_EQ(fabric.cables.size(), xgft.num_cables());
+  for (std::uint64_t c = 0; c < xgft.num_cables(); ++c) {
+    const auto& link = xgft.link(static_cast<topo::LinkId>(c));
+    EXPECT_EQ(fabric.cables[static_cast<std::size_t>(c)].first, link.src);
+    EXPECT_EQ(fabric.cables[static_cast<std::size_t>(c)].second, link.dst);
+  }
+}
+
+TEST(ExportFabric, ShuffleIsSeedDeterministic) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  util::Rng a{9};
+  util::Rng b{9};
+  const auto fa = discovery::export_fabric(xgft, &a);
+  const auto fb = discovery::export_fabric(xgft, &b);
+  EXPECT_EQ(fa.cables, fb.cables);
+  EXPECT_EQ(fa.hosts, fb.hosts);
+}
+
+TEST(CableOf, BothDirectionsShareTheCable) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  for (std::uint64_t n = 0; n < xgft.num_nodes(); ++n) {
+    const auto node = static_cast<topo::NodeId>(n);
+    for (std::uint32_t j = 0; j < xgft.num_parents(node); ++j) {
+      const topo::LinkId up = xgft.up_link(node, j);
+      const topo::NodeId parent = xgft.parent(node, j);
+      // Find the matching down port.
+      for (std::uint32_t c = 0; c < xgft.num_children(parent); ++c) {
+        if (xgft.child(parent, c) != node) continue;
+        const topo::LinkId down = xgft.down_link(parent, c);
+        EXPECT_EQ(xgft.cable_of(up), xgft.cable_of(down));
+      }
+    }
+  }
+}
+
+TEST(SpecFactories, GftAllowsOversubscription) {
+  const auto spec = XgftSpec::gft(3, 4, 2);  // w < m everywhere
+  EXPECT_EQ(spec.num_hosts(), 64u);
+  EXPECT_EQ(spec.num_top_switches(), 8u);
+  const Xgft xgft{spec};  // constructs and validates
+  EXPECT_EQ(xgft.num_shortest_paths(0, 63), 8u);
+}
+
+TEST(AncestorQueries, MatchSubtreeMembership) {
+  const Xgft xgft{XgftSpec{{4, 4, 4}, {1, 4, 2}}};
+  // A level-2 switch covers exactly its height-2 subtree's 16 hosts.
+  const topo::NodeId sw = xgft.node_id(2, 5);
+  std::size_t covered = 0;
+  for (std::uint64_t h = 0; h < xgft.num_hosts(); ++h) {
+    covered += xgft.is_ancestor_of_host(sw, h);
+  }
+  EXPECT_EQ(covered, 16u);
+  // Hosts are ancestors only of themselves.
+  EXPECT_TRUE(xgft.is_ancestor_of_host(xgft.host(3), 3));
+  EXPECT_FALSE(xgft.is_ancestor_of_host(xgft.host(3), 4));
+}
+
+TEST(AncestorQueries, DownPortLeadsTowardTheHost) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  const topo::NodeId top = xgft.node_id(3, 7);
+  topo::NodeId node = top;
+  const std::uint64_t target = 101;
+  while (!xgft.is_host(node)) {
+    ASSERT_TRUE(xgft.is_ancestor_of_host(node, target));
+    node = xgft.child(node, xgft.down_port_toward(node, target));
+  }
+  EXPECT_EQ(node, xgft.host(target));
+}
+
+}  // namespace

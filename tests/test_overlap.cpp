@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/overlap.hpp"
+#include "core/path_index.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using route::analyze_path_set;
+using route::Heuristic;
+using route::Path;
+using topo::Xgft;
+using topo::XgftSpec;
+
+std::vector<Path> materialize_set(const Xgft& xgft, std::uint64_t s,
+                                  std::uint64_t d, std::size_t k,
+                                  Heuristic h) {
+  util::Rng rng{11};
+  std::vector<Path> paths;
+  for (const auto index : route::select_path_indices(xgft, s, d, k, h, rng)) {
+    paths.push_back(route::materialize_path(xgft, s, d, index));
+  }
+  return paths;
+}
+
+TEST(Overlap, SinglePathHasNoPairs) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  const auto paths = materialize_set(xgft, 0, 127, 1, Heuristic::kDModK);
+  const auto stats = analyze_path_set(xgft, paths);
+  EXPECT_EQ(stats.num_paths, 1u);
+  EXPECT_EQ(stats.total_pairs, 0u);
+  EXPECT_EQ(stats.distinct_links, 6u);  // 3 up + 3 down
+}
+
+TEST(Overlap, Shift1SharesLowerLinks) {
+  // Section 4.2.2: shift-1's small-K paths differ only at the top level,
+  // so every pair shares the level-0 and level-1 links on both legs
+  // (w_1 = 1 makes the level-0 links shared by construction).
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  const auto paths = materialize_set(xgft, 0, 127, 4, Heuristic::kShift1);
+  const auto stats = analyze_path_set(xgft, paths);
+  EXPECT_EQ(stats.num_paths, 4u);
+  // All four paths share the same leaf uplink: one distinct level-0 up
+  // link + one distinct level-0 down link.
+  EXPECT_EQ(stats.distinct_links_per_level[0], 2u);
+  EXPECT_EQ(stats.disjoint_pairs, 0u);
+  EXPECT_GE(stats.min_pairwise_shared, 2u);
+}
+
+TEST(Overlap, DisjointForksAtTheLowestPossibleLevel) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};  // w = (1,4,4)
+  const auto paths = materialize_set(xgft, 0, 127, 4, Heuristic::kDisjoint);
+  const auto stats = analyze_path_set(xgft, paths);
+  EXPECT_EQ(stats.num_paths, 4u);
+  // w_1 = 1: the host access links are necessarily shared...
+  EXPECT_EQ(stats.distinct_links_per_level[0], 2u);
+  // ...but the K = w_1*w_2 = 4 paths use 4 distinct level-1 up links and
+  // 4 distinct level-1 down links (they fork right above the leaf).
+  EXPECT_EQ(stats.distinct_links_per_level[1], 8u);
+  // Every pair shares exactly the two access links.
+  EXPECT_EQ(stats.min_pairwise_shared, 2u);
+  EXPECT_EQ(stats.max_pairwise_shared, 2u);
+}
+
+TEST(Overlap, DisjointBeatsShift1OnDistinctLowerLinks) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    const auto shift =
+        analyze_path_set(xgft, materialize_set(xgft, 0, 127, k,
+                                               Heuristic::kShift1));
+    const auto disjoint =
+        analyze_path_set(xgft, materialize_set(xgft, 0, 127, k,
+                                               Heuristic::kDisjoint));
+    EXPECT_GE(disjoint.distinct_links_per_level[1],
+              shift.distinct_links_per_level[1])
+        << "K=" << k;
+    EXPECT_LE(disjoint.mean_pairwise_shared, shift.mean_pairwise_shared)
+        << "K=" << k;
+  }
+}
+
+TEST(Overlap, TrueDisjointnessWhenW1Exceeds1) {
+  // With w_1 = 2 the disjoint heuristic can produce fully link-disjoint
+  // pairs (they fork at the hosts themselves).
+  const Xgft xgft{XgftSpec{{2, 3, 4}, {2, 2, 3}}};
+  const auto paths = materialize_set(xgft, 0, xgft.num_hosts() - 1, 2,
+                                     Heuristic::kDisjoint);
+  const auto stats = analyze_path_set(xgft, paths);
+  EXPECT_EQ(stats.num_paths, 2u);
+  EXPECT_EQ(stats.disjoint_pairs, 1u);
+  EXPECT_EQ(stats.min_pairwise_shared, 0u);
+}
+
+TEST(Overlap, UmultiCoversEveryTopSwitch) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  const auto paths = materialize_set(xgft, 0, 127, 1, Heuristic::kUmulti);
+  const auto stats = analyze_path_set(xgft, paths);
+  EXPECT_EQ(stats.num_paths, 16u);
+  EXPECT_EQ(stats.total_pairs, 16u * 15 / 2);
+  // 16 paths over 16 top switches: level-2 links all distinct (16 up + 16
+  // down).
+  EXPECT_EQ(stats.distinct_links_per_level[2], 32u);
+}
+
+TEST(Overlap, EmptySetIsAllZero) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const auto stats = analyze_path_set(xgft, {});
+  EXPECT_EQ(stats.num_paths, 0u);
+  EXPECT_EQ(stats.distinct_links, 0u);
+  EXPECT_EQ(stats.min_pairwise_shared, 0u);
+}
+
+}  // namespace

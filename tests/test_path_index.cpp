@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/path_index.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lmpr;
+using route::choice_stride;
+using route::decode_path_index;
+using route::encode_path_index;
+using route::materialize_path;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(PathIndex, ChoiceStrides) {
+  // Figure 3 topology: w = (1,4,2), NCA at level 3.
+  const XgftSpec spec{{4, 4, 4}, {1, 4, 2}};
+  EXPECT_EQ(choice_stride(spec, 3, 0), 8u);  // j_1 stride = w_2*w_3
+  EXPECT_EQ(choice_stride(spec, 3, 1), 2u);  // j_2 stride = w_3
+  EXPECT_EQ(choice_stride(spec, 3, 2), 1u);  // j_3 stride = 1
+}
+
+TEST(PathIndex, DecodeEncodeKnownValue) {
+  const XgftSpec spec{{4, 4, 4}, {1, 4, 2}};
+  // index 7 = 0*8 + 3*2 + 1.
+  const auto choices = decode_path_index(spec, 3, 7);
+  ASSERT_EQ(choices.size(), 3u);
+  EXPECT_EQ(choices[0], 0u);
+  EXPECT_EQ(choices[1], 3u);
+  EXPECT_EQ(choices[2], 1u);
+  EXPECT_EQ(encode_path_index(spec, 3, choices), 7u);
+}
+
+TEST(PathIndex, SelfPairIsEmptyPath) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const auto path = materialize_path(xgft, 5, 5, 0);
+  EXPECT_TRUE(path.links.empty());
+  ASSERT_EQ(path.nodes.size(), 1u);
+  EXPECT_EQ(path.nodes[0], xgft.host(5));
+}
+
+TEST(PathIndex, PathsBijectOntoTopSwitches) {
+  // Path i peaks at top-level switch number i in the paper's recursive
+  // construction numbering (top switch y of XGFT(k) = w_k*x + j_k with x
+  // the sub-tree's top-switch number): the apex's label digits a_l must
+  // equal the decoded upward choices j_l.
+  const Xgft xgft{XgftSpec{{4, 4, 4}, {1, 4, 2}}};
+  const std::uint64_t src = 0;
+  const std::uint64_t dst = 63;
+  std::set<topo::NodeId> apexes;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto path = materialize_path(xgft, src, dst, i);
+    const topo::NodeId apex = path.nodes[3];  // NCA level is 3
+    apexes.insert(apex);
+    const auto label = xgft.label_of(apex);
+    const auto choices = decode_path_index(xgft.spec(), 3, i);
+    for (std::size_t l = 0; l < 3; ++l) {
+      EXPECT_EQ(label.digits[l], choices[l]) << "path " << i;
+    }
+  }
+  // Every top switch of the (whole-fabric) subtree is hit exactly once.
+  EXPECT_EQ(apexes.size(), 8u);
+}
+
+class PathMaterialization : public testing::TestWithParam<XgftSpec> {};
+
+TEST_P(PathMaterialization, AllPathsValidDistinctAndComplete) {
+  const Xgft xgft{GetParam()};
+  const std::uint64_t hosts = xgft.num_hosts();
+  const std::uint64_t step = hosts > 24 ? hosts / 11 : 1;
+  for (std::uint64_t s = 0; s < hosts; s += step) {
+    for (std::uint64_t d = 0; d < hosts; d += step) {
+      if (s == d) continue;
+      const std::uint64_t total = xgft.num_shortest_paths(s, d);
+      std::set<std::vector<topo::LinkId>> unique_link_seqs;
+      for (std::uint64_t i = 0; i < total; ++i) {
+        const auto path = materialize_path(xgft, s, d, i);
+        lmpr::test::expect_valid_path(xgft, s, d, path);
+        EXPECT_EQ(path.index, i);
+        unique_link_seqs.insert(path.links);
+      }
+      // Property 1: exactly prod w_i distinct shortest paths.
+      EXPECT_EQ(unique_link_seqs.size(), total);
+    }
+  }
+}
+
+TEST_P(PathMaterialization, AppendLinksMatchesMaterialize) {
+  const Xgft xgft{GetParam()};
+  const std::uint64_t hosts = xgft.num_hosts();
+  util::Rng rng{4};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t s = rng.below(hosts);
+    const std::uint64_t d = rng.below(hosts);
+    if (s == d) continue;
+    const std::uint64_t i = rng.below(xgft.num_shortest_paths(s, d));
+    const auto path = materialize_path(xgft, s, d, i);
+    std::vector<topo::LinkId> links;
+    route::append_path_links(xgft, s, d, i, links);
+    EXPECT_EQ(links, path.links);
+  }
+}
+
+TEST_P(PathMaterialization, DecodeEncodeRoundTripAllIndices) {
+  const XgftSpec& spec = GetParam();
+  for (std::uint32_t nca = 1; nca <= spec.height(); ++nca) {
+    const std::uint64_t total = spec.w_prefix_product(nca);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      const auto choices = decode_path_index(spec, nca, i);
+      EXPECT_EQ(encode_path_index(spec, nca, choices), i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PathMaterialization,
+                         testing::ValuesIn(lmpr::test::property_grid()),
+                         lmpr::test::grid_name);
+
+}  // namespace

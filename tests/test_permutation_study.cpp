@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "flow/permutation_study.hpp"
+
+namespace {
+
+using namespace lmpr;
+using flow::PermutationStudyConfig;
+using flow::run_permutation_study;
+using route::Heuristic;
+using topo::Xgft;
+using topo::XgftSpec;
+
+PermutationStudyConfig quick_config(Heuristic h, std::size_t k) {
+  PermutationStudyConfig config;
+  config.heuristic = h;
+  config.k_paths = k;
+  config.stopping.initial_samples = 50;
+  config.stopping.max_samples = 200;
+  config.seed = 21;
+  return config;
+}
+
+TEST(PermutationStudy, RunsAndRespectsSampleBounds) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const auto result =
+      run_permutation_study(xgft, quick_config(Heuristic::kDModK, 1));
+  EXPECT_GE(result.samples, 50u);
+  EXPECT_LE(result.samples, 200u);
+  EXPECT_EQ(result.max_load.count(), result.samples);
+  EXPECT_EQ(result.perf.count(), result.samples);
+  EXPECT_GE(result.max_load.mean(), 1.0);  // permutations load some link
+}
+
+TEST(PermutationStudy, DeterministicForFixedSeed) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const auto a =
+      run_permutation_study(xgft, quick_config(Heuristic::kRandom, 2));
+  const auto b =
+      run_permutation_study(xgft, quick_config(Heuristic::kRandom, 2));
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_DOUBLE_EQ(a.max_load.mean(), b.max_load.mean());
+}
+
+TEST(PermutationStudy, UmultiAlwaysOptimal) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const auto result =
+      run_permutation_study(xgft, quick_config(Heuristic::kUmulti, 1));
+  EXPECT_NEAR(result.perf.mean(), 1.0, 1e-9);
+  EXPECT_NEAR(result.perf.max(), 1.0, 1e-9);
+}
+
+TEST(PermutationStudy, KAtMaxPathsMatchesUmulti) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};  // max 2 paths
+  const auto result =
+      run_permutation_study(xgft, quick_config(Heuristic::kDisjoint, 2));
+  EXPECT_NEAR(result.perf.mean(), 1.0, 1e-9);
+}
+
+TEST(PermutationStudy, MorePathsNeverHurtOnAverage) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  double previous = 1e30;
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    const auto result =
+        run_permutation_study(xgft, quick_config(Heuristic::kDisjoint, k));
+    EXPECT_LE(result.max_load.mean(), previous * 1.02) << "K=" << k;
+    previous = result.max_load.mean();
+  }
+}
+
+TEST(PermutationStudy, TrackPerfRatioCanBeDisabled) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  auto config = quick_config(Heuristic::kDModK, 1);
+  config.track_perf_ratio = false;
+  const auto result = run_permutation_study(xgft, config);
+  EXPECT_EQ(result.perf.count(), 0u);
+  EXPECT_GT(result.max_load.count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "util/quantiles.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using lmpr::util::ReservoirQuantiles;
+
+TEST(ReservoirQuantiles, ExactWhenUnderCapacity) {
+  ReservoirQuantiles q(100);
+  for (int i = 1; i <= 99; ++i) q.add(i);
+  EXPECT_EQ(q.count(), 99u);
+  EXPECT_EQ(q.sample_size(), 99u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 99.0);
+  EXPECT_DOUBLE_EQ(q.median(), 50.0);
+}
+
+TEST(ReservoirQuantiles, InterleavedAddAndQuery) {
+  ReservoirQuantiles q(16);
+  for (int i = 0; i < 8; ++i) q.add(i);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 7.0);
+  for (int i = 8; i < 16; ++i) q.add(i);  // query then keep adding
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 15.0);
+}
+
+TEST(ReservoirQuantiles, ApproximatesLargeUniformStream) {
+  ReservoirQuantiles q(4096, 9);
+  lmpr::util::Rng rng{11};
+  for (int i = 0; i < 200000; ++i) q.add(rng.uniform01());
+  EXPECT_EQ(q.count(), 200000u);
+  EXPECT_EQ(q.sample_size(), 4096u);
+  EXPECT_NEAR(q.median(), 0.5, 0.03);
+  EXPECT_NEAR(q.quantile(0.9), 0.9, 0.03);
+  EXPECT_NEAR(q.p99(), 0.99, 0.02);
+}
+
+TEST(ReservoirQuantiles, DeterministicForFixedSeed) {
+  ReservoirQuantiles a(64, 3);
+  ReservoirQuantiles b(64, 3);
+  lmpr::util::Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_DOUBLE_EQ(a.median(), b.median());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+}
+
+TEST(ReservoirQuantiles, P99AtLeastMedian) {
+  ReservoirQuantiles q(128, 1);
+  lmpr::util::Rng rng{2};
+  for (int i = 0; i < 5000; ++i) q.add(rng.uniform01() * 10.0);
+  EXPECT_GE(q.p99(), q.median());
+}
+
+}  // namespace

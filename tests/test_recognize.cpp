@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/single_path.hpp"
+#include "discovery/recognize.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using discovery::export_fabric;
+using discovery::RawFabric;
+using discovery::recognize_xgft;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(Recognize, IdentityExportRoundTrips) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const auto fabric = export_fabric(xgft);
+  const auto result = recognize_xgft(fabric);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.spec, xgft.spec());
+  // Identity export: hosts keep their ids; switches may be relabelled by
+  // an automorphism but levels must match.
+  for (std::uint32_t node = 0; node < fabric.num_nodes; ++node) {
+    EXPECT_EQ(xgft.level_of(result.canonical[node]),
+              xgft.level_of(static_cast<topo::NodeId>(node)));
+  }
+}
+
+class RecognizeRoundTrip : public testing::TestWithParam<XgftSpec> {};
+
+TEST_P(RecognizeRoundTrip, ShuffledExportIsRecognized) {
+  const Xgft xgft{GetParam()};
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng{seed};
+    const auto fabric = export_fabric(xgft, &rng);
+    const auto result = recognize_xgft(fabric);
+    ASSERT_TRUE(result.ok) << GetParam().to_string() << ": " << result.error;
+    EXPECT_EQ(result.spec, xgft.spec());
+    // The canonical map must be a level-preserving bijection whose edge
+    // image matches (recognize_xgft verifies edges internally; spot-check
+    // the bijection here).
+    std::vector<bool> used(static_cast<std::size_t>(xgft.num_nodes()), false);
+    for (const auto mapped : result.canonical) {
+      ASSERT_NE(mapped, topo::kInvalidNode);
+      EXPECT_FALSE(used[mapped]);
+      used[mapped] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RecognizeRoundTrip,
+                         testing::ValuesIn(lmpr::test::property_grid()),
+                         lmpr::test::grid_name);
+
+TEST(Recognize, RejectsEmptyFabric) {
+  EXPECT_FALSE(recognize_xgft(RawFabric{}).ok);
+}
+
+TEST(Recognize, RejectsMissingHosts) {
+  RawFabric fabric;
+  fabric.num_nodes = 3;
+  fabric.cables = {{0, 2}, {1, 2}};
+  EXPECT_FALSE(recognize_xgft(fabric).ok);
+}
+
+TEST(Recognize, RejectsSelfLoopAndDuplicateCables) {
+  RawFabric fabric;
+  fabric.num_nodes = 3;
+  fabric.hosts = {0, 1};
+  fabric.cables = {{0, 0}};
+  EXPECT_EQ(recognize_xgft(fabric).error, "self-loop cable");
+  fabric.cables = {{0, 2}, {2, 0}, {1, 2}};
+  EXPECT_EQ(recognize_xgft(fabric).error, "duplicate cable");
+}
+
+TEST(Recognize, RejectsDisconnectedFabric) {
+  RawFabric fabric;
+  fabric.num_nodes = 4;
+  fabric.hosts = {0, 1};
+  fabric.cables = {{0, 2}, {1, 2}};  // node 3 floats
+  EXPECT_EQ(recognize_xgft(fabric).error, "disconnected node");
+}
+
+TEST(Recognize, RejectsMissingCable) {
+  // XGFT(1;2;2) minus one cable: degree regularity breaks.
+  const Xgft xgft{XgftSpec{{2}, {2}}};
+  auto fabric = export_fabric(xgft);
+  fabric.cables.pop_back();
+  const auto result = recognize_xgft(fabric);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Recognize, RejectsExtraHostOnOneLeaf) {
+  // An irregular tree: 3 hosts under switch A, 2 under switch B, one top
+  // switch -- copies differ in size.
+  RawFabric fabric;
+  fabric.num_nodes = 8;  // hosts 0-4, leaves 5-6, top 7
+  fabric.hosts = {0, 1, 2, 3, 4};
+  fabric.cables = {{0, 5}, {1, 5}, {2, 5}, {3, 6}, {4, 6}, {5, 7}, {6, 7}};
+  const auto result = recognize_xgft(fabric);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Recognize, RejectsCrossWiredTopLevel) {
+  // Two leaf groups, two tops; one top reaches a copy twice instead of
+  // once per copy -- not an XGFT wiring.
+  RawFabric fabric;
+  fabric.num_nodes = 8;  // hosts 0-3, leaves 4-5, tops 6-7
+  fabric.hosts = {0, 1, 2, 3};
+  fabric.cables = {{0, 4}, {1, 4}, {2, 5}, {3, 5},
+                   {4, 6}, {5, 6},          // top 6 ok
+                   {4, 7}, {4, 7}};         // duplicate
+  EXPECT_FALSE(recognize_xgft(fabric).ok);
+}
+
+TEST(Recognize, RejectsTorusLikeWiring) {
+  // 4 hosts, 4 "switches" wired in a cycle among themselves: cables at
+  // the same level.
+  RawFabric fabric;
+  fabric.num_nodes = 8;
+  fabric.hosts = {0, 1, 2, 3};
+  fabric.cables = {{0, 4}, {1, 5}, {2, 6}, {3, 7},
+                   {4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  const auto result = recognize_xgft(fabric);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "cable joins non-adjacent levels");
+}
+
+TEST(Recognize, CanonicalMapEnablesRouting) {
+  // End-to-end: recognize a shuffled fabric, then route on the canonical
+  // topology between two raw hosts.
+  const Xgft reference{XgftSpec::m_port_n_tree(8, 3)};
+  util::Rng rng{99};
+  const auto fabric = export_fabric(reference, &rng);
+  const auto result = recognize_xgft(fabric);
+  ASSERT_TRUE(result.ok) << result.error;
+  const Xgft xgft{result.spec};
+  const std::uint32_t raw_a = fabric.hosts[0];
+  const std::uint32_t raw_b = fabric.hosts[1];
+  const std::uint64_t a = result.canonical[raw_a];
+  const std::uint64_t b = result.canonical[raw_b];
+  ASSERT_TRUE(xgft.is_host(static_cast<topo::NodeId>(a)));
+  ASSERT_TRUE(xgft.is_host(static_cast<topo::NodeId>(b)));
+  const auto path = route::materialize_path(
+      xgft, a, b, route::dmodk_index(xgft, a, b));
+  lmpr::test::expect_valid_path(xgft, a, b, path);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "flow/resilience.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using flow::measure_resilience;
+using flow::ResilienceConfig;
+using topo::Xgft;
+using topo::XgftSpec;
+
+ResilienceConfig quick(route::Heuristic h, std::size_t k, double p) {
+  ResilienceConfig config;
+  config.heuristic = h;
+  config.k_paths = k;
+  config.cable_failure_probability = p;
+  config.trials = 10;
+  config.pair_samples = 500;
+  config.seed = 3;
+  return config;
+}
+
+TEST(Resilience, NoFailuresMeansFullConnectivity) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  const auto result = measure_resilience(
+      xgft, quick(route::Heuristic::kDisjoint, 4, 0.0));
+  EXPECT_DOUBLE_EQ(result.connectivity, 1.0);
+  EXPECT_DOUBLE_EQ(result.worst_connectivity, 1.0);
+  EXPECT_DOUBLE_EQ(result.surviving_paths, 1.0);
+  EXPECT_DOUBLE_EQ(result.failed_cables, 0.0);
+}
+
+TEST(Resilience, FailureRateIsRespected) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};  // 384 cables
+  auto config = quick(route::Heuristic::kDisjoint, 4, 0.05);
+  config.trials = 40;
+  const auto result = measure_resilience(xgft, config);
+  EXPECT_NEAR(result.failed_cables, 0.05 * 384.0, 4.0);
+  EXPECT_LT(result.surviving_paths, 1.0);
+}
+
+TEST(Resilience, MorePathsImproveConnectivity) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  double previous = 0.0;
+  for (const std::size_t k : {1u, 4u, 16u}) {
+    const auto result = measure_resilience(
+        xgft, quick(route::Heuristic::kDisjoint, k, 0.05));
+    EXPECT_GE(result.connectivity, previous - 0.01) << "K=" << k;
+    previous = result.connectivity;
+  }
+}
+
+TEST(Resilience, DisjointSurvivesBetterThanShift1) {
+  // shift-1's K paths share their lower links, so one low-level cable
+  // failure kills the whole set; disjoint's fork-low diversity survives.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  const auto shift = measure_resilience(
+      xgft, quick(route::Heuristic::kShift1, 4, 0.05));
+  const auto disjoint = measure_resilience(
+      xgft, quick(route::Heuristic::kDisjoint, 4, 0.05));
+  EXPECT_GT(disjoint.connectivity, shift.connectivity);
+}
+
+TEST(Resilience, DeterministicForFixedSeed) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const auto a = measure_resilience(
+      xgft, quick(route::Heuristic::kRandom, 2, 0.1));
+  const auto b = measure_resilience(
+      xgft, quick(route::Heuristic::kRandom, 2, 0.1));
+  EXPECT_DOUBLE_EQ(a.connectivity, b.connectivity);
+  EXPECT_DOUBLE_EQ(a.surviving_paths, b.surviving_paths);
+}
+
+TEST(Resilience, ExhaustivePairModeWorks) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};  // 8 hosts
+  auto config = quick(route::Heuristic::kDisjoint, 2, 0.1);
+  config.pair_samples = 0;  // all ordered pairs
+  config.trials = 5;
+  const auto result = measure_resilience(xgft, config);
+  EXPECT_GT(result.connectivity, 0.0);
+  EXPECT_LE(result.connectivity, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using lmpr::util::Rng;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng{77};
+  const auto first = rng();
+  rng.reseed(77);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{5};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng{5};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng{9};
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> hist(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.below(kBound)];
+  for (const int count : hist) {
+    EXPECT_NEAR(count, kDraws / static_cast<int>(kBound), 600);
+  }
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng{11};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng{13};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{17};
+  constexpr double kMean = 40.0;
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(kMean);
+  EXPECT_NEAR(sum / kDraws, kMean, 0.5);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng{19};
+  const auto perm = rng.permutation(257);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, PermutationIsNotIdentityForLargeN) {
+  Rng rng{23};
+  const auto perm = rng.permutation(64);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) moved += (perm[i] != i);
+  EXPECT_GT(moved, 32u);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng{29};
+  std::vector<int> values{1, 1, 2, 3, 5, 8, 13, 21};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng{31};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_without_replacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<std::size_t> seen(sample.begin(), sample.end());
+    EXPECT_EQ(seen.size(), 7u);
+    for (const auto v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, SampleAllElements) {
+  Rng rng{37};
+  const auto sample = rng.sample_without_replacement(6, 6);
+  std::set<std::size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, SampleZero) {
+  Rng rng{41};
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{43};
+  Rng child = parent.fork();
+  // The child's stream must not simply mirror the parent's.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent() == child());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t state = 0;
+  const auto a = lmpr::util::splitmix64(state);
+  const auto b = lmpr::util::splitmix64(state);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/route_table.hpp"
+#include "core/single_path.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using route::Heuristic;
+using route::RouteTable;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(RouteTable, StoresRequestedPathCounts) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};  // w = (1,4)
+  const RouteTable table(xgft, Heuristic::kDisjoint, 2);
+  EXPECT_EQ(table.k_paths(), 2u);
+  // Remote pair: min(2, 4) = 2 paths; same-leaf pair: 1 path.
+  EXPECT_EQ(table.paths(0, 31).size(), 2u);
+  EXPECT_EQ(table.paths(0, 1).size(), 1u);
+  // Self pair: the single empty path.
+  EXPECT_EQ(table.paths(5, 5).size(), 1u);
+  EXPECT_TRUE(table.paths(5, 5)[0].links.empty());
+}
+
+TEST(RouteTable, PathsAreValid) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const RouteTable table(xgft, Heuristic::kRandom, 2, /*seed=*/9);
+  for (std::uint64_t s = 0; s < xgft.num_hosts(); ++s) {
+    for (std::uint64_t d = 0; d < xgft.num_hosts(); ++d) {
+      for (const route::Path& path : table.paths(s, d)) {
+        lmpr::test::expect_valid_path(xgft, s, d, path);
+      }
+    }
+  }
+}
+
+TEST(RouteTable, DmodkTableMatchesDirectComputation) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const RouteTable table(xgft, Heuristic::kDModK, 1);
+  for (std::uint64_t s = 0; s < xgft.num_hosts(); ++s) {
+    for (std::uint64_t d = 0; d < xgft.num_hosts(); ++d) {
+      if (s == d) continue;
+      ASSERT_EQ(table.paths(s, d).size(), 1u);
+      EXPECT_EQ(table.paths(s, d)[0].index, route::dmodk_index(xgft, s, d));
+    }
+  }
+}
+
+TEST(RouteTable, SameSeedSameTable) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const RouteTable a(xgft, Heuristic::kRandom, 2, 33);
+  const RouteTable b(xgft, Heuristic::kRandom, 2, 33);
+  for (std::uint64_t s = 0; s < xgft.num_hosts(); ++s) {
+    for (std::uint64_t d = 0; d < xgft.num_hosts(); ++d) {
+      ASSERT_EQ(a.paths(s, d).size(), b.paths(s, d).size());
+      for (std::size_t i = 0; i < a.paths(s, d).size(); ++i) {
+        EXPECT_EQ(a.paths(s, d)[i].index, b.paths(s, d)[i].index);
+      }
+    }
+  }
+}
+
+TEST(RouteTable, PickReturnsMembersOnly) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const RouteTable table(xgft, Heuristic::kShift1, 3);
+  util::Rng rng{4};
+  std::set<std::uint64_t> member_indices;
+  for (const auto& p : table.paths(0, 31)) member_indices.insert(p.index);
+  std::set<std::uint64_t> picked;
+  for (int i = 0; i < 200; ++i) picked.insert(table.pick(0, 31, rng).index);
+  EXPECT_EQ(picked, member_indices);  // all members hit, nothing else
+}
+
+TEST(RouteTable, RoundRobinCycles) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const RouteTable table(xgft, Heuristic::kShift1, 3);
+  const auto set = table.paths(0, 31);
+  for (std::uint64_t c = 0; c < 9; ++c) {
+    EXPECT_EQ(&table.pick_round_robin(0, 31, c),
+              &set[static_cast<std::size_t>(c % set.size())]);
+  }
+}
+
+TEST(RouteTable, MeanPathsPerPair) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};  // w = (1,2), 8 hosts
+  // UMULTI: same-leaf pairs (NCA 1) get 1 path, remote pairs get 2.
+  const RouteTable table(xgft, Heuristic::kUmulti, 1);
+  // Per source: 1 same-leaf partner with 1 path, 6 remote with 2.
+  const double expected = (1.0 * 1 + 6.0 * 2) / 7.0;
+  EXPECT_NEAR(table.mean_paths_per_pair(), expected, 1e-12);
+  EXPECT_EQ(table.total_paths(), 8u * (1 * 1 + 6 * 2) + 8u /*self*/);
+}
+
+}  // namespace

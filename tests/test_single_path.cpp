@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/path_index.hpp"
+#include "core/single_path.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using route::dmodk_index;
+using route::random_single_index;
+using route::smodk_index;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(DModK, Figure3WorkedExample) {
+  // Paper Section 4.2: on the Figure 3 topology the d-mod-k path for the
+  // SD pair (0, 63) is Path 7.
+  const Xgft xgft{XgftSpec{{4, 4, 4}, {1, 4, 2}}};
+  EXPECT_EQ(dmodk_index(xgft, 0, 63), 7u);
+}
+
+TEST(DModK, PortFormulaAtEachLevel) {
+  // j_{l+1} = (dst / (w_1..w_l)) mod w_{l+1}, checked digit by digit.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};  // w = (1,4,4)
+  const std::uint64_t src = 0;
+  const std::uint64_t dst = 107;  // arbitrary remote host
+  const std::uint32_t nca = xgft.nca_level(src, dst);
+  const auto choices =
+      route::decode_path_index(xgft.spec(), nca, dmodk_index(xgft, src, dst));
+  for (std::uint32_t l = 0; l < nca; ++l) {
+    const std::uint64_t expected =
+        (dst / xgft.w_prefix(l)) % xgft.spec().w_at(l + 1);
+    EXPECT_EQ(choices[l], expected) << "level " << l;
+  }
+}
+
+TEST(DModK, DependsOnlyOnDestinationWithinNcaClass) {
+  // Two sources with the same NCA level relative to d get the same index.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  const std::uint64_t dst = 100;
+  EXPECT_EQ(dmodk_index(xgft, 0, dst), dmodk_index(xgft, 5, dst));
+  EXPECT_EQ(dmodk_index(xgft, 1, dst), dmodk_index(xgft, 14, dst));
+}
+
+TEST(SModK, MirrorsDModK) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  EXPECT_EQ(smodk_index(xgft, 63, 0), dmodk_index(xgft, 0, 63));
+  EXPECT_EQ(smodk_index(xgft, 21, 98), dmodk_index(xgft, 98, 21));
+}
+
+TEST(SelfPairsAreIndexZero, AllSchemes) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  util::Rng rng{1};
+  EXPECT_EQ(dmodk_index(xgft, 9, 9), 0u);
+  EXPECT_EQ(smodk_index(xgft, 9, 9), 0u);
+  EXPECT_EQ(random_single_index(xgft, 9, 9, rng), 0u);
+}
+
+class SinglePathBounds : public testing::TestWithParam<XgftSpec> {};
+
+TEST_P(SinglePathBounds, IndicesWithinPathCount) {
+  const Xgft xgft{GetParam()};
+  util::Rng rng{2};
+  const std::uint64_t hosts = xgft.num_hosts();
+  const std::uint64_t step = hosts > 24 ? hosts / 13 : 1;
+  for (std::uint64_t s = 0; s < hosts; s += step) {
+    for (std::uint64_t d = 0; d < hosts; d += step) {
+      if (s == d) continue;
+      const std::uint64_t total = xgft.num_shortest_paths(s, d);
+      EXPECT_LT(dmodk_index(xgft, s, d), total);
+      EXPECT_LT(smodk_index(xgft, s, d), total);
+      EXPECT_LT(random_single_index(xgft, s, d, rng), total);
+    }
+  }
+}
+
+TEST_P(SinglePathBounds, DmodkPathsToSameDestinationMergeDownward) {
+  // The defining d-mod-k property: once two packets to the same
+  // destination reach the same level, they use the same switches from
+  // there on -- the up-path choice depends only on d.  Check that the
+  // apex (NCA switch) digit choices agree for all sources at equal NCA
+  // level.
+  const Xgft xgft{GetParam()};
+  const std::uint64_t hosts = xgft.num_hosts();
+  const std::uint64_t d = hosts - 1;
+  std::vector<std::vector<std::uint32_t>> per_level(xgft.height() + 1);
+  for (std::uint64_t s = 0; s + 1 < hosts; ++s) {
+    const std::uint32_t nca = xgft.nca_level(s, d);
+    if (nca == 0) continue;
+    const auto choices =
+        route::decode_path_index(xgft.spec(), nca, dmodk_index(xgft, s, d));
+    auto& expected = per_level[nca];
+    if (expected.empty()) {
+      expected = choices;
+    } else {
+      EXPECT_EQ(choices, expected) << "source " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SinglePathBounds,
+                         testing::ValuesIn(lmpr::test::property_grid()),
+                         lmpr::test::grid_name);
+
+}  // namespace

@@ -1,0 +1,25 @@
+// Build-level smoke test: umbrella header compiles, a small end-to-end
+// pipeline runs.
+#include <gtest/gtest.h>
+
+#include "lmpr.hpp"
+
+namespace {
+
+using namespace lmpr;
+
+TEST(Smoke, EndToEndPipeline) {
+  topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(4, 2)};
+  EXPECT_EQ(xgft.num_hosts(), 8u);
+
+  util::Rng rng{1};
+  flow::LoadEvaluator eval(xgft);
+  const auto tm =
+      flow::TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+  const auto load =
+      eval.evaluate(tm, route::Heuristic::kUmulti, /*k_paths=*/1, rng);
+  const auto opt = flow::oload(xgft, tm);
+  EXPECT_DOUBLE_EQ(flow::perf_ratio(load.max_load, opt.value), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "topology/spec.hpp"
+
+namespace {
+
+using lmpr::topo::XgftSpec;
+
+TEST(XgftSpec, PaperTopologyCounts) {
+  // The six experimental topologies of Section 5 (DESIGN.md reconstruction).
+  struct Case {
+    std::uint32_t ports;
+    std::size_t levels;
+    std::uint64_t hosts;
+    std::uint64_t tops;
+  };
+  const Case cases[] = {
+      {8, 2, 32, 4},      {16, 2, 128, 8},    {24, 2, 288, 12},
+      {8, 3, 128, 16},    {16, 3, 1024, 64},  {24, 3, 3456, 144},
+  };
+  for (const auto& c : cases) {
+    const auto spec = XgftSpec::m_port_n_tree(c.ports, c.levels);
+    EXPECT_EQ(spec.num_hosts(), c.hosts) << c.ports << "-port " << c.levels;
+    EXPECT_EQ(spec.num_top_switches(), c.tops)
+        << c.ports << "-port " << c.levels;
+  }
+}
+
+TEST(XgftSpec, MPortNTreeShape) {
+  const auto spec = XgftSpec::m_port_n_tree(8, 3);
+  EXPECT_EQ(spec.m, (std::vector<std::uint32_t>{4, 4, 8}));
+  EXPECT_EQ(spec.w, (std::vector<std::uint32_t>{1, 4, 4}));
+}
+
+TEST(XgftSpec, KAryNTreeShape) {
+  const auto spec = XgftSpec::k_ary_n_tree(4, 3);
+  EXPECT_EQ(spec.m, (std::vector<std::uint32_t>{4, 4, 4}));
+  EXPECT_EQ(spec.w, (std::vector<std::uint32_t>{1, 4, 4}));
+  EXPECT_EQ(spec.num_hosts(), 64u);
+  EXPECT_EQ(spec.num_top_switches(), 16u);
+}
+
+TEST(XgftSpec, GftShape) {
+  const auto spec = XgftSpec::gft(2, 3, 2);
+  EXPECT_EQ(spec.m, (std::vector<std::uint32_t>{3, 3}));
+  EXPECT_EQ(spec.w, (std::vector<std::uint32_t>{2, 2}));
+  EXPECT_EQ(spec.num_hosts(), 9u);
+  EXPECT_EQ(spec.num_top_switches(), 4u);
+}
+
+TEST(XgftSpec, NodesAtLevel) {
+  // XGFT(3;4,4,8;1,4,4): 128 hosts, 32+32+16 switches.
+  const auto spec = XgftSpec::m_port_n_tree(8, 3);
+  EXPECT_EQ(spec.nodes_at_level(0), 128u);
+  EXPECT_EQ(spec.nodes_at_level(1), 32u);
+  EXPECT_EQ(spec.nodes_at_level(2), 32u);
+  EXPECT_EQ(spec.nodes_at_level(3), 16u);
+  EXPECT_EQ(spec.total_nodes(), 208u);
+}
+
+TEST(XgftSpec, PrefixProductsAndBoundaryLinks) {
+  const XgftSpec spec{{4, 4, 4}, {1, 4, 2}};  // Figure 3 topology
+  EXPECT_EQ(spec.m_prefix_product(0), 1u);
+  EXPECT_EQ(spec.m_prefix_product(2), 16u);
+  EXPECT_EQ(spec.w_prefix_product(3), 8u);
+  // TL(k) = w_1..w_{k+1}.
+  EXPECT_EQ(spec.boundary_links(0), 1u);
+  EXPECT_EQ(spec.boundary_links(1), 4u);
+  EXPECT_EQ(spec.boundary_links(2), 8u);
+}
+
+TEST(XgftSpec, ToStringMatchesPaperNotation) {
+  const auto spec = XgftSpec::m_port_n_tree(8, 3);
+  EXPECT_EQ(spec.to_string(), "XGFT(3;4,4,8;1,4,4)");
+}
+
+TEST(XgftSpec, ParseRoundTrip) {
+  for (const char* text :
+       {"XGFT(3;4,4,8;1,4,4)", "XGFT(1;4;2)", "XGFT(2;3,5;2,3)"}) {
+    const auto spec = XgftSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+  }
+}
+
+TEST(XgftSpec, ParseToleratesWhitespace) {
+  const auto spec = XgftSpec::parse("XGFT(2; 4, 8; 1, 4)");
+  EXPECT_EQ(spec.to_string(), "XGFT(2;4,8;1,4)");
+}
+
+TEST(XgftSpec, ParseRejectsGarbage) {
+  EXPECT_THROW(XgftSpec::parse("FATTREE(2;4;4)"), std::invalid_argument);
+  EXPECT_THROW(XgftSpec::parse("XGFT(2;4,8)"), std::invalid_argument);
+  EXPECT_THROW(XgftSpec::parse("XGFT(3;4,8;1,4)"), std::invalid_argument);
+}
+
+TEST(XgftSpec, ValidateRejectsMalformed) {
+  EXPECT_THROW((XgftSpec{{}, {}}).validate(), std::invalid_argument);
+  EXPECT_THROW((XgftSpec{{4, 4}, {1}}).validate(), std::invalid_argument);
+  EXPECT_THROW((XgftSpec{{0}, {1}}).validate(), std::invalid_argument);
+  EXPECT_THROW((XgftSpec{{4}, {0}}).validate(), std::invalid_argument);
+}
+
+TEST(XgftSpec, ValidateRejectsOverflowScale) {
+  XgftSpec spec;
+  spec.m.assign(16, 4096);  // 4096^16 hosts: overflows
+  spec.w.assign(16, 1);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(XgftSpec, MPortNTreeRejectsOddPorts) {
+  EXPECT_THROW(XgftSpec::m_port_n_tree(7, 2), std::invalid_argument);
+  EXPECT_THROW(XgftSpec::m_port_n_tree(8, 0), std::invalid_argument);
+}
+
+TEST(XgftSpec, AccessorsUseOneBasedSubscripts) {
+  const auto spec = XgftSpec::m_port_n_tree(8, 3);
+  EXPECT_EQ(spec.m_at(1), 4u);
+  EXPECT_EQ(spec.m_at(3), 8u);
+  EXPECT_EQ(spec.w_at(1), 1u);
+  EXPECT_EQ(spec.w_at(3), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using lmpr::util::CiStoppingRule;
+using lmpr::util::OnlineStats;
+using lmpr::util::z_critical;
+
+TEST(OnlineStats, MeanAndVarianceMatchDirectComputation) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  OnlineStats stats;
+  for (const double x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sem(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  lmpr::util::Rng rng{3};
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10.0;
+    all.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  OnlineStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 1.5);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(ZCritical, KnownQuantiles) {
+  EXPECT_NEAR(z_critical(0.99), 2.5758, 1e-3);
+  EXPECT_NEAR(z_critical(0.95), 1.9600, 1e-3);
+  EXPECT_NEAR(z_critical(0.90), 1.6449, 1e-3);
+}
+
+TEST(OnlineStats, CiHalfWidthShrinksWithSamples) {
+  lmpr::util::Rng rng{5};
+  OnlineStats small;
+  OnlineStats large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform01());
+  EXPECT_GT(small.ci_half_width(0.99), large.ci_half_width(0.99));
+}
+
+TEST(CiStoppingRule, RequiresInitialSamples) {
+  CiStoppingRule rule;
+  rule.initial_samples = 10;
+  OnlineStats stats;
+  for (int i = 0; i < 9; ++i) stats.add(5.0);
+  EXPECT_FALSE(rule.satisfied(stats));
+  stats.add(5.0);
+  // Constant samples: zero CI width, immediately precise.
+  EXPECT_TRUE(rule.satisfied(stats));
+}
+
+TEST(CiStoppingRule, NoisyDataNotSatisfiedEarly) {
+  CiStoppingRule rule;
+  rule.initial_samples = 4;
+  rule.relative_precision = 0.001;  // very strict
+  OnlineStats stats;
+  lmpr::util::Rng rng{7};
+  for (int i = 0; i < 4; ++i) stats.add(rng.uniform01());
+  EXPECT_FALSE(rule.satisfied(stats));
+}
+
+TEST(CiStoppingRule, CapAlwaysStops) {
+  CiStoppingRule rule;
+  rule.initial_samples = 2;
+  rule.max_samples = 8;
+  rule.relative_precision = 1e-9;
+  OnlineStats stats;
+  lmpr::util::Rng rng{9};
+  for (int i = 0; i < 8; ++i) stats.add(rng.uniform01() * 100.0);
+  EXPECT_TRUE(rule.satisfied(stats));
+}
+
+TEST(CiStoppingRule, DoublingSchedule) {
+  CiStoppingRule rule;
+  rule.initial_samples = 100;
+  rule.max_samples = 1000;
+  EXPECT_EQ(rule.next_batch_target(0), 100u);
+  EXPECT_EQ(rule.next_batch_target(100), 200u);
+  EXPECT_EQ(rule.next_batch_target(150), 200u);
+  EXPECT_EQ(rule.next_batch_target(200), 400u);
+  EXPECT_EQ(rule.next_batch_target(400), 800u);
+  EXPECT_EQ(rule.next_batch_target(800), 1000u);  // clamped to the cap
+}
+
+TEST(CiStoppingRule, ZeroMeanDegenerateStops) {
+  CiStoppingRule rule;
+  rule.initial_samples = 3;
+  OnlineStats stats;
+  for (int i = 0; i < 3; ++i) stats.add(0.0);
+  EXPECT_TRUE(rule.satisfied(stats));
+}
+
+}  // namespace

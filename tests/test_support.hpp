@@ -1,0 +1,73 @@
+// Shared fixtures for the test suite: the topology grid that property
+// tests sweep over, and small helpers for checking path well-formedness.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/path_index.hpp"
+#include "topology/spec.hpp"
+#include "topology/xgft.hpp"
+
+namespace lmpr::test {
+
+/// Topologies the property tests sweep: paper instances plus irregular
+/// arities and w_1 > 1 cases (hosts with several parents) to exercise the
+/// general XGFT definition, not just m-port n-trees.
+inline std::vector<topo::XgftSpec> property_grid() {
+  using topo::XgftSpec;
+  return {
+      XgftSpec{{4}, {2}},                 // 1-level, multi-parent hosts
+      XgftSpec{{2, 2}, {2, 2}},           // GFT(2;2,2)
+      XgftSpec::m_port_n_tree(4, 2),      // XGFT(2;2,4;1,2)
+      XgftSpec::m_port_n_tree(8, 2),      // XGFT(2;4,8;1,4)
+      XgftSpec::k_ary_n_tree(2, 3),       // XGFT(3;2,2,2;1,2,2)
+      XgftSpec{{4, 4, 4}, {1, 4, 2}},     // the paper's Figure 3 topology
+      XgftSpec{{3, 5}, {2, 3}},           // irregular arities
+      XgftSpec{{2, 3, 4}, {2, 2, 3}},     // irregular, 3 levels, w1 = 2
+      XgftSpec::m_port_n_tree(8, 3),      // XGFT(3;4,4,8;1,4,4)
+  };
+}
+
+/// Human-readable parameterized-test name for a grid index.
+inline std::string grid_name(const testing::TestParamInfo<topo::XgftSpec>& p) {
+  std::string name = p.param.to_string();
+  std::string out;
+  for (char ch : name) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      out.push_back(ch);
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+/// Asserts that `path` is a well-formed shortest path from src to dst:
+/// consecutive links share a node, the walk goes up for nca hops then down
+/// for nca hops, and the endpoints are the given hosts.
+inline void expect_valid_path(const topo::Xgft& xgft, std::uint64_t src,
+                              std::uint64_t dst, const route::Path& path) {
+  ASSERT_FALSE(path.nodes.empty());
+  EXPECT_EQ(path.nodes.front(), xgft.host(src));
+  EXPECT_EQ(path.nodes.back(), xgft.host(dst));
+  if (src == dst) {
+    EXPECT_TRUE(path.links.empty());
+    return;
+  }
+  const std::uint32_t nca = xgft.nca_level(src, dst);
+  ASSERT_EQ(path.links.size(), 2u * nca);
+  ASSERT_EQ(path.nodes.size(), 2u * nca + 1);
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    const topo::Link& link = xgft.link(path.links[i]);
+    EXPECT_EQ(link.src, path.nodes[i]) << "hop " << i;
+    EXPECT_EQ(link.dst, path.nodes[i + 1]) << "hop " << i;
+    EXPECT_EQ(link.up, i < nca) << "hop " << i;
+  }
+  // Apex is at the NCA level.
+  EXPECT_EQ(xgft.level_of(path.nodes[nca]), nca);
+}
+
+}  // namespace lmpr::test

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using lmpr::util::Cli;
+using lmpr::util::Table;
+
+TEST(Table, PrintsAlignedAscii) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "20000"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 20000 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table table({"a", "b"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"with\"quote", "multi\nline"});
+  std::ostringstream oss;
+  table.write_csv(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("a,b\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::num(2.0, 1), "2.0");
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+}
+
+TEST(Table, CsvFileRoundTrip) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  const std::string path = testing::TempDir() + "lmpr_table_test.csv";
+  ASSERT_TRUE(table.write_csv_file(path));
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvFileFailureReturnsFalse) {
+  Table table({"a"});
+  EXPECT_FALSE(table.write_csv_file("/nonexistent-dir/x/y.csv"));
+}
+
+TEST(Table, RowArityMismatchDies) {
+  Table table({"only"});
+  EXPECT_DEATH(table.add_row({"a", "b"}), "precondition");
+}
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  // A bare switch must precede another --flag (or the end) -- a following
+  // plain token is consumed as its value, so positionals go first.
+  const char* argv[] = {"prog", "pos1", "--k", "8",
+                        "--topo=XGFT(2;4,8;1,4)", "--flag"};
+  const Cli cli(6, argv);
+  EXPECT_EQ(cli.get_or("k", std::int64_t{0}), 8);
+  EXPECT_EQ(cli.get_or("topo", ""), "XGFT(2;4,8;1,4)");
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_TRUE(cli.get_or("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, FlagConsumesFollowingPlainToken) {
+  const char* argv[] = {"prog", "--name", "value"};
+  const Cli cli(3, argv);
+  EXPECT_EQ(cli.get_or("name", ""), "value");
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(Cli, MissingFlagsUseFallbacks) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  EXPECT_FALSE(cli.has("k"));
+  EXPECT_EQ(cli.get_or("k", std::int64_t{7}), 7);
+  EXPECT_DOUBLE_EQ(cli.get_or("load", 0.25), 0.25);
+  EXPECT_FALSE(cli.get_or("full", false));
+  EXPECT_EQ(cli.get_or("name", "dflt"), "dflt");
+}
+
+TEST(Cli, LastOccurrenceWins) {
+  const char* argv[] = {"prog", "--k", "1", "--k", "2"};
+  const Cli cli(5, argv);
+  EXPECT_EQ(cli.get_or("k", std::int64_t{0}), 2);
+}
+
+TEST(Cli, BoolValueForms) {
+  const char* argv[] = {"prog", "--a", "true", "--b", "0", "--c", "yes"};
+  const Cli cli(7, argv);
+  EXPECT_TRUE(cli.get_or("a", false));
+  EXPECT_FALSE(cli.get_or("b", true));
+  EXPECT_TRUE(cli.get_or("c", false));
+}
+
+}  // namespace

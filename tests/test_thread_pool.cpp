@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "flow/permutation_study.hpp"
+#include "flow/worst_case.hpp"
+#include "test_support.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using lmpr::util::ThreadPool;
+
+TEST(ThreadPool, InlineModeRunsEverything) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, WorkersCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for(5000, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(37, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 20 * 37);
+}
+
+TEST(ThreadPool, EmptyBatchIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool survives and stays usable.
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, PermutationStudyIdenticalWithAndWithoutPool) {
+  using namespace lmpr;
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 2)};
+  flow::PermutationStudyConfig config;
+  config.heuristic = route::Heuristic::kDisjoint;
+  config.k_paths = 2;
+  config.stopping.initial_samples = 40;
+  config.stopping.max_samples = 80;
+  const auto serial = flow::run_permutation_study(xgft, config);
+  ThreadPool pool(3);
+  config.pool = &pool;
+  const auto parallel = flow::run_permutation_study(xgft, config);
+  EXPECT_EQ(serial.samples, parallel.samples);
+  EXPECT_DOUBLE_EQ(serial.max_load.mean(), parallel.max_load.mean());
+  EXPECT_DOUBLE_EQ(serial.max_load.variance(),
+                   parallel.max_load.variance());
+  EXPECT_DOUBLE_EQ(serial.perf.mean(), parallel.perf.mean());
+}
+
+TEST(ThreadPool, WorstCaseSearchIdenticalWithAndWithoutPool) {
+  using namespace lmpr;
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(4, 2)};
+  flow::WorstCaseConfig config;
+  config.steps = 150;
+  config.restarts = 4;
+  const auto serial = flow::search_worst_permutation(xgft, config);
+  ThreadPool pool(2);
+  config.pool = &pool;
+  const auto parallel = flow::search_worst_permutation(xgft, config);
+  EXPECT_DOUBLE_EQ(serial.worst_perf, parallel.worst_perf);
+  EXPECT_EQ(serial.worst_perm, parallel.worst_perm);
+  EXPECT_EQ(serial.evaluations, parallel.evaluations);
+}
+
+}  // namespace

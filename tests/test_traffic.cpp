@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "flow/traffic.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using flow::TrafficMatrix;
+
+TEST(TrafficMatrix, AddAndTotal) {
+  TrafficMatrix tm(4);
+  tm.add(0, 1, 2.0);
+  tm.add(1, 2, 3.0);
+  tm.add(0, 1, 1.0);  // duplicates accumulate at evaluation time
+  EXPECT_EQ(tm.size(), 3u);
+  EXPECT_DOUBLE_EQ(tm.total(), 6.0);
+}
+
+TEST(TrafficMatrix, PermutationGenerator) {
+  const std::vector<std::size_t> perm{2, 0, 3, 1};
+  const auto tm = TrafficMatrix::permutation(4, perm, 1.5);
+  ASSERT_EQ(tm.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tm.demands()[i].src, i);
+    EXPECT_EQ(tm.demands()[i].dst, perm[i]);
+    EXPECT_DOUBLE_EQ(tm.demands()[i].amount, 1.5);
+  }
+}
+
+TEST(TrafficMatrix, RandomPermutationIsAPermutation) {
+  util::Rng rng{1};
+  const auto tm = TrafficMatrix::random_permutation(64, rng);
+  std::set<std::uint64_t> dsts;
+  for (const auto& d : tm.demands()) dsts.insert(d.dst);
+  EXPECT_EQ(dsts.size(), 64u);
+}
+
+TEST(TrafficMatrix, UniformRowSumsToRate) {
+  const auto tm = TrafficMatrix::uniform(8, 2.0);
+  EXPECT_EQ(tm.size(), 8u * 7u);
+  std::vector<double> row(8, 0.0);
+  for (const auto& d : tm.demands()) {
+    EXPECT_NE(d.src, d.dst);
+    row[static_cast<std::size_t>(d.src)] += d.amount;
+  }
+  for (const double sum : row) EXPECT_NEAR(sum, 2.0, 1e-12);
+}
+
+TEST(TrafficMatrix, ShiftPattern) {
+  const auto tm = TrafficMatrix::shift(6, 2);
+  for (const auto& d : tm.demands()) {
+    EXPECT_EQ(d.dst, (d.src + 2) % 6);
+  }
+}
+
+TEST(TrafficMatrix, BitReversal) {
+  const auto tm = TrafficMatrix::bit_reversal(8);
+  // 3-bit reversals: 0->0, 1->4, 2->2, 3->6, 4->1, 5->5, 6->3, 7->7.
+  const std::vector<std::uint64_t> expected{0, 4, 2, 6, 1, 5, 3, 7};
+  ASSERT_EQ(tm.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(tm.demands()[i].dst, expected[i]);
+  }
+}
+
+TEST(TrafficMatrix, BitReversalRequiresPowerOfTwo) {
+  EXPECT_DEATH(TrafficMatrix::bit_reversal(6), "precondition");
+}
+
+TEST(TrafficMatrix, Hotspot) {
+  const auto tm = TrafficMatrix::hotspot(5, 2);
+  EXPECT_EQ(tm.size(), 4u);
+  for (const auto& d : tm.demands()) {
+    EXPECT_EQ(d.dst, 2u);
+    EXPECT_NE(d.src, 2u);
+  }
+}
+
+TEST(Adversarial, FactoryTopologyAlwaysFits) {
+  for (std::size_t h : {1u, 2u, 3u}) {
+    for (std::uint32_t spread : {2u, 3u, 4u}) {
+      const auto spec = flow::adversarial_dmodk_topology(h, spread);
+      EXPECT_TRUE(flow::adversarial_dmodk_fits(spec)) << spec.to_string();
+    }
+  }
+}
+
+TEST(Adversarial, KnownShapeH2S4) {
+  const auto spec = flow::adversarial_dmodk_topology(2, 4);
+  EXPECT_EQ(spec.to_string(), "XGFT(2;4,8;1,4)");
+}
+
+TEST(Adversarial, TrafficTargetsMultiplesOfW) {
+  const topo::Xgft xgft{flow::adversarial_dmodk_topology(2, 4)};
+  const auto tm = flow::adversarial_dmodk_traffic(xgft);
+  const std::uint64_t w_total = xgft.spec().num_top_switches();
+  // One flow per host of the first height-1 subtree.
+  EXPECT_EQ(tm.size(), xgft.hosts_per_subtree(1));
+  std::set<std::uint64_t> dsts;
+  for (const auto& d : tm.demands()) {
+    EXPECT_LT(d.src, xgft.hosts_per_subtree(1));
+    EXPECT_EQ(d.dst % w_total, 0u);
+    EXPECT_LT(d.dst, xgft.num_hosts());
+    dsts.insert(d.dst);
+    // Destination outside the source's height-(h-1) subtree.
+    EXPECT_NE(xgft.subtree_of(d.src, 1), xgft.subtree_of(d.dst, 1));
+  }
+  // All destinations in distinct subtrees (tightness of the bound).
+  EXPECT_EQ(dsts.size(), tm.size());
+}
+
+TEST(Adversarial, ThrowsWhenConstructionDoesNotFit) {
+  // 8-port 3-tree: S = W = 16 but the last destination 16*16 = 256 would
+  // exceed the 128 hosts.
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+  EXPECT_FALSE(flow::adversarial_dmodk_fits(xgft.spec()));
+  EXPECT_THROW(flow::adversarial_dmodk_traffic(xgft), std::invalid_argument);
+}
+
+}  // namespace

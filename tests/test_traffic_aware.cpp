@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "flow/link_load.hpp"
+#include "flow/oload.hpp"
+#include "flow/traffic_aware.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using flow::TrafficAwareConfig;
+using flow::traffic_aware_kpath;
+using flow::TrafficMatrix;
+using topo::Xgft;
+using topo::XgftSpec;
+
+TEST(TrafficAware, SingleDemandUsesKPathsEvenly) {
+  // XGFT(1;2;4): hosts with 4 parents -> 4 fully link-disjoint paths.
+  const Xgft xgft{XgftSpec{{2}, {4}}};
+  TrafficMatrix tm(xgft.num_hosts());
+  tm.add(0, 1, 1.0);
+  TrafficAwareConfig config;
+  config.k_paths = 4;
+  const auto result = traffic_aware_kpath(xgft, tm, config);
+  EXPECT_DOUBLE_EQ(result.max_load, 0.25);
+}
+
+TEST(TrafficAware, AccessLinksBoundSingleDemand) {
+  // With w_1 = 1 every path shares the two access links, so a lone unit
+  // demand always produces max load 1.0 no matter how many paths spread
+  // the middle.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  TrafficMatrix tm(xgft.num_hosts());
+  tm.add(0, 31, 1.0);
+  TrafficAwareConfig config;
+  config.k_paths = 4;
+  EXPECT_DOUBLE_EQ(traffic_aware_kpath(xgft, tm, config).max_load, 1.0);
+}
+
+TEST(TrafficAware, RespectsOloadLowerBound) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  util::Rng rng{5};
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto tm = TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+    TrafficAwareConfig config;
+    config.k_paths = 4;
+    const auto result = traffic_aware_kpath(xgft, tm, config);
+    EXPECT_GE(result.max_load, flow::oload(xgft, tm).value - 1e-9);
+  }
+}
+
+TEST(TrafficAware, BeatsObliviousDisjointOnPermutations) {
+  // Seeing the traffic can only help: on random permutations the greedy
+  // traffic-aware router must do at least as well as the oblivious
+  // disjoint heuristic at equal K (checked with margin over trials).
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  util::Rng rng{9};
+  flow::LoadEvaluator eval(xgft);
+  double aware_total = 0.0;
+  double disjoint_total = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto tm = TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+    TrafficAwareConfig config;
+    config.k_paths = 4;
+    aware_total += traffic_aware_kpath(xgft, tm, config).max_load;
+    disjoint_total +=
+        eval.evaluate(tm, route::Heuristic::kDisjoint, 4, rng).max_load;
+  }
+  EXPECT_LE(aware_total, disjoint_total + 1e-9);
+}
+
+TEST(TrafficAware, DefeatsTheTheorem2Adversary) {
+  // The adversarial pattern that forces d-mod-k to PERF = W is trivial
+  // for a traffic-aware router even at K = 1.
+  const Xgft xgft{flow::adversarial_dmodk_topology(2, 4)};
+  const auto tm = flow::adversarial_dmodk_traffic(xgft);
+  TrafficAwareConfig config;
+  config.k_paths = 1;
+  const auto result = traffic_aware_kpath(xgft, tm, config);
+  EXPECT_NEAR(flow::perf_ratio(result.max_load, flow::oload(xgft, tm).value),
+              1.0, 1e-9);
+}
+
+TEST(TrafficAware, RefinementNeverHurts) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  util::Rng rng{13};
+  const auto tm = TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+  TrafficAwareConfig no_refine;
+  no_refine.k_paths = 2;
+  no_refine.refine_passes = 0;
+  TrafficAwareConfig refined = no_refine;
+  refined.refine_passes = 5;
+  EXPECT_LE(traffic_aware_kpath(xgft, tm, refined).max_load,
+            traffic_aware_kpath(xgft, tm, no_refine).max_load + 1e-9);
+}
+
+TEST(TrafficAware, Deterministic) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  util::Rng rng{17};
+  const auto tm = TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+  TrafficAwareConfig config;
+  config.k_paths = 2;
+  const auto a = traffic_aware_kpath(xgft, tm, config);
+  const auto b = traffic_aware_kpath(xgft, tm, config);
+  EXPECT_DOUBLE_EQ(a.max_load, b.max_load);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flow/permutation_study.hpp"
+#include "flow/worst_case.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace lmpr;
+using flow::search_worst_permutation;
+using flow::WorstCaseConfig;
+using topo::Xgft;
+using topo::XgftSpec;
+
+WorstCaseConfig quick(route::Heuristic h, std::size_t k) {
+  WorstCaseConfig config;
+  config.heuristic = h;
+  config.k_paths = k;
+  config.steps = 300;
+  config.restarts = 2;
+  config.seed = 5;
+  return config;
+}
+
+TEST(WorstCase, ResultIsAValidPermutation) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const auto result =
+      search_worst_permutation(xgft, quick(route::Heuristic::kDModK, 1));
+  ASSERT_EQ(result.worst_perm.size(), xgft.num_hosts());
+  std::set<std::size_t> dsts(result.worst_perm.begin(),
+                             result.worst_perm.end());
+  EXPECT_EQ(dsts.size(), xgft.num_hosts());
+  EXPECT_GE(result.worst_perf, 1.0);
+  EXPECT_DOUBLE_EQ(result.worst_perf,
+                   result.worst_max_load / result.worst_oload);
+  EXPECT_GT(result.evaluations, 300u);
+}
+
+TEST(WorstCase, FindsTheDmodkCollapseOnA2LevelTree) {
+  // XGFT(2;4,8;1,4): four same-leaf hosts sending to destinations in the
+  // same mod-4 class collapse onto one uplink -> PERF 4.  The search must
+  // get close to that analytic worst case.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  auto config = quick(route::Heuristic::kDModK, 1);
+  config.steps = 1500;
+  config.restarts = 3;
+  const auto result = search_worst_permutation(xgft, config);
+  EXPECT_GE(result.worst_perf, 3.5);
+  EXPECT_LE(result.worst_perf, 4.0 + 1e-9);
+}
+
+TEST(WorstCase, SearchBeatsRandomSamplingAverage) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  const auto searched =
+      search_worst_permutation(xgft, quick(route::Heuristic::kDModK, 1));
+  flow::PermutationStudyConfig sampling;
+  sampling.heuristic = route::Heuristic::kDModK;
+  sampling.k_paths = 1;
+  sampling.stopping.initial_samples = 50;
+  sampling.stopping.max_samples = 50;
+  const auto sampled = flow::run_permutation_study(xgft, sampling);
+  EXPECT_GT(searched.worst_perf, sampled.perf.mean());
+}
+
+TEST(WorstCase, UmultiCannotBeAttacked) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const auto result =
+      search_worst_permutation(xgft, quick(route::Heuristic::kUmulti, 1));
+  EXPECT_NEAR(result.worst_perf, 1.0, 1e-9);
+}
+
+TEST(WorstCase, MorePathsShrinkTheWorstCase) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  double previous = 1e30;
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    const auto result = search_worst_permutation(
+        xgft, quick(route::Heuristic::kDisjoint, k));
+    EXPECT_LE(result.worst_perf, previous + 1e-9) << "K=" << k;
+    previous = result.worst_perf;
+  }
+}
+
+TEST(WorstCase, DeterministicForFixedSeed) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const auto a =
+      search_worst_permutation(xgft, quick(route::Heuristic::kRandom, 2));
+  const auto b =
+      search_worst_permutation(xgft, quick(route::Heuristic::kRandom, 2));
+  EXPECT_DOUBLE_EQ(a.worst_perf, b.worst_perf);
+  EXPECT_EQ(a.worst_perm, b.worst_perm);
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_support.hpp"
+#include "topology/xgft.hpp"
+
+namespace {
+
+using lmpr::topo::Link;
+using lmpr::topo::NodeId;
+using lmpr::topo::Xgft;
+using lmpr::topo::XgftSpec;
+
+TEST(Xgft, HostIdsAreDense) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  EXPECT_EQ(xgft.num_hosts(), 128u);
+  for (std::uint64_t i = 0; i < xgft.num_hosts(); ++i) {
+    EXPECT_EQ(xgft.host(i), static_cast<NodeId>(i));
+    EXPECT_TRUE(xgft.is_host(xgft.host(i)));
+    EXPECT_EQ(xgft.level_of(xgft.host(i)), 0u);
+    EXPECT_EQ(xgft.rank_of(xgft.host(i)), i);
+  }
+  EXPECT_FALSE(xgft.is_host(xgft.node_id(1, 0)));
+}
+
+TEST(Xgft, CableCountMatchesFormula) {
+  // Cables = sum_l nodes(l) * w_{l+1}.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  EXPECT_EQ(xgft.num_cables(), 128u * 1 + 32u * 4 + 32u * 4);
+  EXPECT_EQ(xgft.num_links(), 2 * xgft.num_cables());
+}
+
+TEST(Xgft, NcaLevelKnownPairs) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};  // XGFT(3;4,4,8;1,4,4)
+  EXPECT_EQ(xgft.nca_level(0, 0), 0u);
+  EXPECT_EQ(xgft.nca_level(0, 1), 1u);    // same leaf (hosts 0..3)
+  EXPECT_EQ(xgft.nca_level(0, 4), 2u);    // same height-2 subtree (0..15)
+  EXPECT_EQ(xgft.nca_level(0, 16), 3u);   // different height-2 subtrees
+  EXPECT_EQ(xgft.nca_level(127, 0), 3u);
+}
+
+TEST(Xgft, NumShortestPathsMatchesProperty1) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};  // w = (1,4,4)
+  EXPECT_EQ(xgft.num_shortest_paths(0, 1), 1u);
+  EXPECT_EQ(xgft.num_shortest_paths(0, 4), 4u);
+  EXPECT_EQ(xgft.num_shortest_paths(0, 127), 16u);
+}
+
+TEST(Xgft, SubtreeMembershipIsContiguous) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};
+  EXPECT_EQ(xgft.num_subtrees(1), 32u);
+  EXPECT_EQ(xgft.hosts_per_subtree(1), 4u);
+  EXPECT_EQ(xgft.subtree_of(0, 1), 0u);
+  EXPECT_EQ(xgft.subtree_of(3, 1), 0u);
+  EXPECT_EQ(xgft.subtree_of(4, 1), 1u);
+  EXPECT_EQ(xgft.subtree_of(127, 2), 7u);
+}
+
+TEST(Xgft, HostDigits) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 3)};  // m = (4,4,8)
+  // host 27 = 1*16 + 2*4 + 3.
+  EXPECT_EQ(xgft.host_digit(27, 1), 3u);
+  EXPECT_EQ(xgft.host_digit(27, 2), 2u);
+  EXPECT_EQ(xgft.host_digit(27, 3), 1u);
+}
+
+TEST(Xgft, DotOutputMentionsEveryNode) {
+  const Xgft xgft{XgftSpec{{2, 2}, {1, 2}}};
+  const std::string dot = xgft.to_dot();
+  EXPECT_NE(dot.find("graph xgft"), std::string::npos);
+  for (std::uint64_t n = 0; n < xgft.num_nodes(); ++n) {
+    EXPECT_NE(dot.find("n" + std::to_string(n) + " ["), std::string::npos);
+  }
+}
+
+class XgftStructure : public testing::TestWithParam<XgftSpec> {};
+
+TEST_P(XgftStructure, DegreesMatchSpec) {
+  const Xgft xgft{GetParam()};
+  const auto& spec = xgft.spec();
+  for (std::uint64_t n = 0; n < xgft.num_nodes(); ++n) {
+    const auto node = static_cast<NodeId>(n);
+    const std::uint32_t level = xgft.level_of(node);
+    const std::uint32_t parents =
+        level < xgft.height() ? spec.w_at(level + 1) : 0;
+    const std::uint32_t children = level >= 1 ? spec.m_at(level) : 0;
+    EXPECT_EQ(xgft.num_parents(node), parents);
+    EXPECT_EQ(xgft.num_children(node), children);
+  }
+}
+
+TEST_P(XgftStructure, ParentChildAreInverse) {
+  const Xgft xgft{GetParam()};
+  for (std::uint64_t n = 0; n < xgft.num_nodes(); ++n) {
+    const auto node = static_cast<NodeId>(n);
+    for (std::uint32_t j = 0; j < xgft.num_parents(node); ++j) {
+      const NodeId up = xgft.parent(node, j);
+      EXPECT_EQ(xgft.level_of(up), xgft.level_of(node) + 1);
+      // Some lower port of the parent leads back here.
+      bool found = false;
+      for (std::uint32_t c = 0; c < xgft.num_children(up); ++c) {
+        found |= (xgft.child(up, c) == node);
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST_P(XgftStructure, LabelsDifferOnlyAtConnectionDigit) {
+  const Xgft xgft{GetParam()};
+  for (std::uint64_t n = 0; n < xgft.num_nodes(); ++n) {
+    const auto node = static_cast<NodeId>(n);
+    const auto label = xgft.label_of(node);
+    const std::uint32_t level = label.level;
+    for (std::uint32_t j = 0; j < xgft.num_parents(node); ++j) {
+      const auto parent_label = xgft.label_of(xgft.parent(node, j));
+      // Digit at position level+1 is the chosen port; all others match.
+      EXPECT_EQ(parent_label.digits[level], j);
+      for (std::size_t i = 0; i < label.digits.size(); ++i) {
+        if (i != level) EXPECT_EQ(parent_label.digits[i], label.digits[i]);
+      }
+    }
+  }
+}
+
+TEST_P(XgftStructure, LinkTablesAreConsistent) {
+  const Xgft xgft{GetParam()};
+  std::set<lmpr::topo::LinkId> seen;
+  for (std::uint64_t n = 0; n < xgft.num_nodes(); ++n) {
+    const auto node = static_cast<NodeId>(n);
+    for (std::uint32_t j = 0; j < xgft.num_parents(node); ++j) {
+      const auto id = xgft.up_link(node, j);
+      const Link& link = xgft.link(id);
+      EXPECT_TRUE(link.up);
+      EXPECT_EQ(link.src, node);
+      EXPECT_EQ(link.dst, xgft.parent(node, j));
+      EXPECT_EQ(link.level, xgft.level_of(node));
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+    for (std::uint32_t c = 0; c < xgft.num_children(node); ++c) {
+      const auto id = xgft.down_link(node, c);
+      const Link& link = xgft.link(id);
+      EXPECT_FALSE(link.up);
+      EXPECT_EQ(link.src, node);
+      EXPECT_EQ(link.dst, xgft.child(node, c));
+      EXPECT_EQ(link.level, xgft.level_of(node) - 1);
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), xgft.num_links());
+}
+
+TEST_P(XgftStructure, NodeIdRoundTrip) {
+  const Xgft xgft{GetParam()};
+  for (std::uint64_t n = 0; n < xgft.num_nodes(); ++n) {
+    const auto node = static_cast<NodeId>(n);
+    EXPECT_EQ(xgft.node_id(xgft.level_of(node), xgft.rank_of(node)), node);
+    EXPECT_EQ(xgft.node_of(xgft.label_of(node)), node);
+  }
+}
+
+TEST_P(XgftStructure, NcaIsSymmetricAndBoundsSubtrees) {
+  const Xgft xgft{GetParam()};
+  const std::uint64_t hosts = xgft.num_hosts();
+  const std::uint64_t step = hosts > 32 ? hosts / 17 : 1;  // sparse sweep
+  for (std::uint64_t s = 0; s < hosts; s += step) {
+    for (std::uint64_t d = 0; d < hosts; d += step) {
+      const std::uint32_t k = xgft.nca_level(s, d);
+      EXPECT_EQ(k, xgft.nca_level(d, s));
+      if (s == d) {
+        EXPECT_EQ(k, 0u);
+        continue;
+      }
+      EXPECT_GE(k, 1u);
+      // Same height-k subtree, different height-(k-1) subtrees.
+      EXPECT_EQ(xgft.subtree_of(s, k), xgft.subtree_of(d, k));
+      EXPECT_NE(xgft.subtree_of(s, k - 1), xgft.subtree_of(d, k - 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, XgftStructure,
+                         testing::ValuesIn(lmpr::test::property_grid()),
+                         lmpr::test::grid_name);
+
+}  // namespace
