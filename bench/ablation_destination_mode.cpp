@@ -1,59 +1,6 @@
-// Ablation A4: the traffic-model reading matters.  Under a FIXED random
-// pairing (one destination per source for the whole run -- the reading
-// that reproduces Table 1), persistent flows collide and multi-path
-// routing wins big.  Under a FRESH destination per message, every
-// deterministic scheme is statically balanced and d-mod-k is as good as
-// any multi-path scheme -- the paper's gaps vanish.  This is the evidence
-// behind DESIGN.md's interpretation of the paper's "uniform traffic".
-#include "flit_common.hpp"
+// Legacy shim: logic lives in the `ablation_destination_mode` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
-
-  const auto base = bench::flit_base_config(options.full);
-  const auto loads = bench::flit_load_grid(options.full);
-  const auto pairings = bench::shared_pairings(
-      xgft.num_hosts(), options.seed, options.full ? 3 : 2);
-
-  struct Scheme {
-    const char* name;
-    route::Heuristic heuristic;
-    std::size_t k;
-  };
-  const Scheme schemes[] = {
-      {"dmodk", route::Heuristic::kDModK, 1},
-      {"disjoint(8)", route::Heuristic::kDisjoint, 8},
-  };
-
-  util::Table table({"scheme", "destination model", "max_throughput_%"});
-  for (const Scheme& scheme : schemes) {
-    const route::RouteTable rt(xgft, scheme.heuristic, scheme.k,
-                               options.seed);
-    {
-      const auto fixed = bench::measure_saturation(rt, base, loads, pairings);
-      table.add_row({scheme.name, "fixed pairing (permutation)",
-                     util::Table::num(100.0 * fixed.max_throughput, 2)});
-    }
-    {
-      flit::SimConfig config = base;
-      config.destination_mode = flit::DestinationMode::kPerMessage;
-      double best = 0.0;
-      for (std::size_t i = 0; i < pairings.size(); ++i) {
-        config.seed = base.seed + 31 * (i + 1);
-        const auto sweep = flit::run_load_sweep(rt, config, loads);
-        best += sweep.max_throughput;
-      }
-      table.add_row({scheme.name, "fresh per message",
-                     util::Table::num(100.0 * best /
-                                          static_cast<double>(pairings.size()),
-                                      2)});
-    }
-  }
-  bench::emit(table, options,
-              "Ablation A4: destination model vs routing gains, " +
-                  xgft.spec().to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "ablation_destination_mode");
 }

@@ -1,58 +1,6 @@
-// Ablation A1: WHERE does each heuristic leave contention?  Average
-// per-level maximum link load over random permutations, split up/down.
-// Quantifies Section 4.2.2: shift-1's K paths differ only at the top, so
-// its lower-level links stay as congested as d-mod-k's, while disjoint
-// forks at the lowest possible level and flattens level-1 contention too.
-#include "bench_support.hpp"
-#include "flow/link_load.hpp"
-#include "flow/traffic.hpp"
-#include "util/rng.hpp"
+// Legacy shim: logic lives in the `ablation_level_balance` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const auto spec = topo::XgftSpec::parse(cli.get_or(
-      "topo",
-      topo::XgftSpec::m_port_n_tree(options.full ? 16 : 8, 3).to_string()));
-  const topo::Xgft xgft{spec};
-  const int samples = options.full ? 200 : 40;
-  const std::vector<std::size_t> k_values{2, 4, 8};
-
-  util::Table table({"heuristic", "K", "max_load", "up_L0", "up_L1", "up_L2",
-                     "down_L2", "down_L1", "down_L0"});
-  for (const route::Heuristic h :
-       {route::Heuristic::kDModK, route::Heuristic::kShift1,
-        route::Heuristic::kDisjoint, route::Heuristic::kRandom}) {
-    for (const std::size_t k : k_values) {
-      util::Rng rng{options.seed};
-      flow::LoadEvaluator eval(xgft);
-      double overall = 0.0;
-      std::vector<double> up(xgft.height(), 0.0);
-      std::vector<double> down(xgft.height(), 0.0);
-      for (int s = 0; s < samples; ++s) {
-        const auto tm =
-            flow::TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
-        const auto result = eval.evaluate(tm, h, k, rng);
-        overall += result.max_load;
-        for (std::uint32_t l = 0; l < xgft.height(); ++l) {
-          up[l] += result.max_up_load_per_level[l];
-          down[l] += result.max_down_load_per_level[l];
-        }
-      }
-      const double n = samples;
-      table.add_row({std::string(to_string(h)), util::Table::num(k),
-                     util::Table::num(overall / n),
-                     util::Table::num(up[0] / n), util::Table::num(up[1] / n),
-                     util::Table::num(up[2] / n),
-                     util::Table::num(down[2] / n),
-                     util::Table::num(down[1] / n),
-                     util::Table::num(down[0] / n)});
-      if (route::is_single_path(h)) break;  // K is irrelevant
-    }
-  }
-  bench::emit(table, options,
-              "Ablation A1: avg per-level max link load (permutations), " +
-                  spec.to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "ablation_level_balance");
 }

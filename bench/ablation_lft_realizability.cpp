@@ -1,72 +1,6 @@
-// Ablation A5: what does each heuristic cost to REALIZE as InfiniBand
-// forwarding state?  Destination-based LFTs can only perturb the d-mod-k
-// anchor by a function of (destination LID, level).  With the
-// disjoint-style LID layout, a block of K LIDs per destination already
-// gives EVERY pair min(K, X) distinct paths; with the shift-style layout,
-// pairs whose NCA sits below the top see no diversity until the LID
-// block covers the whole upper tree.  The paper's best-performing
-// heuristic is therefore also the cheapest to deploy.
-//
-// Reported per (topology, layout, K): the LID budget, and the average /
-// worst multipath coverage over SD pairs relative to min(K, X).
-#include "bench_support.hpp"
-#include "fabric/lft.hpp"
-#include "util/rng.hpp"
+// Legacy shim: logic lives in the `ablation_lft_realizability` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-
-  const std::vector<topo::XgftSpec> specs = {
-      topo::XgftSpec::m_port_n_tree(8, 2),
-      topo::XgftSpec::m_port_n_tree(8, 3),
-      topo::XgftSpec::m_port_n_tree(16, 3),
-  };
-  const int pair_samples = options.full ? 2000 : 300;
-
-  util::Table table({"topology", "layout", "K", "LIDs", "avg coverage ratio",
-                     "worst coverage ratio", "pairs at full K"});
-  util::Rng rng{options.seed};
-  for (const auto& spec : specs) {
-    const topo::Xgft xgft{spec};
-    for (const auto layout : {fabric::LidLayout::kDisjointLayout,
-                              fabric::LidLayout::kShiftLayout}) {
-      for (const std::uint64_t k : {2ull, 4ull, 8ull}) {
-        if (k > spec.num_top_switches()) continue;
-        const fabric::Lft lft(xgft, k, layout);
-        double ratio_sum = 0.0;
-        double worst = 1.0;
-        int full_cover = 0;
-        int counted = 0;
-        for (int i = 0; i < pair_samples; ++i) {
-          const std::uint64_t s = rng.below(xgft.num_hosts());
-          const std::uint64_t d = rng.below(xgft.num_hosts());
-          if (s == d) continue;
-          const std::uint64_t want =
-              std::min<std::uint64_t>(k, xgft.num_shortest_paths(s, d));
-          const std::uint64_t got =
-              std::min<std::uint64_t>(lft.coverage(s, d), want);
-          const double ratio =
-              static_cast<double>(got) / static_cast<double>(want);
-          ratio_sum += ratio;
-          worst = std::min(worst, ratio);
-          full_cover += (got == want);
-          ++counted;
-        }
-        table.add_row(
-            {spec.to_string(),
-             layout == fabric::LidLayout::kDisjointLayout ? "disjoint"
-                                                          : "shift",
-             util::Table::num(k),
-             util::Table::num(std::uint64_t{lft.lid_end() - 1}),
-             util::Table::num(ratio_sum / counted),
-             util::Table::num(worst),
-             util::Table::num(100.0 * full_cover / counted, 1) + "%"});
-      }
-    }
-  }
-  bench::emit(table, options,
-              "Ablation A5: LFT realizability of limited multi-path routing");
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "ablation_lft_realizability");
 }

@@ -1,38 +1,6 @@
-// Ablation A2: InfiniBand realizability -- the LID/LMC budget each path
-// limit K costs on the paper's six topologies.  Reproduces the Section 1
-// motivation: unlimited multi-path is NOT realizable at scale (the
-// 24-port 3-tree needs 144 paths > 2^LMCmax, and bigger fabrics exhaust
-// the 48K unicast LID space), while limited multi-path with small K fits
-// comfortably.
-#include "bench_support.hpp"
-#include "core/lid_cost.hpp"
+// Legacy shim: logic lives in the `ablation_lid_cost` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-
-  util::Table table({"topology", "hosts", "K", "effective_paths", "LMC",
-                     "total_LIDs", "realizable"});
-  for (const std::uint32_t ports : {8u, 16u, 24u}) {
-    for (const std::size_t levels : {2u, 3u}) {
-      const auto spec = topo::XgftSpec::m_port_n_tree(ports, levels);
-      const topo::Xgft xgft{spec};
-      const std::uint64_t max_paths = spec.num_top_switches();
-      std::vector<std::uint64_t> ks{1, 2, 4, 8};
-      if (max_paths > 8) ks.push_back(max_paths);  // the UMULTI column
-      for (const std::uint64_t k : ks) {
-        const auto cost = route::lid_cost(xgft, k);
-        table.add_row({spec.to_string(), util::Table::num(xgft.num_hosts()),
-                       util::Table::num(k),
-                       util::Table::num(cost.effective_paths),
-                       util::Table::num(std::uint64_t{cost.lmc}),
-                       util::Table::num(cost.total_lids),
-                       cost.realizable ? "yes" : "NO"});
-      }
-    }
-  }
-  bench::emit(table, options,
-              "Ablation A2: InfiniBand LID cost of K-path routing");
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "ablation_lid_cost");
 }

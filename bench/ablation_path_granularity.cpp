@@ -1,52 +1,6 @@
-// Ablation A3: does it matter whether the multi-path traffic split is
-// applied per message, per packet, or round-robin?  The paper distributes
-// traffic by fractions (f = 1/K) without fixing the granularity; this
-// bench shows the saturation throughput and low-load delay for each
-// realization on the Table 1 topology.
-#include "flit_common.hpp"
+// Legacy shim: logic lives in the `ablation_path_granularity` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
-
-  const auto base = bench::flit_base_config(options.full);
-  const auto loads = bench::flit_load_grid(options.full);
-  const auto pairings = bench::shared_pairings(
-      xgft.num_hosts(), options.seed, options.full ? 3 : 2);
-
-  struct Mode {
-    const char* name;
-    flit::PathSelection selection;
-  };
-  const Mode modes[] = {
-      {"random per message", flit::PathSelection::kRandomPerMessage},
-      {"random per packet", flit::PathSelection::kRandomPerPacket},
-      {"round robin per message", flit::PathSelection::kRoundRobinPerMessage},
-  };
-
-  util::Table table({"heuristic", "K", "path granularity", "max_throughput_%",
-                     "low_load_delay_cyc", "reorder_frac@high"});
-  for (const route::Heuristic h :
-       {route::Heuristic::kDisjoint, route::Heuristic::kShift1}) {
-    for (const std::size_t k : {2u, 8u}) {
-      const route::RouteTable rt(xgft, h, k, options.seed);
-      for (const Mode& mode : modes) {
-        flit::SimConfig config = base;
-        config.path_selection = mode.selection;
-        const auto result =
-            bench::measure_saturation(rt, config, loads, pairings);
-        table.add_row({std::string(to_string(h)), util::Table::num(k),
-                       mode.name,
-                       util::Table::num(100.0 * result.max_throughput, 2),
-                       util::Table::num(result.delay_at_low_load, 1),
-                       util::Table::num(result.reorder_at_high_load)});
-      }
-    }
-  }
-  bench::emit(table, options,
-              "Ablation A3: traffic-split granularity, " +
-                  xgft.spec().to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "ablation_path_granularity");
 }

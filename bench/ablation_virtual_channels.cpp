@@ -1,48 +1,6 @@
-// Ablation A6: virtual channels.  The paper evaluates with a single VC
-// ("we run our simulations using only one virtual channel"); this bench
-// shows how the saturation throughput of each routing scheme moves when
-// head-of-line blocking is attacked with 2 and 4 VCs instead -- and that
-// the ORDERING of the heuristics (the paper's claim) is stable across VC
-// counts.
-#include "flit_common.hpp"
+// Legacy shim: logic lives in the `ablation_virtual_channels` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
-
-  const auto base = bench::flit_base_config(options.full);
-  const auto loads = bench::flit_load_grid(options.full);
-  const auto pairings = bench::shared_pairings(
-      xgft.num_hosts(), options.seed, options.full ? 3 : 2);
-
-  struct Scheme {
-    const char* name;
-    route::Heuristic heuristic;
-    std::size_t k;
-  };
-  const Scheme schemes[] = {
-      {"dmodk", route::Heuristic::kDModK, 1},
-      {"shift1(8)", route::Heuristic::kShift1, 8},
-      {"disjoint(8)", route::Heuristic::kDisjoint, 8},
-  };
-
-  util::Table table({"scheme", "VCs", "max_throughput_%"});
-  for (const Scheme& scheme : schemes) {
-    const route::RouteTable rt(xgft, scheme.heuristic, scheme.k,
-                               options.seed);
-    for (const std::uint32_t vcs : {1u, 2u, 4u}) {
-      flit::SimConfig config = base;
-      config.num_vcs = vcs;
-      const auto result =
-          bench::measure_saturation(rt, config, loads, pairings);
-      table.add_row({scheme.name, util::Table::num(std::uint64_t{vcs}),
-                     util::Table::num(100.0 * result.max_throughput, 2)});
-    }
-  }
-  bench::emit(table, options,
-              "Ablation A6: virtual channels vs saturation throughput, " +
-                  xgft.spec().to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "ablation_virtual_channels");
 }

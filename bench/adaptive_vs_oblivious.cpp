@@ -1,57 +1,6 @@
-// Extension bench: the adaptive baseline from the paper's related work
-// (Gomez et al., "Deterministic versus Adaptive Routing in Fat-trees").
-// Credit-based adaptive up-routing reacts to congestion the oblivious
-// schemes can only spread statistically; under persistent permutation
-// pairings it provides an upper reference point for what limited
-// multi-path routing leaves on the table, at the price of out-of-order
-// delivery and hardware support the paper's InfiniBand setting lacks.
-#include "flit_common.hpp"
+// Legacy shim: logic lives in the `adaptive_vs_oblivious` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
-
-  const auto base = bench::flit_base_config(options.full);
-  const auto loads = bench::flit_load_grid(options.full);
-  const auto pairings = bench::shared_pairings(
-      xgft.num_hosts(), options.seed, options.full ? 3 : 2);
-
-  util::Table table({"routing", "max_throughput_%", "low_load_delay_cyc"});
-
-  // Oblivious schemes.
-  struct Scheme {
-    const char* name;
-    route::Heuristic heuristic;
-    std::size_t k;
-  };
-  for (const Scheme& scheme :
-       {Scheme{"dmodk (oblivious)", route::Heuristic::kDModK, 1},
-        Scheme{"disjoint(4) (oblivious)", route::Heuristic::kDisjoint, 4},
-        Scheme{"disjoint(8) (oblivious)", route::Heuristic::kDisjoint, 8},
-        Scheme{"umulti(16) (oblivious)", route::Heuristic::kUmulti, 16}}) {
-    const route::RouteTable rt(xgft, scheme.heuristic, scheme.k,
-                               options.seed);
-    const auto result = bench::measure_saturation(rt, base, loads, pairings);
-    table.add_row({scheme.name,
-                   util::Table::num(100.0 * result.max_throughput, 2),
-                   util::Table::num(result.delay_at_low_load, 1)});
-  }
-
-  // Adaptive routing (route table is a placeholder; routing ignores it).
-  {
-    const route::RouteTable rt(xgft, route::Heuristic::kDModK, 1,
-                               options.seed);
-    flit::SimConfig config = base;
-    config.routing_mode = flit::RoutingMode::kAdaptive;
-    const auto result = bench::measure_saturation(rt, config, loads, pairings);
-    table.add_row({"credit-based adaptive",
-                   util::Table::num(100.0 * result.max_throughput, 2),
-                   util::Table::num(result.delay_at_low_load, 1)});
-  }
-  bench::emit(table, options,
-              "Adaptive vs oblivious routing (fixed pairing), " +
-                  xgft.spec().to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "adaptive_vs_oblivious");
 }

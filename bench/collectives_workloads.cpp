@@ -1,57 +1,6 @@
-// Extension bench: application collectives on the Table-1 topology.
-// Bandwidth-model slowdown (completion time / optimal) per workload and
-// routing scheme.  Expected: d-mod-k is optimal on shift-structured
-// collectives (all-to-all, ring) but pays on XOR-structured ones
-// (recursive doubling) and transposes; disjoint keeps the shift
-// optimality AND closes the XOR/transpose gap as K grows.
-#include "bench_support.hpp"
-#include "flow/collectives.hpp"
-#include "util/rng.hpp"
+// Legacy shim: logic lives in the `collectives_workloads` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const auto spec = topo::XgftSpec::parse(
-      cli.get_or("topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
-  const topo::Xgft xgft{spec};
-  const std::uint64_t hosts = xgft.num_hosts();
-
-  std::vector<flow::Collective> workloads;
-  workloads.push_back(flow::shift_all_to_all(hosts));
-  workloads.push_back(flow::ring_allreduce(hosts));
-  if (std::has_single_bit(hosts)) {
-    workloads.push_back(flow::recursive_doubling(hosts));
-  }
-  workloads.push_back(flow::stencil3d(2, 8, hosts / 16));
-  workloads.push_back(flow::transpose(hosts / 16, 16));
-
-  struct Scheme {
-    route::Heuristic heuristic;
-    std::size_t k;
-  };
-  std::vector<Scheme> schemes{{route::Heuristic::kDModK, 1},
-                              {route::Heuristic::kShift1, 4},
-                              {route::Heuristic::kDisjoint, 4},
-                              {route::Heuristic::kRandom, 4},
-                              {route::Heuristic::kDisjoint, 8},
-                              {route::Heuristic::kUmulti, 1}};
-
-  util::Table table({"workload", "heuristic", "K", "slowdown",
-                     "time", "optimal"});
-  util::Rng rng{options.seed};
-  for (const auto& workload : workloads) {
-    for (const auto& scheme : schemes) {
-      const auto cost = flow::evaluate_collective(
-          xgft, workload, scheme.heuristic, scheme.k, rng);
-      table.add_row({workload.name, std::string(to_string(scheme.heuristic)),
-                     util::Table::num(scheme.k),
-                     util::Table::num(cost.slowdown),
-                     util::Table::num(cost.time, 1),
-                     util::Table::num(cost.optimal_time, 1)});
-    }
-  }
-  bench::emit(table, options,
-              "Collective workloads (bandwidth model), " + spec.to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "collectives_workloads");
 }

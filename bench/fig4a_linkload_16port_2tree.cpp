@@ -1,9 +1,6 @@
-// Figure 4(a): average maximum permutation load vs K on XGFT(2;8,16;1,8)
-// (the 16-port 2-tree).  Expected shape: every heuristic decreases
-// monotonically with K, shift-1 == disjoint (2-level tree), d-mod-k based
-// heuristics beat random at small K, all optimal at K = 8.
-#include "fig4_common.hpp"
+// Legacy shim: logic lives in the `fig4a` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  return lmpr::bench::run_fig4_binary(argc, argv, "a", 16, 2);
+  return lmpr::engine::shim_main(argc, argv, "fig4a");
 }

@@ -1,8 +1,6 @@
-// Figure 4(b): average maximum permutation load vs K on
-// XGFT(3;8,8,16;1,8,8) (the 16-port 3-tree).  Expected shape: disjoint <
-// random < shift-1 for most K; all converge to optimal at K = 64.
-#include "fig4_common.hpp"
+// Legacy shim: logic lives in the `fig4b` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  return lmpr::bench::run_fig4_binary(argc, argv, "b", 16, 3);
+  return lmpr::engine::shim_main(argc, argv, "fig4b");
 }

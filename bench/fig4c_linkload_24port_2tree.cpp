@@ -1,7 +1,6 @@
-// Figure 4(c): average maximum permutation load vs K on XGFT(2;12,24;1,12)
-// (the 24-port 2-tree).  Same expected shape as Figure 4(a).
-#include "fig4_common.hpp"
+// Legacy shim: logic lives in the `fig4c` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  return lmpr::bench::run_fig4_binary(argc, argv, "c", 24, 2);
+  return lmpr::engine::shim_main(argc, argv, "fig4c");
 }

@@ -1,10 +1,6 @@
-// Figure 4(d): average maximum permutation load vs K on
-// XGFT(3;12,12,24;1,12,12) (the 24-port 3-tree, TACC-Ranger scale, 3456
-// hosts).  The paper's headline flow-level figure: even K = 4 or 8
-// drastically reduces the maximum link load vs d-mod-k; disjoint is the
-// best heuristic throughout; optimal at K = 144.
-#include "fig4_common.hpp"
+// Legacy shim: logic lives in the `fig4d` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  return lmpr::bench::run_fig4_binary(argc, argv, "d", 24, 3);
+  return lmpr::engine::shim_main(argc, argv, "fig4d");
 }

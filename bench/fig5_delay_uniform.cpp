@@ -1,79 +1,6 @@
-// Figure 5: average message delay vs offered load under the paper's
-// uniform (fixed-pairing) traffic on XGFT(3;4,4,8;1,4,4), flit level.
-// Series: d-mod-k, disjoint(2), disjoint(8), shift-1(2), shift-1(8),
-// random(1), random(2), random(8) -- the paper's legend.
-//
-// Expected shape: delays explode at each scheme's saturation load;
-// multi-path saturates later than d-mod-k; at low load disjoint(2) can
-// edge out disjoint(8) (spreading raises the chance of contention while
-// lowering its penalty -- the paper's Section 5 discussion).
-#include "flit_common.hpp"
-
-namespace {
-
-struct Series {
-  const char* name;
-  lmpr::route::Heuristic heuristic;
-  std::size_t k;
-};
-
-}  // namespace
+// Legacy shim: logic lives in the `fig5` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const auto spec = topo::XgftSpec::parse(
-      cli.get_or("topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
-  const topo::Xgft xgft{spec};
-
-  const Series series[] = {
-      {"dmodk", route::Heuristic::kDModK, 1},
-      {"disjoint(2)", route::Heuristic::kDisjoint, 2},
-      {"disjoint(8)", route::Heuristic::kDisjoint, 8},
-      {"shift1(2)", route::Heuristic::kShift1, 2},
-      {"shift1(8)", route::Heuristic::kShift1, 8},
-      {"random(1)", route::Heuristic::kRandomSingle, 1},
-      {"random(2)", route::Heuristic::kRandom, 2},
-      {"random(8)", route::Heuristic::kRandom, 8},
-  };
-
-  const auto base = bench::flit_base_config(options.full);
-  const auto loads = options.full ? flit::linspace_loads(0.05, 0.95, 10)
-                                  : std::vector<double>{0.1, 0.3, 0.5, 0.7};
-  const auto pairings = bench::shared_pairings(
-      xgft.num_hosts(), options.seed, options.full ? 3 : 1);
-
-  // delays[series][load] accumulated over pairings.
-  std::vector<std::vector<double>> delays(
-      std::size(series), std::vector<double>(loads.size(), 0.0));
-  for (std::size_t s = 0; s < std::size(series); ++s) {
-    const route::RouteTable table(xgft, series[s].heuristic, series[s].k,
-                                  options.seed);
-    for (const auto& pairing : pairings) {
-      flit::SimConfig config = base;
-      config.seed = options.seed;
-      config.fixed_destinations = pairing;
-      const auto sweep = flit::run_load_sweep(table, config, loads);
-      for (std::size_t i = 0; i < loads.size(); ++i) {
-        delays[s][i] += sweep.points[i].mean_message_delay /
-                        static_cast<double>(pairings.size());
-      }
-    }
-  }
-
-  std::vector<std::string> headers{"offered_load_%"};
-  for (const auto& s : series) headers.emplace_back(s.name);
-  util::Table table(headers);
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    std::vector<std::string> row{util::Table::num(100.0 * loads[i], 0)};
-    for (std::size_t s = 0; s < std::size(series); ++s) {
-      row.push_back(util::Table::num(delays[s][i], 1));
-    }
-    table.add_row(std::move(row));
-  }
-  bench::emit(table, options,
-              "Figure 5: mean message delay (cycles) vs offered load, " +
-                  spec.to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "fig5");
 }

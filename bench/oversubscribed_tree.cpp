@@ -1,28 +1,6 @@
-// Extension bench: oversubscribed (slimmed) fat-trees.  The paper's
-// XGFT generality covers trees with w_i < m_i, where even optimal routing
-// cannot keep the max load at 1 for permutations.  This bench runs the
-// Figure-4 study on 2:1 and 4:1 oversubscribed GFTs and shows that (a)
-// the heuristics still converge to the UMULTI optimum at K = prod(w),
-// and (b) the optimum itself now sits above 1 (the structural
-// oversubscription penalty, visible in the perf columns staying at 1.0
-// while absolute loads stay high).
-#include "fig4_common.hpp"
+// Legacy shim: logic lives in the `oversubscribed_tree` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-
-  for (const char* text : {"XGFT(2;8,8;1,4)",     // 2:1 at the leaf level
-                           "XGFT(2;8,8;1,2)",     // 4:1
-                           "XGFT(3;4,4,8;1,2,4)"  // 2:1 at level 1 only
-                          }) {
-    const auto spec = topo::XgftSpec::parse(text);
-    const topo::Xgft xgft{spec};
-    const auto table =
-        bench::run_figure4(xgft, bench::k_sweep(xgft, options.full), options);
-    bench::emit(table, options,
-                std::string("Oversubscribed tree: ") + spec.to_string());
-  }
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "oversubscribed_tree");
 }

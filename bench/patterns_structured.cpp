@@ -1,75 +1,6 @@
-// Extension bench: structured traffic patterns.  Figure 4 averages over
-// RANDOM permutations; HPC workloads send structured ones.  This bench
-// evaluates every heuristic on cyclic shifts (the building block of
-// Zahavi's shift all-to-all, reference [17]), bit-reversal, and the
-// Theorem-2-style modulo-concentrating shift, reporting the WORST
-// performance ratio over each family.
-#include "bench_support.hpp"
-#include "flow/link_load.hpp"
-#include "flow/oload.hpp"
-#include "flow/traffic.hpp"
-#include "util/rng.hpp"
-
-#include <bit>
+// Legacy shim: logic lives in the `patterns_structured` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const auto spec = topo::XgftSpec::parse(
-      cli.get_or("topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
-  const topo::Xgft xgft{spec};
-  const std::uint64_t hosts = xgft.num_hosts();
-
-  struct Scheme {
-    route::Heuristic heuristic;
-    std::size_t k;
-  };
-  std::vector<Scheme> schemes{{route::Heuristic::kDModK, 1}};
-  for (const std::size_t k : {2u, 4u, 8u}) {
-    schemes.push_back({route::Heuristic::kShift1, k});
-    schemes.push_back({route::Heuristic::kDisjoint, k});
-    schemes.push_back({route::Heuristic::kRandom, k});
-  }
-  schemes.push_back({route::Heuristic::kUmulti, 1});
-
-  // Pattern families.  all-shifts = worst over every cyclic offset;
-  // W-shifts = offsets that are multiples of prod(w) (the d-mod-k
-  // concentrators from the Theorem 2 proof idea).
-  const std::uint64_t w_total = spec.num_top_switches();
-  std::vector<std::uint64_t> all_shifts;
-  for (std::uint64_t s = 1; s < hosts; ++s) all_shifts.push_back(s);
-
-  util::Table table({"heuristic", "K", "worst shift PERF",
-                     "worst W-multiple shift PERF", "bit-reversal PERF"});
-  flow::LoadEvaluator eval(xgft);
-  util::Rng rng{options.seed};
-  for (const auto& scheme : schemes) {
-    double worst_shift = 0.0;
-    double worst_wshift = 0.0;
-    for (const std::uint64_t offset : all_shifts) {
-      const auto tm = flow::TrafficMatrix::shift(hosts, offset);
-      const double perf = flow::perf_ratio(
-          eval.evaluate(tm, scheme.heuristic, scheme.k, rng).max_load,
-          flow::oload(xgft, tm).value);
-      worst_shift = std::max(worst_shift, perf);
-      if (offset % w_total == 0) worst_wshift = std::max(worst_wshift, perf);
-    }
-    double bitrev = 0.0;
-    if (std::has_single_bit(hosts)) {
-      const auto tm = flow::TrafficMatrix::bit_reversal(hosts);
-      bitrev = flow::perf_ratio(
-          eval.evaluate(tm, scheme.heuristic, scheme.k, rng).max_load,
-          flow::oload(xgft, tm).value);
-    }
-    table.add_row({std::string(to_string(scheme.heuristic)),
-                   util::Table::num(scheme.k),
-                   util::Table::num(worst_shift),
-                   util::Table::num(worst_wshift),
-                   util::Table::num(bitrev)});
-  }
-  bench::emit(table, options,
-              "Structured patterns (shift family, bit-reversal), " +
-                  spec.to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "patterns_structured");
 }

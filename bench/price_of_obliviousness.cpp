@@ -1,49 +1,6 @@
-// Extension bench: the price of obliviousness.  Average max permutation
-// load of the paper's OBLIVIOUS K-path heuristics vs a traffic-AWARE
-// greedy K-path router that sees the matrix (rip-up-and-reroute refined)
-// vs the absolute optimum OLOAD.  Shows how much of the d-mod-k -> UMULTI
-// gap the disjoint heuristic already closes without any traffic
-// knowledge.
-#include "bench_support.hpp"
-#include "flow/link_load.hpp"
-#include "flow/traffic_aware.hpp"
-#include "util/rng.hpp"
+// Legacy shim: logic lives in the `price_of_obliviousness` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const auto spec = topo::XgftSpec::parse(
-      cli.get_or("topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
-  const topo::Xgft xgft{spec};
-  const int samples = options.full ? 100 : 25;
-
-  util::Table table({"K", "oload(optimal)", "aware(greedy)", "disjoint",
-                     "random", "shift1", "dmodk"});
-  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
-    util::Rng rng{options.seed};
-    flow::LoadEvaluator eval(xgft);
-    double sums[6] = {0, 0, 0, 0, 0, 0};
-    for (int s = 0; s < samples; ++s) {
-      const auto tm =
-          flow::TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
-      sums[0] += flow::oload(xgft, tm).value;
-      flow::TrafficAwareConfig aware;
-      aware.k_paths = k;
-      sums[1] += flow::traffic_aware_kpath(xgft, tm, aware).max_load;
-      sums[2] += eval.evaluate(tm, route::Heuristic::kDisjoint, k, rng).max_load;
-      sums[3] += eval.evaluate(tm, route::Heuristic::kRandom, k, rng).max_load;
-      sums[4] += eval.evaluate(tm, route::Heuristic::kShift1, k, rng).max_load;
-      sums[5] += eval.evaluate(tm, route::Heuristic::kDModK, k, rng).max_load;
-    }
-    std::vector<std::string> row{util::Table::num(k)};
-    for (const double sum : sums) {
-      row.push_back(util::Table::num(sum / samples));
-    }
-    table.add_row(std::move(row));
-  }
-  bench::emit(table, options,
-              "Price of obliviousness (avg max permutation load), " +
-                  spec.to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "price_of_obliviousness");
 }

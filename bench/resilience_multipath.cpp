@@ -1,52 +1,6 @@
-// Extension bench: limited multi-path routing as fault tolerance.  With
-// static forwarding tables (no re-routing), a pair survives random cable
-// failures only if one of its K installed paths does.  Reports pair
-// connectivity per (heuristic, K) and failure rate -- disjoint's
-// link-diversity pays off directly.
-#include <bit>
-
-#include "bench_support.hpp"
-#include "flow/resilience.hpp"
+// Legacy shim: logic lives in the `resilience_multipath` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const auto spec = topo::XgftSpec::parse(
-      cli.get_or("topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
-  const topo::Xgft xgft{spec};
-
-  util::Table table({"failure rate", "heuristic", "K", "connectivity",
-                     "worst trial", "surviving paths"});
-  for (const double rate : {0.01, 0.05}) {
-    struct Scheme {
-      route::Heuristic heuristic;
-      std::size_t k;
-    };
-    for (const Scheme& scheme :
-         {Scheme{route::Heuristic::kDModK, 1},
-          Scheme{route::Heuristic::kShift1, 4},
-          Scheme{route::Heuristic::kDisjoint, 4},
-          Scheme{route::Heuristic::kRandom, 4},
-          Scheme{route::Heuristic::kDisjoint, 8}}) {
-      flow::ResilienceConfig config;
-      config.heuristic = scheme.heuristic;
-      config.k_paths = scheme.k;
-      config.cable_failure_probability = rate;
-      config.trials = options.full ? 100 : 20;
-      config.pair_samples = options.full ? 5000 : 1000;
-      config.seed = options.seed;
-      const auto result = flow::measure_resilience(xgft, config);
-      table.add_row({util::Table::num(100.0 * rate, 0) + "%",
-                     std::string(to_string(scheme.heuristic)),
-                     util::Table::num(scheme.k),
-                     util::Table::num(result.connectivity, 4),
-                     util::Table::num(result.worst_connectivity, 4),
-                     util::Table::num(result.surviving_paths, 4)});
-    }
-  }
-  bench::emit(table, options,
-              "Multi-path resilience to random cable failures, " +
-                  spec.to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "resilience_multipath");
 }

@@ -1,48 +1,6 @@
-// Validation bench for the premise the heuristics rest on (Section 3.3,
-// citing Rodriguez et al.): source-mod-k and destination-mod-k routing
-// have "negligible difference in performance".  Average maximum
-// permutation load for both, across the paper's topologies.
-#include "bench_support.hpp"
+// Legacy shim: logic lives in the `smodk_vs_dmodk` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-
-  const std::vector<topo::XgftSpec> specs = {
-      topo::XgftSpec::m_port_n_tree(8, 2),
-      topo::XgftSpec::m_port_n_tree(16, 2),
-      topo::XgftSpec::m_port_n_tree(8, 3),
-      topo::XgftSpec::m_port_n_tree(16, 3),
-  };
-
-  util::Table table({"topology", "dmodk avg max load", "smodk avg max load",
-                     "relative diff %", "samples"});
-  for (const auto& spec : specs) {
-    const topo::Xgft xgft{spec};
-    double means[2] = {0.0, 0.0};
-    std::size_t samples = 0;
-    const route::Heuristic hs[2] = {route::Heuristic::kDModK,
-                                    route::Heuristic::kSModK};
-    for (int i = 0; i < 2; ++i) {
-      flow::PermutationStudyConfig config;
-      config.heuristic = hs[i];
-      config.k_paths = 1;
-      config.stopping = bench::stopping_rule(options.full);
-      config.seed = options.seed;
-      config.track_perf_ratio = false;
-      const auto result = flow::run_permutation_study(xgft, config);
-      means[i] = result.max_load.mean();
-      samples = result.samples;
-    }
-    table.add_row({spec.to_string(), util::Table::num(means[0]),
-                   util::Table::num(means[1]),
-                   util::Table::num(100.0 * std::abs(means[0] - means[1]) /
-                                        means[0],
-                                    2),
-                   util::Table::num(samples)});
-  }
-  bench::emit(table, options,
-              "s-mod-k vs d-mod-k: negligible difference (Section 3.3)");
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "smodk_vs_dmodk");
 }

@@ -1,55 +1,6 @@
-// Table 1: maximum throughput (percent of injection capacity) achieved
-// under the paper's "uniform random traffic" on XGFT(3;4,4,8;1,4,4) (the
-// 8-port 3-tree), flit-level simulation with virtual cut-through and
-// credit flow control.
-//
-// Traffic interpretation (DESIGN.md): each source holds one uniformly
-// random destination for the whole run (a random permutation) -- the
-// reading under which the paper's numbers are reproducible.  Expected
-// shape: throughput grows with K for every heuristic; at equal K,
-// disjoint is best (paper: disjoint(8) 71.35% vs random(8) 69.75% vs
-// shift-1(8) 67.65%); d-mod-k is the weakest.
-#include "flit_common.hpp"
+// Legacy shim: logic lives in the `table1` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const auto spec = topo::XgftSpec::parse(
-      cli.get_or("topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
-  const topo::Xgft xgft{spec};
-
-  const auto base = bench::flit_base_config(options.full);
-  const auto loads = bench::flit_load_grid(options.full);
-  const auto pairings = bench::shared_pairings(
-      xgft.num_hosts(), options.seed, options.full ? 5 : 2);
-
-  const std::vector<std::size_t> k_values =
-      options.full ? std::vector<std::size_t>{1, 2, 4, 8, 16}
-                   : std::vector<std::size_t>{1, 2, 4, 8};
-
-  // d-mod-k ignores K: measure its single column value once.
-  const route::RouteTable dmodk(xgft, route::Heuristic::kDModK, 1,
-                                options.seed);
-  const double dmodk_throughput =
-      bench::measure_saturation(dmodk, base, loads, pairings).max_throughput;
-
-  util::Table table(
-      {"num_paths", "dmodk_%", "shift1_%", "random_%", "disjoint_%"});
-  for (const std::size_t k : k_values) {
-    std::vector<std::string> row{util::Table::num(k),
-                                 util::Table::num(100.0 * dmodk_throughput, 2)};
-    for (const route::Heuristic h :
-         {route::Heuristic::kShift1, route::Heuristic::kRandom,
-          route::Heuristic::kDisjoint}) {
-      const route::RouteTable rt(xgft, h, k, options.seed);
-      const auto result = bench::measure_saturation(rt, base, loads, pairings);
-      row.push_back(util::Table::num(100.0 * result.max_throughput, 2));
-    }
-    table.add_row(std::move(row));
-  }
-  bench::emit(table, options,
-              "Table 1: max throughput (%), uniform (fixed-pairing) "
-              "traffic, " + spec.to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "table1");
 }

@@ -1,71 +1,6 @@
-// Theorem 1 demonstration: PERF(UMULTI) = 1 on any XGFT -- the measured
-// maximum link load of unlimited multi-path routing equals the subtree-cut
-// lower bound ML(TM) on every traffic matrix, so UMULTI is an optimal
-// oblivious routing.  The bench sweeps topology families and traffic
-// classes and reports the worst observed ratio (must print 1.000).
-#include "bench_support.hpp"
-#include "flow/link_load.hpp"
-#include "flow/oload.hpp"
-#include "flow/traffic.hpp"
-#include "util/rng.hpp"
+// Legacy shim: logic lives in the `theorem1` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-
-  const std::vector<topo::XgftSpec> specs = {
-      topo::XgftSpec::m_port_n_tree(8, 2),
-      topo::XgftSpec::m_port_n_tree(8, 3),
-      topo::XgftSpec{{4, 4, 4}, {1, 4, 2}},
-      topo::XgftSpec{{2, 3, 4}, {2, 2, 3}},
-      topo::XgftSpec::gft(2, 4, 2),
-  };
-  const int trials = options.full ? 50 : 10;
-
-  util::Table table({"topology", "traffic", "worst PERF(umulti)",
-                     "worst PERF(dmodk)", "trials"});
-  util::Rng rng{options.seed};
-  for (const auto& spec : specs) {
-    const topo::Xgft xgft{spec};
-    flow::LoadEvaluator eval(xgft);
-    struct TrafficCase {
-      const char* name;
-      bool randomized;
-    };
-    for (const auto& tc : {TrafficCase{"permutation", true},
-                           TrafficCase{"random-matrix", true},
-                           TrafficCase{"hotspot", false}}) {
-      double worst_umulti = 0.0;
-      double worst_dmodk = 0.0;
-      const int reps = tc.randomized ? trials : 1;
-      for (int t = 0; t < reps; ++t) {
-        flow::TrafficMatrix tm(xgft.num_hosts());
-        if (std::string_view(tc.name) == "permutation") {
-          tm = flow::TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
-        } else if (std::string_view(tc.name) == "random-matrix") {
-          for (int f = 0; f < 64; ++f) {
-            tm.add(rng.below(xgft.num_hosts()), rng.below(xgft.num_hosts()),
-                   rng.uniform01() * 3.0);
-          }
-        } else {
-          tm = flow::TrafficMatrix::hotspot(xgft.num_hosts(), 0);
-        }
-        const double opt = flow::oload(xgft, tm).value;
-        const double umulti =
-            eval.evaluate(tm, route::Heuristic::kUmulti, 1, rng).max_load;
-        const double dmodk =
-            eval.evaluate(tm, route::Heuristic::kDModK, 1, rng).max_load;
-        worst_umulti = std::max(worst_umulti, flow::perf_ratio(umulti, opt));
-        worst_dmodk = std::max(worst_dmodk, flow::perf_ratio(dmodk, opt));
-      }
-      table.add_row({spec.to_string(), tc.name,
-                     util::Table::num(worst_umulti),
-                     util::Table::num(worst_dmodk),
-                     util::Table::num(static_cast<std::size_t>(reps))});
-    }
-  }
-  bench::emit(table, options,
-              "Theorem 1: UMULTI attains the optimal oblivious ratio 1");
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "theorem1");
 }

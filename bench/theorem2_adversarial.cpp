@@ -1,53 +1,6 @@
-// Theorem 2 demonstration: there are XGFTs and traffic patterns for which
-// d-mod-k is a factor prod(w_i) away from optimal.  The bench instantiates
-// the constructive proof (all destinations multiples of W = prod(w_i), so
-// every d-mod-k upward choice is port 0) and shows (a) the measured
-// PERF(d-mod-k) >= W and (b) how limited multi-path routing recovers
-// gracefully as K grows -- PERF(disjoint, K) ~ W/K down to 1 at K = W.
-#include "bench_support.hpp"
-#include "flow/link_load.hpp"
-#include "flow/oload.hpp"
-#include "flow/traffic.hpp"
-#include "util/rng.hpp"
+// Legacy shim: logic lives in the `theorem2` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-
-  struct Shape {
-    std::size_t height;
-    std::uint32_t spread;
-  };
-  const std::vector<Shape> shapes = options.full
-      ? std::vector<Shape>{{2, 2}, {2, 4}, {2, 8}, {3, 2}, {3, 4}, {4, 2}}
-      : std::vector<Shape>{{2, 4}, {3, 2}, {3, 4}};
-
-  util::Table table({"topology", "W=prod(w)", "PERF(dmodk)",
-                     "PERF(disjoint,2)", "PERF(disjoint,4)",
-                     "PERF(disjoint,W)", "PERF(umulti)"});
-  util::Rng rng{options.seed};
-  for (const auto& shape : shapes) {
-    const auto spec =
-        flow::adversarial_dmodk_topology(shape.height, shape.spread);
-    const topo::Xgft xgft{spec};
-    const auto tm = flow::adversarial_dmodk_traffic(xgft);
-    flow::LoadEvaluator eval(xgft);
-    const double opt = flow::oload(xgft, tm).value;
-    auto perf_of = [&](route::Heuristic h, std::size_t k) {
-      return flow::perf_ratio(eval.evaluate(tm, h, k, rng).max_load, opt);
-    };
-    const auto w_total = xgft.spec().num_top_switches();
-    table.add_row(
-        {spec.to_string(), util::Table::num(w_total),
-         util::Table::num(perf_of(route::Heuristic::kDModK, 1)),
-         util::Table::num(perf_of(route::Heuristic::kDisjoint, 2)),
-         util::Table::num(perf_of(route::Heuristic::kDisjoint, 4)),
-         util::Table::num(perf_of(route::Heuristic::kDisjoint,
-                                  static_cast<std::size_t>(w_total))),
-         util::Table::num(perf_of(route::Heuristic::kUmulti, 1))});
-  }
-  bench::emit(table, options,
-              "Theorem 2: adversarial pattern, PERF(d-mod-k) >= prod(w_i)");
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "theorem2");
 }

@@ -1,44 +1,6 @@
-// Extension bench: worst-case permutation search per routing scheme.
-// Complements Figure 4 (which reports AVERAGE max permutation load): a
-// hill-climbing adversary searches for the permutation with the largest
-// performance ratio.  Expected: d-mod-k's worst case approaches the
-// analytic collapse bound; limited multi-path routing shrinks the worst
-// case roughly as W/K; UMULTI is unattackable (Theorem 1).
-#include "bench_support.hpp"
-#include "flow/worst_case.hpp"
+// Legacy shim: logic lives in the `worst_case_permutations` scenario (src/engine/).
+#include "engine/shim.hpp"
 
 int main(int argc, char** argv) {
-  using namespace lmpr;
-  const util::Cli cli(argc, argv);
-  const auto options = bench::CommonOptions::from_cli(cli);
-  const auto spec = topo::XgftSpec::parse(
-      cli.get_or("topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
-  const topo::Xgft xgft{spec};
-
-  util::Table table({"heuristic", "K", "worst PERF found", "worst max load",
-                     "evaluations"});
-  auto run = [&](route::Heuristic h, std::size_t k) {
-    flow::WorstCaseConfig config;
-    config.heuristic = h;
-    config.k_paths = k;
-    config.steps = options.full ? 4000 : 600;
-    config.restarts = options.full ? 6 : 2;
-    config.seed = options.seed;
-    const auto result = flow::search_worst_permutation(xgft, config);
-    table.add_row({std::string(to_string(h)), util::Table::num(k),
-                   util::Table::num(result.worst_perf),
-                   util::Table::num(result.worst_max_load),
-                   util::Table::num(result.evaluations)});
-  };
-  run(route::Heuristic::kDModK, 1);
-  for (const std::size_t k : {2u, 4u, 8u}) {
-    run(route::Heuristic::kShift1, k);
-    run(route::Heuristic::kDisjoint, k);
-    run(route::Heuristic::kRandom, k);
-  }
-  run(route::Heuristic::kUmulti, 1);
-  bench::emit(table, options,
-              "Worst-case permutation search (hill climbing), " +
-                  spec.to_string());
-  return 0;
+  return lmpr::engine::shim_main(argc, argv, "worst_case_permutations");
 }

@@ -1,24 +1,42 @@
 #!/usr/bin/env bash
-# Build, test, and run every bench binary (quick scale).  Pass --full to
-# forward paper-scale mode to the benches (expect ~1 h on a laptop).
+# Build, test, and run every experiment through the unified driver
+# (quick scale).  Flags:
+#   --full         paper-scale runs (expect ~1 h on a laptop)
+#   --seed N       forwarded to `lmpr run`
+#   --workers N    forwarded to `lmpr run`
+#   --json PATH    forwarded to `lmpr run` (structured run report)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-EXTRA=()
-if [[ "${1:-}" == "--full" ]]; then
-  EXTRA+=(--full)
+DRIVER_ARGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --full) DRIVER_ARGS+=(--full); shift ;;
+    --seed|--workers|--json)
+      [[ $# -ge 2 ]] || { echo "run_all.sh: $1 needs a value" >&2; exit 2; }
+      DRIVER_ARGS+=("$1" "$2"); shift 2 ;;
+    *) echo "run_all.sh: unknown flag $1" >&2; exit 2 ;;
+  esac
+done
+
+# Prefer Ninja when installed, fall back to the default generator.  An
+# already-configured build dir keeps its generator (CMake refuses to
+# switch generators in place).
+GENERATOR=()
+if [[ ! -f build/CMakeCache.txt ]] && command -v ninja > /dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
 fi
 
-cmake -B build -G Ninja
-cmake --build build
+cmake -B build "${GENERATOR[@]}"
+cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
 
-for b in build/bench/*; do
+./build/lmpr run all "${DRIVER_ARGS[@]}"
+
+# Google-benchmark micro benchmarks take their own flags; run them last.
+for b in build/bench/micro_*; do
   [[ -x "$b" && ! -d "$b" ]] || continue
   echo
-  echo "### $b ${EXTRA[*]:-}"
-  case "$b" in
-    *micro_*) "$b" ;;  # google-benchmark binaries take their own flags
-    *) "$b" "${EXTRA[@]}" ;;
-  esac
+  echo "### $b"
+  "$b"
 done

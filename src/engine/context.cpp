@@ -1,0 +1,65 @@
+#include "engine/context.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lmpr::engine {
+
+CommonOptions CommonOptions::from_cli(const util::Cli& cli) {
+  CommonOptions options;
+  options.full = util::full_scale_requested(cli);
+  options.csv_path = cli.get_or("csv", "");
+  options.seed =
+      static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{7}));
+  options.workers = static_cast<std::size_t>(cli.get_or(
+      "workers",
+      static_cast<std::int64_t>(util::ThreadPool::default_workers())));
+  options.topo = cli.get_or("topo", "");
+  if (const auto unknown = cli.unknown_flags(); !unknown.empty()) {
+    std::ostringstream oss;
+    oss << "unknown flag" << (unknown.size() > 1 ? "s" : "") << ":";
+    for (const auto& name : unknown) oss << " --" << name;
+    throw std::invalid_argument(oss.str());
+  }
+  return options;
+}
+
+util::ThreadPool& RunContext::pool() const {
+  if (pool_ == nullptr) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options_.workers);
+    pool_ = owned_pool_.get();
+  }
+  return *pool_;
+}
+
+topo::XgftSpec RunContext::topo_or(const topo::XgftSpec& fallback) const {
+  if (options_.topo.empty()) return fallback;
+  return topo::XgftSpec::parse(options_.topo);
+}
+
+util::CiStoppingRule RunContext::stopping_rule() const noexcept {
+  util::CiStoppingRule rule;
+  if (options_.full) {
+    rule.initial_samples = 100;
+    rule.max_samples = 12800;
+  } else {
+    rule.initial_samples = 30;
+    rule.max_samples = 120;
+  }
+  return rule;
+}
+
+std::uint64_t RunContext::derived_seed(std::string_view tag) const noexcept {
+  // FNV-1a over the tag, then one splitmix64 round keyed by the base seed.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : tag) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  std::uint64_t state = options_.seed ^ hash;
+  return util::splitmix64(state);
+}
+
+}  // namespace lmpr::engine

@@ -1,0 +1,68 @@
+// RunContext: the shared knobs every scenario sees -- scale, seed,
+// workers, optional topology override -- plus one shared ThreadPool.
+// Results are deterministic functions of (seed, scale); the pool and
+// worker count never change numbers (util::ThreadPool's parallel_for is
+// index-deterministic).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "topology/spec.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpr::engine {
+
+/// The flags shared by the driver and every legacy bench shim.
+///
+/// from_cli() enforces Cli::unknown_flags(): it must therefore be called
+/// AFTER any caller-specific flags have been queried (the driver parses
+/// its --json/--csv-dir/--filter first).  A typo like --fulll aborts the
+/// run with the offending flag listed instead of silently running quick
+/// scale.
+struct CommonOptions {
+  bool full = false;
+  std::string csv_path;  ///< legacy shim `--csv PATH` (single table)
+  std::uint64_t seed = 7;
+  std::size_t workers = 0;
+  std::string topo;  ///< optional topology override, empty = scenario default
+
+  /// Throws std::invalid_argument listing unrecognized flags.
+  static CommonOptions from_cli(const util::Cli& cli);
+};
+
+class RunContext {
+ public:
+  explicit RunContext(const CommonOptions& options)
+      : options_(options), pool_(nullptr) {}
+
+  bool full() const noexcept { return options_.full; }
+  std::uint64_t seed() const noexcept { return options_.seed; }
+  std::size_t workers() const noexcept { return options_.workers; }
+
+  /// The shared worker pool, created lazily on first use so list/describe
+  /// and pool-free scenarios never spawn threads.
+  util::ThreadPool& pool() const;
+
+  /// Scenario topology override: the parsed --topo spec, or `fallback`.
+  topo::XgftSpec topo_or(const topo::XgftSpec& fallback) const;
+
+  /// The paper's stopping rule (99% CI within 2% of the mean, doubling
+  /// schedule) at paper scale; a slimmed-down budget for quick runs.
+  util::CiStoppingRule stopping_rule() const noexcept;
+
+  /// Deterministic per-scenario seed derivation: mixes the base seed with
+  /// a tag (scenario or sub-stream name) via splitmix64 so independent
+  /// studies can decorrelate their streams without new CLI surface.
+  std::uint64_t derived_seed(std::string_view tag) const noexcept;
+
+ private:
+  CommonOptions options_;
+  mutable std::unique_ptr<util::ThreadPool> owned_pool_;
+  mutable util::ThreadPool* pool_;
+};
+
+}  // namespace lmpr::engine

@@ -1,0 +1,185 @@
+// The unified experiment driver.
+//
+//   lmpr list [--filter GLOB]
+//   lmpr describe <scenario>
+//   lmpr run <scenario...|all> [--full] [--json PATH] [--csv-dir DIR]
+//            [--seed N] [--workers N] [--filter GLOB] [--topo SPEC]
+//
+// `run` prints every scenario in the historical bench format (so quick
+// and full numeric results stay byte-identical with the old per-figure
+// binaries), optionally exporting per-scenario CSVs and one structured
+// JSON run report stamping scenario, config, seed, samples, convergence
+// and wall-clock duration.
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/runner.hpp"
+
+namespace {
+
+using namespace lmpr;
+using namespace lmpr::engine;
+
+int usage(std::ostream& os, int code) {
+  os << "usage:\n"
+        "  lmpr list [--filter GLOB]\n"
+        "  lmpr describe <scenario>\n"
+        "  lmpr run <scenario...|all> [--full] [--json PATH] "
+        "[--csv-dir DIR]\n"
+        "           [--seed N] [--workers N] [--filter GLOB] [--topo SPEC]\n"
+        "\n"
+        "Scenario names accept globs (e.g. 'fig4?', 'ablation_*').  Pass\n"
+        "--full (or set LMPR_FULL=1) for paper-scale runs; the default is\n"
+        "quick scale.\n";
+  return code;
+}
+
+int cmd_list(const util::Cli& cli) {
+  const std::string filter = cli.get_or("filter", "*");
+  if (const auto unknown = cli.unknown_flags(); !unknown.empty()) {
+    std::cerr << "lmpr list: unknown flag --" << unknown.front() << "\n";
+    return 2;
+  }
+  util::Table table({"scenario", "family", "paper artifact", "description"});
+  std::size_t shown = 0;
+  for (const auto& scenario : ScenarioRegistry::builtin().all()) {
+    if (!glob_match(filter, scenario.name)) continue;
+    table.add_row({scenario.name, std::string(to_string(scenario.family)),
+                   scenario.artifact, scenario.description});
+    ++shown;
+  }
+  table.print(std::cout);
+  std::cout << shown << " scenario" << (shown == 1 ? "" : "s")
+            << "; run one with: lmpr run <scenario> [--full]\n";
+  return 0;
+}
+
+int cmd_describe(const util::Cli& cli) {
+  if (const auto unknown = cli.unknown_flags(); !unknown.empty()) {
+    std::cerr << "lmpr describe: unknown flag --" << unknown.front() << "\n";
+    return 2;
+  }
+  if (cli.positional().size() < 2) {
+    std::cerr << "lmpr describe: missing scenario name\n";
+    return 2;
+  }
+  int code = 0;
+  for (std::size_t i = 1; i < cli.positional().size(); ++i) {
+    const auto& name = cli.positional()[i];
+    const Scenario* scenario = ScenarioRegistry::builtin().find(name);
+    if (scenario == nullptr) {
+      std::cerr << "lmpr describe: unknown scenario '" << name
+                << "' (see `lmpr list`)\n";
+      code = 1;
+      continue;
+    }
+    std::cout << scenario->name << "\n"
+              << "  artifact:     " << scenario->artifact << "\n"
+              << "  family:       " << to_string(scenario->family) << "\n"
+              << "  description:  " << scenario->description << "\n"
+              << "  quick params: " << scenario->quick_params << "\n"
+              << "  full params:  " << scenario->full_params << "\n";
+  }
+  return code;
+}
+
+int cmd_run(const util::Cli& cli) {
+  // Query run-specific flags before CommonOptions::from_cli enforces
+  // unknown_flags().
+  const std::string json_path = cli.get_or("json", "");
+  const std::string csv_dir = cli.get_or("csv-dir", "");
+  const std::string filter = cli.get_or("filter", "");
+  CommonOptions options;
+  try {
+    options = CommonOptions::from_cli(cli);
+  } catch (const std::exception& error) {
+    std::cerr << "lmpr run: " << error.what() << "\n";
+    return 2;
+  }
+
+  const auto& registry = ScenarioRegistry::builtin();
+  std::vector<const Scenario*> selected;
+  const auto add_unique = [&](const Scenario* scenario) {
+    if (std::find(selected.begin(), selected.end(), scenario) ==
+        selected.end()) {
+      selected.push_back(scenario);
+    }
+  };
+  const auto& names = cli.positional();
+  if (names.size() < 2) {
+    std::cerr << "lmpr run: name at least one scenario (or 'all')\n";
+    return 2;
+  }
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    if (name == "all") {
+      for (const auto& scenario : registry.all()) add_unique(&scenario);
+      continue;
+    }
+    const auto matched = registry.match(name);
+    if (matched.empty()) {
+      std::cerr << "lmpr run: no scenario matches '" << name
+                << "' (see `lmpr list`)\n";
+      return 1;
+    }
+    for (const Scenario* scenario : matched) add_unique(scenario);
+  }
+  if (!filter.empty()) {
+    std::erase_if(selected, [&](const Scenario* scenario) {
+      return !glob_match(filter, scenario->name);
+    });
+    if (selected.empty()) {
+      std::cerr << "lmpr run: --filter '" << filter
+                << "' matches no selected scenario\n";
+      return 1;
+    }
+  }
+
+  TextSink text(std::cout);
+  std::vector<ReportSink*> sinks{&text};
+  std::unique_ptr<CsvDirSink> csv;
+  if (!csv_dir.empty()) {
+    csv = std::make_unique<CsvDirSink>(csv_dir);
+    sinks.push_back(csv.get());
+  }
+  std::unique_ptr<JsonSink> json;
+  if (!json_path.empty()) {
+    json = std::make_unique<JsonSink>(json_path);
+    sinks.push_back(json.get());
+  }
+
+  const auto reports = run_scenarios(selected, options, sinks);
+
+  double total = 0.0;
+  for (const auto& report : reports) total += report.duration_seconds;
+  std::cerr << "lmpr: ran " << reports.size() << " scenario"
+            << (reports.size() == 1 ? "" : "s") << " ("
+            << (options.full ? "full" : "quick") << " scale, seed "
+            << options.seed << ") in " << util::Table::num(total, 1) << "s\n";
+  if (json != nullptr) {
+    if (!json->ok()) return 1;
+    std::cerr << "lmpr: json report written to " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"full"});
+  if (cli.positional().empty()) {
+    const bool help = cli.has("help");
+    return usage(help ? std::cout : std::cerr, help ? 0 : 2);
+  }
+  const std::string& command = cli.positional().front();
+  if (command == "list") return cmd_list(cli);
+  if (command == "describe") return cmd_describe(cli);
+  if (command == "run") return cmd_run(cli);
+  if (command == "help") return usage(std::cout, 0);
+  std::cerr << "lmpr: unknown command '" << command << "'\n";
+  return usage(std::cerr, 2);
+}

@@ -1,0 +1,80 @@
+#include "engine/registry.hpp"
+
+#include "engine/scenarios.hpp"
+#include "util/contracts.hpp"
+
+namespace lmpr::engine {
+
+std::string_view to_string(Family family) noexcept {
+  switch (family) {
+    case Family::kFlow: return "flow";
+    case Family::kFlit: return "flit";
+    case Family::kAnalysis: return "analysis";
+  }
+  return "?";
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) noexcept {
+  // Iterative glob with single-star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  LMPR_EXPECTS(!scenario.name.empty());
+  LMPR_EXPECTS(find(scenario.name) == nullptr);
+  LMPR_EXPECTS(scenario.run != nullptr);
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const noexcept {
+  for (const auto& scenario : scenarios_) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::match(
+    std::string_view glob) const {
+  std::vector<const Scenario*> matched;
+  for (const auto& scenario : scenarios_) {
+    if (glob_match(glob, scenario.name)) matched.push_back(&scenario);
+  }
+  return matched;
+}
+
+void register_builtin_scenarios(ScenarioRegistry& registry) {
+  register_fig4_scenarios(registry);
+  register_flit_scenarios(registry);
+  register_theorem_scenarios(registry);
+  register_flow_scenarios(registry);
+  register_analysis_scenarios(registry);
+}
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = [] {
+    ScenarioRegistry r;
+    register_builtin_scenarios(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace lmpr::engine

@@ -1,0 +1,60 @@
+// The scenario registry: one named entry per experiment (paper figure,
+// table, theorem, ablation, extension), each with a description, its
+// quick/full parameter summaries, and a run function producing a
+// structured Report.  The single `lmpr` driver and the legacy bench
+// shims both resolve scenarios here.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/context.hpp"
+#include "engine/report.hpp"
+
+namespace lmpr::engine {
+
+struct Scenario {
+  std::string name;        ///< registry key, e.g. "fig4a"
+  std::string artifact;    ///< paper artifact, e.g. "Figure 4(a)"
+  Family family = Family::kFlow;
+  std::string description; ///< one-line summary for `lmpr list`
+  std::string quick_params; ///< default (quick) parameter set summary
+  std::string full_params;  ///< --full parameter set summary
+  /// Computes the study and fills the report's config echo, sections,
+  /// metrics, samples and convergence flag.  Must be a deterministic
+  /// function of (context.seed, context.full, topo override).
+  std::function<void(const RunContext&, Report&)> run;
+};
+
+/// Matches `*` (any run) and `?` (any char) glob patterns; everything
+/// else is literal.  Used by `lmpr run --filter` and `lmpr list`.
+bool glob_match(std::string_view pattern, std::string_view text) noexcept;
+
+class ScenarioRegistry {
+ public:
+  /// Registers a scenario; names must be unique.
+  void add(Scenario scenario);
+
+  /// Lookup by exact name; nullptr when absent.
+  const Scenario* find(std::string_view name) const noexcept;
+
+  /// All scenarios in registration order.
+  const std::vector<Scenario>& all() const noexcept { return scenarios_; }
+
+  /// Registration-ordered scenarios whose name matches the glob.
+  std::vector<const Scenario*> match(std::string_view glob) const;
+
+  /// The process-wide registry with every built-in scenario registered.
+  static const ScenarioRegistry& builtin();
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// Registers the full built-in suite (fig4a-d, table1, fig5, theorem1/2,
+/// all ablations, and the extension studies) into `registry`.
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+}  // namespace lmpr::engine

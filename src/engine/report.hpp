@@ -1,0 +1,67 @@
+// The structured result of one scenario run.  Every experiment in the
+// suite -- paper figures, tables, theorems, ablations, extensions --
+// reports through this type so that text, CSV and JSON sinks can render
+// any study uniformly and runs are provenance-stamped (scenario, config,
+// seed, sample count, convergence, wall-clock duration).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace lmpr::engine {
+
+/// Which simulator substrate a scenario exercises (drives CI smoke
+/// selection and `lmpr list` grouping).
+enum class Family { kFlow, kFlit, kAnalysis };
+
+std::string_view to_string(Family family) noexcept;
+
+/// One titled result table.  Most scenarios emit a single section; a few
+/// (e.g. the oversubscribed-tree study) emit one per topology.
+struct ReportSection {
+  std::string title;
+  util::Table table;
+};
+
+/// A scalar metric worth surfacing without parsing the series (e.g.
+/// "worst_perf_umulti": 1.0).
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+struct Report {
+  // Identity (stamped by the engine from the Scenario entry).
+  std::string scenario;
+  std::string artifact;   ///< paper artifact, e.g. "Figure 4(a)"
+  std::string family;     ///< "flow" | "flit" | "analysis"
+
+  // Provenance (stamped by the engine from the RunContext).
+  bool full_scale = false;
+  std::uint64_t seed = 0;
+  std::size_t workers = 0;
+  double duration_seconds = 0.0;
+
+  // Filled by the scenario's run function.
+  std::vector<std::pair<std::string, std::string>> config;  ///< param echo
+  std::vector<Metric> metrics;
+  std::vector<ReportSection> sections;
+  std::size_t samples = 0;   ///< dominant sample/trial count of the study
+  bool converged = true;     ///< false iff a stopping rule hit its cap
+
+  void add_config(std::string key, std::string value) {
+    config.emplace_back(std::move(key), std::move(value));
+  }
+  void add_metric(std::string name, double value) {
+    metrics.push_back({std::move(name), value});
+  }
+  void add_section(std::string title, util::Table table) {
+    sections.push_back({std::move(title), std::move(table)});
+  }
+};
+
+}  // namespace lmpr::engine

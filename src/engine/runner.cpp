@@ -1,0 +1,40 @@
+#include "engine/runner.hpp"
+
+#include <chrono>
+#include <string>
+
+namespace lmpr::engine {
+
+std::vector<Report> run_scenarios(const std::vector<const Scenario*>& scenarios,
+                                  const CommonOptions& options,
+                                  const std::vector<ReportSink*>& sinks) {
+  std::vector<Report> reports;
+  reports.reserve(scenarios.size());
+  const RunContext ctx(options);
+  for (const Scenario* scenario : scenarios) {
+    Report report;
+    report.scenario = scenario->name;
+    report.artifact = scenario->artifact;
+    report.family = std::string(to_string(scenario->family));
+    report.full_scale = ctx.full();
+    report.seed = ctx.seed();
+    report.workers = ctx.workers();
+    const auto start = std::chrono::steady_clock::now();
+    scenario->run(ctx, report);
+    report.duration_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    for (ReportSink* sink : sinks) sink->consume(report);
+    reports.push_back(std::move(report));
+  }
+  for (ReportSink* sink : sinks) sink->finish();
+  return reports;
+}
+
+Report run_scenario(const Scenario& scenario, const CommonOptions& options,
+                    const std::vector<ReportSink*>& sinks) {
+  auto reports = run_scenarios({&scenario}, options, sinks);
+  return std::move(reports.front());
+}
+
+}  // namespace lmpr::engine

@@ -1,0 +1,27 @@
+// Executes scenarios against a RunContext and streams stamped Reports
+// into the attached sinks.  Shared by the `lmpr` driver, the legacy
+// bench shims and the tests.
+#pragma once
+
+#include <vector>
+
+#include "engine/context.hpp"
+#include "engine/registry.hpp"
+#include "engine/report.hpp"
+#include "engine/sinks.hpp"
+
+namespace lmpr::engine {
+
+/// Runs `scenarios` in order under one shared RunContext.  Each report is
+/// stamped with scenario identity, scale, seed, workers and wall-clock
+/// duration, then handed to every sink; sink finish() fires after the
+/// last scenario.  Returns the stamped reports.
+std::vector<Report> run_scenarios(const std::vector<const Scenario*>& scenarios,
+                                  const CommonOptions& options,
+                                  const std::vector<ReportSink*>& sinks);
+
+/// Convenience single-scenario overload (legacy shims, tests).
+Report run_scenario(const Scenario& scenario, const CommonOptions& options,
+                    const std::vector<ReportSink*>& sinks);
+
+}  // namespace lmpr::engine

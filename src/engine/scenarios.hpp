@@ -1,0 +1,16 @@
+// Built-in scenario groups.  Each register_* function contributes one
+// slice of the paper-reproduction suite; register_builtin_scenarios()
+// (registry.cpp) calls them all.
+#pragma once
+
+namespace lmpr::engine {
+
+class ScenarioRegistry;
+
+void register_fig4_scenarios(ScenarioRegistry& registry);      // fig4a-d + oversubscribed
+void register_theorem_scenarios(ScenarioRegistry& registry);   // theorem1, theorem2
+void register_flow_scenarios(ScenarioRegistry& registry);      // flow-level ablations/extensions
+void register_flit_scenarios(ScenarioRegistry& registry);      // table1, fig5, flit ablations
+void register_analysis_scenarios(ScenarioRegistry& registry);  // LID/LFT analyses
+
+}  // namespace lmpr::engine

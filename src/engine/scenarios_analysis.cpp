@@ -1,0 +1,125 @@
+// Analytical (simulation-free) scenarios: the InfiniBand LID/LMC budget
+// of K-path routing and the LFT realizability of each LID layout.
+#include "core/lid_cost.hpp"
+#include "engine/registry.hpp"
+#include "engine/study.hpp"
+#include "fabric/lft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+void run_lid_cost(const RunContext& /*ctx*/, Report& report) {
+  util::Table table({"topology", "hosts", "K", "effective_paths", "LMC",
+                     "total_LIDs", "realizable"});
+  std::size_t rows = 0;
+  for (const std::uint32_t ports : {8u, 16u, 24u}) {
+    for (const std::size_t levels : {2u, 3u}) {
+      const auto spec = topo::XgftSpec::m_port_n_tree(ports, levels);
+      const topo::Xgft xgft{spec};
+      const std::uint64_t max_paths = spec.num_top_switches();
+      std::vector<std::uint64_t> ks{1, 2, 4, 8};
+      if (max_paths > 8) ks.push_back(max_paths);  // the UMULTI column
+      for (const std::uint64_t k : ks) {
+        const auto cost = route::lid_cost(xgft, k);
+        table.add_row({spec.to_string(), util::Table::num(xgft.num_hosts()),
+                       util::Table::num(k),
+                       util::Table::num(cost.effective_paths),
+                       util::Table::num(std::uint64_t{cost.lmc}),
+                       util::Table::num(cost.total_lids),
+                       cost.realizable ? "yes" : "NO"});
+        ++rows;
+      }
+    }
+  }
+  report.add_config("topologies", "6 m-port n-trees");
+  report.samples = rows;
+  report.add_section("Ablation A2: InfiniBand LID cost of K-path routing",
+                     std::move(table));
+}
+
+void run_lft_realizability(const RunContext& ctx, Report& report) {
+  const std::vector<topo::XgftSpec> specs = {
+      topo::XgftSpec::m_port_n_tree(8, 2),
+      topo::XgftSpec::m_port_n_tree(8, 3),
+      topo::XgftSpec::m_port_n_tree(16, 3),
+  };
+  const int pair_samples = ctx.full() ? 2000 : 300;
+
+  util::Table table({"topology", "layout", "K", "LIDs", "avg coverage ratio",
+                     "worst coverage ratio", "pairs at full K"});
+  util::Rng rng{ctx.seed()};
+  for (const auto& spec : specs) {
+    const topo::Xgft xgft{spec};
+    for (const auto layout : {fabric::LidLayout::kDisjointLayout,
+                              fabric::LidLayout::kShiftLayout}) {
+      for (const std::uint64_t k : {2ull, 4ull, 8ull}) {
+        if (k > spec.num_top_switches()) continue;
+        const fabric::Lft lft(xgft, k, layout);
+        double ratio_sum = 0.0;
+        double worst = 1.0;
+        int full_cover = 0;
+        int counted = 0;
+        for (int i = 0; i < pair_samples; ++i) {
+          const std::uint64_t s = rng.below(xgft.num_hosts());
+          const std::uint64_t d = rng.below(xgft.num_hosts());
+          if (s == d) continue;
+          const std::uint64_t want =
+              std::min<std::uint64_t>(k, xgft.num_shortest_paths(s, d));
+          const std::uint64_t got =
+              std::min<std::uint64_t>(lft.coverage(s, d), want);
+          const double ratio =
+              static_cast<double>(got) / static_cast<double>(want);
+          ratio_sum += ratio;
+          worst = std::min(worst, ratio);
+          full_cover += (got == want);
+          ++counted;
+        }
+        table.add_row(
+            {spec.to_string(),
+             layout == fabric::LidLayout::kDisjointLayout ? "disjoint"
+                                                          : "shift",
+             util::Table::num(k),
+             util::Table::num(std::uint64_t{lft.lid_end() - 1}),
+             util::Table::num(ratio_sum / counted),
+             util::Table::num(worst),
+             util::Table::num(100.0 * full_cover / counted, 1) + "%"});
+      }
+    }
+  }
+  report.add_config("topologies", std::to_string(specs.size()));
+  report.add_config("pair_samples", std::to_string(pair_samples));
+  report.samples = static_cast<std::size_t>(pair_samples);
+  report.add_section(
+      "Ablation A5: LFT realizability of limited multi-path routing",
+      std::move(table));
+}
+
+}  // namespace
+
+void register_analysis_scenarios(ScenarioRegistry& registry) {
+  Scenario a2;
+  a2.name = "ablation_lid_cost";
+  a2.artifact = "Ablation A2";
+  a2.family = Family::kAnalysis;
+  a2.description = "InfiniBand LID/LMC budget per K on the six paper "
+                   "topologies: where unlimited multi-path stops fitting";
+  a2.quick_params = "closed-form (scale-independent)";
+  a2.full_params = "same";
+  a2.run = run_lid_cost;
+  registry.add(a2);
+
+  Scenario a5;
+  a5.name = "ablation_lft_realizability";
+  a5.artifact = "Ablation A5";
+  a5.family = Family::kAnalysis;
+  a5.description = "Multipath coverage of disjoint- vs shift-style LID "
+                   "layouts when deployed as destination-based LFTs";
+  a5.quick_params = "300 SD pair samples";
+  a5.full_params = "2000 SD pair samples";
+  a5.run = run_lft_realizability;
+  registry.add(a5);
+}
+
+}  // namespace lmpr::engine

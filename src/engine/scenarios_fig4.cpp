@@ -1,0 +1,90 @@
+// Figure 4(a)-(d) and the oversubscribed-tree extension: average maximum
+// permutation load vs number of paths K, flow level.
+#include "engine/registry.hpp"
+#include "engine/study.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+void run_fig4(const RunContext& ctx, Report& report, const char* figure,
+              std::uint32_t ports, std::size_t levels) {
+  const auto spec =
+      ctx.topo_or(topo::XgftSpec::m_port_n_tree(ports, levels));
+  const topo::Xgft xgft{spec};
+  const auto ks = k_sweep(xgft, ctx.full());
+  auto run = run_figure4(xgft, ks, ctx);
+  report.add_config("topology", spec.to_string());
+  {
+    std::string k_list;
+    for (const auto k : ks) {
+      if (!k_list.empty()) k_list += ",";
+      k_list += std::to_string(k);
+    }
+    report.add_config("k_values", k_list);
+  }
+  report.samples = run.samples;
+  report.converged = run.converged;
+  report.add_section(std::string("Figure 4(") + figure +
+                         "): avg max permutation load, " + spec.to_string() +
+                         " (" + std::to_string(ports) + "-port " +
+                         std::to_string(levels) + "-tree)",
+                     std::move(run.table));
+}
+
+Scenario fig4_scenario(const char* name, const char* figure,
+                       std::uint32_t ports, std::size_t levels) {
+  Scenario s;
+  s.name = name;
+  s.artifact = std::string("Figure 4(") + figure + ")";
+  s.family = Family::kFlow;
+  s.description = "Avg max permutation load vs K on the " +
+                  std::to_string(ports) + "-port " + std::to_string(levels) +
+                  "-tree (dmodk/shift1/disjoint/random)";
+  s.quick_params = "CI rule 30..120 samples, thinned K sweep";
+  s.full_params = "paper stopping rule (99% CI <= 2%, 100..12800 samples), "
+                  "all K values";
+  s.run = [figure, ports, levels](const RunContext& ctx, Report& report) {
+    run_fig4(ctx, report, figure, ports, levels);
+  };
+  return s;
+}
+
+void run_oversubscribed(const RunContext& ctx, Report& report) {
+  for (const char* text : {"XGFT(2;8,8;1,4)",     // 2:1 at the leaf level
+                           "XGFT(2;8,8;1,2)",     // 4:1
+                           "XGFT(3;4,4,8;1,2,4)"  // 2:1 at level 1 only
+                          }) {
+    const auto spec = topo::XgftSpec::parse(text);
+    const topo::Xgft xgft{spec};
+    auto run = run_figure4(xgft, k_sweep(xgft, ctx.full()), ctx);
+    report.add_config("topology", spec.to_string());
+    report.samples = std::max(report.samples, run.samples);
+    report.converged = report.converged && run.converged;
+    report.add_section(std::string("Oversubscribed tree: ") + spec.to_string(),
+                       std::move(run.table));
+  }
+}
+
+}  // namespace
+
+void register_fig4_scenarios(ScenarioRegistry& registry) {
+  registry.add(fig4_scenario("fig4a", "a", 16, 2));
+  registry.add(fig4_scenario("fig4b", "b", 16, 3));
+  registry.add(fig4_scenario("fig4c", "c", 24, 2));
+  registry.add(fig4_scenario("fig4d", "d", 24, 3));
+
+  Scenario oversub;
+  oversub.name = "oversubscribed_tree";
+  oversub.artifact = "extension";
+  oversub.family = Family::kFlow;
+  oversub.description =
+      "Figure-4 study on 2:1/4:1 oversubscribed GFTs: heuristics still "
+      "reach the UMULTI optimum at K = prod(w)";
+  oversub.quick_params = "3 slimmed trees, CI rule 30..120 samples";
+  oversub.full_params = "3 slimmed trees, paper stopping rule, full K sweep";
+  oversub.run = run_oversubscribed;
+  registry.add(oversub);
+}
+
+}  // namespace lmpr::engine

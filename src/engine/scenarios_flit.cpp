@@ -1,0 +1,372 @@
+// Flit-level scenarios: Table 1, Figure 5, the traffic-split /
+// destination-model / virtual-channel ablations, and the credit-based
+// adaptive-routing reference point.
+#include "engine/registry.hpp"
+#include "engine/study.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+void run_table1(const RunContext& ctx, Report& report) {
+  const auto spec = ctx.topo_or(topo::XgftSpec::m_port_n_tree(8, 3));
+  const topo::Xgft xgft{spec};
+
+  const auto base = flit_base_config(ctx.full());
+  const auto loads = flit_load_grid(ctx.full());
+  const auto pairings =
+      shared_pairings(xgft.num_hosts(), ctx.seed(), ctx.full() ? 5 : 2);
+
+  const std::vector<std::size_t> k_values =
+      ctx.full() ? std::vector<std::size_t>{1, 2, 4, 8, 16}
+                 : std::vector<std::size_t>{1, 2, 4, 8};
+
+  // d-mod-k ignores K: measure its single column value once.
+  const route::RouteTable dmodk(xgft, route::Heuristic::kDModK, 1,
+                                ctx.seed());
+  const double dmodk_throughput =
+      measure_saturation(dmodk, base, loads, pairings).max_throughput;
+
+  double best = dmodk_throughput;
+  util::Table table(
+      {"num_paths", "dmodk_%", "shift1_%", "random_%", "disjoint_%"});
+  for (const std::size_t k : k_values) {
+    std::vector<std::string> row{util::Table::num(k),
+                                 util::Table::num(100.0 * dmodk_throughput, 2)};
+    for (const route::Heuristic h :
+         {route::Heuristic::kShift1, route::Heuristic::kRandom,
+          route::Heuristic::kDisjoint}) {
+      const route::RouteTable rt(xgft, h, k, ctx.seed());
+      const auto result = measure_saturation(rt, base, loads, pairings);
+      best = std::max(best, result.max_throughput);
+      row.push_back(util::Table::num(100.0 * result.max_throughput, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  report.add_config("topology", spec.to_string());
+  report.add_config("pairings", std::to_string(pairings.size()));
+  report.add_config("loads", std::to_string(loads.size()));
+  report.add_metric("best_throughput_percent", 100.0 * best);
+  report.samples = pairings.size();
+  report.add_section("Table 1: max throughput (%), uniform (fixed-pairing) "
+                     "traffic, " + spec.to_string(),
+                     std::move(table));
+}
+
+void run_fig5(const RunContext& ctx, Report& report) {
+  const auto spec = ctx.topo_or(topo::XgftSpec::m_port_n_tree(8, 3));
+  const topo::Xgft xgft{spec};
+
+  struct Series {
+    const char* name;
+    route::Heuristic heuristic;
+    std::size_t k;
+  };
+  const Series series[] = {
+      {"dmodk", route::Heuristic::kDModK, 1},
+      {"disjoint(2)", route::Heuristic::kDisjoint, 2},
+      {"disjoint(8)", route::Heuristic::kDisjoint, 8},
+      {"shift1(2)", route::Heuristic::kShift1, 2},
+      {"shift1(8)", route::Heuristic::kShift1, 8},
+      {"random(1)", route::Heuristic::kRandomSingle, 1},
+      {"random(2)", route::Heuristic::kRandom, 2},
+      {"random(8)", route::Heuristic::kRandom, 8},
+  };
+
+  const auto base = flit_base_config(ctx.full());
+  const auto loads = ctx.full() ? flit::linspace_loads(0.05, 0.95, 10)
+                                : std::vector<double>{0.1, 0.3, 0.5, 0.7};
+  const auto pairings =
+      shared_pairings(xgft.num_hosts(), ctx.seed(), ctx.full() ? 3 : 1);
+
+  // delays[series][load] accumulated over pairings.
+  std::vector<std::vector<double>> delays(
+      std::size(series), std::vector<double>(loads.size(), 0.0));
+  for (std::size_t s = 0; s < std::size(series); ++s) {
+    const route::RouteTable table(xgft, series[s].heuristic, series[s].k,
+                                  ctx.seed());
+    for (const auto& pairing : pairings) {
+      flit::SimConfig config = base;
+      config.seed = ctx.seed();
+      config.fixed_destinations = pairing;
+      const auto sweep = flit::run_load_sweep(table, config, loads);
+      for (std::size_t i = 0; i < loads.size(); ++i) {
+        delays[s][i] += sweep.points[i].mean_message_delay /
+                        static_cast<double>(pairings.size());
+      }
+    }
+  }
+
+  std::vector<std::string> headers{"offered_load_%"};
+  for (const auto& s : series) headers.emplace_back(s.name);
+  util::Table table(headers);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    std::vector<std::string> row{util::Table::num(100.0 * loads[i], 0)};
+    for (std::size_t s = 0; s < std::size(series); ++s) {
+      row.push_back(util::Table::num(delays[s][i], 1));
+    }
+    table.add_row(std::move(row));
+  }
+  report.add_config("topology", spec.to_string());
+  report.add_config("pairings", std::to_string(pairings.size()));
+  report.add_config("loads", std::to_string(loads.size()));
+  report.samples = pairings.size();
+  report.add_section(
+      "Figure 5: mean message delay (cycles) vs offered load, " +
+          spec.to_string(),
+      std::move(table));
+}
+
+void run_path_granularity(const RunContext& ctx, Report& report) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+
+  const auto base = flit_base_config(ctx.full());
+  const auto loads = flit_load_grid(ctx.full());
+  const auto pairings =
+      shared_pairings(xgft.num_hosts(), ctx.seed(), ctx.full() ? 3 : 2);
+
+  struct Mode {
+    const char* name;
+    flit::PathSelection selection;
+  };
+  const Mode modes[] = {
+      {"random per message", flit::PathSelection::kRandomPerMessage},
+      {"random per packet", flit::PathSelection::kRandomPerPacket},
+      {"round robin per message", flit::PathSelection::kRoundRobinPerMessage},
+  };
+
+  util::Table table({"heuristic", "K", "path granularity", "max_throughput_%",
+                     "low_load_delay_cyc", "reorder_frac@high"});
+  for (const route::Heuristic h :
+       {route::Heuristic::kDisjoint, route::Heuristic::kShift1}) {
+    for (const std::size_t k : {2u, 8u}) {
+      const route::RouteTable rt(xgft, h, k, ctx.seed());
+      for (const Mode& mode : modes) {
+        flit::SimConfig config = base;
+        config.path_selection = mode.selection;
+        const auto result = measure_saturation(rt, config, loads, pairings);
+        table.add_row({std::string(to_string(h)), util::Table::num(k),
+                       mode.name,
+                       util::Table::num(100.0 * result.max_throughput, 2),
+                       util::Table::num(result.delay_at_low_load, 1),
+                       util::Table::num(result.reorder_at_high_load)});
+      }
+    }
+  }
+  report.add_config("topology", xgft.spec().to_string());
+  report.add_config("pairings", std::to_string(pairings.size()));
+  report.samples = pairings.size();
+  report.add_section("Ablation A3: traffic-split granularity, " +
+                         xgft.spec().to_string(),
+                     std::move(table));
+}
+
+void run_destination_mode(const RunContext& ctx, Report& report) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+
+  const auto base = flit_base_config(ctx.full());
+  const auto loads = flit_load_grid(ctx.full());
+  const auto pairings =
+      shared_pairings(xgft.num_hosts(), ctx.seed(), ctx.full() ? 3 : 2);
+
+  struct Scheme {
+    const char* name;
+    route::Heuristic heuristic;
+    std::size_t k;
+  };
+  const Scheme schemes[] = {
+      {"dmodk", route::Heuristic::kDModK, 1},
+      {"disjoint(8)", route::Heuristic::kDisjoint, 8},
+  };
+
+  util::Table table({"scheme", "destination model", "max_throughput_%"});
+  for (const Scheme& scheme : schemes) {
+    const route::RouteTable rt(xgft, scheme.heuristic, scheme.k,
+                               ctx.seed());
+    {
+      const auto fixed = measure_saturation(rt, base, loads, pairings);
+      table.add_row({scheme.name, "fixed pairing (permutation)",
+                     util::Table::num(100.0 * fixed.max_throughput, 2)});
+    }
+    {
+      flit::SimConfig config = base;
+      config.destination_mode = flit::DestinationMode::kPerMessage;
+      double best = 0.0;
+      for (std::size_t i = 0; i < pairings.size(); ++i) {
+        config.seed = base.seed + 31 * (i + 1);
+        const auto sweep = flit::run_load_sweep(rt, config, loads);
+        best += sweep.max_throughput;
+      }
+      table.add_row({scheme.name, "fresh per message",
+                     util::Table::num(100.0 * best /
+                                          static_cast<double>(pairings.size()),
+                                      2)});
+    }
+  }
+  report.add_config("topology", xgft.spec().to_string());
+  report.add_config("pairings", std::to_string(pairings.size()));
+  report.samples = pairings.size();
+  report.add_section("Ablation A4: destination model vs routing gains, " +
+                         xgft.spec().to_string(),
+                     std::move(table));
+}
+
+void run_virtual_channels(const RunContext& ctx, Report& report) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+
+  const auto base = flit_base_config(ctx.full());
+  const auto loads = flit_load_grid(ctx.full());
+  const auto pairings =
+      shared_pairings(xgft.num_hosts(), ctx.seed(), ctx.full() ? 3 : 2);
+
+  struct Scheme {
+    const char* name;
+    route::Heuristic heuristic;
+    std::size_t k;
+  };
+  const Scheme schemes[] = {
+      {"dmodk", route::Heuristic::kDModK, 1},
+      {"shift1(8)", route::Heuristic::kShift1, 8},
+      {"disjoint(8)", route::Heuristic::kDisjoint, 8},
+  };
+
+  util::Table table({"scheme", "VCs", "max_throughput_%"});
+  for (const Scheme& scheme : schemes) {
+    const route::RouteTable rt(xgft, scheme.heuristic, scheme.k,
+                               ctx.seed());
+    for (const std::uint32_t vcs : {1u, 2u, 4u}) {
+      flit::SimConfig config = base;
+      config.num_vcs = vcs;
+      const auto result = measure_saturation(rt, config, loads, pairings);
+      table.add_row({scheme.name, util::Table::num(std::uint64_t{vcs}),
+                     util::Table::num(100.0 * result.max_throughput, 2)});
+    }
+  }
+  report.add_config("topology", xgft.spec().to_string());
+  report.add_config("pairings", std::to_string(pairings.size()));
+  report.samples = pairings.size();
+  report.add_section(
+      "Ablation A6: virtual channels vs saturation throughput, " +
+          xgft.spec().to_string(),
+      std::move(table));
+}
+
+void run_adaptive_vs_oblivious(const RunContext& ctx, Report& report) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+
+  const auto base = flit_base_config(ctx.full());
+  const auto loads = flit_load_grid(ctx.full());
+  const auto pairings =
+      shared_pairings(xgft.num_hosts(), ctx.seed(), ctx.full() ? 3 : 2);
+
+  util::Table table({"routing", "max_throughput_%", "low_load_delay_cyc"});
+
+  // Oblivious schemes.
+  struct Scheme {
+    const char* name;
+    route::Heuristic heuristic;
+    std::size_t k;
+  };
+  for (const Scheme& scheme :
+       {Scheme{"dmodk (oblivious)", route::Heuristic::kDModK, 1},
+        Scheme{"disjoint(4) (oblivious)", route::Heuristic::kDisjoint, 4},
+        Scheme{"disjoint(8) (oblivious)", route::Heuristic::kDisjoint, 8},
+        Scheme{"umulti(16) (oblivious)", route::Heuristic::kUmulti, 16}}) {
+    const route::RouteTable rt(xgft, scheme.heuristic, scheme.k,
+                               ctx.seed());
+    const auto result = measure_saturation(rt, base, loads, pairings);
+    table.add_row({scheme.name,
+                   util::Table::num(100.0 * result.max_throughput, 2),
+                   util::Table::num(result.delay_at_low_load, 1)});
+  }
+
+  // Adaptive routing (route table is a placeholder; routing ignores it).
+  {
+    const route::RouteTable rt(xgft, route::Heuristic::kDModK, 1,
+                               ctx.seed());
+    flit::SimConfig config = base;
+    config.routing_mode = flit::RoutingMode::kAdaptive;
+    const auto result = measure_saturation(rt, config, loads, pairings);
+    table.add_row({"credit-based adaptive",
+                   util::Table::num(100.0 * result.max_throughput, 2),
+                   util::Table::num(result.delay_at_low_load, 1)});
+  }
+  report.add_config("topology", xgft.spec().to_string());
+  report.add_config("pairings", std::to_string(pairings.size()));
+  report.samples = pairings.size();
+  report.add_section("Adaptive vs oblivious routing (fixed pairing), " +
+                         xgft.spec().to_string(),
+                     std::move(table));
+}
+
+}  // namespace
+
+void register_flit_scenarios(ScenarioRegistry& registry) {
+  Scenario table1;
+  table1.name = "table1";
+  table1.artifact = "Table 1";
+  table1.family = Family::kFlit;
+  table1.description = "Max throughput (% of injection capacity) under "
+                       "fixed-pairing uniform traffic per (heuristic, K)";
+  table1.quick_params = "2 pairings x 5 loads, 15k cycles, K in {1,2,4,8}";
+  table1.full_params = "5 pairings x 10 loads, 50k cycles, K in {1,2,4,8,16}";
+  table1.run = run_table1;
+  registry.add(table1);
+
+  Scenario fig5;
+  fig5.name = "fig5";
+  fig5.artifact = "Figure 5";
+  fig5.family = Family::kFlit;
+  fig5.description = "Mean message delay vs offered load for the paper's "
+                     "eight routing series";
+  fig5.quick_params = "1 pairing x 4 loads, 15k cycles";
+  fig5.full_params = "3 pairings x 10 loads, 50k cycles";
+  fig5.run = run_fig5;
+  registry.add(fig5);
+
+  Scenario a3;
+  a3.name = "ablation_path_granularity";
+  a3.artifact = "Ablation A3";
+  a3.family = Family::kFlit;
+  a3.description = "Traffic split per message / per packet / round-robin: "
+                   "throughput, delay and reordering";
+  a3.quick_params = "2 pairings x 5 loads";
+  a3.full_params = "3 pairings x 10 loads";
+  a3.run = run_path_granularity;
+  registry.add(a3);
+
+  Scenario a4;
+  a4.name = "ablation_destination_mode";
+  a4.artifact = "Ablation A4";
+  a4.family = Family::kFlit;
+  a4.description = "Fixed pairing vs fresh destination per message: where "
+                   "the multi-path gains come from";
+  a4.quick_params = "2 pairings x 5 loads";
+  a4.full_params = "3 pairings x 10 loads";
+  a4.run = run_destination_mode;
+  registry.add(a4);
+
+  Scenario a6;
+  a6.name = "ablation_virtual_channels";
+  a6.artifact = "Ablation A6";
+  a6.family = Family::kFlit;
+  a6.description = "Saturation throughput at 1/2/4 virtual channels: "
+                   "head-of-line blocking vs path quality";
+  a6.quick_params = "2 pairings x 5 loads";
+  a6.full_params = "3 pairings x 10 loads";
+  a6.run = run_virtual_channels;
+  registry.add(a6);
+
+  Scenario adaptive;
+  adaptive.name = "adaptive_vs_oblivious";
+  adaptive.artifact = "extension";
+  adaptive.family = Family::kFlit;
+  adaptive.description = "Credit-based adaptive up-routing as the upper "
+                         "reference for oblivious multi-path";
+  adaptive.quick_params = "2 pairings x 5 loads";
+  adaptive.full_params = "3 pairings x 10 loads";
+  adaptive.run = run_adaptive_vs_oblivious;
+  registry.add(adaptive);
+}
+
+}  // namespace lmpr::engine

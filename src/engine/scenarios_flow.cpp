@@ -1,0 +1,416 @@
+// Flow-level ablations and extension studies: per-level load balance,
+// s-mod-k equivalence, structured patterns, the price of obliviousness,
+// worst-case permutation search, collectives and failure resilience.
+#include <bit>
+
+#include "engine/registry.hpp"
+#include "engine/study.hpp"
+#include "flow/collectives.hpp"
+#include "flow/link_load.hpp"
+#include "flow/oload.hpp"
+#include "flow/resilience.hpp"
+#include "flow/traffic.hpp"
+#include "flow/traffic_aware.hpp"
+#include "flow/worst_case.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+void run_level_balance(const RunContext& ctx, Report& report) {
+  const auto spec = ctx.topo_or(
+      topo::XgftSpec::m_port_n_tree(ctx.full() ? 16 : 8, 3));
+  const topo::Xgft xgft{spec};
+  const int samples = ctx.full() ? 200 : 40;
+  const std::vector<std::size_t> k_values{2, 4, 8};
+
+  util::Table table({"heuristic", "K", "max_load", "up_L0", "up_L1", "up_L2",
+                     "down_L2", "down_L1", "down_L0"});
+  for (const route::Heuristic h :
+       {route::Heuristic::kDModK, route::Heuristic::kShift1,
+        route::Heuristic::kDisjoint, route::Heuristic::kRandom}) {
+    for (const std::size_t k : k_values) {
+      util::Rng rng{ctx.seed()};
+      flow::LoadEvaluator eval(xgft);
+      double overall = 0.0;
+      std::vector<double> up(xgft.height(), 0.0);
+      std::vector<double> down(xgft.height(), 0.0);
+      for (int s = 0; s < samples; ++s) {
+        const auto tm =
+            flow::TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+        const auto result = eval.evaluate(tm, h, k, rng);
+        overall += result.max_load;
+        for (std::uint32_t l = 0; l < xgft.height(); ++l) {
+          up[l] += result.max_up_load_per_level[l];
+          down[l] += result.max_down_load_per_level[l];
+        }
+      }
+      const double n = samples;
+      table.add_row({std::string(to_string(h)), util::Table::num(k),
+                     util::Table::num(overall / n),
+                     util::Table::num(up[0] / n), util::Table::num(up[1] / n),
+                     util::Table::num(up[2] / n),
+                     util::Table::num(down[2] / n),
+                     util::Table::num(down[1] / n),
+                     util::Table::num(down[0] / n)});
+      if (route::is_single_path(h)) break;  // K is irrelevant
+    }
+  }
+  report.add_config("topology", spec.to_string());
+  report.add_config("samples", std::to_string(samples));
+  report.samples = static_cast<std::size_t>(samples);
+  report.add_section(
+      "Ablation A1: avg per-level max link load (permutations), " +
+          spec.to_string(),
+      std::move(table));
+}
+
+void run_smodk_vs_dmodk(const RunContext& ctx, Report& report) {
+  const std::vector<topo::XgftSpec> specs = {
+      topo::XgftSpec::m_port_n_tree(8, 2),
+      topo::XgftSpec::m_port_n_tree(16, 2),
+      topo::XgftSpec::m_port_n_tree(8, 3),
+      topo::XgftSpec::m_port_n_tree(16, 3),
+  };
+
+  util::Table table({"topology", "dmodk avg max load", "smodk avg max load",
+                     "relative diff %", "samples"});
+  bool converged = true;
+  std::size_t max_samples = 0;
+  for (const auto& spec : specs) {
+    const topo::Xgft xgft{spec};
+    double means[2] = {0.0, 0.0};
+    std::size_t samples = 0;
+    const route::Heuristic hs[2] = {route::Heuristic::kDModK,
+                                    route::Heuristic::kSModK};
+    for (int i = 0; i < 2; ++i) {
+      flow::PermutationStudyConfig config;
+      config.heuristic = hs[i];
+      config.k_paths = 1;
+      config.stopping = ctx.stopping_rule();
+      config.seed = ctx.seed();
+      config.track_perf_ratio = false;
+      const auto result = flow::run_permutation_study(xgft, config);
+      means[i] = result.max_load.mean();
+      samples = result.samples;
+      converged = converged && result.converged;
+    }
+    max_samples = std::max(max_samples, samples);
+    table.add_row({spec.to_string(), util::Table::num(means[0]),
+                   util::Table::num(means[1]),
+                   util::Table::num(100.0 * std::abs(means[0] - means[1]) /
+                                        means[0],
+                                    2),
+                   util::Table::num(samples)});
+  }
+  report.add_config("topologies", std::to_string(specs.size()));
+  report.samples = max_samples;
+  report.converged = converged;
+  report.add_section(
+      "s-mod-k vs d-mod-k: negligible difference (Section 3.3)",
+      std::move(table));
+}
+
+void run_patterns_structured(const RunContext& ctx, Report& report) {
+  const auto spec = ctx.topo_or(topo::XgftSpec::m_port_n_tree(8, 3));
+  const topo::Xgft xgft{spec};
+  const std::uint64_t hosts = xgft.num_hosts();
+
+  struct Scheme {
+    route::Heuristic heuristic;
+    std::size_t k;
+  };
+  std::vector<Scheme> schemes{{route::Heuristic::kDModK, 1}};
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    schemes.push_back({route::Heuristic::kShift1, k});
+    schemes.push_back({route::Heuristic::kDisjoint, k});
+    schemes.push_back({route::Heuristic::kRandom, k});
+  }
+  schemes.push_back({route::Heuristic::kUmulti, 1});
+
+  // Pattern families.  all-shifts = worst over every cyclic offset;
+  // W-shifts = offsets that are multiples of prod(w) (the d-mod-k
+  // concentrators from the Theorem 2 proof idea).
+  const std::uint64_t w_total = spec.num_top_switches();
+  std::vector<std::uint64_t> all_shifts;
+  for (std::uint64_t s = 1; s < hosts; ++s) all_shifts.push_back(s);
+
+  util::Table table({"heuristic", "K", "worst shift PERF",
+                     "worst W-multiple shift PERF", "bit-reversal PERF"});
+  flow::LoadEvaluator eval(xgft);
+  util::Rng rng{ctx.seed()};
+  for (const auto& scheme : schemes) {
+    double worst_shift = 0.0;
+    double worst_wshift = 0.0;
+    for (const std::uint64_t offset : all_shifts) {
+      const auto tm = flow::TrafficMatrix::shift(hosts, offset);
+      const double perf = flow::perf_ratio(
+          eval.evaluate(tm, scheme.heuristic, scheme.k, rng).max_load,
+          flow::oload(xgft, tm).value);
+      worst_shift = std::max(worst_shift, perf);
+      if (offset % w_total == 0) worst_wshift = std::max(worst_wshift, perf);
+    }
+    double bitrev = 0.0;
+    if (std::has_single_bit(hosts)) {
+      const auto tm = flow::TrafficMatrix::bit_reversal(hosts);
+      bitrev = flow::perf_ratio(
+          eval.evaluate(tm, scheme.heuristic, scheme.k, rng).max_load,
+          flow::oload(xgft, tm).value);
+    }
+    table.add_row({std::string(to_string(scheme.heuristic)),
+                   util::Table::num(scheme.k),
+                   util::Table::num(worst_shift),
+                   util::Table::num(worst_wshift),
+                   util::Table::num(bitrev)});
+  }
+  report.add_config("topology", spec.to_string());
+  report.samples = all_shifts.size();
+  report.add_section(
+      "Structured patterns (shift family, bit-reversal), " + spec.to_string(),
+      std::move(table));
+}
+
+void run_price_of_obliviousness(const RunContext& ctx, Report& report) {
+  const auto spec = ctx.topo_or(topo::XgftSpec::m_port_n_tree(8, 3));
+  const topo::Xgft xgft{spec};
+  const int samples = ctx.full() ? 100 : 25;
+
+  util::Table table({"K", "oload(optimal)", "aware(greedy)", "disjoint",
+                     "random", "shift1", "dmodk"});
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    util::Rng rng{ctx.seed()};
+    flow::LoadEvaluator eval(xgft);
+    double sums[6] = {0, 0, 0, 0, 0, 0};
+    for (int s = 0; s < samples; ++s) {
+      const auto tm =
+          flow::TrafficMatrix::random_permutation(xgft.num_hosts(), rng);
+      sums[0] += flow::oload(xgft, tm).value;
+      flow::TrafficAwareConfig aware;
+      aware.k_paths = k;
+      sums[1] += flow::traffic_aware_kpath(xgft, tm, aware).max_load;
+      sums[2] += eval.evaluate(tm, route::Heuristic::kDisjoint, k, rng).max_load;
+      sums[3] += eval.evaluate(tm, route::Heuristic::kRandom, k, rng).max_load;
+      sums[4] += eval.evaluate(tm, route::Heuristic::kShift1, k, rng).max_load;
+      sums[5] += eval.evaluate(tm, route::Heuristic::kDModK, k, rng).max_load;
+    }
+    std::vector<std::string> row{util::Table::num(k)};
+    for (const double sum : sums) {
+      row.push_back(util::Table::num(sum / samples));
+    }
+    table.add_row(std::move(row));
+  }
+  report.add_config("topology", spec.to_string());
+  report.add_config("samples", std::to_string(samples));
+  report.samples = static_cast<std::size_t>(samples);
+  report.add_section(
+      "Price of obliviousness (avg max permutation load), " + spec.to_string(),
+      std::move(table));
+}
+
+void run_worst_case(const RunContext& ctx, Report& report) {
+  const auto spec = ctx.topo_or(topo::XgftSpec::m_port_n_tree(8, 3));
+  const topo::Xgft xgft{spec};
+
+  util::Table table({"heuristic", "K", "worst PERF found", "worst max load",
+                     "evaluations"});
+  std::size_t total_evaluations = 0;
+  auto run = [&](route::Heuristic h, std::size_t k) {
+    flow::WorstCaseConfig config;
+    config.heuristic = h;
+    config.k_paths = k;
+    config.steps = ctx.full() ? 4000 : 600;
+    config.restarts = ctx.full() ? 6 : 2;
+    config.seed = ctx.seed();
+    const auto result = flow::search_worst_permutation(xgft, config);
+    total_evaluations += result.evaluations;
+    table.add_row({std::string(to_string(h)), util::Table::num(k),
+                   util::Table::num(result.worst_perf),
+                   util::Table::num(result.worst_max_load),
+                   util::Table::num(result.evaluations)});
+  };
+  run(route::Heuristic::kDModK, 1);
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    run(route::Heuristic::kShift1, k);
+    run(route::Heuristic::kDisjoint, k);
+    run(route::Heuristic::kRandom, k);
+  }
+  run(route::Heuristic::kUmulti, 1);
+  report.add_config("topology", spec.to_string());
+  report.samples = total_evaluations;
+  report.add_section(
+      "Worst-case permutation search (hill climbing), " + spec.to_string(),
+      std::move(table));
+}
+
+void run_collectives(const RunContext& ctx, Report& report) {
+  const auto spec = ctx.topo_or(topo::XgftSpec::m_port_n_tree(8, 3));
+  const topo::Xgft xgft{spec};
+  const std::uint64_t hosts = xgft.num_hosts();
+
+  std::vector<flow::Collective> workloads;
+  workloads.push_back(flow::shift_all_to_all(hosts));
+  workloads.push_back(flow::ring_allreduce(hosts));
+  if (std::has_single_bit(hosts)) {
+    workloads.push_back(flow::recursive_doubling(hosts));
+  }
+  workloads.push_back(flow::stencil3d(2, 8, hosts / 16));
+  workloads.push_back(flow::transpose(hosts / 16, 16));
+
+  struct Scheme {
+    route::Heuristic heuristic;
+    std::size_t k;
+  };
+  std::vector<Scheme> schemes{{route::Heuristic::kDModK, 1},
+                              {route::Heuristic::kShift1, 4},
+                              {route::Heuristic::kDisjoint, 4},
+                              {route::Heuristic::kRandom, 4},
+                              {route::Heuristic::kDisjoint, 8},
+                              {route::Heuristic::kUmulti, 1}};
+
+  util::Table table({"workload", "heuristic", "K", "slowdown",
+                     "time", "optimal"});
+  util::Rng rng{ctx.seed()};
+  for (const auto& workload : workloads) {
+    for (const auto& scheme : schemes) {
+      const auto cost = flow::evaluate_collective(
+          xgft, workload, scheme.heuristic, scheme.k, rng);
+      table.add_row({workload.name, std::string(to_string(scheme.heuristic)),
+                     util::Table::num(scheme.k),
+                     util::Table::num(cost.slowdown),
+                     util::Table::num(cost.time, 1),
+                     util::Table::num(cost.optimal_time, 1)});
+    }
+  }
+  report.add_config("topology", spec.to_string());
+  report.add_config("workloads", std::to_string(workloads.size()));
+  report.samples = workloads.size() * schemes.size();
+  report.add_section(
+      "Collective workloads (bandwidth model), " + spec.to_string(),
+      std::move(table));
+}
+
+void run_resilience(const RunContext& ctx, Report& report) {
+  const auto spec = ctx.topo_or(topo::XgftSpec::m_port_n_tree(8, 3));
+  const topo::Xgft xgft{spec};
+
+  util::Table table({"failure rate", "heuristic", "K", "connectivity",
+                     "worst trial", "surviving paths"});
+  const std::size_t trials = ctx.full() ? 100 : 20;
+  for (const double rate : {0.01, 0.05}) {
+    struct Scheme {
+      route::Heuristic heuristic;
+      std::size_t k;
+    };
+    for (const Scheme& scheme :
+         {Scheme{route::Heuristic::kDModK, 1},
+          Scheme{route::Heuristic::kShift1, 4},
+          Scheme{route::Heuristic::kDisjoint, 4},
+          Scheme{route::Heuristic::kRandom, 4},
+          Scheme{route::Heuristic::kDisjoint, 8}}) {
+      flow::ResilienceConfig config;
+      config.heuristic = scheme.heuristic;
+      config.k_paths = scheme.k;
+      config.cable_failure_probability = rate;
+      config.trials = trials;
+      config.pair_samples = ctx.full() ? 5000 : 1000;
+      config.seed = ctx.seed();
+      const auto result = flow::measure_resilience(xgft, config);
+      table.add_row({util::Table::num(100.0 * rate, 0) + "%",
+                     std::string(to_string(scheme.heuristic)),
+                     util::Table::num(scheme.k),
+                     util::Table::num(result.connectivity, 4),
+                     util::Table::num(result.worst_connectivity, 4),
+                     util::Table::num(result.surviving_paths, 4)});
+    }
+  }
+  report.add_config("topology", spec.to_string());
+  report.add_config("trials", std::to_string(trials));
+  report.samples = trials;
+  report.add_section(
+      "Multi-path resilience to random cable failures, " + spec.to_string(),
+      std::move(table));
+}
+
+}  // namespace
+
+void register_flow_scenarios(ScenarioRegistry& registry) {
+  Scenario a1;
+  a1.name = "ablation_level_balance";
+  a1.artifact = "Ablation A1";
+  a1.family = Family::kFlow;
+  a1.description = "Per-level max link load split up/down: where each "
+                   "heuristic leaves contention (Section 4.2.2)";
+  a1.quick_params = "8-port 3-tree, 40 permutations";
+  a1.full_params = "16-port 3-tree, 200 permutations";
+  a1.run = run_level_balance;
+  registry.add(a1);
+
+  Scenario smodk;
+  smodk.name = "smodk_vs_dmodk";
+  smodk.artifact = "Section 3.3";
+  smodk.family = Family::kFlow;
+  smodk.description = "s-mod-k vs d-mod-k average max permutation load: "
+                      "the negligible-difference premise";
+  smodk.quick_params = "4 paper topologies, CI rule 30..120 samples";
+  smodk.full_params = "4 paper topologies, paper stopping rule";
+  smodk.run = run_smodk_vs_dmodk;
+  registry.add(smodk);
+
+  Scenario patterns;
+  patterns.name = "patterns_structured";
+  patterns.artifact = "extension";
+  patterns.family = Family::kFlow;
+  patterns.description = "Worst PERF over cyclic shifts, W-multiple shifts "
+                         "and bit-reversal per heuristic";
+  patterns.quick_params = "8-port 3-tree, all shift offsets";
+  patterns.full_params = "same (the pattern family is exhaustive)";
+  patterns.run = run_patterns_structured;
+  registry.add(patterns);
+
+  Scenario price;
+  price.name = "price_of_obliviousness";
+  price.artifact = "extension";
+  price.family = Family::kFlow;
+  price.description = "Oblivious K-path heuristics vs traffic-aware greedy "
+                      "router vs the OLOAD optimum";
+  price.quick_params = "25 permutations per K";
+  price.full_params = "100 permutations per K";
+  price.run = run_price_of_obliviousness;
+  registry.add(price);
+
+  Scenario worst;
+  worst.name = "worst_case_permutations";
+  worst.artifact = "extension";
+  worst.family = Family::kFlow;
+  worst.description = "Hill-climbing adversary searching the worst "
+                      "permutation per (heuristic, K)";
+  worst.quick_params = "600 steps x 2 restarts";
+  worst.full_params = "4000 steps x 6 restarts";
+  worst.run = run_worst_case;
+  registry.add(worst);
+
+  Scenario coll;
+  coll.name = "collectives_workloads";
+  coll.artifact = "extension";
+  coll.family = Family::kFlow;
+  coll.description = "Bandwidth-model slowdown of collectives (all-to-all, "
+                     "allreduce, stencil, transpose) per scheme";
+  coll.quick_params = "5 workloads x 6 schemes";
+  coll.full_params = "same (workloads are deterministic)";
+  coll.run = run_collectives;
+  registry.add(coll);
+
+  Scenario resil;
+  resil.name = "resilience_multipath";
+  resil.artifact = "extension";
+  resil.family = Family::kFlow;
+  resil.description = "Pair connectivity under random cable failures: K "
+                      "installed paths as static redundancy";
+  resil.quick_params = "20 trials x 1000 pair samples";
+  resil.full_params = "100 trials x 5000 pair samples";
+  resil.run = run_resilience;
+  registry.add(resil);
+}
+
+}  // namespace lmpr::engine

@@ -1,0 +1,35 @@
+#include "engine/shim.hpp"
+
+#include <exception>
+#include <iostream>
+
+#include "engine/runner.hpp"
+
+namespace lmpr::engine {
+
+int shim_main(int argc, const char* const* argv, const char* scenario_name) {
+  const util::Cli cli(argc, argv, {"full"});
+  CommonOptions options;
+  try {
+    options = CommonOptions::from_cli(cli);
+  } catch (const std::exception& error) {
+    std::cerr << cli.program() << ": " << error.what() << "\n"
+              << "supported flags: --full --csv PATH --seed N --workers N "
+                 "--topo SPEC\n";
+    return 2;
+  }
+  const Scenario* scenario = ScenarioRegistry::builtin().find(scenario_name);
+  if (scenario == nullptr) {
+    std::cerr << cli.program() << ": scenario '" << scenario_name
+              << "' is not registered\n";
+    return 1;
+  }
+  TextSink text(std::cout);
+  std::vector<ReportSink*> sinks{&text};
+  LegacyCsvSink csv(options.csv_path, std::cout);
+  if (!options.csv_path.empty()) sinks.push_back(&csv);
+  run_scenario(*scenario, options, sinks);
+  return 0;
+}
+
+}  // namespace lmpr::engine

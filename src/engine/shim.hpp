@@ -1,0 +1,15 @@
+// Entry point for the legacy per-figure bench binaries.  Each binary is
+// a 3-line main() delegating to shim_main with its scenario name, so
+// `./build/bench/fig4a_linkload_16port_2tree --full --csv out.csv` keeps
+// working byte-for-byte while the logic lives in the scenario registry.
+#pragma once
+
+namespace lmpr::engine {
+
+/// Parses the historical flag set (--full, --csv PATH, --seed N,
+/// --workers N, --topo SPEC), rejects unknown flags, runs the named
+/// scenario and prints it in the historical format.  Returns the process
+/// exit code.
+int shim_main(int argc, const char* const* argv, const char* scenario_name);
+
+}  // namespace lmpr::engine

@@ -1,0 +1,113 @@
+#include "engine/sinks.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace lmpr::engine {
+
+void TextSink::consume(const Report& report) {
+  for (const auto& section : report.sections) {
+    os_ << "== " << section.title
+        << (report.full_scale
+                ? " [full scale]"
+                : " [quick scale; pass --full for paper scale]")
+        << " ==\n";
+    section.table.print(os_);
+    os_ << std::flush;
+  }
+}
+
+void CsvDirSink::consume(const Report& report) {
+  for (std::size_t i = 0; i < report.sections.size(); ++i) {
+    std::string path = dir_;
+    path += '/';
+    path += report.scenario;
+    if (report.sections.size() > 1) {
+      path += '_';
+      path += std::to_string(i + 1);
+    }
+    path += ".csv";
+    if (!report.sections[i].table.write_csv_file(path)) {
+      std::cerr << "lmpr: csv export to " << path << " failed\n";
+    }
+  }
+}
+
+void LegacyCsvSink::consume(const Report& report) {
+  for (const auto& section : report.sections) {
+    if (section.table.write_csv_file(path_)) {
+      os_ << "csv written to " << path_ << "\n";
+    }
+  }
+}
+
+util::Json JsonSink::to_json(const Report& report) {
+  auto config = util::Json::object();
+  config.set("full", report.full_scale);
+  config.set("seed", report.seed);
+  config.set("workers", static_cast<std::uint64_t>(report.workers));
+  for (const auto& [key, value] : report.config) config.set(key, value);
+
+  auto metrics = util::Json::object();
+  for (const auto& metric : report.metrics) {
+    metrics.set(metric.name, metric.value);
+  }
+
+  auto series = util::Json::array();
+  for (const auto& section : report.sections) {
+    auto columns = util::Json::array();
+    for (const auto& header : section.table.headers()) columns.push(header);
+    auto rows = util::Json::array();
+    for (const auto& row : section.table.cells()) {
+      auto cells = util::Json::array();
+      for (const auto& cell : row) cells.push(cell);
+      rows.push(std::move(cells));
+    }
+    series.push(util::Json::object()
+                    .set("title", section.title)
+                    .set("columns", std::move(columns))
+                    .set("rows", std::move(rows)));
+  }
+
+  auto run = util::Json::object();
+  run.set("scenario", report.scenario);
+  run.set("artifact", report.artifact);
+  run.set("family", report.family);
+  run.set("scale", report.full_scale ? "full" : "quick");
+  run.set("seed", report.seed);
+  run.set("samples", static_cast<std::uint64_t>(report.samples));
+  run.set("converged", report.converged);
+  run.set("duration_seconds", report.duration_seconds);
+  run.set("config", std::move(config));
+  run.set("metrics", std::move(metrics));
+  run.set("series", std::move(series));
+  return run;
+}
+
+util::Json JsonSink::document(const std::vector<Report>& reports) {
+  auto runs = util::Json::array();
+  for (const auto& report : reports) runs.push(to_json(report));
+  return util::Json::object()
+      .set("schema", "lmpr-run-report/v1")
+      .set("runs", std::move(runs));
+}
+
+void JsonSink::consume(const Report& report) { runs_.push(to_json(report)); }
+
+void JsonSink::finish() {
+  auto doc = util::Json::object()
+                 .set("schema", "lmpr-run-report/v1")
+                 .set("runs", std::move(runs_));
+  std::ofstream out(path_);
+  if (!out) {
+    std::cerr << "lmpr: cannot open " << path_ << " for writing\n";
+    ok_ = false;
+    return;
+  }
+  doc.write(out, 2);
+  out << "\n";
+  ok_ = out.good();
+}
+
+}  // namespace lmpr::engine

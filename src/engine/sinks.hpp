@@ -1,0 +1,85 @@
+// Pluggable report sinks: the classic aligned-ASCII table stream, one
+// CSV file per scenario, and the machine-readable JSON run report that
+// stamps every run with its full provenance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/report.hpp"
+#include "util/json.hpp"
+
+namespace lmpr::engine {
+
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void consume(const Report& report) = 0;
+  /// Called once after the last report (file sinks flush here).
+  virtual void finish() {}
+};
+
+/// Prints each section exactly like the historical bench binaries:
+///   == <title> [quick scale; pass --full for paper scale] ==
+///   <aligned table>
+/// so driver/shim output stays byte-compatible with the per-figure
+/// binaries' quick- and full-scale runs.
+class TextSink : public ReportSink {
+ public:
+  explicit TextSink(std::ostream& os) : os_(os) {}
+  void consume(const Report& report) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Writes <dir>/<scenario>.csv (single-section scenarios) or
+/// <dir>/<scenario>_<i>.csv (multi-section).  Failures are reported to
+/// stderr and skipped; CSV export is best-effort like Table::write_csv_file.
+class CsvDirSink : public ReportSink {
+ public:
+  explicit CsvDirSink(std::string dir) : dir_(std::move(dir)) {}
+  void consume(const Report& report) override;
+
+ private:
+  std::string dir_;
+};
+
+/// Legacy `--csv PATH` behaviour of the per-figure binaries: every
+/// section is written to the same path in order (the last section wins
+/// for multi-section scenarios), with the historical confirmation line.
+class LegacyCsvSink : public ReportSink {
+ public:
+  LegacyCsvSink(std::string path, std::ostream& os)
+      : path_(std::move(path)), os_(os) {}
+  void consume(const Report& report) override;
+
+ private:
+  std::string path_;
+  std::ostream& os_;
+};
+
+/// Accumulates every run into one JSON document and writes it on
+/// finish().  Schema: {"schema": "lmpr-run-report/v1", "runs": [...]}.
+class JsonSink : public ReportSink {
+ public:
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+  void consume(const Report& report) override;
+  void finish() override;
+
+  /// False when finish() could not write the report file.
+  bool ok() const noexcept { return ok_; }
+
+  /// The JSON object for one report (exposed for tests and embedding).
+  static util::Json to_json(const Report& report);
+  /// The full document for a set of reports.
+  static util::Json document(const std::vector<Report>& reports);
+
+ private:
+  std::string path_;
+  util::Json runs_ = util::Json::array();
+  bool ok_ = true;
+};
+
+}  // namespace lmpr::engine

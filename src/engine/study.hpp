@@ -1,0 +1,151 @@
+// Shared study drivers used by several scenarios (formerly spread over
+// bench/bench_support.hpp, bench/fig4_common.hpp and
+// bench/flit_common.hpp).  Pure computation -- scenarios assemble the
+// results into Reports; sinks do the rendering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/route_table.hpp"
+#include "engine/context.hpp"
+#include "flit/network.hpp"
+#include "flit/sweep.hpp"
+#include "flow/permutation_study.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace lmpr::engine {
+
+/// The four routing series of Figure 4.
+inline std::vector<route::Heuristic> figure4_series() {
+  return {route::Heuristic::kDModK, route::Heuristic::kShift1,
+          route::Heuristic::kDisjoint, route::Heuristic::kRandom};
+}
+
+struct Figure4Run {
+  util::Table table;
+  std::size_t samples = 0;  ///< largest sample count over all cells
+  bool converged = true;    ///< every cell met the CI criterion
+};
+
+/// Runs one Figure-4 style study: average maximum permutation load per
+/// (heuristic, K), one table row per K value.
+inline Figure4Run run_figure4(const topo::Xgft& xgft,
+                              const std::vector<std::size_t>& k_values,
+                              const RunContext& ctx) {
+  Figure4Run run{util::Table({"K", "dmodk", "shift1", "disjoint", "random",
+                              "dmodk_perf", "shift1_perf", "disjoint_perf",
+                              "random_perf", "samples"})};
+  for (const std::size_t k : k_values) {
+    std::vector<std::string> row{util::Table::num(k)};
+    std::vector<std::string> perf_cells;
+    std::size_t samples = 0;
+    for (const route::Heuristic h : figure4_series()) {
+      flow::PermutationStudyConfig config;
+      config.heuristic = h;
+      config.k_paths = k;
+      config.stopping = ctx.stopping_rule();
+      config.seed = ctx.seed();
+      config.pool = &ctx.pool();
+      const auto result = flow::run_permutation_study(xgft, config);
+      row.push_back(util::Table::num(result.max_load.mean()));
+      perf_cells.push_back(util::Table::num(result.perf.mean()));
+      samples = std::max(samples, result.samples);
+      run.converged = run.converged && result.converged;
+    }
+    for (auto& cell : perf_cells) row.push_back(std::move(cell));
+    row.push_back(util::Table::num(samples));
+    run.table.add_row(std::move(row));
+    run.samples = std::max(run.samples, samples);
+  }
+  return run;
+}
+
+/// K sweep used by the Figure 4 scenarios: powers of two up to the
+/// topology's maximum path count (always including 1, 3 and the max),
+/// thinned in quick mode.
+inline std::vector<std::size_t> k_sweep(const topo::Xgft& xgft, bool full) {
+  const auto max_paths =
+      static_cast<std::size_t>(xgft.spec().num_top_switches());
+  std::vector<std::size_t> ks;
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    if (k <= max_paths) ks.push_back(k);
+  }
+  for (std::size_t k = 4; k < max_paths; k *= 2) ks.push_back(k);
+  if (ks.back() != max_paths) ks.push_back(max_paths);
+  if (!full && ks.size() > 5) {
+    // keep 1, 2, one middle value, max/2-ish and max
+    std::vector<std::size_t> slim{ks[0], ks[1], ks[ks.size() / 2],
+                                  ks[ks.size() - 2], ks.back()};
+    return slim;
+  }
+  return ks;
+}
+
+inline flit::SimConfig flit_base_config(bool full) {
+  flit::SimConfig config;
+  if (full) {
+    config.warmup_cycles = 10'000;
+    config.measure_cycles = 30'000;
+    config.drain_cycles = 10'000;
+  } else {
+    config.warmup_cycles = 3'000;
+    config.measure_cycles = 9'000;
+    config.drain_cycles = 3'000;
+  }
+  return config;
+}
+
+inline std::vector<double> flit_load_grid(bool full) {
+  return full ? flit::linspace_loads(0.10, 1.00, 10)
+              : std::vector<double>{0.3, 0.45, 0.6, 0.75, 0.9};
+}
+
+/// Permutation pairings shared across heuristics: pairing i is drawn from
+/// seed+i so every routing scheme faces identical traffic.
+inline std::vector<std::vector<std::uint64_t>> shared_pairings(
+    std::uint64_t hosts, std::uint64_t seed, std::size_t count) {
+  std::vector<std::vector<std::uint64_t>> pairings;
+  pairings.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    util::Rng rng{seed + i};
+    const auto perm = rng.permutation(static_cast<std::size_t>(hosts));
+    pairings.emplace_back(perm.begin(), perm.end());
+  }
+  return pairings;
+}
+
+struct SaturationResult {
+  double max_throughput = 0.0;      ///< mean over pairings
+  double delay_at_low_load = 0.0;   ///< mean message delay, first grid load
+  double reorder_at_high_load = 0.0;  ///< out-of-order fraction, last load
+};
+
+/// "Maximum throughput achieved" (paper Table 1): sweep the offered load,
+/// take the best accepted throughput, average over the shared pairings.
+inline SaturationResult measure_saturation(
+    const route::RouteTable& table, const flit::SimConfig& base,
+    const std::vector<double>& loads,
+    const std::vector<std::vector<std::uint64_t>>& pairings) {
+  SaturationResult result;
+  for (std::size_t i = 0; i < pairings.size(); ++i) {
+    flit::SimConfig config = base;
+    config.seed = base.seed + 1000 * (i + 1);
+    config.fixed_destinations = pairings[i];
+    const auto sweep = flit::run_load_sweep(table, config, loads);
+    result.max_throughput += sweep.max_throughput;
+    result.delay_at_low_load += sweep.points.front().mean_message_delay;
+    result.reorder_at_high_load += sweep.points.back().out_of_order_fraction;
+  }
+  const auto n = static_cast<double>(pairings.size());
+  result.max_throughput /= n;
+  result.delay_at_low_load /= n;
+  result.reorder_at_high_load /= n;
+  return result;
+}
+
+}  // namespace lmpr::engine

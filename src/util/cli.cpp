@@ -1,12 +1,13 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
-#include <string_view>
 
 namespace lmpr::util {
 
-Cli::Cli(int argc, const char* const* argv) {
+Cli::Cli(int argc, const char* const* argv,
+         std::initializer_list<std::string_view> switches) {
   if (argc > 0) program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -19,7 +20,10 @@ Cli::Cli(int argc, const char* const* argv) {
     if (auto eq = name.find('='); eq != std::string::npos) {
       value = name.substr(eq + 1);
       name = name.substr(0, eq);
-    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+    } else if (std::find(switches.begin(), switches.end(), name) ==
+                   switches.end() &&
+               i + 1 < argc &&
+               std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
       value = argv[++i];
     }
     flags_[name] = std::move(value);
@@ -27,10 +31,12 @@ Cli::Cli(int argc, const char* const* argv) {
 }
 
 bool Cli::has(const std::string& name) const {
+  queried_.insert(name);
   return flags_.contains(name);
 }
 
 std::optional<std::string> Cli::get(const std::string& name) const {
+  queried_.insert(name);
   if (auto it = flags_.find(name); it != flags_.end()) return it->second;
   return std::nullopt;
 }
@@ -59,6 +65,14 @@ bool Cli::get_or(const std::string& name, bool fallback) const {
   if (!v) return fallback;
   if (v->empty()) return true;  // bare --switch
   return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::string> Cli::unknown_flags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    if (!queried_.contains(name)) unknown.push_back(name);
+  }
+  return unknown;
 }
 
 bool full_scale_requested(const Cli& cli) {

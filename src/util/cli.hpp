@@ -1,14 +1,20 @@
-// A tiny command-line flag parser used by the bench and example binaries.
+// A tiny command-line flag parser used by the driver, bench and example
+// binaries.
 //
 // Conventions:  --name value   or   --name=value   or bare --switch.
-// Unknown flags are collected so callers can reject or forward them
-// (google-benchmark binaries forward the rest to the benchmark runner).
+// Every get/has call records the flag name as KNOWN; unknown_flags()
+// returns the flags that were present on the command line but never
+// queried, so callers can reject typos (--fulll) instead of silently
+// running with defaults.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace lmpr::util {
@@ -16,8 +22,11 @@ namespace lmpr::util {
 class Cli {
  public:
   /// Parses argv; does not take ownership.  Flags may appear at most once
-  /// (the last occurrence wins).
-  Cli(int argc, const char* const* argv);
+  /// (the last occurrence wins).  Names in `switches` are parsed as bare
+  /// boolean switches that never consume the following token, so
+  /// `prog run --full name` keeps `name` positional.
+  Cli(int argc, const char* const* argv,
+      std::initializer_list<std::string_view> switches = {});
 
   /// True if --name was present (with or without a value).
   bool has(const std::string& name) const;
@@ -30,6 +39,11 @@ class Cli {
   double get_or(const std::string& name, double fallback) const;
   bool get_or(const std::string& name, bool fallback) const;
 
+  /// Flags present on the command line that no get()/get_or()/has() call
+  /// ever asked about -- almost certainly typos.  Query every supported
+  /// flag first, then enforce this is empty.
+  std::vector<std::string> unknown_flags() const;
+
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const noexcept {
     return positional_;
@@ -41,6 +55,9 @@ class Cli {
   std::string program_;
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
+  /// Names some caller asked about; only flags outside this set count as
+  /// unknown.  Mutable because lookups are logically const.
+  mutable std::set<std::string> queried_;
 };
 
 /// Returns true when paper-scale ("full fidelity") runs were requested via

@@ -1,0 +1,123 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::util {
+
+Json& Json::push(Json value) {
+  LMPR_EXPECTS(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::set(std::string key, Json value) {
+  LMPR_EXPECTS(kind_ == Kind::kObject);
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+std::string Json::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  LMPR_ENSURES(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+std::string Json::number(std::int64_t value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  LMPR_ENSURES(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+void Json::write_indented(std::ostream& os, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto pad = [&](int level) {
+    if (pretty) {
+      os << '\n';
+      for (int i = 0; i < indent * level; ++i) os << ' ';
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kInt: os << number(int_); break;
+    case Kind::kDouble: os << number(double_); break;
+    case Kind::kString: os << '"' << escape(string_) << '"'; break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << ',';
+        pad(depth + 1);
+        array_[i].write_indented(os, indent, depth + 1);
+      }
+      pad(depth);
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) os << ',';
+        pad(depth + 1);
+        os << '"' << escape(object_[i].first) << "\":" << (pretty ? " " : "");
+        object_[i].second.write_indented(os, indent, depth + 1);
+      }
+      pad(depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_indented(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream oss;
+  write(oss, indent);
+  return oss.str();
+}
+
+}  // namespace lmpr::util

@@ -1,0 +1,84 @@
+// A minimal JSON document builder + writer for machine-readable run
+// reports.  Write-only by design (the experiment engine emits reports;
+// nothing in the library needs to parse them back), ordered objects so
+// emitted documents are byte-stable for golden-file tests, RFC 8259
+// escaping, and round-trippable number formatting (shortest decimal via
+// std::to_chars).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lmpr::util {
+
+/// An owned JSON value: null, bool, integer, double, string, array or
+/// object.  Objects preserve insertion order.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() noexcept : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) noexcept : kind_(Kind::kNull) {}  // NOLINT
+  Json(bool value) noexcept : kind_(Kind::kBool), bool_(value) {}  // NOLINT
+  Json(double value) noexcept : kind_(Kind::kDouble), double_(value) {}  // NOLINT
+  Json(std::int64_t value) noexcept : kind_(Kind::kInt), int_(value) {}  // NOLINT
+  Json(int value) noexcept : Json(static_cast<std::int64_t>(value)) {}  // NOLINT
+  Json(std::uint64_t value) noexcept  // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(value)) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}  // NOLINT
+  Json(std::string_view value) : Json(std::string(value)) {}  // NOLINT
+  Json(const char* value) : Json(std::string(value)) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const noexcept { return kind_; }
+
+  /// Appends to an array (the value must be an array).
+  Json& push(Json value);
+
+  /// Appends a key to an object (the value must be an object).  Keys are
+  /// not deduplicated; emit each key once.
+  Json& set(std::string key, Json value);
+
+  /// Serializes with 2-space indentation per level; indent < 0 emits the
+  /// compact single-line form.
+  std::string dump(int indent = 2) const;
+  void write(std::ostream& os, int indent = 2) const;
+
+  /// JSON string escaping of the RFC 8259 two-character forms plus \u00XX
+  /// for remaining control characters.  Exposed for tests.
+  static std::string escape(std::string_view text);
+
+  /// Round-trippable number text: integers print exactly; finite doubles
+  /// print the shortest decimal that parses back to the same bits
+  /// (std::to_chars); non-finite doubles degrade to null (JSON has no
+  /// NaN/Inf).  Exposed for tests.
+  static std::string number(double value);
+  static std::string number(std::int64_t value);
+
+ private:
+  void write_indented(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace lmpr::util

@@ -50,19 +50,24 @@ void ThreadPool::run_share(Batch& batch) {
 void ThreadPool::worker_loop() {
   for (;;) {
     Batch* batch = nullptr;
+    std::uint64_t epoch = 0;
     {
       std::unique_lock lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || current_ != nullptr; });
       if (stopping_) return;
       batch = current_;
+      epoch = epoch_;
+      ++active_;
     }
     run_share(*batch);
-    // This worker ran out of indices; wait for the batch to be retired
-    // before sleeping on wake_ again, otherwise it would busy-loop on the
-    // same (still-current) batch.
+    // This worker ran out of indices.  Drop out of the batch (the caller
+    // must not destroy it while any worker is inside run_share) and wait
+    // for retirement -- tracked by epoch, not the batch address, because
+    // the next batch frequently reuses the same stack slot.
     std::unique_lock lock(mutex_);
-    finished_.wait(lock,
-                   [this, batch] { return stopping_ || current_ != batch; });
+    --active_;
+    finished_.notify_all();
+    finished_.wait(lock, [this, epoch] { return stopping_ || epoch_ != epoch; });
   }
 }
 
@@ -85,15 +90,19 @@ void ThreadPool::parallel_for(std::size_t count,
   wake_.notify_all();
   run_share(batch);  // the caller participates
 
-  // Wait for stragglers.
+  // Wait until every index completed AND every worker has left
+  // run_share: `batch` lives on this stack frame, so returning while a
+  // straggler still probes batch.next would be a use-after-free.
   {
     std::unique_lock lock(mutex_);
-    finished_.wait(lock, [&batch] {
-      return batch.done.load(std::memory_order_acquire) >= batch.count;
+    finished_.wait(lock, [this, &batch] {
+      return batch.done.load(std::memory_order_acquire) >= batch.count &&
+             active_ == 0;
     });
     current_ = nullptr;
+    ++epoch_;  // retire the batch; parked workers return to wake_
   }
-  finished_.notify_all();  // release workers parked on batch retirement
+  finished_.notify_all();
 
   if (batch.error) std::rethrow_exception(batch.error);
 }

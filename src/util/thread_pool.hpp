@@ -60,7 +60,9 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable finished_;
-  Batch* current_ = nullptr;  // guarded by mutex_
+  Batch* current_ = nullptr;       // guarded by mutex_
+  std::size_t active_ = 0;         // workers inside run_share; guarded by mutex_
+  std::uint64_t epoch_ = 0;        // bumped on batch retirement; guarded by mutex_
   bool stopping_ = false;
 };
 

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/runner.hpp"
+
+#ifndef LMPR_GOLDEN_DIR
+#define LMPR_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace lmpr::engine;
+using lmpr::util::Cli;
+
+Cli make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench");
+  return Cli(static_cast<int>(args.size()), args.data(), {"full"});
+}
+
+TEST(ScenarioRegistry, ContainsEveryMigratedScenario) {
+  const auto& registry = ScenarioRegistry::builtin();
+  for (const char* name :
+       {"fig4a", "fig4b", "fig4c", "fig4d", "table1", "fig5", "theorem1",
+        "theorem2", "ablation_level_balance", "ablation_lid_cost",
+        "ablation_path_granularity", "ablation_destination_mode",
+        "ablation_lft_realizability", "ablation_virtual_channels",
+        "adaptive_vs_oblivious", "collectives_workloads",
+        "oversubscribed_tree", "patterns_structured",
+        "price_of_obliviousness", "resilience_multipath", "smodk_vs_dmodk",
+        "worst_case_permutations"}) {
+    const Scenario* scenario = registry.find(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    EXPECT_FALSE(scenario->description.empty()) << name;
+    EXPECT_FALSE(scenario->artifact.empty()) << name;
+    EXPECT_FALSE(scenario->quick_params.empty()) << name;
+    EXPECT_FALSE(scenario->full_params.empty()) << name;
+    EXPECT_TRUE(scenario->run != nullptr) << name;
+  }
+  EXPECT_EQ(registry.all().size(), 22u);
+}
+
+TEST(ScenarioRegistry, FindIsExactMatchOnly) {
+  const auto& registry = ScenarioRegistry::builtin();
+  EXPECT_EQ(registry.find("fig4"), nullptr);
+  EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
+}
+
+TEST(GlobMatch, PatternSemantics) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("fig4?", "fig4a"));
+  EXPECT_FALSE(glob_match("fig4?", "fig4"));
+  EXPECT_FALSE(glob_match("fig4?", "fig4ab"));
+  EXPECT_TRUE(glob_match("ablation_*", "ablation_lid_cost"));
+  EXPECT_FALSE(glob_match("ablation_*", "adaptive_vs_oblivious"));
+  EXPECT_TRUE(glob_match("*mod*", "smodk_vs_dmodk"));
+  EXPECT_TRUE(glob_match("theorem1", "theorem1"));
+  EXPECT_FALSE(glob_match("theorem1", "theorem2"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(ScenarioRegistry, MatchReturnsRegistrationOrder) {
+  const auto matched = ScenarioRegistry::builtin().match("fig4?");
+  ASSERT_EQ(matched.size(), 4u);
+  EXPECT_EQ(matched[0]->name, "fig4a");
+  EXPECT_EQ(matched[1]->name, "fig4b");
+  EXPECT_EQ(matched[2]->name, "fig4c");
+  EXPECT_EQ(matched[3]->name, "fig4d");
+}
+
+TEST(CommonOptions, ParsesSharedFlags) {
+  const auto cli = make_cli(
+      {"--full", "--seed", "11", "--workers", "3", "--topo", "2;8,8;1,8",
+       "--csv", "/tmp/out.csv"});
+  const auto options = CommonOptions::from_cli(cli);
+  EXPECT_TRUE(options.full);
+  EXPECT_EQ(options.seed, 11u);
+  EXPECT_EQ(options.workers, 3u);
+  EXPECT_EQ(options.topo, "2;8,8;1,8");
+  EXPECT_EQ(options.csv_path, "/tmp/out.csv");
+}
+
+TEST(CommonOptions, RejectsUnknownFlagsWithOffenderListed) {
+  const auto cli = make_cli({"--fulll"});
+  try {
+    CommonOptions::from_cli(cli);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--fulll"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(CommonOptions, CallerQueriedFlagsAreNotUnknown) {
+  const auto cli = make_cli({"--json", "/tmp/report.json", "--seed", "5"});
+  EXPECT_EQ(cli.get_or("json", ""), "/tmp/report.json");
+  const auto options = CommonOptions::from_cli(cli);  // must not throw
+  EXPECT_EQ(options.seed, 5u);
+}
+
+TEST(RunContext, DerivedSeedIsDeterministicAndTagSensitive) {
+  CommonOptions options;
+  options.seed = 7;
+  const RunContext a(options);
+  const RunContext b(options);
+  EXPECT_EQ(a.derived_seed("fig5"), b.derived_seed("fig5"));
+  EXPECT_NE(a.derived_seed("fig5"), a.derived_seed("table1"));
+  options.seed = 8;
+  const RunContext c(options);
+  EXPECT_NE(a.derived_seed("fig5"), c.derived_seed("fig5"));
+}
+
+Report run_theorem1_quick() {
+  const Scenario* scenario = ScenarioRegistry::builtin().find("theorem1");
+  if (scenario == nullptr) throw std::runtime_error("theorem1 missing");
+  CommonOptions options;
+  options.seed = 7;
+  options.workers = 2;
+  Report report = run_scenario(*scenario, options, {});
+  report.duration_seconds = 0.0;  // the only nondeterministic field
+  return report;
+}
+
+TEST(JsonReport, StampsProvenance) {
+  const Report report = run_theorem1_quick();
+  EXPECT_EQ(report.scenario, "theorem1");
+  EXPECT_EQ(report.family, "flow");
+  EXPECT_FALSE(report.full_scale);
+  EXPECT_EQ(report.seed, 7u);
+  EXPECT_TRUE(report.converged);
+  EXPECT_GT(report.samples, 0u);
+
+  const std::string text = JsonSink::to_json(report).dump(2);
+  for (const char* needle :
+       {"\"scenario\": \"theorem1\"", "\"artifact\": \"Theorem 1\"",
+        "\"family\": \"flow\"", "\"scale\": \"quick\"", "\"seed\": 7",
+        "\"converged\": true", "\"samples\":", "\"duration_seconds\": 0",
+        "\"config\":", "\"metrics\":", "\"series\":"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing " << needle << " in:\n" << text;
+  }
+}
+
+// Golden-file test: the quick-scale theorem1 JSON report must stay
+// byte-stable (schema AND numbers) for seed 7.  Regenerate consciously
+// with:  build/lmpr run theorem1 --seed 7 --workers 2 --json <golden>
+// then zero the duration_seconds field.
+TEST(JsonReport, Theorem1QuickGoldenFile) {
+  const Report report = run_theorem1_quick();
+  const std::string got =
+      JsonSink::document({report}).dump(2) + "\n";
+
+  const std::string path =
+      std::string(LMPR_GOLDEN_DIR) + "/theorem1_quick.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "theorem1 quick report drifted from " << path;
+}
+
+}  // namespace

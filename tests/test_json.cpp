@@ -1,0 +1,118 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using lmpr::util::Json;
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(Json::escape("hello world"), "hello world");
+  EXPECT_EQ(Json::escape(""), "");
+  EXPECT_EQ(Json::escape("16-port 2-tree; K=4"), "16-port 2-tree; K=4");
+}
+
+TEST(JsonEscape, EscapesRfc8259TwoCharForms) {
+  EXPECT_EQ(Json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Json::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(Json::escape("a\rb"), "a\\rb");
+  EXPECT_EQ(Json::escape("a\tb"), "a\\tb");
+  EXPECT_EQ(Json::escape("a\bb"), "a\\bb");
+  EXPECT_EQ(Json::escape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscape, EscapesRemainingControlCharsAsU00XX) {
+  EXPECT_EQ(Json::escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(Json::escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(Json::escape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(JsonEscape, LeavesUtf8BytesIntact) {
+  // Multi-byte UTF-8 (here: a right arrow) must pass through unescaped.
+  EXPECT_EQ(Json::escape("a\xe2\x86\x92z"), "a\xe2\x86\x92z");
+}
+
+TEST(JsonNumber, IntegersPrintExactly) {
+  EXPECT_EQ(Json::number(std::int64_t{0}), "0");
+  EXPECT_EQ(Json::number(std::int64_t{-7}), "-7");
+  EXPECT_EQ(Json::number(std::int64_t{9007199254740993}), "9007199254740993");
+}
+
+TEST(JsonNumber, DoublesRoundTripThroughShortestForm) {
+  for (const double value : {0.1, 1.0 / 3.0, 2.5, 100.0, -0.875, 1e-20,
+                             6.02214076e23, 0.30000000000000004}) {
+    const std::string text = Json::number(value);
+    double parsed = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    ASSERT_EQ(ec, std::errc{}) << text;
+    ASSERT_EQ(ptr, text.data() + text.size()) << text;
+    EXPECT_EQ(parsed, value) << text;
+  }
+}
+
+TEST(JsonNumber, NonFiniteDegradesToNull) {
+  EXPECT_EQ(Json::number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(Json::number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(Json::number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonDump, ScalarForms) {
+  EXPECT_EQ(Json().dump(-1), "null");
+  EXPECT_EQ(Json(nullptr).dump(-1), "null");
+  EXPECT_EQ(Json(true).dump(-1), "true");
+  EXPECT_EQ(Json(false).dump(-1), "false");
+  EXPECT_EQ(Json(42).dump(-1), "42");
+  EXPECT_EQ(Json(2.5).dump(-1), "2.5");
+  EXPECT_EQ(Json("hi\n").dump(-1), "\"hi\\n\"");
+}
+
+TEST(JsonDump, CompactContainers) {
+  auto arr = Json::array();
+  arr.push(1).push("two").push(Json::array());
+  EXPECT_EQ(arr.dump(-1), "[1,\"two\",[]]");
+
+  auto obj = Json::object();
+  obj.set("b", 1).set("a", Json::object());
+  // Insertion order is preserved; keys are NOT sorted.
+  EXPECT_EQ(obj.dump(-1), "{\"b\":1,\"a\":{}}");
+}
+
+TEST(JsonDump, IndentedFormIsStable) {
+  auto obj = Json::object();
+  obj.set("name", "fig4a");
+  auto ks = Json::array();
+  ks.push(1).push(2).push(4);
+  obj.set("k", std::move(ks));
+  EXPECT_EQ(obj.dump(2),
+            "{\n"
+            "  \"name\": \"fig4a\",\n"
+            "  \"k\": [\n"
+            "    1,\n"
+            "    2,\n"
+            "    4\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(JsonDump, EmptyContainersStayOnOneLine) {
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+TEST(JsonDump, WriteMatchesDump) {
+  auto obj = Json::object();
+  obj.set("x", 1.5).set("y", Json::array());
+  std::ostringstream os;
+  obj.write(os, 2);
+  EXPECT_EQ(os.str(), obj.dump(2));
+}
+
+}  // namespace

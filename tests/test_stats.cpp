@@ -121,6 +121,66 @@ TEST(CiStoppingRule, DoublingSchedule) {
   EXPECT_EQ(rule.next_batch_target(800), 1000u);  // clamped to the cap
 }
 
+TEST(CiStoppingRule, CapStopsEvenWhenCiNeverConverges) {
+  CiStoppingRule rule;
+  rule.initial_samples = 2;
+  rule.max_samples = 16;
+  rule.relative_precision = 1e-12;  // unreachable precision
+  OnlineStats stats;
+  lmpr::util::Rng rng{11};
+  for (int i = 0; i < 15; ++i) stats.add(rng.uniform01() * 100.0);
+  ASSERT_FALSE(rule.satisfied(stats));  // below the cap, CI still too wide
+  stats.add(rng.uniform01() * 100.0);
+  EXPECT_TRUE(rule.satisfied(stats));  // exactly at the cap
+  stats.add(rng.uniform01() * 100.0);
+  EXPECT_TRUE(rule.satisfied(stats));  // and beyond it
+}
+
+TEST(CiStoppingRule, InitialBatchAlreadySatisfied) {
+  // Low-variance data whose CI is inside the precision band as soon as
+  // the initial batch completes: no doubling round should be needed.
+  CiStoppingRule rule;
+  rule.initial_samples = 100;
+  rule.relative_precision = 0.02;
+  OnlineStats stats;
+  lmpr::util::Rng rng{13};
+  for (int i = 0; i < 99; ++i) stats.add(50.0 + 0.01 * rng.uniform01());
+  EXPECT_FALSE(rule.satisfied(stats));  // one short of the initial batch
+  stats.add(50.0);
+  EXPECT_TRUE(rule.satisfied(stats));
+  EXPECT_EQ(stats.count(), rule.initial_samples);
+}
+
+TEST(CiStoppingRule, NegativeMeanUsesAbsoluteValue) {
+  CiStoppingRule rule;
+  rule.initial_samples = 100;
+  OnlineStats stats;
+  lmpr::util::Rng rng{15};
+  for (int i = 0; i < 100; ++i) stats.add(-50.0 - 0.01 * rng.uniform01());
+  EXPECT_TRUE(rule.satisfied(stats));
+}
+
+TEST(CiStoppingRule, DoublingScheduleNonPowerOfTwoInitial) {
+  CiStoppingRule rule;
+  rule.initial_samples = 30;
+  rule.max_samples = 120;
+  EXPECT_EQ(rule.next_batch_target(0), 30u);
+  EXPECT_EQ(rule.next_batch_target(29), 30u);
+  EXPECT_EQ(rule.next_batch_target(30), 60u);
+  EXPECT_EQ(rule.next_batch_target(60), 120u);
+  EXPECT_EQ(rule.next_batch_target(61), 120u);  // 122 clamps to the cap
+}
+
+TEST(CiStoppingRule, DoublingScheduleClampsAtCap) {
+  CiStoppingRule rule;
+  rule.initial_samples = 100;
+  rule.max_samples = 1000;
+  // Past the cap the schedule keeps returning the cap; satisfied() is
+  // already true there, so callers never loop on it.
+  EXPECT_EQ(rule.next_batch_target(1000), 1000u);
+  EXPECT_EQ(rule.next_batch_target(5000), 1000u);
+}
+
 TEST(CiStoppingRule, ZeroMeanDegenerateStops) {
   CiStoppingRule rule;
   rule.initial_samples = 3;

@@ -98,6 +98,42 @@ TEST(Cli, MissingFlagsUseFallbacks) {
   EXPECT_EQ(cli.get_or("name", "dflt"), "dflt");
 }
 
+TEST(Cli, UnknownFlagsAreThePresentButNeverQueriedOnes) {
+  const char* argv[] = {"prog", "--seed", "7", "--fulll", "--wrkers", "2"};
+  const Cli cli(6, argv);
+  EXPECT_EQ(cli.get_or("seed", std::int64_t{0}), 7);
+  const auto unknown = cli.unknown_flags();
+  ASSERT_EQ(unknown.size(), 2u);
+  // Sorted for stable error messages.
+  EXPECT_EQ(unknown[0], "fulll");
+  EXPECT_EQ(unknown[1], "wrkers");
+}
+
+TEST(Cli, QueryingViaHasMarksFlagKnown) {
+  const char* argv[] = {"prog", "--verbose"};
+  const Cli cli(2, argv);
+  EXPECT_EQ(cli.unknown_flags().size(), 1u);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_TRUE(cli.unknown_flags().empty());
+}
+
+TEST(Cli, NoFlagsMeansNoUnknownFlags) {
+  const char* argv[] = {"prog", "pos1", "pos2"};
+  const Cli cli(3, argv);
+  EXPECT_TRUE(cli.unknown_flags().empty());
+}
+
+TEST(Cli, SwitchListKeepsFollowingPositional) {
+  // `run --full fig4a`: "full" is declared a switch, so it must NOT
+  // swallow the scenario name as its value.
+  const char* argv[] = {"prog", "run", "--full", "fig4a"};
+  const Cli cli(4, argv, {"full"});
+  EXPECT_TRUE(cli.get_or("full", false));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "run");
+  EXPECT_EQ(cli.positional()[1], "fig4a");
+}
+
 TEST(Cli, LastOccurrenceWins) {
   const char* argv[] = {"prog", "--k", "1", "--k", "2"};
   const Cli cli(5, argv);

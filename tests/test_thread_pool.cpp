@@ -81,6 +81,21 @@ TEST(ThreadPool, PermutationStudyIdenticalWithAndWithoutPool) {
   EXPECT_DOUBLE_EQ(serial.perf.mean(), parallel.perf.mean());
 }
 
+TEST(ThreadPool, RepeatedReuseOfOnePoolIsSafe) {
+  // Regression test: a straggler worker used to probe the (stack-
+  // allocated) batch of a *finished* parallel_for after the caller had
+  // already returned, which intermittently crashed scenarios that reuse
+  // one pool for many back-to-back batches.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 500; ++round) {
+    pool.parallel_for(8, [&total](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 500u * 8u);
+}
+
 TEST(ThreadPool, WorstCaseSearchIdenticalWithAndWithoutPool) {
   using namespace lmpr;
   const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(4, 2)};
