@@ -12,10 +12,11 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto spec = topo::XgftSpec::parse(
       cli.get_or("topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
-  const auto heuristic =
-      route::heuristic_from_string(cli.get_or("heuristic", "disjoint"));
-  if (!heuristic) {
-    std::cerr << "unknown heuristic\n";
+  route::Heuristic heuristic = route::Heuristic::kDisjoint;
+  try {
+    heuristic = route::parse_heuristic(cli.get_or("heuristic", "disjoint"));
+  } catch (const std::invalid_argument& error) {
+    std::cerr << error.what() << "\n";
     return 1;
   }
   const auto k = static_cast<std::size_t>(cli.get_or("k", std::int64_t{8}));
@@ -23,7 +24,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_or("points", std::int64_t{6}));
 
   const topo::Xgft xgft{spec};
-  const route::RouteTable table(xgft, *heuristic, k,
+  const route::RouteTable table(xgft, heuristic, k,
                                 static_cast<std::uint64_t>(
                                     cli.get_or("seed", std::int64_t{42})));
 
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{42}));
 
   std::cout << "flit-level sweep on " << spec.to_string() << ", "
-            << to_string(*heuristic) << "(K=" << k << "), packet "
+            << to_string(heuristic) << "(K=" << k << "), packet "
             << config.packet_flits << " flits, message "
             << config.message_packets << " packets, buffers "
             << config.buffer_packets << " packets\n";

@@ -13,17 +13,16 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto spec = topo::XgftSpec::parse(
       cli.get_or("topo", topo::XgftSpec::m_port_n_tree(8, 3).to_string()));
-  const auto heuristic_name = cli.get_or("heuristic", "disjoint");
-  const auto heuristic = route::heuristic_from_string(heuristic_name);
-  if (!heuristic) {
-    std::cerr << "unknown heuristic '" << heuristic_name
-              << "' (try dmodk, smodk, random1, shift1, disjoint, random, "
-                 "umulti)\n";
+  route::Heuristic heuristic = route::Heuristic::kDisjoint;
+  try {
+    heuristic = route::parse_heuristic(cli.get_or("heuristic", "disjoint"));
+  } catch (const std::invalid_argument& error) {
+    std::cerr << error.what() << "\n";
     return 1;
   }
 
   flow::PermutationStudyConfig config;
-  config.heuristic = *heuristic;
+  config.heuristic = heuristic;
   config.k_paths = static_cast<std::size_t>(cli.get_or("k", std::int64_t{4}));
   config.seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{7}));
   config.stopping.initial_samples = static_cast<std::size_t>(
@@ -35,7 +34,7 @@ int main(int argc, char** argv) {
   const topo::Xgft xgft{spec};
   std::cout << "running on " << spec.to_string() << " ("
             << xgft.num_hosts() << " hosts), heuristic "
-            << to_string(*heuristic) << ", K = " << config.k_paths
+            << to_string(heuristic) << ", K = " << config.k_paths
             << " ...\n";
   const auto result = flow::run_permutation_study(xgft, config);
 

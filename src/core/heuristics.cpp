@@ -1,6 +1,7 @@
 #include "core/heuristics.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/path_index.hpp"
 #include "core/single_path.hpp"
@@ -21,17 +22,37 @@ std::string_view to_string(Heuristic heuristic) {
   return "unknown";
 }
 
+const std::vector<Heuristic>& all_heuristics() {
+  static const std::vector<Heuristic> all = {
+      Heuristic::kDModK,  Heuristic::kSModK,    Heuristic::kRandomSingle,
+      Heuristic::kShift1, Heuristic::kDisjoint, Heuristic::kRandom,
+      Heuristic::kUmulti};
+  return all;
+}
+
 std::optional<Heuristic> heuristic_from_string(std::string_view name) {
-  for (Heuristic h : {Heuristic::kDModK, Heuristic::kSModK,
-                      Heuristic::kRandomSingle, Heuristic::kShift1,
-                      Heuristic::kDisjoint, Heuristic::kRandom,
-                      Heuristic::kUmulti}) {
+  for (Heuristic h : all_heuristics()) {
     if (to_string(h) == name) return h;
   }
   if (name == "d-mod-k") return Heuristic::kDModK;
   if (name == "s-mod-k") return Heuristic::kSModK;
   if (name == "shift-1") return Heuristic::kShift1;
   return std::nullopt;
+}
+
+std::string heuristic_names() {
+  std::string names;
+  for (Heuristic h : all_heuristics()) {
+    if (!names.empty()) names += ", ";
+    names += to_string(h);
+  }
+  return names + " (aliases: d-mod-k, s-mod-k, shift-1)";
+}
+
+Heuristic parse_heuristic(std::string_view name) {
+  if (const auto heuristic = heuristic_from_string(name)) return *heuristic;
+  throw std::invalid_argument("unknown heuristic '" + std::string(name) +
+                              "'; valid names: " + heuristic_names());
 }
 
 bool is_single_path(Heuristic heuristic) {

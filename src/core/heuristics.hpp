@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -38,9 +39,23 @@ enum class Heuristic {
   kUmulti,        ///< all X paths (unlimited multi-path; K is ignored)
 };
 
+/// Every heuristic, in enum order -- the single source of truth sweeps
+/// and parsers iterate.
+const std::vector<Heuristic>& all_heuristics();
+
 /// Lowercase stable names ("dmodk", "shift1", "disjoint", ...).
 std::string_view to_string(Heuristic heuristic);
+/// Accepts the stable names plus the paper's hyphenated spellings
+/// ("d-mod-k", "s-mod-k", "shift-1"); nullopt for anything else.
 std::optional<Heuristic> heuristic_from_string(std::string_view name);
+
+/// Comma-separated list of every accepted name, for diagnostics.
+std::string heuristic_names();
+
+/// Like heuristic_from_string, but throws std::invalid_argument naming
+/// the bad input and listing the valid spellings -- the parse path CLI
+/// frontends surface directly.
+Heuristic parse_heuristic(std::string_view name);
 
 /// True when the scheme uses exactly one path regardless of K.
 bool is_single_path(Heuristic heuristic);

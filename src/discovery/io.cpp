@@ -1,23 +1,36 @@
 #include "discovery/io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace lmpr::discovery {
 
 namespace {
 
-[[noreturn]] void parse_error(std::size_t line, const std::string& message) {
-  throw std::runtime_error("fabric parse error at line " +
-                           std::to_string(line) + ": " + message);
+FabricParseResult fail(std::size_t line, const std::string& message) {
+  FabricParseResult result;
+  result.error = "fabric parse error at line " + std::to_string(line) + ": " +
+                 message;
+  return result;
+}
+
+std::uint64_t cable_key(std::uint32_t u, std::uint32_t v) {
+  const std::uint64_t lo = std::min(u, v);
+  const std::uint64_t hi = std::max(u, v);
+  return (lo << 32) | hi;
 }
 
 }  // namespace
 
-RawFabric load_fabric(std::istream& in) {
-  RawFabric fabric;
+FabricParseResult try_load_fabric(std::istream& in) {
+  FabricParseResult result;
+  RawFabric& fabric = result.fabric;
   bool have_header = false;
+  std::unordered_set<std::uint64_t> seen_cables;
+  std::unordered_set<std::uint32_t> seen_hosts;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -29,46 +42,94 @@ RawFabric load_fabric(std::istream& in) {
     std::string keyword;
     if (!(iss >> keyword)) continue;  // blank / comment-only line
 
+    bool bad = false;
     auto read_id = [&]() -> std::uint32_t {
       std::uint64_t value = 0;
-      if (!(iss >> value)) parse_error(line_no, "expected a node id");
-      if (!have_header) parse_error(line_no, "'fabric' header must come first");
+      if (!(iss >> value)) {
+        result = fail(line_no, "truncated '" + keyword + "': expected a node id");
+        bad = true;
+        return 0;
+      }
+      if (!have_header) {
+        result = fail(line_no, "'fabric' header must come first");
+        bad = true;
+        return 0;
+      }
       if (value >= fabric.num_nodes) {
-        parse_error(line_no, "node id " + std::to_string(value) +
-                                 " out of range");
+        result = fail(line_no,
+                      "node id " + std::to_string(value) + " out of range");
+        bad = true;
+        return 0;
       }
       return static_cast<std::uint32_t>(value);
     };
 
     if (keyword == "fabric") {
-      if (have_header) parse_error(line_no, "duplicate 'fabric' header");
+      if (have_header) return fail(line_no, "duplicate 'fabric' header");
       std::uint64_t count = 0;
       if (!(iss >> count) || count == 0) {
-        parse_error(line_no, "expected a positive node count");
+        return fail(line_no, "expected a positive node count");
       }
       fabric.num_nodes = static_cast<std::uint32_t>(count);
       have_header = true;
     } else if (keyword == "host") {
       std::uint64_t peek = 0;
-      if (!have_header) parse_error(line_no, "'fabric' header must come first");
+      if (!have_header) {
+        return fail(line_no, "'fabric' header must come first");
+      }
       while (iss >> peek) {
         if (peek >= fabric.num_nodes) {
-          parse_error(line_no, "host id out of range");
+          return fail(line_no, "host id out of range");
         }
-        fabric.hosts.push_back(static_cast<std::uint32_t>(peek));
+        const auto id = static_cast<std::uint32_t>(peek);
+        if (!seen_hosts.insert(id).second) {
+          return fail(line_no,
+                      "host " + std::to_string(id) + " listed twice");
+        }
+        fabric.hosts.push_back(id);
       }
     } else if (keyword == "cable") {
       const std::uint32_t u = read_id();
+      if (bad) return result;
       const std::uint32_t v = read_id();
+      if (bad) return result;
+      if (!seen_cables.insert(cable_key(u, v)).second) {
+        return fail(line_no, "duplicate cable between " + std::to_string(u) +
+                                 " and " + std::to_string(v));
+      }
       fabric.cables.emplace_back(u, v);
     } else {
-      parse_error(line_no, "unknown directive '" + keyword + "'");
+      return fail(line_no, "unknown directive '" + keyword + "'");
+    }
+    iss.clear();  // a stopped numeric read leaves failbit set
+    std::string leftover;
+    if (iss >> leftover) {
+      return fail(line_no, "unexpected token '" + leftover + "' after '" +
+                               keyword + "'");
     }
   }
   if (!have_header) {
-    throw std::runtime_error("fabric parse error: missing 'fabric' header");
+    result.error = "fabric parse error: missing 'fabric' header";
+    return result;
   }
-  return fabric;
+  result.ok = true;
+  return result;
+}
+
+FabricParseResult try_load_fabric_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    FabricParseResult result;
+    result.error = "cannot open fabric file " + path;
+    return result;
+  }
+  return try_load_fabric(in);
+}
+
+RawFabric load_fabric(std::istream& in) {
+  auto result = try_load_fabric(in);
+  if (!result.ok) throw std::runtime_error(result.error);
+  return std::move(result.fabric);
 }
 
 void save_fabric(const RawFabric& fabric, std::ostream& out) {
@@ -83,9 +144,9 @@ void save_fabric(const RawFabric& fabric, std::ostream& out) {
 }
 
 RawFabric load_fabric_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open fabric file " + path);
-  return load_fabric(in);
+  auto result = try_load_fabric_file(path);
+  if (!result.ok) throw std::runtime_error(result.error);
+  return std::move(result.fabric);
 }
 
 void save_fabric_file(const RawFabric& fabric, const std::string& path) {

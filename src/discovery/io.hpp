@@ -9,8 +9,10 @@
 //   cable <u> <v>
 //   ...
 //
-// Parsing is strict: unknown directives, out-of-range ids or a missing
-// header throw std::runtime_error with a line number.
+// Parsing is strict: unknown directives, out-of-range ids, duplicate
+// cables or hosts, and a missing header are all rejected with a
+// line-numbered diagnostic.  try_load_fabric reports them as ok = false;
+// the load_fabric wrappers throw std::runtime_error with the same text.
 #pragma once
 
 #include <iosfwd>
@@ -19,6 +21,17 @@
 #include "discovery/recognize.hpp"
 
 namespace lmpr::discovery {
+
+/// Total (non-throwing) parse result: when !ok, `error` carries the
+/// line-numbered diagnostic and `fabric` must not be used.
+struct FabricParseResult {
+  bool ok = false;
+  std::string error;
+  RawFabric fabric;
+};
+
+FabricParseResult try_load_fabric(std::istream& in);
+FabricParseResult try_load_fabric_file(const std::string& path);
 
 RawFabric load_fabric(std::istream& in);
 void save_fabric(const RawFabric& fabric, std::ostream& out);

@@ -11,12 +11,16 @@
 // JSON run report stamping scenario, config, seed, samples, convergence
 // and wall-clock duration.
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "discovery/io.hpp"
+#include "engine/fm_support.hpp"
 #include "engine/runner.hpp"
 
 namespace {
@@ -31,10 +35,19 @@ int usage(std::ostream& os, int code) {
         "  lmpr run <scenario...|all> [--full] [--json PATH] "
         "[--csv-dir DIR]\n"
         "           [--seed N] [--workers N] [--filter GLOB] [--topo SPEC]\n"
+        "  lmpr fm [--script PATH] [--topo SPEC | --fabric FILE] [--k N]\n"
+        "          [--layout disjoint|shift] [--json PATH] [--zero-timings]\n"
         "\n"
         "Scenario names accept globs (e.g. 'fig4?', 'ablation_*').  Pass\n"
         "--full (or set LMPR_FULL=1) for paper-scale runs; the default is\n"
-        "quick scale.\n";
+        "quick scale.\n"
+        "\n"
+        "`fm` replays a fabric-manager event script (cable_down <u> <v>,\n"
+        "cable_up <u> <v>, switch_down <s>, query <src> <dst>; one per\n"
+        "line, '#' comments) against the managed fabric, repairing the\n"
+        "LFTs incrementally after every topology event.  The script is\n"
+        "read from --script or stdin; --zero-timings blanks wall-clock\n"
+        "fields for byte-stable reports.\n";
   return code;
 }
 
@@ -167,10 +180,96 @@ int cmd_run(const util::Cli& cli) {
   return 0;
 }
 
+int cmd_fm(const util::Cli& cli) {
+  const std::string script_path = cli.get_or("script", "");
+  const std::string fabric_path = cli.get_or("fabric", "");
+  const std::string topo_text = cli.get_or("topo", "");
+  const std::string json_path = cli.get_or("json", "");
+  const std::string layout_name = cli.get_or("layout", "disjoint");
+  const std::int64_t k = cli.get_or("k", std::int64_t{4});
+  const bool zero_timings = cli.has("zero-timings");
+  if (const auto unknown = cli.unknown_flags(); !unknown.empty()) {
+    std::cerr << "lmpr fm: unknown flag --" << unknown.front() << "\n";
+    return 2;
+  }
+  if (!fabric_path.empty() && !topo_text.empty()) {
+    std::cerr << "lmpr fm: pass --topo or --fabric, not both\n";
+    return 2;
+  }
+  if (k < 1) {
+    std::cerr << "lmpr fm: --k must be at least 1\n";
+    return 2;
+  }
+
+  FmRunOptions options;
+  options.config.k_paths = static_cast<std::uint64_t>(k);
+  options.config.zero_timings = zero_timings;
+  if (const auto layout = fabric::layout_from_string(layout_name)) {
+    options.config.layout = *layout;
+  } else {
+    std::cerr << "lmpr fm: unknown layout '" << layout_name
+              << "' (expected disjoint or shift)\n";
+    return 2;
+  }
+  discovery::RawFabric fabric;
+  if (!fabric_path.empty()) {
+    auto loaded = discovery::try_load_fabric_file(fabric_path);
+    if (!loaded.ok) {
+      std::cerr << "lmpr fm: " << loaded.error << "\n";
+      return 1;
+    }
+    fabric = std::move(loaded.fabric);
+    options.fabric = &fabric;
+  } else if (!topo_text.empty()) {
+    try {
+      options.spec = topo::XgftSpec::parse(topo_text);
+    } catch (const std::exception& error) {
+      std::cerr << "lmpr fm: bad --topo: " << error.what() << "\n";
+      return 2;
+    }
+  }
+
+  fm::EventScript script;
+  if (script_path.empty() || script_path == "-") {
+    script = fm::parse_event_script(std::cin);
+  } else {
+    std::ifstream in(script_path);
+    if (!in) {
+      std::cerr << "lmpr fm: cannot open script " << script_path << "\n";
+      return 1;
+    }
+    script = fm::parse_event_script(in);
+  }
+
+  Report report;
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  if (!run_fm_events(options, script, report, error)) {
+    std::cerr << "lmpr fm: " << error << "\n";
+    return 1;
+  }
+  if (!zero_timings) {
+    report.duration_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+
+  TextSink text(std::cout);
+  text.consume(report);
+  if (!json_path.empty()) {
+    JsonSink json(json_path);
+    json.consume(report);
+    json.finish();
+    if (!json.ok()) return 1;
+    std::cerr << "lmpr fm: json report written to " << json_path << "\n";
+  }
+  return report.converged ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"full"});
+  const util::Cli cli(argc, argv, {"full", "zero-timings"});
   if (cli.positional().empty()) {
     const bool help = cli.has("help");
     return usage(help ? std::cout : std::cerr, help ? 0 : 2);
@@ -179,6 +278,7 @@ int main(int argc, char** argv) {
   if (command == "list") return cmd_list(cli);
   if (command == "describe") return cmd_describe(cli);
   if (command == "run") return cmd_run(cli);
+  if (command == "fm") return cmd_fm(cli);
   if (command == "help") return usage(std::cout, 0);
   std::cerr << "lmpr: unknown command '" << command << "'\n";
   return usage(std::cerr, 2);

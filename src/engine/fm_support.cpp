@@ -1,0 +1,104 @@
+#include "engine/fm_support.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "util/table.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+std::string event_operands(const fm::Event& event) {
+  if (event.type == fm::EventType::kSwitchDown) {
+    return std::to_string(event.a);
+  }
+  return std::to_string(event.a) + " " + std::to_string(event.b);
+}
+
+}  // namespace
+
+bool run_fm_events(const FmRunOptions& options, const fm::EventScript& script,
+                   Report& report, std::string& error) {
+  if (!script.ok) {
+    error = script.error;
+    return false;
+  }
+  std::unique_ptr<fm::FabricManager> manager;
+  if (options.fabric != nullptr) {
+    manager =
+        std::make_unique<fm::FabricManager>(*options.fabric, options.config);
+    report.add_config("topology", "external fabric (" +
+                                      std::to_string(options.fabric->num_nodes) +
+                                      " nodes)");
+  } else {
+    manager = std::make_unique<fm::FabricManager>(options.spec, options.config);
+    report.add_config("topology", options.spec.to_string());
+  }
+  if (!manager->ok()) {
+    error = manager->error();
+    return false;
+  }
+
+  report.scenario = "fm";
+  report.artifact = "fabric manager";
+  report.family = std::string(to_string(Family::kAnalysis));
+  report.add_config("k_paths", std::to_string(options.config.k_paths));
+  report.add_config("layout",
+                    std::string(to_string(options.config.layout)));
+  report.add_config("full_rebuild_threshold",
+                    util::Table::num(options.config.full_rebuild_threshold, 2));
+  report.add_config("events", std::to_string(script.events.size()));
+
+  util::Table log({"idx", "event", "operands", "ok", "churn", "repaired",
+                   "full_rebuild", "repair_ms", "disc_pairs", "max_load",
+                   "usable", "paths", "hops", "note"});
+  std::size_t event_errors = 0;
+  for (std::size_t i = 0; i < script.events.size(); ++i) {
+    const fm::EventRecord record = manager->apply(script.events[i]);
+    if (!record.ok) ++event_errors;
+    log.add_row({util::Table::num(i),
+                 std::string(to_string(record.event.type)),
+                 event_operands(record.event), record.ok ? "yes" : "no",
+                 util::Table::num(record.churn),
+                 util::Table::num(record.destinations_repaired),
+                 record.full_rebuild ? "yes" : "no",
+                 util::Table::num(record.repair_seconds * 1e3),
+                 util::Table::num(static_cast<std::size_t>(
+                     record.disconnected_pairs)),
+                 util::Table::num(record.max_link_load),
+                 util::Table::num(static_cast<std::size_t>(
+                     record.usable_variants)),
+                 util::Table::num(static_cast<std::size_t>(
+                     record.distinct_paths)),
+                 util::Table::num(record.primary_hops),
+                 record.ok ? std::string() : record.error});
+  }
+
+  const fm::FmSummary& summary = manager->summary();
+  report.add_metric("events", static_cast<double>(summary.events));
+  report.add_metric("topology_events",
+                    static_cast<double>(summary.topology_events));
+  report.add_metric("queries", static_cast<double>(summary.queries));
+  report.add_metric("event_errors", static_cast<double>(event_errors));
+  report.add_metric("total_churn", static_cast<double>(summary.total_churn));
+  report.add_metric("destinations_repaired",
+                    static_cast<double>(summary.destinations_repaired));
+  report.add_metric("full_rebuilds",
+                    static_cast<double>(summary.full_rebuilds));
+  report.add_metric("max_disconnected_window",
+                    static_cast<double>(summary.max_disconnected_window));
+  report.add_metric("disconnected_pairs",
+                    static_cast<double>(summary.disconnected_pairs));
+  report.add_metric("total_repair_ms", summary.total_repair_seconds * 1e3);
+  report.samples = script.events.size();
+  report.converged = event_errors == 0;
+  report.add_section("Fabric-manager event log, " +
+                         std::string(to_string(options.config.layout)) +
+                         " layout, K=" +
+                         std::to_string(options.config.k_paths),
+                     std::move(log));
+  return true;
+}
+
+}  // namespace lmpr::engine

@@ -1,0 +1,37 @@
+// Shared fabric-manager report builder: runs an fm::FabricManager over an
+// event script and renders the result as an engine::Report (per-event log
+// section + summary metrics).  Used by the `lmpr fm` driver subcommand,
+// the fm_* scenarios and the golden-file test, so all three emit the
+// identical schema through the existing sink layer.
+#pragma once
+
+#include <string>
+
+#include "discovery/recognize.hpp"
+#include "engine/report.hpp"
+#include "fm/events.hpp"
+#include "fm/fabric_manager.hpp"
+#include "topology/spec.hpp"
+
+namespace lmpr::engine {
+
+struct FmRunOptions {
+  /// Topology to export and manage (used when `fabric` is null).
+  topo::XgftSpec spec{{4, 4}, {2, 2}};
+  /// Externally supplied fabric (e.g. `lmpr fm --fabric FILE`); overrides
+  /// `spec` when non-null.
+  const discovery::RawFabric* fabric = nullptr;
+  fm::FmConfig config;
+};
+
+/// Runs the script through a FabricManager and fills `report` with the
+/// schema-stable fm run report: identity stamp ("fm" / analysis), config
+/// echo, the per-event log table, and the summary metrics the acceptance
+/// criteria name (event count, total churn, max disconnected window,
+/// per-event repair timings).  Returns false with `error` set when the
+/// fabric is not a recognizable XGFT; event-level semantic errors are
+/// recorded in the log and counted in the `event_errors` metric instead.
+bool run_fm_events(const FmRunOptions& options, const fm::EventScript& script,
+                   Report& report, std::string& error);
+
+}  // namespace lmpr::engine

@@ -12,5 +12,6 @@ void register_theorem_scenarios(ScenarioRegistry& registry);   // theorem1, theo
 void register_flow_scenarios(ScenarioRegistry& registry);      // flow-level ablations/extensions
 void register_flit_scenarios(ScenarioRegistry& registry);      // table1, fig5, flit ablations
 void register_analysis_scenarios(ScenarioRegistry& registry);  // LID/LFT analyses
+void register_fm_scenarios(ScenarioRegistry& registry);        // fabric manager
 
 }  // namespace lmpr::engine

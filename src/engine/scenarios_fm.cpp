@@ -1,0 +1,252 @@
+// Fabric-manager scenarios: layout-vs-layout churn under a seeded fault
+// storm, and the incremental-repair scaling argument (churn ratio of a
+// single-cable fault against a from-scratch rebuild).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "fm/fabric_manager.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+using fabric::LidLayout;
+
+/// Inverse of the recognition isomorphism of `manager`.
+std::vector<std::uint32_t> inverse_canonical(const fm::FabricManager& manager) {
+  const auto& canonical = manager.canonical();
+  std::vector<std::uint32_t> inverse(canonical.size(), 0);
+  for (std::uint32_t raw = 0; raw < canonical.size(); ++raw) {
+    inverse[static_cast<std::size_t>(canonical[raw])] = raw;
+  }
+  return inverse;
+}
+
+fm::Event cable_event(const fm::FabricManager& manager,
+                      const std::vector<std::uint32_t>& inverse,
+                      std::uint64_t cable, bool down) {
+  const topo::Link& link =
+      manager.xgft().link(static_cast<topo::LinkId>(cable));
+  return {down ? fm::EventType::kCableDown : fm::EventType::kCableUp,
+          inverse[static_cast<std::size_t>(link.src)],
+          inverse[static_cast<std::size_t>(link.dst)]};
+}
+
+/// A seeded kill/heal storm over the probe manager's cable set: each step
+/// kills a random live cable with probability 0.6 (always when nothing is
+/// dead yet) and re-cables a random dead one otherwise.  The sequence
+/// depends only on (cable count, seed), so every layout/K combination
+/// replays the identical storm.
+std::vector<fm::Event> cable_storm(const fm::FabricManager& probe,
+                                   std::size_t count, util::Rng& rng) {
+  const auto inverse = inverse_canonical(probe);
+  const std::uint64_t cables = probe.xgft().num_cables();
+  std::vector<bool> dead(static_cast<std::size_t>(cables), false);
+  std::vector<std::uint64_t> dead_list;
+  std::vector<fm::Event> events;
+  events.reserve(count);
+  while (events.size() < count) {
+    const bool kill = dead_list.empty() ||
+                      (dead_list.size() < cables && rng.uniform01() < 0.6);
+    if (kill) {
+      std::uint64_t cable = rng.below(cables);
+      while (dead[static_cast<std::size_t>(cable)]) {
+        cable = rng.below(cables);
+      }
+      dead[static_cast<std::size_t>(cable)] = true;
+      dead_list.push_back(cable);
+      events.push_back(cable_event(probe, inverse, cable, /*down=*/true));
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.below(dead_list.size()));
+      const std::uint64_t cable = dead_list[pick];
+      dead_list[pick] = dead_list.back();
+      dead_list.pop_back();
+      dead[static_cast<std::size_t>(cable)] = false;
+      events.push_back(cable_event(probe, inverse, cable, /*down=*/false));
+    }
+  }
+  return events;
+}
+
+std::size_t valid_entries(const fabric::Tables& tables) {
+  std::size_t n = 0;
+  for (const auto& row : tables) {
+    n += static_cast<std::size_t>(
+        std::count_if(row.begin(), row.end(), [](topo::LinkId link) {
+          return link != topo::kInvalidLink;
+        }));
+  }
+  return n;
+}
+
+void run_churn_disjoint_vs_shift(const RunContext& ctx, Report& report) {
+  const auto spec = ctx.topo_or(ctx.full()
+                                    ? topo::XgftSpec{{4, 4, 8}, {1, 4, 4}}
+                                    : topo::XgftSpec{{4, 4}, {2, 2}});
+  const std::size_t num_events = ctx.full() ? 120 : 40;
+
+  // One storm for everyone: the comparison is layout-vs-layout under the
+  // identical fault sequence.
+  fm::FmConfig probe_config;
+  probe_config.track_link_load = false;
+  const fm::FabricManager probe{spec, probe_config};
+  if (!probe.ok()) {
+    report.add_config("error", probe.error());
+    report.converged = false;
+    return;
+  }
+  util::Rng rng{ctx.derived_seed("fm_churn")};
+  const auto events = cable_storm(probe, num_events, rng);
+
+  util::Table table({"layout", "K", "events", "total_churn", "repaired",
+                     "full_rebuilds", "max_disc_window", "final_disc_pairs",
+                     "mean_max_load"});
+  for (const LidLayout layout :
+       {LidLayout::kDisjointLayout, LidLayout::kShiftLayout}) {
+    for (const std::uint64_t k : {2u, 4u}) {
+      fm::FmConfig config;
+      config.k_paths = k;
+      config.layout = layout;
+      config.zero_timings = true;
+      fm::FabricManager manager{spec, config};
+      double load_sum = 0.0;
+      std::size_t load_count = 0;
+      for (const auto& event : events) {
+        const auto record = manager.apply(event);
+        if (record.ok && record.event.topology_event()) {
+          load_sum += record.max_link_load;
+          ++load_count;
+        }
+      }
+      const auto& summary = manager.summary();
+      table.add_row(
+          {std::string(to_string(layout)), util::Table::num(k),
+           util::Table::num(summary.topology_events),
+           util::Table::num(summary.total_churn),
+           util::Table::num(summary.destinations_repaired),
+           util::Table::num(summary.full_rebuilds),
+           util::Table::num(summary.max_disconnected_window),
+           util::Table::num(static_cast<std::size_t>(
+               summary.disconnected_pairs)),
+           util::Table::num(load_count > 0
+                                ? load_sum / static_cast<double>(load_count)
+                                : 0.0)});
+      report.add_metric("total_churn_" + std::string(to_string(layout)) +
+                            "_k" + std::to_string(k),
+                        static_cast<double>(summary.total_churn));
+      report.add_metric("max_disc_window_" + std::string(to_string(layout)) +
+                            "_k" + std::to_string(k),
+                        static_cast<double>(summary.max_disconnected_window));
+    }
+  }
+  report.add_config("topology", spec.to_string());
+  report.add_config("events", std::to_string(num_events));
+  report.samples = num_events;
+  report.add_section("Repair churn under an identical cable storm, " +
+                         spec.to_string(),
+                     std::move(table));
+}
+
+void run_repair_scaling(const RunContext& ctx, Report& report) {
+  std::vector<topo::XgftSpec> specs = {topo::XgftSpec{{4, 4}, {2, 2}},
+                                       topo::XgftSpec{{4, 4, 4}, {1, 2, 2}}};
+  if (ctx.full()) specs.push_back(topo::XgftSpec{{4, 4, 8}, {1, 4, 4}});
+
+  util::Table table({"topology", "cables", "faults", "full_entries",
+                     "mean_churn", "churn_ratio", "mean_repaired", "hosts",
+                     "mean_repair_ms"});
+  double worst_ratio = 0.0;
+  std::size_t total_faults = 0;
+  for (const auto& spec : specs) {
+    fm::FmConfig config;
+    config.track_link_load = false;
+    // Observe the pure incremental path: no escalation, so the ratio
+    // measures affected-set repair against a from-scratch rebuild.
+    config.full_rebuild_threshold = 1.0;
+    fm::FabricManager manager{spec, config};
+    if (!manager.ok()) {
+      report.add_config("error", manager.error());
+      report.converged = false;
+      return;
+    }
+    const auto inverse = inverse_canonical(manager);
+    const std::uint64_t cables = manager.xgft().num_cables();
+    const std::size_t full_entries = valid_entries(manager.tables());
+
+    std::vector<std::uint64_t> faults;
+    if (ctx.full() || cables <= 16) {
+      for (std::uint64_t c = 0; c < cables; ++c) faults.push_back(c);
+    } else {
+      util::Rng rng{ctx.derived_seed("fm_repair_scaling")};
+      for (int i = 0; i < 12; ++i) faults.push_back(rng.below(cables));
+    }
+
+    std::size_t churn = 0;
+    std::size_t repaired = 0;
+    double seconds = 0.0;
+    for (const std::uint64_t cable : faults) {
+      // Fault, measure, then re-cable so every fault hits a healthy
+      // fabric (the heal leg restores the nominal tables exactly).
+      const auto down =
+          manager.apply(cable_event(manager, inverse, cable, /*down=*/true));
+      churn += down.churn;
+      repaired += down.destinations_repaired;
+      seconds += down.repair_seconds;
+      manager.apply(cable_event(manager, inverse, cable, /*down=*/false));
+    }
+    const double n = static_cast<double>(faults.size());
+    const double ratio = static_cast<double>(churn) /
+                         (n * static_cast<double>(full_entries));
+    worst_ratio = std::max(worst_ratio, ratio);
+    total_faults += faults.size();
+    table.add_row({spec.to_string(), util::Table::num(cables),
+                   util::Table::num(faults.size()),
+                   util::Table::num(full_entries),
+                   util::Table::num(static_cast<double>(churn) / n, 1),
+                   util::Table::num(ratio),
+                   util::Table::num(static_cast<double>(repaired) / n, 1),
+                   util::Table::num(manager.xgft().num_hosts()),
+                   util::Table::num(seconds * 1e3 / n)});
+  }
+  report.add_config("k_paths", "4");
+  report.add_config("layout", "disjoint");
+  report.add_metric("churn_ratio_worst", worst_ratio);
+  report.samples = total_faults;
+  report.add_section(
+      "Incremental repair churn vs from-scratch rebuild, single-cable "
+      "faults",
+      std::move(table));
+}
+
+}  // namespace
+
+void register_fm_scenarios(ScenarioRegistry& registry) {
+  Scenario churn;
+  churn.name = "fm_churn_disjoint_vs_shift";
+  churn.artifact = "extension";
+  churn.family = Family::kAnalysis;
+  churn.description = "Fabric-manager repair churn, outage windows and "
+                      "surviving-load under one seeded cable storm, per "
+                      "LID layout and K";
+  churn.quick_params = "XGFT(2;4,4;2,2), 40 events";
+  churn.full_params = "XGFT(3;4,4,8;1,4,4), 120 events";
+  churn.run = run_churn_disjoint_vs_shift;
+  registry.add(churn);
+
+  Scenario scaling;
+  scaling.name = "fm_repair_scaling";
+  scaling.artifact = "extension";
+  scaling.family = Family::kAnalysis;
+  scaling.description = "Single-cable-fault churn of incremental repair "
+                        "against a from-scratch LFT rebuild (churn ratio)";
+  scaling.quick_params = "2 topologies, 12 sampled faults each";
+  scaling.full_params = "3 topologies, every cable";
+  scaling.run = run_repair_scaling;
+  registry.add(scaling);
+}
+
+}  // namespace lmpr::engine

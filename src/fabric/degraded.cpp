@@ -1,0 +1,140 @@
+#include "fabric/degraded.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::fabric {
+
+bool Degradation::healthy() const {
+  return std::find(cable_dead.begin(), cable_dead.end(), true) ==
+             cable_dead.end() &&
+         std::find(node_dead.begin(), node_dead.end(), true) ==
+             node_dead.end();
+}
+
+RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
+                                 std::uint64_t dst, Tables& tables,
+                                 RebuildScratch& scratch) {
+  const topo::Xgft& xgft = lft.xgft();
+  LMPR_EXPECTS(dst < xgft.num_hosts());
+  LMPR_EXPECTS(tables.size() == xgft.num_nodes());
+  const auto& spec = xgft.spec();
+  const std::uint32_t h = xgft.height();
+  const std::uint32_t block = lft.block();
+  const std::size_t num_nodes = static_cast<std::size_t>(xgft.num_nodes());
+
+  // Phase 1a: d's ancestor cone, bottom-up.  Every level-(l+1) ancestor
+  // has exactly one ancestor child (its descent step toward d), so the
+  // parent sweep enumerates each ancestor exactly once.  good bit 1,
+  // ancestor bit 2.
+  scratch.good.assign(num_nodes, 0);
+  auto& good = scratch.good;
+  const topo::NodeId dst_host = xgft.host(dst);
+  good[dst_host] = 1 | 2;  // the destination delivers to itself
+  scratch.ancestors.assign(1, dst_host);
+  auto& frontier = scratch.ancestors;
+  std::vector<topo::NodeId> next;
+  for (std::uint32_t level = 1; level <= h; ++level) {
+    next.clear();
+    for (const topo::NodeId node : frontier) {
+      const std::uint32_t parents = xgft.num_parents(node);
+      for (std::uint32_t p = 0; p < parents; ++p) {
+        next.push_back(xgft.parent(node, p));
+      }
+    }
+    for (const topo::NodeId node : next) {
+      const std::uint32_t port = xgft.down_port_toward(node, dst);
+      const topo::LinkId down = xgft.down_link(node, port);
+      const topo::NodeId child = xgft.child(node, port);
+      const bool ok = deg.node_ok(node) && deg.cable_ok(xgft.cable_of(down)) &&
+                      (good[child] & 1) != 0;
+      good[node] = static_cast<std::uint8_t>((ok ? 1 : 0) | 2);
+    }
+    frontier.swap(next);
+  }
+
+  // Phase 1b: non-ancestors, top level down (all level-h switches are
+  // ancestors of every host).  A node is good iff some live up cable
+  // reaches a live good parent.
+  for (std::uint32_t level = h; level-- > 0;) {
+    const std::uint64_t count = spec.nodes_at_level(level);
+    for (std::uint64_t rank = 0; rank < count; ++rank) {
+      const topo::NodeId node = xgft.node_id(level, rank);
+      if ((good[node] & 2) != 0) continue;  // ancestor: already decided
+      bool ok = false;
+      if (deg.node_ok(node)) {
+        const std::uint32_t parents = xgft.num_parents(node);
+        for (std::uint32_t p = 0; p < parents && !ok; ++p) {
+          const topo::LinkId link = xgft.up_link(node, p);
+          ok = deg.cable_ok(xgft.cable_of(link)) &&
+               (good[xgft.link(link).dst] & 1) != 0;
+        }
+      }
+      good[node] = ok ? 1 : 0;
+    }
+  }
+
+  // Phase 2: the column's entries, diffed against the current tables.
+  RebuildStats stats;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    const topo::NodeId node = static_cast<topo::NodeId>(n);
+    auto& row = tables[n];
+    LMPR_EXPECTS(row.size() == lft.lid_end());
+    const bool is_ancestor = (good[node] & 2) != 0;
+    const std::uint32_t level = xgft.level_of(node);
+    for (std::uint32_t j = 0; j < block; ++j) {
+      const std::uint32_t lid = lft.lid_of(dst, j);
+      topo::LinkId entry = topo::kInvalidLink;
+      if (node == dst_host) {
+        // Own LIDs stay invalid: the packet has arrived.
+      } else if (!deg.node_ok(node)) {
+        stats.nominal = false;  // a dead switch's row is wiped
+      } else if (is_ancestor) {
+        if ((good[node] & 1) != 0) {
+          entry = xgft.down_link(node, xgft.down_port_toward(node, dst));
+        } else {
+          stats.nominal = false;  // broken descent: unrecoverable from here
+        }
+      } else {
+        const std::uint32_t radix = spec.w_at(level + 1);
+        const std::uint32_t anchor = static_cast<std::uint32_t>(
+            (dst / xgft.w_prefix(level)) % radix);
+        const std::uint32_t base =
+            (anchor + lft.variant_digit(level, j)) % radix;
+        for (std::uint32_t t = 0; t < radix; ++t) {
+          const std::uint32_t port = (base + t) % radix;
+          const topo::LinkId link = xgft.up_link(node, port);
+          if (deg.cable_ok(xgft.cable_of(link)) &&
+              (good[xgft.link(link).dst] & 1) != 0) {
+            entry = link;
+            if (t != 0) stats.nominal = false;  // surviving-variant fallback
+            break;
+          }
+        }
+        if (entry == topo::kInvalidLink) {
+          stats.nominal = false;
+          if (xgft.is_host(node) && j == 0) ++stats.disconnected_sources;
+        }
+      }
+      if (row[lid] != entry) {
+        row[lid] = entry;
+        ++stats.entries_written;
+      }
+    }
+  }
+  return stats;
+}
+
+Tables build_lft(const Lft& lft, const Degradation& deg) {
+  const topo::Xgft& xgft = lft.xgft();
+  Tables tables(static_cast<std::size_t>(xgft.num_nodes()),
+                std::vector<topo::LinkId>(lft.lid_end(), topo::kInvalidLink));
+  RebuildScratch scratch;
+  for (std::uint64_t dst = 0; dst < xgft.num_hosts(); ++dst) {
+    rebuild_destination(lft, deg, dst, tables, scratch);
+  }
+  return tables;
+}
+
+}  // namespace lmpr::fabric

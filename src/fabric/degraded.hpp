@@ -1,0 +1,87 @@
+// Forwarding on a DEGRADED fabric: the semantics a fabric manager must
+// install once cables or switches die, shared by the from-scratch
+// rebuild (build_lft) and the fabric manager's incremental repair
+// (fm::FabricManager), which is defined to be entry-for-entry identical.
+//
+// Model.  Minimal up*/down* routing survives degradation as follows.
+// Per destination d, call a node GOOD when it can still deliver to d:
+//
+//   * an ancestor of d is good iff it, the down cable of its unique
+//     descent step and the descent child are all alive and good -- in an
+//     XGFT every ancestor descends to d through exactly one child, so a
+//     broken descent cannot be routed around from above (any parent of a
+//     broken ancestor descends straight back into it);
+//   * a non-ancestor (or source host) is good iff some live up cable
+//     leads to a live good parent.
+//
+// The degraded table entry for DLID (d, j) at a non-ancestor node of
+// level l is the first SURVIVING VARIANT: ports are probed in the order
+// p_j, p_j+1, .., p_j+w-1 (mod w), where p_j is the healthy layout's
+// port for variant j -- i.e. the variant digit c_l(j) is advanced until
+// it lands on a live good parent.  Entries with no surviving choice, and
+// every entry of a dead switch, are kInvalidLink.  On a healthy fabric
+// this reproduces Lft::table_for exactly, and a pair (s, d) is deliverable
+// iff host s's entry for any of d's LIDs is valid (all variants then are).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/lft.hpp"
+#include "topology/xgft.hpp"
+
+namespace lmpr::fabric {
+
+/// The failure state of a fabric: per-cable and per-node death flags
+/// (hosts never die; switch_down events set node flags).
+struct Degradation {
+  std::vector<bool> cable_dead;  ///< size num_cables
+  std::vector<bool> node_dead;   ///< size num_nodes
+
+  explicit Degradation(const topo::Xgft& xgft)
+      : cable_dead(static_cast<std::size_t>(xgft.num_cables()), false),
+        node_dead(static_cast<std::size_t>(xgft.num_nodes()), false) {}
+
+  bool cable_ok(std::uint64_t cable) const {
+    return !cable_dead[static_cast<std::size_t>(cable)];
+  }
+  bool node_ok(topo::NodeId node) const {
+    return !node_dead[static_cast<std::size_t>(node)];
+  }
+  bool healthy() const;
+};
+
+/// Materialized forwarding state: tables[node][lid] = next LinkId
+/// (kInvalidLink for unassigned LIDs, undeliverable entries and the
+/// destination's own LIDs).  Same layout as Lft::table_for per node.
+using Tables = std::vector<std::vector<topo::LinkId>>;
+
+/// Reusable per-destination buffers so repeated rebuilds do not allocate.
+struct RebuildScratch {
+  std::vector<std::uint8_t> good;       ///< per node
+  std::vector<topo::NodeId> ancestors;  ///< d's ancestor cone, by level
+};
+
+struct RebuildStats {
+  std::size_t entries_written = 0;  ///< entries whose value changed
+  /// True when the rebuilt column equals the HEALTHY layout everywhere:
+  /// no invalid entries where the nominal table has valid ones and no
+  /// fallback variant digits in effect.
+  bool nominal = true;
+  /// Hosts s != dst whose entry toward dst is invalid (disconnected
+  /// sources for this destination).
+  std::uint64_t disconnected_sources = 0;
+};
+
+/// Recomputes destination `dst`'s column (every node, every variant LID)
+/// of `tables` for the degraded topology, diffing against the current
+/// contents.  `tables` must have one row of size lft.lid_end() per node.
+RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
+                                 std::uint64_t dst, Tables& tables,
+                                 RebuildScratch& scratch);
+
+/// From-scratch build of the full degraded forwarding state -- the
+/// reference the fabric manager's incremental repair is tested against.
+Tables build_lft(const Lft& lft, const Degradation& deg);
+
+}  // namespace lmpr::fabric

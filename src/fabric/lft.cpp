@@ -8,6 +8,16 @@
 
 namespace lmpr::fabric {
 
+std::string_view to_string(LidLayout layout) noexcept {
+  return layout == LidLayout::kDisjointLayout ? "disjoint" : "shift";
+}
+
+std::optional<LidLayout> layout_from_string(std::string_view name) noexcept {
+  if (name == "disjoint") return LidLayout::kDisjointLayout;
+  if (name == "shift") return LidLayout::kShiftLayout;
+  return std::nullopt;
+}
+
 Lft::Lft(const topo::Xgft& xgft, std::uint64_t k_paths, LidLayout layout)
     : xgft_(&xgft), layout_(layout) {
   LMPR_EXPECTS(k_paths >= 1);

@@ -32,6 +32,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/path_index.hpp"
@@ -43,6 +45,10 @@ enum class LidLayout {
   kDisjointLayout,
   kShiftLayout,
 };
+
+/// "disjoint" / "shift" -- the spelling `lmpr fm --layout` accepts.
+std::string_view to_string(LidLayout layout) noexcept;
+std::optional<LidLayout> layout_from_string(std::string_view name) noexcept;
 
 /// A fabric-wide LID assignment + the (functional) forwarding tables it
 /// induces.  Forwarding queries are O(h); explicit per-switch tables can

@@ -40,6 +40,16 @@ class LoadEvaluator {
   LoadResult evaluate(const TrafficMatrix& tm,
                       const route::RouteTable& table);
 
+  /// Streaming accumulation for callers that route demands themselves
+  /// (e.g. the fabric manager splitting demands over the surviving LFT
+  /// variants of a degraded fabric): begin(), add_load() per traversed
+  /// link, then end() for the aggregated result.
+  void begin() { reset(); }
+  void add_load(topo::LinkId link, double amount) {
+    loads_[static_cast<std::size_t>(link)] += amount;
+  }
+  LoadResult end() { return finish(); }
+
   /// Per-link loads of the most recent evaluate() call.
   const std::vector<double>& link_loads() const noexcept { return loads_; }
 

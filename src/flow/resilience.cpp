@@ -10,7 +10,7 @@ namespace lmpr::flow {
 ResilienceResult measure_resilience(const topo::Xgft& xgft,
                                     const ResilienceConfig& config) {
   LMPR_EXPECTS(config.cable_failure_probability >= 0.0 &&
-               config.cable_failure_probability < 1.0);
+               config.cable_failure_probability <= 1.0);
   LMPR_EXPECTS(config.trials >= 1);
   util::Rng rng{config.seed};
   const std::uint64_t hosts = xgft.num_hosts();
@@ -22,12 +22,19 @@ ResilienceResult measure_resilience(const topo::Xgft& xgft,
   std::vector<bool> cable_dead(static_cast<std::size_t>(cables));
   std::vector<topo::LinkId> scratch;
 
+  if (config.record_details) result.trials.reserve(config.trials);
   for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    ResilienceTrial* detail = nullptr;
+    if (config.record_details) {
+      result.trials.emplace_back();
+      detail = &result.trials.back();
+    }
     std::size_t failed = 0;
     for (std::uint64_t c = 0; c < cables; ++c) {
       const bool dead = rng.uniform01() < config.cable_failure_probability;
       cable_dead[static_cast<std::size_t>(c)] = dead;
       failed += dead;
+      if (dead && detail != nullptr) detail->failed_cables.push_back(c);
     }
     result.failed_cables += static_cast<double>(failed);
 
@@ -55,6 +62,9 @@ ResilienceResult measure_resilience(const topo::Xgft& xgft,
       }
       ++pairs;
       connected += (alive > 0);
+      if (alive == 0 && detail != nullptr) {
+        detail->disconnected.push_back({s, d});
+      }
       surviving += static_cast<double>(alive) /
                    static_cast<double>(indices.size());
     };

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/heuristics.hpp"
 #include "topology/xgft.hpp"
@@ -25,12 +26,31 @@ struct ResilienceConfig {
   route::Heuristic heuristic = route::Heuristic::kDisjoint;
   std::size_t k_paths = 4;
   /// Independent failure probability per CABLE (both directions fail).
+  /// 1.0 is allowed (every cable dies: the degenerate all-fail pattern).
   double cable_failure_probability = 0.02;
   /// Failure patterns sampled.
   std::size_t trials = 20;
   /// SD pairs sampled per trial (0 = all ordered pairs; beware N^2).
   std::size_t pair_samples = 2000;
   std::uint64_t seed = 23;
+  /// Record per-trial failure patterns and disconnected-pair IDENTITIES
+  /// in ResilienceResult::trials (ground truth for the fabric-manager
+  /// tests).  Off by default: the vectors can dwarf the aggregates.
+  bool record_details = false;
+};
+
+/// One sampled (s, d) pair that lost every installed path in a trial.
+struct DisconnectedPair {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  friend bool operator==(const DisconnectedPair&,
+                         const DisconnectedPair&) = default;
+};
+
+/// Per-trial detail, recorded only when config.record_details is set.
+struct ResilienceTrial {
+  std::vector<std::uint64_t> failed_cables;  ///< cable ids that died
+  std::vector<DisconnectedPair> disconnected;
 };
 
 struct ResilienceResult {
@@ -42,6 +62,8 @@ struct ResilienceResult {
   double surviving_paths = 1.0;
   /// Mean number of failed cables per trial.
   double failed_cables = 0.0;
+  /// One entry per trial when config.record_details was set, else empty.
+  std::vector<ResilienceTrial> trials;
 };
 
 ResilienceResult measure_resilience(const topo::Xgft& xgft,

@@ -1,0 +1,88 @@
+#include "fm/events.hpp"
+
+#include <sstream>
+
+namespace lmpr::fm {
+
+std::string_view to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kCableDown: return "cable_down";
+    case EventType::kCableUp: return "cable_up";
+    case EventType::kSwitchDown: return "switch_down";
+    case EventType::kQuery: return "query";
+  }
+  return "?";
+}
+
+namespace {
+
+EventScript fail(std::size_t line, const std::string& message) {
+  EventScript script;
+  script.ok = false;
+  script.error = "event script line " + std::to_string(line) + ": " + message;
+  return script;
+}
+
+}  // namespace
+
+EventScript parse_event_script(std::istream& in) {
+  EventScript script;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream iss(line);
+    std::string keyword;
+    if (!(iss >> keyword)) continue;  // blank / comment-only line
+
+    Event event;
+    std::size_t operands = 2;
+    if (keyword == "cable_down") {
+      event.type = EventType::kCableDown;
+    } else if (keyword == "cable_up") {
+      event.type = EventType::kCableUp;
+    } else if (keyword == "switch_down") {
+      event.type = EventType::kSwitchDown;
+      operands = 1;
+    } else if (keyword == "query") {
+      event.type = EventType::kQuery;
+    } else {
+      return fail(line_no, "unknown event '" + keyword +
+                               "' (expected cable_down, cable_up, "
+                               "switch_down or query)");
+    }
+
+    std::uint64_t values[2] = {0, 0};
+    for (std::size_t i = 0; i < operands; ++i) {
+      if (!(iss >> values[i])) {
+        return fail(line_no, "'" + keyword + "' expects " +
+                                 std::to_string(operands) + " node id" +
+                                 (operands == 1 ? "" : "s"));
+      }
+      if (values[i] > 0xffffffffULL) {
+        return fail(line_no, "node id " + std::to_string(values[i]) +
+                                 " out of range");
+      }
+    }
+    std::string extra;
+    if (iss >> extra) {
+      return fail(line_no, "trailing token '" + extra + "' after '" +
+                               keyword + "'");
+    }
+    event.a = static_cast<std::uint32_t>(values[0]);
+    event.b = static_cast<std::uint32_t>(values[1]);
+    script.events.push_back(event);
+  }
+  script.ok = true;
+  return script;
+}
+
+EventScript parse_event_script(const std::string& text) {
+  std::istringstream in(text);
+  return parse_event_script(in);
+}
+
+}  // namespace lmpr::fm

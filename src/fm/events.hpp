@@ -1,0 +1,47 @@
+// The fabric manager's event stream: the deterministic, replayable
+// command language `lmpr fm` consumes (one event per line, '#' starts a
+// comment):
+//
+//   cable_down <u> <v>    # the cable between nodes u and v dies
+//   cable_up <u> <v>      # it is re-cabled / heals
+//   switch_down <s>       # switch s dies with every incident cable
+//   query <src> <dst>     # report the current multipath state of a pair
+//
+// Node ids are RAW fabric ids (the subnet's view, as in discovery::
+// RawFabric); the manager translates them through the recognition
+// mapping.  Parsing is total: malformed scripts produce ok = false with
+// a line-numbered diagnostic instead of exceptions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lmpr::fm {
+
+enum class EventType { kCableDown, kCableUp, kSwitchDown, kQuery };
+
+std::string_view to_string(EventType type) noexcept;
+
+struct Event {
+  EventType type = EventType::kQuery;
+  /// cable_down/cable_up: the raw endpoints; switch_down: a in use only;
+  /// query: a = src host, b = dst host.
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+
+  bool topology_event() const noexcept { return type != EventType::kQuery; }
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+struct EventScript {
+  bool ok = false;
+  std::string error;  ///< line-numbered diagnostic when !ok
+  std::vector<Event> events;
+};
+
+EventScript parse_event_script(std::istream& in);
+EventScript parse_event_script(const std::string& text);
+
+}  // namespace lmpr::fm

@@ -1,0 +1,332 @@
+#include "fm/fabric_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::fm {
+
+namespace {
+
+constexpr std::uint64_t kNoCable = static_cast<std::uint64_t>(-1);
+
+std::uint64_t pair_key(topo::NodeId u, topo::NodeId v) {
+  const std::uint64_t lo = std::min(u, v);
+  const std::uint64_t hi = std::max(u, v);
+  return (lo << 32) | hi;
+}
+
+}  // namespace
+
+FabricManager::FabricManager(const discovery::RawFabric& fabric,
+                             const FmConfig& config)
+    : config_(config) {
+  LMPR_EXPECTS(config.k_paths >= 1);
+  LMPR_EXPECTS(config.full_rebuild_threshold > 0.0);
+  const auto recognition = discovery::recognize_xgft(fabric);
+  if (!recognition.ok) {
+    error_ = "fabric not recognized as an XGFT: " + recognition.error;
+    return;
+  }
+  canonical_ = recognition.canonical;
+  xgft_ = std::make_unique<topo::Xgft>(recognition.spec);
+  lft_ = std::make_unique<fabric::Lft>(*xgft_, config.k_paths, config.layout);
+  degradation_ = std::make_unique<fabric::Degradation>(*xgft_);
+  load_eval_ = std::make_unique<flow::LoadEvaluator>(*xgft_);
+  tables_ = fabric::build_lft(*lft_, *degradation_);
+  index_cables();
+  const std::size_t hosts = static_cast<std::size_t>(xgft_->num_hosts());
+  degraded_.assign(hosts, false);
+  disconnected_sources_.assign(hosts, 0);
+  rebuild_use_counts();
+}
+
+FabricManager::FabricManager(const topo::XgftSpec& spec,
+                             const FmConfig& config)
+    : FabricManager(discovery::export_fabric(topo::Xgft{spec}), config) {}
+
+void FabricManager::index_cables() {
+  cable_index_.reserve(static_cast<std::size_t>(xgft_->num_cables()));
+  for (std::uint64_t c = 0; c < xgft_->num_cables(); ++c) {
+    const topo::Link& link = xgft_->link(static_cast<topo::LinkId>(c));
+    cable_index_[pair_key(link.src, link.dst)] = c;
+  }
+}
+
+std::uint64_t FabricManager::cable_between(topo::NodeId u,
+                                           topo::NodeId v) const {
+  const auto it = cable_index_.find(pair_key(u, v));
+  return it == cable_index_.end() ? kNoCable : it->second;
+}
+
+void FabricManager::rebuild_use_counts() {
+  use_counts_.assign(
+      static_cast<std::size_t>(xgft_->num_cables()),
+      std::vector<std::uint32_t>(static_cast<std::size_t>(xgft_->num_hosts()),
+                                 0));
+  for (std::uint64_t dst = 0; dst < xgft_->num_hosts(); ++dst) {
+    adjust_use(dst, +1);
+  }
+}
+
+void FabricManager::adjust_use(std::uint64_t dst, int delta) {
+  const std::uint32_t block = lft_->block();
+  const std::uint32_t first = lft_->lid_of(dst, 0);
+  for (const auto& row : tables_) {
+    for (std::uint32_t j = 0; j < block; ++j) {
+      const topo::LinkId entry = row[first + j];
+      if (entry == topo::kInvalidLink) continue;
+      auto& count =
+          use_counts_[static_cast<std::size_t>(xgft_->cable_of(entry))]
+                     [static_cast<std::size_t>(dst)];
+      if (delta > 0) {
+        ++count;
+      } else {
+        LMPR_ASSERT(count > 0);
+        --count;
+      }
+    }
+  }
+}
+
+void FabricManager::repair(const std::vector<std::uint64_t>& affected,
+                           EventRecord& record) {
+  if (affected.empty()) return;
+  const std::uint64_t hosts = xgft_->num_hosts();
+  const bool full =
+      static_cast<double>(affected.size()) >=
+      config_.full_rebuild_threshold * static_cast<double>(hosts);
+  record.full_rebuild = full;
+
+  const auto repair_one = [&](std::uint64_t dst) {
+    adjust_use(dst, -1);
+    const auto stats =
+        fabric::rebuild_destination(*lft_, *degradation_, dst, tables_,
+                                    scratch_);
+    adjust_use(dst, +1);
+    degraded_[static_cast<std::size_t>(dst)] = !stats.nominal;
+    auto& old_disc = disconnected_sources_[static_cast<std::size_t>(dst)];
+    summary_.disconnected_pairs -= old_disc;
+    summary_.disconnected_pairs += stats.disconnected_sources;
+    old_disc = stats.disconnected_sources;
+    record.churn += stats.entries_written;
+  };
+
+  if (full) {
+    for (std::uint64_t dst = 0; dst < hosts; ++dst) repair_one(dst);
+    record.destinations_repaired = static_cast<std::size_t>(hosts);
+  } else {
+    for (const std::uint64_t dst : affected) repair_one(dst);
+    record.destinations_repaired = affected.size();
+  }
+}
+
+void FabricManager::finish_topology_event(EventRecord& record) {
+  ++summary_.events;
+  ++summary_.topology_events;
+  summary_.total_churn += record.churn;
+  summary_.destinations_repaired += record.destinations_repaired;
+  if (record.full_rebuild) ++summary_.full_rebuilds;
+  summary_.total_repair_seconds += record.repair_seconds;
+  record.disconnected_pairs = summary_.disconnected_pairs;
+  if (summary_.disconnected_pairs > 0) {
+    ++summary_.current_disconnected_window;
+    summary_.max_disconnected_window =
+        std::max(summary_.max_disconnected_window,
+                 summary_.current_disconnected_window);
+  } else {
+    summary_.current_disconnected_window = 0;
+  }
+  if (config_.track_link_load) {
+    const std::uint64_t hosts = xgft_->num_hosts();
+    if (hosts >= 2) {
+      // Reference permutation: cyclic shift by half the fabric, so every
+      // demand crosses the upper levels.
+      const std::uint64_t shift = std::max<std::uint64_t>(1, hosts / 2);
+      load_eval_->begin();
+      for (std::uint64_t s = 0; s < hosts; ++s) {
+        const std::uint64_t d = (s + shift) % hosts;
+        std::uint32_t usable = 0;
+        for (std::uint32_t j = 0; j < lft_->block(); ++j) {
+          usable += walk(s, d, j).delivered;
+        }
+        if (usable == 0) continue;  // disconnected pair: no load placed
+        const double fraction = 1.0 / static_cast<double>(usable);
+        for (std::uint32_t j = 0; j < lft_->block(); ++j) {
+          const Walk w = walk(s, d, j);
+          if (!w.delivered) continue;
+          for (const topo::LinkId link : w.links) {
+            load_eval_->add_load(link, fraction);
+          }
+        }
+      }
+      record.max_link_load = load_eval_->end().max_load;
+    }
+  }
+}
+
+FabricManager::Walk FabricManager::walk(std::uint64_t src, std::uint64_t dst,
+                                        std::uint32_t j) const {
+  Walk result;
+  if (src == dst) {
+    result.delivered = true;
+    return result;
+  }
+  const std::uint32_t lid = lft_->lid_of(dst, j);
+  const topo::NodeId target = xgft_->host(dst);
+  topo::NodeId node = xgft_->host(src);
+  const std::size_t hop_limit = 4 * xgft_->height() + 2;
+  for (std::size_t hop = 0; hop <= hop_limit; ++hop) {
+    const topo::LinkId link = tables_[node][lid];
+    if (link == topo::kInvalidLink) {
+      result.delivered = (node == target);
+      return result;
+    }
+    result.links.push_back(link);
+    node = xgft_->link(link).dst;
+  }
+  result.delivered = false;  // hop budget exhausted: cannot happen
+  return result;
+}
+
+EventRecord FabricManager::apply(const Event& event) {
+  EventRecord record;
+  record.event = event;
+  if (!ok()) {
+    record.ok = false;
+    record.error = "fabric manager not initialized: " + error_;
+    return record;
+  }
+  const auto resolve = [&](std::uint32_t raw,
+                           topo::NodeId& out) -> bool {
+    if (raw >= canonical_.size()) {
+      record.ok = false;
+      record.error =
+          "raw node id " + std::to_string(raw) + " out of range";
+      return false;
+    }
+    out = canonical_[raw];
+    return true;
+  };
+
+  using Clock = std::chrono::steady_clock;
+
+  switch (event.type) {
+    case EventType::kCableDown:
+    case EventType::kCableUp: {
+      topo::NodeId u = 0;
+      topo::NodeId v = 0;
+      if (!resolve(event.a, u) || !resolve(event.b, v)) return record;
+      const std::uint64_t cable = cable_between(u, v);
+      if (cable == kNoCable) {
+        record.ok = false;
+        record.error = "no cable between nodes " + std::to_string(event.a) +
+                       " and " + std::to_string(event.b);
+        return record;
+      }
+      const bool down = event.type == EventType::kCableDown;
+      const std::size_t c = static_cast<std::size_t>(cable);
+      if (degradation_->cable_dead[c] != down) {
+        const auto start = Clock::now();
+        std::vector<std::uint64_t> affected;
+        if (down) {
+          degradation_->cable_dead[c] = true;
+          const auto& uses = use_counts_[c];
+          for (std::uint64_t d = 0; d < uses.size(); ++d) {
+            if (uses[static_cast<std::size_t>(d)] > 0) affected.push_back(d);
+          }
+        } else {
+          degradation_->cable_dead[c] = false;
+          // Healing can only improve destinations that currently deviate
+          // from the healthy layout somewhere.
+          for (std::uint64_t d = 0; d < degraded_.size(); ++d) {
+            if (degraded_[static_cast<std::size_t>(d)]) affected.push_back(d);
+          }
+        }
+        repair(affected, record);
+        if (!config_.zero_timings) {
+          record.repair_seconds =
+              std::chrono::duration<double>(Clock::now() - start).count();
+        }
+      }
+      finish_topology_event(record);
+      return record;
+    }
+
+    case EventType::kSwitchDown: {
+      topo::NodeId node = 0;
+      if (!resolve(event.a, node)) return record;
+      if (xgft_->is_host(node)) {
+        record.ok = false;
+        record.error = "node " + std::to_string(event.a) +
+                       " is a host, not a switch";
+        return record;
+      }
+      if (degradation_->node_ok(node)) {
+        const auto start = Clock::now();
+        degradation_->node_dead[static_cast<std::size_t>(node)] = true;
+        // Destinations routed over any cable incident to the switch.
+        std::vector<bool> seen(static_cast<std::size_t>(xgft_->num_hosts()),
+                               false);
+        std::vector<std::uint64_t> affected;
+        const auto mark_cable = [&](topo::LinkId link) {
+          const auto& uses =
+              use_counts_[static_cast<std::size_t>(xgft_->cable_of(link))];
+          for (std::uint64_t d = 0; d < uses.size(); ++d) {
+            if (uses[static_cast<std::size_t>(d)] > 0 &&
+                !seen[static_cast<std::size_t>(d)]) {
+              seen[static_cast<std::size_t>(d)] = true;
+              affected.push_back(d);
+            }
+          }
+        };
+        for (std::uint32_t p = 0; p < xgft_->num_parents(node); ++p) {
+          mark_cable(xgft_->up_link(node, p));
+        }
+        for (std::uint32_t c = 0; c < xgft_->num_children(node); ++c) {
+          mark_cable(xgft_->down_link(node, c));
+        }
+        std::sort(affected.begin(), affected.end());
+        repair(affected, record);
+        if (!config_.zero_timings) {
+          record.repair_seconds =
+              std::chrono::duration<double>(Clock::now() - start).count();
+        }
+      }
+      finish_topology_event(record);
+      return record;
+    }
+
+    case EventType::kQuery: {
+      topo::NodeId src = 0;
+      topo::NodeId dst = 0;
+      if (!resolve(event.a, src) || !resolve(event.b, dst)) return record;
+      if (!xgft_->is_host(src) || !xgft_->is_host(dst)) {
+        record.ok = false;
+        record.error = "query endpoints must be hosts";
+        return record;
+      }
+      std::set<std::vector<topo::LinkId>> routes;
+      for (std::uint32_t j = 0; j < lft_->block(); ++j) {
+        const Walk w = walk(src, dst, j);
+        if (!w.delivered) continue;
+        if (record.usable_variants == 0) record.primary_hops = w.links.size();
+        ++record.usable_variants;
+        routes.insert(w.links);
+      }
+      record.connected = record.usable_variants > 0;
+      record.distinct_paths = routes.size();
+      record.disconnected_pairs = summary_.disconnected_pairs;
+      ++summary_.events;
+      ++summary_.queries;
+      return record;
+    }
+  }
+  record.ok = false;
+  record.error = "unhandled event type";
+  return record;
+}
+
+}  // namespace lmpr::fm

@@ -1,0 +1,175 @@
+// The fabric-manager subsystem: the long-running control loop a real
+// subnet manager runs on top of the static machinery in this repo.  It
+// ingests a RawFabric exactly as a subnet manager sees one (opaque ids +
+// cables), PROVES it is an XGFT via discovery::recognize_xgft, installs
+// multipath LFTs for a path limit K (fabric::Lft, either LID layout),
+// and then consumes a deterministic event stream (fm/events.hpp).
+//
+// After every topology event it performs INCREMENTAL LFT REPAIR: only
+// destinations whose forwarding state can have changed are recomputed --
+//
+//   cable_down   destinations with at least one table entry currently
+//                routed over the cable (tracked by per-cable use counts);
+//   switch_down  destinations routed over any cable incident to the
+//                switch;
+//   cable_up     destinations whose state deviates anywhere from the
+//                healthy layout (healing cannot affect a destination that
+//                is already nominal everywhere);
+//
+// each via fabric::rebuild_destination, so the repaired tables are BY
+// CONSTRUCTION entry-for-entry identical to a from-scratch
+// fabric::build_lft on the degraded topology (the repair invariant the
+// tests enforce independently).  When an event implicates more than
+// full_rebuild_threshold of all destinations -- e.g. a switch death
+// wiping a whole level's redundancy -- the manager falls back to a full
+// recompute and says so in the event record.
+//
+// Every event yields an EventRecord with the churn metrics the paper's
+// deployment story needs: LFT entries rewritten, destinations repaired,
+// repair wall-clock, the post-event disconnected-pair count, and the
+// max link load of a reference permutation routed over the surviving
+// variants (flow::LoadEvaluator).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "discovery/recognize.hpp"
+#include "fabric/degraded.hpp"
+#include "fabric/lft.hpp"
+#include "flow/link_load.hpp"
+#include "fm/events.hpp"
+#include "topology/xgft.hpp"
+
+namespace lmpr::fm {
+
+struct FmConfig {
+  std::uint64_t k_paths = 4;
+  fabric::LidLayout layout = fabric::LidLayout::kDisjointLayout;
+  /// Affected-destination fraction at or above which repair falls back
+  /// to a full recompute of every destination.
+  double full_rebuild_threshold = 0.5;
+  /// Evaluate the reference-permutation max link load after every
+  /// topology event (skip for pure churn studies).
+  bool track_link_load = true;
+  /// Report all wall-clock fields as 0 so run reports are byte-stable
+  /// (golden-file tests, CI diffs).
+  bool zero_timings = false;
+};
+
+struct EventRecord {
+  Event event;
+  bool ok = true;
+  std::string error;  ///< semantic diagnostic when !ok (unknown cable, ..)
+
+  // Topology events.
+  std::size_t churn = 0;  ///< LFT entries rewritten by the repair
+  std::size_t destinations_repaired = 0;
+  bool full_rebuild = false;
+  double repair_seconds = 0.0;
+  /// Reference-permutation MLOAD over the surviving variants (0 when
+  /// link-load tracking is off or for query events).
+  double max_link_load = 0.0;
+
+  // Both kinds.
+  std::uint64_t disconnected_pairs = 0;  ///< ordered (s,d) pairs, post-event
+
+  // Query events.
+  bool connected = false;
+  std::uint32_t usable_variants = 0;  ///< variants that still deliver
+  std::uint64_t distinct_paths = 0;   ///< distinct surviving routes
+  std::size_t primary_hops = 0;       ///< hop count of the first usable variant
+};
+
+struct FmSummary {
+  std::size_t events = 0;
+  std::size_t topology_events = 0;
+  std::size_t queries = 0;
+  std::size_t total_churn = 0;
+  std::size_t full_rebuilds = 0;
+  std::size_t destinations_repaired = 0;
+  /// Longest run of consecutive topology events after which at least one
+  /// pair was disconnected -- the outage time-window in event time.
+  std::size_t max_disconnected_window = 0;
+  std::size_t current_disconnected_window = 0;
+  std::uint64_t disconnected_pairs = 0;  ///< current
+  double total_repair_seconds = 0.0;
+};
+
+class FabricManager {
+ public:
+  /// Recognizes the fabric and installs the healthy tables.  On failure
+  /// ok() is false and only error() is meaningful.
+  FabricManager(const discovery::RawFabric& fabric, const FmConfig& config);
+  /// Convenience: exports the spec's topology (identity ids) and routes
+  /// it through the same recognition path.
+  FabricManager(const topo::XgftSpec& spec, const FmConfig& config);
+
+  FabricManager(const FabricManager&) = delete;
+  FabricManager& operator=(const FabricManager&) = delete;
+
+  bool ok() const noexcept { return error_.empty(); }
+  const std::string& error() const noexcept { return error_; }
+
+  const topo::Xgft& xgft() const { return *xgft_; }
+  const fabric::Lft& lft() const { return *lft_; }
+  const fabric::Degradation& degradation() const { return *degradation_; }
+  /// Current forwarding state; invariant: equals
+  /// fabric::build_lft(lft(), degradation()).
+  const fabric::Tables& tables() const { return tables_; }
+  const FmConfig& config() const noexcept { return config_; }
+  const FmSummary& summary() const noexcept { return summary_; }
+  /// The proven raw-id -> topo-id isomorphism from recognition.
+  const std::vector<topo::NodeId>& canonical() const noexcept {
+    return canonical_;
+  }
+
+  /// Applies one event (raw node ids) and returns its record.  Events
+  /// with !record.ok leave the state untouched.
+  EventRecord apply(const Event& event);
+
+  /// Ordered pairs (s, d), s != d, with no surviving variant.
+  std::uint64_t disconnected_pairs() const noexcept {
+    return summary_.disconnected_pairs;
+  }
+
+  struct Walk {
+    bool delivered = false;
+    std::vector<topo::LinkId> links;
+  };
+  /// Follows the CURRENT tables from src toward lid_of(dst, j).
+  Walk walk(std::uint64_t src, std::uint64_t dst, std::uint32_t j) const;
+
+ private:
+  void index_cables();
+  void rebuild_use_counts();
+  void adjust_use(std::uint64_t dst, int delta);
+  /// Repairs the given destinations (or all, past the threshold),
+  /// filling the record's churn fields.
+  void repair(const std::vector<std::uint64_t>& affected,
+              EventRecord& record);
+  void finish_topology_event(EventRecord& record);
+  std::uint64_t cable_between(topo::NodeId u, topo::NodeId v) const;
+
+  FmConfig config_;
+  std::string error_;
+  std::unique_ptr<topo::Xgft> xgft_;
+  std::unique_ptr<fabric::Lft> lft_;
+  std::unique_ptr<fabric::Degradation> degradation_;
+  std::unique_ptr<flow::LoadEvaluator> load_eval_;
+  std::vector<topo::NodeId> canonical_;  ///< raw id -> topo id
+  /// (min topo id << 32 | max topo id) -> cable index.
+  std::unordered_map<std::uint64_t, std::uint64_t> cable_index_;
+  fabric::Tables tables_;
+  fabric::RebuildScratch scratch_;
+  /// use_counts_[cable][dst]: table entries of dst routed over the cable.
+  std::vector<std::vector<std::uint32_t>> use_counts_;
+  std::vector<bool> degraded_;  ///< per destination: deviates from nominal
+  std::vector<std::uint64_t> disconnected_sources_;  ///< per destination
+  FmSummary summary_;
+};
+
+}  // namespace lmpr::fm

@@ -21,7 +21,9 @@
 #include "core/path_index.hpp"
 #include "core/route_table.hpp"
 #include "core/single_path.hpp"
+#include "discovery/io.hpp"
 #include "discovery/recognize.hpp"
+#include "fabric/degraded.hpp"
 #include "fabric/lft.hpp"
 #include "flit/config.hpp"
 #include "flit/metrics.hpp"
@@ -35,6 +37,8 @@
 #include "flow/traffic.hpp"
 #include "flow/traffic_aware.hpp"
 #include "flow/worst_case.hpp"
+#include "fm/events.hpp"
+#include "fm/fabric_manager.hpp"
 #include "topology/label.hpp"
 #include "topology/spec.hpp"
 #include "topology/xgft.hpp"

@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "discovery/io.hpp"
 #include "test_support.hpp"
@@ -71,6 +72,86 @@ TEST(FabricIo, ErrorsCarryLineNumbers) {
   } catch (const std::runtime_error& ex) {
     EXPECT_NE(std::string(ex.what()).find("line 3"), std::string::npos);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Total (non-throwing) parser: try_load_fabric over a malformed corpus.
+// Every case must come back ok=false with a line-numbered diagnostic --
+// never crash, never throw.
+// ---------------------------------------------------------------------------
+
+discovery::FabricParseResult parse(const std::string& text) {
+  std::stringstream in(text);
+  return discovery::try_load_fabric(in);
+}
+
+TEST(FabricIoCorpus, TryLoadRoundTripMatchesThrowingLoader) {
+  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 2)};
+  util::Rng rng{4};
+  const auto original = discovery::export_fabric(xgft, &rng);
+  std::stringstream buffer;
+  save_fabric(original, buffer);
+  const auto result = discovery::try_load_fabric(buffer);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.error.empty());
+  EXPECT_EQ(result.fabric.num_nodes, original.num_nodes);
+  EXPECT_EQ(result.fabric.hosts, original.hosts);
+  EXPECT_EQ(result.fabric.cables, original.cables);
+  const auto recognized = discovery::recognize_xgft(result.fabric);
+  ASSERT_TRUE(recognized.ok) << recognized.error;
+  EXPECT_EQ(recognized.spec, xgft.spec());
+}
+
+TEST(FabricIoCorpus, TruncatedCableLine) {
+  const auto result = parse("fabric 4\nhost 0 1\ncable 0\n");
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 3"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("cable"), std::string::npos) << result.error;
+}
+
+TEST(FabricIoCorpus, DuplicateCableEitherOrientation) {
+  for (const char* dup : {"cable 0 2", "cable 2 0"}) {
+    const auto result = parse(std::string("fabric 3\nhost 0 1\ncable 0 2\n") +
+                              dup + "\n");
+    ASSERT_FALSE(result.ok) << dup;
+    EXPECT_NE(result.error.find("line 4"), std::string::npos) << result.error;
+    EXPECT_NE(result.error.find("duplicate cable"), std::string::npos)
+        << result.error;
+  }
+}
+
+TEST(FabricIoCorpus, DuplicateHost) {
+  const auto result = parse("fabric 3\nhost 0 1 0\ncable 0 2\n");
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("twice"), std::string::npos) << result.error;
+}
+
+TEST(FabricIoCorpus, NonNumericToken) {
+  const auto result = parse("fabric 3\nhost 0 x\n");
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 2"), std::string::npos) << result.error;
+}
+
+TEST(FabricIoCorpus, MissingHeaderReportsDiagnostic) {
+  const auto result = parse("host 0\n");
+  ASSERT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(FabricIoCorpus, SwitchListedAsHostFailsRecognitionCleanly) {
+  // Take a valid XGFT wiring and promote a switch to "host": the parser
+  // accepts it (structurally fine) but recognition must reject it with a
+  // diagnostic instead of crashing.
+  const topo::Xgft xgft{topo::XgftSpec{{2, 2}, {1, 2}}};
+  auto fabric = discovery::export_fabric(xgft);
+  fabric.hosts.push_back(xgft.node_id(1, 0));
+  std::stringstream buffer;
+  save_fabric(fabric, buffer);
+  const auto reparsed = discovery::try_load_fabric(buffer);
+  ASSERT_TRUE(reparsed.ok) << reparsed.error;
+  const auto recognized = discovery::recognize_xgft(reparsed.fabric);
+  EXPECT_FALSE(recognized.ok);
+  EXPECT_FALSE(recognized.error.empty());
 }
 
 }  // namespace

@@ -1,0 +1,381 @@
+// Tests for the fabric-manager subsystem: the repair invariant (the
+// incrementally repaired tables equal a from-scratch degraded rebuild
+// after EVERY event), degraded-build semantics, disconnection and churn
+// accounting, and event-level error handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fabric/degraded.hpp"
+#include "fabric/lft.hpp"
+#include "flow/resilience.hpp"
+#include "fm/events.hpp"
+#include "fm/fabric_manager.hpp"
+#include "topology/spec.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr {
+namespace {
+
+using fabric::LidLayout;
+
+/// The acceptance topologies from the issue: one 2-level fabric with
+/// multi-parent hosts and one 3-level m-port-n-tree-like fabric.
+std::vector<topo::XgftSpec> fm_specs() {
+  return {topo::XgftSpec{{4, 4}, {2, 2}},
+          topo::XgftSpec{{4, 4, 4}, {1, 2, 2}}};
+}
+
+/// Inverse of the recognition isomorphism: raw id whose canonical image
+/// is the given topo node.
+std::vector<std::uint32_t> raw_of(const fm::FabricManager& fm) {
+  const auto& canonical = fm.canonical();
+  std::vector<std::uint32_t> inverse(canonical.size(), 0);
+  for (std::uint32_t raw = 0; raw < canonical.size(); ++raw) {
+    inverse[static_cast<std::size_t>(canonical[raw])] = raw;
+  }
+  return inverse;
+}
+
+fm::Event cable_event(const fm::FabricManager& fm,
+                      const std::vector<std::uint32_t>& inverse,
+                      std::uint64_t cable, bool down) {
+  const topo::Link& link = fm.xgft().link(static_cast<topo::LinkId>(cable));
+  return {down ? fm::EventType::kCableDown : fm::EventType::kCableUp,
+          inverse[static_cast<std::size_t>(link.src)],
+          inverse[static_cast<std::size_t>(link.dst)]};
+}
+
+/// Ordered disconnected (s, d) pairs of a materialized table set, via the
+/// delivery criterion from fabric/degraded.hpp (host entry validity).
+std::uint64_t count_disconnected(const topo::Xgft& xgft,
+                                 const fabric::Lft& lft,
+                                 const fabric::Tables& tables) {
+  std::uint64_t pairs = 0;
+  for (std::uint64_t d = 0; d < xgft.num_hosts(); ++d) {
+    const std::uint32_t lid = lft.lid_of(d, 0);
+    for (std::uint64_t s = 0; s < xgft.num_hosts(); ++s) {
+      if (s == d) continue;
+      if (tables[xgft.host(s)][lid] == topo::kInvalidLink) ++pairs;
+    }
+  }
+  return pairs;
+}
+
+std::size_t valid_entries(const fabric::Tables& tables) {
+  std::size_t n = 0;
+  for (const auto& row : tables) {
+    n += static_cast<std::size_t>(
+        std::count_if(row.begin(), row.end(), [](topo::LinkId link) {
+          return link != topo::kInvalidLink;
+        }));
+  }
+  return n;
+}
+
+TEST(DegradedBuild, HealthyBuildMatchesLftTables) {
+  for (const auto& spec : fm_specs()) {
+    const topo::Xgft xgft{spec};
+    for (const LidLayout layout :
+         {LidLayout::kDisjointLayout, LidLayout::kShiftLayout}) {
+      for (const std::uint64_t k : {1u, 2u, 4u}) {
+        const fabric::Lft lft{xgft, k, layout};
+        const fabric::Degradation deg{xgft};
+        ASSERT_TRUE(deg.healthy());
+        const fabric::Tables tables = fabric::build_lft(lft, deg);
+        ASSERT_EQ(tables.size(), xgft.num_nodes());
+        for (topo::NodeId node = 0; node < xgft.num_nodes(); ++node) {
+          ASSERT_EQ(tables[node], lft.table_for(node))
+              << spec.to_string() << " node " << node << " K=" << k;
+        }
+      }
+    }
+  }
+}
+
+// The tentpole property: after ANY sequence of cable_down / cable_up /
+// switch_down events, the incrementally repaired tables are
+// entry-for-entry identical to a from-scratch degraded rebuild, and the
+// manager's disconnected-pair count matches the tables.
+TEST(FabricManager, RepairEquivalenceUnderRandomEvents) {
+  for (const auto& spec : fm_specs()) {
+    for (const LidLayout layout :
+         {LidLayout::kDisjointLayout, LidLayout::kShiftLayout}) {
+      for (const std::uint64_t k : {1u, 2u, 4u}) {
+        fm::FmConfig config;
+        config.k_paths = k;
+        config.layout = layout;
+        config.track_link_load = false;  // speed: the property is table equality
+        fm::FabricManager fm{spec, config};
+        ASSERT_TRUE(fm.ok()) << fm.error();
+        const auto inverse = raw_of(fm);
+        const topo::Xgft& xgft = fm.xgft();
+
+        util::Rng rng{0x9e3779b97f4a7c15ull ^ (k * 2 + (layout == LidLayout::kShiftLayout))};
+        std::size_t switch_kills = 0;
+        for (int step = 0; step < 28; ++step) {
+          const double roll = rng.uniform01();
+          fm::Event event;
+          if (roll < 0.55) {  // kill a random live cable
+            const std::uint64_t cable = rng.below(xgft.num_cables());
+            event = cable_event(fm, inverse, cable, /*down=*/true);
+          } else if (roll < 0.85) {  // heal a random dead cable, if any
+            std::vector<std::uint64_t> dead;
+            for (std::uint64_t c = 0; c < xgft.num_cables(); ++c) {
+              if (!fm.degradation().cable_ok(c)) dead.push_back(c);
+            }
+            if (dead.empty()) continue;
+            event = cable_event(fm, inverse,
+                                dead[static_cast<std::size_t>(
+                                    rng.below(dead.size()))],
+                                /*down=*/false);
+          } else if (switch_kills < 2 && roll < 0.95) {
+            const std::uint64_t num_switches =
+                xgft.num_nodes() - xgft.num_hosts();
+            const topo::NodeId node = static_cast<topo::NodeId>(
+                xgft.num_hosts() + rng.below(num_switches));
+            if (!fm.degradation().node_ok(node)) continue;
+            ++switch_kills;
+            event = {fm::EventType::kSwitchDown, inverse[node], 0};
+          } else {  // query keeps state: exercise the mixed stream anyway
+            event = {fm::EventType::kQuery,
+                     static_cast<std::uint32_t>(
+                         inverse[xgft.host(rng.below(xgft.num_hosts()))]),
+                     static_cast<std::uint32_t>(
+                         inverse[xgft.host(rng.below(xgft.num_hosts()))])};
+          }
+
+          const fm::EventRecord record = fm.apply(event);
+          ASSERT_TRUE(record.ok) << record.error;
+
+          const fabric::Tables reference =
+              fabric::build_lft(fm.lft(), fm.degradation());
+          ASSERT_EQ(fm.tables(), reference)
+              << spec.to_string() << " K=" << k << " step " << step
+              << " event " << to_string(event.type);
+          EXPECT_EQ(fm.disconnected_pairs(),
+                    count_disconnected(xgft, fm.lft(), reference));
+        }
+      }
+    }
+  }
+}
+
+TEST(FabricManager, HostIsolationAndHealingWindows) {
+  // XGFT(3;4,4,4;1,2,2): w_1 = 1, so each host hangs off a single cable.
+  const topo::XgftSpec spec{{4, 4, 4}, {1, 2, 2}};
+  fm::FmConfig config;
+  config.track_link_load = false;
+  fm::FabricManager fm{spec, config};
+  ASSERT_TRUE(fm.ok()) << fm.error();
+  const auto inverse = raw_of(fm);
+  const topo::Xgft& xgft = fm.xgft();
+  const std::uint64_t hosts = xgft.num_hosts();
+  ASSERT_EQ(hosts, 64u);
+
+  // Isolate host 5: both directions of every pair touching it die.
+  const std::uint64_t up5 = xgft.cable_of(xgft.up_link(xgft.host(5), 0));
+  auto record = fm.apply(cable_event(fm, inverse, up5, /*down=*/true));
+  ASSERT_TRUE(record.ok) << record.error;
+  EXPECT_EQ(record.disconnected_pairs, 2 * (hosts - 1));
+  EXPECT_EQ(fm.summary().current_disconnected_window, 1u);
+
+  // An unrelated second-level fault keeps the outage window open.
+  const std::uint64_t mid =
+      xgft.cable_of(xgft.up_link(xgft.node_id(1, 0), 0));
+  record = fm.apply(cable_event(fm, inverse, mid, /*down=*/true));
+  ASSERT_TRUE(record.ok) << record.error;
+  EXPECT_EQ(record.disconnected_pairs, 2 * (hosts - 1));
+  EXPECT_EQ(fm.summary().current_disconnected_window, 2u);
+
+  // Re-cabling host 5 ends the outage; the max window sticks at 2.
+  record = fm.apply(cable_event(fm, inverse, up5, /*down=*/false));
+  ASSERT_TRUE(record.ok) << record.error;
+  EXPECT_EQ(record.disconnected_pairs, 0u);
+  EXPECT_EQ(fm.summary().current_disconnected_window, 0u);
+  EXPECT_EQ(fm.summary().max_disconnected_window, 2u);
+  EXPECT_GT(fm.summary().total_churn, 0u);
+}
+
+TEST(FabricManager, SingleCableChurnIsIncremental) {
+  const topo::XgftSpec spec{{4, 4, 4}, {1, 2, 2}};
+  fm::FmConfig config;
+  config.track_link_load = false;
+  // K = 1: each column holds one variant, so a top cable only shows up in
+  // the columns whose variant digit selects it.  (With K = X every
+  // destination uses every top switch and repair rightly escalates.)
+  config.k_paths = 1;
+  config.full_rebuild_threshold = 1.0;
+  fm::FabricManager fm{spec, config};
+  ASSERT_TRUE(fm.ok()) << fm.error();
+  const auto inverse = raw_of(fm);
+  const std::size_t full = valid_entries(fm.tables());
+
+  // A top-tier cable: only destinations actually routed over it repair.
+  const std::uint64_t cable =
+      fm.xgft().cable_of(fm.xgft().up_link(fm.xgft().node_id(2, 0), 0));
+  const auto record = fm.apply(cable_event(fm, inverse, cable, /*down=*/true));
+  ASSERT_TRUE(record.ok) << record.error;
+  EXPECT_FALSE(record.full_rebuild);
+  EXPECT_GT(record.churn, 0u);
+  EXPECT_LT(record.churn, full / 4);
+  EXPECT_LT(record.destinations_repaired,
+            static_cast<std::size_t>(fm.xgft().num_hosts()));
+  EXPECT_EQ(record.disconnected_pairs, 0u);  // redundancy absorbs the fault
+}
+
+TEST(FabricManager, TopSwitchDeathTriggersFullRebuild) {
+  // Every destination routes some variant over each top switch when
+  // K = X, so the affected fraction crosses the 0.5 threshold.
+  const topo::XgftSpec spec{{4, 4}, {2, 2}};
+  fm::FabricManager fm{spec, {}};
+  ASSERT_TRUE(fm.ok()) << fm.error();
+  const auto inverse = raw_of(fm);
+  const topo::NodeId top = fm.xgft().node_id(2, 0);
+  const fm::Event event{fm::EventType::kSwitchDown, inverse[top], 0};
+  const auto record = fm.apply(event);
+  ASSERT_TRUE(record.ok) << record.error;
+  EXPECT_TRUE(record.full_rebuild);
+  EXPECT_EQ(record.destinations_repaired,
+            static_cast<std::size_t>(fm.xgft().num_hosts()));
+  EXPECT_EQ(fm.summary().full_rebuilds, 1u);
+  ASSERT_EQ(fm.tables(), fabric::build_lft(fm.lft(), fm.degradation()));
+}
+
+TEST(FabricManager, QueryReportsSurvivingMultipathState) {
+  const topo::XgftSpec spec{{4, 4}, {2, 2}};
+  fm::FmConfig config;
+  config.track_link_load = false;
+  fm::FabricManager fm{spec, config};
+  ASSERT_TRUE(fm.ok()) << fm.error();
+  const auto inverse = raw_of(fm);
+  const topo::Xgft& xgft = fm.xgft();
+
+  // Hosts 0 and 15 meet at the top: X = w1 * w2 = 4 distinct paths.
+  fm::Event query{fm::EventType::kQuery, inverse[xgft.host(0)],
+                  inverse[xgft.host(15)]};
+  auto record = fm.apply(query);
+  ASSERT_TRUE(record.ok) << record.error;
+  EXPECT_TRUE(record.connected);
+  EXPECT_EQ(record.usable_variants, 4u);
+  EXPECT_EQ(record.distinct_paths, 4u);
+  EXPECT_EQ(record.primary_hops, 4u);
+
+  // Killing one of host 0's two up cables halves the distinct routes but
+  // every variant LID still delivers via the surviving parent.
+  const std::uint64_t cable = xgft.cable_of(xgft.up_link(xgft.host(0), 0));
+  ASSERT_TRUE(fm.apply(cable_event(fm, inverse, cable, true)).ok);
+  record = fm.apply(query);
+  ASSERT_TRUE(record.ok) << record.error;
+  EXPECT_TRUE(record.connected);
+  EXPECT_EQ(record.usable_variants, 4u);
+  EXPECT_EQ(record.distinct_paths, 2u);
+
+  EXPECT_EQ(fm.summary().queries, 2u);
+  EXPECT_EQ(fm.summary().topology_events, 1u);
+}
+
+TEST(FabricManager, RepeatedAndInvalidEventsAreHandled) {
+  const topo::XgftSpec spec{{4, 4}, {2, 2}};
+  fm::FmConfig config;
+  config.track_link_load = false;
+  fm::FabricManager fm{spec, config};
+  ASSERT_TRUE(fm.ok()) << fm.error();
+  const auto inverse = raw_of(fm);
+  const std::uint64_t cable =
+      fm.xgft().cable_of(fm.xgft().up_link(fm.xgft().host(3), 0));
+
+  const auto first = fm.apply(cable_event(fm, inverse, cable, true));
+  ASSERT_TRUE(first.ok);
+  EXPECT_GT(first.churn, 0u);
+  // Downing a dead cable is a recorded no-op.
+  const auto again = fm.apply(cable_event(fm, inverse, cable, true));
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(again.churn, 0u);
+  EXPECT_EQ(fm.summary().topology_events, 2u);
+
+  // No cable between two hosts.
+  const auto no_cable = fm.apply({fm::EventType::kCableDown,
+                                  inverse[fm.xgft().host(0)],
+                                  inverse[fm.xgft().host(1)]});
+  EXPECT_FALSE(no_cable.ok);
+  EXPECT_NE(no_cable.error.find("no cable"), std::string::npos);
+
+  // switch_down on a host, query on a switch, id out of range.
+  EXPECT_FALSE(
+      fm.apply({fm::EventType::kSwitchDown, inverse[fm.xgft().host(0)], 0})
+          .ok);
+  EXPECT_FALSE(fm.apply({fm::EventType::kQuery, inverse[fm.xgft().host(0)],
+                         inverse[fm.xgft().node_id(1, 0)]})
+                   .ok);
+  const auto range = fm.apply(
+      {fm::EventType::kQuery, static_cast<std::uint32_t>(1u << 20), 0});
+  EXPECT_FALSE(range.ok);
+  EXPECT_NE(range.error.find("out of range"), std::string::npos);
+
+  // Errors leave the state untouched.
+  EXPECT_EQ(fm.summary().topology_events, 2u);
+  ASSERT_EQ(fm.tables(), fabric::build_lft(fm.lft(), fm.degradation()));
+}
+
+// Ground-truth cross-check against flow::measure_resilience: with the
+// umulti heuristic (all X minimal paths) a pair survives a failure
+// pattern iff SOME minimal path survives -- exactly the fabric manager's
+// delivery criterion (every ascent inside the NCA block only meets
+// ancestors, so degraded routes are always minimal).  The manager applied
+// to each recorded trial pattern must disconnect the identical pairs.
+TEST(FabricManager, AgreesWithResilienceDisconnectedPairs) {
+  const topo::XgftSpec spec{{4, 4}, {2, 2}};
+  const topo::Xgft xgft{spec};
+
+  flow::ResilienceConfig rc;
+  rc.heuristic = route::Heuristic::kUmulti;  // all X paths, K ignored
+  rc.k_paths = 4;
+  rc.cable_failure_probability = 0.25;
+  rc.trials = 4;
+  rc.pair_samples = 0;  // all ordered pairs
+  rc.record_details = true;
+  rc.seed = 11;
+  const auto ground_truth = flow::measure_resilience(xgft, rc);
+  ASSERT_EQ(ground_truth.trials.size(), 4u);
+
+  for (const auto& trial : ground_truth.trials) {
+    fm::FmConfig config;
+    config.k_paths = 4;  // block of 4 covers every minimal path variant
+    config.track_link_load = false;
+    fm::FabricManager fm{spec, config};
+    ASSERT_TRUE(fm.ok()) << fm.error();
+    const auto inverse = raw_of(fm);
+    for (const std::uint64_t cable : trial.failed_cables) {
+      ASSERT_TRUE(fm.apply(cable_event(fm, inverse, cable, true)).ok);
+    }
+
+    std::vector<flow::DisconnectedPair> disconnected;
+    for (std::uint64_t s = 0; s < xgft.num_hosts(); ++s) {
+      for (std::uint64_t d = 0; d < xgft.num_hosts(); ++d) {
+        if (s == d) continue;
+        if (fm.tables()[xgft.host(s)][fm.lft().lid_of(d, 0)] ==
+            topo::kInvalidLink) {
+          disconnected.push_back({s, d});
+        }
+      }
+    }
+    EXPECT_EQ(disconnected, trial.disconnected);
+    EXPECT_EQ(fm.disconnected_pairs(), trial.disconnected.size());
+  }
+}
+
+TEST(FabricManager, UnrecognizableFabricReportsError) {
+  discovery::RawFabric fabric;
+  fabric.num_nodes = 3;
+  fabric.hosts = {0, 1};
+  fabric.cables = {{0, 2}};  // host 1 dangling: not an XGFT
+  const fm::FabricManager fm{fabric, {}};
+  EXPECT_FALSE(fm.ok());
+  EXPECT_NE(fm.error().find("not recognized"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmpr

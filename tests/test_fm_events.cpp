@@ -1,0 +1,167 @@
+// Tests for the fm event-script language: total parsing with
+// line-numbered diagnostics, plus the byte-stable golden JSON run report
+// `lmpr fm` emits for a fixed script at quick scale.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/fm_support.hpp"
+#include "engine/registry.hpp"
+#include "engine/runner.hpp"
+#include "engine/sinks.hpp"
+#include "fm/events.hpp"
+
+namespace lmpr {
+namespace {
+
+TEST(EventScript, ParsesCommandsCommentsAndBlanks) {
+  const std::string text =
+      "# take a leaf cable out, probe, put it back\n"
+      "cable_down 0 16\n"
+      "query 0 5   # mid-outage probe\n"
+      "\n"
+      "switch_down 20\n"
+      "cable_up 0 16\n";
+  const auto script = fm::parse_event_script(text);
+  ASSERT_TRUE(script.ok) << script.error;
+  ASSERT_EQ(script.events.size(), 4u);
+  EXPECT_EQ(script.events[0],
+            (fm::Event{fm::EventType::kCableDown, 0, 16}));
+  EXPECT_EQ(script.events[1], (fm::Event{fm::EventType::kQuery, 0, 5}));
+  EXPECT_EQ(script.events[2],
+            (fm::Event{fm::EventType::kSwitchDown, 20, 0}));
+  EXPECT_EQ(script.events[3], (fm::Event{fm::EventType::kCableUp, 0, 16}));
+  EXPECT_TRUE(script.events[0].topology_event());
+  EXPECT_FALSE(script.events[1].topology_event());
+}
+
+TEST(EventScript, DiagnosticsCarryLineNumbers) {
+  const auto unknown = fm::parse_event_script("cable_down 0 1\nreboot 3\n");
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.error.find("line 2"), std::string::npos);
+  EXPECT_NE(unknown.error.find("unknown event 'reboot'"), std::string::npos);
+
+  const auto missing = fm::parse_event_script("cable_down 0\n");
+  EXPECT_FALSE(missing.ok);
+  EXPECT_NE(missing.error.find("expects 2 node ids"), std::string::npos);
+
+  const auto trailing = fm::parse_event_script("switch_down 3 4\n");
+  EXPECT_FALSE(trailing.ok);
+  EXPECT_NE(trailing.error.find("trailing token '4'"), std::string::npos);
+
+  const auto range = fm::parse_event_script("query 0 4294967296\n");
+  EXPECT_FALSE(range.ok);
+  EXPECT_NE(range.error.find("out of range"), std::string::npos);
+
+  const auto junk = fm::parse_event_script("cable_up zero 1\n");
+  EXPECT_FALSE(junk.ok);
+  EXPECT_NE(junk.error.find("line 1"), std::string::npos);
+}
+
+TEST(EventScript, EmptyInputIsAnEmptyScript) {
+  const auto script = fm::parse_event_script(std::string{});
+  ASSERT_TRUE(script.ok);
+  EXPECT_TRUE(script.events.empty());
+}
+
+TEST(EventScript, StreamOverloadMatchesStringOverload) {
+  const std::string text = "cable_down 1 17\nquery 1 2\n";
+  std::istringstream in(text);
+  const auto a = fm::parse_event_script(in);
+  const auto b = fm::parse_event_script(text);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(EventScript, EventTypeNamesRoundTripTheParser) {
+  for (const fm::EventType type :
+       {fm::EventType::kCableDown, fm::EventType::kCableUp,
+        fm::EventType::kSwitchDown, fm::EventType::kQuery}) {
+    const std::string line =
+        std::string(to_string(type)) +
+        (type == fm::EventType::kSwitchDown ? " 7" : " 7 8");
+    const auto script = fm::parse_event_script(line);
+    ASSERT_TRUE(script.ok) << script.error;
+    ASSERT_EQ(script.events.size(), 1u);
+    EXPECT_EQ(script.events[0].type, type);
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw std::runtime_error("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// Golden-file test: the quick-scale `lmpr fm` JSON run report for the CI
+// smoke script must stay byte-stable (schema AND numbers).  Regenerate
+// consciously with:
+//   build/lmpr fm --script scripts/fm_smoke.script --zero-timings
+//       --json tests/golden/fm_quick.json   (one command line)
+TEST(FmReport, SmokeScriptGoldenFile) {
+  const auto script = fm::parse_event_script(
+      slurp(std::string(LMPR_SCRIPTS_DIR) + "/fm_smoke.script"));
+  ASSERT_TRUE(script.ok) << script.error;
+
+  engine::FmRunOptions options;  // default topology, K = 4, disjoint
+  options.config.zero_timings = true;
+  engine::Report report;
+  std::string error;
+  ASSERT_TRUE(engine::run_fm_events(options, script, report, error)) << error;
+  EXPECT_EQ(report.scenario, "fm");
+  EXPECT_TRUE(report.converged);
+
+  const std::string got =
+      engine::JsonSink::document({report}).dump(2) + "\n";
+  const std::string want = slurp(std::string(LMPR_GOLDEN_DIR) +
+                                 "/fm_quick.json");
+  EXPECT_EQ(got, want) << "fm quick report drifted from golden file";
+}
+
+TEST(FmReport, ScriptAndFabricErrorsAreReported) {
+  engine::FmRunOptions options;
+  engine::Report report;
+  std::string error;
+  EXPECT_FALSE(engine::run_fm_events(
+      options, fm::parse_event_script("reboot 1\n"), report, error));
+  EXPECT_NE(error.find("unknown event"), std::string::npos);
+
+  discovery::RawFabric bogus;
+  bogus.num_nodes = 3;
+  bogus.hosts = {0, 1};
+  bogus.cables = {{0, 2}};
+  options.fabric = &bogus;
+  error.clear();
+  EXPECT_FALSE(engine::run_fm_events(
+      options, fm::parse_event_script("query 0 1\n"), report, error));
+  EXPECT_NE(error.find("not recognized"), std::string::npos);
+}
+
+// The scaling scenario's headline claim: incremental repair rewrites
+// strictly fewer entries than a from-scratch rebuild on single-cable
+// faults.
+TEST(FmScenarios, RepairScalingChurnRatioBelowOne) {
+  const engine::Scenario* scenario =
+      engine::ScenarioRegistry::builtin().find("fm_repair_scaling");
+  ASSERT_NE(scenario, nullptr);
+  engine::CommonOptions options;
+  const engine::Report report = run_scenario(*scenario, options, {});
+  ASSERT_TRUE(report.converged);
+  bool found = false;
+  for (const auto& metric : report.metrics) {
+    if (metric.name == "churn_ratio_worst") {
+      found = true;
+      EXPECT_GT(metric.value, 0.0);
+      EXPECT_LT(metric.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace lmpr

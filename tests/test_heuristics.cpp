@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "core/heuristics.hpp"
 #include "core/single_path.hpp"
@@ -183,16 +185,51 @@ INSTANTIATE_TEST_SUITE_P(Grid, HeuristicContracts,
 // ---------------------------------------------------------------------------
 
 TEST(HeuristicNames, RoundTrip) {
-  for (const Heuristic h :
-       {Heuristic::kDModK, Heuristic::kSModK, Heuristic::kRandomSingle,
-        Heuristic::kShift1, Heuristic::kDisjoint, Heuristic::kRandom,
-        Heuristic::kUmulti}) {
+  // all_heuristics() is the single source of truth: it must cover every
+  // enumerator exactly once, and every name must parse back to its value.
+  EXPECT_EQ(route::all_heuristics().size(), 7u);
+  std::set<Heuristic> seen;
+  for (const Heuristic h : route::all_heuristics()) {
+    EXPECT_TRUE(seen.insert(h).second) << to_string(h) << " listed twice";
     const auto parsed = route::heuristic_from_string(to_string(h));
-    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed.has_value()) << to_string(h);
     EXPECT_EQ(*parsed, h);
+    EXPECT_EQ(route::parse_heuristic(to_string(h)), h);
+    EXPECT_NE(to_string(h), "unknown");
   }
   EXPECT_FALSE(route::heuristic_from_string("bogus").has_value());
+}
+
+TEST(HeuristicNames, HyphenatedAliasesParse) {
   EXPECT_EQ(route::heuristic_from_string("d-mod-k"), Heuristic::kDModK);
+  EXPECT_EQ(route::heuristic_from_string("s-mod-k"), Heuristic::kSModK);
+  EXPECT_EQ(route::heuristic_from_string("shift-1"), Heuristic::kShift1);
+  EXPECT_EQ(route::parse_heuristic("d-mod-k"), Heuristic::kDModK);
+  EXPECT_EQ(route::parse_heuristic("s-mod-k"), Heuristic::kSModK);
+  EXPECT_EQ(route::parse_heuristic("shift-1"), Heuristic::kShift1);
+}
+
+TEST(HeuristicNames, ParseErrorListsValidNames) {
+  try {
+    route::parse_heuristic("dmod");
+    FAIL() << "parse_heuristic accepted a bad name";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown heuristic 'dmod'"), std::string::npos) << what;
+    for (const Heuristic h : route::all_heuristics()) {
+      EXPECT_NE(what.find(to_string(h)), std::string::npos)
+          << "diagnostic misses " << to_string(h) << ": " << what;
+    }
+    EXPECT_NE(what.find("d-mod-k"), std::string::npos) << what;
+  }
+}
+
+TEST(HeuristicNames, NameListMentionsEveryHeuristic) {
+  const std::string names = route::heuristic_names();
+  for (const Heuristic h : route::all_heuristics()) {
+    EXPECT_NE(names.find(to_string(h)), std::string::npos) << names;
+  }
+  EXPECT_NE(names.find("aliases"), std::string::npos) << names;
 }
 
 TEST(HeuristicNames, SinglePathClassification) {

@@ -83,4 +83,67 @@ TEST(Resilience, ExhaustivePairModeWorks) {
   EXPECT_LE(result.connectivity, 1.0);
 }
 
+TEST(Resilience, CertainFailureDisconnectsEveryPair) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};  // 8 hosts, 32 cables
+  auto config = quick(route::Heuristic::kDisjoint, 2, 1.0);
+  config.pair_samples = 0;
+  config.trials = 2;
+  config.record_details = true;
+  const auto result = measure_resilience(xgft, config);
+  EXPECT_DOUBLE_EQ(result.connectivity, 0.0);
+  EXPECT_DOUBLE_EQ(result.worst_connectivity, 0.0);
+  EXPECT_DOUBLE_EQ(result.surviving_paths, 0.0);
+  EXPECT_DOUBLE_EQ(result.failed_cables,
+                   static_cast<double>(xgft.num_cables()));
+  ASSERT_EQ(result.trials.size(), 2u);
+  const std::uint64_t hosts = xgft.num_hosts();
+  for (const auto& trial : result.trials) {
+    EXPECT_EQ(trial.failed_cables.size(), xgft.num_cables());
+    EXPECT_EQ(trial.disconnected.size(), hosts * (hosts - 1));
+  }
+}
+
+TEST(Resilience, ZeroProbabilityRecordsEmptyDetails) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  auto config = quick(route::Heuristic::kDisjoint, 2, 0.0);
+  config.pair_samples = 0;
+  config.trials = 3;
+  config.record_details = true;
+  const auto result = measure_resilience(xgft, config);
+  EXPECT_DOUBLE_EQ(result.connectivity, 1.0);
+  ASSERT_EQ(result.trials.size(), 3u);
+  for (const auto& trial : result.trials) {
+    EXPECT_TRUE(trial.failed_cables.empty());
+    EXPECT_TRUE(trial.disconnected.empty());
+  }
+}
+
+TEST(Resilience, DetailsAreOffByDefault) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const auto result = measure_resilience(
+      xgft, quick(route::Heuristic::kDisjoint, 2, 0.1));
+  EXPECT_TRUE(result.trials.empty());
+}
+
+TEST(Resilience, DetailsMatchTheAggregates) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};  // 8 hosts
+  auto config = quick(route::Heuristic::kDisjoint, 2, 0.15);
+  config.pair_samples = 0;
+  config.trials = 6;
+  config.record_details = true;
+  const auto result = measure_resilience(xgft, config);
+  ASSERT_EQ(result.trials.size(), 6u);
+  const double pairs =
+      static_cast<double>(xgft.num_hosts() * (xgft.num_hosts() - 1));
+  double connectivity = 0.0;
+  double failed = 0.0;
+  for (const auto& trial : result.trials) {
+    connectivity +=
+        1.0 - static_cast<double>(trial.disconnected.size()) / pairs;
+    failed += static_cast<double>(trial.failed_cables.size());
+  }
+  EXPECT_DOUBLE_EQ(result.connectivity, connectivity / 6.0);
+  EXPECT_DOUBLE_EQ(result.failed_cables, failed / 6.0);
+}
+
 }  // namespace
