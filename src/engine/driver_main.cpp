@@ -36,18 +36,23 @@ int usage(std::ostream& os, int code) {
         "[--csv-dir DIR]\n"
         "           [--seed N] [--workers N] [--filter GLOB] [--topo SPEC]\n"
         "  lmpr fm [--script PATH] [--topo SPEC | --fabric FILE] [--k N]\n"
-        "          [--layout disjoint|shift] [--json PATH] [--zero-timings]\n"
+        "          [--layout disjoint|shift]\n"
+        "          [--repair-policy first_surviving|load_aware]\n"
+        "          [--json PATH] [--zero-timings]\n"
         "\n"
         "Scenario names accept globs (e.g. 'fig4?', 'ablation_*').  Pass\n"
         "--full (or set LMPR_FULL=1) for paper-scale runs; the default is\n"
         "quick scale.\n"
         "\n"
         "`fm` replays a fabric-manager event script (cable_down <u> <v>,\n"
-        "cable_up <u> <v>, switch_down <s>, query <src> <dst>; one per\n"
-        "line, '#' comments) against the managed fabric, repairing the\n"
-        "LFTs incrementally after every topology event.  The script is\n"
-        "read from --script or stdin; --zero-timings blanks wall-clock\n"
-        "fields for byte-stable reports.\n";
+        "cable_up <u> <v>, switch_down <s>, switch_up <s>,\n"
+        "query <src> <dst>; one per line, '#' comments) against the\n"
+        "managed fabric, repairing the LFTs incrementally after every\n"
+        "topology event.  --repair-policy picks how displaced path\n"
+        "variants are re-homed: first_surviving (next surviving port) or\n"
+        "load_aware (spread by per-cable use counts).  The script is read\n"
+        "from --script or stdin; --zero-timings blanks wall-clock fields\n"
+        "for byte-stable reports.\n";
   return code;
 }
 
@@ -186,6 +191,8 @@ int cmd_fm(const util::Cli& cli) {
   const std::string topo_text = cli.get_or("topo", "");
   const std::string json_path = cli.get_or("json", "");
   const std::string layout_name = cli.get_or("layout", "disjoint");
+  const std::string policy_name =
+      cli.get_or("repair-policy", "first_surviving");
   const std::int64_t k = cli.get_or("k", std::int64_t{4});
   const bool zero_timings = cli.has("zero-timings");
   if (const auto unknown = cli.unknown_flags(); !unknown.empty()) {
@@ -209,6 +216,13 @@ int cmd_fm(const util::Cli& cli) {
   } else {
     std::cerr << "lmpr fm: unknown layout '" << layout_name
               << "' (expected disjoint or shift)\n";
+    return 2;
+  }
+  if (const auto policy = fabric::repair_policy_from_string(policy_name)) {
+    options.config.repair_policy = *policy;
+  } else {
+    std::cerr << "lmpr fm: unknown repair policy '" << policy_name
+              << "' (expected first_surviving or load_aware)\n";
     return 2;
   }
   discovery::RawFabric fabric;

@@ -10,7 +10,8 @@ namespace lmpr::engine {
 namespace {
 
 std::string event_operands(const fm::Event& event) {
-  if (event.type == fm::EventType::kSwitchDown) {
+  if (event.type == fm::EventType::kSwitchDown ||
+      event.type == fm::EventType::kSwitchUp) {
     return std::to_string(event.a);
   }
   return std::to_string(event.a) + " " + std::to_string(event.b);
@@ -46,6 +47,8 @@ bool run_fm_events(const FmRunOptions& options, const fm::EventScript& script,
   report.add_config("k_paths", std::to_string(options.config.k_paths));
   report.add_config("layout",
                     std::string(to_string(options.config.layout)));
+  report.add_config("repair_policy",
+                    std::string(to_string(options.config.repair_policy)));
   report.add_config("full_rebuild_threshold",
                     util::Table::num(options.config.full_rebuild_threshold, 2));
   report.add_config("events", std::to_string(script.events.size()));

@@ -1,7 +1,9 @@
 // Fabric-manager scenarios: layout-vs-layout churn under a seeded fault
-// storm, and the incremental-repair scaling argument (churn ratio of a
-// single-cable fault against a from-scratch rebuild).
+// storm, repair-policy head-to-head on post-repair link load, and the
+// incremental-repair scaling argument (churn ratio of a single-cable
+// fault against a from-scratch rebuild).
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@ namespace lmpr::engine {
 namespace {
 
 using fabric::LidLayout;
+using fabric::RepairPolicy;
 
 /// Inverse of the recognition isomorphism of `manager`.
 std::vector<std::uint32_t> inverse_canonical(const fm::FabricManager& manager) {
@@ -156,61 +159,70 @@ void run_repair_scaling(const RunContext& ctx, Report& report) {
                                        topo::XgftSpec{{4, 4, 4}, {1, 2, 2}}};
   if (ctx.full()) specs.push_back(topo::XgftSpec{{4, 4, 8}, {1, 4, 4}});
 
-  util::Table table({"topology", "cables", "faults", "full_entries",
+  util::Table table({"policy", "topology", "cables", "faults", "full_entries",
                      "mean_churn", "churn_ratio", "mean_repaired", "hosts",
                      "mean_repair_ms"});
   double worst_ratio = 0.0;
   std::size_t total_faults = 0;
-  for (const auto& spec : specs) {
-    fm::FmConfig config;
-    config.track_link_load = false;
-    // Observe the pure incremental path: no escalation, so the ratio
-    // measures affected-set repair against a from-scratch rebuild.
-    config.full_rebuild_threshold = 1.0;
-    fm::FabricManager manager{spec, config};
-    if (!manager.ok()) {
-      report.add_config("error", manager.error());
-      report.converged = false;
-      return;
-    }
-    const auto inverse = inverse_canonical(manager);
-    const std::uint64_t cables = manager.xgft().num_cables();
-    const std::size_t full_entries = valid_entries(manager.tables());
+  for (const RepairPolicy policy :
+       {RepairPolicy::kFirstSurviving, RepairPolicy::kLoadAware}) {
+    double policy_worst = 0.0;
+    for (const auto& spec : specs) {
+      fm::FmConfig config;
+      config.track_link_load = false;
+      config.repair_policy = policy;
+      // Observe the pure incremental path: no escalation, so the ratio
+      // measures affected-set repair against a from-scratch rebuild.
+      config.full_rebuild_threshold = 1.0;
+      fm::FabricManager manager{spec, config};
+      if (!manager.ok()) {
+        report.add_config("error", manager.error());
+        report.converged = false;
+        return;
+      }
+      const auto inverse = inverse_canonical(manager);
+      const std::uint64_t cables = manager.xgft().num_cables();
+      const std::size_t full_entries = valid_entries(manager.tables());
 
-    std::vector<std::uint64_t> faults;
-    if (ctx.full() || cables <= 16) {
-      for (std::uint64_t c = 0; c < cables; ++c) faults.push_back(c);
-    } else {
-      util::Rng rng{ctx.derived_seed("fm_repair_scaling")};
-      for (int i = 0; i < 12; ++i) faults.push_back(rng.below(cables));
-    }
+      std::vector<std::uint64_t> faults;
+      if (ctx.full() || cables <= 16) {
+        for (std::uint64_t c = 0; c < cables; ++c) faults.push_back(c);
+      } else {
+        util::Rng rng{ctx.derived_seed("fm_repair_scaling")};
+        for (int i = 0; i < 12; ++i) faults.push_back(rng.below(cables));
+      }
 
-    std::size_t churn = 0;
-    std::size_t repaired = 0;
-    double seconds = 0.0;
-    for (const std::uint64_t cable : faults) {
-      // Fault, measure, then re-cable so every fault hits a healthy
-      // fabric (the heal leg restores the nominal tables exactly).
-      const auto down =
-          manager.apply(cable_event(manager, inverse, cable, /*down=*/true));
-      churn += down.churn;
-      repaired += down.destinations_repaired;
-      seconds += down.repair_seconds;
-      manager.apply(cable_event(manager, inverse, cable, /*down=*/false));
+      std::size_t churn = 0;
+      std::size_t repaired = 0;
+      double seconds = 0.0;
+      for (const std::uint64_t cable : faults) {
+        // Fault, measure, then re-cable so every fault hits a healthy
+        // fabric (the heal leg restores the nominal tables exactly).
+        const auto down =
+            manager.apply(cable_event(manager, inverse, cable, /*down=*/true));
+        churn += down.churn;
+        repaired += down.destinations_repaired;
+        seconds += down.repair_seconds;
+        manager.apply(cable_event(manager, inverse, cable, /*down=*/false));
+      }
+      const double n = static_cast<double>(faults.size());
+      const double ratio = static_cast<double>(churn) /
+                           (n * static_cast<double>(full_entries));
+      policy_worst = std::max(policy_worst, ratio);
+      total_faults += faults.size();
+      table.add_row({std::string(to_string(policy)), spec.to_string(),
+                     util::Table::num(cables),
+                     util::Table::num(faults.size()),
+                     util::Table::num(full_entries),
+                     util::Table::num(static_cast<double>(churn) / n, 1),
+                     util::Table::num(ratio),
+                     util::Table::num(static_cast<double>(repaired) / n, 1),
+                     util::Table::num(manager.xgft().num_hosts()),
+                     util::Table::num(seconds * 1e3 / n)});
     }
-    const double n = static_cast<double>(faults.size());
-    const double ratio = static_cast<double>(churn) /
-                         (n * static_cast<double>(full_entries));
-    worst_ratio = std::max(worst_ratio, ratio);
-    total_faults += faults.size();
-    table.add_row({spec.to_string(), util::Table::num(cables),
-                   util::Table::num(faults.size()),
-                   util::Table::num(full_entries),
-                   util::Table::num(static_cast<double>(churn) / n, 1),
-                   util::Table::num(ratio),
-                   util::Table::num(static_cast<double>(repaired) / n, 1),
-                   util::Table::num(manager.xgft().num_hosts()),
-                   util::Table::num(seconds * 1e3 / n)});
+    worst_ratio = std::max(worst_ratio, policy_worst);
+    report.add_metric("churn_ratio_worst_" + std::string(to_string(policy)),
+                      policy_worst);
   }
   report.add_config("k_paths", "4");
   report.add_config("layout", "disjoint");
@@ -218,8 +230,113 @@ void run_repair_scaling(const RunContext& ctx, Report& report) {
   report.samples = total_faults;
   report.add_section(
       "Incremental repair churn vs from-scratch rebuild, single-cable "
-      "faults",
+      "faults, per repair policy",
       std::move(table));
+}
+
+// Head-to-head of the repair policies on one seeded cable storm: both
+// managers replay the identical events; after every topology event the
+// post-repair reference-permutation max link load is compared.  The
+// paper's point applied to repair: WHICH surviving variant you re-home a
+// broken path onto decides the congestion the degraded fabric serves, so
+// load_aware must never lose to first_surviving (the `regressions`
+// metric the tests pin to zero) while rewriting a comparable number of
+// entries.
+void run_rebalance_vs_first(const RunContext& ctx, Report& report) {
+  // Quick default is a width-3 tree: with K=4 variants over radix-3
+  // switches the greedy has genuine spreading choices, so the comparison
+  // is not vacuous.
+  const auto spec = ctx.topo_or(ctx.full()
+                                    ? topo::XgftSpec{{4, 4, 8}, {1, 4, 4}}
+                                    : topo::XgftSpec{{4, 4}, {3, 3}});
+  const std::size_t num_events = ctx.full() ? 120 : 40;
+
+  fm::FmConfig probe_config;
+  probe_config.track_link_load = false;
+  const fm::FabricManager probe{spec, probe_config};
+  if (!probe.ok()) {
+    report.add_config("error", probe.error());
+    report.converged = false;
+    return;
+  }
+  util::Rng rng{ctx.derived_seed("fm_rebalance")};
+  const auto events = cable_storm(probe, num_events, rng);
+
+  struct PolicyRun {
+    RepairPolicy policy;
+    std::unique_ptr<fm::FabricManager> manager;
+    double load_sum = 0.0;
+    double load_worst = 0.0;
+  };
+  std::vector<PolicyRun> runs;
+  for (const RepairPolicy policy :
+       {RepairPolicy::kFirstSurviving, RepairPolicy::kLoadAware}) {
+    fm::FmConfig config;
+    config.repair_policy = policy;
+    config.zero_timings = true;
+    runs.push_back({policy, std::make_unique<fm::FabricManager>(spec, config)});
+    if (!runs.back().manager->ok()) {
+      report.add_config("error", runs.back().manager->error());
+      report.converged = false;
+      return;
+    }
+  }
+
+  // Lockstep replay: per event, the load_aware load may never exceed the
+  // first_surviving load (beyond rounding).
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t load_events = 0;
+  for (const auto& event : events) {
+    double first_load = 0.0;
+    for (auto& run : runs) {
+      const auto record = run.manager->apply(event);
+      if (!record.ok || !record.event.topology_event()) continue;
+      run.load_sum += record.max_link_load;
+      run.load_worst = std::max(run.load_worst, record.max_link_load);
+      if (run.policy == RepairPolicy::kFirstSurviving) {
+        first_load = record.max_link_load;
+        ++load_events;
+      } else {
+        if (record.max_link_load > first_load + 1e-9) ++regressions;
+        if (record.max_link_load < first_load - 1e-9) ++improvements;
+      }
+    }
+  }
+
+  util::Table table({"policy", "events", "total_churn", "repaired",
+                     "full_rebuilds", "mean_max_load", "worst_max_load",
+                     "final_disc_pairs"});
+  for (const auto& run : runs) {
+    const auto& summary = run.manager->summary();
+    const double n = static_cast<double>(
+        std::max<std::size_t>(1, summary.topology_events));
+    table.add_row({std::string(to_string(run.policy)),
+                   util::Table::num(summary.topology_events),
+                   util::Table::num(summary.total_churn),
+                   util::Table::num(summary.destinations_repaired),
+                   util::Table::num(summary.full_rebuilds),
+                   util::Table::num(run.load_sum / n),
+                   util::Table::num(run.load_worst),
+                   util::Table::num(static_cast<std::size_t>(
+                       summary.disconnected_pairs))});
+    report.add_metric("mean_max_load_" + std::string(to_string(run.policy)),
+                      run.load_sum / n);
+    report.add_metric("total_churn_" + std::string(to_string(run.policy)),
+                      static_cast<double>(summary.total_churn));
+  }
+  report.add_metric("regressions", static_cast<double>(regressions));
+  report.add_metric("improvements", static_cast<double>(improvements));
+  report.add_config("topology", spec.to_string());
+  report.add_config("events", std::to_string(num_events));
+  report.add_config("k_paths", "4");
+  report.add_config("layout", "disjoint");
+  report.samples = load_events;
+  report.converged = report.converged && regressions == 0;
+  report.add_section("Post-repair reference load, load_aware vs "
+                         "first_surviving under one cable storm, " +
+                         spec.to_string(),
+                     std::move(table));
 }
 
 }  // namespace
@@ -242,11 +359,24 @@ void register_fm_scenarios(ScenarioRegistry& registry) {
   scaling.artifact = "extension";
   scaling.family = Family::kAnalysis;
   scaling.description = "Single-cable-fault churn of incremental repair "
-                        "against a from-scratch LFT rebuild (churn ratio)";
-  scaling.quick_params = "2 topologies, 12 sampled faults each";
-  scaling.full_params = "3 topologies, every cable";
+                        "against a from-scratch LFT rebuild (churn ratio), "
+                        "per repair policy";
+  scaling.quick_params = "2 topologies x 2 policies, 12 sampled faults each";
+  scaling.full_params = "3 topologies x 2 policies, every cable";
   scaling.run = run_repair_scaling;
   registry.add(scaling);
+
+  Scenario rebalance;
+  rebalance.name = "fm_rebalance_vs_first";
+  rebalance.artifact = "extension";
+  rebalance.family = Family::kAnalysis;
+  rebalance.description = "Post-repair reference link load of load_aware vs "
+                          "first_surviving repair under one seeded cable "
+                          "storm (regressions must be zero)";
+  rebalance.quick_params = "XGFT(2;4,4;3,3), 40 events";
+  rebalance.full_params = "XGFT(3;4,4,8;1,4,4), 120 events";
+  rebalance.run = run_rebalance_vs_first;
+  registry.add(rebalance);
 }
 
 }  // namespace lmpr::engine

@@ -6,6 +6,21 @@
 
 namespace lmpr::fabric {
 
+std::string_view to_string(RepairPolicy policy) noexcept {
+  switch (policy) {
+    case RepairPolicy::kFirstSurviving: return "first_surviving";
+    case RepairPolicy::kLoadAware: return "load_aware";
+  }
+  return "?";
+}
+
+std::optional<RepairPolicy> repair_policy_from_string(
+    std::string_view name) noexcept {
+  if (name == "first_surviving") return RepairPolicy::kFirstSurviving;
+  if (name == "load_aware") return RepairPolicy::kLoadAware;
+  return std::nullopt;
+}
+
 bool Degradation::healthy() const {
   return std::find(cable_dead.begin(), cable_dead.end(), true) ==
              cable_dead.end() &&
@@ -15,7 +30,8 @@ bool Degradation::healthy() const {
 
 RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
                                  std::uint64_t dst, Tables& tables,
-                                 RebuildScratch& scratch) {
+                                 RebuildScratch& scratch,
+                                 RepairPolicy policy) {
   const topo::Xgft& xgft = lft.xgft();
   LMPR_EXPECTS(dst < xgft.num_hosts());
   LMPR_EXPECTS(tables.size() == xgft.num_nodes());
@@ -83,56 +99,125 @@ RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
     LMPR_EXPECTS(row.size() == lft.lid_end());
     const bool is_ancestor = (good[node] & 2) != 0;
     const std::uint32_t level = xgft.level_of(node);
-    for (std::uint32_t j = 0; j < block; ++j) {
+
+    const auto write_entry = [&](std::uint32_t j, topo::LinkId entry) {
       const std::uint32_t lid = lft.lid_of(dst, j);
-      topo::LinkId entry = topo::kInvalidLink;
-      if (node == dst_host) {
-        // Own LIDs stay invalid: the packet has arrived.
-      } else if (!deg.node_ok(node)) {
-        stats.nominal = false;  // a dead switch's row is wiped
-      } else if (is_ancestor) {
-        if ((good[node] & 1) != 0) {
-          entry = xgft.down_link(node, xgft.down_port_toward(node, dst));
-        } else {
-          stats.nominal = false;  // broken descent: unrecoverable from here
-        }
-      } else {
-        const std::uint32_t radix = spec.w_at(level + 1);
-        const std::uint32_t anchor = static_cast<std::uint32_t>(
-            (dst / xgft.w_prefix(level)) % radix);
-        const std::uint32_t base =
-            (anchor + lft.variant_digit(level, j)) % radix;
-        for (std::uint32_t t = 0; t < radix; ++t) {
-          const std::uint32_t port = (base + t) % radix;
-          const topo::LinkId link = xgft.up_link(node, port);
-          if (deg.cable_ok(xgft.cable_of(link)) &&
-              (good[xgft.link(link).dst] & 1) != 0) {
-            entry = link;
-            if (t != 0) stats.nominal = false;  // surviving-variant fallback
-            break;
-          }
-        }
-        if (entry == topo::kInvalidLink) {
-          stats.nominal = false;
-          if (xgft.is_host(node) && j == 0) ++stats.disconnected_sources;
-        }
-      }
       if (row[lid] != entry) {
         row[lid] = entry;
         ++stats.entries_written;
       }
+    };
+
+    if (node == dst_host) {
+      // Own LIDs stay invalid: the packet has arrived.
+      for (std::uint32_t j = 0; j < block; ++j) {
+        write_entry(j, topo::kInvalidLink);
+      }
+      continue;
+    }
+    if (!deg.node_ok(node)) {
+      stats.nominal = false;  // a dead switch's row is wiped
+      for (std::uint32_t j = 0; j < block; ++j) {
+        write_entry(j, topo::kInvalidLink);
+      }
+      continue;
+    }
+    if (is_ancestor) {
+      topo::LinkId entry = topo::kInvalidLink;
+      if ((good[node] & 1) != 0) {
+        entry = xgft.down_link(node, xgft.down_port_toward(node, dst));
+      } else {
+        stats.nominal = false;  // broken descent: unrecoverable from here
+      }
+      for (std::uint32_t j = 0; j < block; ++j) write_entry(j, entry);
+      continue;
+    }
+
+    // Non-ancestor: an up-port candidate (live cable to a live good
+    // parent) serves every variant LID alike, so delivery is variant- and
+    // policy-independent; only the variant -> port assignment differs.
+    const std::uint32_t radix = spec.w_at(level + 1);
+    const std::uint32_t anchor = static_cast<std::uint32_t>(
+        (dst / xgft.w_prefix(level)) % radix);
+    scratch.port_ok.assign(radix, 0);
+    bool any_ok = false;
+    for (std::uint32_t p = 0; p < radix; ++p) {
+      const topo::LinkId link = xgft.up_link(node, p);
+      const bool ok = deg.cable_ok(xgft.cable_of(link)) &&
+                      (good[xgft.link(link).dst] & 1) != 0;
+      scratch.port_ok[p] = ok ? 1 : 0;
+      any_ok = any_ok || ok;
+    }
+    if (!any_ok) {
+      stats.nominal = false;
+      if (xgft.is_host(node)) ++stats.disconnected_sources;
+      for (std::uint32_t j = 0; j < block; ++j) {
+        write_entry(j, topo::kInvalidLink);
+      }
+      continue;
+    }
+
+    if (policy == RepairPolicy::kFirstSurviving) {
+      for (std::uint32_t j = 0; j < block; ++j) {
+        const std::uint32_t base =
+            (anchor + lft.variant_digit(level, j)) % radix;
+        for (std::uint32_t t = 0; t < radix; ++t) {
+          const std::uint32_t port = (base + t) % radix;
+          if (scratch.port_ok[port] == 0) continue;
+          if (t != 0) stats.nominal = false;  // surviving-variant fallback
+          write_entry(j, xgft.up_link(node, port));
+          break;
+        }
+      }
+      continue;
+    }
+
+    // kLoadAware.  Pass 1: variants whose healthy port survives keep it,
+    // so a healthy column stays byte-identical to the nominal layout.
+    scratch.port_load.assign(radix, 0);
+    scratch.chosen.assign(block, radix);  // radix marks "displaced"
+    for (std::uint32_t j = 0; j < block; ++j) {
+      const std::uint32_t base = (anchor + lft.variant_digit(level, j)) % radix;
+      if (scratch.port_ok[base] != 0) {
+        scratch.chosen[j] = base;
+        ++scratch.port_load[base];
+      }
+    }
+    // Pass 2: displaced variants go, in variant order, to the surviving
+    // port carrying the fewest variants of this column (the column-local
+    // estimate of the post-repair cable load); ties keep the
+    // kFirstSurviving probe order so the output stays deterministic.
+    for (std::uint32_t j = 0; j < block; ++j) {
+      if (scratch.chosen[j] != radix) continue;
+      stats.nominal = false;
+      const std::uint32_t base = (anchor + lft.variant_digit(level, j)) % radix;
+      std::uint32_t best = radix;
+      for (std::uint32_t t = 0; t < radix; ++t) {
+        const std::uint32_t port = (base + t) % radix;
+        if (scratch.port_ok[port] == 0) continue;
+        if (best == radix ||
+            scratch.port_load[port] < scratch.port_load[best]) {
+          best = port;
+        }
+      }
+      scratch.chosen[j] = best;
+      ++scratch.port_load[best];
+    }
+    for (std::uint32_t j = 0; j < block; ++j) {
+      write_entry(j, xgft.up_link(node, scratch.chosen[j]));
     }
   }
   return stats;
 }
 
-Tables build_lft(const Lft& lft, const Degradation& deg) {
+Tables build_lft(const Lft& lft, const Degradation& deg,
+                 RepairPolicy policy) {
   const topo::Xgft& xgft = lft.xgft();
   Tables tables(static_cast<std::size_t>(xgft.num_nodes()),
                 std::vector<topo::LinkId>(lft.lid_end(), topo::kInvalidLink));
   RebuildScratch scratch;
   for (std::uint64_t dst = 0; dst < xgft.num_hosts(); ++dst) {
-    rebuild_destination(lft, deg, dst, tables, scratch);
+    rebuild_destination(lft, deg, dst, tables, scratch, policy);
   }
   return tables;
 }

@@ -14,23 +14,55 @@
 //   * a non-ancestor (or source host) is good iff some live up cable
 //     leads to a live good parent.
 //
-// The degraded table entry for DLID (d, j) at a non-ancestor node of
-// level l is the first SURVIVING VARIANT: ports are probed in the order
-// p_j, p_j+1, .., p_j+w-1 (mod w), where p_j is the healthy layout's
-// port for variant j -- i.e. the variant digit c_l(j) is advanced until
-// it lands on a live good parent.  Entries with no surviving choice, and
-// every entry of a dead switch, are kInvalidLink.  On a healthy fabric
-// this reproduces Lft::table_for exactly, and a pair (s, d) is deliverable
-// iff host s's entry for any of d's LIDs is valid (all variants then are).
+// The degraded table entry for DLID (d, j) at a non-ancestor node is
+// decided by a REPAIR POLICY.  Variants whose healthy port p_j (the
+// d-mod-k choice perturbed by the variant digit c_l(j)) still reaches a
+// live good parent always keep it, so a healthy fabric reproduces
+// Lft::table_for exactly under every policy.  Variants whose healthy
+// port is broken are DISPLACED and re-homed per policy:
+//
+//   kFirstSurviving  probe ports in the order p_j, p_j+1, .., p_j+w-1
+//                    (mod w) and take the first live good parent -- the
+//                    cheapest repair, but displaced variants pile onto
+//                    the next surviving port;
+//   kLoadAware       displaced variants go, in variant order, to the
+//                    surviving port carrying the fewest variants of THIS
+//                    destination column (nominal keepers included) --
+//                    the column-local estimate of the post-repair cable
+//                    load; ties keep the kFirstSurviving probe order.
+//
+// Both policies are pure per-destination functions of (lft, degradation),
+// so the fabric manager's incremental repair stays entry-for-entry
+// identical to a from-scratch build_lft under either (the differential
+// invariant tests/test_fm_property.cpp hammers with random topologies and
+// event scripts).  Entries with no surviving choice, and every entry of a
+// dead switch, are kInvalidLink; a pair (s, d) is deliverable iff host
+// s's entry for any of d's LIDs is valid (all variants then are --
+// candidate sets are variant-independent, so delivery is policy-
+// independent too).
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "fabric/lft.hpp"
 #include "topology/xgft.hpp"
 
 namespace lmpr::fabric {
+
+/// How displaced path variants are re-homed onto surviving ports.
+enum class RepairPolicy {
+  kFirstSurviving,
+  kLoadAware,
+};
+
+/// "first_surviving" / "load_aware" -- the spelling `lmpr fm
+/// --repair-policy` accepts.
+std::string_view to_string(RepairPolicy policy) noexcept;
+std::optional<RepairPolicy> repair_policy_from_string(
+    std::string_view name) noexcept;
 
 /// The failure state of a fabric: per-cable and per-node death flags
 /// (hosts never die; switch_down events set node flags).
@@ -60,6 +92,9 @@ using Tables = std::vector<std::vector<topo::LinkId>>;
 struct RebuildScratch {
   std::vector<std::uint8_t> good;       ///< per node
   std::vector<topo::NodeId> ancestors;  ///< d's ancestor cone, by level
+  std::vector<std::uint8_t> port_ok;    ///< per up port of the current node
+  std::vector<std::uint32_t> port_load; ///< column variants per up port
+  std::vector<std::uint32_t> chosen;    ///< per variant: its assigned port
 };
 
 struct RebuildStats {
@@ -76,12 +111,14 @@ struct RebuildStats {
 /// Recomputes destination `dst`'s column (every node, every variant LID)
 /// of `tables` for the degraded topology, diffing against the current
 /// contents.  `tables` must have one row of size lft.lid_end() per node.
-RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
-                                 std::uint64_t dst, Tables& tables,
-                                 RebuildScratch& scratch);
+RebuildStats rebuild_destination(
+    const Lft& lft, const Degradation& deg, std::uint64_t dst, Tables& tables,
+    RebuildScratch& scratch,
+    RepairPolicy policy = RepairPolicy::kFirstSurviving);
 
 /// From-scratch build of the full degraded forwarding state -- the
 /// reference the fabric manager's incremental repair is tested against.
-Tables build_lft(const Lft& lft, const Degradation& deg);
+Tables build_lft(const Lft& lft, const Degradation& deg,
+                 RepairPolicy policy = RepairPolicy::kFirstSurviving);
 
 }  // namespace lmpr::fabric

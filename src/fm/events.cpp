@@ -9,6 +9,7 @@ std::string_view to_string(EventType type) noexcept {
     case EventType::kCableDown: return "cable_down";
     case EventType::kCableUp: return "cable_up";
     case EventType::kSwitchDown: return "switch_down";
+    case EventType::kSwitchUp: return "switch_up";
     case EventType::kQuery: return "query";
   }
   return "?";
@@ -47,12 +48,15 @@ EventScript parse_event_script(std::istream& in) {
     } else if (keyword == "switch_down") {
       event.type = EventType::kSwitchDown;
       operands = 1;
+    } else if (keyword == "switch_up") {
+      event.type = EventType::kSwitchUp;
+      operands = 1;
     } else if (keyword == "query") {
       event.type = EventType::kQuery;
     } else {
       return fail(line_no, "unknown event '" + keyword +
                                "' (expected cable_down, cable_up, "
-                               "switch_down or query)");
+                               "switch_down, switch_up or query)");
     }
 
     std::uint64_t values[2] = {0, 0};

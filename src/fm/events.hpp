@@ -5,6 +5,7 @@
 //   cable_down <u> <v>    # the cable between nodes u and v dies
 //   cable_up <u> <v>      # it is re-cabled / heals
 //   switch_down <s>       # switch s dies with every incident cable
+//   switch_up <s>         # switch s is replaced / reboots
 //   query <src> <dst>     # report the current multipath state of a pair
 //
 // Node ids are RAW fabric ids (the subnet's view, as in discovery::
@@ -20,14 +21,14 @@
 
 namespace lmpr::fm {
 
-enum class EventType { kCableDown, kCableUp, kSwitchDown, kQuery };
+enum class EventType { kCableDown, kCableUp, kSwitchDown, kSwitchUp, kQuery };
 
 std::string_view to_string(EventType type) noexcept;
 
 struct Event {
   EventType type = EventType::kQuery;
-  /// cable_down/cable_up: the raw endpoints; switch_down: a in use only;
-  /// query: a = src host, b = dst host.
+  /// cable_down/cable_up: the raw endpoints; switch_down/switch_up: a in
+  /// use only; query: a = src host, b = dst host.
   std::uint32_t a = 0;
   std::uint32_t b = 0;
 

@@ -18,7 +18,74 @@ std::uint64_t pair_key(topo::NodeId u, topo::NodeId v) {
   return (lo << 32) | hi;
 }
 
+/// Follows `tables` from src toward lid_of(dst, j), appending the links
+/// taken; returns whether the walk reached the destination host.
+bool walk_tables(const topo::Xgft& xgft, const fabric::Lft& lft,
+                 const fabric::Tables& tables, std::uint64_t src,
+                 std::uint64_t dst, std::uint32_t j,
+                 std::vector<topo::LinkId>& links) {
+  links.clear();
+  if (src == dst) return true;
+  const std::uint32_t lid = lft.lid_of(dst, j);
+  const topo::NodeId target = xgft.host(dst);
+  topo::NodeId node = xgft.host(src);
+  const std::size_t hop_limit = 4 * xgft.height() + 2;
+  for (std::size_t hop = 0; hop <= hop_limit; ++hop) {
+    const topo::LinkId link = tables[node][lid];
+    if (link == topo::kInvalidLink) return node == target;
+    links.push_back(link);
+    node = xgft.link(link).dst;
+  }
+  return false;  // hop budget exhausted: cannot happen
+}
+
 }  // namespace
+
+double reference_max_load(const topo::Xgft& xgft, const fabric::Lft& lft,
+                          const fabric::Tables& tables,
+                          flow::LoadEvaluator& eval) {
+  const std::uint64_t hosts = xgft.num_hosts();
+  if (hosts < 2) return 0.0;
+  // Reference permutation: cyclic shift by half the fabric, so every
+  // demand crosses the upper levels.
+  const std::uint64_t shift = std::max<std::uint64_t>(1, hosts / 2);
+  std::vector<topo::LinkId> links;
+  eval.begin();
+  for (std::uint64_t s = 0; s < hosts; ++s) {
+    const std::uint64_t d = (s + shift) % hosts;
+    std::uint32_t usable = 0;
+    for (std::uint32_t j = 0; j < lft.block(); ++j) {
+      usable += walk_tables(xgft, lft, tables, s, d, j, links);
+    }
+    if (usable == 0) continue;  // disconnected pair: no load placed
+    const double fraction = 1.0 / static_cast<double>(usable);
+    for (std::uint32_t j = 0; j < lft.block(); ++j) {
+      if (!walk_tables(xgft, lft, tables, s, d, j, links)) continue;
+      for (const topo::LinkId link : links) eval.add_load(link, fraction);
+    }
+  }
+  return eval.end().max_load;
+}
+
+double reference_max_load(const topo::Xgft& xgft, const fabric::Lft& lft,
+                          const fabric::Tables& tables) {
+  flow::LoadEvaluator eval{xgft};
+  return reference_max_load(xgft, lft, tables, eval);
+}
+
+fabric::Tables build_managed_tables(const topo::Xgft& xgft,
+                                    const fabric::Lft& lft,
+                                    const fabric::Degradation& degradation,
+                                    fabric::RepairPolicy policy) {
+  fabric::Tables own = fabric::build_lft(lft, degradation, policy);
+  if (policy == fabric::RepairPolicy::kFirstSurviving) return own;
+  fabric::Tables first = fabric::build_lft(
+      lft, degradation, fabric::RepairPolicy::kFirstSurviving);
+  flow::LoadEvaluator eval{xgft};
+  const double own_load = reference_max_load(xgft, lft, own, eval);
+  const double first_load = reference_max_load(xgft, lft, first, eval);
+  return own_load <= first_load ? own : first;
+}
 
 FabricManager::FabricManager(const discovery::RawFabric& fabric,
                              const FmConfig& config)
@@ -35,12 +102,21 @@ FabricManager::FabricManager(const discovery::RawFabric& fabric,
   lft_ = std::make_unique<fabric::Lft>(*xgft_, config.k_paths, config.layout);
   degradation_ = std::make_unique<fabric::Degradation>(*xgft_);
   load_eval_ = std::make_unique<flow::LoadEvaluator>(*xgft_);
-  tables_ = fabric::build_lft(*lft_, *degradation_);
+  tables_ = fabric::build_lft(*lft_, *degradation_, config.repair_policy);
   index_cables();
   const std::size_t hosts = static_cast<std::size_t>(xgft_->num_hosts());
   degraded_.assign(hosts, false);
   disconnected_sources_.assign(hosts, 0);
   rebuild_use_counts();
+  if (config.repair_policy == fabric::RepairPolicy::kLoadAware) {
+    FmConfig shadow_config = config;
+    shadow_config.repair_policy = fabric::RepairPolicy::kFirstSurviving;
+    // The twin never reports; we read its tables and compute both loads
+    // ourselves during arbitration.
+    shadow_config.track_link_load = false;
+    shadow_ = std::make_unique<FabricManager>(fabric, shadow_config);
+    LMPR_ASSERT(shadow_->ok());
+  }
 }
 
 FabricManager::FabricManager(const topo::XgftSpec& spec,
@@ -104,7 +180,7 @@ void FabricManager::repair(const std::vector<std::uint64_t>& affected,
     adjust_use(dst, -1);
     const auto stats =
         fabric::rebuild_destination(*lft_, *degradation_, dst, tables_,
-                                    scratch_);
+                                    scratch_, config_.repair_policy);
     adjust_use(dst, +1);
     degraded_[static_cast<std::size_t>(dst)] = !stats.nominal;
     auto& old_disc = disconnected_sources_[static_cast<std::size_t>(dst)];
@@ -139,55 +215,30 @@ void FabricManager::finish_topology_event(EventRecord& record) {
   } else {
     summary_.current_disconnected_window = 0;
   }
-  if (config_.track_link_load) {
-    const std::uint64_t hosts = xgft_->num_hosts();
-    if (hosts >= 2) {
-      // Reference permutation: cyclic shift by half the fabric, so every
-      // demand crosses the upper levels.
-      const std::uint64_t shift = std::max<std::uint64_t>(1, hosts / 2);
-      load_eval_->begin();
-      for (std::uint64_t s = 0; s < hosts; ++s) {
-        const std::uint64_t d = (s + shift) % hosts;
-        std::uint32_t usable = 0;
-        for (std::uint32_t j = 0; j < lft_->block(); ++j) {
-          usable += walk(s, d, j).delivered;
-        }
-        if (usable == 0) continue;  // disconnected pair: no load placed
-        const double fraction = 1.0 / static_cast<double>(usable);
-        for (std::uint32_t j = 0; j < lft_->block(); ++j) {
-          const Walk w = walk(s, d, j);
-          if (!w.delivered) continue;
-          for (const topo::LinkId link : w.links) {
-            load_eval_->add_load(link, fraction);
-          }
-        }
-      }
-      record.max_link_load = load_eval_->end().max_load;
+  if (shadow_ != nullptr) {
+    // Arbitrate: expose whichever rebuild carries the reference
+    // permutation with the lower max link load (ties prefer our greedy
+    // spread).  Both loads are pure functions of the degradation state,
+    // so the winner is too.
+    const double own_load =
+        reference_max_load(*xgft_, *lft_, tables_, *load_eval_);
+    const double shadow_load =
+        reference_max_load(*xgft_, *lft_, shadow_->tables_, *load_eval_);
+    prefer_own_ = own_load <= shadow_load;
+    if (config_.track_link_load) {
+      record.max_link_load = prefer_own_ ? own_load : shadow_load;
     }
+  } else if (config_.track_link_load) {
+    record.max_link_load =
+        reference_max_load(*xgft_, *lft_, tables_, *load_eval_);
   }
 }
 
 FabricManager::Walk FabricManager::walk(std::uint64_t src, std::uint64_t dst,
                                         std::uint32_t j) const {
   Walk result;
-  if (src == dst) {
-    result.delivered = true;
-    return result;
-  }
-  const std::uint32_t lid = lft_->lid_of(dst, j);
-  const topo::NodeId target = xgft_->host(dst);
-  topo::NodeId node = xgft_->host(src);
-  const std::size_t hop_limit = 4 * xgft_->height() + 2;
-  for (std::size_t hop = 0; hop <= hop_limit; ++hop) {
-    const topo::LinkId link = tables_[node][lid];
-    if (link == topo::kInvalidLink) {
-      result.delivered = (node == target);
-      return result;
-    }
-    result.links.push_back(link);
-    node = xgft_->link(link).dst;
-  }
-  result.delivered = false;  // hop budget exhausted: cannot happen
+  result.delivered = walk_tables(*xgft_, *lft_, tables(), src, dst, j,
+                                 result.links);
   return result;
 }
 
@@ -228,6 +279,7 @@ EventRecord FabricManager::apply(const Event& event) {
       }
       const bool down = event.type == EventType::kCableDown;
       const std::size_t c = static_cast<std::size_t>(cable);
+      if (shadow_ != nullptr) shadow_->apply(event);
       if (degradation_->cable_dead[c] != down) {
         const auto start = Clock::now();
         std::vector<std::uint64_t> affected;
@@ -255,7 +307,8 @@ EventRecord FabricManager::apply(const Event& event) {
       return record;
     }
 
-    case EventType::kSwitchDown: {
+    case EventType::kSwitchDown:
+    case EventType::kSwitchUp: {
       topo::NodeId node = 0;
       if (!resolve(event.a, node)) return record;
       if (xgft_->is_host(node)) {
@@ -264,31 +317,41 @@ EventRecord FabricManager::apply(const Event& event) {
                        " is a host, not a switch";
         return record;
       }
-      if (degradation_->node_ok(node)) {
+      const bool down = event.type == EventType::kSwitchDown;
+      if (shadow_ != nullptr) shadow_->apply(event);
+      if (degradation_->node_ok(node) == down) {
         const auto start = Clock::now();
-        degradation_->node_dead[static_cast<std::size_t>(node)] = true;
-        // Destinations routed over any cable incident to the switch.
-        std::vector<bool> seen(static_cast<std::size_t>(xgft_->num_hosts()),
-                               false);
+        degradation_->node_dead[static_cast<std::size_t>(node)] = down;
         std::vector<std::uint64_t> affected;
-        const auto mark_cable = [&](topo::LinkId link) {
-          const auto& uses =
-              use_counts_[static_cast<std::size_t>(xgft_->cable_of(link))];
-          for (std::uint64_t d = 0; d < uses.size(); ++d) {
-            if (uses[static_cast<std::size_t>(d)] > 0 &&
-                !seen[static_cast<std::size_t>(d)]) {
-              seen[static_cast<std::size_t>(d)] = true;
-              affected.push_back(d);
+        if (down) {
+          // Destinations routed over any cable incident to the switch.
+          std::vector<bool> seen(
+              static_cast<std::size_t>(xgft_->num_hosts()), false);
+          const auto mark_cable = [&](topo::LinkId link) {
+            const auto& uses =
+                use_counts_[static_cast<std::size_t>(xgft_->cable_of(link))];
+            for (std::uint64_t d = 0; d < uses.size(); ++d) {
+              if (uses[static_cast<std::size_t>(d)] > 0 &&
+                  !seen[static_cast<std::size_t>(d)]) {
+                seen[static_cast<std::size_t>(d)] = true;
+                affected.push_back(d);
+              }
             }
+          };
+          for (std::uint32_t p = 0; p < xgft_->num_parents(node); ++p) {
+            mark_cable(xgft_->up_link(node, p));
           }
-        };
-        for (std::uint32_t p = 0; p < xgft_->num_parents(node); ++p) {
-          mark_cable(xgft_->up_link(node, p));
+          for (std::uint32_t c = 0; c < xgft_->num_children(node); ++c) {
+            mark_cable(xgft_->down_link(node, c));
+          }
+          std::sort(affected.begin(), affected.end());
+        } else {
+          // Healing can only improve destinations that currently deviate
+          // from the healthy layout somewhere (as for cable_up).
+          for (std::uint64_t d = 0; d < degraded_.size(); ++d) {
+            if (degraded_[static_cast<std::size_t>(d)]) affected.push_back(d);
+          }
         }
-        for (std::uint32_t c = 0; c < xgft_->num_children(node); ++c) {
-          mark_cable(xgft_->down_link(node, c));
-        }
-        std::sort(affected.begin(), affected.end());
         repair(affected, record);
         if (!config_.zero_timings) {
           record.repair_seconds =

@@ -12,17 +12,37 @@
 //                routed over the cable (tracked by per-cable use counts);
 //   switch_down  destinations routed over any cable incident to the
 //                switch;
-//   cable_up     destinations whose state deviates anywhere from the
-//                healthy layout (healing cannot affect a destination that
+//   cable_up /   destinations whose state deviates anywhere from the
+//   switch_up    healthy layout (healing cannot affect a destination that
 //                is already nominal everywhere);
 //
-// each via fabric::rebuild_destination, so the repaired tables are BY
-// CONSTRUCTION entry-for-entry identical to a from-scratch
-// fabric::build_lft on the degraded topology (the repair invariant the
-// tests enforce independently).  When an event implicates more than
-// full_rebuild_threshold of all destinations -- e.g. a switch death
-// wiping a whole level's redundancy -- the manager falls back to a full
-// recompute and says so in the event record.
+// each via fabric::rebuild_destination with the configured
+// fabric::RepairPolicy, so the repaired tables are BY CONSTRUCTION
+// entry-for-entry identical to a from-scratch fabric::build_lft on the
+// degraded topology under the same policy (the repair invariant the tests
+// enforce independently -- both policies are pure per-destination
+// functions of the degradation).  first_surviving re-homes each broken
+// variant onto the next surviving port; load_aware spreads a column's
+// displaced variants across surviving ports by their current variant
+// counts, minimizing the estimated post-repair max link load (ties keep
+// the d-mod-k order, so output stays deterministic).
+//
+// The greedy spread is column-local, and a column-local rule cannot see
+// how its placement collides with OTHER destinations' traffic (when more
+// variants survive than distinct routes, the forced double-up may land on
+// a link that background traffic already saturates).  So under load_aware
+// the manager additionally maintains a first_surviving SHADOW table set in
+// lockstep and ARBITRATES after every topology event: tables() exposes
+// whichever rebuild yields the lower reference-permutation max link load
+// (ties prefer the greedy).  Both candidate tables and both loads are pure
+// functions of the degradation state, so the exposed tables still equal a
+// from-scratch build (fm::build_managed_tables) after every event, and
+// load_aware is never worse than first_surviving on the reference load --
+// the two guarantees the property harness asserts per event.
+// When an event implicates more than full_rebuild_threshold of all
+// destinations -- e.g. a switch death wiping a whole level's redundancy
+// -- the manager falls back to a full recompute and says so in the event
+// record.
 //
 // Every event yields an EventRecord with the churn metrics the paper's
 // deployment story needs: LFT entries rewritten, destinations repaired,
@@ -49,6 +69,8 @@ namespace lmpr::fm {
 struct FmConfig {
   std::uint64_t k_paths = 4;
   fabric::LidLayout layout = fabric::LidLayout::kDisjointLayout;
+  /// How repair re-homes displaced path variants (fabric/degraded.hpp).
+  fabric::RepairPolicy repair_policy = fabric::RepairPolicy::kFirstSurviving;
   /// Affected-destination fraction at or above which repair falls back
   /// to a full recompute of every destination.
   double full_rebuild_threshold = 0.5;
@@ -117,9 +139,31 @@ class FabricManager {
   const topo::Xgft& xgft() const { return *xgft_; }
   const fabric::Lft& lft() const { return *lft_; }
   const fabric::Degradation& degradation() const { return *degradation_; }
-  /// Current forwarding state; invariant: equals
-  /// fabric::build_lft(lft(), degradation()).
-  const fabric::Tables& tables() const { return tables_; }
+  /// The forwarding state the fabric routes on; invariant: equals
+  /// fm::build_managed_tables(xgft(), lft(), degradation(),
+  /// config().repair_policy) after every event.  Under load_aware this is
+  /// the arbitration winner and may alias shadow_tables().
+  const fabric::Tables& tables() const {
+    return prefer_own_ ? tables_ : shadow_->tables_;
+  }
+  /// The manager's own policy rebuild -- invariant: equals
+  /// fabric::build_lft(lft(), degradation(), config().repair_policy).
+  /// Identical to tables() except under load_aware when arbitration
+  /// prefers the first_surviving shadow.
+  const fabric::Tables& policy_tables() const noexcept { return tables_; }
+  /// The first_surviving shadow maintained for arbitration; null unless
+  /// config().repair_policy is load_aware.  Invariant: equals
+  /// fabric::build_lft(lft(), degradation(), kFirstSurviving).
+  const fabric::Tables* shadow_tables() const noexcept {
+    return shadow_ == nullptr ? nullptr : &shadow_->tables_;
+  }
+  /// use_counts()[cable][dst]: table entries of dst routed over the cable
+  /// in policy_tables() -- the bookkeeping incremental repair keys its
+  /// affected sets on (tests assert it stays consistent with
+  /// policy_tables()).
+  const std::vector<std::vector<std::uint32_t>>& use_counts() const noexcept {
+    return use_counts_;
+  }
   const FmConfig& config() const noexcept { return config_; }
   const FmSummary& summary() const noexcept { return summary_; }
   /// The proven raw-id -> topo-id isomorphism from recognition.
@@ -140,7 +184,8 @@ class FabricManager {
     bool delivered = false;
     std::vector<topo::LinkId> links;
   };
-  /// Follows the CURRENT tables from src toward lid_of(dst, j).
+  /// Follows the EXPOSED tables (see tables()) from src toward
+  /// lid_of(dst, j).
   Walk walk(std::uint64_t src, std::uint64_t dst, std::uint32_t j) const;
 
  private:
@@ -170,6 +215,35 @@ class FabricManager {
   std::vector<bool> degraded_;  ///< per destination: deviates from nominal
   std::vector<std::uint64_t> disconnected_sources_;  ///< per destination
   FmSummary summary_;
+  /// First-surviving twin fed the same topology events, so arbitration
+  /// can compare rebuilds; null unless repair_policy is load_aware.
+  std::unique_ptr<FabricManager> shadow_;
+  /// Arbitration outcome: tables() exposes tables_ when true, the
+  /// shadow's tables when false.  Always true without a shadow.
+  bool prefer_own_ = true;
 };
+
+/// Max link load of the reference permutation (cyclic shift by half the
+/// fabric) routed over the given tables' surviving variants, each pair's
+/// unit demand split evenly across its usable variants.  This is the
+/// quantity load_aware arbitration minimizes and EventRecord reports as
+/// max_link_load.
+double reference_max_load(const topo::Xgft& xgft, const fabric::Lft& lft,
+                          const fabric::Tables& tables);
+/// Same, reusing the caller's evaluator (no per-call allocation).
+double reference_max_load(const topo::Xgft& xgft, const fabric::Lft& lft,
+                          const fabric::Tables& tables,
+                          flow::LoadEvaluator& eval);
+
+/// From-scratch build of what FabricManager::tables() exposes for the
+/// policy on this degradation state: the pure fabric::build_lft for
+/// first_surviving, and for load_aware whichever of the greedy and
+/// first_surviving rebuilds has the lower reference_max_load (ties prefer
+/// the greedy).  The property harness diffs the manager's incrementally
+/// repaired tables against this after every event.
+fabric::Tables build_managed_tables(const topo::Xgft& xgft,
+                                    const fabric::Lft& lft,
+                                    const fabric::Degradation& degradation,
+                                    fabric::RepairPolicy policy);
 
 }  // namespace lmpr::fm

@@ -367,6 +367,139 @@ TEST(FabricManager, AgreesWithResilienceDisconnectedPairs) {
   }
 }
 
+/// Recomputes per-cable use counts from scratch off policy_tables().
+std::vector<std::vector<std::uint32_t>> counts_of(
+    const fm::FabricManager& fm) {
+  const topo::Xgft& xgft = fm.xgft();
+  const fabric::Lft& lft = fm.lft();
+  std::vector<std::vector<std::uint32_t>> counts(
+      static_cast<std::size_t>(xgft.num_cables()),
+      std::vector<std::uint32_t>(static_cast<std::size_t>(xgft.num_hosts()),
+                                 0));
+  for (std::uint64_t dst = 0; dst < xgft.num_hosts(); ++dst) {
+    const std::uint32_t first = lft.lid_of(dst, 0);
+    for (const auto& row : fm.policy_tables()) {
+      for (std::uint32_t j = 0; j < lft.block(); ++j) {
+        const topo::LinkId entry = row[first + j];
+        if (entry == topo::kInvalidLink) continue;
+        ++counts[static_cast<std::size_t>(xgft.cable_of(entry))]
+                [static_cast<std::size_t>(dst)];
+      }
+    }
+  }
+  return counts;
+}
+
+// Use-count bookkeeping edge case: a cable flap (down then up) must
+// return the counts to the exact healthy baseline -- any drift here
+// poisons every later affected-set computation.
+TEST(FabricManager, UseCountsReturnToBaselineAfterCableFlap) {
+  for (const auto policy : {fabric::RepairPolicy::kFirstSurviving,
+                            fabric::RepairPolicy::kLoadAware}) {
+    const topo::XgftSpec spec{{4, 4}, {3, 3}};
+    fm::FmConfig config;
+    config.repair_policy = policy;
+    config.track_link_load = false;
+    fm::FabricManager fm{spec, config};
+    ASSERT_TRUE(fm.ok()) << fm.error();
+    const auto inverse = raw_of(fm);
+    const auto baseline = fm.use_counts();
+    ASSERT_EQ(baseline, counts_of(fm));
+
+    // Flap three different cables, one at a time and overlapping.
+    const std::uint64_t a = fm.xgft().cable_of(
+        fm.xgft().up_link(fm.xgft().host(10), 0));
+    const std::uint64_t b = fm.xgft().cable_of(
+        fm.xgft().up_link(fm.xgft().node_id(1, 2), 1));
+    ASSERT_TRUE(fm.apply(cable_event(fm, inverse, a, true)).ok);
+    EXPECT_EQ(fm.use_counts(), counts_of(fm));
+    ASSERT_TRUE(fm.apply(cable_event(fm, inverse, b, true)).ok);
+    EXPECT_EQ(fm.use_counts(), counts_of(fm));
+    ASSERT_TRUE(fm.apply(cable_event(fm, inverse, a, false)).ok);
+    EXPECT_EQ(fm.use_counts(), counts_of(fm));
+    ASSERT_TRUE(fm.apply(cable_event(fm, inverse, b, false)).ok);
+
+    EXPECT_EQ(fm.use_counts(), baseline)
+        << to_string(policy) << ": counts drifted across a full flap";
+    EXPECT_EQ(fm.use_counts(), counts_of(fm));
+    EXPECT_EQ(fm.tables(), fabric::build_lft(fm.lft(), fm.degradation(),
+                                             policy));
+  }
+}
+
+// Repeatedly killing and reviving the SAME switch must be idempotent:
+// identical tables, counts and disconnection accounting after every
+// cycle, under both repair policies.
+TEST(FabricManager, RepeatedSwitchDownUpIsIdempotent) {
+  for (const auto policy : {fabric::RepairPolicy::kFirstSurviving,
+                            fabric::RepairPolicy::kLoadAware}) {
+    const topo::XgftSpec spec{{4, 4}, {3, 3}};
+    fm::FmConfig config;
+    config.repair_policy = policy;
+    config.track_link_load = false;
+    fm::FabricManager fm{spec, config};
+    ASSERT_TRUE(fm.ok()) << fm.error();
+    const auto inverse = raw_of(fm);
+    const auto baseline = fm.use_counts();
+    const fabric::Tables healthy = fm.tables();
+
+    const topo::NodeId victim = fm.xgft().node_id(1, 4);
+    std::vector<std::vector<std::uint32_t>> down_counts;
+    fabric::Tables down_tables;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      auto record =
+          fm.apply({fm::EventType::kSwitchDown, inverse[victim], 0});
+      ASSERT_TRUE(record.ok) << record.error;
+      EXPECT_EQ(fm.use_counts(), counts_of(fm));
+      if (cycle == 0) {
+        down_counts = fm.use_counts();
+        down_tables = fm.tables();
+      } else {
+        EXPECT_EQ(fm.use_counts(), down_counts)
+            << to_string(policy) << " cycle " << cycle;
+        EXPECT_EQ(fm.tables(), down_tables);
+      }
+
+      record = fm.apply({fm::EventType::kSwitchUp, inverse[victim], 0});
+      ASSERT_TRUE(record.ok) << record.error;
+      EXPECT_EQ(fm.use_counts(), baseline)
+          << to_string(policy) << " cycle " << cycle;
+      EXPECT_EQ(fm.tables(), healthy);
+      EXPECT_EQ(fm.disconnected_pairs(), 0u);
+    }
+  }
+}
+
+// switch_up heals back to the exact nominal state: after revival the
+// degradation is healthy again and the tables match the healthy build.
+TEST(FabricManager, SwitchUpRestoresNominalState) {
+  const topo::XgftSpec spec{{4, 4, 4}, {1, 2, 2}};
+  fm::FmConfig config;
+  config.track_link_load = false;
+  fm::FabricManager fm{spec, config};
+  ASSERT_TRUE(fm.ok()) << fm.error();
+  const auto inverse = raw_of(fm);
+  const fabric::Tables healthy = fm.tables();
+
+  const topo::NodeId mid = fm.xgft().node_id(2, 1);
+  auto record = fm.apply({fm::EventType::kSwitchDown, inverse[mid], 0});
+  ASSERT_TRUE(record.ok) << record.error;
+  EXPECT_GT(record.churn, 0u);
+  EXPECT_NE(fm.tables(), healthy);
+
+  record = fm.apply({fm::EventType::kSwitchUp, inverse[mid], 0});
+  ASSERT_TRUE(record.ok) << record.error;
+  EXPECT_GT(record.churn, 0u);
+  ASSERT_TRUE(fm.degradation().healthy());
+  EXPECT_EQ(fm.tables(), healthy);
+
+  // Reviving an already-live switch is a no-op with an ok record.
+  record = fm.apply({fm::EventType::kSwitchUp, inverse[mid], 0});
+  ASSERT_TRUE(record.ok) << record.error;
+  EXPECT_EQ(record.churn, 0u);
+  EXPECT_EQ(record.destinations_repaired, 0u);
+}
+
 TEST(FabricManager, UnrecognizableFabricReportsError) {
   discovery::RawFabric fabric;
   fabric.num_nodes = 3;

@@ -79,14 +79,88 @@ TEST(EventScript, StreamOverloadMatchesStringOverload) {
 TEST(EventScript, EventTypeNamesRoundTripTheParser) {
   for (const fm::EventType type :
        {fm::EventType::kCableDown, fm::EventType::kCableUp,
-        fm::EventType::kSwitchDown, fm::EventType::kQuery}) {
+        fm::EventType::kSwitchDown, fm::EventType::kSwitchUp,
+        fm::EventType::kQuery}) {
+    const bool one_operand = type == fm::EventType::kSwitchDown ||
+                             type == fm::EventType::kSwitchUp;
     const std::string line =
-        std::string(to_string(type)) +
-        (type == fm::EventType::kSwitchDown ? " 7" : " 7 8");
+        std::string(to_string(type)) + (one_operand ? " 7" : " 7 8");
     const auto script = fm::parse_event_script(line);
     ASSERT_TRUE(script.ok) << script.error;
     ASSERT_EQ(script.events.size(), 1u);
     EXPECT_EQ(script.events[0].type, type);
+  }
+}
+
+// Fuzz-style corpus: adversarial inputs a hand-edited or machine-built
+// script can plausibly contain.  The parser is total -- every entry must
+// either parse to the exact events listed or fail with a line-numbered
+// diagnostic, never crash or mis-parse.
+TEST(EventScriptCorpus, AcceptedInputs) {
+  struct Accept {
+    const char* text;
+    std::vector<fm::Event> events;
+  };
+  const std::vector<Accept> corpus = {
+      // CRLF line endings: '\r' is stream whitespace, so DOS files parse.
+      {"cable_down 0 16\r\nquery 0 5\r\n",
+       {{fm::EventType::kCableDown, 0, 16}, {fm::EventType::kQuery, 0, 5}}},
+      // Tabs and repeated blanks as separators.
+      {"cable_up\t3\t\t19\n", {{fm::EventType::kCableUp, 3, 19}}},
+      // Comment glued to the last operand.
+      {"switch_up 21#heal it\n", {{fm::EventType::kSwitchUp, 21, 0}}},
+      // Whitespace-only and '\r'-only lines are blanks.
+      {"  \t \n\r\nswitch_down 20\n", {{fm::EventType::kSwitchDown, 20, 0}}},
+      // Duplicate lines are two events, not a merged one: replaying the
+      // same fault twice is a valid (no-op) stream.
+      {"cable_down 2 18\ncable_down 2 18\n",
+       {{fm::EventType::kCableDown, 2, 18},
+        {fm::EventType::kCableDown, 2, 18}}},
+      // Boundary id: 2^32 - 1 is the last representable raw id.
+      {"switch_down 4294967295\n",
+       {{fm::EventType::kSwitchDown, 4294967295u, 0}}},
+      // No trailing newline on the final line.
+      {"query 1 2", {{fm::EventType::kQuery, 1, 2}}},
+  };
+  for (const auto& entry : corpus) {
+    const auto script = fm::parse_event_script(std::string(entry.text));
+    ASSERT_TRUE(script.ok) << entry.text << ": " << script.error;
+    EXPECT_EQ(script.events, entry.events) << entry.text;
+  }
+}
+
+TEST(EventScriptCorpus, RejectedInputsCarryDiagnostics) {
+  struct Reject {
+    const char* text;
+    const char* needle;  ///< must appear in the diagnostic
+  };
+  const std::vector<Reject> corpus = {
+      // Truncated lines at every prefix length.
+      {"cable_down\n", "expects 2 node ids"},
+      {"cable_down 5\n", "expects 2 node ids"},
+      {"switch_up\n", "expects 1 node id"},
+      {"query 7\n", "expects 2 node ids"},
+      // One past the raw-id range, and absurdly larger.
+      {"switch_down 4294967296\n", "out of range"},
+      {"cable_down 0 18446744073709551615\n", "out of range"},
+      // Larger than uint64 itself: extraction fails like a non-number.
+      {"switch_down 99999999999999999999\n", "expects 1 node id"},
+      // Negative ids wrap to huge values under unsigned extraction.
+      {"cable_down -1 4\n", "out of range"},
+      // Keywords are case-sensitive; prefixes are not keywords.
+      {"Cable_down 0 1\n", "unknown event 'Cable_down'"},
+      {"cable 0 1\n", "unknown event 'cable'"},
+      // Overlong lines surface the first trailing token.
+      {"query 1 2 3 4 5 6 7 8\n", "trailing token '3'"},
+      // Errors report the 1-based line of the offender, not the count of
+      // parsed events.
+      {"cable_down 0 16\n\n# note\nswitch_down\n", "line 4"},
+  };
+  for (const auto& entry : corpus) {
+    const auto script = fm::parse_event_script(std::string(entry.text));
+    EXPECT_FALSE(script.ok) << entry.text;
+    EXPECT_NE(script.error.find(entry.needle), std::string::npos)
+        << entry.text << " diagnostic was: " << script.error;
   }
 }
 
@@ -121,6 +195,35 @@ TEST(FmReport, SmokeScriptGoldenFile) {
   const std::string want = slurp(std::string(LMPR_GOLDEN_DIR) +
                                  "/fm_quick.json");
   EXPECT_EQ(got, want) << "fm quick report drifted from golden file";
+}
+
+// Golden-file test: the load_aware rebalance walkthrough must stay
+// byte-stable too -- it pins the arbitration outcomes (the cable_down
+// 10 22 event is the canonical case where the column-local greedy alone
+// would regress to 1.25 and the first_surviving guard holds the line at
+// 1.0).  Regenerate consciously with:
+//   build/lmpr fm --topo "XGFT(2;4,4;3,3)"
+//       --script scripts/fm_rebalance.script --repair-policy load_aware
+//       --zero-timings --json tests/golden/fm_rebalance_quick.json
+TEST(FmReport, RebalanceScriptGoldenFile) {
+  const auto script = fm::parse_event_script(
+      slurp(std::string(LMPR_SCRIPTS_DIR) + "/fm_rebalance.script"));
+  ASSERT_TRUE(script.ok) << script.error;
+
+  engine::FmRunOptions options;
+  options.spec = topo::XgftSpec{{4, 4}, {3, 3}};
+  options.config.repair_policy = fabric::RepairPolicy::kLoadAware;
+  options.config.zero_timings = true;
+  engine::Report report;
+  std::string error;
+  ASSERT_TRUE(engine::run_fm_events(options, script, report, error)) << error;
+  EXPECT_TRUE(report.converged);
+
+  const std::string got =
+      engine::JsonSink::document({report}).dump(2) + "\n";
+  const std::string want = slurp(std::string(LMPR_GOLDEN_DIR) +
+                                 "/fm_rebalance_quick.json");
+  EXPECT_EQ(got, want) << "fm rebalance report drifted from golden file";
 }
 
 TEST(FmReport, ScriptAndFabricErrorsAreReported) {
@@ -161,6 +264,26 @@ TEST(FmScenarios, RepairScalingChurnRatioBelowOne) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+// The rebalance scenario's headline claim: under arbitration, load_aware
+// never loses an event to first_surviving on the reference load, and on
+// the width-3 quick topology it strictly wins some.
+TEST(FmScenarios, RebalanceVsFirstNoRegressions) {
+  const engine::Scenario* scenario =
+      engine::ScenarioRegistry::builtin().find("fm_rebalance_vs_first");
+  ASSERT_NE(scenario, nullptr);
+  engine::CommonOptions options;
+  const engine::Report report = run_scenario(*scenario, options, {});
+  ASSERT_TRUE(report.converged);
+  double regressions = -1.0;
+  double improvements = -1.0;
+  for (const auto& metric : report.metrics) {
+    if (metric.name == "regressions") regressions = metric.value;
+    if (metric.name == "improvements") improvements = metric.value;
+  }
+  EXPECT_EQ(regressions, 0.0);
+  EXPECT_GT(improvements, 0.0);
 }
 
 }  // namespace

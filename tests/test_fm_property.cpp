@@ -1,0 +1,273 @@
+// Seeded randomized property/differential harness for the fabric
+// manager.  Fifty random XGFT shapes x random event scripts (cable and
+// switch failures, healing, queries), each replayed in lockstep through
+// a first_surviving manager and a load_aware manager.  After EVERY event
+// it asserts the three guarantees the subsystem is built on:
+//
+//   (a) REPAIR EQUIVALENCE -- the incrementally repaired tables are
+//       entry-for-entry identical to a from-scratch degraded rebuild:
+//       policy_tables() == fabric::build_lft for each policy, the
+//       load_aware shadow matches the first_surviving rebuild, and the
+//       exposed tables() match fm::build_managed_tables (arbitration
+//       included);
+//   (b) SAFETY -- no reachable (src, dst) pair is routed over a dead
+//       cable or through a dead switch, and delivery is
+//       policy-independent (the candidate sets are);
+//   (c) DOMINANCE -- the load_aware reference max link load never
+//       exceeds first_surviving's on the same trace (arbitration makes
+//       this structural, the harness re-derives both loads from the
+//       exposed tables to prove it end to end);
+//
+// plus the bookkeeping invariant that per-cable use counts stay
+// consistent with the tables they index.  Everything is seeded through
+// util::Rng, so a failure reproduces from the combo number alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/degraded.hpp"
+#include "fabric/lft.hpp"
+#include "fm/events.hpp"
+#include "fm/fabric_manager.hpp"
+#include "topology/spec.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr {
+namespace {
+
+using fabric::LidLayout;
+using fabric::RepairPolicy;
+
+constexpr int kCombos = 50;
+constexpr int kEventsPerCombo = 18;
+constexpr std::uint64_t kSeedBase = 0xf0e1d2c3b4a59687ull;
+
+/// Random small XGFT shape: 2 or 3 levels, hosts capped so a full
+/// from-scratch rebuild per event stays cheap.
+topo::XgftSpec random_spec(util::Rng& rng) {
+  const auto pick = [&rng](std::uint32_t lo, std::uint32_t hi) {
+    return lo + static_cast<std::uint32_t>(rng.below(hi - lo + 1));
+  };
+  if (rng.below(2) == 0) {
+    return topo::XgftSpec{{pick(2, 4), pick(2, 4)}, {pick(1, 3), pick(2, 3)}};
+  }
+  return topo::XgftSpec{{pick(2, 3), pick(2, 3), pick(2, 3)},
+                        {pick(1, 2), pick(2, 3), pick(2, 3)}};
+}
+
+/// Inverse of the recognition isomorphism: raw id whose canonical image
+/// is the given topo node.
+std::vector<std::uint32_t> raw_of(const fm::FabricManager& fm) {
+  const auto& canonical = fm.canonical();
+  std::vector<std::uint32_t> inverse(canonical.size(), 0);
+  for (std::uint32_t raw = 0; raw < canonical.size(); ++raw) {
+    inverse[static_cast<std::size_t>(canonical[raw])] = raw;
+  }
+  return inverse;
+}
+
+fm::Event cable_event(const fm::FabricManager& fm,
+                      const std::vector<std::uint32_t>& inverse,
+                      std::uint64_t cable, bool down) {
+  const topo::Link& link = fm.xgft().link(static_cast<topo::LinkId>(cable));
+  return {down ? fm::EventType::kCableDown : fm::EventType::kCableUp,
+          inverse[static_cast<std::size_t>(link.src)],
+          inverse[static_cast<std::size_t>(link.dst)]};
+}
+
+/// Draws the next event against the current degradation state; returns
+/// false when the drawn branch has no applicable target this step.
+bool next_event(const fm::FabricManager& fm,
+                const std::vector<std::uint32_t>& inverse, util::Rng& rng,
+                fm::Event& event) {
+  const topo::Xgft& xgft = fm.xgft();
+  const fabric::Degradation& deg = fm.degradation();
+  const double roll = rng.uniform01();
+  if (roll < 0.40) {  // kill a random live cable
+    const std::uint64_t cable = rng.below(xgft.num_cables());
+    if (!deg.cable_ok(cable)) return false;
+    event = cable_event(fm, inverse, cable, /*down=*/true);
+  } else if (roll < 0.60) {  // heal a random dead cable
+    std::vector<std::uint64_t> dead;
+    for (std::uint64_t c = 0; c < xgft.num_cables(); ++c) {
+      if (!deg.cable_ok(c)) dead.push_back(c);
+    }
+    if (dead.empty()) return false;
+    event = cable_event(
+        fm, inverse,
+        dead[static_cast<std::size_t>(rng.below(dead.size()))],
+        /*down=*/false);
+  } else if (roll < 0.72) {  // kill a random live switch (at most 2 dead)
+    std::size_t dead_switches = 0;
+    for (topo::NodeId n = 0; n < xgft.num_nodes(); ++n) {
+      if (!xgft.is_host(n) && !deg.node_ok(n)) ++dead_switches;
+    }
+    if (dead_switches >= 2) return false;
+    const std::uint64_t num_switches = xgft.num_nodes() - xgft.num_hosts();
+    const topo::NodeId node = static_cast<topo::NodeId>(
+        xgft.num_hosts() + rng.below(num_switches));
+    if (!deg.node_ok(node)) return false;
+    event = {fm::EventType::kSwitchDown, inverse[node], 0};
+  } else if (roll < 0.85) {  // heal a random dead switch
+    std::vector<topo::NodeId> dead;
+    for (topo::NodeId n = 0; n < xgft.num_nodes(); ++n) {
+      if (!xgft.is_host(n) && !deg.node_ok(n)) dead.push_back(n);
+    }
+    if (dead.empty()) return false;
+    event = {fm::EventType::kSwitchUp,
+             inverse[dead[static_cast<std::size_t>(rng.below(dead.size()))]],
+             0};
+  } else {  // query: state-preserving, exercises the mixed stream
+    event = {fm::EventType::kQuery,
+             inverse[xgft.host(rng.below(xgft.num_hosts()))],
+             inverse[xgft.host(rng.below(xgft.num_hosts()))]};
+  }
+  return true;
+}
+
+/// Recomputes use_counts from scratch off the given tables and compares
+/// them with the manager's incrementally maintained ones.
+void check_use_counts(const fm::FabricManager& fm, const std::string& where) {
+  const topo::Xgft& xgft = fm.xgft();
+  const fabric::Lft& lft = fm.lft();
+  std::vector<std::vector<std::uint32_t>> expected(
+      static_cast<std::size_t>(xgft.num_cables()),
+      std::vector<std::uint32_t>(static_cast<std::size_t>(xgft.num_hosts()),
+                                 0));
+  for (std::uint64_t dst = 0; dst < xgft.num_hosts(); ++dst) {
+    const std::uint32_t first = lft.lid_of(dst, 0);
+    for (const auto& row : fm.policy_tables()) {
+      for (std::uint32_t j = 0; j < lft.block(); ++j) {
+        const topo::LinkId entry = row[first + j];
+        if (entry == topo::kInvalidLink) continue;
+        ++expected[static_cast<std::size_t>(xgft.cable_of(entry))]
+                  [static_cast<std::size_t>(dst)];
+      }
+    }
+  }
+  ASSERT_EQ(fm.use_counts(), expected) << where;
+}
+
+/// Walks every (src, dst, variant) of the exposed tables: delivered
+/// walks must not traverse a dead cable or enter a dead node; the
+/// delivered set comes back through `delivered` for cross-policy
+/// comparison (ASSERT_* needs a void-returning function).
+void check_safety(const fm::FabricManager& fm, const std::string& where,
+                  std::vector<bool>& delivered) {
+  const topo::Xgft& xgft = fm.xgft();
+  const fabric::Lft& lft = fm.lft();
+  const fabric::Degradation& deg = fm.degradation();
+  const std::uint64_t hosts = xgft.num_hosts();
+  delivered.clear();
+  delivered.reserve(static_cast<std::size_t>(hosts * hosts * lft.block()));
+  for (std::uint64_t s = 0; s < hosts; ++s) {
+    for (std::uint64_t d = 0; d < hosts; ++d) {
+      for (std::uint32_t j = 0; j < lft.block(); ++j) {
+        const fm::FabricManager::Walk walk = fm.walk(s, d, j);
+        delivered.push_back(walk.delivered);
+        if (s == d) continue;
+        for (const topo::LinkId link : walk.links) {
+          ASSERT_TRUE(deg.cable_ok(xgft.cable_of(link)))
+              << where << " s=" << s << " d=" << d << " j=" << j
+              << " routed over dead cable " << xgft.cable_of(link);
+          ASSERT_TRUE(deg.node_ok(xgft.link(link).dst) ||
+                      xgft.link(link).dst == xgft.host(d))
+              << where << " s=" << s << " d=" << d << " j=" << j
+              << " routed through dead node " << xgft.link(link).dst;
+        }
+      }
+    }
+  }
+}
+
+TEST(FmProperty, RandomTopologiesAndScriptsUnderBothPolicies) {
+  for (int combo = 0; combo < kCombos; ++combo) {
+    util::Rng rng{kSeedBase + static_cast<std::uint64_t>(combo)};
+    const topo::XgftSpec spec = random_spec(rng);
+
+    fm::FmConfig config;
+    config.k_paths = 1ull << rng.below(3);  // 1, 2 or 4
+    config.layout = rng.below(2) == 0 ? LidLayout::kDisjointLayout
+                                      : LidLayout::kShiftLayout;
+    config.track_link_load = false;  // the harness derives loads itself
+    config.zero_timings = true;
+
+    config.repair_policy = RepairPolicy::kFirstSurviving;
+    fm::FabricManager first{spec, config};
+    config.repair_policy = RepairPolicy::kLoadAware;
+    fm::FabricManager load{spec, config};
+    ASSERT_TRUE(first.ok()) << first.error();
+    ASSERT_TRUE(load.ok()) << load.error();
+    ASSERT_NE(load.shadow_tables(), nullptr);
+    const auto inverse = raw_of(first);
+    const topo::Xgft& xgft = first.xgft();
+    const fabric::Lft& lft = first.lft();
+
+    for (int step = 0; step < kEventsPerCombo; ++step) {
+      fm::Event event;
+      if (!next_event(first, inverse, rng, event)) continue;
+      const std::string where = "combo " + std::to_string(combo) + " (" +
+                                spec.to_string() +
+                                " K=" + std::to_string(config.k_paths) +
+                                ") step " + std::to_string(step) + " " +
+                                std::string(to_string(event.type));
+
+      const fm::EventRecord record_first = first.apply(event);
+      const fm::EventRecord record_load = load.apply(event);
+      ASSERT_TRUE(record_first.ok) << where << ": " << record_first.error;
+      ASSERT_TRUE(record_load.ok) << where << ": " << record_load.error;
+
+      // The degradation state evolves policy-independently.
+      ASSERT_EQ(first.degradation().cable_dead,
+                load.degradation().cable_dead) << where;
+      ASSERT_EQ(first.degradation().node_dead, load.degradation().node_dead)
+          << where;
+      const fabric::Degradation& deg = first.degradation();
+
+      // (a) Repair equivalence: incremental state == from-scratch
+      // rebuild, per policy, for the shadow, and for the arbitrated view.
+      ASSERT_EQ(first.tables(),
+                fabric::build_lft(lft, deg, RepairPolicy::kFirstSurviving))
+          << where;
+      ASSERT_EQ(load.policy_tables(),
+                fabric::build_lft(lft, deg, RepairPolicy::kLoadAware))
+          << where;
+      ASSERT_EQ(*load.shadow_tables(), first.tables()) << where;
+      ASSERT_EQ(load.tables(),
+                fm::build_managed_tables(xgft, lft, deg,
+                                         RepairPolicy::kLoadAware))
+          << where;
+
+      // (b) Safety on both exposed table sets, and policy-independent
+      // delivery.
+      std::vector<bool> delivered_first;
+      std::vector<bool> delivered_load;
+      check_safety(first, where, delivered_first);
+      if (HasFatalFailure()) return;
+      check_safety(load, where, delivered_load);
+      if (HasFatalFailure()) return;
+      ASSERT_EQ(delivered_first, delivered_load)
+          << where << ": policies must deliver the same pair-variants";
+
+      // (c) Dominance: load_aware never carries the reference
+      // permutation worse than first_surviving on the same trace.
+      const double load_first =
+          fm::reference_max_load(xgft, lft, first.tables());
+      const double load_load =
+          fm::reference_max_load(xgft, lft, load.tables());
+      ASSERT_LE(load_load, load_first + 1e-9) << where;
+
+      // Bookkeeping: use counts match the tables they index.
+      check_use_counts(first, where);
+      if (HasFatalFailure()) return;
+      check_use_counts(load, where);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lmpr
