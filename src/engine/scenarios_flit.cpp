@@ -25,7 +25,8 @@ void run_table1(const RunContext& ctx, Report& report) {
   const route::RouteTable dmodk(xgft, route::Heuristic::kDModK, 1,
                                 ctx.seed());
   const double dmodk_throughput =
-      measure_saturation(dmodk, base, loads, pairings).max_throughput;
+      measure_saturation(dmodk, base, loads, pairings, &ctx.pool())
+          .max_throughput;
 
   double best = dmodk_throughput;
   util::Table table(
@@ -37,7 +38,8 @@ void run_table1(const RunContext& ctx, Report& report) {
          {route::Heuristic::kShift1, route::Heuristic::kRandom,
           route::Heuristic::kDisjoint}) {
       const route::RouteTable rt(xgft, h, k, ctx.seed());
-      const auto result = measure_saturation(rt, base, loads, pairings);
+      const auto result =
+        measure_saturation(rt, base, loads, pairings, &ctx.pool());
       best = std::max(best, result.max_throughput);
       row.push_back(util::Table::num(100.0 * result.max_throughput, 2));
     }
@@ -89,7 +91,8 @@ void run_fig5(const RunContext& ctx, Report& report) {
       flit::SimConfig config = base;
       config.seed = ctx.seed();
       config.fixed_destinations = pairing;
-      const auto sweep = flit::run_load_sweep(table, config, loads);
+      const auto sweep =
+          flit::run_load_sweep(table, config, loads, &ctx.pool());
       for (std::size_t i = 0; i < loads.size(); ++i) {
         delays[s][i] += sweep.points[i].mean_message_delay /
                         static_cast<double>(pairings.size());
@@ -144,7 +147,8 @@ void run_path_granularity(const RunContext& ctx, Report& report) {
       for (const Mode& mode : modes) {
         flit::SimConfig config = base;
         config.path_selection = mode.selection;
-        const auto result = measure_saturation(rt, config, loads, pairings);
+        const auto result =
+          measure_saturation(rt, config, loads, pairings, &ctx.pool());
         table.add_row({std::string(to_string(h)), util::Table::num(k),
                        mode.name,
                        util::Table::num(100.0 * result.max_throughput, 2),
@@ -184,7 +188,8 @@ void run_destination_mode(const RunContext& ctx, Report& report) {
     const route::RouteTable rt(xgft, scheme.heuristic, scheme.k,
                                ctx.seed());
     {
-      const auto fixed = measure_saturation(rt, base, loads, pairings);
+      const auto fixed =
+          measure_saturation(rt, base, loads, pairings, &ctx.pool());
       table.add_row({scheme.name, "fixed pairing (permutation)",
                      util::Table::num(100.0 * fixed.max_throughput, 2)});
     }
@@ -194,7 +199,8 @@ void run_destination_mode(const RunContext& ctx, Report& report) {
       double best = 0.0;
       for (std::size_t i = 0; i < pairings.size(); ++i) {
         config.seed = base.seed + 31 * (i + 1);
-        const auto sweep = flit::run_load_sweep(rt, config, loads);
+        const auto sweep =
+            flit::run_load_sweep(rt, config, loads, &ctx.pool());
         best += sweep.max_throughput;
       }
       table.add_row({scheme.name, "fresh per message",
@@ -237,7 +243,8 @@ void run_virtual_channels(const RunContext& ctx, Report& report) {
     for (const std::uint32_t vcs : {1u, 2u, 4u}) {
       flit::SimConfig config = base;
       config.num_vcs = vcs;
-      const auto result = measure_saturation(rt, config, loads, pairings);
+      const auto result =
+          measure_saturation(rt, config, loads, pairings, &ctx.pool());
       table.add_row({scheme.name, util::Table::num(std::uint64_t{vcs}),
                      util::Table::num(100.0 * result.max_throughput, 2)});
     }
@@ -274,7 +281,8 @@ void run_adaptive_vs_oblivious(const RunContext& ctx, Report& report) {
         Scheme{"umulti(16) (oblivious)", route::Heuristic::kUmulti, 16}}) {
     const route::RouteTable rt(xgft, scheme.heuristic, scheme.k,
                                ctx.seed());
-    const auto result = measure_saturation(rt, base, loads, pairings);
+    const auto result =
+        measure_saturation(rt, base, loads, pairings, &ctx.pool());
     table.add_row({scheme.name,
                    util::Table::num(100.0 * result.max_throughput, 2),
                    util::Table::num(result.delay_at_low_load, 1)});
@@ -286,7 +294,8 @@ void run_adaptive_vs_oblivious(const RunContext& ctx, Report& report) {
                                ctx.seed());
     flit::SimConfig config = base;
     config.routing_mode = flit::RoutingMode::kAdaptive;
-    const auto result = measure_saturation(rt, config, loads, pairings);
+    const auto result =
+          measure_saturation(rt, config, loads, pairings, &ctx.pool());
     table.add_row({"credit-based adaptive",
                    util::Table::num(100.0 * result.max_throughput, 2),
                    util::Table::num(result.delay_at_low_load, 1)});

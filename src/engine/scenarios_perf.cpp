@@ -1,0 +1,272 @@
+// The tracked performance baseline: `lmpr run perf_baseline` measures
+// flit-simulator cycles/sec (active-set vs reference kernel), the fig5
+// quick sweep wall-clock (active + pooled load points vs reference
+// serial), flow-level permutation samples/sec (path cache on vs off) and
+// LFT build time, then writes BENCH_perf.json into the working directory
+// so the perf trajectory of the repo is recorded run over run.
+//
+// The timings are wall-clock and therefore machine-dependent; the
+// RATIOS are what the acceptance tracking cares about.  Every simulation
+// result feeding a timing is also cross-checked between the compared
+// configurations (same flits delivered, same mean loads), so a speedup
+// can never come from silently computing something else.
+#include <chrono>
+#include <fstream>
+
+#include "engine/registry.hpp"
+#include "engine/study.hpp"
+#include "fabric/lft.hpp"
+#include "util/json.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Best-of-N kernel timing: simulate `config` `reps` times and return the
+/// (identical) metrics plus the fastest wall-clock.  Single runs of a
+/// 12k-cycle simulation jitter 10-20% on a shared machine; the minimum
+/// over a few repetitions is the stable estimator of the true cost.
+std::pair<flit::SimMetrics, double> timed_run(const route::RouteTable& table,
+                                              const flit::SimConfig& config,
+                                              int reps = 5) {
+  flit::SimMetrics metrics;
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = Clock::now();
+    flit::Network network(table, config);
+    metrics = network.run();
+    const double seconds = seconds_since(start);
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  return {std::move(metrics), best};
+}
+
+void run_perf_baseline(const RunContext& ctx, Report& report) {
+  util::Json doc = util::Json::object();
+  doc.set("schema", "lmpr-perf-baseline/v1");
+  doc.set("seed", ctx.seed());
+  doc.set("workers", static_cast<std::uint64_t>(ctx.pool().worker_count()));
+  doc.set("full_scale", ctx.full());
+
+  // -- (a) flit kernel: active-set vs reference cycles/sec ----------------
+  // The ISSUE's acceptance topology: XGFT(3;4,4,4;1,2,2), offered loads
+  // <= 0.3 where the active sets have the most empty channels to skip.
+  const topo::Xgft kernel_xgft{topo::XgftSpec{{4, 4, 4}, {1, 2, 2}}};
+  const route::RouteTable kernel_table(kernel_xgft,
+                                       route::Heuristic::kDisjoint, 4,
+                                       ctx.seed());
+  util::Json kernel = util::Json::array();
+  double best_speedup_low_load = 0.0;
+  {
+    flit::SimConfig config;
+    config.warmup_cycles = 2'000;
+    config.measure_cycles = 8'000;
+    config.drain_cycles = 2'000;
+    config.seed = ctx.seed();
+    const double total_cycles = static_cast<double>(
+        config.warmup_cycles + config.measure_cycles + config.drain_cycles);
+    for (const double load : {0.1, 0.2, 0.3}) {
+      config.offered_load = load;
+      config.reference_kernel = true;
+      const auto [ref_metrics, ref_seconds] = timed_run(kernel_table, config);
+      config.reference_kernel = false;
+      const auto [act_metrics, act_seconds] = timed_run(kernel_table, config);
+      // The differential test proves bit-identity; this cheap cross-check
+      // guards the benchmark itself against configuration drift.
+      if (act_metrics.flits_delivered != ref_metrics.flits_delivered ||
+          act_metrics.throughput != ref_metrics.throughput) {
+        report.converged = false;
+      }
+      const double speedup = ref_seconds / act_seconds;
+      util::Json point = util::Json::object();
+      point.set("offered_load", load);
+      point.set("reference_cycles_per_sec", total_cycles / ref_seconds);
+      point.set("active_cycles_per_sec", total_cycles / act_seconds);
+      point.set("speedup", speedup);
+      kernel.push(std::move(point));
+      report.add_metric("kernel_speedup_load_" + util::Table::num(load, 1),
+                        speedup);
+      best_speedup_low_load = std::max(best_speedup_low_load, speedup);
+    }
+  }
+  doc.set("flit_kernel", std::move(kernel));
+  // The acceptance criterion: >= 3x cycles/sec at an offered load <= 0.3.
+  // Speedup falls as load rises (more shared arbitration work), so the
+  // best point over {0.1, 0.2, 0.3} is the tracked headline figure.
+  report.add_metric("kernel_speedup_best_low_load", best_speedup_low_load);
+
+  // -- (b) fig5 quick sweep wall-clock ------------------------------------
+  // The fig5 quick workload (8 routing series x 4 loads, one pairing, 15k
+  // cycles) timed end-to-end: reference kernel with serial load points
+  // (the seed behavior) vs active kernel with pooled load points.
+  {
+    const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+    struct Series {
+      route::Heuristic heuristic;
+      std::size_t k;
+    };
+    const Series series[] = {
+        {route::Heuristic::kDModK, 1},    {route::Heuristic::kDisjoint, 2},
+        {route::Heuristic::kDisjoint, 8}, {route::Heuristic::kShift1, 2},
+        {route::Heuristic::kShift1, 8},   {route::Heuristic::kRandomSingle, 1},
+        {route::Heuristic::kRandom, 2},   {route::Heuristic::kRandom, 8},
+    };
+    const auto base = flit_base_config(false);
+    const std::vector<double> loads{0.1, 0.3, 0.5, 0.7};
+    const auto pairings = shared_pairings(xgft.num_hosts(), ctx.seed(), 1);
+
+    std::vector<route::RouteTable> tables;
+    tables.reserve(std::size(series));
+    for (const Series& s : series) {
+      tables.emplace_back(xgft, s.heuristic, s.k, ctx.seed());
+    }
+
+    const auto run_sweeps = [&](bool reference, util::ThreadPool* pool) {
+      double checksum = 0.0;
+      for (const route::RouteTable& table : tables) {
+        flit::SimConfig config = base;
+        config.seed = ctx.seed();
+        config.reference_kernel = reference;
+        config.fixed_destinations = pairings.front();
+        const auto sweep = flit::run_load_sweep(table, config, loads, pool);
+        checksum += sweep.max_throughput;
+      }
+      return checksum;
+    };
+
+    // Best-of-3 per configuration (the blocks are seconds long; scheduler
+    // jitter still moves single runs a few percent).
+    double ref_seconds = 0.0;
+    double act_seconds = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto ref_start = Clock::now();
+      const double ref_checksum = run_sweeps(true, nullptr);
+      const double ref_rep = seconds_since(ref_start);
+      const auto act_start = Clock::now();
+      const double act_checksum = run_sweeps(false, &ctx.pool());
+      const double act_rep = seconds_since(act_start);
+      if (ref_checksum != act_checksum) report.converged = false;
+      if (rep == 0 || ref_rep < ref_seconds) ref_seconds = ref_rep;
+      if (rep == 0 || act_rep < act_seconds) act_seconds = act_rep;
+    }
+
+    const double speedup = ref_seconds / act_seconds;
+    util::Json fig5 = util::Json::object();
+    fig5.set("series", static_cast<std::uint64_t>(std::size(series)));
+    fig5.set("loads", static_cast<std::uint64_t>(loads.size()));
+    fig5.set("reference_serial_seconds", ref_seconds);
+    fig5.set("active_parallel_seconds", act_seconds);
+    fig5.set("speedup", speedup);
+    doc.set("fig5_quick_sweep", std::move(fig5));
+    report.add_metric("fig5_quick_speedup", speedup);
+    report.add_metric("fig5_quick_seconds", act_seconds);
+  }
+
+  // -- (c) flow-level permutation samples/sec ------------------------------
+  // Fixed sample count (stopping pinned) so cached and uncached runs do
+  // identical statistical work.  512 permutations over 128 hosts touch
+  // each of the 16k (src,dst) flows ~4 times, so the cache actually gets
+  // hits; tiny sample counts would understate the steady-state speedup.
+  {
+    const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+    flow::PermutationStudyConfig config;
+    config.heuristic = route::Heuristic::kDisjoint;
+    config.k_paths = 4;
+    config.stopping.initial_samples = 512;
+    config.stopping.max_samples = 512;
+    config.seed = ctx.seed();
+    config.pool = &ctx.pool();
+    // Isolate the routed MLOAD evaluation the cache accelerates; the
+    // per-sample OLOAD bound (track_perf_ratio) is routing-independent
+    // and would dilute the ratio.
+    config.track_perf_ratio = false;
+
+    // Best-of-5 per configuration: one 512-sample study takes ~30ms, well
+    // inside scheduler jitter, so single-shot ratios are unreliable.
+    const auto timed_study = [&](bool use_cache) {
+      config.use_path_cache = use_cache;
+      flow::PermutationStudyResult result;
+      double best = 0.0;
+      for (int rep = 0; rep < 5; ++rep) {
+        const auto start = Clock::now();
+        result = flow::run_permutation_study(xgft, config);
+        const double seconds = seconds_since(start);
+        if (rep == 0 || seconds < best) best = seconds;
+      }
+      return std::pair{std::move(result), best};
+    };
+    const auto [uncached, uncached_seconds] = timed_study(false);
+    const auto [cached, cached_seconds] = timed_study(true);
+    if (cached.max_load.mean() != uncached.max_load.mean()) {
+      report.converged = false;
+    }
+
+    const auto samples = static_cast<double>(cached.samples);
+    util::Json flow_bench = util::Json::object();
+    flow_bench.set("samples", static_cast<std::uint64_t>(cached.samples));
+    flow_bench.set("uncached_samples_per_sec", samples / uncached_seconds);
+    flow_bench.set("cached_samples_per_sec", samples / cached_seconds);
+    flow_bench.set("speedup", uncached_seconds / cached_seconds);
+    doc.set("flow_permutation_study", std::move(flow_bench));
+    report.add_metric("flow_cache_speedup", uncached_seconds / cached_seconds);
+    report.add_metric("flow_cached_samples_per_sec", samples / cached_seconds);
+  }
+
+  // -- (d) LFT build time ---------------------------------------------------
+  {
+    const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+    const auto start = Clock::now();
+    const fabric::Lft lft(xgft, 8, fabric::LidLayout::kDisjointLayout);
+    const route::RouteTable table(xgft, route::Heuristic::kDisjoint, 8,
+                                  ctx.seed());
+    const double build_seconds = seconds_since(start);
+    util::Json lft_bench = util::Json::object();
+    lft_bench.set("topology", xgft.spec().to_string());
+    lft_bench.set("k_paths", std::uint64_t{8});
+    lft_bench.set("build_seconds", build_seconds);
+    doc.set("lft_build", std::move(lft_bench));
+    report.add_metric("lft_build_seconds", build_seconds);
+  }
+
+  const char* out_path = "BENCH_perf.json";
+  {
+    std::ofstream out(out_path);
+    out << doc.dump(2) << "\n";
+  }
+  report.add_config("bench_file", out_path);
+  report.add_config("kernel_topology", kernel_xgft.spec().to_string());
+  report.samples = 1;
+
+  util::Table table({"benchmark", "speedup"});
+  for (const Metric& metric : report.metrics) {
+    table.add_row({metric.name, util::Table::num(metric.value)});
+  }
+  report.add_section("Perf baseline (ratios; absolute numbers in " +
+                         std::string(out_path) + ")",
+                     std::move(table));
+}
+
+}  // namespace
+
+void register_perf_scenarios(ScenarioRegistry& registry) {
+  Scenario perf;
+  perf.name = "perf_baseline";
+  perf.artifact = "perf tracking";
+  perf.family = Family::kAnalysis;
+  perf.description = "Times flit cycles/sec (active vs reference kernel), "
+                     "the fig5 quick sweep, flow samples/sec and LFT build; "
+                     "writes BENCH_perf.json";
+  perf.quick_params = "best-of-5 12k-cycle kernel runs, fig5 quick "
+                      "workload, 512 flow samples";
+  perf.full_params = "same (the baseline is intentionally fixed-size)";
+  perf.run = run_perf_baseline;
+  registry.add(perf);
+}
+
+}  // namespace lmpr::engine

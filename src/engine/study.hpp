@@ -127,19 +127,47 @@ struct SaturationResult {
 
 /// "Maximum throughput achieved" (paper Table 1): sweep the offered load,
 /// take the best accepted throughput, average over the shared pairings.
+///
+/// The (pairing x load) grid is flattened into ONE parallel_for (the pool
+/// forbids nested submits), each cell deriving exactly the seed the serial
+/// pairing-by-pairing sweep would have used; the reduction runs in index
+/// order afterwards, so the result is bit-identical for any worker count
+/// including `pool == nullptr`.
 inline SaturationResult measure_saturation(
     const route::RouteTable& table, const flit::SimConfig& base,
     const std::vector<double>& loads,
-    const std::vector<std::vector<std::uint64_t>>& pairings) {
-  SaturationResult result;
-  for (std::size_t i = 0; i < pairings.size(); ++i) {
+    const std::vector<std::vector<std::uint64_t>>& pairings,
+    util::ThreadPool* pool = nullptr) {
+  const std::size_t num_loads = loads.size();
+  std::vector<flit::SweepPoint> points(pairings.size() * num_loads);
+  const auto run_cell = [&](std::size_t f) {
+    const std::size_t p = f / num_loads;
+    const std::size_t i = f % num_loads;
     flit::SimConfig config = base;
-    config.seed = base.seed + 1000 * (i + 1);
-    config.fixed_destinations = pairings[i];
-    const auto sweep = flit::run_load_sweep(table, config, loads);
-    result.max_throughput += sweep.max_throughput;
-    result.delay_at_low_load += sweep.points.front().mean_message_delay;
-    result.reorder_at_high_load += sweep.points.back().out_of_order_fraction;
+    config.seed = base.seed + 1000 * (p + 1);
+    config.fixed_destinations = pairings[p];
+    config.offered_load = loads[i];
+    // Same per-point derivation as run_load_sweep.
+    std::uint64_t mix = config.seed + i;
+    config.seed = util::splitmix64(mix);
+    points[f] = flit::simulate_load_point(table, config);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(points.size(), run_cell);
+  } else {
+    for (std::size_t f = 0; f < points.size(); ++f) run_cell(f);
+  }
+
+  SaturationResult result;
+  for (std::size_t p = 0; p < pairings.size(); ++p) {
+    double best = 0.0;
+    for (std::size_t i = 0; i < num_loads; ++i) {
+      best = std::max(best, points[p * num_loads + i].throughput);
+    }
+    result.max_throughput += best;
+    result.delay_at_low_load += points[p * num_loads].mean_message_delay;
+    result.reorder_at_high_load +=
+        points[p * num_loads + num_loads - 1].out_of_order_fraction;
   }
   const auto n = static_cast<double>(pairings.size());
   result.max_throughput /= n;

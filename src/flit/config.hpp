@@ -85,6 +85,15 @@ struct SimConfig {
   std::uint64_t hotspot_target = 0;
   double hotspot_fraction = 0.2;
 
+  /// Kernel selection.  The default active-set kernel iterates only input
+  /// channels holding switchable packets and links that are free with
+  /// queued output -- per-cycle cost O(in-flight traffic) instead of
+  /// O(num_links * num_vcs).  Setting this runs the original full-scan
+  /// loops instead; both kernels produce bit-identical SimMetrics (proven
+  /// by test_flit_kernel_equivalence), so the flag exists only for the
+  /// differential test and the perf_baseline scenario.
+  bool reference_kernel = false;
+
   /// Optional explicit pairing for kFixedPermutation (fixed_destinations[s]
   /// is host s's destination; s itself silences the source).  When empty, a
   /// random permutation is drawn from `seed`.  Letting the caller pin the

@@ -1,5 +1,7 @@
 #include "flit/network.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace lmpr::flit {
@@ -8,7 +10,10 @@ Network::Network(const route::RouteTable& table, const SimConfig& config)
     : table_(&table),
       xgft_(&table.xgft()),
       config_(config),
-      num_hosts_(xgft_->num_hosts()) {
+      num_hosts_(xgft_->num_hosts()),
+      active_sets_(!config.reference_kernel),
+      mean_interval_(static_cast<double>(config.message_flits()) /
+                     config.offered_load) {
   LMPR_EXPECTS(config_.packet_flits >= 1);
   LMPR_EXPECTS(config_.message_packets >= 1);
   LMPR_EXPECTS(config_.buffer_packets >= 1);
@@ -22,18 +27,32 @@ Network::Network(const route::RouteTable& table, const SimConfig& config)
   outputs_.resize(channels);
   for (OutputChannel& out : outputs_) out.credits = config_.buffer_packets;
   links_.resize(static_cast<std::size_t>(xgft_->num_links()));
+  if (active_sets_) {
+    input_active_.assign(channels, 0);
+    link_active_.assign(links_.size(), 0);
+    channel_link_.resize(channels);
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+      channel_link_[ch] = static_cast<topo::LinkId>(ch / config_.num_vcs);
+    }
+  }
+  link_node_.resize(links_.size());
+  link_terminal_.resize(links_.size());
+  for (std::size_t id = 0; id < links_.size(); ++id) {
+    const topo::Link& link = xgft_->link(static_cast<topo::LinkId>(id));
+    link_node_[id] = link.dst;
+    link_terminal_[id] =
+        static_cast<std::uint8_t>(!link.up && xgft_->is_host(link.dst));
+  }
 
   source_queue_.resize(static_cast<std::size_t>(num_hosts_));
   next_arrival_.resize(static_cast<std::size_t>(num_hosts_));
   rr_counter_.assign(static_cast<std::size_t>(num_hosts_), 0);
   util::Rng seeder{config_.seed};
   host_rng_.reserve(static_cast<std::size_t>(num_hosts_));
-  const double mean_interval =
-      static_cast<double>(config_.message_flits()) / config_.offered_load;
   for (std::uint64_t h = 0; h < num_hosts_; ++h) {
     host_rng_.push_back(seeder.fork());
     next_arrival_[static_cast<std::size_t>(h)] =
-        host_rng_.back().exponential(mean_interval);
+        host_rng_.back().exponential(mean_interval_);
   }
   if (config_.destination_mode == DestinationMode::kFixedPermutation) {
     if (!config_.fixed_destinations.empty()) {
@@ -95,6 +114,75 @@ void Network::schedule(Cycle when, Event event) {
       event);
 }
 
+void Network::activate_input(ChannelId ch) {
+  if (input_active_[ch]) return;
+  input_active_[ch] = 1;
+  active_inputs_.insert(
+      std::lower_bound(active_inputs_.begin(), active_inputs_.end(), ch), ch);
+}
+
+void Network::activate_link(topo::LinkId link) {
+  if (link_active_[link]) return;
+  link_active_[link] = 1;
+  active_links_.insert(
+      std::lower_bound(active_links_.begin(), active_links_.end(), link),
+      link);
+}
+
+void Network::enqueue_output(ChannelId ch, topo::LinkId link, PacketId pkt) {
+  OutputChannel& out = outputs_[ch];
+  out.fifo.push_back(pkt);
+  ++out.occupancy;
+  ++links_[link].queued;
+  // A busy link re-arms itself through the kOutputSlotFree event it
+  // scheduled for the cycle its current serialization ends.
+  if (active_sets_ && links_[link].busy_until <= current_cycle_) {
+    activate_link(link);
+  }
+}
+
+void Network::enqueue_input(ChannelId ch, PacketId pkt) {
+  InputChannel& in = inputs_[ch];
+  if (!active_sets_) {
+    in.fifo.push_back(pkt);
+    return;
+  }
+  const Packet& packet = packets_[pkt];
+  const topo::LinkId out_link =
+      config_.routing_mode == RoutingMode::kOblivious
+          ? packet.path->links[packet.hop]
+          : topo::LinkId{0};  // recomputed per cycle from credit state
+  in.slots.push_back(InputSlot{pkt, out_link, packet.vc,
+                               packet.head_arrival});
+  ++in.live;
+  activate_input(ch);
+}
+
+void Network::erase_input_slot(InputChannel& in, std::size_t pos) {
+  in.slots[pos].id = kNone;
+  --in.live;
+  if (in.live == 0) {
+    in.slots.clear();
+    in.head = 0;
+    return;
+  }
+  if (pos == in.head) {
+    do {
+      ++in.head;
+    } while (in.slots[in.head].id == kNone);
+  }
+  // Compact once holes outnumber live entries (amortized O(1) per grant;
+  // the live order -- and with it the scan order -- is preserved).
+  if (in.slots.size() - in.head > 2 * in.live + 8) {
+    std::size_t w = 0;
+    for (std::size_t r = in.head; r < in.slots.size(); ++r) {
+      if (in.slots[r].id != kNone) in.slots[w++] = in.slots[r];
+    }
+    in.slots.resize(w);
+    in.head = 0;
+  }
+}
+
 void Network::process_events(Cycle now) {
   auto& bucket = calendar_[static_cast<std::size_t>(now % calendar_.size())];
   for (const Event& event : bucket) {
@@ -102,10 +190,19 @@ void Network::process_events(Cycle now) {
       case EventKind::kCreditReturn:
         ++outputs_[event.arg].credits;
         break;
-      case EventKind::kOutputSlotFree:
+      case EventKind::kOutputSlotFree: {
         LMPR_ASSERT(outputs_[event.arg].occupancy > 0);
         --outputs_[event.arg].occupancy;
+        if (active_sets_) {
+          // The transmission that scheduled this event ends now: the link
+          // is free again, so put it back on duty if work queued up.
+          const topo::LinkId link = channel_link_[event.arg];
+          if (links_[link].queued > 0 && links_[link].busy_until <= now) {
+            activate_link(link);
+          }
+        }
         break;
+      }
       case EventKind::kDeliver:
         deliver(event.arg, now);
         break;
@@ -215,9 +312,7 @@ void Network::inject(Cycle now) {
     const auto slot = static_cast<std::size_t>(host);
     while (next_arrival_[slot] <= static_cast<double>(now)) {
       generate_message(host, now);
-      const double mean_interval =
-          static_cast<double>(config_.message_flits()) / config_.offered_load;
-      next_arrival_[slot] += host_rng_[slot].exponential(mean_interval);
+      next_arrival_[slot] += host_rng_[slot].exponential(mean_interval_);
     }
     // NIC moves at most one packet per cycle into an uplink output buffer.
     auto& queue = source_queue_[slot];
@@ -232,12 +327,23 @@ void Network::inject(Cycle now) {
     if (out.occupancy >= config_.buffer_packets) continue;
     queue.pop_front();
     pkt.head_arrival = now;
-    out.fifo.push_back(pkt_id);
-    ++out.occupancy;
+    enqueue_output(channel(link, pkt.vc), link, pkt_id);
   }
 }
 
-void Network::crossbar(Cycle now) {
+void Network::grant(PacketId pkt_id, ChannelId in_ch, topo::LinkId out_link,
+                    Cycle now) {
+  Packet& pkt = packets_[pkt_id];
+  enqueue_output(channel(out_link, pkt.vc), out_link, pkt_id);
+  links_[out_link].last_grant = now;
+  // The input slot clears once the tail flit has streamed through; only
+  // then does the upstream sender regain its credit.
+  const Cycle full_arrival = pkt.head_arrival + config_.packet_flits - 1;
+  const Cycle release = (full_arrival > now ? full_arrival : now) + 1;
+  schedule(release, Event{EventKind::kCreditReturn, in_ch});
+}
+
+void Network::crossbar_reference(Cycle now) {
   const std::size_t count = inputs_.size();
   // Rotating start index gives long-run fairness across input channels.
   const std::size_t offset = static_cast<std::size_t>(now % count);
@@ -256,26 +362,93 @@ void Network::crossbar(Cycle now) {
       Packet& pkt = packets_[pkt_id];
       if (pkt.head_arrival > now) break;  // later packets arrive later
       const topo::LinkId out_link = route_output(node, pkt, now);
-      OutputLink& link_state = links_[out_link];
-      if (link_state.last_grant == now) continue;  // one grant per output
+      if (links_[out_link].last_grant == now) continue;  // one per output
       OutputChannel& out = outputs_[channel(out_link, pkt.vc)];
       if (out.occupancy >= config_.buffer_packets) continue;
       in.fifo.erase(in.fifo.begin() + static_cast<std::ptrdiff_t>(pos));
-      out.fifo.push_back(pkt_id);
-      ++out.occupancy;
-      link_state.last_grant = now;
-      // The input slot clears once the tail flit has streamed through;
-      // only then does the upstream sender regain its credit.
-      const Cycle full_arrival = pkt.head_arrival + config_.packet_flits - 1;
-      const Cycle release = (full_arrival > now ? full_arrival : now) + 1;
-      schedule(release, Event{EventKind::kCreditReturn,
-                              static_cast<std::uint32_t>(idx)});
+      grant(pkt_id, static_cast<ChannelId>(idx), out_link, now);
       break;  // one grant per input channel per cycle
     }
   }
 }
 
-void Network::start_transmissions(Cycle now) {
+void Network::crossbar_active(Cycle now) {
+  // Prune channels drained since the last cycle, preserving the sorted
+  // order; then serve members in the reference scan's rotated order.
+  std::size_t w = 0;
+  for (const ChannelId ch : active_inputs_) {
+    if (inputs_[ch].live == 0) {
+      input_active_[ch] = 0;
+      continue;
+    }
+    active_inputs_[w++] = ch;
+  }
+  active_inputs_.resize(w);
+  if (active_inputs_.empty()) return;
+
+  const auto offset =
+      static_cast<ChannelId>(now % static_cast<Cycle>(inputs_.size()));
+  const std::size_t start = static_cast<std::size_t>(
+      std::lower_bound(active_inputs_.begin(), active_inputs_.end(), offset) -
+      active_inputs_.begin());
+  const std::size_t active = active_inputs_.size();
+  const bool oblivious = config_.routing_mode == RoutingMode::kOblivious;
+  for (std::size_t n = 0; n < active; ++n) {
+    const std::size_t at = start + n;
+    const ChannelId idx = active_inputs_[at < active ? at : at - active];
+    InputChannel& in = inputs_[idx];
+    const std::size_t size = in.slots.size();
+    for (std::size_t pos = in.head; pos < size; ++pos) {
+      const InputSlot& slot = in.slots[pos];
+      if (slot.id == kNone) continue;  // hole left by an earlier grant
+      if (slot.head_arrival > now) break;  // later packets arrive later
+      const topo::LinkId out_link =
+          oblivious ? slot.out_link
+                    : route_output(link_node_[channel_link_[idx]],
+                                   packets_[slot.id], now);
+      if (links_[out_link].last_grant == now) continue;  // one per output
+      OutputChannel& out = outputs_[channel(out_link, slot.vc)];
+      if (out.occupancy >= config_.buffer_packets) continue;
+      const PacketId pkt_id = slot.id;
+      erase_input_slot(in, pos);
+      grant(pkt_id, idx, out_link, now);
+      break;  // one grant per input channel per cycle
+    }
+  }
+}
+
+void Network::transmit(PacketId pkt_id, ChannelId ch, topo::LinkId link_idx,
+                       std::uint32_t vc, Cycle now) {
+  OutputLink& link_state = links_[link_idx];
+  OutputChannel& out = outputs_[ch];
+  Packet& pkt = packets_[pkt_id];
+  out.fifo.pop_front();
+  --out.credits;
+  --link_state.queued;
+  if (in_measure_window(now)) {
+    // Attribute the whole packet's serialization to this cycle's
+    // window; edge effects at the window boundary are one packet.
+    link_flits_[link_idx] += config_.packet_flits;
+  }
+  link_state.busy_until = now + config_.packet_flits;
+  // vc + 1 <= num_vcs, so the wrap is a compare, not a division.
+  link_state.next_vc = vc + 1 == config_.num_vcs ? 0 : vc + 1;
+  schedule(link_state.busy_until, Event{EventKind::kOutputSlotFree, ch});
+  pkt.head_arrival = now + 1;
+  ++pkt.hop;
+  if (link_terminal_[link_idx]) {
+    // Downstream is the destination host: the packet completes when
+    // its tail flit lands; the host input slot frees one cycle later.
+    LMPR_ASSERT(xgft_->link(link_idx).dst == xgft_->host(pkt.dst));
+    const Cycle done = now + config_.packet_flits;  // (now+1) + F - 1
+    schedule(done, Event{EventKind::kDeliver, pkt_id});
+    schedule(done + 1, Event{EventKind::kCreditReturn, ch});
+  } else {
+    enqueue_input(ch, pkt_id);
+  }
+}
+
+void Network::start_transmissions_reference(Cycle now) {
   for (std::size_t link_idx = 0; link_idx < links_.size(); ++link_idx) {
     OutputLink& link_state = links_[link_idx];
     if (link_state.busy_until > now) continue;
@@ -288,31 +461,42 @@ void Network::start_transmissions(Cycle now) {
       OutputChannel& out = outputs_[ch];
       if (out.fifo.empty() || out.credits == 0) continue;
       const PacketId pkt_id = out.fifo.front();
-      Packet& pkt = packets_[pkt_id];
-      if (pkt.head_arrival + 1 > now) continue;  // router pipeline latency
-      out.fifo.pop_front();
-      --out.credits;
-      if (in_measure_window(now)) {
-        // Attribute the whole packet's serialization to this cycle's
-        // window; edge effects at the window boundary are one packet.
-        link_flits_[link_idx] += config_.packet_flits;
-      }
-      link_state.busy_until = now + config_.packet_flits;
-      link_state.next_vc = (vc + 1) % config_.num_vcs;
-      schedule(link_state.busy_until, Event{EventKind::kOutputSlotFree, ch});
-      pkt.head_arrival = now + 1;
-      ++pkt.hop;
-      const topo::Link& link = xgft_->link(static_cast<topo::LinkId>(link_idx));
-      if (!link.up && xgft_->is_host(link.dst)) {
-        // Downstream is the destination host: the packet completes when
-        // its tail flit lands; the host input slot frees one cycle later.
-        LMPR_ASSERT(link.dst == xgft_->host(pkt.dst));
-        const Cycle done = now + config_.packet_flits;  // (now+1) + F - 1
-        schedule(done, Event{EventKind::kDeliver, pkt_id});
-        schedule(done + 1, Event{EventKind::kCreditReturn, ch});
-      } else {
-        inputs_[ch].fifo.push_back(pkt_id);
-      }
+      if (packets_[pkt_id].head_arrival + 1 > now) continue;  // router stage
+      transmit(pkt_id, ch, static_cast<topo::LinkId>(link_idx), vc, now);
+      break;  // one packet per physical link per cycle
+    }
+  }
+}
+
+void Network::start_transmissions_active(Cycle now) {
+  // Prune links that drained or went busy since the last cycle (a busy
+  // link's kOutputSlotFree event re-arms it the cycle it frees), then
+  // serve the free members in ascending id order -- the reference scan's
+  // order restricted to links that can actually send.
+  std::size_t w = 0;
+  for (const topo::LinkId link : active_links_) {
+    const OutputLink& state = links_[link];
+    if (state.queued == 0 || state.busy_until > now) {
+      link_active_[link] = 0;
+      continue;
+    }
+    active_links_[w++] = link;
+  }
+  active_links_.resize(w);
+  const std::uint32_t num_vcs = config_.num_vcs;
+  for (const topo::LinkId link_idx : active_links_) {
+    OutputLink& link_state = links_[link_idx];
+    // Round-robin over VCs for the physical channel.  Both addends are
+    // < num_vcs, so the rotation is a compare-subtract, not a division.
+    for (std::uint32_t v = 0; v < num_vcs; ++v) {
+      const std::uint32_t sum = link_state.next_vc + v;
+      const std::uint32_t vc = sum >= num_vcs ? sum - num_vcs : sum;
+      const ChannelId ch = channel(link_idx, vc);
+      OutputChannel& out = outputs_[ch];
+      if (out.fifo.empty() || out.credits == 0) continue;
+      const PacketId pkt_id = out.fifo.front();
+      if (packets_[pkt_id].head_arrival + 1 > now) continue;  // router stage
+      transmit(pkt_id, ch, link_idx, vc, now);
       break;  // one packet per physical link per cycle
     }
   }
@@ -350,11 +534,20 @@ void Network::deliver(PacketId pkt_id, Cycle now) {
 SimMetrics Network::run() {
   const Cycle total =
       config_.warmup_cycles + config_.measure_cycles + config_.drain_cycles;
-  for (current_cycle_ = 0; current_cycle_ < total; ++current_cycle_) {
-    process_events(current_cycle_);
-    inject(current_cycle_);
-    crossbar(current_cycle_);
-    start_transmissions(current_cycle_);
+  if (active_sets_) {
+    for (current_cycle_ = 0; current_cycle_ < total; ++current_cycle_) {
+      process_events(current_cycle_);
+      inject(current_cycle_);
+      crossbar_active(current_cycle_);
+      start_transmissions_active(current_cycle_);
+    }
+  } else {
+    for (current_cycle_ = 0; current_cycle_ < total; ++current_cycle_) {
+      process_events(current_cycle_);
+      inject(current_cycle_);
+      crossbar_reference(current_cycle_);
+      start_transmissions_reference(current_cycle_);
+    }
   }
   metrics_.offered_load = config_.offered_load;
   metrics_.packets_outstanding =

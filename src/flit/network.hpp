@@ -33,6 +33,29 @@
 //   the downward leg is the unique descent either way.
 // * Blocked packets wait in place, producing the backpressure / tree
 //   saturation the paper discusses for loads beyond saturation.
+//
+// Kernels.  The per-cycle phases exist in two implementations selected by
+// SimConfig::reference_kernel:
+//
+//   reference -- the original full scans: crossbar walks every
+//     (link, VC) input channel, start_transmissions walks every link.
+//     Per-cycle cost O(num_links * num_vcs) even when the fabric idles.
+//   active-set (default) -- intrusive membership lists iterate only work
+//     that can progress this cycle: input channels holding at least one
+//     buffered packet, and links that are idle with queued output.  A
+//     transmitting link leaves its list for the whole serialization and
+//     is re-armed by the kOutputSlotFree event at the cycle it frees.
+//     Per-cycle cost O(in-flight traffic).
+//
+//   The lists are kept sorted by channel/link id and iterated with the
+//   same rotating offset the reference scan applies, so the service
+//   order is the reference order restricted to members -- and since a
+//   skipped (empty / busy) channel performs no state change and
+//   schedules no event in the reference scan either, both kernels grant
+//   the same packets in the same order, schedule the same calendar
+//   events in the same bucket order, and therefore produce bit-identical
+//   SimMetrics (test_flit_kernel_equivalence proves this over a grid of
+//   shapes x loads x routing modes).
 #pragma once
 
 #include <cstdint>
@@ -86,8 +109,33 @@ class Network {
     MessageId next_free = static_cast<MessageId>(-1);
   };
 
+  /// Active-kernel input-buffer entry.  Everything the crossbar scan
+  /// tests is constant while the packet sits buffered (the VC is fixed
+  /// along the path, the head has arrived by construction once the scan
+  /// reaches it, and in oblivious mode the output link is a pure
+  /// function of the packet's hop), so it is snapshotted at enqueue and
+  /// the saturated-fabric rescan of blocked packets stays inside this
+  /// contiguous vector instead of chasing `packets_`.  In adaptive mode
+  /// `out_link` is recomputed per cycle from credit state.
+  struct InputSlot {
+    PacketId id = kNone;         ///< kNone marks a hole left by a grant
+    topo::LinkId out_link = 0;   ///< oblivious-mode output (constant)
+    std::uint32_t vc = 0;
+    Cycle head_arrival = 0;
+  };
+
   struct InputChannel {
-    std::deque<PacketId> fifo;  ///< arrived / arriving packets, FIFO
+    /// Reference kernel: arrived / arriving packets, FIFO with mid-deque
+    /// erase on grant (the seed implementation, kept verbatim).
+    std::deque<PacketId> fifo;
+    /// Active-set kernel: the same FIFO as a hole-marked vector.  Live
+    /// entries sit in [head, slots.size()) in arrival order; a granted
+    /// packet becomes a kNone hole in O(1) instead of an O(n) erase.
+    /// Leading holes advance `head`; interior holes are compacted away
+    /// once they outnumber the live entries (amortized O(1) per grant).
+    std::vector<InputSlot> slots;
+    std::size_t head = 0;  ///< first possibly-live slot
+    std::size_t live = 0;  ///< non-hole entries in [head, slots.size())
   };
 
   struct OutputChannel {
@@ -100,6 +148,7 @@ class Network {
     Cycle busy_until = 0;        ///< physical channel serialization
     Cycle last_grant = ~0ULL;    ///< crossbar one-grant-per-cycle guard
     std::uint32_t next_vc = 0;   ///< round-robin VC service pointer
+    std::uint32_t queued = 0;    ///< packets across this link's output VCs
   };
 
   enum class EventKind : std::uint8_t {
@@ -115,8 +164,32 @@ class Network {
   // -- per-cycle phases -----------------------------------------------------
   void process_events(Cycle now);
   void inject(Cycle now);
-  void crossbar(Cycle now);
-  void start_transmissions(Cycle now);
+  void crossbar_reference(Cycle now);
+  void start_transmissions_reference(Cycle now);
+  void crossbar_active(Cycle now);
+  void start_transmissions_active(Cycle now);
+
+  /// Grants `pkt_id` (buffered at input channel `in_ch`, position decided
+  /// by the caller) onto output link `out_link`: shared tail of both
+  /// crossbar kernels once a packet has won arbitration.
+  void grant(PacketId pkt_id, ChannelId in_ch, topo::LinkId out_link,
+             Cycle now);
+  /// Transmits the head packet of output channel `ch` on `link_idx`:
+  /// shared tail of both start_transmissions kernels.
+  void transmit(PacketId pkt_id, ChannelId ch, topo::LinkId link_idx,
+                std::uint32_t vc, Cycle now);
+
+  /// Queues a packet into an output channel (NIC injection or crossbar
+  /// grant), maintaining the link's queued count and active membership.
+  void enqueue_output(ChannelId ch, topo::LinkId link, PacketId pkt);
+  /// Queues a forwarded packet into the downstream input channel,
+  /// maintaining active membership (kernel-dependent storage).
+  void enqueue_input(ChannelId ch, PacketId pkt);
+  /// Active kernel: removes slot `pos` of `in` via hole-marking.
+  void erase_input_slot(InputChannel& in, std::size_t pos);
+  /// Inserts into the sorted membership list iff not already a member.
+  void activate_input(ChannelId ch);
+  void activate_link(topo::LinkId link);
 
   void schedule(Cycle when, Event event);
   void generate_message(std::uint64_t host, Cycle now);
@@ -148,10 +221,30 @@ class Network {
   const topo::Xgft* xgft_;
   SimConfig config_;
   std::uint64_t num_hosts_;
+  bool active_sets_;        ///< !config_.reference_kernel
+  double mean_interval_;    ///< message_flits / offered_load, loop-invariant
 
   std::vector<InputChannel> inputs_;    ///< indexed by ChannelId
   std::vector<OutputChannel> outputs_;  ///< indexed by ChannelId
   std::vector<OutputLink> links_;       ///< indexed by LinkId
+
+  /// Active-set membership (unused under the reference kernel).  Both
+  /// lists are sorted ascending; the byte flags give O(1) dedup on
+  /// insertion and are the single source of truth for membership.
+  /// Drained / busy entries are pruned lazily at the start of the phase
+  /// that iterates them, which keeps removal O(1) amortized.
+  std::vector<ChannelId> active_inputs_;
+  std::vector<std::uint8_t> input_active_;
+  std::vector<topo::LinkId> active_links_;
+  std::vector<std::uint8_t> link_active_;
+
+  /// Hot-loop lookup tables (active kernel): channel -> link avoids the
+  /// runtime division by num_vcs, link -> switching node avoids the Link
+  /// indirection, and link -> is-terminal-hop folds the (down && host)
+  /// test into one byte.  Pure functions of the topology.
+  std::vector<topo::LinkId> channel_link_;
+  std::vector<topo::NodeId> link_node_;
+  std::vector<std::uint8_t> link_terminal_;
 
   /// Per-host injection state.
   std::vector<std::deque<PacketId>> source_queue_;

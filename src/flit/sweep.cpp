@@ -7,45 +7,59 @@
 #include "flit/network.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lmpr::flit {
 
+SweepPoint simulate_load_point(const route::RouteTable& table,
+                               const SimConfig& config) {
+  Network network(table, config);
+  const SimMetrics metrics = network.run();
+
+  SweepPoint point;
+  point.offered_load = metrics.offered_load;
+  point.throughput = metrics.throughput;
+  point.mean_message_delay =
+      metrics.message_delay.count() > 0
+          ? metrics.message_delay.mean()
+          : std::numeric_limits<double>::quiet_NaN();
+  point.mean_packet_delay =
+      metrics.packet_delay.count() > 0
+          ? metrics.packet_delay.mean()
+          : std::numeric_limits<double>::quiet_NaN();
+  if (metrics.message_delay_dist.sample_size() > 0) {
+    point.median_message_delay = metrics.message_delay_dist.median();
+    point.p99_message_delay = metrics.message_delay_dist.p99();
+  } else {
+    point.median_message_delay = std::numeric_limits<double>::quiet_NaN();
+    point.p99_message_delay = std::numeric_limits<double>::quiet_NaN();
+  }
+  point.delivered_fraction = metrics.delivered_fraction();
+  point.out_of_order_fraction = metrics.out_of_order_fraction();
+  return point;
+}
+
 SweepResult run_load_sweep(const route::RouteTable& table,
                            const SimConfig& base_config,
-                           const std::vector<double>& loads) {
+                           const std::vector<double>& loads,
+                           util::ThreadPool* pool) {
   SweepResult result;
-  result.points.reserve(loads.size());
-  for (std::size_t i = 0; i < loads.size(); ++i) {
+  result.points.resize(loads.size());
+  const auto run_point = [&](std::size_t i) {
     SimConfig config = base_config;
     config.offered_load = loads[i];
     // Independent but reproducible randomness per load point.
     std::uint64_t mix = base_config.seed + i;
     config.seed = util::splitmix64(mix);
-
-    Network network(table, config);
-    const SimMetrics metrics = network.run();
-
-    SweepPoint point;
-    point.offered_load = metrics.offered_load;
-    point.throughput = metrics.throughput;
-    point.mean_message_delay =
-        metrics.message_delay.count() > 0
-            ? metrics.message_delay.mean()
-            : std::numeric_limits<double>::quiet_NaN();
-    point.mean_packet_delay =
-        metrics.packet_delay.count() > 0
-            ? metrics.packet_delay.mean()
-            : std::numeric_limits<double>::quiet_NaN();
-    if (metrics.message_delay_dist.sample_size() > 0) {
-      point.median_message_delay = metrics.message_delay_dist.median();
-      point.p99_message_delay = metrics.message_delay_dist.p99();
-    } else {
-      point.median_message_delay = std::numeric_limits<double>::quiet_NaN();
-      point.p99_message_delay = std::numeric_limits<double>::quiet_NaN();
-    }
-    point.delivered_fraction = metrics.delivered_fraction();
-    point.out_of_order_fraction = metrics.out_of_order_fraction();
-    result.points.push_back(point);
+    result.points[i] = simulate_load_point(table, config);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(loads.size(), run_point);
+  } else {
+    for (std::size_t i = 0; i < loads.size(); ++i) run_point(i);
+  }
+  // Index-ordered reduction: identical for any worker count.
+  for (const SweepPoint& point : result.points) {
     result.max_throughput = std::max(result.max_throughput, point.throughput);
   }
   return result;

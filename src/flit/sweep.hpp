@@ -8,6 +8,10 @@
 #include "flit/config.hpp"
 #include "flit/metrics.hpp"
 
+namespace lmpr::util {
+class ThreadPool;
+}  // namespace lmpr::util
+
 namespace lmpr::flit {
 
 struct SweepPoint {
@@ -28,11 +32,21 @@ struct SweepResult {
   double max_throughput = 0.0;
 };
 
+/// Runs one simulation at `config.offered_load` with `config.seed` used
+/// as-is and condenses the metrics into a SweepPoint.  The unit of work
+/// both run_load_sweep and engine::measure_saturation parallelize over.
+SweepPoint simulate_load_point(const route::RouteTable& table,
+                               const SimConfig& config);
+
 /// Runs one simulation per offered load in `loads` (each load gets an
-/// independent, deterministic seed derived from config.seed).
+/// independent, deterministic seed derived from config.seed).  When
+/// `pool` is non-null the load points run concurrently; results are
+/// merged in index order, so the output is identical for any worker
+/// count including none.
 SweepResult run_load_sweep(const route::RouteTable& table,
                            const SimConfig& base_config,
-                           const std::vector<double>& loads);
+                           const std::vector<double>& loads,
+                           util::ThreadPool* pool = nullptr);
 
 /// Evenly spaced loads in [lo, hi] (inclusive), `count` >= 2 points.
 std::vector<double> linspace_loads(double lo, double hi, std::size_t count);

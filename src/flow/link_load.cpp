@@ -32,13 +32,85 @@ LoadResult LoadEvaluator::finish() {
   return result;
 }
 
+namespace {
+
+/// Heuristics that consume the RNG; their path picks must not be memoized
+/// (a cache hit would skip draws and shift every later sample).
+bool is_randomized(route::Heuristic heuristic) {
+  return heuristic == route::Heuristic::kRandom ||
+         heuristic == route::Heuristic::kRandomSingle;
+}
+
+/// Link budget for the path cache: ~4M LinkIds (16 MiB).  Enough for the
+/// all-pairs flows of the paper-scale topologies; beyond it misses fall
+/// back to uncached evaluation instead of growing without bound.
+constexpr std::size_t kCacheLinkBudget = std::size_t{1} << 22;
+
+}  // namespace
+
+void LoadEvaluator::set_path_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  cache_valid_ = false;
+  cache_spans_.clear();
+  cache_links_.clear();
+  cache_links_.shrink_to_fit();
+}
+
+const LoadEvaluator::FlowSpan* LoadEvaluator::cached_flow(
+    std::uint64_t src, std::uint64_t dst, route::Heuristic heuristic,
+    std::size_t k_paths) {
+  if (!cache_valid_ || heuristic != cache_heuristic_ ||
+      k_paths != cache_k_) {
+    cache_spans_.clear();
+    cache_links_.clear();
+    cache_heuristic_ = heuristic;
+    cache_k_ = k_paths;
+    cache_valid_ = true;
+  }
+  const std::uint64_t flow = src * xgft_->num_hosts() + dst;
+  const auto hit = cache_spans_.find(flow);
+  if (hit != cache_spans_.end()) return &hit->second;
+  if (cache_links_.size() >= kCacheLinkBudget) return nullptr;
+
+  // Miss: derive the paths once (deterministic heuristics only, so the
+  // dummy RNG is never consulted) and append their links to the arena.
+  util::Rng unused{0};
+  const auto indices = route::select_path_indices(*xgft_, src, dst, k_paths,
+                                                  heuristic, unused);
+  FlowSpan span;
+  span.begin = cache_links_.size();
+  span.num_paths = static_cast<std::uint32_t>(indices.size());
+  for (const std::uint64_t index : indices) {
+    route::append_path_links(*xgft_, src, dst, index, cache_links_);
+  }
+  span.length =
+      static_cast<std::uint32_t>(cache_links_.size() - span.begin);
+  return &cache_spans_.emplace(flow, span).first->second;
+}
+
 LoadResult LoadEvaluator::evaluate(const TrafficMatrix& tm,
                                    route::Heuristic heuristic,
                                    std::size_t k_paths, util::Rng& rng) {
   LMPR_EXPECTS(tm.num_hosts() == xgft_->num_hosts());
   reset();
+  const bool use_cache = cache_enabled_ && !is_randomized(heuristic);
   for (const Demand& demand : tm.demands()) {
     if (demand.src == demand.dst || demand.amount == 0.0) continue;
+    if (use_cache) {
+      const FlowSpan* span =
+          cached_flow(demand.src, demand.dst, heuristic, k_paths);
+      if (span != nullptr) {
+        // Same links in the same order as the uncached derivation, so
+        // the floating-point accumulation is bit-identical.
+        const double fraction =
+            demand.amount / static_cast<double>(span->num_paths);
+        const topo::LinkId* links = cache_links_.data() + span->begin;
+        for (std::uint32_t i = 0; i < span->length; ++i) {
+          loads_[links[i]] += fraction;
+        }
+        continue;
+      }
+    }
     const auto indices = route::select_path_indices(
         *xgft_, demand.src, demand.dst, k_paths, heuristic, rng);
     const double fraction =

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/heuristics.hpp"
@@ -33,6 +34,16 @@ class LoadEvaluator {
 
   /// Evaluates MLOAD for the heuristic with path limit `k_paths`.
   /// `rng` feeds the randomized heuristics only.
+  ///
+  /// For the DETERMINISTIC heuristics the set of path links of an
+  /// (src, dst) pair is a pure function of (heuristic, k_paths), so it is
+  /// memoized across calls: permutation studies sample thousands of
+  /// traffic matrices against the same routing and would otherwise
+  /// re-derive the same mixed-radix paths every time.  The randomized
+  /// heuristics (random, random-single) always take the RNG-consuming
+  /// path -- caching them would change which draws are consumed and
+  /// therefore the results.  Cached and uncached evaluation produce
+  /// identical results bit-for-bit (same links, same accumulation order).
   LoadResult evaluate(const TrafficMatrix& tm, route::Heuristic heuristic,
                       std::size_t k_paths, util::Rng& rng);
 
@@ -55,13 +66,42 @@ class LoadEvaluator {
 
   const topo::Xgft& xgft() const noexcept { return *xgft_; }
 
+  /// Disables (or re-enables) the deterministic-heuristic path cache;
+  /// exists for the cache-equality tests and A/B benchmarking.  Disabling
+  /// drops the cached state.
+  void set_path_cache_enabled(bool enabled);
+  bool path_cache_enabled() const noexcept { return cache_enabled_; }
+
  private:
+  /// Concatenated links of one (src, dst) flow's K selected paths inside
+  /// `cache_links_` (fraction = amount / num_paths).
+  struct FlowSpan {
+    std::uint64_t begin = 0;
+    std::uint32_t length = 0;
+    std::uint32_t num_paths = 0;
+  };
+
   void reset();
   LoadResult finish();
+  const FlowSpan* cached_flow(std::uint64_t src, std::uint64_t dst,
+                              route::Heuristic heuristic,
+                              std::size_t k_paths);
 
   const topo::Xgft* xgft_;
   std::vector<double> loads_;
   std::vector<topo::LinkId> scratch_links_;
+
+  /// Path cache for the deterministic heuristics, keyed by flow id
+  /// (src * num_hosts + dst) and valid for one (heuristic, k) at a time
+  /// (studies evaluate many samples per routing, not many routings per
+  /// sample).  Bounded by a link budget; once full, further misses are
+  /// simply computed uncached.
+  bool cache_enabled_ = true;
+  bool cache_valid_ = false;
+  route::Heuristic cache_heuristic_ = route::Heuristic::kDModK;
+  std::size_t cache_k_ = 0;
+  std::unordered_map<std::uint64_t, FlowSpan> cache_spans_;
+  std::vector<topo::LinkId> cache_links_;
 };
 
 }  // namespace lmpr::flow

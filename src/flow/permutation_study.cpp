@@ -27,12 +27,25 @@ PermutationStudyResult run_permutation_study(
     const topo::Xgft& xgft, const PermutationStudyConfig& config) {
   PermutationStudyResult result;
 
+  // One evaluator per worker slot (slot 0 = the submitting thread): each
+  // worker owns its scratch state without locking, and the per-(src,dst)
+  // path cache survives across samples -- the whole study evaluates one
+  // (heuristic, K), so after the first few samples every flow is a hit.
+  // Cached results are bit-identical to uncached, so sample outcomes do
+  // not depend on which worker computed them.
+  std::vector<LoadEvaluator> evaluators;
+  const std::size_t slots =
+      (config.pool != nullptr ? config.pool->worker_count() : 0) + 1;
+  evaluators.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    evaluators.emplace_back(xgft);
+    evaluators.back().set_path_cache_enabled(config.use_path_cache);
+  }
+
   auto evaluate_sample = [&](std::uint64_t sample) {
     util::Rng perm_rng = sample_rng(config.seed, sample, 0);
     util::Rng route_rng = sample_rng(config.seed, sample, 1);
-    // Per-sample evaluator: keeps workers independent; allocation cost is
-    // negligible next to the evaluation itself.
-    LoadEvaluator evaluator(xgft);
+    LoadEvaluator& evaluator = evaluators[util::ThreadPool::worker_slot()];
     const TrafficMatrix tm =
         TrafficMatrix::random_permutation(xgft.num_hosts(), perm_rng);
     SampleOutcome outcome;

@@ -27,6 +27,12 @@ struct PermutationStudyConfig {
   /// (seed, i), so the results are IDENTICAL with or without a pool and
   /// for any worker count.
   util::ThreadPool* pool = nullptr;
+  /// Reuse each worker's LoadEvaluator across samples so its
+  /// deterministic-heuristic path cache pays off (the routing is fixed for
+  /// the whole study; only the traffic matrix changes per sample).
+  /// Results are identical either way; the switch exists for the
+  /// cache-equality tests and A/B benchmarking.
+  bool use_path_cache = true;
 };
 
 struct PermutationStudyResult {

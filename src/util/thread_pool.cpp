@@ -4,12 +4,22 @@
 
 namespace lmpr::util {
 
+namespace {
+// 0 = not a pool worker (the submitting thread); i + 1 = pool worker i.
+thread_local std::size_t t_worker_slot = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t workers) {
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] {
+      t_worker_slot = i + 1;
+      worker_loop();
+    });
   }
 }
+
+std::size_t ThreadPool::worker_slot() noexcept { return t_worker_slot; }
 
 ThreadPool::~ThreadPool() {
   {

@@ -43,6 +43,14 @@ class ThreadPool {
   /// A reasonable default worker count for the current machine.
   static std::size_t default_workers();
 
+  /// Slot of the calling thread inside a parallel_for: 0 on the
+  /// submitting (or any non-pool) thread, i + 1 on pool worker i.  Lets
+  /// call sites keep per-thread scratch state (e.g. one evaluator per
+  /// slot, indexed by worker_slot()) without locking, sized
+  /// worker_count() + 1.  Valid whenever parallel_for is entered from a
+  /// non-worker thread, which the no-nested-submit contract guarantees.
+  static std::size_t worker_slot() noexcept;
+
  private:
   struct Batch {
     std::size_t count = 0;

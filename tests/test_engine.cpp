@@ -32,6 +32,7 @@ TEST(ScenarioRegistry, ContainsEveryMigratedScenario) {
         "adaptive_vs_oblivious", "collectives_workloads",
         "fm_churn_disjoint_vs_shift", "fm_rebalance_vs_first",
         "fm_repair_scaling", "oversubscribed_tree", "patterns_structured",
+        "perf_baseline",
         "price_of_obliviousness", "resilience_multipath", "smodk_vs_dmodk",
         "worst_case_permutations"}) {
     const Scenario* scenario = registry.find(name);
@@ -42,7 +43,7 @@ TEST(ScenarioRegistry, ContainsEveryMigratedScenario) {
     EXPECT_FALSE(scenario->full_params.empty()) << name;
     EXPECT_TRUE(scenario->run != nullptr) << name;
   }
-  EXPECT_EQ(registry.all().size(), 25u);
+  EXPECT_EQ(registry.all().size(), 26u);
 }
 
 TEST(ScenarioRegistry, FindIsExactMatchOnly) {

@@ -1,0 +1,226 @@
+// Differential proof that the active-set kernel is bit-identical to the
+// reference full-scan kernel (SimConfig::reference_kernel): both run the
+// same seeded simulation and every SimMetrics field must match EXACTLY --
+// same grants in the same order, same calendar events in the same bucket
+// order, hence the same floating-point accumulation and the same RNG
+// consumption.  Any divergence, however small, means the active-set
+// bookkeeping skipped or reordered work the reference would have done.
+//
+// Also covers the parallel sweep paths: run_load_sweep and
+// measure_saturation must return identical results with and without a
+// thread pool (index-derived seeds, index-ordered merges).
+//
+// Carries the `perf` ctest label: it simulates a grid of shapes x loads x
+// routing modes, so it runs longer than a unit test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "engine/study.hpp"
+#include "flit/network.hpp"
+#include "flit/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace lmpr;
+using flit::DestinationMode;
+using flit::Network;
+using flit::PathSelection;
+using flit::RoutingMode;
+using flit::SimConfig;
+using flit::SimMetrics;
+using route::Heuristic;
+using route::RouteTable;
+using topo::Xgft;
+using topo::XgftSpec;
+
+void expect_stats_identical(const util::OnlineStats& a,
+                            const util::OnlineStats& b, const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+  if (a.count() > 0) {
+    EXPECT_EQ(a.min(), b.min()) << what;
+    EXPECT_EQ(a.max(), b.max()) << what;
+  }
+}
+
+/// Every SimMetrics field, compared with operator== on doubles: the two
+/// kernels must not differ even in the last ulp.
+void expect_metrics_identical(const SimMetrics& active,
+                              const SimMetrics& reference) {
+  EXPECT_EQ(active.offered_load, reference.offered_load);
+  EXPECT_EQ(active.throughput, reference.throughput);
+  expect_stats_identical(active.message_delay, reference.message_delay,
+                         "message_delay");
+  expect_stats_identical(active.packet_delay, reference.packet_delay,
+                         "packet_delay");
+  EXPECT_EQ(active.message_delay_dist.sample_size(),
+            reference.message_delay_dist.sample_size());
+  if (active.message_delay_dist.sample_size() > 0) {
+    EXPECT_EQ(active.message_delay_dist.median(),
+              reference.message_delay_dist.median());
+    EXPECT_EQ(active.message_delay_dist.p99(),
+              reference.message_delay_dist.p99());
+  }
+  EXPECT_EQ(active.messages_generated, reference.messages_generated);
+  EXPECT_EQ(active.messages_delivered, reference.messages_delivered);
+  EXPECT_EQ(active.flits_delivered, reference.flits_delivered);
+  EXPECT_EQ(active.packets_delivered, reference.packets_delivered);
+  EXPECT_EQ(active.packets_out_of_order, reference.packets_out_of_order);
+  EXPECT_EQ(active.packets_outstanding, reference.packets_outstanding);
+  EXPECT_EQ(active.packets_generated, reference.packets_generated);
+  EXPECT_EQ(active.mean_up_utilization, reference.mean_up_utilization);
+  EXPECT_EQ(active.mean_down_utilization, reference.mean_down_utilization);
+  EXPECT_EQ(active.max_up_utilization, reference.max_up_utilization);
+  EXPECT_EQ(active.max_down_utilization, reference.max_down_utilization);
+}
+
+void run_both_kernels(const RouteTable& table, SimConfig config) {
+  config.reference_kernel = false;
+  const SimMetrics active = Network(table, config).run();
+  config.reference_kernel = true;
+  const SimMetrics reference = Network(table, config).run();
+  ASSERT_GT(reference.packets_generated, 0u);  // the case exercises traffic
+  expect_metrics_identical(active, reference);
+}
+
+SimConfig grid_config(double load) {
+  SimConfig config;
+  config.warmup_cycles = 400;
+  config.measure_cycles = 1200;
+  config.drain_cycles = 600;
+  config.offered_load = load;
+  config.seed = 97;
+  return config;
+}
+
+struct RoutingCase {
+  const char* name;
+  Heuristic heuristic;
+  std::size_t k;
+  PathSelection selection;
+  RoutingMode mode;
+  std::uint32_t num_vcs;
+};
+
+TEST(KernelEquivalence, GridOfShapesLoadsAndRoutingModes) {
+  const XgftSpec shapes[] = {
+      XgftSpec::m_port_n_tree(4, 2),
+      XgftSpec{{2, 3, 4}, {2, 2, 3}},
+      XgftSpec{{4, 4, 4}, {1, 2, 2}},
+  };
+  const RoutingCase cases[] = {
+      {"dmodk", Heuristic::kDModK, 1, PathSelection::kRandomPerMessage,
+       RoutingMode::kOblivious, 1},
+      {"disjoint4-rr", Heuristic::kDisjoint, 4,
+       PathSelection::kRoundRobinPerMessage, RoutingMode::kOblivious, 1},
+      {"random2-per-packet", Heuristic::kRandom, 2,
+       PathSelection::kRandomPerPacket, RoutingMode::kOblivious, 1},
+      {"shift1-2vc", Heuristic::kShift1, 2, PathSelection::kRandomPerMessage,
+       RoutingMode::kOblivious, 2},
+      {"adaptive", Heuristic::kDModK, 1, PathSelection::kRandomPerMessage,
+       RoutingMode::kAdaptive, 1},
+  };
+  for (const XgftSpec& spec : shapes) {
+    const Xgft xgft{spec};
+    for (const RoutingCase& rc : cases) {
+      const RouteTable table(xgft, rc.heuristic, rc.k, 11);
+      for (const double load : {0.15, 0.45, 0.85}) {
+        SCOPED_TRACE(std::string(rc.name) + " " + spec.to_string() +
+                     " load " + std::to_string(load));
+        SimConfig config = grid_config(load);
+        config.path_selection = rc.selection;
+        config.routing_mode = rc.mode;
+        config.num_vcs = rc.num_vcs;
+        run_both_kernels(table, config);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, HotspotTraffic) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const RouteTable table(xgft, Heuristic::kDisjoint, 2, 11);
+  SimConfig config = grid_config(0.4);
+  config.destination_mode = DestinationMode::kHotspot;
+  config.hotspot_target = 3;
+  config.hotspot_fraction = 0.3;
+  run_both_kernels(table, config);
+}
+
+TEST(KernelEquivalence, FreshDestinationPerMessage) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const RouteTable table(xgft, Heuristic::kRandom, 4, 11);
+  SimConfig config = grid_config(0.5);
+  config.destination_mode = DestinationMode::kPerMessage;
+  run_both_kernels(table, config);
+}
+
+TEST(KernelEquivalence, HigherFidelityRun) {
+  // One longer run at paper-like cycle counts: bookkeeping drift that a
+  // short run could miss (e.g. a slot leak that only matters once FIFOs
+  // compact) has room to surface.
+  const Xgft xgft{XgftSpec{{4, 4, 4}, {1, 2, 2}}};
+  const RouteTable table(xgft, Heuristic::kDisjoint, 4, 11);
+  SimConfig config;
+  config.warmup_cycles = 3000;
+  config.measure_cycles = 9000;
+  config.drain_cycles = 3000;
+  config.offered_load = 0.7;
+  config.seed = 1234;
+  run_both_kernels(table, config);
+}
+
+void expect_sweeps_identical(const flit::SweepResult& a,
+                             const flit::SweepResult& b) {
+  EXPECT_EQ(a.max_throughput, b.max_throughput);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const flit::SweepPoint& p = a.points[i];
+    const flit::SweepPoint& q = b.points[i];
+    EXPECT_EQ(p.offered_load, q.offered_load);
+    EXPECT_EQ(p.throughput, q.throughput);
+    EXPECT_EQ(p.mean_message_delay, q.mean_message_delay);
+    EXPECT_EQ(p.mean_packet_delay, q.mean_packet_delay);
+    EXPECT_EQ(p.median_message_delay, q.median_message_delay);
+    EXPECT_EQ(p.p99_message_delay, q.p99_message_delay);
+    EXPECT_EQ(p.delivered_fraction, q.delivered_fraction);
+    EXPECT_EQ(p.out_of_order_fraction, q.out_of_order_fraction);
+  }
+}
+
+TEST(ParallelSweep, MatchesSerialSweep) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const RouteTable table(xgft, Heuristic::kDisjoint, 2, 11);
+  const SimConfig base = grid_config(0.5);
+  const std::vector<double> loads{0.2, 0.4, 0.6, 0.8};
+  const auto serial = flit::run_load_sweep(table, base, loads, nullptr);
+  util::ThreadPool pool(3);
+  const auto pooled = flit::run_load_sweep(table, base, loads, &pool);
+  expect_sweeps_identical(serial, pooled);
+}
+
+TEST(ParallelSweep, MeasureSaturationMatchesSerial) {
+  const Xgft xgft{XgftSpec::m_port_n_tree(4, 2)};
+  const RouteTable table(xgft, Heuristic::kShift1, 2, 11);
+  const SimConfig base = grid_config(0.5);
+  const std::vector<double> loads{0.3, 0.6, 0.9};
+  const auto pairings = engine::shared_pairings(xgft.num_hosts(), 21, 2);
+  const auto serial =
+      engine::measure_saturation(table, base, loads, pairings, nullptr);
+  util::ThreadPool pool(3);
+  const auto pooled =
+      engine::measure_saturation(table, base, loads, pairings, &pool);
+  EXPECT_EQ(serial.max_throughput, pooled.max_throughput);
+  // mean_message_delay is NaN when a point delivered nothing; NaN != NaN,
+  // so compare bit patterns via ==-or-both-NaN.
+  EXPECT_TRUE(serial.delay_at_low_load == pooled.delay_at_low_load ||
+              (std::isnan(serial.delay_at_low_load) &&
+               std::isnan(pooled.delay_at_low_load)));
+  EXPECT_EQ(serial.reorder_at_high_load, pooled.reorder_at_high_load);
+}
+
+}  // namespace

@@ -133,4 +133,82 @@ TEST(LinkLoad, EvaluatorIsReusable) {
                    1.0);
 }
 
+
+TEST(LinkLoadCache, CachedEqualsUncachedForEveryHeuristic) {
+  // The path cache must be invisible: identical link loads (exact doubles,
+  // same accumulation order) for every heuristic, including the randomized
+  // ones (which bypass the cache and must consume the same RNG draws).
+  const Xgft xgft{XgftSpec{{2, 3, 4}, {2, 2, 3}}};
+  for (const Heuristic h : route::all_heuristics()) {
+    LoadEvaluator cached(xgft);
+    LoadEvaluator uncached(xgft);
+    uncached.set_path_cache_enabled(false);
+    ASSERT_TRUE(cached.path_cache_enabled());
+    ASSERT_FALSE(uncached.path_cache_enabled());
+    util::Rng rng_a{77};
+    util::Rng rng_b{77};
+    for (int sample = 0; sample < 4; ++sample) {
+      util::Rng perm_rng{100 + static_cast<std::uint64_t>(sample)};
+      const auto tm =
+          TrafficMatrix::random_permutation(xgft.num_hosts(), perm_rng);
+      const auto with = cached.evaluate(tm, h, 3, rng_a);
+      const auto without = uncached.evaluate(tm, h, 3, rng_b);
+      EXPECT_EQ(with.max_load, without.max_load)
+          << to_string(h) << " sample " << sample;
+      EXPECT_EQ(with.argmax, without.argmax) << to_string(h);
+      EXPECT_EQ(with.max_up_load_per_level, without.max_up_load_per_level)
+          << to_string(h);
+      EXPECT_EQ(with.max_down_load_per_level,
+                without.max_down_load_per_level)
+          << to_string(h);
+      EXPECT_EQ(cached.link_loads(), uncached.link_loads()) << to_string(h);
+    }
+  }
+}
+
+TEST(LinkLoadCache, RepeatedEvaluationsMatchFreshEvaluator) {
+  // Cache hits on later samples must reproduce what a cold evaluator
+  // computes from scratch.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  LoadEvaluator warm(xgft);
+  util::Rng rng{9};
+  for (int sample = 0; sample < 3; ++sample) {
+    util::Rng perm_rng{200 + static_cast<std::uint64_t>(sample)};
+    const auto tm =
+        TrafficMatrix::random_permutation(xgft.num_hosts(), perm_rng);
+    const auto warm_result = warm.evaluate(tm, Heuristic::kDisjoint, 2, rng);
+    LoadEvaluator cold(xgft);
+    util::Rng cold_rng{9};
+    const auto cold_result =
+        cold.evaluate(tm, Heuristic::kDisjoint, 2, cold_rng);
+    EXPECT_EQ(warm_result.max_load, cold_result.max_load);
+    EXPECT_EQ(warm.link_loads(), cold.link_loads());
+  }
+}
+
+TEST(LinkLoadCache, HeuristicSwitchInvalidatesCache) {
+  // Switching (heuristic, K) between calls must not serve stale paths.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  LoadEvaluator eval(xgft);
+  util::Rng rng{3};
+  util::Rng perm_rng{4};
+  const auto tm =
+      TrafficMatrix::random_permutation(xgft.num_hosts(), perm_rng);
+  const double dmodk = eval.evaluate(tm, Heuristic::kDModK, 1, rng).max_load;
+  const double umulti =
+      eval.evaluate(tm, Heuristic::kUmulti, 1, rng).max_load;
+  const double dmodk_again =
+      eval.evaluate(tm, Heuristic::kDModK, 1, rng).max_load;
+  const double k2 = eval.evaluate(tm, Heuristic::kDisjoint, 2, rng).max_load;
+  const double k4 = eval.evaluate(tm, Heuristic::kDisjoint, 4, rng).max_load;
+  EXPECT_EQ(dmodk, dmodk_again);
+  EXPECT_LE(umulti, dmodk);  // unlimited multi-path never loads more
+  LoadEvaluator fresh(xgft);
+  util::Rng fresh_rng{3};
+  EXPECT_EQ(k2, fresh.evaluate(tm, Heuristic::kDisjoint, 2, fresh_rng)
+                    .max_load);
+  EXPECT_EQ(k4, fresh.evaluate(tm, Heuristic::kDisjoint, 4, fresh_rng)
+                    .max_load);
+}
+
 }  // namespace

@@ -77,4 +77,39 @@ TEST(PermutationStudy, TrackPerfRatioCanBeDisabled) {
   EXPECT_GT(result.max_load.count(), 0u);
 }
 
+
+TEST(PermutationStudy, PathCacheDoesNotChangeResults) {
+  // Per-worker evaluator reuse with the path cache must be invisible in
+  // the sampled statistics, for every heuristic.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  for (const Heuristic h : route::all_heuristics()) {
+    auto with_cache = quick_config(h, 2);
+    auto without_cache = quick_config(h, 2);
+    without_cache.use_path_cache = false;
+    const auto a = run_permutation_study(xgft, with_cache);
+    const auto b = run_permutation_study(xgft, without_cache);
+    EXPECT_EQ(a.samples, b.samples) << to_string(h);
+    EXPECT_EQ(a.max_load.mean(), b.max_load.mean()) << to_string(h);
+    EXPECT_EQ(a.max_load.variance(), b.max_load.variance()) << to_string(h);
+    EXPECT_EQ(a.perf.mean(), b.perf.mean()) << to_string(h);
+  }
+}
+
+TEST(PermutationStudy, PooledCachedStudyMatchesSerialUncached) {
+  // The strongest cross-check: pool + cache vs no pool + no cache.
+  const Xgft xgft{XgftSpec::m_port_n_tree(8, 2)};
+  auto serial = quick_config(Heuristic::kDisjoint, 4);
+  serial.use_path_cache = false;
+  const auto a = run_permutation_study(xgft, serial);
+  util::ThreadPool pool(3);
+  auto pooled = quick_config(Heuristic::kDisjoint, 4);
+  pooled.pool = &pool;
+  const auto b = run_permutation_study(xgft, pooled);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.max_load.mean(), b.max_load.mean());
+  EXPECT_EQ(a.max_load.variance(), b.max_load.variance());
+  EXPECT_EQ(a.perf.mean(), b.perf.mean());
+  EXPECT_EQ(a.converged, b.converged);
+}
+
 }  // namespace

@@ -111,4 +111,20 @@ TEST(ThreadPool, WorstCaseSearchIdenticalWithAndWithoutPool) {
   EXPECT_EQ(serial.evaluations, parallel.evaluations);
 }
 
+
+TEST(ThreadPool, WorkerSlotIsZeroOnCallerAndBoundedOnWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(ThreadPool::worker_slot(), 0u);  // the submitting thread
+  std::vector<std::atomic<int>> seen(pool.worker_count() + 1);
+  pool.parallel_for(64, [&seen](std::size_t) {
+    const std::size_t slot = ThreadPool::worker_slot();
+    ASSERT_LT(slot, seen.size());
+    seen[slot].fetch_add(1, std::memory_order_relaxed);
+  });
+  int total = 0;
+  for (const auto& count : seen) total += count.load();
+  EXPECT_EQ(total, 64);
+  EXPECT_EQ(ThreadPool::worker_slot(), 0u);  // unchanged after the batch
+}
+
 }  // namespace
