@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over the perf_baseline run report.
+
+Reads a BENCH_perf.json document (schema lmpr-perf-baseline/v1, written
+by `lmpr run perf_baseline`) and fails -- exit status 1 -- if any
+`speedup` field anywhere in the document is below the threshold
+(default 1.0): the active-set flit kernel, the pooled fig5 sweep and the
+cached permutation study must never be SLOWER than their reference
+implementations.  Stdlib only, so CI can run it with a bare python3.
+
+Usage: check_perf_baseline.py [--min-speedup X] [BENCH_perf.json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk_speedups(node, path="$"):
+    """Yields (json_path, value) for every 'speedup' key in the document."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}"
+            if key == "speedup":
+                yield child, value
+            else:
+                yield from walk_speedups(value, child)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from walk_speedups(value, f"{path}[{i}]")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?", default="BENCH_perf.json")
+    parser.add_argument("--min-speedup", type=float, default=1.0)
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.report) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read {args.report}: {err}", file=sys.stderr)
+        return 2
+
+    schema = document.get("schema", "")
+    if not schema.startswith("lmpr-perf-baseline/"):
+        print(f"error: {args.report} has schema '{schema}', expected "
+              "lmpr-perf-baseline/*", file=sys.stderr)
+        return 2
+
+    speedups = list(walk_speedups(document))
+    if not speedups:
+        print(f"error: no speedup fields in {args.report}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for path, value in speedups:
+        if not isinstance(value, (int, float)) or value < args.min_speedup:
+            print(f"FAIL {path} = {value} (< {args.min_speedup})")
+            failed = True
+        else:
+            print(f"ok   {path} = {value:.3f}")
+    if failed:
+        print(f"perf regression: a speedup fell below {args.min_speedup}x",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(speedups)} speedups >= {args.min_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

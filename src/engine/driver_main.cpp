@@ -21,6 +21,7 @@
 
 #include "discovery/io.hpp"
 #include "engine/fm_support.hpp"
+#include "engine/replay_support.hpp"
 #include "engine/runner.hpp"
 
 namespace {
@@ -39,6 +40,13 @@ int usage(std::ostream& os, int code) {
         "          [--layout disjoint|shift]\n"
         "          [--repair-policy first_surviving|load_aware]\n"
         "          [--json PATH] [--zero-timings]\n"
+        "  lmpr replay [--script PATH] [--topo SPEC] [--k N]\n"
+        "              [--layout disjoint|shift]\n"
+        "              [--repair-policy first_surviving|load_aware]\n"
+        "              [--drop-policy drop|reroute_at_switch]\n"
+        "              [--load X] [--seed N] [--warmup N] [--measure N]\n"
+        "              [--drain N] [--window N] [--json PATH]\n"
+        "              [--zero-timings]\n"
         "\n"
         "Scenario names accept globs (e.g. 'fig4?', 'ablation_*').  Pass\n"
         "--full (or set LMPR_FULL=1) for paper-scale runs; the default is\n"
@@ -52,7 +60,16 @@ int usage(std::ostream& os, int code) {
         "variants are re-homed: first_surviving (next surviving port) or\n"
         "load_aware (spread by per-cable use counts).  The script is read\n"
         "from --script or stdin; --zero-timings blanks wall-clock fields\n"
-        "for byte-stable reports.\n";
+        "for byte-stable reports.\n"
+        "\n"
+        "`replay` drives the flit-level simulator from the same script:\n"
+        "event lines may carry `@<cycle>` stamps (offsets into the\n"
+        "measurement window; non-decreasing), repaired LFTs are swapped\n"
+        "into the running router and per-window (epoch) metrics track the\n"
+        "transient.  --drop-policy decides what happens to packets caught\n"
+        "on a killed cable: drop (lost, counted) or reroute_at_switch\n"
+        "(re-homed onto a surviving path variant).  Exit status is 0 iff\n"
+        "the run recovered to the pre-fault delay baseline.\n";
   return code;
 }
 
@@ -280,6 +297,110 @@ int cmd_fm(const util::Cli& cli) {
   return report.converged ? 0 : 1;
 }
 
+int cmd_replay(const util::Cli& cli) {
+  const std::string script_path = cli.get_or("script", "");
+  const std::string topo_text = cli.get_or("topo", "");
+  const std::string json_path = cli.get_or("json", "");
+  const std::string layout_name = cli.get_or("layout", "disjoint");
+  const std::string policy_name =
+      cli.get_or("repair-policy", "first_surviving");
+  const std::string drop_name = cli.get_or("drop-policy", "drop");
+  const std::int64_t k = cli.get_or("k", std::int64_t{4});
+  const bool zero_timings = cli.has("zero-timings");
+
+  ReplayRunOptions options;
+  options.config = quick_replay_config();
+  options.config.sim.offered_load =
+      cli.get_or("load", options.config.sim.offered_load);
+  options.config.sim.seed = static_cast<std::uint64_t>(cli.get_or(
+      "seed", static_cast<std::int64_t>(options.config.sim.seed)));
+  options.config.sim.warmup_cycles = static_cast<std::uint64_t>(cli.get_or(
+      "warmup", static_cast<std::int64_t>(options.config.sim.warmup_cycles)));
+  options.config.sim.measure_cycles = static_cast<std::uint64_t>(cli.get_or(
+      "measure",
+      static_cast<std::int64_t>(options.config.sim.measure_cycles)));
+  options.config.sim.drain_cycles = static_cast<std::uint64_t>(cli.get_or(
+      "drain", static_cast<std::int64_t>(options.config.sim.drain_cycles)));
+  options.config.window_cycles = static_cast<std::uint64_t>(cli.get_or(
+      "window", static_cast<std::int64_t>(options.config.window_cycles)));
+  if (const auto unknown = cli.unknown_flags(); !unknown.empty()) {
+    std::cerr << "lmpr replay: unknown flag --" << unknown.front() << "\n";
+    return 2;
+  }
+  if (k < 1) {
+    std::cerr << "lmpr replay: --k must be at least 1\n";
+    return 2;
+  }
+  options.config.fm.k_paths = static_cast<std::uint64_t>(k);
+  options.config.fm.zero_timings =
+      zero_timings || options.config.fm.zero_timings;
+  if (const auto layout = fabric::layout_from_string(layout_name)) {
+    options.config.fm.layout = *layout;
+  } else {
+    std::cerr << "lmpr replay: unknown layout '" << layout_name
+              << "' (expected disjoint or shift)\n";
+    return 2;
+  }
+  if (const auto policy = fabric::repair_policy_from_string(policy_name)) {
+    options.config.fm.repair_policy = *policy;
+  } else {
+    std::cerr << "lmpr replay: unknown repair policy '" << policy_name
+              << "' (expected first_surviving or load_aware)\n";
+    return 2;
+  }
+  if (const auto policy = flit::drop_policy_from_string(drop_name)) {
+    options.config.sim.drop_policy = *policy;
+  } else {
+    std::cerr << "lmpr replay: unknown drop policy '" << drop_name
+              << "' (expected drop or reroute_at_switch)\n";
+    return 2;
+  }
+  if (!topo_text.empty()) {
+    try {
+      options.spec = topo::XgftSpec::parse(topo_text);
+    } catch (const std::exception& error) {
+      std::cerr << "lmpr replay: bad --topo: " << error.what() << "\n";
+      return 2;
+    }
+  }
+
+  fm::EventScript script;
+  if (script_path.empty() || script_path == "-") {
+    script = fm::parse_event_script(std::cin);
+  } else {
+    std::ifstream in(script_path);
+    if (!in) {
+      std::cerr << "lmpr replay: cannot open script " << script_path << "\n";
+      return 1;
+    }
+    script = fm::parse_event_script(in);
+  }
+
+  Report report;
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  if (!run_replay(options, script, report, error)) {
+    std::cerr << "lmpr replay: " << error << "\n";
+    return 1;
+  }
+  if (!zero_timings) {
+    report.duration_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+
+  TextSink text(std::cout);
+  text.consume(report);
+  if (!json_path.empty()) {
+    JsonSink json(json_path);
+    json.consume(report);
+    json.finish();
+    if (!json.ok()) return 1;
+    std::cerr << "lmpr replay: json report written to " << json_path << "\n";
+  }
+  return report.converged ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,6 +414,7 @@ int main(int argc, char** argv) {
   if (command == "describe") return cmd_describe(cli);
   if (command == "run") return cmd_run(cli);
   if (command == "fm") return cmd_fm(cli);
+  if (command == "replay") return cmd_replay(cli);
   if (command == "help") return usage(std::cout, 0);
   std::cerr << "lmpr: unknown command '" << command << "'\n";
   return usage(std::cerr, 2);

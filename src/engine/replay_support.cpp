@@ -1,0 +1,159 @@
+#include "engine/replay_support.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/table.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+std::string event_operands(const fm::Event& event) {
+  if (event.type == fm::EventType::kSwitchDown ||
+      event.type == fm::EventType::kSwitchUp) {
+    return std::to_string(event.a);
+  }
+  return std::to_string(event.a) + " " + std::to_string(event.b);
+}
+
+}  // namespace
+
+bool run_replay(const ReplayRunOptions& options, const fm::EventScript& script,
+                Report& report, std::string& error) {
+  if (!script.ok) {
+    error = script.error;
+    return false;
+  }
+  replay::ReplayEngine engine(options.spec, options.config);
+  if (!engine.ok()) {
+    error = engine.error();
+    return false;
+  }
+  const replay::ReplayResult result = engine.run(script);
+  if (!result.ok) {
+    error = result.error;
+    return false;
+  }
+  const replay::ReplayConfig& config = engine.config();
+
+  report.scenario = "replay";
+  report.artifact = "fault replay";
+  report.family = std::string(to_string(Family::kFlit));
+  report.add_config("topology", options.spec.to_string());
+  report.add_config("k_paths", std::to_string(config.fm.k_paths));
+  report.add_config("layout", std::string(to_string(config.fm.layout)));
+  report.add_config("repair_policy",
+                    std::string(to_string(config.fm.repair_policy)));
+  report.add_config("drop_policy",
+                    std::string(to_string(config.sim.drop_policy)));
+  report.add_config("offered_load",
+                    util::Table::num(config.sim.offered_load, 2));
+  report.add_config("seed", std::to_string(config.sim.seed));
+  report.add_config("cycles",
+                    std::to_string(config.sim.warmup_cycles) + "+" +
+                        std::to_string(config.sim.measure_cycles) + "+" +
+                        std::to_string(config.sim.drain_cycles));
+  report.add_config("window_cycles", std::to_string(config.window_cycles));
+  report.add_config("events", std::to_string(script.events.size()));
+
+  util::Table epochs({"epoch", "start", "end", "events", "delivered",
+                      "mean_delay", "p99_delay", "throughput", "max_util",
+                      "dropped", "rerouted", "severed_at_swap",
+                      "salvaged_at_swap"});
+  util::Table events({"cycle", "event", "operands", "ok", "churn", "repaired",
+                      "full_rebuild", "disc_pairs", "note"});
+  std::size_t total_events = 0;
+  for (std::size_t i = 0; i < result.epochs.size(); ++i) {
+    const replay::Epoch& epoch = result.epochs[i];
+    const flit::WindowMetrics& window = epoch.window;
+    epochs.add_row(
+        {util::Table::num(i), util::Table::num(window.start_cycle),
+         util::Table::num(window.end_cycle),
+         util::Table::num(epoch.records.size()),
+         util::Table::num(window.messages_delivered),
+         util::Table::num(window.mean_message_delay, 1),
+         util::Table::num(window.p99_message_delay, 1),
+         util::Table::num(window.throughput),
+         util::Table::num(window.max_link_utilization),
+         util::Table::num(window.packets_dropped),
+         util::Table::num(window.packets_rerouted),
+         util::Table::num(epoch.dropped_at_swap),
+         util::Table::num(epoch.rerouted_at_swap)});
+    for (const fm::EventRecord& record : epoch.records) {
+      ++total_events;
+      events.add_row({util::Table::num(epoch.start_cycle),
+                      std::string(to_string(record.event.type)),
+                      event_operands(record.event), record.ok ? "yes" : "no",
+                      util::Table::num(record.churn),
+                      util::Table::num(record.destinations_repaired),
+                      record.full_rebuild ? "yes" : "no",
+                      util::Table::num(static_cast<std::size_t>(
+                          record.disconnected_pairs)),
+                      record.ok ? std::string() : record.error});
+    }
+  }
+
+  const flit::SimMetrics& overall = result.overall;
+  report.add_metric("epochs", static_cast<double>(result.epochs.size()));
+  report.add_metric("events", static_cast<double>(total_events));
+  report.add_metric("event_errors",
+                    static_cast<double>(result.event_errors));
+  report.add_metric("messages_generated",
+                    static_cast<double>(overall.messages_generated));
+  report.add_metric("messages_delivered",
+                    static_cast<double>(overall.messages_delivered));
+  report.add_metric("messages_lost",
+                    static_cast<double>(overall.messages_lost));
+  report.add_metric("packets_dropped",
+                    static_cast<double>(overall.packets_dropped));
+  report.add_metric("packets_rerouted",
+                    static_cast<double>(overall.packets_rerouted));
+  report.add_metric("throughput", overall.throughput);
+  report.add_metric("mean_message_delay", overall.message_delay.mean());
+  report.add_metric("baseline_delay", result.baseline_delay);
+  report.add_metric("peak_delay", result.peak_delay);
+  report.add_metric("recovered", result.recovered ? 1.0 : 0.0);
+  report.add_metric("recovery_cycles",
+                    static_cast<double>(result.recovery_cycles));
+  report.add_metric("total_churn",
+                    static_cast<double>(result.fm_summary.total_churn));
+  report.add_metric("disconnected_pairs",
+                    static_cast<double>(result.fm_summary.disconnected_pairs));
+  report.samples = result.epochs.size();
+  report.converged = result.event_errors == 0 && result.recovered;
+  report.add_section("Epoch windows, " + options.spec.to_string() + ", " +
+                         std::string(to_string(config.fm.repair_policy)) +
+                         " repair, " +
+                         std::string(to_string(config.sim.drop_policy)) +
+                         " drop policy",
+                     std::move(epochs));
+  report.add_section("Replayed events (cycle = epoch start edge)",
+                     std::move(events));
+  return true;
+}
+
+replay::ReplayConfig quick_replay_config() {
+  replay::ReplayConfig config;
+  config.sim.warmup_cycles = 2'000;
+  config.sim.measure_cycles = 16'000;
+  config.sim.drain_cycles = 4'000;
+  config.sim.offered_load = 0.5;
+  config.sim.seed = 42;
+  config.fm.zero_timings = true;
+  config.window_cycles = 2'000;
+  return config;
+}
+
+std::string_view replay_quick_script() noexcept {
+  return "# Replay smoke storm for XGFT(2;4,4;2,2), raw fabric ids.\n"
+         "# Offsets are cycles into the measurement window.\n"
+         "@1000 query 0 9\n"
+         "@3000 cable_down 16 24\n"
+         "@5000 cable_down 0 17\n"
+         "@9000 cable_up 0 17\n"
+         "@12000 cable_up 16 24\n"
+         "@15000 query 0 9\n";
+}
+
+}  // namespace lmpr::engine

@@ -1,0 +1,46 @@
+// Shared replay report builder: runs a replay::ReplayEngine over an event
+// script and renders the result as an engine::Report (epoch table, event
+// log, recovery metrics).  Used by the `lmpr replay` driver subcommand,
+// the replay_* scenarios and the golden-file test, so all three emit the
+// identical schema through the existing sink layer.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "engine/report.hpp"
+#include "fm/events.hpp"
+#include "replay/replay.hpp"
+#include "topology/spec.hpp"
+
+namespace lmpr::engine {
+
+struct ReplayRunOptions {
+  topo::XgftSpec spec{{4, 4}, {2, 2}};
+  replay::ReplayConfig config;
+};
+
+/// Replays the script over live traffic and fills `report` with the
+/// schema-stable replay run report: identity stamp ("replay" / flit),
+/// config echo, the per-epoch window table, the per-event repair log and
+/// the recovery metrics the acceptance criteria name.  Returns false with
+/// `error` set when the fabric is not recognizable or the script is
+/// malformed / stamped beyond the measurement window; event-level
+/// semantic errors are recorded in the log and counted in the
+/// `event_errors` metric instead.  `report.converged` additionally
+/// requires the run to recover within the tolerance.
+bool run_replay(const ReplayRunOptions& options, const fm::EventScript& script,
+                Report& report, std::string& error);
+
+/// The canonical replay smoke script (XGFT(2;4,4;2,2) raw ids): a level-1
+/// cable dies mid-measurement, then a host uplink, then both heal.  The
+/// identical text ships as scripts/replay_smoke.script for the CLI; the
+/// replay test pins file and constant together.
+std::string_view replay_quick_script() noexcept;
+
+/// The pinned replay parameters `lmpr replay` defaults to (2+16+4 kcycle
+/// timeline, 2 kcycle windows, load 0.5, seed 42, zeroed fm timings);
+/// replay_quick, the golden file and the CI smoke step all share them.
+replay::ReplayConfig quick_replay_config();
+
+}  // namespace lmpr::engine

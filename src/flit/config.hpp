@@ -17,9 +17,41 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace lmpr::flit {
+
+/// What happens to a packet whose forwarding entry dies under it (LFT
+/// mode only -- the replay engine's fault model; see DESIGN §11).
+enum class DropPolicy {
+  /// The packet is lost: counted in packets_dropped, and its message can
+  /// never complete (messages_lost).  Models an unreliable fabric /
+  /// transport-level retry outside the simulation.
+  kDrop,
+  /// The switch holding the packet re-homes it onto another path variant
+  /// whose table entry still delivers (counted in packets_rerouted);
+  /// packets already serializing over the severed wire still drop.
+  kRerouteAtSwitch,
+};
+
+inline std::string_view to_string(DropPolicy policy) noexcept {
+  switch (policy) {
+    case DropPolicy::kDrop: return "drop";
+    case DropPolicy::kRerouteAtSwitch: return "reroute_at_switch";
+  }
+  return "?";
+}
+
+/// "drop" / "reroute_at_switch" -- the spelling `lmpr replay
+/// --drop-policy` accepts.
+inline std::optional<DropPolicy> drop_policy_from_string(
+    std::string_view name) noexcept {
+  if (name == "drop") return DropPolicy::kDrop;
+  if (name == "reroute_at_switch") return DropPolicy::kRerouteAtSwitch;
+  return std::nullopt;
+}
 
 /// How a multi-path route table is exercised by traffic.
 enum class PathSelection {
@@ -93,6 +125,17 @@ struct SimConfig {
   /// by test_flit_kernel_equivalence), so the flag exists only for the
   /// differential test and the perf_baseline scenario.
   bool reference_kernel = false;
+
+  /// LFT-mode fault handling: what becomes of packets caught on a killed
+  /// cable or pointed at a dead forwarding entry (ignored in route-table
+  /// mode, where the fabric never degrades).
+  DropPolicy drop_policy = DropPolicy::kDrop;
+
+  /// Maintain epoch-window accumulators so Network::harvest_window() can
+  /// snapshot per-window throughput/delay/utilization between run_until()
+  /// calls.  Off by default: whole-run metrics stay bit-identical and the
+  /// hot loop skips the window bookkeeping.
+  bool window_metrics = false;
 
   /// Optional explicit pairing for kFixedPermutation (fixed_destinations[s]
   /// is host s's destination; s itself silences the source).  When empty, a

@@ -43,9 +43,17 @@ struct SimMetrics {
   std::uint64_t packets_out_of_order = 0;
 
   /// Packets still queued or in flight when the simulation ended
-  /// (conservation check: generated = delivered + outstanding).
+  /// (conservation check: generated = delivered + dropped + outstanding).
   std::uint64_t packets_outstanding = 0;
   std::uint64_t packets_generated = 0;
+
+  /// Fault-replay accounting (always 0 outside LFT mode): packets lost to
+  /// a killed cable / dead forwarding entry, packets salvaged onto
+  /// another path variant, and measured messages that can never complete
+  /// because at least one of their packets dropped.
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_rerouted = 0;
+  std::uint64_t messages_lost = 0;
 
   double out_of_order_fraction() const noexcept {
     return packets_delivered == 0
@@ -72,6 +80,37 @@ struct SimMetrics {
                : static_cast<double>(messages_delivered) /
                      static_cast<double>(messages_generated);
   }
+};
+
+/// One epoch window of a replayed run: the metrics accumulated between
+/// two Network::harvest_window() calls (SimConfig::window_metrics).  All
+/// divisions are guarded -- a window in which zero messages complete
+/// reports 0 delay, not NaN -- and every field is an exact function of
+/// the simulation state, so windows compare bit-identically across the
+/// two flit kernels and across reruns with the same seed.
+struct WindowMetrics {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+
+  /// Measured messages whose last flit landed inside the window.
+  std::uint64_t messages_delivered = 0;
+  /// Flits delivered inside the window (all traffic, measured or not).
+  std::uint64_t flits_delivered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_rerouted = 0;
+
+  /// Mean / p99 (nearest-rank over the exact delay set, not a reservoir)
+  /// message delay of the completions above; 0 when none completed.
+  double mean_message_delay = 0.0;
+  double p99_message_delay = 0.0;
+
+  /// flits_delivered / (window length * hosts): accepted throughput.
+  double throughput = 0.0;
+  /// Peak per-directed-link utilization inside the window.
+  double max_link_utilization = 0.0;
+
+  friend bool operator==(const WindowMetrics&,
+                         const WindowMetrics&) = default;
 };
 
 }  // namespace lmpr::flit

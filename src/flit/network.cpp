@@ -7,11 +7,23 @@
 namespace lmpr::flit {
 
 Network::Network(const route::RouteTable& table, const SimConfig& config)
-    : table_(&table),
-      xgft_(&table.xgft()),
+    : Network(&table, nullptr, nullptr, config) {}
+
+Network::Network(const fabric::Lft& lft, const fabric::Tables& tables,
+                 const SimConfig& config)
+    : Network(nullptr, &lft, &tables, config) {}
+
+Network::Network(const route::RouteTable* table, const fabric::Lft* lft,
+                 const fabric::Tables* tables, const SimConfig& config)
+    : table_(table),
+      lft_(lft),
+      lft_tables_(tables),
+      xgft_(table != nullptr ? &table->xgft() : &lft->xgft()),
       config_(config),
       num_hosts_(xgft_->num_hosts()),
       active_sets_(!config.reference_kernel),
+      lft_mode_(lft != nullptr),
+      windowed_(config.window_metrics),
       mean_interval_(static_cast<double>(config.message_flits()) /
                      config.offered_load) {
   LMPR_EXPECTS(config_.packet_flits >= 1);
@@ -20,6 +32,19 @@ Network::Network(const route::RouteTable& table, const SimConfig& config)
   LMPR_EXPECTS(config_.num_vcs >= 1);
   LMPR_EXPECTS(config_.offered_load > 0.0 && config_.offered_load <= 1.0);
   LMPR_EXPECTS(num_hosts_ >= 2);
+  if (lft_mode_) {
+    // Destination-based forwarding has no adaptive leg: the tables ARE
+    // the routing function.
+    LMPR_EXPECTS(config_.routing_mode == RoutingMode::kOblivious);
+    LMPR_EXPECTS(lft_tables_->size() ==
+                 static_cast<std::size_t>(xgft_->num_nodes()));
+    link_enabled_.assign(static_cast<std::size_t>(xgft_->num_links()), 1);
+    switch_dead_.assign(static_cast<std::size_t>(xgft_->num_nodes()), 0);
+  }
+  if (windowed_) {
+    window_link_flits_.assign(static_cast<std::size_t>(xgft_->num_links()),
+                              0);
+  }
 
   const std::size_t channels =
       static_cast<std::size_t>(xgft_->num_links()) * config_.num_vcs;
@@ -149,9 +174,11 @@ void Network::enqueue_input(ChannelId ch, PacketId pkt) {
   }
   const Packet& packet = packets_[pkt];
   const topo::LinkId out_link =
-      config_.routing_mode == RoutingMode::kOblivious
-          ? packet.path->links[packet.hop]
-          : topo::LinkId{0};  // recomputed per cycle from credit state
+      lft_mode_
+          ? (*lft_tables_)[link_node_[channel_link_[ch]]][packet.lid]
+          : config_.routing_mode == RoutingMode::kOblivious
+                ? packet.path->links[packet.hop]
+                : topo::LinkId{0};  // recomputed per cycle from credit state
   in.slots.push_back(InputSlot{pkt, out_link, packet.vc,
                                packet.head_arrival});
   ++in.live;
@@ -232,11 +259,25 @@ void Network::generate_message(std::uint64_t host, Cycle now) {
   msg.gen_cycle = now;
   msg.remaining = config_.message_packets;
   msg.measured = in_measure_window(now);
+  msg.lost = false;
   if (msg.measured) ++metrics_.messages_generated;
 
   const bool adaptive = config_.routing_mode == RoutingMode::kAdaptive;
   const route::Path* message_path = nullptr;
-  if (!adaptive) {
+  std::uint32_t message_lid = 0;
+  if (lft_mode_) {
+    // Path selection maps onto variant-LID selection: the DLID is the
+    // multipath choice a destination-based fabric actually exposes.
+    const std::uint64_t block = lft_->block();
+    if (config_.path_selection == PathSelection::kRoundRobinPerMessage) {
+      message_lid = lft_->lid_of(
+          dst, static_cast<std::uint32_t>(
+                   rr_counter_[static_cast<std::size_t>(host)]++ % block));
+    } else if (config_.path_selection == PathSelection::kRandomPerMessage) {
+      message_lid = lft_->lid_of(
+          dst, static_cast<std::uint32_t>(rng.below(block)));
+    }
+  } else if (!adaptive) {
     if (config_.path_selection == PathSelection::kRandomPerMessage) {
       message_path = &table_->pick(host, dst, rng);
     } else if (config_.path_selection ==
@@ -249,7 +290,13 @@ void Network::generate_message(std::uint64_t host, Cycle now) {
   for (std::uint32_t i = 0; i < config_.message_packets; ++i) {
     const PacketId pkt_id = alloc_packet();
     Packet& pkt = packets_[pkt_id];
-    if (adaptive) {
+    if (lft_mode_) {
+      pkt.path = nullptr;
+      pkt.lid = config_.path_selection == PathSelection::kRandomPerPacket
+                    ? lft_->lid_of(dst, static_cast<std::uint32_t>(
+                                            rng.below(lft_->block())))
+                    : message_lid;
+    } else if (adaptive) {
       pkt.path = nullptr;
     } else {
       pkt.path = message_path != nullptr ? message_path
@@ -297,6 +344,12 @@ topo::LinkId Network::adaptive_uplink(topo::NodeId node, const Packet& packet,
 
 topo::LinkId Network::route_output(topo::NodeId node, const Packet& packet,
                                    Cycle now) const {
+  if (lft_mode_) {
+    // Destination-based forwarding: the current tables decide, and the
+    // entry may be kInvalidLink / masked (the crossbars resolve that
+    // through the drop policy).
+    return (*lft_tables_)[node][packet.lid];
+  }
   if (config_.routing_mode == RoutingMode::kOblivious) {
     return packet.path->links[packet.hop];
   }
@@ -317,6 +370,36 @@ void Network::inject(Cycle now) {
     // NIC moves at most one packet per cycle into an uplink output buffer.
     auto& queue = source_queue_[slot];
     if (queue.empty()) continue;
+    if (lft_mode_) {
+      // Undeliverable head-of-queue packets (entry dead, no salvageable
+      // variant) drop instead of jamming the NIC; the first routable
+      // packet then gets the cycle's injection slot.
+      const topo::NodeId src_node = xgft_->host(host);
+      while (!queue.empty()) {
+        const PacketId pkt_id = queue.front();
+        Packet& pkt = packets_[pkt_id];
+        topo::LinkId link = (*lft_tables_)[src_node][pkt.lid];
+        if (!usable(link)) {
+          link = config_.drop_policy == DropPolicy::kRerouteAtSwitch
+                     ? salvage_variant(src_node, pkt)
+                     : topo::kInvalidLink;
+          if (link == topo::kInvalidLink) {
+            queue.pop_front();
+            drop_packet(pkt_id);
+            continue;
+          }
+          ++metrics_.packets_rerouted;
+          if (windowed_) ++window_rerouted_;
+        }
+        OutputChannel& out = outputs_[channel(link, pkt.vc)];
+        if (out.occupancy >= config_.buffer_packets) break;  // NIC blocked
+        queue.pop_front();
+        pkt.head_arrival = now;
+        enqueue_output(channel(link, pkt.vc), link, pkt_id);
+        break;
+      }
+      continue;
+    }
     const PacketId pkt_id = queue.front();
     Packet& pkt = packets_[pkt_id];
     const topo::LinkId link =
@@ -361,7 +444,22 @@ void Network::crossbar_reference(Cycle now) {
       const PacketId pkt_id = in.fifo[pos];
       Packet& pkt = packets_[pkt_id];
       if (pkt.head_arrival > now) break;  // later packets arrive later
-      const topo::LinkId out_link = route_output(node, pkt, now);
+      topo::LinkId out_link = route_output(node, pkt, now);
+      if (lft_mode_ && !usable(out_link)) {
+        // The route died under the packet: salvage another variant or
+        // drop, per policy; either way the channel's crossbar service is
+        // spent on this packet.
+        out_link = config_.drop_policy == DropPolicy::kRerouteAtSwitch
+                       ? salvage_variant(node, pkt)
+                       : topo::kInvalidLink;
+        if (out_link == topo::kInvalidLink) {
+          in.fifo.erase(in.fifo.begin() + static_cast<std::ptrdiff_t>(pos));
+          drop_from_input(pkt_id, static_cast<ChannelId>(idx), now);
+          break;
+        }
+        ++metrics_.packets_rerouted;
+        if (windowed_) ++window_rerouted_;
+      }
       if (links_[out_link].last_grant == now) continue;  // one per output
       OutputChannel& out = outputs_[channel(out_link, pkt.vc)];
       if (out.occupancy >= config_.buffer_packets) continue;
@@ -402,10 +500,28 @@ void Network::crossbar_active(Cycle now) {
       const InputSlot& slot = in.slots[pos];
       if (slot.id == kNone) continue;  // hole left by an earlier grant
       if (slot.head_arrival > now) break;  // later packets arrive later
-      const topo::LinkId out_link =
+      topo::LinkId out_link =
           oblivious ? slot.out_link
                     : route_output(link_node_[channel_link_[idx]],
                                    packets_[slot.id], now);
+      if (lft_mode_ && !usable(out_link)) {
+        // Mirrors the reference kernel: the snapshot equals the current
+        // table entry (set_tables refreshes it), so both kernels resolve
+        // the dead route identically.
+        Packet& pkt = packets_[slot.id];
+        out_link = config_.drop_policy == DropPolicy::kRerouteAtSwitch
+                       ? salvage_variant(link_node_[channel_link_[idx]], pkt)
+                       : topo::kInvalidLink;
+        if (out_link == topo::kInvalidLink) {
+          const PacketId lost = slot.id;
+          erase_input_slot(in, pos);
+          drop_from_input(lost, idx, now);
+          break;
+        }
+        ++metrics_.packets_rerouted;
+        if (windowed_) ++window_rerouted_;
+        in.slots[pos].out_link = out_link;
+      }
       if (links_[out_link].last_grant == now) continue;  // one per output
       OutputChannel& out = outputs_[channel(out_link, slot.vc)];
       if (out.occupancy >= config_.buffer_packets) continue;
@@ -430,6 +546,7 @@ void Network::transmit(PacketId pkt_id, ChannelId ch, topo::LinkId link_idx,
     // window; edge effects at the window boundary are one packet.
     link_flits_[link_idx] += config_.packet_flits;
   }
+  if (windowed_) window_link_flits_[link_idx] += config_.packet_flits;
   link_state.busy_until = now + config_.packet_flits;
   // vc + 1 <= num_vcs, so the wrap is a compare, not a division.
   link_state.next_vc = vc + 1 == config_.num_vcs ? 0 : vc + 1;
@@ -440,6 +557,7 @@ void Network::transmit(PacketId pkt_id, ChannelId ch, topo::LinkId link_idx,
     // Downstream is the destination host: the packet completes when
     // its tail flit lands; the host input slot frees one cycle later.
     LMPR_ASSERT(xgft_->link(link_idx).dst == xgft_->host(pkt.dst));
+    pkt.terminal_link = link_idx;
     const Cycle done = now + config_.packet_flits;  // (now+1) + F - 1
     schedule(done, Event{EventKind::kDeliver, pkt_id});
     schedule(done + 1, Event{EventKind::kCreditReturn, ch});
@@ -507,6 +625,7 @@ void Network::deliver(PacketId pkt_id, Cycle now) {
   if (in_measure_window(now)) {
     metrics_.flits_delivered += config_.packet_flits;
   }
+  if (windowed_) window_flits_ += config_.packet_flits;
   ++metrics_.packets_delivered;
   auto& max_seq = flow_max_delivered_[static_cast<std::size_t>(pkt.flow)];
   if (pkt.seq < max_seq) {
@@ -521,10 +640,17 @@ void Network::deliver(PacketId pkt_id, Cycle now) {
   LMPR_ASSERT(msg.remaining > 0);
   if (--msg.remaining == 0) {
     if (msg.measured) {
-      const double delay = static_cast<double>(now - msg.gen_cycle);
-      metrics_.message_delay.add(delay);
-      metrics_.message_delay_dist.add(delay);
-      ++metrics_.messages_delivered;
+      if (msg.lost) {
+        // A sibling packet dropped earlier: the message never completes
+        // at the transport level even though its remaining packets land.
+        ++metrics_.messages_lost;
+      } else {
+        const double delay = static_cast<double>(now - msg.gen_cycle);
+        metrics_.message_delay.add(delay);
+        metrics_.message_delay_dist.add(delay);
+        ++metrics_.messages_delivered;
+        if (windowed_) window_delays_.push_back(delay);
+      }
     }
     free_message(pkt.message);
   }
@@ -532,26 +658,38 @@ void Network::deliver(PacketId pkt_id, Cycle now) {
 }
 
 SimMetrics Network::run() {
-  const Cycle total =
-      config_.warmup_cycles + config_.measure_cycles + config_.drain_cycles;
+  run_until(horizon());
+  return finalize();
+}
+
+void Network::run_until(Cycle end) {
+  LMPR_EXPECTS(end <= horizon());
+  LMPR_EXPECTS(end >= current_cycle_);
+  in_cycle_ = true;
   if (active_sets_) {
-    for (current_cycle_ = 0; current_cycle_ < total; ++current_cycle_) {
+    for (; current_cycle_ < end; ++current_cycle_) {
       process_events(current_cycle_);
       inject(current_cycle_);
       crossbar_active(current_cycle_);
       start_transmissions_active(current_cycle_);
     }
   } else {
-    for (current_cycle_ = 0; current_cycle_ < total; ++current_cycle_) {
+    for (; current_cycle_ < end; ++current_cycle_) {
       process_events(current_cycle_);
       inject(current_cycle_);
       crossbar_reference(current_cycle_);
       start_transmissions_reference(current_cycle_);
     }
   }
+  in_cycle_ = false;
+}
+
+SimMetrics Network::finalize() {
+  LMPR_EXPECTS(current_cycle_ == horizon());
   metrics_.offered_load = config_.offered_load;
-  metrics_.packets_outstanding =
-      metrics_.packets_generated - metrics_.packets_delivered;
+  metrics_.packets_outstanding = metrics_.packets_generated -
+                                 metrics_.packets_delivered -
+                                 metrics_.packets_dropped;
   // Per-level utilization aggregation.
   const std::uint32_t height = xgft_->height();
   metrics_.mean_up_utilization.assign(height, 0.0);
@@ -586,6 +724,229 @@ SimMetrics Network::run() {
       (static_cast<double>(config_.measure_cycles) *
        static_cast<double>(num_hosts_));
   return metrics_;
+}
+
+// -- LFT-mode fault machinery -----------------------------------------------
+
+topo::LinkId Network::salvage_variant(topo::NodeId node, Packet& pkt) {
+  const std::uint32_t base = lft_->lid_of(pkt.dst, 0);
+  const std::uint32_t block = lft_->block();
+  for (std::uint32_t j = 0; j < block; ++j) {
+    const topo::LinkId cand = (*lft_tables_)[node][base + j];
+    if (usable(cand)) {
+      pkt.lid = base + j;
+      return cand;
+    }
+  }
+  return topo::kInvalidLink;
+}
+
+void Network::drop_packet(PacketId pkt_id) {
+  ++metrics_.packets_dropped;
+  if (windowed_) ++window_dropped_;
+  const Packet& pkt = packets_[pkt_id];
+  Message& msg = messages_[pkt.message];
+  msg.lost = true;
+  LMPR_ASSERT(msg.remaining > 0);
+  if (--msg.remaining == 0) {
+    if (msg.measured) ++metrics_.messages_lost;
+    free_message(pkt.message);
+  }
+  free_packet(pkt_id);
+}
+
+void Network::drop_from_input(PacketId pkt_id, ChannelId in_ch, Cycle now) {
+  // The input slot clears once the tail flit has streamed through -- the
+  // same credit release a grant of this packet would have produced.
+  const Packet& pkt = packets_[pkt_id];
+  const Cycle full_arrival = pkt.head_arrival + config_.packet_flits - 1;
+  const Cycle release = (full_arrival > now ? full_arrival : now) + 1;
+  schedule(release, Event{EventKind::kCreditReturn, in_ch});
+  drop_packet(pkt_id);
+}
+
+bool Network::requeue_output(PacketId pkt_id, topo::NodeId node) {
+  if (config_.drop_policy != DropPolicy::kRerouteAtSwitch) return false;
+  Packet& pkt = packets_[pkt_id];
+  topo::LinkId link = (*lft_tables_)[node][pkt.lid];
+  if (!usable(link)) link = salvage_variant(node, pkt);
+  if (link == topo::kInvalidLink) return false;
+  const ChannelId ch = channel(link, pkt.vc);
+  if (outputs_[ch].occupancy >= config_.buffer_packets) return false;
+  pkt.head_arrival = current_cycle_;  // re-enters this switch's router stage
+  enqueue_output(ch, link, pkt_id);
+  ++metrics_.packets_rerouted;
+  if (windowed_) ++window_rerouted_;
+  return true;
+}
+
+void Network::purge_input_channel(ChannelId ch, bool everything) {
+  InputChannel& in = inputs_[ch];
+  const Cycle now = current_cycle_;
+  const auto severed = [&](const Packet& pkt) {
+    // Tail still streaming over the wire when it died.
+    return everything || pkt.head_arrival + config_.packet_flits - 1 >= now;
+  };
+  if (!active_sets_) {
+    std::deque<PacketId> keep;
+    for (const PacketId pkt_id : in.fifo) {
+      if (severed(packets_[pkt_id])) {
+        ++outputs_[ch].credits;  // the slot frees; dead wire, so immediate
+        drop_packet(pkt_id);
+      } else {
+        keep.push_back(pkt_id);
+      }
+    }
+    in.fifo.swap(keep);
+    return;
+  }
+  std::vector<InputSlot> keep;
+  keep.reserve(in.live);
+  for (std::size_t pos = in.head; pos < in.slots.size(); ++pos) {
+    const InputSlot& slot = in.slots[pos];
+    if (slot.id == kNone) continue;
+    if (severed(packets_[slot.id])) {
+      ++outputs_[ch].credits;
+      drop_packet(slot.id);
+    } else {
+      keep.push_back(slot);
+    }
+  }
+  in.slots.swap(keep);
+  in.head = 0;
+  in.live = in.slots.size();
+}
+
+void Network::purge_pending_delivers(topo::LinkId link) {
+  // Packets whose final transmission started before the kill exist only
+  // as calendar kDeliver events; sever the ones crossing this wire.
+  for (auto& bucket : calendar_) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < bucket.size(); ++r) {
+      const Event event = bucket[r];
+      if (event.kind == EventKind::kDeliver &&
+          packets_[event.arg].terminal_link == link) {
+        drop_packet(event.arg);
+        continue;
+      }
+      bucket[w++] = event;
+    }
+    bucket.resize(w);
+  }
+}
+
+Network::FaultStats Network::take_link_down(topo::LinkId link) {
+  LMPR_EXPECTS(lft_mode_);
+  LMPR_EXPECTS(!in_cycle_);
+  FaultStats stats;
+  if (link_enabled_[link] == 0) return stats;  // already down
+  const std::uint64_t dropped_before = metrics_.packets_dropped;
+  const std::uint64_t rerouted_before = metrics_.packets_rerouted;
+  link_enabled_[link] = 0;
+  const topo::Link& edge = xgft_->link(link);
+  const bool src_dead =
+      !xgft_->is_host(edge.src) && switch_dead_[edge.src] != 0;
+  const bool dst_dead =
+      !xgft_->is_host(edge.dst) && switch_dead_[edge.dst] != 0;
+  for (std::uint32_t vc = 0; vc < config_.num_vcs; ++vc) {
+    const ChannelId ch = channel(link, vc);
+    // Packets queued at the upstream node but not yet departed: re-home
+    // them through the current tables or drop, per policy.  A packet
+    // mid-serialization already left this fifo and lives downstream.
+    OutputChannel& out = outputs_[ch];
+    while (!out.fifo.empty()) {
+      const PacketId pkt_id = out.fifo.front();
+      out.fifo.pop_front();
+      --out.occupancy;
+      --links_[link].queued;
+      if (src_dead || !requeue_output(pkt_id, edge.src)) {
+        drop_packet(pkt_id);
+      }
+    }
+    purge_input_channel(ch, dst_dead);
+  }
+  if (link_terminal_[link]) purge_pending_delivers(link);
+  stats.dropped = metrics_.packets_dropped - dropped_before;
+  stats.rerouted = metrics_.packets_rerouted - rerouted_before;
+  return stats;
+}
+
+void Network::bring_link_up(topo::LinkId link) {
+  LMPR_EXPECTS(lft_mode_);
+  LMPR_EXPECTS(!in_cycle_);
+  if (link_enabled_[link] != 0) return;
+  link_enabled_[link] = 1;
+  // Nothing routes onto a masked link, so its output queues stayed empty
+  // between the kill and the revival.
+  LMPR_ASSERT(links_[link].queued == 0);
+}
+
+void Network::set_switch_state(topo::NodeId node, bool alive) {
+  LMPR_EXPECTS(lft_mode_);
+  LMPR_EXPECTS(!in_cycle_);
+  LMPR_EXPECTS(!xgft_->is_host(node));
+  switch_dead_[node] = alive ? 0 : 1;
+}
+
+void Network::set_tables(const fabric::Tables& tables) {
+  LMPR_EXPECTS(lft_mode_);
+  LMPR_EXPECTS(!in_cycle_);
+  LMPR_EXPECTS(tables.size() == static_cast<std::size_t>(xgft_->num_nodes()));
+  lft_tables_ = &tables;
+  if (!active_sets_) return;
+  // Refresh the routing snapshots the active crossbar scans so the
+  // invariant slot.out_link == tables[node][pkt.lid] keeps holding.
+  for (std::size_t ch = 0; ch < inputs_.size(); ++ch) {
+    InputChannel& in = inputs_[ch];
+    if (in.live == 0) continue;
+    const topo::NodeId node =
+        link_node_[channel_link_[static_cast<ChannelId>(ch)]];
+    for (std::size_t pos = in.head; pos < in.slots.size(); ++pos) {
+      InputSlot& slot = in.slots[pos];
+      if (slot.id == kNone) continue;
+      slot.out_link = (*lft_tables_)[node][packets_[slot.id].lid];
+    }
+  }
+}
+
+WindowMetrics Network::harvest_window() {
+  LMPR_EXPECTS(windowed_);
+  LMPR_EXPECTS(!in_cycle_);
+  WindowMetrics window;
+  window.start_cycle = window_start_;
+  window.end_cycle = current_cycle_;
+  window.messages_delivered = window_delays_.size();
+  window.flits_delivered = window_flits_;
+  window.packets_dropped = window_dropped_;
+  window.packets_rerouted = window_rerouted_;
+  if (!window_delays_.empty()) {
+    std::sort(window_delays_.begin(), window_delays_.end());
+    double sum = 0.0;
+    for (const double delay : window_delays_) sum += delay;
+    const std::size_t n = window_delays_.size();
+    window.mean_message_delay = sum / static_cast<double>(n);
+    const std::size_t rank = (n * 99 + 99) / 100;  // ceil(0.99 n), >= 1
+    window.p99_message_delay = window_delays_[rank - 1];
+  }
+  const Cycle len = current_cycle_ - window_start_;
+  if (len > 0) {
+    window.throughput =
+        static_cast<double>(window_flits_) /
+        (static_cast<double>(len) * static_cast<double>(num_hosts_));
+    std::uint64_t peak = 0;
+    for (const std::uint64_t flits : window_link_flits_) {
+      peak = std::max(peak, flits);
+    }
+    window.max_link_utilization =
+        static_cast<double>(peak) / static_cast<double>(len);
+  }
+  window_start_ = current_cycle_;
+  window_delays_.clear();
+  window_flits_ = 0;
+  window_dropped_ = 0;
+  window_rerouted_ = 0;
+  std::fill(window_link_flits_.begin(), window_link_flits_.end(), 0);
+  return window;
 }
 
 }  // namespace lmpr::flit

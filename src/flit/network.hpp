@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "core/route_table.hpp"
+#include "fabric/degraded.hpp"
 #include "flit/config.hpp"
 #include "flit/metrics.hpp"
 #include "topology/xgft.hpp"
@@ -73,15 +74,73 @@ namespace lmpr::flit {
 using Cycle = std::uint64_t;
 
 /// Simulates the topology under the configured traffic, routed by `table`
-/// (oblivious mode) or adaptively.  One instance runs one offered-load
-/// point; construct anew per point (construction is cheap next to
-/// simulation).
+/// (oblivious mode), adaptively, or by InfiniBand-style LFTs.  One
+/// instance runs one offered-load point; construct anew per point
+/// (construction is cheap next to simulation).
+///
+/// LFT mode (the fabric::Lft constructor) makes the router destination-
+/// based: every packet carries a DLID drawn from its destination's LID
+/// block and each switch forwards by the CURRENT `fabric::Tables` entry
+/// for that DLID.  That is what makes live degradation simulable -- the
+/// replay engine swaps repaired tables in with set_tables(), masks killed
+/// cables with take_link_down()/bring_link_up(), and flags dead switches
+/// with set_switch_state(); all such mutations are asserted to happen at
+/// cycle boundaries (never mid-cycle), so a swap is atomic with respect
+/// to the per-cycle phases and both kernels observe the identical
+/// routing function every cycle.
 class Network {
  public:
   Network(const route::RouteTable& table, const SimConfig& config);
+  /// LFT-routed construction: oblivious routing only, `tables` must have
+  /// one row of lft.lid_end() entries per node (fabric::build_lft /
+  /// fm::FabricManager::tables() layout) and must outlive the Network (or
+  /// be replaced via set_tables before the next run_until).
+  Network(const fabric::Lft& lft, const fabric::Tables& tables,
+          const SimConfig& config);
 
-  /// Runs warmup + measurement + drain and returns the metrics.
+  /// Runs warmup + measurement + drain and returns the metrics
+  /// (equivalent to run_until(horizon()) + finalize()).
   SimMetrics run();
+
+  /// Advances the simulation to `end` (exclusive; monotone, at most
+  /// horizon()).  Between calls the simulation sits at a cycle boundary
+  /// where the mutation API below may be used.
+  void run_until(Cycle end);
+  /// Whole-run metric aggregation; call once, after run_until(horizon()).
+  SimMetrics finalize();
+  Cycle now() const noexcept { return current_cycle_; }
+  Cycle horizon() const noexcept {
+    return config_.warmup_cycles + config_.measure_cycles +
+           config_.drain_cycles;
+  }
+
+  // -- degraded-fabric mutation API (LFT mode, cycle boundaries only) ----
+
+  /// Atomically swaps the forwarding state all switches route by (e.g.
+  /// the fabric manager's repaired tables).  Buffered packets re-route
+  /// through the new tables from their current position.
+  void set_tables(const fabric::Tables& tables);
+  /// Marks a switch dead/alive for the fault bookkeeping (a dead switch's
+  /// buffers drop wholesale when its links are taken down).  Hosts never
+  /// die.
+  void set_switch_state(topo::NodeId node, bool alive);
+
+  struct FaultStats {
+    std::uint64_t dropped = 0;
+    std::uint64_t rerouted = 0;
+  };
+  /// Kills one directed link: masks it from routing, then per
+  /// SimConfig::drop_policy drops or re-homes the packets queued on it,
+  /// severs packets whose tail is still streaming over the wire, and
+  /// (for a dead downstream switch) drops everything buffered behind it.
+  FaultStats take_link_down(topo::LinkId link);
+  /// Re-enables a healed link (its buffers drained when it was killed).
+  void bring_link_up(topo::LinkId link);
+
+  /// Snapshots and resets the epoch-window accumulators
+  /// (SimConfig::window_metrics); the window spans [previous harvest,
+  /// now()).
+  WindowMetrics harvest_window();
 
  private:
   using PacketId = std::uint32_t;
@@ -90,12 +149,17 @@ class Network {
   static constexpr PacketId kNone = static_cast<PacketId>(-1);
 
   struct Packet {
-    const route::Path* path = nullptr;  ///< null in adaptive mode
+    const route::Path* path = nullptr;  ///< null in adaptive / LFT mode
     std::uint64_t dst = 0;
     std::uint64_t flow = 0;      ///< src * num_hosts + dst
     std::uint64_t seq = 0;       ///< per-flow sequence number
     std::uint32_t hop = 0;       ///< next path link (oblivious mode)
     std::uint32_t vc = 0;        ///< virtual channel, fixed along the path
+    std::uint32_t lid = 0;       ///< DLID the switches forward by (LFT mode)
+    /// Last link of the packet's route, recorded when its final
+    /// transmission starts, so a terminal-cable kill can sever the
+    /// pending delivery (LFT mode).
+    topo::LinkId terminal_link = 0;
     Cycle head_arrival = 0;      ///< head flit arrival at current stage
     Cycle gen_cycle = 0;
     MessageId message = 0;
@@ -106,6 +170,7 @@ class Network {
     Cycle gen_cycle = 0;
     std::uint32_t remaining = 0;
     bool measured = false;
+    bool lost = false;  ///< a packet dropped; can never count delivered
     MessageId next_free = static_cast<MessageId>(-1);
   };
 
@@ -195,6 +260,29 @@ class Network {
   void generate_message(std::uint64_t host, Cycle now);
   void deliver(PacketId packet, Cycle now);
 
+  // -- LFT-mode fault machinery ---------------------------------------------
+  /// Valid table entry over an enabled link.
+  bool usable(topo::LinkId link) const noexcept {
+    return link != topo::kInvalidLink && link_enabled_[link] != 0;
+  }
+  /// Scans the destination's LID block (ascending variant order) for an
+  /// entry at `node` that still delivers; rewrites pkt.lid and returns
+  /// its link, or kInvalidLink when the pair is cut off at this node.
+  topo::LinkId salvage_variant(topo::NodeId node, Packet& pkt);
+  /// Accounts one lost packet: counters, message loss, storage.
+  void drop_packet(PacketId pkt_id);
+  /// Drops a packet the caller removed from input channel `in_ch`,
+  /// returning the upstream credit when its tail has streamed through
+  /// (same timing a grant would have used).
+  void drop_from_input(PacketId pkt_id, ChannelId in_ch, Cycle now);
+  /// take_link_down helpers: re-home one output-queued packet through the
+  /// current tables; drop severed (or, for a dead switch, all) packets of
+  /// one input channel; cancel deliveries pending on a killed terminal
+  /// cable.
+  bool requeue_output(PacketId pkt_id, topo::NodeId node);
+  void purge_input_channel(ChannelId ch, bool everything);
+  void purge_pending_delivers(topo::LinkId link);
+
   /// Output link the packet must leave `node` on.  Oblivious: the next
   /// path hop.  Adaptive: deterministic descent when `node` covers the
   /// destination, otherwise the upward port with the best credit score.
@@ -217,11 +305,21 @@ class Network {
            cycle < config_.warmup_cycles + config_.measure_cycles;
   }
 
+  /// Shared constructor body: exactly one of `table` (route-table mode)
+  /// and `lft` + `tables` (LFT mode) is non-null.
+  Network(const route::RouteTable* table, const fabric::Lft* lft,
+          const fabric::Tables* tables, const SimConfig& config);
+
   const route::RouteTable* table_;
+  const fabric::Lft* lft_;             ///< null outside LFT mode
+  const fabric::Tables* lft_tables_;   ///< current forwarding state
   const topo::Xgft* xgft_;
   SimConfig config_;
   std::uint64_t num_hosts_;
   bool active_sets_;        ///< !config_.reference_kernel
+  bool lft_mode_;           ///< routing by lft_tables_ instead of table_
+  bool windowed_;           ///< config_.window_metrics
+  bool in_cycle_ = false;   ///< inside a run_until cycle (mutation guard)
   double mean_interval_;    ///< message_flits / offered_load, loop-invariant
 
   std::vector<InputChannel> inputs_;    ///< indexed by ChannelId
@@ -264,6 +362,21 @@ class Network {
 
   /// Flits transmitted per directed link inside the measurement window.
   std::vector<std::uint64_t> link_flits_;
+
+  /// LFT-mode fault state: per-link routing mask and per-node death flags
+  /// (empty vectors outside LFT mode; hosts never die).
+  std::vector<std::uint8_t> link_enabled_;
+  std::vector<std::uint8_t> switch_dead_;
+
+  /// Epoch-window accumulators (windowed_ only), reset by
+  /// harvest_window().  Delays are kept exactly (sorted at harvest) so
+  /// the per-window p99 is deterministic and kernel-independent.
+  Cycle window_start_ = 0;
+  std::vector<double> window_delays_;
+  std::uint64_t window_flits_ = 0;
+  std::uint64_t window_dropped_ = 0;
+  std::uint64_t window_rerouted_ = 0;
+  std::vector<std::uint64_t> window_link_flits_;
 
   std::vector<Packet> packets_;
   PacketId free_packet_ = kNone;

@@ -1,6 +1,9 @@
 #include "fm/events.hpp"
 
+#include <charconv>
 #include <sstream>
+
+#include "util/contracts.hpp"
 
 namespace lmpr::fm {
 
@@ -30,6 +33,8 @@ EventScript parse_event_script(std::istream& in) {
   EventScript script;
   std::string line;
   std::size_t line_no = 0;
+  bool have_prev_stamp = false;
+  std::uint64_t prev_stamp = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (const auto hash = line.find('#'); hash != std::string::npos) {
@@ -40,6 +45,32 @@ EventScript parse_event_script(std::istream& in) {
     if (!(iss >> keyword)) continue;  // blank / comment-only line
 
     Event event;
+    if (keyword.front() == '@') {
+      // Optional leading timestamp: "@<cycle>", non-decreasing across the
+      // script's timed events.
+      const char* first = keyword.data() + 1;
+      const char* last = keyword.data() + keyword.size();
+      std::uint64_t cycle = 0;
+      const auto [ptr, ec] = std::from_chars(first, last, cycle);
+      if (ec != std::errc{} || ptr != last || first == last) {
+        return fail(line_no, "bad timestamp '" + keyword +
+                                 "' (expected @<cycle>)");
+      }
+      if (have_prev_stamp && cycle < prev_stamp) {
+        return fail(line_no, "timestamp @" + std::to_string(cycle) +
+                                 " goes backwards (previous event was @" +
+                                 std::to_string(prev_stamp) + ")");
+      }
+      have_prev_stamp = true;
+      prev_stamp = cycle;
+      event.at = cycle;
+      event.timed = true;
+      if (!(iss >> keyword)) {
+        return fail(line_no, "timestamp '@" + std::to_string(cycle) +
+                                 "' without an event");
+      }
+    }
+
     std::size_t operands = 2;
     if (keyword == "cable_down") {
       event.type = EventType::kCableDown;
@@ -87,6 +118,37 @@ EventScript parse_event_script(std::istream& in) {
 EventScript parse_event_script(const std::string& text) {
   std::istringstream in(text);
   return parse_event_script(in);
+}
+
+std::vector<TimedEvent> stamp_events(const EventScript& script,
+                                     std::uint64_t horizon) {
+  LMPR_EXPECTS(script.ok);
+  const auto& events = script.events;
+  std::vector<TimedEvent> out(events.size());
+  std::size_t i = 0;
+  std::uint64_t prev = 0;  // cycle assigned to the last placed event
+  while (i < events.size()) {
+    if (events[i].timed) {
+      out[i] = {events[i], events[i].at};
+      prev = events[i].at;
+      ++i;
+      continue;
+    }
+    // Spread the untimed run [i, j) evenly between the enclosing stamps.
+    std::size_t j = i;
+    while (j < events.size() && !events[j].timed) ++j;
+    const std::uint64_t left = prev;
+    std::uint64_t right = j < events.size() ? events[j].at : horizon;
+    if (right < left) right = left;  // stamp-free tail past a late stamp
+    const std::uint64_t run = j - i;
+    for (std::size_t n = 0; n < run; ++n) {
+      out[i + n] = {events[i + n],
+                    left + (right - left) * (n + 1) / (run + 1)};
+    }
+    prev = out[j - 1].cycle;
+    i = j;
+  }
+  return out;
 }
 
 }  // namespace lmpr::fm

@@ -1,12 +1,20 @@
 // The fabric manager's event stream: the deterministic, replayable
-// command language `lmpr fm` consumes (one event per line, '#' starts a
-// comment):
+// command language `lmpr fm` and `lmpr replay` consume (one event per
+// line, '#' starts a comment):
 //
 //   cable_down <u> <v>    # the cable between nodes u and v dies
 //   cable_up <u> <v>      # it is re-cabled / heals
 //   switch_down <s>       # switch s dies with every incident cable
 //   switch_up <s>         # switch s is replaced / reboots
 //   query <src> <dst>     # report the current multipath state of a pair
+//
+// Any event line may carry an optional leading timestamp token `@<cycle>`
+// (e.g. `@2500 cable_down 0 16`): the simulation cycle, relative to the
+// start of the measurement window, at which the replay engine fires the
+// event.  Timestamps must be non-decreasing in script order -- a script
+// whose explicit stamps go backwards is rejected with a line-numbered
+// diagnostic (events at the same cycle are fine and apply in script
+// order).  `lmpr fm` ignores the stamps (event time is script order).
 //
 // Node ids are RAW fabric ids (the subnet's view, as in discovery::
 // RawFabric); the manager translates them through the recognition
@@ -31,6 +39,10 @@ struct Event {
   /// use only; query: a = src host, b = dst host.
   std::uint32_t a = 0;
   std::uint32_t b = 0;
+  /// Replay cycle (offset into the measurement window) when `timed`;
+  /// untimed events are spread over the timeline by stamp_events().
+  std::uint64_t at = 0;
+  bool timed = false;
 
   bool topology_event() const noexcept { return type != EventType::kQuery; }
   friend bool operator==(const Event&, const Event&) = default;
@@ -44,5 +56,23 @@ struct EventScript {
 
 EventScript parse_event_script(std::istream& in);
 EventScript parse_event_script(const std::string& text);
+
+/// One event pinned to a simulation cycle (offset into the measurement
+/// window) -- the cycle-stamped view of a script the replay engine walks.
+struct TimedEvent {
+  Event event;
+  std::uint64_t cycle = 0;
+  friend bool operator==(const TimedEvent&, const TimedEvent&) = default;
+};
+
+/// Stamps every event of a parsed (`script.ok`) script with a cycle.
+/// Explicitly timed events keep their `@` stamps; each run of untimed
+/// events is spread evenly over the open interval between the enclosing
+/// stamps (script start = 0, script end = `horizon`), so a stamp-free
+/// script becomes `horizon / (n + 1)`-spaced -- and the result is
+/// non-decreasing whenever the script parsed (the parser rejects
+/// backward explicit stamps).
+std::vector<TimedEvent> stamp_events(const EventScript& script,
+                                     std::uint64_t horizon);
 
 }  // namespace lmpr::fm

@@ -1,0 +1,188 @@
+#include "replay/replay.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::replay {
+
+ReplayEngine::ReplayEngine(const topo::XgftSpec& spec,
+                           const ReplayConfig& config)
+    : config_(config) {
+  // LFT-routed replay is oblivious by construction, and epochs need the
+  // window accumulators; force both so callers cannot misconfigure.
+  config_.sim.routing_mode = flit::RoutingMode::kOblivious;
+  config_.sim.window_metrics = true;
+  if (config_.window_cycles == 0) {
+    error_ = "window_cycles must be positive";
+    return;
+  }
+  manager_ = std::make_unique<fm::FabricManager>(spec, config_.fm);
+  if (!manager_->ok()) error_ = manager_->error();
+}
+
+ReplayResult ReplayEngine::run(const fm::EventScript& script) {
+  ReplayResult result;
+  if (!ok()) {
+    result.error = error_;
+    return result;
+  }
+  if (!script.ok) {
+    result.error = script.error;
+    return result;
+  }
+  const flit::SimConfig& sim = config_.sim;
+  const std::vector<fm::TimedEvent> stamps =
+      fm::stamp_events(script, sim.measure_cycles);
+  for (const fm::TimedEvent& stamp : stamps) {
+    if (stamp.cycle > sim.measure_cycles) {
+      result.error = "event timestamp @" + std::to_string(stamp.cycle) +
+                     " lies beyond the measurement window (" +
+                     std::to_string(sim.measure_cycles) + " cycles)";
+      return result;
+    }
+  }
+
+  const topo::Xgft& xgft = manager_->xgft();
+  flit::Network net(manager_->lft(), manager_->tables(), sim);
+  const std::uint64_t warmup = sim.warmup_cycles;
+  const std::uint64_t horizon = net.horizon();
+
+  // Boundary timeline: the metric cadence plus one extra edge per event
+  // stamp, deduplicated, all in (warmup, horizon].
+  std::vector<std::uint64_t> boundaries;
+  for (std::uint64_t b = warmup + config_.window_cycles; b < horizon;
+       b += config_.window_cycles) {
+    boundaries.push_back(b);
+  }
+  boundaries.push_back(horizon);
+  for (const fm::TimedEvent& stamp : stamps) {
+    const std::uint64_t b = warmup + stamp.cycle;
+    if (b > warmup && b < horizon) boundaries.push_back(b);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+
+  // Links stay enabled exactly while their cable and both endpoints are
+  // alive; this mask diffs the manager's degradation into the router.
+  std::vector<std::uint8_t> enabled(
+      static_cast<std::size_t>(xgft.num_links()), 1);
+
+  std::vector<fm::EventRecord> pending;
+  std::uint64_t pending_dropped = 0;
+  std::uint64_t pending_rerouted = 0;
+  std::size_t next_event = 0;
+
+  const auto sync_network = [&]() {
+    const fabric::Degradation& degradation = manager_->degradation();
+    for (topo::NodeId node = static_cast<topo::NodeId>(xgft.num_hosts());
+         node < xgft.num_nodes(); ++node) {
+      net.set_switch_state(node, degradation.node_ok(node));
+    }
+    // The repaired tables go in BEFORE links come down, so the drop
+    // policy's re-homing already routes around the fault; the manager
+    // mutates its tables in place (and arbitration may switch between
+    // the greedy and shadow sets), so the swap must follow every event.
+    net.set_tables(manager_->tables());
+    for (topo::LinkId link = 0; link < xgft.num_links(); ++link) {
+      const topo::Link& edge = xgft.link(link);
+      const bool want = degradation.cable_ok(xgft.cable_of(link)) &&
+                        degradation.node_ok(edge.src) &&
+                        degradation.node_ok(edge.dst);
+      if (want == (enabled[link] != 0)) continue;
+      enabled[link] = want ? 1 : 0;
+      if (want) {
+        net.bring_link_up(link);
+      } else {
+        const flit::Network::FaultStats stats = net.take_link_down(link);
+        pending_dropped += stats.dropped;
+        pending_rerouted += stats.rerouted;
+      }
+    }
+  };
+
+  const auto apply_due = [&](std::uint64_t boundary) {
+    bool topo_changed = false;
+    while (next_event < stamps.size() &&
+           warmup + stamps[next_event].cycle <= boundary) {
+      const fm::EventRecord record =
+          manager_->apply(stamps[next_event].event);
+      if (!record.ok) {
+        ++result.event_errors;
+      } else if (record.event.topology_event()) {
+        topo_changed = true;
+      }
+      pending.push_back(record);
+      ++next_event;
+    }
+    if (topo_changed) sync_network();
+  };
+
+  net.run_until(warmup);
+  net.harvest_window();  // warmup transient, discarded
+  apply_due(warmup);     // events stamped @0 fire as measurement opens
+
+  for (const std::uint64_t boundary : boundaries) {
+    Epoch epoch;
+    epoch.start_cycle = net.now();
+    epoch.records = std::move(pending);
+    pending.clear();
+    epoch.dropped_at_swap = std::exchange(pending_dropped, 0);
+    epoch.rerouted_at_swap = std::exchange(pending_rerouted, 0);
+    net.run_until(boundary);
+    epoch.window = net.harvest_window();
+    result.epochs.push_back(std::move(epoch));
+    apply_due(boundary);
+  }
+  LMPR_ASSERT(next_event == stamps.size());
+  result.overall = net.finalize();
+  result.fm_summary = manager_->summary();
+
+  // Recovery analysis over the epoch means.
+  bool any_topo = false;
+  for (const fm::TimedEvent& stamp : stamps) {
+    if (!stamp.event.topology_event()) continue;
+    const std::uint64_t cycle = warmup + stamp.cycle;
+    if (!any_topo) result.first_event_cycle = cycle;
+    result.last_event_cycle = cycle;
+    any_topo = true;
+  }
+  if (!any_topo) {
+    result.recovered = true;
+    result.ok = true;
+    return result;
+  }
+  double baseline_sum = 0.0;
+  std::size_t baseline_windows = 0;
+  for (const Epoch& epoch : result.epochs) {
+    if (epoch.window.messages_delivered == 0) continue;
+    if (epoch.window.end_cycle <= result.first_event_cycle) {
+      baseline_sum += epoch.window.mean_message_delay;
+      ++baseline_windows;
+    } else {
+      result.peak_delay =
+          std::max(result.peak_delay, epoch.window.mean_message_delay);
+    }
+  }
+  result.baseline_delay = baseline_windows > 0
+                              ? baseline_sum /
+                                    static_cast<double>(baseline_windows)
+                              : result.overall.message_delay.mean();
+  for (const Epoch& epoch : result.epochs) {
+    if (epoch.window.start_cycle < result.last_event_cycle) continue;
+    if (epoch.window.messages_delivered == 0) continue;
+    if (epoch.window.mean_message_delay <=
+        config_.recovery_tolerance * result.baseline_delay) {
+      result.recovered = true;
+      result.recovery_cycles = epoch.window.end_cycle -
+                               result.last_event_cycle;
+      break;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace lmpr::replay

@@ -1,0 +1,114 @@
+// Dynamic fault replay: drives the flit-level simulator (flit::Network in
+// LFT mode) from a fabric-manager event script (fm/events.hpp), so that
+// fault handling is evaluated on LIVE traffic instead of the static
+// post-event analyses `lmpr fm` reports.
+//
+// The engine owns an fm::FabricManager and a flit::Network routed by the
+// manager's tables.  A parsed script is cycle-stamped (fm::stamp_events,
+// offsets relative to the measurement-window start) and merged with a
+// fixed metric cadence into one boundary timeline.  At every boundary the
+// simulation stops on a cycle edge, the closing epoch's windowed metrics
+// are harvested, and the events due are applied:
+//
+//   * the manager ingests the event and incrementally repairs its LFTs;
+//   * the repaired tables are swapped into the router atomically
+//     (Network::set_tables -- both kernels route by the new tables from
+//     the next cycle on);
+//   * dead switches are flagged and every directed link whose cable or
+//     endpoint died is taken down, which per SimConfig::drop_policy drops
+//     or re-homes the packets caught on it (healed links come back up).
+//
+// The per-epoch WindowMetrics expose the transient the paper's
+// deployment story cares about: the delay spike when a cable dies, the
+// packets lost before the swap, and how many windows pass before delay
+// returns to within recovery_tolerance of the pre-fault baseline --
+// which is how replay_cable_storm compares repair policies in recovery
+// time rather than static max-load.  See DESIGN.md §11.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flit/config.hpp"
+#include "flit/metrics.hpp"
+#include "flit/network.hpp"
+#include "fm/events.hpp"
+#include "fm/fabric_manager.hpp"
+#include "topology/spec.hpp"
+
+namespace lmpr::replay {
+
+struct ReplayConfig {
+  /// Traffic + fault-handling knobs.  routing_mode is forced to
+  /// kOblivious and window_metrics to true (LFT replay requires both).
+  flit::SimConfig sim;
+  /// Fabric-manager knobs (path limit, LID layout, repair policy).
+  fm::FmConfig fm;
+  /// Metric cadence: an epoch boundary every this many cycles (event
+  /// stamps insert extra boundaries, so epochs are at most this long).
+  std::uint64_t window_cycles = 2'000;
+  /// An epoch counts as recovered when its mean message delay is within
+  /// this factor of the pre-fault baseline.
+  double recovery_tolerance = 1.25;
+};
+
+/// One epoch of the replayed run: the events fired at its start boundary
+/// (with the manager's repair records) and the windowed metrics
+/// accumulated until the next boundary.
+struct Epoch {
+  std::uint64_t start_cycle = 0;
+  /// Events applied on this epoch's start edge, in script order.
+  std::vector<fm::EventRecord> records;
+  /// Packets the start-edge link kills severed / salvaged
+  /// (Network::FaultStats, summed over the links taken down).
+  std::uint64_t dropped_at_swap = 0;
+  std::uint64_t rerouted_at_swap = 0;
+  flit::WindowMetrics window;
+};
+
+struct ReplayResult {
+  bool ok = false;
+  std::string error;
+
+  std::vector<Epoch> epochs;
+  flit::SimMetrics overall;
+  fm::FmSummary fm_summary;
+  std::size_t event_errors = 0;  ///< events the manager rejected
+
+  // Recovery analysis (only meaningful when the script has topology
+  // events; `recovered` is trivially true otherwise).
+  double baseline_delay = 0.0;  ///< mean epoch delay before the first event
+  double peak_delay = 0.0;      ///< worst epoch mean delay at/after it
+  std::uint64_t first_event_cycle = 0;  ///< absolute cycles
+  std::uint64_t last_event_cycle = 0;
+  bool recovered = false;
+  /// Cycles from the last topology event to the end of the first epoch
+  /// back within recovery_tolerance * baseline_delay.
+  std::uint64_t recovery_cycles = 0;
+};
+
+class ReplayEngine {
+ public:
+  /// Recognizes the spec's fabric and installs the healthy tables; on
+  /// failure ok() is false and run() refuses to start.
+  ReplayEngine(const topo::XgftSpec& spec, const ReplayConfig& config);
+
+  bool ok() const noexcept { return error_.empty(); }
+  const std::string& error() const noexcept { return error_; }
+  const fm::FabricManager& manager() const noexcept { return *manager_; }
+  const ReplayConfig& config() const noexcept { return config_; }
+
+  /// Replays the script over live traffic.  One-shot: the manager's
+  /// degradation state carries the script's events afterwards, so a
+  /// second run would start from the degraded fabric.
+  ReplayResult run(const fm::EventScript& script);
+
+ private:
+  ReplayConfig config_;
+  std::string error_;
+  std::unique_ptr<fm::FabricManager> manager_;
+};
+
+}  // namespace lmpr::replay

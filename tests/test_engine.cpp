@@ -33,7 +33,8 @@ TEST(ScenarioRegistry, ContainsEveryMigratedScenario) {
         "fm_churn_disjoint_vs_shift", "fm_rebalance_vs_first",
         "fm_repair_scaling", "oversubscribed_tree", "patterns_structured",
         "perf_baseline",
-        "price_of_obliviousness", "resilience_multipath", "smodk_vs_dmodk",
+        "price_of_obliviousness", "replay_cable_storm", "replay_quick",
+        "resilience_multipath", "smodk_vs_dmodk",
         "worst_case_permutations"}) {
     const Scenario* scenario = registry.find(name);
     ASSERT_NE(scenario, nullptr) << name;
@@ -43,7 +44,7 @@ TEST(ScenarioRegistry, ContainsEveryMigratedScenario) {
     EXPECT_FALSE(scenario->full_params.empty()) << name;
     EXPECT_TRUE(scenario->run != nullptr) << name;
   }
-  EXPECT_EQ(registry.all().size(), 26u);
+  EXPECT_EQ(registry.all().size(), 28u);
 }
 
 TEST(ScenarioRegistry, FindIsExactMatchOnly) {

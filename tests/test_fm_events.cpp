@@ -164,6 +164,109 @@ TEST(EventScriptCorpus, RejectedInputsCarryDiagnostics) {
   }
 }
 
+fm::Event timed(fm::EventType type, std::uint32_t a, std::uint32_t b,
+                std::uint64_t at) {
+  fm::Event event{type, a, b};
+  event.at = at;
+  event.timed = true;
+  return event;
+}
+
+// Timestamp corpus for the `@<cycle>` prefix the replay engine consumes.
+// Same contract as the bare-event corpus: every entry parses exactly or
+// fails with a line-numbered diagnostic.
+TEST(EventScriptCorpus, AcceptedTimestamps) {
+  struct Accept {
+    const char* text;
+    std::vector<fm::Event> events;
+  };
+  const std::vector<Accept> corpus = {
+      // The canonical form.
+      {"@100 cable_down 0 16\n",
+       {timed(fm::EventType::kCableDown, 0, 16, 100)}},
+      // Equal stamps are legal (applied in script order).
+      {"@500 cable_down 0 16\n@500 cable_up 0 16\n",
+       {timed(fm::EventType::kCableDown, 0, 16, 500),
+        timed(fm::EventType::kCableUp, 0, 16, 500)}},
+      // Mixed timed and untimed lines: untimed events stay unstamped at
+      // parse time (stamp_events spreads them later).
+      {"cable_down 2 18\n@900 query 0 5\n",
+       {{fm::EventType::kCableDown, 2, 18},
+        timed(fm::EventType::kQuery, 0, 5, 900)}},
+      // Stamp 0 and tab separation.
+      {"@0\tswitch_down\t20\n",
+       {timed(fm::EventType::kSwitchDown, 20, 0, 0)}},
+  };
+  for (const auto& entry : corpus) {
+    const auto script = fm::parse_event_script(std::string(entry.text));
+    ASSERT_TRUE(script.ok) << entry.text << ": " << script.error;
+    EXPECT_EQ(script.events, entry.events) << entry.text;
+  }
+}
+
+TEST(EventScriptCorpus, RejectedTimestamps) {
+  struct Reject {
+    const char* text;
+    const char* needle;
+  };
+  const std::vector<Reject> corpus = {
+      // Regression: decreasing explicit stamps must be rejected at parse
+      // time, not silently reordered or replayed backwards.
+      {"@2000 cable_down 0 16\n@1000 cable_up 0 16\n", "goes backwards"},
+      {"@2000 cable_down 0 16\n@1000 cable_up 0 16\n", "line 2"},
+      // A later explicit stamp below an EARLIER one with untimed lines in
+      // between is still backwards.
+      {"@2000 cable_down 0 16\nquery 0 1\n@1999 cable_up 0 16\n",
+       "goes backwards"},
+      // Malformed stamp tokens.
+      {"@abc cable_down 0 16\n", "bad timestamp"},
+      {"@ cable_down 0 16\n", "bad timestamp"},
+      {"@-1 cable_down 0 16\n", "bad timestamp"},
+      {"@12x cable_down 0 16\n", "bad timestamp"},
+      // A stamp with no event on the line.
+      {"@500\n", "without an event"},
+      {"@500   # nothing here\n", "without an event"},
+      // Two stamps on one line: the second is not an event keyword.
+      {"@500 @600 cable_down 0 16\n", "unknown event"},
+  };
+  for (const auto& entry : corpus) {
+    const auto script = fm::parse_event_script(std::string(entry.text));
+    EXPECT_FALSE(script.ok) << entry.text;
+    EXPECT_NE(script.error.find(entry.needle), std::string::npos)
+        << entry.text << " diagnostic was: " << script.error;
+  }
+}
+
+TEST(EventScript, StampEventsSpreadsUntimedRunsEvenly) {
+  // A stamp-free script of n events lands at horizon / (n + 1) spacing.
+  const auto bare = fm::parse_event_script(
+      "cable_down 0 16\nquery 0 5\ncable_up 0 16\n");
+  ASSERT_TRUE(bare.ok) << bare.error;
+  const auto stamped = fm::stamp_events(bare, 8'000);
+  ASSERT_EQ(stamped.size(), 3u);
+  EXPECT_EQ(stamped[0].cycle, 2'000u);
+  EXPECT_EQ(stamped[1].cycle, 4'000u);
+  EXPECT_EQ(stamped[2].cycle, 6'000u);
+
+  // Untimed events between explicit stamps spread over the open interval
+  // between those stamps; explicit stamps are kept verbatim.
+  const auto mixed = fm::parse_event_script(
+      "@1000 cable_down 0 16\nquery 0 5\nquery 0 9\n@4000 cable_up 0 16\n");
+  ASSERT_TRUE(mixed.ok) << mixed.error;
+  const auto cycles = fm::stamp_events(mixed, 10'000);
+  ASSERT_EQ(cycles.size(), 4u);
+  EXPECT_EQ(cycles[0].cycle, 1'000u);
+  EXPECT_EQ(cycles[1].cycle, 2'000u);
+  EXPECT_EQ(cycles[2].cycle, 3'000u);
+  EXPECT_EQ(cycles[3].cycle, 4'000u);
+  for (std::size_t i = 1; i < cycles.size(); ++i) {
+    EXPECT_GE(cycles[i].cycle, cycles[i - 1].cycle);
+  }
+
+  EXPECT_TRUE(fm::stamp_events(fm::parse_event_script(std::string{}), 1'000)
+                  .empty());
+}
+
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) throw std::runtime_error("cannot open " + path);
