@@ -2,18 +2,36 @@
 """Perf-regression guard over the perf_baseline run report.
 
 Reads a BENCH_perf.json document (schema lmpr-perf-baseline/v1, written
-by `lmpr run perf_baseline`) and fails -- exit status 1 -- if any
-`speedup` field anywhere in the document is below the threshold
-(default 1.0): the active-set flit kernel, the pooled fig5 sweep and the
-cached permutation study must never be SLOWER than their reference
-implementations.  Stdlib only, so CI can run it with a bare python3.
+by `lmpr run perf_baseline`) and fails -- exit status 1 -- on either:
 
-Usage: check_perf_baseline.py [--min-speedup X] [BENCH_perf.json]
+  * a `speedup` field anywhere in the document below the threshold
+    (default 1.0): the active-set flit kernel, the pooled fig5 sweep and
+    the cached permutation study must never be SLOWER than their
+    reference implementations; or
+  * a tracked benchmark section MISSING from the document.  A refactor
+    that silently drops a benchmark would otherwise pass the speedup
+    check vacuously; the key guard turns "we stopped measuring it" into
+    a build failure.
+
+Stdlib only, so CI can run it with a bare python3.
+
+Usage: check_perf_baseline.py [--min-speedup X] [--expect-key PATH]...
+                              [BENCH_perf.json]
 """
 
 import argparse
 import json
 import sys
+
+# Dotted paths that must exist (and, for lists, be non-empty) in every
+# perf baseline report.  Grows when `lmpr run perf_baseline` gains a
+# benchmark; never shrinks silently.
+DEFAULT_EXPECTED_KEYS = [
+    "flit_kernel",
+    "fig5_quick_sweep.speedup",
+    "flow_permutation_study.speedup",
+    "lft_build.build_seconds",
+]
 
 
 def walk_speedups(node, path="$"):
@@ -30,10 +48,24 @@ def walk_speedups(node, path="$"):
             yield from walk_speedups(value, f"{path}[{i}]")
 
 
+def lookup(document, dotted):
+    """Resolves a dotted path; returns (found, value)."""
+    node = document
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return False, None
+        node = node[part]
+    return True, node
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", nargs="?", default="BENCH_perf.json")
     parser.add_argument("--min-speedup", type=float, default=1.0)
+    parser.add_argument(
+        "--expect-key", action="append", default=[], metavar="PATH",
+        help="additional dotted path that must be present "
+             f"(always checked: {', '.join(DEFAULT_EXPECTED_KEYS)})")
     args = parser.parse_args(argv)
 
     try:
@@ -49,12 +81,23 @@ def main(argv):
               "lmpr-perf-baseline/*", file=sys.stderr)
         return 2
 
+    failed = False
+    for dotted in DEFAULT_EXPECTED_KEYS + args.expect_key:
+        found, value = lookup(document, dotted)
+        if not found:
+            print(f"FAIL key ${dotted} is missing from {args.report}")
+            failed = True
+        elif isinstance(value, list) and not value:
+            print(f"FAIL key ${dotted} is an empty list")
+            failed = True
+        else:
+            print(f"ok   key ${dotted} present")
+
     speedups = list(walk_speedups(document))
     if not speedups:
         print(f"error: no speedup fields in {args.report}", file=sys.stderr)
         return 2
 
-    failed = False
     for path, value in speedups:
         if not isinstance(value, (int, float)) or value < args.min_speedup:
             print(f"FAIL {path} = {value} (< {args.min_speedup})")
@@ -62,10 +105,12 @@ def main(argv):
         else:
             print(f"ok   {path} = {value:.3f}")
     if failed:
-        print(f"perf regression: a speedup fell below {args.min_speedup}x",
-              file=sys.stderr)
+        print("perf baseline check failed: a tracked benchmark disappeared "
+              f"or a speedup fell below {args.min_speedup}x", file=sys.stderr)
         return 1
-    print(f"all {len(speedups)} speedups >= {args.min_speedup}x")
+    print(f"all {len(speedups)} speedups >= {args.min_speedup}x and all "
+          f"{len(DEFAULT_EXPECTED_KEYS) + len(args.expect_key)} expected "
+          "keys present")
     return 0
 
 

@@ -64,9 +64,9 @@ DeadlockAnalysis analyze(DependencyGraph& graph) {
 }  // namespace
 
 DeadlockAnalysis analyze_channel_dependencies(const RouteTable& table) {
-  const topo::Xgft& xgft = table.xgft();
-  DependencyGraph graph(static_cast<std::size_t>(xgft.num_links()));
-  const std::uint64_t hosts = xgft.num_hosts();
+  const topo::Topology& topology = table.topology();
+  DependencyGraph graph(static_cast<std::size_t>(topology.num_links()));
+  const std::uint64_t hosts = topology.num_hosts();
   for (std::uint64_t s = 0; s < hosts; ++s) {
     for (std::uint64_t d = 0; d < hosts; ++d) {
       if (s == d) continue;
@@ -81,13 +81,13 @@ DeadlockAnalysis analyze_channel_dependencies(const RouteTable& table) {
 }
 
 DeadlockAnalysis analyze_channel_dependencies(
-    const topo::Xgft& xgft,
+    const topo::Topology& topology,
     const std::vector<std::vector<topo::LinkId>>& paths) {
-  DependencyGraph graph(static_cast<std::size_t>(xgft.num_links()));
+  DependencyGraph graph(static_cast<std::size_t>(topology.num_links()));
   for (const auto& path : paths) {
     for (std::size_t i = 1; i < path.size(); ++i) {
-      LMPR_EXPECTS(path[i - 1] < xgft.num_links());
-      LMPR_EXPECTS(path[i] < xgft.num_links());
+      LMPR_EXPECTS(path[i - 1] < topology.num_links());
+      LMPR_EXPECTS(path[i] < topology.num_links());
       graph.adjacency[path[i - 1]].push_back(path[i]);
     }
   }

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "core/route_table.hpp"
-#include "topology/xgft.hpp"
+#include "topology/topology.hpp"
 
 namespace lmpr::route {
 
@@ -33,7 +33,7 @@ DeadlockAnalysis analyze_channel_dependencies(const RouteTable& table);
 /// (each path a sequence of directed LinkIds), against the given
 /// topology's channel count.
 DeadlockAnalysis analyze_channel_dependencies(
-    const topo::Xgft& xgft,
+    const topo::Topology& topology,
     const std::vector<std::vector<topo::LinkId>>& paths);
 
 }  // namespace lmpr::route

@@ -93,7 +93,7 @@ std::vector<std::uint64_t> disjoint_sequence(const topo::XgftSpec& spec,
   return indices;
 }
 
-std::vector<std::uint64_t> select_path_indices(const topo::Xgft& xgft,
+std::vector<std::uint64_t> select_path_indices(const topo::Topology& topology,
                                                std::uint64_t src,
                                                std::uint64_t dst,
                                                std::size_t k_paths,
@@ -102,20 +102,19 @@ std::vector<std::uint64_t> select_path_indices(const topo::Xgft& xgft,
   LMPR_EXPECTS(k_paths >= 1);
   if (src == dst) return {0};
 
-  const std::uint64_t total = xgft.num_shortest_paths(src, dst);
+  const std::uint64_t total = topology.num_paths(src, dst);
   const std::uint64_t take = std::min<std::uint64_t>(k_paths, total);
-  const std::uint32_t nca = xgft.nca_level(src, dst);
 
   switch (heuristic) {
     case Heuristic::kDModK:
-      return {dmodk_index(xgft, src, dst)};
+      return {dmodk_index(topology, src, dst)};
     case Heuristic::kSModK:
-      return {smodk_index(xgft, src, dst)};
+      return {smodk_index(topology, src, dst)};
     case Heuristic::kRandomSingle:
-      return {random_single_index(xgft, src, dst, rng)};
+      return {random_single_index(topology, src, dst, rng)};
 
     case Heuristic::kShift1: {
-      const std::uint64_t anchor = dmodk_index(xgft, src, dst);
+      const std::uint64_t anchor = dmodk_index(topology, src, dst);
       std::vector<std::uint64_t> indices;
       indices.reserve(take);
       for (std::uint64_t t = 0; t < take; ++t) {
@@ -124,9 +123,16 @@ std::vector<std::uint64_t> select_path_indices(const topo::Xgft& xgft,
       return indices;
     }
 
-    case Heuristic::kDisjoint:
-      return disjoint_sequence(xgft.spec(), nca,
-                               dmodk_index(xgft, src, dst), take);
+    case Heuristic::kDisjoint: {
+      const std::uint64_t start = dmodk_index(topology, src, dst);
+      std::vector<std::uint64_t> indices;
+      indices.reserve(take);
+      for (std::uint64_t n = 0; n < take; ++n) {
+        indices.push_back(
+            (start + topology.disjoint_offset(src, dst, n)) % total);
+      }
+      return indices;
+    }
 
     case Heuristic::kRandom: {
       auto sampled = rng.sample_without_replacement(

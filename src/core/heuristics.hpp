@@ -24,7 +24,8 @@
 #include <string_view>
 #include <vector>
 
-#include "topology/xgft.hpp"
+#include "topology/spec.hpp"
+#include "topology/topology.hpp"
 #include "util/rng.hpp"
 
 namespace lmpr::route {
@@ -77,7 +78,7 @@ std::vector<std::uint64_t> disjoint_sequence(const topo::XgftSpec& spec,
 /// limit `k_paths`.  The result is non-empty, sorted by selection order
 /// (first element is the scheme's "primary" path), and contains no
 /// duplicates.  `rng` is consulted only by the randomized schemes.
-std::vector<std::uint64_t> select_path_indices(const topo::Xgft& xgft,
+std::vector<std::uint64_t> select_path_indices(const topo::Topology& topology,
                                                std::uint64_t src,
                                                std::uint64_t dst,
                                                std::size_t k_paths,

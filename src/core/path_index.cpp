@@ -39,50 +39,27 @@ std::uint64_t encode_path_index(const topo::XgftSpec& spec, std::uint32_t nca,
   return index;
 }
 
-Path materialize_path(const topo::Xgft& xgft, std::uint64_t src,
+Path materialize_path(const topo::Topology& topology, std::uint64_t src,
                       std::uint64_t dst, std::uint64_t index) {
   Path path;
   path.index = index;
-  path.nodes.push_back(xgft.host(src));
+  path.nodes.push_back(topology.host(src));
   if (src == dst) {
     LMPR_EXPECTS(index == 0);
     return path;
   }
-  const std::uint32_t nca = xgft.nca_level(src, dst);
-  const UpChoices choices = decode_path_index(xgft.spec(), nca, index);
-
-  topo::NodeId node = xgft.host(src);
-  for (std::uint32_t l = 0; l < nca; ++l) {
-    path.links.push_back(xgft.up_link(node, choices[l]));
-    node = xgft.parent(node, choices[l]);
-    path.nodes.push_back(node);
+  topology.append_path_links(src, dst, index, path.links);
+  for (const topo::LinkId link : path.links) {
+    path.nodes.push_back(topology.link(link).dst);
   }
-  for (std::uint32_t l = nca; l >= 1; --l) {
-    const std::uint32_t port = xgft.host_digit(dst, l);
-    path.links.push_back(xgft.down_link(node, port));
-    node = xgft.child(node, port);
-    path.nodes.push_back(node);
-  }
-  LMPR_ENSURES(node == xgft.host(dst));
+  LMPR_ENSURES(path.nodes.back() == topology.host(dst));
   return path;
 }
 
-void append_path_links(const topo::Xgft& xgft, std::uint64_t src,
+void append_path_links(const topo::Topology& topology, std::uint64_t src,
                        std::uint64_t dst, std::uint64_t index,
                        std::vector<topo::LinkId>& out) {
-  if (src == dst) return;
-  const std::uint32_t nca = xgft.nca_level(src, dst);
-  const UpChoices choices = decode_path_index(xgft.spec(), nca, index);
-  topo::NodeId node = xgft.host(src);
-  for (std::uint32_t l = 0; l < nca; ++l) {
-    out.push_back(xgft.up_link(node, choices[l]));
-    node = xgft.parent(node, choices[l]);
-  }
-  for (std::uint32_t l = nca; l >= 1; --l) {
-    const std::uint32_t port = xgft.host_digit(dst, l);
-    out.push_back(xgft.down_link(node, port));
-    node = xgft.child(node, port);
-  }
+  topology.append_path_links(src, dst, index, out);
 }
 
 }  // namespace lmpr::route

@@ -52,12 +52,12 @@ struct Path {
 
 /// Materializes Path `index` between two hosts.  For src == dst the path is
 /// the empty path (no links, single node).
-Path materialize_path(const topo::Xgft& xgft, std::uint64_t src,
+Path materialize_path(const topo::Topology& topology, std::uint64_t src,
                       std::uint64_t dst, std::uint64_t index);
 
 /// Appends the link ids of Path `index` to `out` without building node
 /// lists -- the flow-level simulator's hot loop.
-void append_path_links(const topo::Xgft& xgft, std::uint64_t src,
+void append_path_links(const topo::Topology& topology, std::uint64_t src,
                        std::uint64_t dst, std::uint64_t index,
                        std::vector<topo::LinkId>& out);
 

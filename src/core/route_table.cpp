@@ -4,12 +4,12 @@
 
 namespace lmpr::route {
 
-RouteTable::RouteTable(const topo::Xgft& xgft, Heuristic heuristic,
+RouteTable::RouteTable(const topo::Topology& topology, Heuristic heuristic,
                        std::size_t k_paths, std::uint64_t seed)
-    : xgft_(&xgft),
+    : topo_(&topology),
       heuristic_(heuristic),
       k_paths_(k_paths),
-      num_hosts_(xgft.num_hosts()) {
+      num_hosts_(topology.num_hosts()) {
   LMPR_EXPECTS(k_paths >= 1);
   util::Rng rng{seed};
   const std::uint64_t pairs = num_hosts_ * num_hosts_;
@@ -18,9 +18,9 @@ RouteTable::RouteTable(const topo::Xgft& xgft, Heuristic heuristic,
   for (std::uint64_t src = 0; src < num_hosts_; ++src) {
     for (std::uint64_t dst = 0; dst < num_hosts_; ++dst) {
       const auto indices =
-          select_path_indices(xgft, src, dst, k_paths, heuristic, rng);
+          select_path_indices(topology, src, dst, k_paths, heuristic, rng);
       for (const std::uint64_t index : indices) {
-        paths_.push_back(materialize_path(xgft, src, dst, index));
+        paths_.push_back(materialize_path(topology, src, dst, index));
       }
       first_.push_back(paths_.size());
     }

@@ -14,7 +14,7 @@
 
 #include "core/heuristics.hpp"
 #include "core/path_index.hpp"
-#include "topology/xgft.hpp"
+#include "topology/topology.hpp"
 #include "util/rng.hpp"
 
 namespace lmpr::route {
@@ -24,10 +24,10 @@ class RouteTable {
   /// Builds the table for every ordered SD pair (self-pairs get a single
   /// empty path).  `seed` drives the randomized heuristics; the same seed
   /// reproduces the same table.
-  RouteTable(const topo::Xgft& xgft, Heuristic heuristic, std::size_t k_paths,
-             std::uint64_t seed = 1);
+  RouteTable(const topo::Topology& topology, Heuristic heuristic,
+             std::size_t k_paths, std::uint64_t seed = 1);
 
-  const topo::Xgft& xgft() const noexcept { return *xgft_; }
+  const topo::Topology& topology() const noexcept { return *topo_; }
   Heuristic heuristic() const noexcept { return heuristic_; }
   std::size_t k_paths() const noexcept { return k_paths_; }
 
@@ -53,7 +53,7 @@ class RouteTable {
  private:
   std::size_t pair_slot(std::uint64_t src, std::uint64_t dst) const;
 
-  const topo::Xgft* xgft_;
+  const topo::Topology* topo_;
   Heuristic heuristic_;
   std::size_t k_paths_;
   std::uint64_t num_hosts_;

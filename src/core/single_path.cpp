@@ -1,40 +1,22 @@
 #include "core/single_path.hpp"
 
-#include "core/path_index.hpp"
-#include "util/contracts.hpp"
-
 namespace lmpr::route {
 
-namespace {
-
-std::uint64_t modk_index(const topo::Xgft& xgft, std::uint64_t key,
-                         std::uint32_t nca) {
-  UpChoices choices(nca);
-  for (std::uint32_t l = 0; l < nca; ++l) {
-    choices[l] = static_cast<std::uint32_t>((key / xgft.w_prefix(l)) %
-                                            xgft.spec().w_at(l + 1));
-  }
-  return encode_path_index(xgft.spec(), nca, choices);
-}
-
-}  // namespace
-
-std::uint64_t dmodk_index(const topo::Xgft& xgft, std::uint64_t src,
+std::uint64_t dmodk_index(const topo::Topology& topology, std::uint64_t src,
                           std::uint64_t dst) {
-  if (src == dst) return 0;
-  return modk_index(xgft, dst, xgft.nca_level(src, dst));
+  return topology.dmodk_index(src, dst);
 }
 
-std::uint64_t smodk_index(const topo::Xgft& xgft, std::uint64_t src,
+std::uint64_t smodk_index(const topo::Topology& topology, std::uint64_t src,
                           std::uint64_t dst) {
-  if (src == dst) return 0;
-  return modk_index(xgft, src, xgft.nca_level(src, dst));
+  return topology.smodk_index(src, dst);
 }
 
-std::uint64_t random_single_index(const topo::Xgft& xgft, std::uint64_t src,
-                                  std::uint64_t dst, util::Rng& rng) {
+std::uint64_t random_single_index(const topo::Topology& topology,
+                                  std::uint64_t src, std::uint64_t dst,
+                                  util::Rng& rng) {
   if (src == dst) return 0;
-  return rng.below(xgft.num_shortest_paths(src, dst));
+  return rng.below(topology.num_paths(src, dst));
 }
 
 }  // namespace lmpr::route

@@ -5,26 +5,29 @@
 // s-mod-k is the mirror image keyed on the source.  Both are "universal"
 // single-path schemes for XGFTs; d-mod-k is the one InfiniBand subnet
 // managers implement and the anchor for the shift-1/disjoint heuristics.
+// Generic topologies supply their own deterministic equivalents through
+// the Topology interface.
 #pragma once
 
 #include <cstdint>
 
-#include "topology/xgft.hpp"
+#include "topology/topology.hpp"
 #include "util/rng.hpp"
 
 namespace lmpr::route {
 
 /// Path index selected by destination-mod-k routing for the SD pair.
-std::uint64_t dmodk_index(const topo::Xgft& xgft, std::uint64_t src,
+std::uint64_t dmodk_index(const topo::Topology& topology, std::uint64_t src,
                           std::uint64_t dst);
 
 /// Path index selected by source-mod-k routing.
-std::uint64_t smodk_index(const topo::Xgft& xgft, std::uint64_t src,
+std::uint64_t smodk_index(const topo::Topology& topology, std::uint64_t src,
                           std::uint64_t dst);
 
 /// Uniformly random single path (the classic randomized routing of
 /// Greenberg & Leiserson: pick a random NCA top-level switch).
-std::uint64_t random_single_index(const topo::Xgft& xgft, std::uint64_t src,
-                                  std::uint64_t dst, util::Rng& rng);
+std::uint64_t random_single_index(const topo::Topology& topology,
+                                  std::uint64_t src, std::uint64_t dst,
+                                  util::Rng& rng);
 
 }  // namespace lmpr::route

@@ -23,6 +23,8 @@
 #include "engine/fm_support.hpp"
 #include "engine/replay_support.hpp"
 #include "engine/runner.hpp"
+#include "topology/factory.hpp"
+#include "topology/generic.hpp"
 
 namespace {
 
@@ -36,11 +38,12 @@ int usage(std::ostream& os, int code) {
         "  lmpr run <scenario...|all> [--full] [--json PATH] "
         "[--csv-dir DIR]\n"
         "           [--seed N] [--workers N] [--filter GLOB] [--topo SPEC]\n"
-        "  lmpr fm [--script PATH] [--topo SPEC | --fabric FILE] [--k N]\n"
-        "          [--layout disjoint|shift]\n"
+        "  lmpr fm [--script PATH] [--topo SPEC | --fabric FILE |\n"
+        "          --topology SPEC] [--k N] [--layout disjoint|shift]\n"
         "          [--repair-policy first_surviving|load_aware]\n"
         "          [--json PATH] [--zero-timings]\n"
-        "  lmpr replay [--script PATH] [--topo SPEC] [--k N]\n"
+        "  lmpr replay [--script PATH] [--topo SPEC | --topology SPEC]"
+        " [--k N]\n"
         "              [--layout disjoint|shift]\n"
         "              [--repair-policy first_surviving|load_aware]\n"
         "              [--drop-policy drop|reroute_at_switch]\n"
@@ -69,7 +72,12 @@ int usage(std::ostream& os, int code) {
         "transient.  --drop-policy decides what happens to packets caught\n"
         "on a killed cable: drop (lost, counted) or reroute_at_switch\n"
         "(re-homed onto a surviving path variant).  Exit status is 0 iff\n"
-        "the run recovered to the pre-fault delay baseline.\n";
+        "the run recovered to the pre-fault delay baseline.\n"
+        "\n"
+        "--topology selects ANY topology family through the factory\n"
+        "(XGFT(...) or RRG(switches;degree;hosts_per_switch[;seed]), a\n"
+        "seeded random-regular expander) and manages it generically when\n"
+        "it is not an XGFT; --topo keeps the XGFT-only spec parser.\n";
   return code;
 }
 
@@ -206,6 +214,7 @@ int cmd_fm(const util::Cli& cli) {
   const std::string script_path = cli.get_or("script", "");
   const std::string fabric_path = cli.get_or("fabric", "");
   const std::string topo_text = cli.get_or("topo", "");
+  const std::string topology_text = cli.get_or("topology", "");
   const std::string json_path = cli.get_or("json", "");
   const std::string layout_name = cli.get_or("layout", "disjoint");
   const std::string policy_name =
@@ -216,8 +225,11 @@ int cmd_fm(const util::Cli& cli) {
     std::cerr << "lmpr fm: unknown flag --" << unknown.front() << "\n";
     return 2;
   }
-  if (!fabric_path.empty() && !topo_text.empty()) {
-    std::cerr << "lmpr fm: pass --topo or --fabric, not both\n";
+  if (static_cast<int>(!fabric_path.empty()) +
+          static_cast<int>(!topo_text.empty()) +
+          static_cast<int>(!topology_text.empty()) >
+      1) {
+    std::cerr << "lmpr fm: pass only one of --topo, --fabric, --topology\n";
     return 2;
   }
   if (k < 1) {
@@ -251,6 +263,17 @@ int cmd_fm(const util::Cli& cli) {
     }
     fabric = std::move(loaded.fabric);
     options.fabric = &fabric;
+  } else if (!topology_text.empty()) {
+    try {
+      const auto topology = topo::make_topology(topology_text);
+      fabric = topo::to_raw_fabric(*topology);
+      options.topology_name = topology->name();
+    } catch (const std::exception& error) {
+      std::cerr << "lmpr fm: bad --topology: " << error.what() << "\n";
+      return 2;
+    }
+    options.fabric = &fabric;
+    options.config.allow_generic = true;
   } else if (!topo_text.empty()) {
     try {
       options.spec = topo::XgftSpec::parse(topo_text);
@@ -300,6 +323,7 @@ int cmd_fm(const util::Cli& cli) {
 int cmd_replay(const util::Cli& cli) {
   const std::string script_path = cli.get_or("script", "");
   const std::string topo_text = cli.get_or("topo", "");
+  const std::string topology_text = cli.get_or("topology", "");
   const std::string json_path = cli.get_or("json", "");
   const std::string layout_name = cli.get_or("layout", "disjoint");
   const std::string policy_name =
@@ -355,7 +379,23 @@ int cmd_replay(const util::Cli& cli) {
               << "' (expected drop or reroute_at_switch)\n";
     return 2;
   }
-  if (!topo_text.empty()) {
+  if (!topo_text.empty() && !topology_text.empty()) {
+    std::cerr << "lmpr replay: pass --topo or --topology, not both\n";
+    return 2;
+  }
+  discovery::RawFabric fabric;
+  if (!topology_text.empty()) {
+    try {
+      const auto topology = topo::make_topology(topology_text);
+      fabric = topo::to_raw_fabric(*topology);
+      options.topology_name = topology->name();
+    } catch (const std::exception& error) {
+      std::cerr << "lmpr replay: bad --topology: " << error.what() << "\n";
+      return 2;
+    }
+    options.fabric = &fabric;
+    options.config.fm.allow_generic = true;
+  } else if (!topo_text.empty()) {
     try {
       options.spec = topo::XgftSpec::parse(topo_text);
     } catch (const std::exception& error) {

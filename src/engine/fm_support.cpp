@@ -29,9 +29,12 @@ bool run_fm_events(const FmRunOptions& options, const fm::EventScript& script,
   if (options.fabric != nullptr) {
     manager =
         std::make_unique<fm::FabricManager>(*options.fabric, options.config);
-    report.add_config("topology", "external fabric (" +
-                                      std::to_string(options.fabric->num_nodes) +
-                                      " nodes)");
+    report.add_config("topology",
+                      options.topology_name.empty()
+                          ? "external fabric (" +
+                                std::to_string(options.fabric->num_nodes) +
+                                " nodes)"
+                          : options.topology_name);
   } else {
     manager = std::make_unique<fm::FabricManager>(options.spec, options.config);
     report.add_config("topology", options.spec.to_string());

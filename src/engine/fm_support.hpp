@@ -21,6 +21,9 @@ struct FmRunOptions {
   /// Externally supplied fabric (e.g. `lmpr fm --fabric FILE`); overrides
   /// `spec` when non-null.
   const discovery::RawFabric* fabric = nullptr;
+  /// Printable name for `fabric` (e.g. the --topology spec); when empty
+  /// the report falls back to a node-count summary.
+  std::string topology_name;
   fm::FmConfig config;
 };
 

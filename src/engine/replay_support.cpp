@@ -25,11 +25,17 @@ bool run_replay(const ReplayRunOptions& options, const fm::EventScript& script,
     error = script.error;
     return false;
   }
-  replay::ReplayEngine engine(options.spec, options.config);
+  replay::ReplayEngine engine =
+      options.fabric != nullptr
+          ? replay::ReplayEngine(*options.fabric, options.config)
+          : replay::ReplayEngine(options.spec, options.config);
   if (!engine.ok()) {
     error = engine.error();
     return false;
   }
+  const std::string topology_name = options.fabric != nullptr
+                                        ? options.topology_name
+                                        : options.spec.to_string();
   const replay::ReplayResult result = engine.run(script);
   if (!result.ok) {
     error = result.error;
@@ -40,7 +46,7 @@ bool run_replay(const ReplayRunOptions& options, const fm::EventScript& script,
   report.scenario = "replay";
   report.artifact = "fault replay";
   report.family = std::string(to_string(Family::kFlit));
-  report.add_config("topology", options.spec.to_string());
+  report.add_config("topology", topology_name);
   report.add_config("k_paths", std::to_string(config.fm.k_paths));
   report.add_config("layout", std::string(to_string(config.fm.layout)));
   report.add_config("repair_policy",
@@ -122,7 +128,7 @@ bool run_replay(const ReplayRunOptions& options, const fm::EventScript& script,
                     static_cast<double>(result.fm_summary.disconnected_pairs));
   report.samples = result.epochs.size();
   report.converged = result.event_errors == 0 && result.recovered;
-  report.add_section("Epoch windows, " + options.spec.to_string() + ", " +
+  report.add_section("Epoch windows, " + topology_name + ", " +
                          std::string(to_string(config.fm.repair_policy)) +
                          " repair, " +
                          std::string(to_string(config.sim.drop_policy)) +

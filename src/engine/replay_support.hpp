@@ -17,6 +17,12 @@ namespace lmpr::engine {
 
 struct ReplayRunOptions {
   topo::XgftSpec spec{{4, 4}, {2, 2}};
+  /// Externally supplied fabric (`lmpr replay --topology SPEC`); overrides
+  /// `spec` when non-null.  Generic fabrics additionally need
+  /// config.fm.allow_generic.
+  const discovery::RawFabric* fabric = nullptr;
+  /// Printable name for `fabric` (the --topology spec).
+  std::string topology_name;
   replay::ReplayConfig config;
 };
 

@@ -32,63 +32,37 @@ RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
                                  std::uint64_t dst, Tables& tables,
                                  RebuildScratch& scratch,
                                  RepairPolicy policy) {
-  const topo::Xgft& xgft = lft.xgft();
-  LMPR_EXPECTS(dst < xgft.num_hosts());
-  LMPR_EXPECTS(tables.size() == xgft.num_nodes());
-  const auto& spec = xgft.spec();
-  const std::uint32_t h = xgft.height();
+  const topo::Topology& topo = lft.topology();
+  LMPR_EXPECTS(dst < topo.num_hosts());
+  LMPR_EXPECTS(tables.size() == topo.num_nodes());
   const std::uint32_t block = lft.block();
-  const std::size_t num_nodes = static_cast<std::size_t>(xgft.num_nodes());
+  const std::size_t num_nodes = static_cast<std::size_t>(topo.num_nodes());
+  const topo::NodeId dst_host = topo.host(dst);
 
-  // Phase 1a: d's ancestor cone, bottom-up.  Every level-(l+1) ancestor
-  // has exactly one ancestor child (its descent step toward d), so the
-  // parent sweep enumerates each ancestor exactly once.  good bit 1,
-  // ancestor bit 2.
+  // Phase 1: per-node deliverability.  repair_order guarantees the far
+  // endpoint of every candidate link is decided before the node itself,
+  // so one pass settles the whole fabric.
   scratch.good.assign(num_nodes, 0);
   auto& good = scratch.good;
-  const topo::NodeId dst_host = xgft.host(dst);
-  good[dst_host] = 1 | 2;  // the destination delivers to itself
-  scratch.ancestors.assign(1, dst_host);
-  auto& frontier = scratch.ancestors;
-  std::vector<topo::NodeId> next;
-  for (std::uint32_t level = 1; level <= h; ++level) {
-    next.clear();
-    for (const topo::NodeId node : frontier) {
-      const std::uint32_t parents = xgft.num_parents(node);
-      for (std::uint32_t p = 0; p < parents; ++p) {
-        next.push_back(xgft.parent(node, p));
-      }
+  auto& candidates = scratch.candidates;
+  topo.repair_order(dst, scratch.order);
+  for (const topo::NodeId node : scratch.order) {
+    if (node == dst_host) {
+      good[node] = 1;  // the destination delivers to itself
+      continue;
     }
-    for (const topo::NodeId node : next) {
-      const std::uint32_t port = xgft.down_port_toward(node, dst);
-      const topo::LinkId down = xgft.down_link(node, port);
-      const topo::NodeId child = xgft.child(node, port);
-      const bool ok = deg.node_ok(node) && deg.cable_ok(xgft.cable_of(down)) &&
-                      (good[child] & 1) != 0;
-      good[node] = static_cast<std::uint8_t>((ok ? 1 : 0) | 2);
-    }
-    frontier.swap(next);
-  }
-
-  // Phase 1b: non-ancestors, top level down (all level-h switches are
-  // ancestors of every host).  A node is good iff some live up cable
-  // reaches a live good parent.
-  for (std::uint32_t level = h; level-- > 0;) {
-    const std::uint64_t count = spec.nodes_at_level(level);
-    for (std::uint64_t rank = 0; rank < count; ++rank) {
-      const topo::NodeId node = xgft.node_id(level, rank);
-      if ((good[node] & 2) != 0) continue;  // ancestor: already decided
-      bool ok = false;
-      if (deg.node_ok(node)) {
-        const std::uint32_t parents = xgft.num_parents(node);
-        for (std::uint32_t p = 0; p < parents && !ok; ++p) {
-          const topo::LinkId link = xgft.up_link(node, p);
-          ok = deg.cable_ok(xgft.cable_of(link)) &&
-               (good[xgft.link(link).dst] & 1) != 0;
+    bool ok = false;
+    if (deg.node_ok(node)) {
+      topo.candidate_links(node, dst, candidates);
+      for (const topo::LinkId link : candidates) {
+        if (deg.cable_ok(topo.cable_of(link)) &&
+            good[topo.link(link).dst] != 0) {
+          ok = true;
+          break;
         }
       }
-      good[node] = ok ? 1 : 0;
     }
+    good[node] = ok ? 1 : 0;
   }
 
   // Phase 2: the column's entries, diffed against the current tables.
@@ -97,8 +71,6 @@ RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
     const topo::NodeId node = static_cast<topo::NodeId>(n);
     auto& row = tables[n];
     LMPR_EXPECTS(row.size() == lft.lid_end());
-    const bool is_ancestor = (good[node] & 2) != 0;
-    const std::uint32_t level = xgft.level_of(node);
 
     const auto write_entry = [&](std::uint32_t j, topo::LinkId entry) {
       const std::uint32_t lid = lft.lid_of(dst, j);
@@ -122,50 +94,48 @@ RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
       }
       continue;
     }
-    if (is_ancestor) {
-      topo::LinkId entry = topo::kInvalidLink;
-      if ((good[node] & 1) != 0) {
-        entry = xgft.down_link(node, xgft.down_port_toward(node, dst));
-      } else {
-        stats.nominal = false;  // broken descent: unrecoverable from here
-      }
-      for (std::uint32_t j = 0; j < block; ++j) write_entry(j, entry);
-      continue;
-    }
 
-    // Non-ancestor: an up-port candidate (live cable to a live good
-    // parent) serves every variant LID alike, so delivery is variant- and
+    // A surviving candidate (live cable to a live good far endpoint)
+    // serves every variant LID alike, so delivery is variant- and
     // policy-independent; only the variant -> port assignment differs.
-    const std::uint32_t radix = spec.w_at(level + 1);
-    const std::uint32_t anchor = static_cast<std::uint32_t>(
-        (dst / xgft.w_prefix(level)) % radix);
+    topo.candidate_links(node, dst, candidates);
+    const std::uint32_t radix = static_cast<std::uint32_t>(candidates.size());
     scratch.port_ok.assign(radix, 0);
     bool any_ok = false;
     for (std::uint32_t p = 0; p < radix; ++p) {
-      const topo::LinkId link = xgft.up_link(node, p);
-      const bool ok = deg.cable_ok(xgft.cable_of(link)) &&
-                      (good[xgft.link(link).dst] & 1) != 0;
+      const topo::LinkId link = candidates[p];
+      const bool ok = deg.cable_ok(topo.cable_of(link)) &&
+                      good[topo.link(link).dst] != 0;
       scratch.port_ok[p] = ok ? 1 : 0;
       any_ok = any_ok || ok;
     }
     if (!any_ok) {
       stats.nominal = false;
-      if (xgft.is_host(node)) ++stats.disconnected_sources;
+      if (topo.is_host(node)) ++stats.disconnected_sources;
       for (std::uint32_t j = 0; j < block; ++j) {
         write_entry(j, topo::kInvalidLink);
       }
       continue;
     }
 
+    // Single-candidate nodes (fat-tree ancestors) take their forced hop
+    // for every variant; the anchor/variant machinery only matters when
+    // there is a real choice.
+    const std::uint32_t anchor = radix > 1 ? topo.route_anchor(node, dst) : 0;
+    const std::uint32_t level = radix > 1 ? topo.level_of(node) : 0;
+    const auto base_of = [&](std::uint32_t j) -> std::uint32_t {
+      if (radix <= 1) return 0;
+      return (anchor + lft.variant_digit(level, j)) % radix;
+    };
+
     if (policy == RepairPolicy::kFirstSurviving) {
       for (std::uint32_t j = 0; j < block; ++j) {
-        const std::uint32_t base =
-            (anchor + lft.variant_digit(level, j)) % radix;
+        const std::uint32_t base = base_of(j);
         for (std::uint32_t t = 0; t < radix; ++t) {
           const std::uint32_t port = (base + t) % radix;
           if (scratch.port_ok[port] == 0) continue;
           if (t != 0) stats.nominal = false;  // surviving-variant fallback
-          write_entry(j, xgft.up_link(node, port));
+          write_entry(j, candidates[port]);
           break;
         }
       }
@@ -177,7 +147,7 @@ RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
     scratch.port_load.assign(radix, 0);
     scratch.chosen.assign(block, radix);  // radix marks "displaced"
     for (std::uint32_t j = 0; j < block; ++j) {
-      const std::uint32_t base = (anchor + lft.variant_digit(level, j)) % radix;
+      const std::uint32_t base = base_of(j);
       if (scratch.port_ok[base] != 0) {
         scratch.chosen[j] = base;
         ++scratch.port_load[base];
@@ -190,7 +160,7 @@ RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
     for (std::uint32_t j = 0; j < block; ++j) {
       if (scratch.chosen[j] != radix) continue;
       stats.nominal = false;
-      const std::uint32_t base = (anchor + lft.variant_digit(level, j)) % radix;
+      const std::uint32_t base = base_of(j);
       std::uint32_t best = radix;
       for (std::uint32_t t = 0; t < radix; ++t) {
         const std::uint32_t port = (base + t) % radix;
@@ -204,7 +174,7 @@ RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
       ++scratch.port_load[best];
     }
     for (std::uint32_t j = 0; j < block; ++j) {
-      write_entry(j, xgft.up_link(node, scratch.chosen[j]));
+      write_entry(j, candidates[scratch.chosen[j]]);
     }
   }
   return stats;
@@ -212,11 +182,11 @@ RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
 
 Tables build_lft(const Lft& lft, const Degradation& deg,
                  RepairPolicy policy) {
-  const topo::Xgft& xgft = lft.xgft();
-  Tables tables(static_cast<std::size_t>(xgft.num_nodes()),
+  const topo::Topology& topo = lft.topology();
+  Tables tables(static_cast<std::size_t>(topo.num_nodes()),
                 std::vector<topo::LinkId>(lft.lid_end(), topo::kInvalidLink));
   RebuildScratch scratch;
-  for (std::uint64_t dst = 0; dst < xgft.num_hosts(); ++dst) {
+  for (std::uint64_t dst = 0; dst < topo.num_hosts(); ++dst) {
     rebuild_destination(lft, deg, dst, tables, scratch, policy);
   }
   return tables;

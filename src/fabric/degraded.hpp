@@ -3,21 +3,20 @@
 // rebuild (build_lft) and the fabric manager's incremental repair
 // (fm::FabricManager), which is defined to be entry-for-entry identical.
 //
-// Model.  Minimal up*/down* routing survives degradation as follows.
+// Model.  Candidate-respecting routing survives degradation as follows.
 // Per destination d, call a node GOOD when it can still deliver to d:
+// good(d) = 1, and any other node is good iff it is alive and some
+// candidate link (topo::Topology::candidate_links) has a live cable and a
+// good far endpoint.  Topology::repair_order lists nodes so one pass
+// decides everyone (on an XGFT: the destination's ancestor cone bottom-up
+// -- every ancestor descends through exactly one child, so a broken
+// descent cannot be routed around from above -- then non-ancestors top
+// level down).
 //
-//   * an ancestor of d is good iff it, the down cable of its unique
-//     descent step and the descent child are all alive and good -- in an
-//     XGFT every ancestor descends to d through exactly one child, so a
-//     broken descent cannot be routed around from above (any parent of a
-//     broken ancestor descends straight back into it);
-//   * a non-ancestor (or source host) is good iff some live up cable
-//     leads to a live good parent.
-//
-// The degraded table entry for DLID (d, j) at a non-ancestor node is
+// The degraded table entry for DLID (d, j) at a multi-candidate node is
 // decided by a REPAIR POLICY.  Variants whose healthy port p_j (the
-// d-mod-k choice perturbed by the variant digit c_l(j)) still reaches a
-// live good parent always keep it, so a healthy fabric reproduces
+// route anchor perturbed by the variant digit c_l(j)) still reaches a
+// live good candidate always keep it, so a healthy fabric reproduces
 // Lft::table_for exactly under every policy.  Variants whose healthy
 // port is broken are DISPLACED and re-homed per policy:
 //
@@ -48,7 +47,7 @@
 #include <vector>
 
 #include "fabric/lft.hpp"
-#include "topology/xgft.hpp"
+#include "topology/topology.hpp"
 
 namespace lmpr::fabric {
 
@@ -70,9 +69,9 @@ struct Degradation {
   std::vector<bool> cable_dead;  ///< size num_cables
   std::vector<bool> node_dead;   ///< size num_nodes
 
-  explicit Degradation(const topo::Xgft& xgft)
-      : cable_dead(static_cast<std::size_t>(xgft.num_cables()), false),
-        node_dead(static_cast<std::size_t>(xgft.num_nodes()), false) {}
+  explicit Degradation(const topo::Topology& topology)
+      : cable_dead(static_cast<std::size_t>(topology.num_cables()), false),
+        node_dead(static_cast<std::size_t>(topology.num_nodes()), false) {}
 
   bool cable_ok(std::uint64_t cable) const {
     return !cable_dead[static_cast<std::size_t>(cable)];
@@ -90,11 +89,12 @@ using Tables = std::vector<std::vector<topo::LinkId>>;
 
 /// Reusable per-destination buffers so repeated rebuilds do not allocate.
 struct RebuildScratch {
-  std::vector<std::uint8_t> good;       ///< per node
-  std::vector<topo::NodeId> ancestors;  ///< d's ancestor cone, by level
-  std::vector<std::uint8_t> port_ok;    ///< per up port of the current node
-  std::vector<std::uint32_t> port_load; ///< column variants per up port
-  std::vector<std::uint32_t> chosen;    ///< per variant: its assigned port
+  std::vector<std::uint8_t> good;        ///< per node: delivers to dst?
+  std::vector<topo::NodeId> order;       ///< Topology::repair_order output
+  std::vector<topo::LinkId> candidates;  ///< current node's candidate links
+  std::vector<std::uint8_t> port_ok;     ///< per candidate of current node
+  std::vector<std::uint32_t> port_load;  ///< column variants per candidate
+  std::vector<std::uint32_t> chosen;     ///< per variant: its port index
 };
 
 struct RebuildStats {

@@ -3,32 +3,22 @@
 #include <algorithm>
 #include <set>
 
-#include "core/single_path.hpp"
 #include "util/contracts.hpp"
 
 namespace lmpr::fabric {
 
-std::string_view to_string(LidLayout layout) noexcept {
-  return layout == LidLayout::kDisjointLayout ? "disjoint" : "shift";
-}
-
-std::optional<LidLayout> layout_from_string(std::string_view name) noexcept {
-  if (name == "disjoint") return LidLayout::kDisjointLayout;
-  if (name == "shift") return LidLayout::kShiftLayout;
-  return std::nullopt;
-}
-
-Lft::Lft(const topo::Xgft& xgft, std::uint64_t k_paths, LidLayout layout)
-    : xgft_(&xgft), layout_(layout) {
+Lft::Lft(const topo::Topology& topology, std::uint64_t k_paths,
+         LidLayout layout)
+    : topo_(&topology), layout_(layout) {
   LMPR_EXPECTS(k_paths >= 1);
   const std::uint64_t effective =
-      std::min<std::uint64_t>(k_paths, xgft.spec().num_top_switches());
+      std::min<std::uint64_t>(k_paths, topology.max_paths());
   while ((1ULL << lmc_) < effective) ++lmc_;
   LMPR_EXPECTS(lmc_ <= 16);  // model limit; IB caps LMC at 7
 }
 
 std::uint32_t Lft::lid_of(std::uint64_t dst, std::uint32_t j) const {
-  LMPR_EXPECTS(dst < xgft_->num_hosts());
+  LMPR_EXPECTS(dst < topo_->num_hosts());
   LMPR_EXPECTS(j < block());
   return static_cast<std::uint32_t>(1 + dst * block() + j);
 }
@@ -44,72 +34,49 @@ std::uint32_t Lft::variant_of(std::uint32_t lid) const {
 }
 
 std::uint32_t Lft::lid_end() const noexcept {
-  return static_cast<std::uint32_t>(1 + xgft_->num_hosts() * block());
+  return static_cast<std::uint32_t>(1 + topo_->num_hosts() * block());
 }
 
 std::uint32_t Lft::variant_digit(std::uint32_t level, std::uint32_t j) const {
-  const auto& spec = xgft_->spec();
-  const std::uint32_t h = xgft_->height();
-  LMPR_EXPECTS(level < h);
-  std::uint64_t rest = j;
-  if (layout_ == LidLayout::kDisjointLayout) {
-    // Bottom-up: c_1 = j mod w_1, c_2 = (j / w_1) mod w_2, ...
-    for (std::uint32_t l = 0; l < level; ++l) rest /= spec.w_at(l + 1);
-    return static_cast<std::uint32_t>(rest % spec.w_at(level + 1));
-  }
-  // Top-down: c_h = j mod w_h, c_{h-1} = (j / w_h) mod w_{h-1}, ...
-  for (std::uint32_t l = h; l > level + 1; --l) rest /= spec.w_at(l);
-  return static_cast<std::uint32_t>(rest % spec.w_at(level + 1));
+  return topo_->variant_digit(level, j, layout_);
 }
 
 topo::LinkId Lft::next_link(topo::NodeId node, std::uint32_t lid) const {
   const std::uint64_t dst = dst_of(lid);
   const std::uint32_t j = variant_of(lid);
-  const std::uint32_t level = xgft_->level_of(node);
 
-  if (xgft_->is_ancestor_of_host(node, dst)) {
-    if (level == 0) return topo::kInvalidLink;  // this IS the destination
-    return xgft_->down_link(node, xgft_->down_port_toward(node, dst));
-  }
-  // Upward: d-mod-k anchor perturbed by the variant digit.
-  const auto& spec = xgft_->spec();
-  const std::uint32_t radix = spec.w_at(level + 1);
-  const std::uint32_t anchor =
-      static_cast<std::uint32_t>((dst / xgft_->w_prefix(level)) % radix);
-  const std::uint32_t port = (anchor + variant_digit(level, j)) % radix;
-  return xgft_->up_link(node, port);
+  std::vector<topo::LinkId> candidates;
+  topo_->candidate_links(node, dst, candidates);
+  if (candidates.empty()) return topo::kInvalidLink;  // the destination
+  if (candidates.size() == 1) return candidates[0];   // forced descent
+  // Multi-candidate: anchor perturbed by the variant digit.
+  const std::uint32_t radix = static_cast<std::uint32_t>(candidates.size());
+  const std::uint32_t anchor = topo_->route_anchor(node, dst);
+  const std::uint32_t port =
+      (anchor + variant_digit(topo_->level_of(node), j)) % radix;
+  return candidates[port];
 }
 
 std::uint64_t Lft::induced_path_index(std::uint64_t src, std::uint64_t dst,
                                       std::uint32_t j) const {
-  if (src == dst) return 0;
-  const std::uint32_t nca = xgft_->nca_level(src, dst);
-  const auto& spec = xgft_->spec();
-  route::UpChoices choices(nca);
-  for (std::uint32_t l = 0; l < nca; ++l) {
-    const std::uint32_t radix = spec.w_at(l + 1);
-    const std::uint32_t anchor =
-        static_cast<std::uint32_t>((dst / xgft_->w_prefix(l)) % radix);
-    choices[l] = (anchor + variant_digit(l, j)) % radix;
-  }
-  return route::encode_path_index(spec, nca, choices);
+  return topo_->variant_path_index(src, dst, j, layout_);
 }
 
 Lft::WalkResult Lft::walk(std::uint64_t src, std::uint64_t dst,
                           std::uint32_t j) const {
   WalkResult result;
   const std::uint32_t lid = lid_of(dst, j);
-  topo::NodeId node = xgft_->host(src);
+  topo::NodeId node = topo_->host(src);
   result.path.nodes.push_back(node);
-  const std::size_t hop_limit = 4 * xgft_->height() + 2;
+  const std::size_t hop_limit = topo_->hop_limit();
   for (std::size_t hop = 0; hop <= hop_limit; ++hop) {
     const topo::LinkId link = next_link(node, lid);
     if (link == topo::kInvalidLink) {
-      result.delivered = (node == xgft_->host(dst));
+      result.delivered = (node == topo_->host(dst));
       return result;
     }
     result.path.links.push_back(link);
-    node = xgft_->link(link).dst;
+    node = topo_->link(link).dst;
     result.path.nodes.push_back(node);
   }
   return result;  // hop budget exhausted: not delivered

@@ -1,19 +1,21 @@
-// InfiniBand-style destination-based forwarding for XGFTs: LID blocks and
-// linear forwarding tables (LFTs), the mechanism that makes (limited)
-// multi-path routing deployable on real fabrics (the paper's Section 1
-// motivation; Lin et al.'s multiple-LID scheme; OpenSM's fat-tree engine).
+// InfiniBand-style destination-based forwarding: LID blocks and linear
+// forwarding tables (LFTs), the mechanism that makes (limited) multi-path
+// routing deployable on real fabrics (the paper's Section 1 motivation;
+// Lin et al.'s multiple-LID scheme; OpenSM's fat-tree engine).
 //
 // Model.  Every destination host d owns a block of 2^LMC consecutive LIDs
 // starting at lid_of(d, 0); LID lid_of(d, j) addresses "path variant j".
-// A switch forwards by DLID alone: the variant digit c_l(j) perturbs the
-// d-mod-k upward choice at level l,
+// A switch forwards by DLID alone: at a node with more than one candidate
+// link toward d, the variant digit c_l(j) perturbs the topology's route
+// anchor (the d-mod-k upward choice on an XGFT),
 //
-//     up_port_l(d, j) = (dmodk_l(d) + c_l(j)) mod w_{l+1},
+//     port_l(d, j) = (anchor_l(d) + c_l(j)) mod radix,
 //
-// and the downward leg is the unique descent to d.  Because the rule
-// depends only on (d, j, level), the induced routing is destination-based
-// by construction -- every switch can hold it as a plain DLID-indexed
-// table (materializable via table_for()).
+// while single-candidate nodes (the unique descent of a fat-tree ancestor)
+// forward unconditionally.  Because the rule depends only on (d, j, node),
+// the induced routing is destination-based by construction -- every switch
+// can hold it as a plain DLID-indexed table (materializable via
+// table_for()).
 //
 // Two LID layouts decide which level the variant digit j perturbs first:
 //
@@ -37,18 +39,15 @@
 #include <vector>
 
 #include "core/path_index.hpp"
-#include "topology/xgft.hpp"
+#include "topology/topology.hpp"
 
 namespace lmpr::fabric {
 
-enum class LidLayout {
-  kDisjointLayout,
-  kShiftLayout,
-};
-
-/// "disjoint" / "shift" -- the spelling `lmpr fm --layout` accepts.
-std::string_view to_string(LidLayout layout) noexcept;
-std::optional<LidLayout> layout_from_string(std::string_view name) noexcept;
+// The layout enum lives with the topology realizability hooks; these
+// aliases keep the historical fabric:: spellings working.
+using topo::LidLayout;
+using topo::layout_from_string;
+using topo::to_string;
 
 /// A fabric-wide LID assignment + the (functional) forwarding tables it
 /// induces.  Forwarding queries are O(h); explicit per-switch tables can
@@ -58,9 +57,10 @@ class Lft {
   /// `k_paths` is the path limit the fabric must support; the LID block
   /// size is 2^LMC with LMC = ceil(log2(min(k_paths, max paths))), as on
   /// InfiniBand.
-  Lft(const topo::Xgft& xgft, std::uint64_t k_paths, LidLayout layout);
+  Lft(const topo::Topology& topology, std::uint64_t k_paths,
+      LidLayout layout);
 
-  const topo::Xgft& xgft() const noexcept { return *xgft_; }
+  const topo::Topology& topology() const noexcept { return *topo_; }
   LidLayout layout() const noexcept { return layout_; }
   std::uint32_t lmc() const noexcept { return lmc_; }
   /// LIDs per destination (2^LMC).
@@ -94,8 +94,8 @@ class Lft {
     route::Path path;  ///< hop-by-hop record of the forwarding decisions
   };
   /// Follows the forwarding tables from src toward lid_of(dst, j); gives
-  /// up (delivered = false) after 4h+2 hops, which cannot happen on a
-  /// well-formed fabric.
+  /// up (delivered = false) after the topology's hop limit, which cannot
+  /// happen on a well-formed fabric.
   WalkResult walk(std::uint64_t src, std::uint64_t dst,
                   std::uint32_t j) const;
 
@@ -112,7 +112,7 @@ class Lft {
   std::vector<topo::LinkId> table_for(topo::NodeId node) const;
 
  private:
-  const topo::Xgft* xgft_;
+  const topo::Topology* topo_;
   LidLayout layout_;
   std::uint32_t lmc_ = 0;
 };

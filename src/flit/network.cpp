@@ -18,9 +18,9 @@ Network::Network(const route::RouteTable* table, const fabric::Lft* lft,
     : table_(table),
       lft_(lft),
       lft_tables_(tables),
-      xgft_(table != nullptr ? &table->xgft() : &lft->xgft()),
+      topo_(table != nullptr ? &table->topology() : &lft->topology()),
       config_(config),
-      num_hosts_(xgft_->num_hosts()),
+      num_hosts_(topo_->num_hosts()),
       active_sets_(!config.reference_kernel),
       lft_mode_(lft != nullptr),
       windowed_(config.window_metrics),
@@ -37,21 +37,21 @@ Network::Network(const route::RouteTable* table, const fabric::Lft* lft,
     // the routing function.
     LMPR_EXPECTS(config_.routing_mode == RoutingMode::kOblivious);
     LMPR_EXPECTS(lft_tables_->size() ==
-                 static_cast<std::size_t>(xgft_->num_nodes()));
-    link_enabled_.assign(static_cast<std::size_t>(xgft_->num_links()), 1);
-    switch_dead_.assign(static_cast<std::size_t>(xgft_->num_nodes()), 0);
+                 static_cast<std::size_t>(topo_->num_nodes()));
+    link_enabled_.assign(static_cast<std::size_t>(topo_->num_links()), 1);
+    switch_dead_.assign(static_cast<std::size_t>(topo_->num_nodes()), 0);
   }
   if (windowed_) {
-    window_link_flits_.assign(static_cast<std::size_t>(xgft_->num_links()),
+    window_link_flits_.assign(static_cast<std::size_t>(topo_->num_links()),
                               0);
   }
 
   const std::size_t channels =
-      static_cast<std::size_t>(xgft_->num_links()) * config_.num_vcs;
+      static_cast<std::size_t>(topo_->num_links()) * config_.num_vcs;
   inputs_.resize(channels);
   outputs_.resize(channels);
   for (OutputChannel& out : outputs_) out.credits = config_.buffer_packets;
-  links_.resize(static_cast<std::size_t>(xgft_->num_links()));
+  links_.resize(static_cast<std::size_t>(topo_->num_links()));
   if (active_sets_) {
     input_active_.assign(channels, 0);
     link_active_.assign(links_.size(), 0);
@@ -63,10 +63,10 @@ Network::Network(const route::RouteTable* table, const fabric::Lft* lft,
   link_node_.resize(links_.size());
   link_terminal_.resize(links_.size());
   for (std::size_t id = 0; id < links_.size(); ++id) {
-    const topo::Link& link = xgft_->link(static_cast<topo::LinkId>(id));
+    const topo::Link& link = topo_->link(static_cast<topo::LinkId>(id));
     link_node_[id] = link.dst;
     link_terminal_[id] =
-        static_cast<std::uint8_t>(!link.up && xgft_->is_host(link.dst));
+        static_cast<std::uint8_t>(topo_->is_host(link.dst));
   }
 
   source_queue_.resize(static_cast<std::size_t>(num_hosts_));
@@ -99,7 +99,7 @@ Network::Network(const route::RouteTable* table, const fabric::Lft* lft,
       static_cast<std::size_t>(num_hosts_) * static_cast<std::size_t>(num_hosts_);
   flow_next_seq_.assign(flows, 0);
   flow_max_delivered_.assign(flows, 0);
-  link_flits_.assign(static_cast<std::size_t>(xgft_->num_links()), 0);
+  link_flits_.assign(static_cast<std::size_t>(topo_->num_links()), 0);
 }
 
 Network::PacketId Network::alloc_packet() {
@@ -316,20 +316,21 @@ void Network::generate_message(std::uint64_t host, Cycle now) {
   }
 }
 
-topo::LinkId Network::adaptive_uplink(topo::NodeId node, const Packet& packet,
-                                      Cycle now) const {
-  const std::uint32_t parents = xgft_->num_parents(node);
-  LMPR_ASSERT(parents > 0);
+topo::LinkId Network::adaptive_route(topo::NodeId node, const Packet& packet,
+                                     Cycle now) const {
+  topo_->candidate_links(node, packet.dst, route_scratch_);
+  const std::size_t count = route_scratch_.size();
+  LMPR_ASSERT(count > 0);  // only the destination host has no way forward
+  if (count == 1) return route_scratch_[0];  // forced hop (e.g. descent)
   topo::LinkId best = topo::kInvalidLink;
   std::uint64_t best_score = 0;
   // Rotating tie-break keeps the choice fair across cycles.
-  for (std::uint32_t i = 0; i < parents; ++i) {
-    const std::uint32_t j =
-        static_cast<std::uint32_t>((i + now) % parents);
-    const topo::LinkId link = xgft_->up_link(node, j);
+  for (std::size_t i = 0; i < count; ++i) {
+    const topo::LinkId link =
+        route_scratch_[static_cast<std::size_t>((i + now) % count)];
     const OutputChannel& out = outputs_[channel(link, packet.vc)];
     // Prefer downstream credit headroom, then free output slots, then an
-    // idle physical channel: 'least congested uplink first'.
+    // idle physical channel: 'least congested candidate first'.
     const std::uint64_t score =
         1 + out.credits * 4ull +
         (config_.buffer_packets - out.occupancy) * 2ull +
@@ -353,11 +354,7 @@ topo::LinkId Network::route_output(topo::NodeId node, const Packet& packet,
   if (config_.routing_mode == RoutingMode::kOblivious) {
     return packet.path->links[packet.hop];
   }
-  if (xgft_->is_ancestor_of_host(node, packet.dst)) {
-    LMPR_ASSERT(xgft_->level_of(node) >= 1);  // hosts never route packets
-    return xgft_->down_link(node, xgft_->down_port_toward(node, packet.dst));
-  }
-  return adaptive_uplink(node, packet, now);
+  return adaptive_route(node, packet, now);
 }
 
 void Network::inject(Cycle now) {
@@ -374,7 +371,7 @@ void Network::inject(Cycle now) {
       // Undeliverable head-of-queue packets (entry dead, no salvageable
       // variant) drop instead of jamming the NIC; the first routable
       // packet then gets the cycle's injection slot.
-      const topo::NodeId src_node = xgft_->host(host);
+      const topo::NodeId src_node = topo_->host(host);
       while (!queue.empty()) {
         const PacketId pkt_id = queue.front();
         Packet& pkt = packets_[pkt_id];
@@ -405,7 +402,7 @@ void Network::inject(Cycle now) {
     const topo::LinkId link =
         config_.routing_mode == RoutingMode::kOblivious
             ? pkt.path->links[0]
-            : adaptive_uplink(xgft_->host(host), pkt, now);
+            : adaptive_route(topo_->host(host), pkt, now);
     OutputChannel& out = outputs_[channel(link, pkt.vc)];
     if (out.occupancy >= config_.buffer_packets) continue;
     queue.pop_front();
@@ -436,7 +433,7 @@ void Network::crossbar_reference(Cycle now) {
     if (in.fifo.empty()) continue;
     const auto in_link =
         static_cast<topo::LinkId>(idx / config_.num_vcs);
-    const topo::NodeId node = xgft_->link(in_link).dst;
+    const topo::NodeId node = topo_->link(in_link).dst;
     // Buffered-crossbar input stage: ANY buffered packet whose head has
     // arrived may be switched, not only the FIFO head.  At most one grant
     // per input channel and per output link per cycle.
@@ -556,7 +553,7 @@ void Network::transmit(PacketId pkt_id, ChannelId ch, topo::LinkId link_idx,
   if (link_terminal_[link_idx]) {
     // Downstream is the destination host: the packet completes when
     // its tail flit lands; the host input slot frees one cycle later.
-    LMPR_ASSERT(xgft_->link(link_idx).dst == xgft_->host(pkt.dst));
+    LMPR_ASSERT(topo_->link(link_idx).dst == topo_->host(pkt.dst));
     pkt.terminal_link = link_idx;
     const Cycle done = now + config_.packet_flits;  // (now+1) + F - 1
     schedule(done, Event{EventKind::kDeliver, pkt_id});
@@ -691,15 +688,15 @@ SimMetrics Network::finalize() {
                                  metrics_.packets_delivered -
                                  metrics_.packets_dropped;
   // Per-level utilization aggregation.
-  const std::uint32_t height = xgft_->height();
-  metrics_.mean_up_utilization.assign(height, 0.0);
-  metrics_.mean_down_utilization.assign(height, 0.0);
-  metrics_.max_up_utilization.assign(height, 0.0);
-  metrics_.max_down_utilization.assign(height, 0.0);
-  std::vector<std::uint64_t> up_count(height, 0);
-  std::vector<std::uint64_t> down_count(height, 0);
+  const std::uint32_t levels = topo_->num_levels();
+  metrics_.mean_up_utilization.assign(levels, 0.0);
+  metrics_.mean_down_utilization.assign(levels, 0.0);
+  metrics_.max_up_utilization.assign(levels, 0.0);
+  metrics_.max_down_utilization.assign(levels, 0.0);
+  std::vector<std::uint64_t> up_count(levels, 0);
+  std::vector<std::uint64_t> down_count(levels, 0);
   for (std::size_t id = 0; id < link_flits_.size(); ++id) {
-    const topo::Link& link = xgft_->link(static_cast<topo::LinkId>(id));
+    const topo::Link& link = topo_->link(static_cast<topo::LinkId>(id));
     const double util = static_cast<double>(link_flits_[id]) /
                         static_cast<double>(config_.measure_cycles);
     auto& mean = link.up ? metrics_.mean_up_utilization
@@ -711,7 +708,7 @@ SimMetrics Network::finalize() {
     peak[link.level] = std::max(peak[link.level], util);
     ++count[link.level];
   }
-  for (std::uint32_t l = 0; l < height; ++l) {
+  for (std::uint32_t l = 0; l < levels; ++l) {
     if (up_count[l] > 0) {
       metrics_.mean_up_utilization[l] /= static_cast<double>(up_count[l]);
     }
@@ -843,11 +840,11 @@ Network::FaultStats Network::take_link_down(topo::LinkId link) {
   const std::uint64_t dropped_before = metrics_.packets_dropped;
   const std::uint64_t rerouted_before = metrics_.packets_rerouted;
   link_enabled_[link] = 0;
-  const topo::Link& edge = xgft_->link(link);
+  const topo::Link& edge = topo_->link(link);
   const bool src_dead =
-      !xgft_->is_host(edge.src) && switch_dead_[edge.src] != 0;
+      !topo_->is_host(edge.src) && switch_dead_[edge.src] != 0;
   const bool dst_dead =
-      !xgft_->is_host(edge.dst) && switch_dead_[edge.dst] != 0;
+      !topo_->is_host(edge.dst) && switch_dead_[edge.dst] != 0;
   for (std::uint32_t vc = 0; vc < config_.num_vcs; ++vc) {
     const ChannelId ch = channel(link, vc);
     // Packets queued at the upstream node but not yet departed: re-home
@@ -884,14 +881,14 @@ void Network::bring_link_up(topo::LinkId link) {
 void Network::set_switch_state(topo::NodeId node, bool alive) {
   LMPR_EXPECTS(lft_mode_);
   LMPR_EXPECTS(!in_cycle_);
-  LMPR_EXPECTS(!xgft_->is_host(node));
+  LMPR_EXPECTS(!topo_->is_host(node));
   switch_dead_[node] = alive ? 0 : 1;
 }
 
 void Network::set_tables(const fabric::Tables& tables) {
   LMPR_EXPECTS(lft_mode_);
   LMPR_EXPECTS(!in_cycle_);
-  LMPR_EXPECTS(tables.size() == static_cast<std::size_t>(xgft_->num_nodes()));
+  LMPR_EXPECTS(tables.size() == static_cast<std::size_t>(topo_->num_nodes()));
   lft_tables_ = &tables;
   if (!active_sets_) return;
   // Refresh the routing snapshots the active crossbar scans so the

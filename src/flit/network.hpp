@@ -66,7 +66,7 @@
 #include "fabric/degraded.hpp"
 #include "flit/config.hpp"
 #include "flit/metrics.hpp"
-#include "topology/xgft.hpp"
+#include "topology/topology.hpp"
 #include "util/rng.hpp"
 
 namespace lmpr::flit {
@@ -284,12 +284,13 @@ class Network {
   void purge_pending_delivers(topo::LinkId link);
 
   /// Output link the packet must leave `node` on.  Oblivious: the next
-  /// path hop.  Adaptive: deterministic descent when `node` covers the
-  /// destination, otherwise the upward port with the best credit score.
+  /// path hop.  Adaptive: among the topology's candidate links toward the
+  /// destination, a forced hop routes deterministically and a multi-way
+  /// choice goes to the candidate with the best credit score.
   topo::LinkId route_output(topo::NodeId node, const Packet& packet,
                             Cycle now) const;
-  topo::LinkId adaptive_uplink(topo::NodeId node, const Packet& packet,
-                               Cycle now) const;
+  topo::LinkId adaptive_route(topo::NodeId node, const Packet& packet,
+                              Cycle now) const;
 
   ChannelId channel(topo::LinkId link, std::uint32_t vc) const {
     return static_cast<ChannelId>(link * config_.num_vcs + vc);
@@ -313,7 +314,7 @@ class Network {
   const route::RouteTable* table_;
   const fabric::Lft* lft_;             ///< null outside LFT mode
   const fabric::Tables* lft_tables_;   ///< current forwarding state
-  const topo::Xgft* xgft_;
+  const topo::Topology* topo_;
   SimConfig config_;
   std::uint64_t num_hosts_;
   bool active_sets_;        ///< !config_.reference_kernel
@@ -338,11 +339,14 @@ class Network {
 
   /// Hot-loop lookup tables (active kernel): channel -> link avoids the
   /// runtime division by num_vcs, link -> switching node avoids the Link
-  /// indirection, and link -> is-terminal-hop folds the (down && host)
+  /// indirection, and link -> is-terminal-hop folds the lands-at-a-host
   /// test into one byte.  Pure functions of the topology.
   std::vector<topo::LinkId> channel_link_;
   std::vector<topo::NodeId> link_node_;
   std::vector<std::uint8_t> link_terminal_;
+  /// Scratch for adaptive routing's candidate query (route_output is
+  /// called from const phases, hence mutable).
+  mutable std::vector<topo::LinkId> route_scratch_;
 
   /// Per-host injection state.
   std::vector<std::deque<PacketId>> source_queue_;

@@ -7,8 +7,8 @@
 
 namespace lmpr::flow {
 
-LoadEvaluator::LoadEvaluator(const topo::Xgft& xgft)
-    : xgft_(&xgft), loads_(xgft.num_links(), 0.0) {}
+LoadEvaluator::LoadEvaluator(const topo::Topology& topology)
+    : topo_(&topology), loads_(topology.num_links(), 0.0) {}
 
 void LoadEvaluator::reset() {
   std::fill(loads_.begin(), loads_.end(), 0.0);
@@ -16,15 +16,15 @@ void LoadEvaluator::reset() {
 
 LoadResult LoadEvaluator::finish() {
   LoadResult result;
-  result.max_up_load_per_level.assign(xgft_->height(), 0.0);
-  result.max_down_load_per_level.assign(xgft_->height(), 0.0);
+  result.max_up_load_per_level.assign(topo_->num_levels(), 0.0);
+  result.max_down_load_per_level.assign(topo_->num_levels(), 0.0);
   for (std::size_t id = 0; id < loads_.size(); ++id) {
     const double load = loads_[id];
     if (load > result.max_load) {
       result.max_load = load;
       result.argmax = static_cast<topo::LinkId>(id);
     }
-    const topo::Link& link = xgft_->link(static_cast<topo::LinkId>(id));
+    const topo::Link& link = topo_->link(static_cast<topo::LinkId>(id));
     auto& per_level = link.up ? result.max_up_load_per_level
                               : result.max_down_load_per_level;
     per_level[link.level] = std::max(per_level[link.level], load);
@@ -67,7 +67,7 @@ const LoadEvaluator::FlowSpan* LoadEvaluator::cached_flow(
     cache_k_ = k_paths;
     cache_valid_ = true;
   }
-  const std::uint64_t flow = src * xgft_->num_hosts() + dst;
+  const std::uint64_t flow = src * topo_->num_hosts() + dst;
   const auto hit = cache_spans_.find(flow);
   if (hit != cache_spans_.end()) return &hit->second;
   if (cache_links_.size() >= kCacheLinkBudget) return nullptr;
@@ -75,13 +75,13 @@ const LoadEvaluator::FlowSpan* LoadEvaluator::cached_flow(
   // Miss: derive the paths once (deterministic heuristics only, so the
   // dummy RNG is never consulted) and append their links to the arena.
   util::Rng unused{0};
-  const auto indices = route::select_path_indices(*xgft_, src, dst, k_paths,
+  const auto indices = route::select_path_indices(*topo_, src, dst, k_paths,
                                                   heuristic, unused);
   FlowSpan span;
   span.begin = cache_links_.size();
   span.num_paths = static_cast<std::uint32_t>(indices.size());
   for (const std::uint64_t index : indices) {
-    route::append_path_links(*xgft_, src, dst, index, cache_links_);
+    route::append_path_links(*topo_, src, dst, index, cache_links_);
   }
   span.length =
       static_cast<std::uint32_t>(cache_links_.size() - span.begin);
@@ -91,7 +91,7 @@ const LoadEvaluator::FlowSpan* LoadEvaluator::cached_flow(
 LoadResult LoadEvaluator::evaluate(const TrafficMatrix& tm,
                                    route::Heuristic heuristic,
                                    std::size_t k_paths, util::Rng& rng) {
-  LMPR_EXPECTS(tm.num_hosts() == xgft_->num_hosts());
+  LMPR_EXPECTS(tm.num_hosts() == topo_->num_hosts());
   reset();
   const bool use_cache = cache_enabled_ && !is_randomized(heuristic);
   for (const Demand& demand : tm.demands()) {
@@ -112,12 +112,12 @@ LoadResult LoadEvaluator::evaluate(const TrafficMatrix& tm,
       }
     }
     const auto indices = route::select_path_indices(
-        *xgft_, demand.src, demand.dst, k_paths, heuristic, rng);
+        *topo_, demand.src, demand.dst, k_paths, heuristic, rng);
     const double fraction =
         demand.amount / static_cast<double>(indices.size());
     for (const std::uint64_t index : indices) {
       scratch_links_.clear();
-      route::append_path_links(*xgft_, demand.src, demand.dst, index,
+      route::append_path_links(*topo_, demand.src, demand.dst, index,
                                scratch_links_);
       for (const topo::LinkId link : scratch_links_) {
         loads_[link] += fraction;
@@ -129,7 +129,7 @@ LoadResult LoadEvaluator::evaluate(const TrafficMatrix& tm,
 
 LoadResult LoadEvaluator::evaluate(const TrafficMatrix& tm,
                                    const route::RouteTable& table) {
-  LMPR_EXPECTS(tm.num_hosts() == xgft_->num_hosts());
+  LMPR_EXPECTS(tm.num_hosts() == topo_->num_hosts());
   reset();
   for (const Demand& demand : tm.demands()) {
     if (demand.src == demand.dst || demand.amount == 0.0) continue;

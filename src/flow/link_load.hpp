@@ -11,7 +11,7 @@
 #include "core/heuristics.hpp"
 #include "core/route_table.hpp"
 #include "flow/traffic.hpp"
-#include "topology/xgft.hpp"
+#include "topology/topology.hpp"
 #include "util/rng.hpp"
 
 namespace lmpr::flow {
@@ -30,7 +30,7 @@ struct LoadResult {
 /// (thousands of permutations) do not reallocate.
 class LoadEvaluator {
  public:
-  explicit LoadEvaluator(const topo::Xgft& xgft);
+  explicit LoadEvaluator(const topo::Topology& topology);
 
   /// Evaluates MLOAD for the heuristic with path limit `k_paths`.
   /// `rng` feeds the randomized heuristics only.
@@ -64,7 +64,7 @@ class LoadEvaluator {
   /// Per-link loads of the most recent evaluate() call.
   const std::vector<double>& link_loads() const noexcept { return loads_; }
 
-  const topo::Xgft& xgft() const noexcept { return *xgft_; }
+  const topo::Topology& topology() const noexcept { return *topo_; }
 
   /// Disables (or re-enables) the deterministic-heuristic path cache;
   /// exists for the cache-equality tests and A/B benchmarking.  Disabling
@@ -87,7 +87,7 @@ class LoadEvaluator {
                               route::Heuristic heuristic,
                               std::size_t k_paths);
 
-  const topo::Xgft* xgft_;
+  const topo::Topology* topo_;
   std::vector<double> loads_;
   std::vector<topo::LinkId> scratch_links_;
 

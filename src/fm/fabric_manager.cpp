@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <set>
+#include <stdexcept>
 
+#include "topology/generic.hpp"
 #include "util/contracts.hpp"
 
 namespace lmpr::fm {
@@ -20,31 +22,32 @@ std::uint64_t pair_key(topo::NodeId u, topo::NodeId v) {
 
 /// Follows `tables` from src toward lid_of(dst, j), appending the links
 /// taken; returns whether the walk reached the destination host.
-bool walk_tables(const topo::Xgft& xgft, const fabric::Lft& lft,
+bool walk_tables(const topo::Topology& topology, const fabric::Lft& lft,
                  const fabric::Tables& tables, std::uint64_t src,
                  std::uint64_t dst, std::uint32_t j,
                  std::vector<topo::LinkId>& links) {
   links.clear();
   if (src == dst) return true;
   const std::uint32_t lid = lft.lid_of(dst, j);
-  const topo::NodeId target = xgft.host(dst);
-  topo::NodeId node = xgft.host(src);
-  const std::size_t hop_limit = 4 * xgft.height() + 2;
+  const topo::NodeId target = topology.host(dst);
+  topo::NodeId node = topology.host(src);
+  const std::size_t hop_limit = topology.hop_limit();
   for (std::size_t hop = 0; hop <= hop_limit; ++hop) {
     const topo::LinkId link = tables[node][lid];
     if (link == topo::kInvalidLink) return node == target;
     links.push_back(link);
-    node = xgft.link(link).dst;
+    node = topology.link(link).dst;
   }
   return false;  // hop budget exhausted: cannot happen
 }
 
 }  // namespace
 
-double reference_max_load(const topo::Xgft& xgft, const fabric::Lft& lft,
+double reference_max_load(const topo::Topology& topology,
+                          const fabric::Lft& lft,
                           const fabric::Tables& tables,
                           flow::LoadEvaluator& eval) {
-  const std::uint64_t hosts = xgft.num_hosts();
+  const std::uint64_t hosts = topology.num_hosts();
   if (hosts < 2) return 0.0;
   // Reference permutation: cyclic shift by half the fabric, so every
   // demand crosses the upper levels.
@@ -55,25 +58,26 @@ double reference_max_load(const topo::Xgft& xgft, const fabric::Lft& lft,
     const std::uint64_t d = (s + shift) % hosts;
     std::uint32_t usable = 0;
     for (std::uint32_t j = 0; j < lft.block(); ++j) {
-      usable += walk_tables(xgft, lft, tables, s, d, j, links);
+      usable += walk_tables(topology, lft, tables, s, d, j, links);
     }
     if (usable == 0) continue;  // disconnected pair: no load placed
     const double fraction = 1.0 / static_cast<double>(usable);
     for (std::uint32_t j = 0; j < lft.block(); ++j) {
-      if (!walk_tables(xgft, lft, tables, s, d, j, links)) continue;
+      if (!walk_tables(topology, lft, tables, s, d, j, links)) continue;
       for (const topo::LinkId link : links) eval.add_load(link, fraction);
     }
   }
   return eval.end().max_load;
 }
 
-double reference_max_load(const topo::Xgft& xgft, const fabric::Lft& lft,
+double reference_max_load(const topo::Topology& topology,
+                          const fabric::Lft& lft,
                           const fabric::Tables& tables) {
-  flow::LoadEvaluator eval{xgft};
-  return reference_max_load(xgft, lft, tables, eval);
+  flow::LoadEvaluator eval{topology};
+  return reference_max_load(topology, lft, tables, eval);
 }
 
-fabric::Tables build_managed_tables(const topo::Xgft& xgft,
+fabric::Tables build_managed_tables(const topo::Topology& topology,
                                     const fabric::Lft& lft,
                                     const fabric::Degradation& degradation,
                                     fabric::RepairPolicy policy) {
@@ -81,9 +85,9 @@ fabric::Tables build_managed_tables(const topo::Xgft& xgft,
   if (policy == fabric::RepairPolicy::kFirstSurviving) return own;
   fabric::Tables first = fabric::build_lft(
       lft, degradation, fabric::RepairPolicy::kFirstSurviving);
-  flow::LoadEvaluator eval{xgft};
-  const double own_load = reference_max_load(xgft, lft, own, eval);
-  const double first_load = reference_max_load(xgft, lft, first, eval);
+  flow::LoadEvaluator eval{topology};
+  const double own_load = reference_max_load(topology, lft, own, eval);
+  const double first_load = reference_max_load(topology, lft, first, eval);
   return own_load <= first_load ? own : first;
 }
 
@@ -93,18 +97,28 @@ FabricManager::FabricManager(const discovery::RawFabric& fabric,
   LMPR_EXPECTS(config.k_paths >= 1);
   LMPR_EXPECTS(config.full_rebuild_threshold > 0.0);
   const auto recognition = discovery::recognize_xgft(fabric);
-  if (!recognition.ok) {
+  if (recognition.ok) {
+    canonical_ = recognition.canonical;
+    topo_ = std::make_unique<topo::Xgft>(recognition.spec);
+  } else if (config.allow_generic) {
+    try {
+      auto generic = std::make_unique<topo::GenericGraphTopology>(fabric);
+      canonical_ = generic->canonical();
+      topo_ = std::move(generic);
+    } catch (const std::exception& e) {
+      error_ = std::string{"generic topology rejected: "} + e.what();
+      return;
+    }
+  } else {
     error_ = "fabric not recognized as an XGFT: " + recognition.error;
     return;
   }
-  canonical_ = recognition.canonical;
-  xgft_ = std::make_unique<topo::Xgft>(recognition.spec);
-  lft_ = std::make_unique<fabric::Lft>(*xgft_, config.k_paths, config.layout);
-  degradation_ = std::make_unique<fabric::Degradation>(*xgft_);
-  load_eval_ = std::make_unique<flow::LoadEvaluator>(*xgft_);
+  lft_ = std::make_unique<fabric::Lft>(*topo_, config.k_paths, config.layout);
+  degradation_ = std::make_unique<fabric::Degradation>(*topo_);
+  load_eval_ = std::make_unique<flow::LoadEvaluator>(*topo_);
   tables_ = fabric::build_lft(*lft_, *degradation_, config.repair_policy);
   index_cables();
-  const std::size_t hosts = static_cast<std::size_t>(xgft_->num_hosts());
+  const std::size_t hosts = static_cast<std::size_t>(topo_->num_hosts());
   degraded_.assign(hosts, false);
   disconnected_sources_.assign(hosts, 0);
   rebuild_use_counts();
@@ -123,10 +137,15 @@ FabricManager::FabricManager(const topo::XgftSpec& spec,
                              const FmConfig& config)
     : FabricManager(discovery::export_fabric(topo::Xgft{spec}), config) {}
 
+const topo::Xgft& FabricManager::xgft() const {
+  LMPR_EXPECTS(topo_ != nullptr && topo_->kind() == "xgft");
+  return static_cast<const topo::Xgft&>(*topo_);
+}
+
 void FabricManager::index_cables() {
-  cable_index_.reserve(static_cast<std::size_t>(xgft_->num_cables()));
-  for (std::uint64_t c = 0; c < xgft_->num_cables(); ++c) {
-    const topo::Link& link = xgft_->link(static_cast<topo::LinkId>(c));
+  cable_index_.reserve(static_cast<std::size_t>(topo_->num_cables()));
+  for (std::uint64_t c = 0; c < topo_->num_cables(); ++c) {
+    const topo::Link& link = topo_->link(static_cast<topo::LinkId>(c));
     cable_index_[pair_key(link.src, link.dst)] = c;
   }
 }
@@ -139,10 +158,10 @@ std::uint64_t FabricManager::cable_between(topo::NodeId u,
 
 void FabricManager::rebuild_use_counts() {
   use_counts_.assign(
-      static_cast<std::size_t>(xgft_->num_cables()),
-      std::vector<std::uint32_t>(static_cast<std::size_t>(xgft_->num_hosts()),
+      static_cast<std::size_t>(topo_->num_cables()),
+      std::vector<std::uint32_t>(static_cast<std::size_t>(topo_->num_hosts()),
                                  0));
-  for (std::uint64_t dst = 0; dst < xgft_->num_hosts(); ++dst) {
+  for (std::uint64_t dst = 0; dst < topo_->num_hosts(); ++dst) {
     adjust_use(dst, +1);
   }
 }
@@ -155,7 +174,7 @@ void FabricManager::adjust_use(std::uint64_t dst, int delta) {
       const topo::LinkId entry = row[first + j];
       if (entry == topo::kInvalidLink) continue;
       auto& count =
-          use_counts_[static_cast<std::size_t>(xgft_->cable_of(entry))]
+          use_counts_[static_cast<std::size_t>(topo_->cable_of(entry))]
                      [static_cast<std::size_t>(dst)];
       if (delta > 0) {
         ++count;
@@ -170,7 +189,7 @@ void FabricManager::adjust_use(std::uint64_t dst, int delta) {
 void FabricManager::repair(const std::vector<std::uint64_t>& affected,
                            EventRecord& record) {
   if (affected.empty()) return;
-  const std::uint64_t hosts = xgft_->num_hosts();
+  const std::uint64_t hosts = topo_->num_hosts();
   const bool full =
       static_cast<double>(affected.size()) >=
       config_.full_rebuild_threshold * static_cast<double>(hosts);
@@ -221,23 +240,23 @@ void FabricManager::finish_topology_event(EventRecord& record) {
     // spread).  Both loads are pure functions of the degradation state,
     // so the winner is too.
     const double own_load =
-        reference_max_load(*xgft_, *lft_, tables_, *load_eval_);
+        reference_max_load(*topo_, *lft_, tables_, *load_eval_);
     const double shadow_load =
-        reference_max_load(*xgft_, *lft_, shadow_->tables_, *load_eval_);
+        reference_max_load(*topo_, *lft_, shadow_->tables_, *load_eval_);
     prefer_own_ = own_load <= shadow_load;
     if (config_.track_link_load) {
       record.max_link_load = prefer_own_ ? own_load : shadow_load;
     }
   } else if (config_.track_link_load) {
     record.max_link_load =
-        reference_max_load(*xgft_, *lft_, tables_, *load_eval_);
+        reference_max_load(*topo_, *lft_, tables_, *load_eval_);
   }
 }
 
 FabricManager::Walk FabricManager::walk(std::uint64_t src, std::uint64_t dst,
                                         std::uint32_t j) const {
   Walk result;
-  result.delivered = walk_tables(*xgft_, *lft_, tables(), src, dst, j,
+  result.delivered = walk_tables(*topo_, *lft_, tables(), src, dst, j,
                                  result.links);
   return result;
 }
@@ -311,7 +330,7 @@ EventRecord FabricManager::apply(const Event& event) {
     case EventType::kSwitchUp: {
       topo::NodeId node = 0;
       if (!resolve(event.a, node)) return record;
-      if (xgft_->is_host(node)) {
+      if (topo_->is_host(node)) {
         record.ok = false;
         record.error = "node " + std::to_string(event.a) +
                        " is a host, not a switch";
@@ -326,10 +345,10 @@ EventRecord FabricManager::apply(const Event& event) {
         if (down) {
           // Destinations routed over any cable incident to the switch.
           std::vector<bool> seen(
-              static_cast<std::size_t>(xgft_->num_hosts()), false);
+              static_cast<std::size_t>(topo_->num_hosts()), false);
           const auto mark_cable = [&](topo::LinkId link) {
             const auto& uses =
-                use_counts_[static_cast<std::size_t>(xgft_->cable_of(link))];
+                use_counts_[static_cast<std::size_t>(topo_->cable_of(link))];
             for (std::uint64_t d = 0; d < uses.size(); ++d) {
               if (uses[static_cast<std::size_t>(d)] > 0 &&
                   !seen[static_cast<std::size_t>(d)]) {
@@ -338,12 +357,9 @@ EventRecord FabricManager::apply(const Event& event) {
               }
             }
           };
-          for (std::uint32_t p = 0; p < xgft_->num_parents(node); ++p) {
-            mark_cable(xgft_->up_link(node, p));
-          }
-          for (std::uint32_t c = 0; c < xgft_->num_children(node); ++c) {
-            mark_cable(xgft_->down_link(node, c));
-          }
+          std::vector<topo::LinkId> incident;
+          topo_->out_links(node, incident);
+          for (const topo::LinkId link : incident) mark_cable(link);
           std::sort(affected.begin(), affected.end());
         } else {
           // Healing can only improve destinations that currently deviate
@@ -366,7 +382,7 @@ EventRecord FabricManager::apply(const Event& event) {
       topo::NodeId src = 0;
       topo::NodeId dst = 0;
       if (!resolve(event.a, src) || !resolve(event.b, dst)) return record;
-      if (!xgft_->is_host(src) || !xgft_->is_host(dst)) {
+      if (!topo_->is_host(src) || !topo_->is_host(dst)) {
         record.ok = false;
         record.error = "query endpoints must be hosts";
         return record;

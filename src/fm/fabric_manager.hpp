@@ -1,7 +1,9 @@
 // The fabric-manager subsystem: the long-running control loop a real
 // subnet manager runs on top of the static machinery in this repo.  It
 // ingests a RawFabric exactly as a subnet manager sees one (opaque ids +
-// cables), PROVES it is an XGFT via discovery::recognize_xgft, installs
+// cables), PROVES it is an XGFT via discovery::recognize_xgft (or, when
+// FmConfig::allow_generic is set, falls back to a BFS-layered
+// topo::GenericGraphTopology for fabrics that are not XGFTs), installs
 // multipath LFTs for a path limit K (fabric::Lft, either LID layout),
 // and then consumes a deterministic event stream (fm/events.hpp).
 //
@@ -62,6 +64,7 @@
 #include "fabric/lft.hpp"
 #include "flow/link_load.hpp"
 #include "fm/events.hpp"
+#include "topology/topology.hpp"
 #include "topology/xgft.hpp"
 
 namespace lmpr::fm {
@@ -80,6 +83,11 @@ struct FmConfig {
   /// Report all wall-clock fields as 0 so run reports are byte-stable
   /// (golden-file tests, CI diffs).
   bool zero_timings = false;
+  /// When the fabric is not a well-formed XGFT, manage it anyway through
+  /// a BFS-layered topo::GenericGraphTopology instead of failing
+  /// construction.  Off by default: recognition failure stays an error
+  /// for callers that require the XGFT proof.
+  bool allow_generic = false;
 };
 
 struct EventRecord {
@@ -136,7 +144,12 @@ class FabricManager {
   bool ok() const noexcept { return error_.empty(); }
   const std::string& error() const noexcept { return error_; }
 
-  const topo::Xgft& xgft() const { return *xgft_; }
+  /// The managed topology (XGFT or generic).
+  const topo::Topology& topology() const { return *topo_; }
+  /// Checked downcast for XGFT-specific callers; requires
+  /// topology().kind() == "xgft" (always true unless allow_generic
+  /// admitted a non-XGFT fabric).
+  const topo::Xgft& xgft() const;
   const fabric::Lft& lft() const { return *lft_; }
   const fabric::Degradation& degradation() const { return *degradation_; }
   /// The forwarding state the fabric routes on; invariant: equals
@@ -201,7 +214,7 @@ class FabricManager {
 
   FmConfig config_;
   std::string error_;
-  std::unique_ptr<topo::Xgft> xgft_;
+  std::unique_ptr<const topo::Topology> topo_;
   std::unique_ptr<fabric::Lft> lft_;
   std::unique_ptr<fabric::Degradation> degradation_;
   std::unique_ptr<flow::LoadEvaluator> load_eval_;
@@ -228,10 +241,12 @@ class FabricManager {
 /// unit demand split evenly across its usable variants.  This is the
 /// quantity load_aware arbitration minimizes and EventRecord reports as
 /// max_link_load.
-double reference_max_load(const topo::Xgft& xgft, const fabric::Lft& lft,
+double reference_max_load(const topo::Topology& topology,
+                          const fabric::Lft& lft,
                           const fabric::Tables& tables);
 /// Same, reusing the caller's evaluator (no per-call allocation).
-double reference_max_load(const topo::Xgft& xgft, const fabric::Lft& lft,
+double reference_max_load(const topo::Topology& topology,
+                          const fabric::Lft& lft,
                           const fabric::Tables& tables,
                           flow::LoadEvaluator& eval);
 
@@ -241,7 +256,7 @@ double reference_max_load(const topo::Xgft& xgft, const fabric::Lft& lft,
 /// first_surviving rebuilds has the lower reference_max_load (ties prefer
 /// the greedy).  The property harness diffs the manager's incrementally
 /// repaired tables against this after every event.
-fabric::Tables build_managed_tables(const topo::Xgft& xgft,
+fabric::Tables build_managed_tables(const topo::Topology& topology,
                                     const fabric::Lft& lft,
                                     const fabric::Degradation& degradation,
                                     fabric::RepairPolicy policy);

@@ -39,8 +39,11 @@
 #include "flow/worst_case.hpp"
 #include "fm/events.hpp"
 #include "fm/fabric_manager.hpp"
+#include "topology/factory.hpp"
+#include "topology/generic.hpp"
 #include "topology/label.hpp"
 #include "topology/spec.hpp"
+#include "topology/topology.hpp"
 #include "topology/xgft.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"

@@ -22,6 +22,19 @@ ReplayEngine::ReplayEngine(const topo::XgftSpec& spec,
   if (!manager_->ok()) error_ = manager_->error();
 }
 
+ReplayEngine::ReplayEngine(const discovery::RawFabric& fabric,
+                           const ReplayConfig& config)
+    : config_(config) {
+  config_.sim.routing_mode = flit::RoutingMode::kOblivious;
+  config_.sim.window_metrics = true;
+  if (config_.window_cycles == 0) {
+    error_ = "window_cycles must be positive";
+    return;
+  }
+  manager_ = std::make_unique<fm::FabricManager>(fabric, config_.fm);
+  if (!manager_->ok()) error_ = manager_->error();
+}
+
 ReplayResult ReplayEngine::run(const fm::EventScript& script) {
   ReplayResult result;
   if (!ok()) {
@@ -44,7 +57,7 @@ ReplayResult ReplayEngine::run(const fm::EventScript& script) {
     }
   }
 
-  const topo::Xgft& xgft = manager_->xgft();
+  const topo::Topology& topology = manager_->topology();
   flit::Network net(manager_->lft(), manager_->tables(), sim);
   const std::uint64_t warmup = sim.warmup_cycles;
   const std::uint64_t horizon = net.horizon();
@@ -68,7 +81,7 @@ ReplayResult ReplayEngine::run(const fm::EventScript& script) {
   // Links stay enabled exactly while their cable and both endpoints are
   // alive; this mask diffs the manager's degradation into the router.
   std::vector<std::uint8_t> enabled(
-      static_cast<std::size_t>(xgft.num_links()), 1);
+      static_cast<std::size_t>(topology.num_links()), 1);
 
   std::vector<fm::EventRecord> pending;
   std::uint64_t pending_dropped = 0;
@@ -77,8 +90,8 @@ ReplayResult ReplayEngine::run(const fm::EventScript& script) {
 
   const auto sync_network = [&]() {
     const fabric::Degradation& degradation = manager_->degradation();
-    for (topo::NodeId node = static_cast<topo::NodeId>(xgft.num_hosts());
-         node < xgft.num_nodes(); ++node) {
+    for (topo::NodeId node = static_cast<topo::NodeId>(topology.num_hosts());
+         node < topology.num_nodes(); ++node) {
       net.set_switch_state(node, degradation.node_ok(node));
     }
     // The repaired tables go in BEFORE links come down, so the drop
@@ -86,9 +99,9 @@ ReplayResult ReplayEngine::run(const fm::EventScript& script) {
     // mutates its tables in place (and arbitration may switch between
     // the greedy and shadow sets), so the swap must follow every event.
     net.set_tables(manager_->tables());
-    for (topo::LinkId link = 0; link < xgft.num_links(); ++link) {
-      const topo::Link& edge = xgft.link(link);
-      const bool want = degradation.cable_ok(xgft.cable_of(link)) &&
+    for (topo::LinkId link = 0; link < topology.num_links(); ++link) {
+      const topo::Link& edge = topology.link(link);
+      const bool want = degradation.cable_ok(topology.cable_of(link)) &&
                         degradation.node_ok(edge.src) &&
                         degradation.node_ok(edge.dst);
       if (want == (enabled[link] != 0)) continue;

@@ -94,6 +94,11 @@ class ReplayEngine {
   /// Recognizes the spec's fabric and installs the healthy tables; on
   /// failure ok() is false and run() refuses to start.
   ReplayEngine(const topo::XgftSpec& spec, const ReplayConfig& config);
+  /// Same, from a raw cable list: recognition decides whether the fabric
+  /// is managed as an XGFT or (with config.fm.allow_generic) as a
+  /// generic graph.
+  ReplayEngine(const discovery::RawFabric& fabric,
+               const ReplayConfig& config);
 
   bool ok() const noexcept { return error_.empty(); }
   const std::string& error() const noexcept { return error_; }

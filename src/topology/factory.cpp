@@ -1,0 +1,103 @@
+#include "topology/factory.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "topology/generic.hpp"
+#include "topology/spec.hpp"
+#include "topology/xgft.hpp"
+
+namespace lmpr::topo {
+
+namespace {
+
+/// Strips every whitespace character (both families are whitespace
+/// insensitive) so "RRG( 18 ; 4 ; 3 )" parses like "RRG(18;4;3)".
+std::string squeeze(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out.push_back(c);
+  }
+  return out;
+}
+
+[[noreturn]] void bad_rrg(const std::string& why) {
+  throw std::invalid_argument(
+      "RRG spec: " + why + " (expected RRG(switches;degree;hosts_per_switch"
+      "[;seed]))");
+}
+
+std::unique_ptr<const Topology> make_rrg(const std::string& squeezed) {
+  if (squeezed.back() != ')') bad_rrg("missing closing ')'");
+  const std::string body = squeezed.substr(4, squeezed.size() - 5);
+  std::vector<std::uint64_t> fields{0};
+  std::vector<bool> has_digits{false};
+  for (const char c : body) {
+    if (c == ';') {
+      fields.push_back(0);
+      has_digits.push_back(false);
+      continue;
+    }
+    if (c < '0' || c > '9') {
+      bad_rrg(std::string{"unexpected character '"} + c + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (fields.back() > (UINT64_MAX - digit) / 10) bad_rrg("field overflows");
+    fields.back() = fields.back() * 10 + digit;
+    has_digits.back() = true;
+  }
+  if (fields.size() < 3 || fields.size() > 4) {
+    bad_rrg("expected 3 or 4 ';'-separated fields, got " +
+            std::to_string(fields.size()));
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (!has_digits[i]) bad_rrg("field " + std::to_string(i + 1) + " is empty");
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (fields[i] > UINT32_MAX) {
+      bad_rrg("field " + std::to_string(i + 1) + " exceeds 32 bits");
+    }
+  }
+  const auto switches = static_cast<std::uint32_t>(fields[0]);
+  const auto degree = static_cast<std::uint32_t>(fields[1]);
+  const auto hosts_per_switch = static_cast<std::uint32_t>(fields[2]);
+  const std::uint64_t seed = fields.size() == 4 ? fields[3] : 1;
+  const discovery::RawFabric fabric =
+      build_expander_fabric(switches, degree, hosts_per_switch, seed);
+  std::string name = "RRG(";
+  name += std::to_string(switches);
+  name += ';';
+  name += std::to_string(degree);
+  name += ';';
+  name += std::to_string(hosts_per_switch);
+  if (fields.size() == 4) {
+    name += ';';
+    name += std::to_string(seed);
+  }
+  name += ')';
+  return std::make_unique<GenericGraphTopology>(fabric, std::move(name));
+}
+
+}  // namespace
+
+std::unique_ptr<const Topology> make_topology(std::string_view spec) {
+  const std::string squeezed = squeeze(spec);
+  if (squeezed.empty()) {
+    throw std::invalid_argument("topology spec is empty");
+  }
+  if (squeezed.rfind("XGFT(", 0) == 0) {
+    return std::make_unique<Xgft>(XgftSpec::parse(std::string{spec}));
+  }
+  if (squeezed.rfind("RRG(", 0) == 0) {
+    return make_rrg(squeezed);
+  }
+  throw std::invalid_argument(
+      "unknown topology family in \"" + std::string{spec} +
+      "\" (expected XGFT(...) or RRG(...))");
+}
+
+}  // namespace lmpr::topo

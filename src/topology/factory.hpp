@@ -1,0 +1,25 @@
+// Topology selection by spec string -- the single entry point behind the
+// CLI's `--topology` flag.
+//
+//   "XGFT(h; m1,..,mh; w1,..,wh)"  -> topo::Xgft (the paper's fat-tree)
+//   "RRG(switches; degree; hosts_per_switch [; seed])"
+//                                  -> topo::GenericGraphTopology over
+//                                     build_expander_fabric()
+//
+// Whitespace is insignificant in both forms.  Malformed specs throw
+// std::invalid_argument with a position diagnostic (see spec.cpp for the
+// XGFT grammar's line:column reporting).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "topology/topology.hpp"
+
+namespace lmpr::topo {
+
+/// Builds the topology a spec string names.  Throws std::invalid_argument
+/// when the spec is malformed or names an unknown family.
+std::unique_ptr<const Topology> make_topology(std::string_view spec);
+
+}  // namespace lmpr::topo

@@ -1,0 +1,462 @@
+#include "topology/generic.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::topo {
+
+namespace {
+
+constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+/// Path-count saturation bound: counts beyond this are clamped, which is
+/// fine for every consumer (LID blocks take min(K, max_paths) anyway).
+constexpr std::uint64_t kCountCap = 1ull << 63;
+
+[[noreturn]] void reject(const std::string& why) {
+  throw std::invalid_argument("generic topology: " + why);
+}
+
+std::uint64_t cable_key(NodeId u, NodeId v) {
+  const std::uint64_t lo = std::min(u, v);
+  const std::uint64_t hi = std::max(u, v);
+  return (lo << 32) | hi;
+}
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t sum = a + b;
+  return (sum < a || sum > kCountCap) ? kCountCap : sum;
+}
+
+}  // namespace
+
+GenericGraphTopology::GenericGraphTopology(const discovery::RawFabric& fabric,
+                                           std::string name)
+    : name_(std::move(name)) {
+  const std::uint32_t n = fabric.num_nodes;
+  if (n == 0) reject("no nodes");
+  if (fabric.hosts.empty()) reject("no hosts");
+
+  // Canonical ids: hosts in ascending raw-id order, then switches.
+  std::vector<std::uint8_t> raw_is_host(n, 0);
+  for (const std::uint32_t raw : fabric.hosts) {
+    if (raw >= n) {
+      reject("host id " + std::to_string(raw) + " out of range");
+    }
+    if (raw_is_host[raw] != 0) {
+      reject("duplicate host id " + std::to_string(raw));
+    }
+    raw_is_host[raw] = 1;
+  }
+  num_hosts_ = fabric.hosts.size();
+  canonical_.assign(n, kInvalidNode);
+  NodeId next_host = 0;
+  NodeId next_switch = static_cast<NodeId>(num_hosts_);
+  for (std::uint32_t raw = 0; raw < n; ++raw) {
+    canonical_[raw] = raw_is_host[raw] != 0 ? next_host++ : next_switch++;
+  }
+
+  // Cables -> adjacency, with the malformations a subnet manager can
+  // actually feed us rejected up front.
+  adjacency_.assign(n, {});
+  std::vector<std::pair<NodeId, NodeId>> ends;
+  ends.reserve(fabric.cables.size());
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(fabric.cables.size());
+  for (const auto& [raw_u, raw_v] : fabric.cables) {
+    if (raw_u >= n || raw_v >= n) {
+      reject("cable endpoint out of range: (" + std::to_string(raw_u) + ", " +
+             std::to_string(raw_v) + ")");
+    }
+    if (raw_u == raw_v) {
+      reject("self-cable at node " + std::to_string(raw_u));
+    }
+    if (raw_is_host[raw_u] != 0 && raw_is_host[raw_v] != 0) {
+      reject("cable between two hosts (" + std::to_string(raw_u) + ", " +
+             std::to_string(raw_v) + "); hosts must attach to switches");
+    }
+    const NodeId u = canonical_[raw_u];
+    const NodeId v = canonical_[raw_v];
+    if (!seen.insert(cable_key(u, v)).second) {
+      reject("duplicate cable (" + std::to_string(raw_u) + ", " +
+             std::to_string(raw_v) + ")");
+    }
+    const auto cable = static_cast<std::uint32_t>(ends.size());
+    ends.emplace_back(u, v);
+    adjacency_[u].push_back(cable);
+    adjacency_[v].push_back(cable);
+  }
+
+  // BFS layering from the hosts; the up direction of every cable points
+  // toward the higher layer (ties toward the higher canonical id).
+  layer_.assign(n, kUnreached);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId h = 0; h < static_cast<NodeId>(num_hosts_); ++h) {
+    layer_[h] = 0;
+    queue.push_back(h);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (const std::uint32_t cable : adjacency_[u]) {
+      const auto& [a, b] = ends[cable];
+      const NodeId w = a == u ? b : a;
+      if (layer_[w] != kUnreached) continue;
+      layer_[w] = layer_[u] + 1;
+      queue.push_back(w);
+    }
+  }
+  for (NodeId node = 0; node < n; ++node) {
+    if (layer_[node] == kUnreached) {
+      reject("node " + std::to_string(node) +
+             " (canonical) is unreachable from every host");
+    }
+  }
+
+  const std::uint64_t cables = ends.size();
+  links_.resize(2 * cables);
+  std::uint32_t max_link_level = 0;
+  for (std::uint64_t c = 0; c < cables; ++c) {
+    const auto& [a, b] = ends[c];
+    const bool a_lower =
+        layer_[a] != layer_[b] ? layer_[a] < layer_[b] : a < b;
+    const NodeId lo = a_lower ? a : b;
+    const NodeId hi = a_lower ? b : a;
+    const std::uint32_t level = layer_[lo];
+    links_[c] = Link{lo, hi, level, true};
+    links_[cables + c] = Link{hi, lo, level, false};
+    max_link_level = std::max(max_link_level, level);
+  }
+  num_levels_ = cables > 0 ? max_link_level + 1 : 1;
+
+  // Per-destination shortest-path plans (distance + count DP + a repair
+  // order), with full connectivity enforced: every node must reach every
+  // host without transiting a foreign host.
+  plans_.resize(static_cast<std::size_t>(num_hosts_));
+  for (std::uint64_t dst = 0; dst < num_hosts_; ++dst) {
+    Plan& plan = plans_[static_cast<std::size_t>(dst)];
+    plan.dist.assign(n, kUnreached);
+    plan.order.clear();
+    plan.order.reserve(n);
+    const auto target = static_cast<NodeId>(dst);
+    plan.dist[target] = 0;
+    plan.order.push_back(target);
+    // Expand only through nodes that may carry transit traffic (the
+    // target itself and switches); hosts still RECEIVE a distance, since
+    // they originate traffic.
+    std::vector<NodeId> frontier{target};
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const NodeId u = frontier[head];
+      for (const std::uint32_t cable : adjacency_[u]) {
+        const auto& [a, b] = ends[cable];
+        const NodeId w = a == u ? b : a;
+        if (plan.dist[w] != kUnreached) continue;
+        plan.dist[w] = plan.dist[u] + 1;
+        plan.order.push_back(w);
+        if (!is_host(w)) frontier.push_back(w);
+      }
+    }
+    for (NodeId node = 0; node < n; ++node) {
+      if (plan.dist[node] == kUnreached) {
+        reject("node " + std::to_string(node) +
+               " (canonical) cannot reach host " + std::to_string(dst) +
+               " without transiting another host");
+      }
+    }
+    plan.count.assign(n, 0);
+    plan.count[target] = 1;
+    for (std::size_t at = 1; at < plan.order.size(); ++at) {
+      const NodeId u = plan.order[at];
+      for (const std::uint32_t cable : adjacency_[u]) {
+        const auto& [a, b] = ends[cable];
+        const NodeId w = a == u ? b : a;
+        if (!can_transit(w, dst)) continue;
+        if (plan.dist[w] + 1 != plan.dist[u]) continue;
+        plan.count[u] = saturating_add(plan.count[u], plan.count[w]);
+      }
+      LMPR_ASSERT(plan.count[u] >= 1);
+    }
+    for (std::uint64_t src = 0; src < num_hosts_; ++src) {
+      max_paths_ = std::max(max_paths_, plan.count[src]);
+    }
+  }
+
+  if (name_.empty()) {
+    std::ostringstream oss;
+    oss << "generic(" << num_hosts_ << " hosts, " << (n - num_hosts_)
+        << " switches, " << cables << " cables)";
+    name_ = oss.str();
+  }
+}
+
+NodeId GenericGraphTopology::host(std::uint64_t i) const {
+  LMPR_EXPECTS(i < num_hosts_);
+  return static_cast<NodeId>(i);
+}
+
+std::uint32_t GenericGraphTopology::level_of(NodeId node) const {
+  LMPR_EXPECTS(node < layer_.size());
+  return layer_[node];
+}
+
+const Link& GenericGraphTopology::link(LinkId id) const {
+  LMPR_EXPECTS(id < links_.size());
+  return links_[id];
+}
+
+void GenericGraphTopology::out_links(NodeId node,
+                                     std::vector<LinkId>& out) const {
+  LMPR_EXPECTS(node < layer_.size());
+  for (const std::uint32_t cable : adjacency_[node]) {
+    out.push_back(directed_link(node, cable));
+  }
+}
+
+const GenericGraphTopology::Plan& GenericGraphTopology::plan(
+    std::uint64_t dst) const {
+  LMPR_EXPECTS(dst < num_hosts_);
+  return plans_[static_cast<std::size_t>(dst)];
+}
+
+std::uint64_t GenericGraphTopology::num_paths(std::uint64_t src,
+                                              std::uint64_t dst) const {
+  LMPR_EXPECTS(src < num_hosts_);
+  return plan(dst).count[static_cast<NodeId>(src)];
+}
+
+void GenericGraphTopology::append_path_links(std::uint64_t src,
+                                             std::uint64_t dst,
+                                             std::uint64_t index,
+                                             std::vector<LinkId>& out) const {
+  LMPR_EXPECTS(src < num_hosts_);
+  if (src == dst) return;
+  const Plan& p = plan(dst);
+  NodeId node = static_cast<NodeId>(src);
+  LMPR_EXPECTS(index < p.count[node]);
+  // Lexicographic decode in candidate order: path `index` takes, at every
+  // node, the first candidate whose shortest-path count covers the
+  // remaining index.
+  while (p.dist[node] > 0) {
+    bool advanced = false;
+    for (const std::uint32_t cable : adjacency_[node]) {
+      const Link& up = links_[cable];
+      const NodeId w = up.src == node ? up.dst : up.src;
+      if (!can_transit(w, dst) || p.dist[w] + 1 != p.dist[node]) continue;
+      if (index < p.count[w]) {
+        out.push_back(directed_link(node, cable));
+        node = w;
+        advanced = true;
+        break;
+      }
+      index -= p.count[w];
+    }
+    LMPR_ASSERT(advanced);
+  }
+}
+
+std::uint64_t GenericGraphTopology::dmodk_index(std::uint64_t src,
+                                                std::uint64_t dst) const {
+  if (src == dst) return 0;
+  return dst % num_paths(src, dst);
+}
+
+std::uint64_t GenericGraphTopology::smodk_index(std::uint64_t src,
+                                                std::uint64_t dst) const {
+  if (src == dst) return 0;
+  return src % num_paths(src, dst);
+}
+
+std::uint64_t GenericGraphTopology::disjoint_offset(std::uint64_t src,
+                                                    std::uint64_t dst,
+                                                    std::uint64_t n) const {
+  // No level structure to decompose over: the disjoint enumeration
+  // degenerates to consecutive indices.
+  if (src == dst) return 0;
+  return n % num_paths(src, dst);
+}
+
+void GenericGraphTopology::candidate_links(NodeId node, std::uint64_t dst,
+                                           std::vector<LinkId>& out) const {
+  out.clear();
+  LMPR_EXPECTS(node < layer_.size());
+  const Plan& p = plan(dst);
+  if (p.dist[node] == 0) return;  // node IS the destination host
+  for (const std::uint32_t cable : adjacency_[node]) {
+    const Link& up = links_[cable];
+    const NodeId w = up.src == node ? up.dst : up.src;
+    if (!can_transit(w, dst) || p.dist[w] + 1 != p.dist[node]) continue;
+    out.push_back(directed_link(node, cable));
+  }
+}
+
+std::uint32_t GenericGraphTopology::route_anchor(NodeId node,
+                                                 std::uint64_t dst) const {
+  const Plan& p = plan(dst);
+  std::uint32_t count = 0;
+  for (const std::uint32_t cable : adjacency_[node]) {
+    const Link& up = links_[cable];
+    const NodeId w = up.src == node ? up.dst : up.src;
+    if (can_transit(w, dst) && p.dist[w] + 1 == p.dist[node]) ++count;
+  }
+  LMPR_EXPECTS(count > 0);
+  // The d-mod-k analogue: spread destinations across the candidate fan.
+  return static_cast<std::uint32_t>(dst % count);
+}
+
+std::uint32_t GenericGraphTopology::variant_digit(std::uint32_t level,
+                                                  std::uint32_t j,
+                                                  LidLayout layout) const {
+  // Generic graphs have no level structure for the layouts to disagree
+  // over: variant j simply advances j candidates past the anchor at
+  // every branching node.
+  (void)level;
+  (void)layout;
+  return j;
+}
+
+void GenericGraphTopology::repair_order(std::uint64_t dst,
+                                        std::vector<NodeId>& out) const {
+  const Plan& p = plan(dst);
+  out.assign(p.order.begin(), p.order.end());
+  LMPR_ENSURES(out.size() == num_nodes());
+}
+
+std::uint64_t GenericGraphTopology::variant_path_index(
+    std::uint64_t src, std::uint64_t dst, std::uint32_t j,
+    LidLayout layout) const {
+  (void)layout;
+  LMPR_EXPECTS(src < num_hosts_);
+  if (src == dst) return 0;
+  const Plan& p = plan(dst);
+  NodeId node = static_cast<NodeId>(src);
+  std::uint64_t index = 0;
+  std::vector<NodeId> fan;
+  // Walk the LFT's choice function and accumulate the lexicographic rank
+  // of the resulting path (mirrors fabric::Lft::next_link exactly).
+  while (p.dist[node] > 0) {
+    fan.clear();
+    for (const std::uint32_t cable : adjacency_[node]) {
+      const Link& up = links_[cable];
+      const NodeId w = up.src == node ? up.dst : up.src;
+      if (can_transit(w, dst) && p.dist[w] + 1 == p.dist[node]) {
+        fan.push_back(w);
+      }
+    }
+    LMPR_ASSERT(!fan.empty());
+    const auto count = static_cast<std::uint32_t>(fan.size());
+    const std::uint32_t chosen =
+        count > 1
+            ? (static_cast<std::uint32_t>(dst % count) + j % count) % count
+            : 0;
+    for (std::uint32_t i = 0; i < chosen; ++i) index += p.count[fan[i]];
+    node = fan[chosen];
+  }
+  return index;
+}
+
+// --- expander builder ------------------------------------------------------
+
+discovery::RawFabric build_expander_fabric(std::uint32_t switches,
+                                           std::uint32_t degree,
+                                           std::uint32_t hosts_per_switch,
+                                           std::uint64_t seed) {
+  if (switches < 3) reject("expander needs at least 3 switches");
+  if (degree < 2) reject("expander needs switch degree >= 2");
+  if (degree >= switches) {
+    reject("expander degree must be below the switch count");
+  }
+  if (degree % 2 != 0 && switches % 2 != 0) {
+    reject("odd expander degree needs an even switch count");
+  }
+  if (hosts_per_switch == 0) reject("expander needs hosts on every switch");
+
+  const std::uint64_t hosts =
+      static_cast<std::uint64_t>(switches) * hosts_per_switch;
+  discovery::RawFabric fabric;
+  fabric.num_nodes = static_cast<std::uint32_t>(hosts + switches);
+  fabric.hosts.reserve(static_cast<std::size_t>(hosts));
+  fabric.cables.reserve(static_cast<std::size_t>(
+      hosts + std::uint64_t{switches} * degree / 2));
+  const auto switch_id = [&](std::uint32_t s) {
+    return static_cast<std::uint32_t>(hosts) + s;
+  };
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    fabric.hosts.push_back(h);
+    fabric.cables.emplace_back(h, switch_id(h / hosts_per_switch));
+  }
+
+  // Circulant base: the offset-1 Hamiltonian ring (kept fixed so the
+  // graph stays connected through every swap), then the higher-offset
+  // chords (the antipode for an odd degree), expander-randomized by
+  // seeded double-edge swaps over the chords only.
+  std::unordered_set<std::uint64_t> edge_set;
+  const auto has_edge = [&](std::uint32_t a, std::uint32_t b) {
+    return edge_set.count(cable_key(a, b)) != 0;
+  };
+  for (std::uint32_t s = 0; s < switches; ++s) {
+    const std::uint32_t t = (s + 1) % switches;
+    if (edge_set.insert(cable_key(s, t)).second) {
+      fabric.cables.emplace_back(switch_id(s), switch_id(t));
+    }
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> chords;
+  const auto add_chord = [&](std::uint32_t a, std::uint32_t b) {
+    if (a != b && edge_set.insert(cable_key(a, b)).second) {
+      chords.emplace_back(a, b);
+    }
+  };
+  for (std::uint32_t o = 2; o <= degree / 2; ++o) {
+    for (std::uint32_t s = 0; s < switches; ++s) {
+      add_chord(s, (s + o) % switches);
+    }
+  }
+  if (degree % 2 != 0) {
+    for (std::uint32_t s = 0; s < switches / 2; ++s) {
+      add_chord(s, s + switches / 2);
+    }
+  }
+
+  util::Rng rng{seed};
+  const std::uint64_t attempts = 16ull * std::max<std::size_t>(chords.size(), 1);
+  for (std::uint64_t t = 0; t < attempts && chords.size() >= 2; ++t) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(chords.size()));
+    const std::size_t k = static_cast<std::size_t>(rng.below(chords.size()));
+    if (i == k) continue;
+    auto [a, b] = chords[i];
+    auto [c, d] = chords[k];
+    if (rng.below(2) == 1) std::swap(c, d);
+    // Rewire (a,b),(c,d) -> (a,c),(b,d), preserving every degree.
+    if (a == c || b == d || has_edge(a, c) || has_edge(b, d)) continue;
+    edge_set.erase(cable_key(a, b));
+    edge_set.erase(cable_key(c, d));
+    edge_set.insert(cable_key(a, c));
+    edge_set.insert(cable_key(b, d));
+    chords[i] = {a, c};
+    chords[k] = {b, d};
+  }
+  for (const auto& [a, b] : chords) {
+    fabric.cables.emplace_back(switch_id(a), switch_id(b));
+  }
+  return fabric;
+}
+
+discovery::RawFabric to_raw_fabric(const Topology& topology) {
+  discovery::RawFabric fabric;
+  fabric.num_nodes = static_cast<std::uint32_t>(topology.num_nodes());
+  fabric.hosts.reserve(static_cast<std::size_t>(topology.num_hosts()));
+  for (std::uint64_t i = 0; i < topology.num_hosts(); ++i) {
+    fabric.hosts.push_back(topology.host(i));
+  }
+  fabric.cables.reserve(static_cast<std::size_t>(topology.num_cables()));
+  for (std::uint64_t c = 0; c < topology.num_cables(); ++c) {
+    const Link& up = topology.link(static_cast<LinkId>(c));
+    fabric.cables.emplace_back(up.src, up.dst);
+  }
+  return fabric;
+}
+
+}  // namespace lmpr::topo

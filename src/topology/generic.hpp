@@ -1,0 +1,152 @@
+// Topology implementation for an ARBITRARY cable list -- the escape hatch
+// that lets the whole flow/flit/fm/replay stack run on fabrics that are
+// not XGFTs (random regular graphs, expanders, degraded meshes, anything
+// discovery::RawFabric can describe).
+//
+// Construction canonicalizes the fabric (hosts take ids [0, H) in raw-id
+// order, switches follow) and BFS-layers it from the hosts; the up
+// direction of every cable points toward the higher layer (ties break
+// toward the higher canonical id).  The multipath provider enumerates
+// SHORTEST host-to-host paths that never transit another host, via a
+// per-destination distance field plus a path-count DP; path indices rank
+// paths lexicographically in candidate (cable input) order, so the
+// numbering is dense, deterministic, and cheap to decode hop by hop.
+//
+// LFT realizability: candidate_links(node, dst) is every incident link
+// one step closer to dst (excluding links into foreign hosts), the route
+// anchor is dst mod candidate-count (the d-mod-k analogue), and the
+// variant digit is simply j under either LID layout -- generic graphs
+// have no level structure for the layouts to disagree over.  All paths
+// strictly descend the distance field, so every variant delivers and
+// table walks terminate within hop_limit().
+//
+// Malformed fabrics (bad ids, self/duplicate/host-host cables, a node
+// that cannot reach some host) throw std::invalid_argument from the
+// constructor; use discovery/try_load style wrappers when the input is
+// untrusted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "discovery/recognize.hpp"
+#include "topology/topology.hpp"
+
+namespace lmpr::topo {
+
+class GenericGraphTopology final : public Topology {
+ public:
+  /// Canonicalizes, layers, and indexes the fabric; `name` becomes the
+  /// printable identity (a size summary when empty).  Throws
+  /// std::invalid_argument on malformed or not-fully-connected input.
+  explicit GenericGraphTopology(const discovery::RawFabric& fabric,
+                                std::string name = {});
+
+  /// canonical()[raw] = canonical node id -- the isomorphism the fabric
+  /// manager resolves raw event ids through (hosts first, raw-id order).
+  const std::vector<NodeId>& canonical() const noexcept { return canonical_; }
+
+  // --- Topology interface --------------------------------------------------
+  std::string_view kind() const noexcept override { return "generic"; }
+  std::string name() const override { return name_; }
+
+  std::uint64_t num_hosts() const noexcept override { return num_hosts_; }
+  std::uint64_t num_nodes() const noexcept override { return layer_.size(); }
+  std::uint64_t num_links() const noexcept override { return links_.size(); }
+
+  NodeId host(std::uint64_t i) const override;
+  bool is_host(NodeId node) const noexcept override {
+    return node < num_hosts_;
+  }
+
+  std::uint32_t num_levels() const noexcept override { return num_levels_; }
+  std::uint32_t level_of(NodeId node) const override;
+
+  const Link& link(LinkId id) const override;
+  std::span<const Link> links() const noexcept override { return links_; }
+  void out_links(NodeId node, std::vector<LinkId>& out) const override;
+  std::size_t hop_limit() const override { return 2 * num_nodes() + 2; }
+
+  std::uint64_t num_paths(std::uint64_t src,
+                          std::uint64_t dst) const override;
+  std::uint64_t max_paths() const override { return max_paths_; }
+  void append_path_links(std::uint64_t src, std::uint64_t dst,
+                         std::uint64_t index,
+                         std::vector<LinkId>& out) const override;
+  std::uint64_t dmodk_index(std::uint64_t src,
+                            std::uint64_t dst) const override;
+  std::uint64_t smodk_index(std::uint64_t src,
+                            std::uint64_t dst) const override;
+  std::uint64_t disjoint_offset(std::uint64_t src, std::uint64_t dst,
+                                std::uint64_t n) const override;
+
+  void candidate_links(NodeId node, std::uint64_t dst,
+                       std::vector<LinkId>& out) const override;
+  std::uint32_t route_anchor(NodeId node, std::uint64_t dst) const override;
+  std::uint32_t variant_digit(std::uint32_t level, std::uint32_t j,
+                              LidLayout layout) const override;
+  void repair_order(std::uint64_t dst,
+                    std::vector<NodeId>& out) const override;
+  std::uint64_t variant_path_index(std::uint64_t src, std::uint64_t dst,
+                                   std::uint32_t j,
+                                   LidLayout layout) const override;
+
+ private:
+  /// Per-destination shortest-path structure (eager: one per host).
+  struct Plan {
+    /// Hops from each node to host(dst), never transiting a foreign host.
+    std::vector<std::uint32_t> dist;
+    /// Number of shortest such paths (saturating at 2^63).
+    std::vector<std::uint64_t> count;
+    /// Nodes in nondecreasing dist order -- a valid repair order.
+    std::vector<NodeId> order;
+  };
+
+  /// Directed link node -> far endpoint of `cable` (by construction one
+  /// of the two directions has src == node).
+  LinkId directed_link(NodeId node, std::uint64_t cable) const {
+    return links_[cable].src == node
+               ? static_cast<LinkId>(cable)
+               : static_cast<LinkId>(num_cables() + cable);
+  }
+
+  /// True when `via` may carry transit traffic toward dst: switches
+  /// always, hosts only as the final hop.
+  bool can_transit(NodeId via, std::uint64_t dst) const {
+    return !is_host(via) || via == static_cast<NodeId>(dst);
+  }
+
+  const Plan& plan(std::uint64_t dst) const;
+
+  std::string name_;
+  std::uint64_t num_hosts_ = 0;
+  std::uint32_t num_levels_ = 1;
+  std::uint64_t max_paths_ = 1;
+  std::vector<NodeId> canonical_;
+  std::vector<std::uint32_t> layer_;   ///< BFS layer per node (hosts: 0)
+  std::vector<Link> links_;            ///< up [0, C), down [C, 2C)
+  /// adjacency_[node] = incident cable indices in input order.
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<Plan> plans_;            ///< one per destination host
+};
+
+/// Deterministic random-regular-graph fabric: `switches` switches on a
+/// circulant base (offsets 1..degree/2, plus the antipode for odd
+/// degree), expander-randomized by seeded double-edge swaps that leave
+/// the offset-1 Hamiltonian ring intact (so the result is always
+/// connected), with `hosts_per_switch` hosts pinned to every switch.
+/// Host ids come first, cables list the host attachments first; the
+/// whole construction is a pure function of its arguments.
+discovery::RawFabric build_expander_fabric(std::uint32_t switches,
+                                           std::uint32_t degree,
+                                           std::uint32_t hosts_per_switch,
+                                           std::uint64_t seed = 1);
+
+/// Identity export of ANY topology as a RawFabric (raw ids = node ids,
+/// one cable per undirected link pair) -- feeds `lmpr fm`/`lmpr replay`
+/// and the recognition round-trip tests from a `--topology` selection.
+discovery::RawFabric to_raw_fabric(const Topology& topology);
+
+}  // namespace lmpr::topo

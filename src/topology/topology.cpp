@@ -1,0 +1,15 @@
+#include "topology/topology.hpp"
+
+namespace lmpr::topo {
+
+std::string_view to_string(LidLayout layout) noexcept {
+  return layout == LidLayout::kDisjointLayout ? "disjoint" : "shift";
+}
+
+std::optional<LidLayout> layout_from_string(std::string_view name) noexcept {
+  if (name == "disjoint") return LidLayout::kDisjointLayout;
+  if (name == "shift") return LidLayout::kShiftLayout;
+  return std::nullopt;
+}
+
+}  // namespace lmpr::topo

@@ -1,0 +1,170 @@
+// The minimal topology abstraction the routing stack is written against.
+//
+// Everything downstream of topology construction -- path-index heuristics,
+// LID/LFT realization, flow-level load evaluation, the flit simulator, the
+// fabric manager and the replay engine -- consumes this interface, never a
+// concrete implementation.  Two implementations exist: `Xgft` (the paper's
+// closed-form extended generalized fat-tree) and `GenericGraphTopology`
+// (any cable list, BFS-layered).
+//
+// Contracts shared by all implementations:
+//  * Node ids are dense; hosts occupy ids [0, num_hosts()).
+//  * Every physical cable yields two directed links sharing one cable
+//    index: the up direction occupies LinkId = cable, the down direction
+//    LinkId = num_cables() + cable.
+//  * num_paths(s, d) >= 1 for every connected pair, and exactly 1 when
+//    s == d (the trivial path that never leaves the host).
+//  * append_path_links(s, d, i, out) emits the links of path i in hop
+//    order; indices [0, num_paths(s, d)) enumerate distinct paths.
+//  * candidate_links(node, dst, out) clears `out`, then emits the links a
+//    forwarding entry at `node` may legally use toward host `dst`, in a
+//    deterministic port order.  Empty exactly when node == host(dst) or
+//    dst is unreachable from node.
+//  * repair_order(dst, out) lists every node exactly once such that each
+//    node appears after the far endpoints of all its candidate links --
+//    the order in which per-destination reachability can be recomputed in
+//    one pass.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/label.hpp"
+
+namespace lmpr::topo {
+
+/// One *directed* link.  Every physical cable between a level-l node
+/// ("lower") and a level-(l+1) node ("upper") yields two directed links:
+/// an UP link lower->upper and a DOWN link upper->lower.
+struct Link {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Level of the lower endpoint (0..h-1); "the link lives between level
+  /// `level` and `level`+1".
+  std::uint32_t level = 0;
+  bool up = false;
+};
+
+/// Which level the LID variant digit j perturbs first (see fabric/lft.hpp
+/// for the full story).  Lives here because variant_digit() is a topology
+/// realizability hook.
+enum class LidLayout {
+  kDisjointLayout,
+  kShiftLayout,
+};
+
+/// "disjoint" / "shift" -- the spelling `lmpr fm --layout` accepts.
+std::string_view to_string(LidLayout layout) noexcept;
+std::optional<LidLayout> layout_from_string(std::string_view name) noexcept;
+
+class Topology {
+ public:
+  Topology() = default;
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+  virtual ~Topology() = default;
+
+  /// Implementation tag: "xgft" or "generic".
+  virtual std::string_view kind() const noexcept = 0;
+  /// Printable identity, e.g. "XGFT(2;4,4;2,2)" or "RRG(18;4;3)".
+  virtual std::string name() const = 0;
+
+  // --- enumeration --------------------------------------------------------
+
+  virtual std::uint64_t num_hosts() const noexcept = 0;
+  virtual std::uint64_t num_nodes() const noexcept = 0;
+  /// Directed link count (2x the cable count).
+  virtual std::uint64_t num_links() const noexcept = 0;
+  std::uint64_t num_cables() const noexcept { return num_links() / 2; }
+
+  /// Processing node i (ids coincide: hosts occupy ids [0, num_hosts)).
+  virtual NodeId host(std::uint64_t i) const = 0;
+  virtual bool is_host(NodeId node) const noexcept = 0;
+
+  /// Number of link-level strata (an XGFT of height h has h; a generic
+  /// graph derives strata from host BFS layers).  Per-level accumulators
+  /// are sized by this.
+  virtual std::uint32_t num_levels() const noexcept = 0;
+  /// BFS layer (XGFT: tree level) of a node; hosts are at level 0.
+  virtual std::uint32_t level_of(NodeId node) const = 0;
+
+  // --- adjacency ----------------------------------------------------------
+
+  virtual const Link& link(LinkId id) const = 0;
+  virtual std::span<const Link> links() const noexcept = 0;
+
+  /// Cable (undirected edge) index of a directed link; the two directions
+  /// of one cable share the index (up links occupy ids [0, num_cables)).
+  std::uint64_t cable_of(LinkId id) const { return id % num_cables(); }
+
+  /// Appends every directed link leaving `node` (order deterministic but
+  /// implementation-defined; callers must not rely on it).
+  virtual void out_links(NodeId node, std::vector<LinkId>& out) const = 0;
+
+  /// Upper bound on hops of any path the forwarding state can produce;
+  /// table walks give up past this (which cannot happen when healthy).
+  virtual std::size_t hop_limit() const = 0;
+
+  // --- multipath provider (paper Section 3.1, Property 1) -----------------
+
+  /// Number of distinct (shortest) paths between two hosts; 1 when
+  /// src == dst.
+  virtual std::uint64_t num_paths(std::uint64_t src,
+                                  std::uint64_t dst) const = 0;
+  /// max over all pairs of num_paths -- sizes LID blocks (XGFT: the
+  /// top-switch count of Property 1).
+  virtual std::uint64_t max_paths() const = 0;
+
+  /// Appends the LinkIds of path `index` for (src, dst) in hop order.
+  virtual void append_path_links(std::uint64_t src, std::uint64_t dst,
+                                 std::uint64_t index,
+                                 std::vector<LinkId>& out) const = 0;
+
+  /// The paper's D-mod-K / S-mod-K single-path selections as path indices.
+  virtual std::uint64_t dmodk_index(std::uint64_t src,
+                                    std::uint64_t dst) const = 0;
+  virtual std::uint64_t smodk_index(std::uint64_t src,
+                                    std::uint64_t dst) const = 0;
+
+  /// Offset of the n-th path in the pair's DISJOINT enumeration relative
+  /// to its start (XGFT: the level-stride decomposition that makes the
+  /// first K paths link-disjoint; generic graphs: identity).
+  virtual std::uint64_t disjoint_offset(std::uint64_t src, std::uint64_t dst,
+                                        std::uint64_t n) const = 0;
+
+  // --- LFT realizability hooks -------------------------------------------
+
+  /// Clears `out`, then appends the directed links a forwarding entry at
+  /// `node` may use toward host `dst`, in deterministic port order.
+  virtual void candidate_links(NodeId node, std::uint64_t dst,
+                               std::vector<LinkId>& out) const = 0;
+
+  /// Base rotation into candidate_links(node, dst) used for variant 0
+  /// (XGFT: the d-mod-k digit).  Only meaningful when the candidate count
+  /// is > 1.
+  virtual std::uint32_t route_anchor(NodeId node, std::uint64_t dst) const = 0;
+
+  /// The variant digit applied at level `level` (0-based: the choice made
+  /// moving from level l to l+1) for path variant j under `layout`.  Only
+  /// called for levels where the pair has > 1 candidate.
+  virtual std::uint32_t variant_digit(std::uint32_t level, std::uint32_t j,
+                                      LidLayout layout) const = 0;
+
+  /// Clears `out`, then lists every node exactly once, each after the far
+  /// endpoints of all its candidate links toward `dst` (so host(dst)
+  /// comes first and per-destination reachability closes in one pass).
+  virtual void repair_order(std::uint64_t dst,
+                            std::vector<NodeId>& out) const = 0;
+
+  /// Path index (in the append_path_links numbering) that LID variant j
+  /// induces between s and d under `layout`.
+  virtual std::uint64_t variant_path_index(std::uint64_t src,
+                                           std::uint64_t dst, std::uint32_t j,
+                                           LidLayout layout) const = 0;
+};
+
+}  // namespace lmpr::topo

@@ -217,6 +217,174 @@ std::uint32_t Xgft::down_port_toward(NodeId node, std::uint64_t host) const {
   return host_digit(host, level);
 }
 
+// --- Topology interface ---------------------------------------------------
+
+void Xgft::out_links(NodeId node, std::vector<LinkId>& out) const {
+  const std::uint32_t parents = num_parents(node);
+  for (std::uint32_t j = 0; j < parents; ++j) out.push_back(up_link(node, j));
+  const std::uint32_t children = num_children(node);
+  for (std::uint32_t c = 0; c < children; ++c) {
+    out.push_back(down_link(node, c));
+  }
+}
+
+void Xgft::append_path_links(std::uint64_t src, std::uint64_t dst,
+                             std::uint64_t index,
+                             std::vector<LinkId>& out) const {
+  if (src == dst) return;
+  const std::uint32_t nca = nca_level(src, dst);
+  // Decode the mixed-radix path index; the least significant digit is the
+  // topmost choice j_nca (see core/path_index.hpp).
+  std::vector<std::uint32_t> choices(nca);
+  for (std::uint32_t l = nca; l > 0; --l) {
+    const std::uint32_t radix = spec_.w_at(l);
+    choices[l - 1] = static_cast<std::uint32_t>(index % radix);
+    index /= radix;
+  }
+  LMPR_EXPECTS(index == 0);  // index < prod w_i
+  NodeId node = host(src);
+  for (std::uint32_t l = 0; l < nca; ++l) {
+    out.push_back(up_link(node, choices[l]));
+    node = parent(node, choices[l]);
+  }
+  for (std::uint32_t l = nca; l >= 1; --l) {
+    const std::uint32_t port = host_digit(dst, l);
+    out.push_back(down_link(node, port));
+    node = child(node, port);
+  }
+}
+
+std::uint64_t Xgft::dmodk_index(std::uint64_t src, std::uint64_t dst) const {
+  if (src == dst) return 0;
+  const std::uint32_t nca = nca_level(src, dst);
+  std::uint64_t index = 0;
+  for (std::uint32_t l = 0; l < nca; ++l) {
+    const std::uint32_t radix = spec_.w_at(l + 1);
+    index = index * radix + (dst / w_prefix_[l]) % radix;
+  }
+  return index;
+}
+
+std::uint64_t Xgft::smodk_index(std::uint64_t src, std::uint64_t dst) const {
+  if (src == dst) return 0;
+  const std::uint32_t nca = nca_level(src, dst);
+  std::uint64_t index = 0;
+  for (std::uint32_t l = 0; l < nca; ++l) {
+    const std::uint32_t radix = spec_.w_at(l + 1);
+    index = index * radix + (src / w_prefix_[l]) % radix;
+  }
+  return index;
+}
+
+std::uint64_t Xgft::disjoint_offset(std::uint64_t src, std::uint64_t dst,
+                                    std::uint64_t n) const {
+  if (src == dst) return 0;
+  const std::uint32_t nca = nca_level(src, dst);
+  // Digit l of n (radix w_l, bottom-up) scales the stride of the
+  // level-(l-1) choice, prod_{i=l+1..nca} w_i, so consecutive n first
+  // exhaust the lowest-level choice -- the paper's DISJOINT enumeration.
+  std::uint64_t offset = 0;
+  std::uint64_t rest = n;
+  for (std::uint32_t l = 1; l <= nca; ++l) {
+    const std::uint32_t digit =
+        static_cast<std::uint32_t>(rest % spec_.w_at(l));
+    rest /= spec_.w_at(l);
+    std::uint64_t stride = 1;
+    for (std::uint32_t i = l + 1; i <= nca; ++i) stride *= spec_.w_at(i);
+    offset += digit * stride;
+  }
+  return offset;
+}
+
+void Xgft::candidate_links(NodeId node, std::uint64_t dst,
+                           std::vector<LinkId>& out) const {
+  out.clear();
+  if (is_ancestor_of_host(node, dst)) {
+    if (level_of(node) == 0) return;  // node IS the destination host
+    out.push_back(down_link(node, down_port_toward(node, dst)));
+    return;
+  }
+  const std::uint32_t parents = num_parents(node);
+  for (std::uint32_t j = 0; j < parents; ++j) out.push_back(up_link(node, j));
+}
+
+std::uint32_t Xgft::route_anchor(NodeId node, std::uint64_t dst) const {
+  // Only reached at non-ancestor nodes (candidate count > 1), which never
+  // sit at the top level, so w_{level+1} exists.
+  const std::uint32_t level = level_of(node);
+  const std::uint32_t radix = spec_.w_at(level + 1);
+  return static_cast<std::uint32_t>((dst / w_prefix_[level]) % radix);
+}
+
+std::uint32_t Xgft::variant_digit(std::uint32_t level, std::uint32_t j,
+                                  LidLayout layout) const {
+  const std::uint32_t h = height();
+  LMPR_EXPECTS(level < h);
+  std::uint64_t rest = j;
+  if (layout == LidLayout::kDisjointLayout) {
+    // Bottom-up: c_1 = j mod w_1, c_2 = (j / w_1) mod w_2, ...
+    for (std::uint32_t l = 0; l < level; ++l) rest /= spec_.w_at(l + 1);
+    return static_cast<std::uint32_t>(rest % spec_.w_at(level + 1));
+  }
+  // Top-down: c_h = j mod w_h, c_{h-1} = (j / w_h) mod w_{h-1}, ...
+  for (std::uint32_t l = h; l > level + 1; --l) rest /= spec_.w_at(l);
+  return static_cast<std::uint32_t>(rest % spec_.w_at(level + 1));
+}
+
+void Xgft::repair_order(std::uint64_t dst, std::vector<NodeId>& out) const {
+  LMPR_EXPECTS(dst < num_hosts_);
+  out.clear();
+  out.reserve(num_nodes());
+  std::vector<bool> ancestor(num_nodes(), false);
+
+  // Destination's ancestor cone bottom-up: every candidate link of an
+  // ancestor points into the cone one level below.  Parent sets of
+  // distinct same-level ancestors are disjoint (they differ in a digit
+  // the parents inherit), so the frontier never needs deduplication.
+  std::vector<NodeId> frontier{host(dst)};
+  std::vector<NodeId> next;
+  ancestor[frontier[0]] = true;
+  out.push_back(frontier[0]);
+  for (std::uint32_t l = 0; l < height(); ++l) {
+    next.clear();
+    for (const NodeId node : frontier) {
+      const std::uint32_t parents = num_parents(node);
+      for (std::uint32_t j = 0; j < parents; ++j) {
+        const NodeId up = parent(node, j);
+        ancestor[up] = true;
+        next.push_back(up);
+        out.push_back(up);
+      }
+    }
+    frontier.swap(next);
+  }
+
+  // Non-ancestors top-down: their candidates are up links, whose far
+  // endpoints sit one level higher and are already listed.  (Every
+  // top-level switch is an ancestor, so levels h-1..0 suffice.)
+  for (std::uint32_t l = height(); l-- > 0;) {
+    for (NodeId node = level_base_[l]; node < level_base_[l + 1]; ++node) {
+      if (!ancestor[node]) out.push_back(node);
+    }
+  }
+  LMPR_ENSURES(out.size() == num_nodes());
+}
+
+std::uint64_t Xgft::variant_path_index(std::uint64_t src, std::uint64_t dst,
+                                       std::uint32_t j,
+                                       LidLayout layout) const {
+  if (src == dst) return 0;
+  const std::uint32_t nca = nca_level(src, dst);
+  std::uint64_t index = 0;
+  for (std::uint32_t l = 0; l < nca; ++l) {
+    const std::uint32_t radix = spec_.w_at(l + 1);
+    const std::uint32_t anchor =
+        static_cast<std::uint32_t>((dst / w_prefix_[l]) % radix);
+    index = index * radix + (anchor + variant_digit(l, j, layout)) % radix;
+  }
+  return index;
+}
+
 std::string Xgft::to_dot() const {
   std::ostringstream oss;
   oss << "graph xgft {\n  rankdir=BT;\n";

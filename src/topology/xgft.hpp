@@ -11,22 +11,11 @@
 
 #include "topology/label.hpp"
 #include "topology/spec.hpp"
+#include "topology/topology.hpp"
 
 namespace lmpr::topo {
 
-/// One *directed* link.  Every physical cable between a level-l node
-/// ("lower") and a level-(l+1) node ("upper") yields two directed links:
-/// an UP link lower->upper and a DOWN link upper->lower.
-struct Link {
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  /// Level of the lower endpoint (0..h-1); "the link lives between level
-  /// `level` and `level`+1".
-  std::uint32_t level = 0;
-  bool up = false;
-};
-
-class Xgft {
+class Xgft final : public Topology {
  public:
   /// Validates the spec and materializes the topology.
   explicit Xgft(XgftSpec spec);
@@ -36,20 +25,62 @@ class Xgft {
     return static_cast<std::uint32_t>(spec_.height());
   }
 
-  std::uint64_t num_hosts() const noexcept { return num_hosts_; }
-  std::uint64_t num_nodes() const noexcept { return level_base_.back(); }
+  // --- Topology interface -------------------------------------------------
+
+  std::string_view kind() const noexcept override { return "xgft"; }
+  std::string name() const override { return spec_.to_string(); }
+
+  std::uint64_t num_hosts() const noexcept override { return num_hosts_; }
+  std::uint64_t num_nodes() const noexcept override {
+    return level_base_.back();
+  }
   /// Directed link count (2x the cable count).
-  std::uint64_t num_links() const noexcept { return links_.size(); }
-  std::uint64_t num_cables() const noexcept { return links_.size() / 2; }
+  std::uint64_t num_links() const noexcept override { return links_.size(); }
+
+  /// Link-level strata == tree height.
+  std::uint32_t num_levels() const noexcept override { return height(); }
+
+  void out_links(NodeId node, std::vector<LinkId>& out) const override;
+  std::size_t hop_limit() const override { return 4 * height() + 2; }
+
+  std::uint64_t num_paths(std::uint64_t src,
+                          std::uint64_t dst) const override {
+    return num_shortest_paths(src, dst);
+  }
+  std::uint64_t max_paths() const override {
+    return w_prefix_[spec_.height()];
+  }
+  void append_path_links(std::uint64_t src, std::uint64_t dst,
+                         std::uint64_t index,
+                         std::vector<LinkId>& out) const override;
+  std::uint64_t dmodk_index(std::uint64_t src,
+                            std::uint64_t dst) const override;
+  std::uint64_t smodk_index(std::uint64_t src,
+                            std::uint64_t dst) const override;
+  std::uint64_t disjoint_offset(std::uint64_t src, std::uint64_t dst,
+                                std::uint64_t n) const override;
+
+  void candidate_links(NodeId node, std::uint64_t dst,
+                       std::vector<LinkId>& out) const override;
+  std::uint32_t route_anchor(NodeId node, std::uint64_t dst) const override;
+  std::uint32_t variant_digit(std::uint32_t level, std::uint32_t j,
+                              LidLayout layout) const override;
+  void repair_order(std::uint64_t dst,
+                    std::vector<NodeId>& out) const override;
+  std::uint64_t variant_path_index(std::uint64_t src, std::uint64_t dst,
+                                   std::uint32_t j,
+                                   LidLayout layout) const override;
 
   // --- id <-> (level, rank) <-> label ------------------------------------
 
   NodeId node_id(std::uint32_t level, std::uint64_t rank) const;
   /// Processing node i (ids coincide: hosts occupy ids [0, num_hosts)).
-  NodeId host(std::uint64_t i) const;
-  bool is_host(NodeId node) const noexcept { return node < num_hosts_; }
+  NodeId host(std::uint64_t i) const override;
+  bool is_host(NodeId node) const noexcept override {
+    return node < num_hosts_;
+  }
 
-  std::uint32_t level_of(NodeId node) const;
+  std::uint32_t level_of(NodeId node) const override;
   std::uint64_t rank_of(NodeId node) const;
   Label label_of(NodeId node) const;
   NodeId node_of(const Label& label) const;
@@ -73,14 +104,8 @@ class Xgft {
   LinkId up_link(NodeId node, std::uint32_t j) const;
   LinkId down_link(NodeId node, std::uint32_t c) const;
 
-  const Link& link(LinkId id) const;
-  std::span<const Link> links() const noexcept { return links_; }
-
-  /// Cable (undirected edge) index of a directed link; the two directions
-  /// of one cable share the index (up links occupy ids [0, num_cables)).
-  std::uint64_t cable_of(LinkId id) const {
-    return id % num_cables();
-  }
+  const Link& link(LinkId id) const override;
+  std::span<const Link> links() const noexcept override { return links_; }
 
   // --- shortest-path structure (paper Section 3.1, Property 1) ------------
 

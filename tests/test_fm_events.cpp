@@ -12,6 +12,8 @@
 #include "engine/runner.hpp"
 #include "engine/sinks.hpp"
 #include "fm/events.hpp"
+#include "topology/factory.hpp"
+#include "topology/generic.hpp"
 
 namespace lmpr {
 namespace {
@@ -327,6 +329,37 @@ TEST(FmReport, RebalanceScriptGoldenFile) {
   const std::string want = slurp(std::string(LMPR_GOLDEN_DIR) +
                                  "/fm_rebalance_quick.json");
   EXPECT_EQ(got, want) << "fm rebalance report drifted from golden file";
+}
+
+// Golden-file test: the GENERIC-fabric quick report must stay
+// byte-stable too -- it pins the whole --topology path (factory ->
+// RawFabric export -> allow_generic fabric manager) end to end.
+// Regenerate consciously with:
+//   build/lmpr fm --topology "RRG(8;4;2)"
+//       --script scripts/fm_generic_smoke.script --zero-timings
+//       --json tests/golden/fm_generic_quick.json
+TEST(FmReport, GenericSmokeScriptGoldenFile) {
+  const auto script = fm::parse_event_script(
+      slurp(std::string(LMPR_SCRIPTS_DIR) + "/fm_generic_smoke.script"));
+  ASSERT_TRUE(script.ok) << script.error;
+
+  const auto topology = topo::make_topology("RRG(8;4;2)");
+  const discovery::RawFabric fabric = topo::to_raw_fabric(*topology);
+  engine::FmRunOptions options;
+  options.fabric = &fabric;
+  options.topology_name = topology->name();
+  options.config.allow_generic = true;
+  options.config.zero_timings = true;
+  engine::Report report;
+  std::string error;
+  ASSERT_TRUE(engine::run_fm_events(options, script, report, error)) << error;
+  EXPECT_TRUE(report.converged);
+
+  const std::string got =
+      engine::JsonSink::document({report}).dump(2) + "\n";
+  const std::string want = slurp(std::string(LMPR_GOLDEN_DIR) +
+                                 "/fm_generic_quick.json");
+  EXPECT_EQ(got, want) << "generic fm report drifted from golden file";
 }
 
 TEST(FmReport, ScriptAndFabricErrorsAreReported) {

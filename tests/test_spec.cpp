@@ -95,6 +95,77 @@ TEST(XgftSpec, ParseRejectsGarbage) {
   EXPECT_THROW(XgftSpec::parse("XGFT(3;4,8;1,4)"), std::invalid_argument);
 }
 
+TEST(XgftSpecCorpus, AcceptedInputs) {
+  struct Accept {
+    const char* text;
+    const char* canonical;  ///< to_string() of the parse
+  };
+  const Accept corpus[] = {
+      // Whitespace everywhere whitespace is legal, including newlines.
+      {"  XGFT ( 2 ; 4 , 8 ; 1 , 4 )  ", "XGFT(2;4,8;1,4)"},
+      {"XGFT(2;\n  4,8;\n  1,4)", "XGFT(2;4,8;1,4)"},
+      // Height 1 (the smallest legal tree).
+      {"XGFT(1;2;1)", "XGFT(1;2;1)"},
+      // Leading zeros are plain decimal, not octal.
+      {"XGFT(2;04,008;01,4)", "XGFT(2;4,8;1,4)"},
+      // Tabs as separators.
+      {"XGFT(2;\t4,8;\t1,4)", "XGFT(2;4,8;1,4)"},
+  };
+  for (const auto& entry : corpus) {
+    const auto spec = XgftSpec::parse(entry.text);
+    EXPECT_EQ(spec.to_string(), entry.canonical) << entry.text;
+  }
+}
+
+TEST(XgftSpecCorpus, RejectedInputsCarryDiagnostics) {
+  struct Reject {
+    const char* text;
+    const char* needle;  ///< must appear in the diagnostic
+  };
+  const Reject corpus[] = {
+      // Wrong keyword / missing structure at every prefix length.
+      {"", "expected 'XGFT'"},
+      {"FATTREE(2;4;4)", "expected 'XGFT'"},
+      {"XGFT", "expected '('"},
+      {"XGFT(", "expected height"},
+      {"XGFT(2", "expected ';'"},
+      {"XGFT(2;", "expected m-arity"},
+      {"XGFT(2;4,8", "expected ';'"},
+      {"XGFT(2;4,8;", "expected w-arity"},
+      {"XGFT(2;4,8;1,4", "expected ')'"},
+      // Trailing junk after a complete spec.
+      {"XGFT(2;4,8;1,4)x", "trailing characters"},
+      {"XGFT(2;4,8;1,4))", "trailing characters"},
+      // Zero arities and a zero height, each at its own position.
+      {"XGFT(0;;)", "height must be at least 1"},
+      {"XGFT(2;0,8;1,4)", "m-arity must be at least 1"},
+      {"XGFT(2;4,8;1,0)", "w-arity must be at least 1"},
+      // 2^32 and far beyond: no silent std::stoul truncation.
+      {"XGFT(2;4294967296,8;1,4)", "m-arity exceeds 32 bits"},
+      {"XGFT(2;4,8;99999999999999999999,4)", "w-arity exceeds 32 bits"},
+      // Mismatched arity counts against the declared height.
+      {"XGFT(3;4,8;1,4,2)", "expected 3 m-arities"},
+      {"XGFT(2;4,8;1,4,2)", "expected 2 w-arities"},
+      // Negative numbers and stray separators are character errors.
+      {"XGFT(2;-4,8;1,4)", "expected m-arity"},
+      {"XGFT(2;4,,8;1,4)", "expected m-arity"},
+      {"XGFT(2;4,8;,1,4)", "expected w-arity"},
+      // Diagnostics carry 1-based line:column positions.
+      {"XGFT(2;4,8;1,4)x", "line 1, column 16"},
+      {"XGFT(2;\n4,0;\n1,4)", "line 2, column 3"},
+  };
+  for (const auto& entry : corpus) {
+    try {
+      XgftSpec::parse(entry.text);
+      FAIL() << "accepted: " << entry.text;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string{error.what()}.find(entry.needle),
+                std::string::npos)
+          << entry.text << " diagnostic was: " << error.what();
+    }
+  }
+}
+
 TEST(XgftSpec, ValidateRejectsMalformed) {
   EXPECT_THROW((XgftSpec{{}, {}}).validate(), std::invalid_argument);
   EXPECT_THROW((XgftSpec{{4, 4}, {1}}).validate(), std::invalid_argument);

@@ -1,0 +1,251 @@
+// Feeding an XGFT's own cable list through GenericGraphTopology must
+// reproduce the XGFT's routing SEMANTICS: same structure, same per-pair
+// path counts, the same SET of shortest paths (and therefore identical
+// UMULTI link-load histograms), and LFT walks that always deliver along
+// an enumerated shortest path.
+//
+// Entry-level equality is deliberately NOT asserted: the generic provider
+// ranks paths lexicographically in cable order and anchors routes at
+// dst mod candidate-count, while the XGFT ranks by label digits and
+// anchors at the d-mod-k digit.  Both are valid LFT realizations of the
+// same path set; everything set-shaped must coincide exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/route_table.hpp"
+#include "fabric/lft.hpp"
+#include "flow/link_load.hpp"
+#include "flow/traffic.hpp"
+#include "topology/generic.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using lmpr::topo::GenericGraphTopology;
+using lmpr::topo::LidLayout;
+using lmpr::topo::Link;
+using lmpr::topo::LinkId;
+using lmpr::topo::NodeId;
+using lmpr::topo::Topology;
+using lmpr::topo::Xgft;
+using lmpr::topo::XgftSpec;
+using lmpr::topo::to_raw_fabric;
+
+/// The specs the suite sweeps: a flat tree, the Figure-style 2-level
+/// workhorse, and a 3-level tree with mixed arities.
+std::vector<XgftSpec> equivalence_specs() {
+  return {
+      XgftSpec{{4}, {3}},
+      XgftSpec{{4, 4}, {2, 2}},
+      XgftSpec{{2, 2, 2}, {1, 2, 2}},
+  };
+}
+
+GenericGraphTopology generic_twin(const Xgft& xgft) {
+  return GenericGraphTopology(to_raw_fabric(xgft), xgft.name());
+}
+
+/// All shortest paths of (src, dst), each as its hop-ordered link list,
+/// sorted so two enumerations compare as sets.
+std::vector<std::vector<LinkId>> path_set(const Topology& topo,
+                                          std::uint64_t src,
+                                          std::uint64_t dst) {
+  std::vector<std::vector<LinkId>> paths;
+  std::vector<LinkId> links;
+  for (std::uint64_t i = 0; i < topo.num_paths(src, dst); ++i) {
+    links.clear();
+    topo.append_path_links(src, dst, i, links);
+    paths.push_back(links);
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+/// Integer UMULTI link-load histogram: how many enumerated shortest paths
+/// (over all ordered host pairs) traverse each directed link.  Exact, so
+/// the comparison is immune to floating-point summation order.
+std::vector<std::uint64_t> umulti_histogram(const Topology& topo) {
+  std::vector<std::uint64_t> loads(topo.num_links(), 0);
+  std::vector<LinkId> links;
+  for (std::uint64_t s = 0; s < topo.num_hosts(); ++s) {
+    for (std::uint64_t d = 0; d < topo.num_hosts(); ++d) {
+      if (s == d) continue;
+      for (std::uint64_t i = 0; i < topo.num_paths(s, d); ++i) {
+        links.clear();
+        topo.append_path_links(s, d, i, links);
+        for (const LinkId id : links) ++loads[id];
+      }
+    }
+  }
+  return loads;
+}
+
+TEST(TopologyEquivalence, StructureIsIdentical) {
+  for (const XgftSpec& spec : equivalence_specs()) {
+    const Xgft xgft(spec);
+    const GenericGraphTopology generic = generic_twin(xgft);
+    SCOPED_TRACE(xgft.name());
+    EXPECT_EQ(generic.num_hosts(), xgft.num_hosts());
+    EXPECT_EQ(generic.num_nodes(), xgft.num_nodes());
+    EXPECT_EQ(generic.num_links(), xgft.num_links());
+    EXPECT_EQ(generic.num_levels(), xgft.num_levels());
+    for (NodeId node = 0; node < xgft.num_nodes(); ++node) {
+      EXPECT_EQ(generic.level_of(node), xgft.level_of(node)) << node;
+      EXPECT_EQ(generic.is_host(node), xgft.is_host(node)) << node;
+    }
+    // The identity export preserves cable indices and the BFS layering
+    // reproduces the tree levels, so even LinkIds coincide.
+    for (std::uint64_t id = 0; id < xgft.num_links(); ++id) {
+      const Link& a = xgft.link(static_cast<LinkId>(id));
+      const Link& b = generic.link(static_cast<LinkId>(id));
+      EXPECT_EQ(a.src, b.src) << id;
+      EXPECT_EQ(a.dst, b.dst) << id;
+      EXPECT_EQ(a.level, b.level) << id;
+      EXPECT_EQ(a.up, b.up) << id;
+    }
+  }
+}
+
+TEST(TopologyEquivalence, PathCountsMatchPropertyOne) {
+  for (const XgftSpec& spec : equivalence_specs()) {
+    const Xgft xgft(spec);
+    const GenericGraphTopology generic = generic_twin(xgft);
+    SCOPED_TRACE(xgft.name());
+    EXPECT_EQ(generic.max_paths(), xgft.max_paths());
+    for (std::uint64_t s = 0; s < xgft.num_hosts(); ++s) {
+      for (std::uint64_t d = 0; d < xgft.num_hosts(); ++d) {
+        EXPECT_EQ(generic.num_paths(s, d), xgft.num_paths(s, d))
+            << s << "->" << d;
+      }
+    }
+  }
+}
+
+TEST(TopologyEquivalence, ShortestPathSetsAreEqual) {
+  for (const XgftSpec& spec : equivalence_specs()) {
+    const Xgft xgft(spec);
+    const GenericGraphTopology generic = generic_twin(xgft);
+    SCOPED_TRACE(xgft.name());
+    for (std::uint64_t s = 0; s < xgft.num_hosts(); ++s) {
+      for (std::uint64_t d = 0; d < xgft.num_hosts(); ++d) {
+        if (s == d) continue;
+        EXPECT_EQ(path_set(generic, s, d), path_set(xgft, s, d))
+            << s << "->" << d;
+      }
+    }
+  }
+}
+
+TEST(TopologyEquivalence, UmultiLinkLoadHistogramsAreIdentical) {
+  for (const XgftSpec& spec : equivalence_specs()) {
+    const Xgft xgft(spec);
+    const GenericGraphTopology generic = generic_twin(xgft);
+    SCOPED_TRACE(xgft.name());
+    EXPECT_EQ(umulti_histogram(generic), umulti_histogram(xgft));
+  }
+}
+
+TEST(TopologyEquivalence, UmultiMaxLoadMatchesThroughTheFlowStack) {
+  // All-w power-of-two spec: path fractions are exact binary fractions, so
+  // MLOAD is bit-identical regardless of per-pair accumulation order.
+  const Xgft xgft(XgftSpec{{4, 4}, {2, 2}});
+  const GenericGraphTopology generic = generic_twin(xgft);
+  const auto tm = lmpr::flow::TrafficMatrix::uniform(xgft.num_hosts());
+  const lmpr::route::RouteTable xgft_table(
+      xgft, lmpr::route::Heuristic::kUmulti, 1);
+  const lmpr::route::RouteTable generic_table(
+      generic, lmpr::route::Heuristic::kUmulti, 1);
+  lmpr::flow::LoadEvaluator xgft_eval(xgft);
+  lmpr::flow::LoadEvaluator generic_eval(generic);
+  const auto a = xgft_eval.evaluate(tm, xgft_table);
+  const auto b = generic_eval.evaluate(tm, generic_table);
+  EXPECT_DOUBLE_EQ(a.max_load, b.max_load);
+  ASSERT_EQ(xgft_eval.link_loads().size(), generic_eval.link_loads().size());
+  for (std::size_t id = 0; id < xgft_eval.link_loads().size(); ++id) {
+    EXPECT_DOUBLE_EQ(xgft_eval.link_loads()[id],
+                     generic_eval.link_loads()[id])
+        << id;
+  }
+}
+
+TEST(TopologyEquivalence, SinglePathSelectionsPickEnumeratedPaths) {
+  // The single-path anchors differ by construction (digit decomposition
+  // vs dst-mod-candidates); each must still land inside the pair's range.
+  for (const XgftSpec& spec : equivalence_specs()) {
+    const Xgft xgft(spec);
+    const GenericGraphTopology generic = generic_twin(xgft);
+    SCOPED_TRACE(xgft.name());
+    for (std::uint64_t s = 0; s < xgft.num_hosts(); ++s) {
+      for (std::uint64_t d = 0; d < xgft.num_hosts(); ++d) {
+        const std::uint64_t count = generic.num_paths(s, d);
+        EXPECT_LT(generic.dmodk_index(s, d), count) << s << "->" << d;
+        EXPECT_LT(generic.smodk_index(s, d), count) << s << "->" << d;
+        EXPECT_LT(xgft.dmodk_index(s, d), count) << s << "->" << d;
+      }
+    }
+  }
+}
+
+TEST(TopologyEquivalence, LftWalksDeliverOnBothRealizations) {
+  for (const XgftSpec& spec : equivalence_specs()) {
+    const Xgft xgft(spec);
+    const GenericGraphTopology generic = generic_twin(xgft);
+    SCOPED_TRACE(xgft.name());
+    const lmpr::fabric::Lft xgft_lft(xgft, xgft.max_paths(),
+                                     LidLayout::kDisjointLayout);
+    const lmpr::fabric::Lft generic_lft(generic, generic.max_paths(),
+                                        LidLayout::kDisjointLayout);
+    ASSERT_EQ(generic_lft.block(), xgft_lft.block());
+    for (std::uint64_t s = 0; s < xgft.num_hosts(); ++s) {
+      for (std::uint64_t d = 0; d < xgft.num_hosts(); ++d) {
+        if (s == d) continue;
+        const auto reference = path_set(xgft, s, d);
+        for (std::uint32_t j = 0; j < xgft_lft.block(); ++j) {
+          const auto a = xgft_lft.walk(s, d, j);
+          const auto b = generic_lft.walk(s, d, j);
+          ASSERT_TRUE(a.delivered) << s << "->" << d << " variant " << j;
+          ASSERT_TRUE(b.delivered) << s << "->" << d << " variant " << j;
+          // Both forwardings emit members of the SAME shortest-path set
+          // (reference comes from the XGFT; the sets were proven equal).
+          EXPECT_TRUE(std::binary_search(reference.begin(), reference.end(),
+                                         a.path.links))
+              << s << "->" << d << " variant " << j;
+          EXPECT_TRUE(std::binary_search(reference.begin(), reference.end(),
+                                         b.path.links))
+              << s << "->" << d << " variant " << j;
+          EXPECT_EQ(a.path.links.size(), b.path.links.size())
+              << s << "->" << d << " variant " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyEquivalence, DisjointFirstKPathsAreLinkDisjointOnBoth) {
+  // The paper's DISJOINT guarantee: the first w_1 variants of the disjoint
+  // layout are link-disjoint on the XGFT.  The generic twin enumerates the
+  // same path set, so its first-K disjoint picks must be distinct paths
+  // (it makes no stride guarantee, but distinctness must hold).
+  const Xgft xgft(XgftSpec{{4, 4}, {2, 2}});
+  const GenericGraphTopology generic = generic_twin(xgft);
+  for (std::uint64_t d = 1; d < xgft.num_hosts(); ++d) {
+    const std::uint64_t count = xgft.num_paths(0, d);
+    std::set<std::uint64_t> xgft_picks, generic_picks;
+    for (std::uint64_t n = 0; n < count; ++n) {
+      xgft_picks.insert(xgft.disjoint_offset(0, d, n));
+      generic_picks.insert(generic.disjoint_offset(0, d, n));
+    }
+    // Each enumeration is a permutation of [0, count).
+    EXPECT_EQ(xgft_picks.size(), count) << d;
+    EXPECT_EQ(generic_picks.size(), count) << d;
+    EXPECT_LT(*xgft_picks.rbegin(), count) << d;
+    EXPECT_LT(*generic_picks.rbegin(), count) << d;
+  }
+}
+
+}  // namespace

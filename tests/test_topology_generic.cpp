@@ -1,0 +1,391 @@
+// GenericGraphTopology, the expander fabric builder, the topology factory
+// and the discovery boundary around them: constructor totality on
+// malformed cable lists, recognition totality on non-XGFT fabrics
+// (recognize_xgft must report "not an XGFT", never assert or throw), and
+// the save_fabric/try_load_fabric round-trip for generic fabrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "discovery/io.hpp"
+#include "discovery/recognize.hpp"
+#include "fabric/lft.hpp"
+#include "topology/factory.hpp"
+#include "topology/generic.hpp"
+
+namespace {
+
+using lmpr::discovery::RawFabric;
+using lmpr::discovery::recognize_xgft;
+using lmpr::discovery::save_fabric;
+using lmpr::discovery::try_load_fabric;
+using lmpr::topo::GenericGraphTopology;
+using lmpr::topo::Link;
+using lmpr::topo::LinkId;
+using lmpr::topo::NodeId;
+using lmpr::topo::build_expander_fabric;
+using lmpr::topo::make_topology;
+using lmpr::topo::to_raw_fabric;
+
+/// Two hosts hanging off one switch: the smallest legal generic fabric.
+RawFabric minimal_fabric() {
+  RawFabric fabric;
+  fabric.num_nodes = 3;
+  fabric.hosts = {0, 1};
+  fabric.cables = {{0, 2}, {1, 2}};
+  return fabric;
+}
+
+TEST(GenericGraphTopology, MinimalFabric) {
+  const GenericGraphTopology topo(minimal_fabric(), "tiny");
+  EXPECT_EQ(topo.kind(), "generic");
+  EXPECT_EQ(topo.name(), "tiny");
+  EXPECT_EQ(topo.num_hosts(), 2u);
+  EXPECT_EQ(topo.num_nodes(), 3u);
+  EXPECT_EQ(topo.num_cables(), 2u);
+  EXPECT_EQ(topo.num_paths(0, 1), 1u);
+  EXPECT_EQ(topo.num_paths(0, 0), 1u);
+  EXPECT_EQ(topo.max_paths(), 1u);
+  EXPECT_EQ(topo.level_of(0), 0u);
+  EXPECT_EQ(topo.level_of(2), 1u);
+}
+
+TEST(GenericGraphTopology, DefaultNameIsASizeSummary) {
+  const GenericGraphTopology topo(minimal_fabric());
+  EXPECT_EQ(topo.name(), "generic(2 hosts, 1 switches, 2 cables)");
+}
+
+TEST(GenericGraphTopology, CtorRejectsMalformedFabrics) {
+  struct Reject {
+    const char* what;
+    RawFabric fabric;
+  };
+  std::vector<Reject> corpus;
+  corpus.push_back({"empty fabric", RawFabric{}});
+  {
+    RawFabric f = minimal_fabric();
+    f.hosts.clear();
+    corpus.push_back({"no hosts", f});
+  }
+  {
+    RawFabric f = minimal_fabric();
+    f.hosts = {0, 7};
+    corpus.push_back({"host id out of range", f});
+  }
+  {
+    RawFabric f = minimal_fabric();
+    f.hosts = {0, 0};
+    corpus.push_back({"duplicate host", f});
+  }
+  {
+    RawFabric f = minimal_fabric();
+    f.cables = {{0, 2}, {1, 9}};
+    corpus.push_back({"cable endpoint out of range", f});
+  }
+  {
+    RawFabric f = minimal_fabric();
+    f.cables = {{0, 2}, {1, 2}, {2, 2}};
+    corpus.push_back({"self cable", f});
+  }
+  {
+    RawFabric f = minimal_fabric();
+    f.cables = {{0, 2}, {1, 2}, {0, 1}};
+    corpus.push_back({"host-host cable", f});
+  }
+  {
+    RawFabric f = minimal_fabric();
+    f.cables = {{0, 2}, {1, 2}, {2, 1}};
+    corpus.push_back({"duplicate cable (reversed)", f});
+  }
+  {
+    // 0-2 and 1-3: each host owns a private switch, nothing joins them.
+    RawFabric f;
+    f.num_nodes = 4;
+    f.hosts = {0, 1};
+    f.cables = {{0, 2}, {1, 3}};
+    corpus.push_back({"disconnected fabric", f});
+  }
+  for (const auto& entry : corpus) {
+    EXPECT_THROW(GenericGraphTopology{entry.fabric}, std::invalid_argument)
+        << entry.what;
+  }
+}
+
+TEST(ExpanderFabric, ShapeAndRegularity) {
+  const RawFabric fabric = build_expander_fabric(8, 4, 2);
+  EXPECT_EQ(fabric.num_nodes, 24u);          // 16 hosts + 8 switches
+  EXPECT_EQ(fabric.hosts.size(), 16u);
+  EXPECT_EQ(fabric.cables.size(), 16u + 16u);  // host cables + 8*4/2
+  // Hosts occupy the low ids and every cable is host-switch or
+  // switch-switch; switch-switch degree is exactly `degree`.
+  std::vector<unsigned> switch_degree(fabric.num_nodes, 0);
+  std::vector<unsigned> host_cables(fabric.num_nodes, 0);
+  for (const auto& [u, v] : fabric.cables) {
+    const bool u_host = u < 16, v_host = v < 16;
+    EXPECT_FALSE(u_host && v_host) << u << "-" << v;
+    if (u_host || v_host) {
+      ++host_cables[u_host ? u : v];
+    } else {
+      ++switch_degree[u];
+      ++switch_degree[v];
+    }
+  }
+  for (std::uint32_t h = 0; h < 16; ++h) EXPECT_EQ(host_cables[h], 1u) << h;
+  for (std::uint32_t s = 16; s < 24; ++s) EXPECT_EQ(switch_degree[s], 4u) << s;
+}
+
+TEST(ExpanderFabric, DeterministicPerSeed) {
+  const RawFabric a = build_expander_fabric(12, 4, 1, 7);
+  const RawFabric b = build_expander_fabric(12, 4, 1, 7);
+  EXPECT_EQ(a.cables, b.cables);
+  EXPECT_EQ(a.hosts, b.hosts);
+  const RawFabric c = build_expander_fabric(12, 4, 1, 8);
+  EXPECT_NE(a.cables, c.cables) << "seed must perturb the wiring";
+}
+
+TEST(ExpanderFabric, AlwaysConnected) {
+  // The offset-1 ring survives every edge swap, so construction (which
+  // throws on any unreachable node) must succeed across seeds.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RawFabric fabric = build_expander_fabric(11, 4, 1, seed);
+    EXPECT_NO_THROW(GenericGraphTopology{fabric}) << "seed " << seed;
+  }
+}
+
+TEST(ExpanderFabric, RejectsDegenerateParameters) {
+  EXPECT_THROW(build_expander_fabric(2, 1, 1), std::invalid_argument);
+  EXPECT_THROW(build_expander_fabric(8, 1, 1), std::invalid_argument);
+  EXPECT_THROW(build_expander_fabric(8, 8, 1), std::invalid_argument);
+  EXPECT_THROW(build_expander_fabric(8, 4, 0), std::invalid_argument);
+  // Odd degree needs the antipode chord, which needs an even switch count.
+  EXPECT_THROW(build_expander_fabric(7, 3, 1), std::invalid_argument);
+  EXPECT_NO_THROW(build_expander_fabric(8, 3, 1));
+}
+
+TEST(Recognition, TotalOnExpanderFabrics) {
+  // recognize_xgft is documented total: a random regular graph is not an
+  // XGFT, and the recognizer must say so without asserting or throwing.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const RawFabric fabric = build_expander_fabric(8, 4, 2, seed);
+    lmpr::discovery::RecognitionResult result;
+    ASSERT_NO_THROW(result = recognize_xgft(fabric)) << "seed " << seed;
+    EXPECT_FALSE(result.ok) << "seed " << seed;
+    EXPECT_FALSE(result.error.empty()) << "seed " << seed;
+  }
+}
+
+TEST(Recognition, TotalOnMinimalGenericFabric) {
+  // A single switch with two hosts IS XGFT(1;2;1); adding a third dangling
+  // switch in a chain is not.  Both must be answered, not crashed on.
+  lmpr::discovery::RecognitionResult result;
+  ASSERT_NO_THROW(result = recognize_xgft(minimal_fabric()));
+  EXPECT_TRUE(result.ok) << result.error;
+
+  // Two leaf switches joined LATERALLY (a same-level cable): legal for
+  // the generic topology, impossible in any XGFT.
+  RawFabric lateral;
+  lateral.num_nodes = 4;
+  lateral.hosts = {0, 1};
+  lateral.cables = {{0, 2}, {1, 3}, {2, 3}};
+  EXPECT_NO_THROW(GenericGraphTopology{lateral});
+  ASSERT_NO_THROW(result = recognize_xgft(lateral));
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(GenericIo, ExpanderRoundTripsThroughFabricFiles) {
+  const RawFabric fabric = build_expander_fabric(8, 4, 2, 3);
+  std::stringstream stream;
+  save_fabric(fabric, stream);
+  const auto parsed = try_load_fabric(stream);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.fabric.num_nodes, fabric.num_nodes);
+  EXPECT_EQ(parsed.fabric.hosts, fabric.hosts);
+  EXPECT_EQ(parsed.fabric.cables, fabric.cables);
+
+  // The reloaded fabric is still recognizably NOT an XGFT...
+  const auto recognition = recognize_xgft(parsed.fabric);
+  EXPECT_FALSE(recognition.ok);
+  EXPECT_FALSE(recognition.error.empty());
+
+  // ...and reconstructs the identical generic topology.
+  const GenericGraphTopology original(fabric);
+  const GenericGraphTopology reloaded(parsed.fabric);
+  ASSERT_EQ(reloaded.num_nodes(), original.num_nodes());
+  ASSERT_EQ(reloaded.num_links(), original.num_links());
+  EXPECT_EQ(reloaded.max_paths(), original.max_paths());
+  for (std::uint64_t d = 0; d < original.num_hosts(); ++d) {
+    EXPECT_EQ(reloaded.num_paths(0, d), original.num_paths(0, d)) << d;
+  }
+}
+
+TEST(GenericIo, ToRawFabricIsTheIdentityExport) {
+  const RawFabric fabric = build_expander_fabric(8, 4, 2, 5);
+  const GenericGraphTopology topo(fabric);
+  const RawFabric exported = to_raw_fabric(topo);
+  EXPECT_EQ(exported.num_nodes, static_cast<std::uint32_t>(topo.num_nodes()));
+  ASSERT_EQ(exported.hosts.size(), topo.num_hosts());
+  for (std::uint64_t i = 0; i < topo.num_hosts(); ++i) {
+    EXPECT_EQ(exported.hosts[i], topo.host(i));
+  }
+  ASSERT_EQ(exported.cables.size(), topo.num_cables());
+
+  // Re-importing the export reproduces the topology link for link.
+  const GenericGraphTopology round(exported);
+  ASSERT_EQ(round.num_links(), topo.num_links());
+  for (std::uint64_t id = 0; id < topo.num_links(); ++id) {
+    const Link& a = topo.link(static_cast<LinkId>(id));
+    const Link& b = round.link(static_cast<LinkId>(id));
+    EXPECT_EQ(a.src, b.src) << id;
+    EXPECT_EQ(a.dst, b.dst) << id;
+    EXPECT_EQ(a.level, b.level) << id;
+    EXPECT_EQ(a.up, b.up) << id;
+  }
+}
+
+TEST(GenericGraphTopology, LinkPairingContract) {
+  const GenericGraphTopology topo(build_expander_fabric(8, 4, 2));
+  const std::uint64_t cables = topo.num_cables();
+  for (std::uint64_t c = 0; c < cables; ++c) {
+    const Link& up = topo.link(static_cast<LinkId>(c));
+    const Link& down = topo.link(static_cast<LinkId>(cables + c));
+    EXPECT_TRUE(up.up) << c;
+    EXPECT_FALSE(down.up) << c;
+    EXPECT_EQ(up.src, down.dst) << c;
+    EXPECT_EQ(up.dst, down.src) << c;
+    EXPECT_EQ(up.level, down.level) << c;
+    EXPECT_LE(topo.level_of(up.src), topo.level_of(up.dst)) << c;
+  }
+}
+
+TEST(GenericGraphTopology, CandidateLinksAndRepairOrderContracts) {
+  const GenericGraphTopology topo(build_expander_fabric(8, 4, 2));
+  std::vector<LinkId> candidates;
+  std::vector<NodeId> order;
+  for (std::uint64_t dst = 0; dst < topo.num_hosts(); dst += 5) {
+    topo.repair_order(dst, order);
+    ASSERT_EQ(order.size(), topo.num_nodes()) << dst;
+    EXPECT_EQ(order.front(), topo.host(dst)) << dst;
+    std::vector<std::size_t> position(topo.num_nodes());
+    for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+    for (NodeId node = 0; node < topo.num_nodes(); ++node) {
+      topo.candidate_links(node, dst, candidates);
+      EXPECT_EQ(candidates.empty(), node == topo.host(dst)) << node;
+      for (const LinkId id : candidates) {
+        const Link& link = topo.link(id);
+        EXPECT_EQ(link.src, node);
+        // The far endpoint resolves before the node that routes through it.
+        EXPECT_LT(position[link.dst], position[node]) << node << "->" << dst;
+      }
+    }
+  }
+}
+
+TEST(GenericGraphTopology, PathEnumerationIsDenseAndShortest) {
+  const GenericGraphTopology topo(build_expander_fabric(8, 4, 2));
+  std::vector<LinkId> links;
+  for (std::uint64_t dst = 1; dst < topo.num_hosts(); dst += 3) {
+    const std::uint64_t count = topo.num_paths(0, dst);
+    ASSERT_GE(count, 1u) << dst;
+    std::set<std::vector<LinkId>> distinct;
+    std::size_t length = 0;
+    for (std::uint64_t index = 0; index < count; ++index) {
+      links.clear();
+      topo.append_path_links(0, dst, index, links);
+      ASSERT_FALSE(links.empty());
+      // Hop-chained from host 0 to host dst, never transiting a host.
+      NodeId at = topo.host(0);
+      for (const LinkId id : links) {
+        ASSERT_EQ(topo.link(id).src, at);
+        at = topo.link(id).dst;
+        if (at != topo.host(dst)) {
+          EXPECT_FALSE(topo.is_host(at));
+        }
+      }
+      EXPECT_EQ(at, topo.host(dst));
+      if (index == 0) length = links.size();
+      EXPECT_EQ(links.size(), length) << "all enumerated paths are shortest";
+      distinct.insert(links);
+    }
+    EXPECT_EQ(distinct.size(), count) << dst;
+  }
+}
+
+TEST(GenericGraphTopology, LftWalksDeliverEnumeratedPaths) {
+  const GenericGraphTopology topo(build_expander_fabric(8, 4, 2));
+  const lmpr::fabric::Lft lft(topo, topo.max_paths(),
+                              lmpr::topo::LidLayout::kDisjointLayout);
+  std::vector<LinkId> links;
+  for (std::uint64_t dst = 1; dst < topo.num_hosts(); dst += 4) {
+    std::set<std::vector<LinkId>> enumerated;
+    for (std::uint64_t i = 0; i < topo.num_paths(0, dst); ++i) {
+      links.clear();
+      topo.append_path_links(0, dst, i, links);
+      enumerated.insert(links);
+    }
+    for (std::uint32_t j = 0; j < lft.block(); ++j) {
+      const auto walk = lft.walk(0, dst, j);
+      ASSERT_TRUE(walk.delivered) << "dst " << dst << " variant " << j;
+      EXPECT_EQ(enumerated.count(walk.path.links), 1u)
+          << "dst " << dst << " variant " << j
+          << " walked a path outside the enumeration";
+    }
+  }
+}
+
+TEST(TopologyFactory, DispatchesOnTheFamilyKeyword) {
+  const auto xgft = make_topology("XGFT(2;4,4;2,2)");
+  EXPECT_EQ(xgft->kind(), "xgft");
+  EXPECT_EQ(xgft->name(), "XGFT(2;4,4;2,2)");
+  EXPECT_EQ(xgft->num_hosts(), 16u);
+
+  const auto rrg = make_topology("RRG(8;4;2)");
+  EXPECT_EQ(rrg->kind(), "generic");
+  EXPECT_EQ(rrg->name(), "RRG(8;4;2)");
+  EXPECT_EQ(rrg->num_hosts(), 16u);
+
+  const auto seeded = make_topology("RRG(8;4;2;7)");
+  EXPECT_EQ(seeded->name(), "RRG(8;4;2;7)");
+}
+
+TEST(TopologyFactory, ToleratesWhitespaceInBothFamilies) {
+  EXPECT_EQ(make_topology("  XGFT( 2 ; 4,4 ; 2,2 )")->num_hosts(), 16u);
+  EXPECT_EQ(make_topology("RRG( 8 ; 4 ; 2 )")->num_hosts(), 16u);
+}
+
+TEST(TopologyFactory, SameSpecSameWiring) {
+  const auto a = make_topology("RRG(12;4;1;9)");
+  const auto b = make_topology("RRG(12;4;1;9)");
+  ASSERT_EQ(a->num_links(), b->num_links());
+  for (std::uint64_t id = 0; id < a->num_links(); ++id) {
+    EXPECT_EQ(a->link(static_cast<LinkId>(id)).src,
+              b->link(static_cast<LinkId>(id)).src);
+    EXPECT_EQ(a->link(static_cast<LinkId>(id)).dst,
+              b->link(static_cast<LinkId>(id)).dst);
+  }
+}
+
+TEST(TopologyFactory, RejectsMalformedSpecs) {
+  const char* corpus[] = {
+      "",
+      "   ",
+      "TORUS(3;3)",
+      "XGFT(2;4,4)",
+      "RRG(8;4)",
+      "RRG(8;4;2;1;9)",
+      "RRG(8;x;2)",
+      "RRG(8;;2)",
+      "RRG(8;4;2",
+      "RRG(99999999999;4;2)",
+      "RRG(2;1;1)",  // degenerate expander parameters propagate
+  };
+  for (const char* text : corpus) {
+    EXPECT_THROW(make_topology(text), std::invalid_argument) << text;
+  }
+}
+
+}  // namespace
