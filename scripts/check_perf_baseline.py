@@ -30,6 +30,9 @@ DEFAULT_EXPECTED_KEYS = [
     "flit_kernel",
     "fig5_quick_sweep.speedup",
     "flow_permutation_study.speedup",
+    "serve_throughput.queries_per_sec",
+    "serve_throughput.events_per_sec",
+    "serve_throughput.inconsistent",
     "lft_build.build_seconds",
 ]
 

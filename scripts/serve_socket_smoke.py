@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Socket smoke test for `lmpr serve --socket`.
+
+Spawns the daemon on a temporary UNIX socket, drives one session end to
+end (TOPO, GEN, PATH, EVENT, STATS, a malformed line), opens a SECOND
+connection to prove sessions are independent, then sends SHUTDOWN and
+asserts the daemon exits 0 and removes the socket file.
+
+Stdlib only, so CI can run it with a bare python3.
+
+Usage: serve_socket_smoke.py /path/to/lmpr
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def connect(path, deadline=10.0):
+    """Connects to the UNIX socket, polling until the daemon binds it."""
+    end = time.time() + deadline
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except (FileNotFoundError, ConnectionRefusedError):
+            sock.close()
+            if time.time() > end:
+                raise
+            time.sleep(0.05)
+
+
+class Session:
+    def __init__(self, path):
+        self.sock = connect(path)
+        self.buffer = b""
+
+    def send(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+
+    def recv_line(self):
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise AssertionError("daemon closed the connection early")
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return line.decode()
+
+    def ask(self, line):
+        self.send(line)
+        return self.recv_line()
+
+    def close(self):
+        self.sock.close()
+
+
+def expect(response, prefix, context):
+    if not response.startswith(prefix):
+        raise AssertionError(
+            f"{context}: expected a response starting with {prefix!r}, "
+            f"got {response!r}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    # /tmp keeps the sun_path under its ~107-byte limit even when the
+    # build tree lives somewhere deep.
+    sock_dir = tempfile.mkdtemp(prefix="lmpr-serve-", dir="/tmp")
+    sock_path = os.path.join(sock_dir, "lmpr.sock")
+    daemon = subprocess.Popen(
+        [binary, "serve", "--socket", sock_path, "--zero-timings"])
+    try:
+        one = Session(sock_path)
+        expect(one.ask("TOPO XGFT(2;4,4;1,4)"), "OK XGFT(2;4,4;1,4)", "TOPO")
+        expect(one.ask("GEN"), "OK gen=1", "GEN")
+
+        one.send("PATH 0 5")
+        header = one.recv_line()
+        expect(header, "OK gen=1 variants=4 usable=4", "PATH header")
+        lines = []
+        while True:
+            line = one.recv_line()
+            if line == "END":
+                break
+            lines.append(line)
+        if len(lines) != 4 or not all(l.startswith("VAR ") for l in lines):
+            raise AssertionError(f"bad PATH body: {lines!r}")
+
+        expect(one.ask("EVENT cable_down 16 20"), "OK gen=2", "EVENT")
+        expect(one.ask("STATS"), "OK gen=2", "STATS")
+        expect(one.ask("NONSENSE"), "ERR ", "reject")
+
+        # A second concurrent session shares the fabric but counts its
+        # own lines (the ERR line number restarts at its own input).
+        two = Session(sock_path)
+        expect(two.ask("GEN"), "OK gen=2", "second session GEN")
+        expect(two.ask("NONSENSE"), "ERR 2:", "second session line count")
+        expect(two.ask("QUIT"), "OK bye", "QUIT")
+        two.close()
+
+        expect(one.ask("SHUTDOWN"), "OK shutting down", "SHUTDOWN")
+        one.close()
+
+        code = daemon.wait(timeout=10)
+        if code != 0:
+            raise AssertionError(f"daemon exited {code}, expected 0")
+        if os.path.exists(sock_path):
+            raise AssertionError("socket file survived shutdown")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        if os.path.exists(sock_path):
+            os.unlink(sock_path)
+        os.rmdir(sock_dir)
+    print("serve socket smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

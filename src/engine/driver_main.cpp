@@ -23,6 +23,8 @@
 #include "engine/fm_support.hpp"
 #include "engine/replay_support.hpp"
 #include "engine/runner.hpp"
+#include "serve/session.hpp"
+#include "serve/socket.hpp"
 #include "topology/factory.hpp"
 #include "topology/generic.hpp"
 
@@ -50,6 +52,11 @@ int usage(std::ostream& os, int code) {
         "              [--load X] [--seed N] [--warmup N] [--measure N]\n"
         "              [--drain N] [--window N] [--json PATH]\n"
         "              [--zero-timings]\n"
+        "  lmpr serve [--socket PATH | --script PATH]\n"
+        "             [--topology SPEC | --fabric FILE] [--k N]\n"
+        "             [--layout disjoint|shift]\n"
+        "             [--repair-policy first_surviving|load_aware]\n"
+        "             [--zero-timings]\n"
         "\n"
         "Scenario names accept globs (e.g. 'fig4?', 'ablation_*').  Pass\n"
         "--full (or set LMPR_FULL=1) for paper-scale runs; the default is\n"
@@ -77,7 +84,16 @@ int usage(std::ostream& os, int code) {
         "--topology selects ANY topology family through the factory\n"
         "(XGFT(...) or RRG(switches;degree;hosts_per_switch[;seed]), a\n"
         "seeded random-regular expander) and manages it generically when\n"
-        "it is not an XGFT; --topo keeps the XGFT-only spec parser.\n";
+        "it is not an XGFT; --topo keeps the XGFT-only spec parser.\n"
+        "\n"
+        "`serve` runs the routing controller as a long-lived daemon\n"
+        "speaking a line protocol (LOAD, TOPO, EVENT, PATH, STATS, GEN,\n"
+        "QUIT, SHUTDOWN; see DESIGN.md section 13) over stdin/stdout, a\n"
+        "--script file, or a UNIX domain --socket serving one session per\n"
+        "connection.  PATH queries are lock-free against an immutable\n"
+        "table snapshot, so they never wait for an EVENT repair in\n"
+        "flight.  --topology/--fabric preload a fabric before the first\n"
+        "request.\n";
   return code;
 }
 
@@ -441,6 +457,89 @@ int cmd_replay(const util::Cli& cli) {
   return report.converged ? 0 : 1;
 }
 
+int cmd_serve(const util::Cli& cli) {
+  const std::string socket_path = cli.get_or("socket", "");
+  const std::string script_path = cli.get_or("script", "");
+  const std::string fabric_path = cli.get_or("fabric", "");
+  const std::string topology_text = cli.get_or("topology", "");
+  const std::string layout_name = cli.get_or("layout", "disjoint");
+  const std::string policy_name =
+      cli.get_or("repair-policy", "first_surviving");
+  const std::int64_t k = cli.get_or("k", std::int64_t{4});
+  const bool zero_timings = cli.has("zero-timings");
+  if (const auto unknown = cli.unknown_flags(); !unknown.empty()) {
+    std::cerr << "lmpr serve: unknown flag --" << unknown.front() << "\n";
+    return 2;
+  }
+  if (!socket_path.empty() && !script_path.empty()) {
+    std::cerr << "lmpr serve: pass --socket or --script, not both\n";
+    return 2;
+  }
+  if (!fabric_path.empty() && !topology_text.empty()) {
+    std::cerr << "lmpr serve: pass --topology or --fabric, not both\n";
+    return 2;
+  }
+  if (k < 1) {
+    std::cerr << "lmpr serve: --k must be at least 1\n";
+    return 2;
+  }
+
+  serve::ServeConfig config;
+  config.fm.k_paths = static_cast<std::uint64_t>(k);
+  config.fm.zero_timings = zero_timings;
+  if (const auto layout = fabric::layout_from_string(layout_name)) {
+    config.fm.layout = *layout;
+  } else {
+    std::cerr << "lmpr serve: unknown layout '" << layout_name
+              << "' (expected disjoint or shift)\n";
+    return 2;
+  }
+  if (const auto policy = fabric::repair_policy_from_string(policy_name)) {
+    config.fm.repair_policy = *policy;
+  } else {
+    std::cerr << "lmpr serve: unknown repair policy '" << policy_name
+              << "' (expected first_surviving or load_aware)\n";
+    return 2;
+  }
+
+  serve::RoutingService service(config);
+  if (!topology_text.empty() || !fabric_path.empty()) {
+    const serve::LoadOutcome outcome =
+        !topology_text.empty() ? service.load_spec(topology_text)
+                               : service.load_file(fabric_path);
+    if (!outcome.ok) {
+      std::cerr << "lmpr serve: " << outcome.error << "\n";
+      return 2;
+    }
+    std::cerr << "lmpr serve: " << outcome.name << " ready (hosts="
+              << outcome.hosts << " cables=" << outcome.cables
+              << " k=" << outcome.k_paths << ")\n";
+  }
+
+  if (!socket_path.empty()) {
+    if (!serve::socket_supported()) {
+      std::cerr << "lmpr serve: --socket is not supported on this platform\n";
+      return 2;
+    }
+    std::cerr << "lmpr serve: listening on " << socket_path << "\n";
+    std::string error;
+    const int code = serve::run_socket_server(service, socket_path, error);
+    if (code != 0) std::cerr << "lmpr serve: " << error << "\n";
+    return code;
+  }
+  if (!script_path.empty() && script_path != "-") {
+    std::ifstream in(script_path);
+    if (!in) {
+      std::cerr << "lmpr serve: cannot open script " << script_path << "\n";
+      return 1;
+    }
+    serve::run_session(service, in, std::cout);
+    return 0;
+  }
+  serve::run_session(service, std::cin, std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -455,6 +554,7 @@ int main(int argc, char** argv) {
   if (command == "run") return cmd_run(cli);
   if (command == "fm") return cmd_fm(cli);
   if (command == "replay") return cmd_replay(cli);
+  if (command == "serve") return cmd_serve(cli);
   if (command == "help") return usage(std::cout, 0);
   std::cerr << "lmpr: unknown command '" << command << "'\n";
   return usage(std::cerr, 2);

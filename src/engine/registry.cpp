@@ -70,6 +70,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   register_generic_scenarios(registry);
   register_replay_scenarios(registry);
   register_perf_scenarios(registry);
+  register_serve_scenarios(registry);
 }
 
 const ScenarioRegistry& ScenarioRegistry::builtin() {

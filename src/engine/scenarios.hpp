@@ -16,5 +16,6 @@ void register_fm_scenarios(ScenarioRegistry& registry);        // fabric manager
 void register_generic_scenarios(ScenarioRegistry& registry);   // generic graphs vs XGFT
 void register_replay_scenarios(ScenarioRegistry& registry);    // dynamic fault replay
 void register_perf_scenarios(ScenarioRegistry& registry);      // perf_baseline
+void register_serve_scenarios(ScenarioRegistry& registry);     // serve_throughput
 
 }  // namespace lmpr::engine

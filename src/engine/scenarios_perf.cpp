@@ -14,6 +14,7 @@
 #include <fstream>
 
 #include "engine/registry.hpp"
+#include "engine/serve_support.hpp"
 #include "engine/study.hpp"
 #include "fabric/lft.hpp"
 #include "util/json.hpp"
@@ -218,7 +219,31 @@ void run_perf_baseline(const RunContext& ctx, Report& report) {
     report.add_metric("flow_cached_samples_per_sec", samples / cached_seconds);
   }
 
-  // -- (d) LFT build time ---------------------------------------------------
+  // -- (d) serve throughput under a cable storm ----------------------------
+  // The `lmpr serve` headline: PATH queries/sec sustained by hammering
+  // reader threads while the ingest thread repairs a cable storm.  No
+  // `speedup` field on purpose -- there is no reference implementation to
+  // ratio against, so the guard tracks the keys' existence, not a flaky
+  // machine-dependent ratio.
+  {
+    ServeThroughputOptions serve_options;
+    serve_options.seed = ctx.seed();
+    const ServeThroughputResult serve = run_serve_throughput(serve_options);
+    if (!serve.ok || serve.inconsistent != 0) report.converged = false;
+    util::Json serve_bench = util::Json::object();
+    serve_bench.set("topology", serve_options.spec);
+    serve_bench.set("readers", std::uint64_t{serve_options.readers});
+    serve_bench.set("storm_events", serve.events);
+    serve_bench.set("queries", serve.queries);
+    serve_bench.set("queries_per_sec", serve.queries_per_sec);
+    serve_bench.set("events_per_sec", serve.events_per_sec);
+    serve_bench.set("inconsistent", serve.inconsistent);
+    doc.set("serve_throughput", std::move(serve_bench));
+    report.add_metric("serve_queries_per_sec", serve.queries_per_sec);
+    report.add_metric("serve_events_per_sec", serve.events_per_sec);
+  }
+
+  // -- (e) LFT build time ---------------------------------------------------
   {
     const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
     const auto start = Clock::now();
@@ -260,8 +285,9 @@ void register_perf_scenarios(ScenarioRegistry& registry) {
   perf.artifact = "perf tracking";
   perf.family = Family::kAnalysis;
   perf.description = "Times flit cycles/sec (active vs reference kernel), "
-                     "the fig5 quick sweep, flow samples/sec and LFT build; "
-                     "writes BENCH_perf.json";
+                     "the fig5 quick sweep, flow samples/sec, serve "
+                     "queries/sec under a storm and LFT build; writes "
+                     "BENCH_perf.json";
   perf.quick_params = "best-of-5 12k-cycle kernel runs, fig5 quick "
                       "workload, 512 flow samples";
   perf.full_params = "same (the baseline is intentionally fixed-size)";

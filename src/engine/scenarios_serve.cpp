@@ -1,0 +1,70 @@
+// The routing-daemon scenario: serve_throughput measures PATH
+// queries/sec sustained by hammering reader threads while a cable storm
+// replays through the service's ingest thread -- the headline number for
+// the `lmpr serve` published-snapshot design.  Readers double as torn-
+// read detectors; any inconsistent answer fails convergence.
+#include "engine/registry.hpp"
+#include "engine/serve_support.hpp"
+#include "engine/study.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+void run_serve_throughput_scenario(const RunContext& ctx, Report& report) {
+  ServeThroughputOptions options;
+  options.seed = ctx.seed();
+  options.readers = 4;
+  options.storm_cables = ctx.full() ? 256 : 64;
+
+  const ServeThroughputResult result = run_serve_throughput(options);
+  if (!result.ok) {
+    report.converged = false;
+    report.add_config("error", result.error);
+    return;
+  }
+
+  report.samples = result.queries;
+  report.converged = result.inconsistent == 0;
+  report.add_config("topology", options.spec);
+  report.add_config("readers", std::to_string(options.readers));
+  report.add_config("storm_cables", std::to_string(options.storm_cables));
+  report.add_metric("queries_per_sec", result.queries_per_sec);
+  report.add_metric("events_per_sec", result.events_per_sec);
+  report.add_metric("queries", static_cast<double>(result.queries));
+  report.add_metric("storm_events", static_cast<double>(result.events));
+  report.add_metric("inconsistent", static_cast<double>(result.inconsistent));
+  report.add_metric("final_generation",
+                    static_cast<double>(result.final_generation));
+
+  util::Table table({"measure", "value"});
+  table.add_row({"queries answered", util::Table::num(
+                     static_cast<double>(result.queries), 0)});
+  table.add_row({"queries/sec", util::Table::num(result.queries_per_sec, 0)});
+  table.add_row({"storm events/sec",
+                 util::Table::num(result.events_per_sec, 0)});
+  table.add_row({"inconsistent answers",
+                 util::Table::num(static_cast<double>(result.inconsistent),
+                                  0)});
+  report.add_section("Serve throughput under a cable storm",
+                     std::move(table));
+}
+
+}  // namespace
+
+void register_serve_scenarios(ScenarioRegistry& registry) {
+  Scenario serve;
+  serve.name = "serve_throughput";
+  serve.artifact = "routing daemon";
+  serve.family = Family::kAnalysis;
+  serve.description =
+      "PATH queries/sec from 4 reader threads while a cable storm "
+      "repairs through the lmpr serve ingest thread; readers assert "
+      "generation-consistent answers";
+  serve.quick_params = "XGFT(3;4,4,4;1,2,2), k=4, 64 cables toggled";
+  serve.full_params = "same topology, 256 cables toggled";
+  serve.run = run_serve_throughput_scenario;
+  registry.add(serve);
+}
+
+}  // namespace lmpr::engine

@@ -1,0 +1,130 @@
+#include "engine/serve_support.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "topology/factory.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+ServeThroughputResult run_serve_throughput(
+    const ServeThroughputOptions& options) {
+  ServeThroughputResult result;
+
+  serve::ServeConfig config;
+  config.fm.k_paths = options.k_paths;
+  serve::RoutingService service(config);
+  const serve::LoadOutcome loaded = service.load_spec(options.spec);
+  if (!loaded.ok) {
+    result.error = loaded.error;
+    return result;
+  }
+
+  // The service's id space is the identity export of this same factory
+  // spec, so the topology's link endpoints are valid raw event ids.
+  const auto topology = topo::make_topology(options.spec);
+  const std::uint64_t hosts = topology->num_hosts();
+  if (hosts < 2) {
+    result.error = "spec has fewer than 2 hosts";
+    return result;
+  }
+  std::vector<std::uint64_t> cables(
+      static_cast<std::size_t>(topology->num_cables()));
+  std::iota(cables.begin(), cables.end(), 0);
+  std::mt19937_64 rng(options.seed);
+  std::shuffle(cables.begin(), cables.end(), rng);
+  const std::size_t storm = std::min<std::size_t>(
+      cables.size(), static_cast<std::size_t>(options.storm_cables));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> inconsistent{0};
+  std::vector<std::thread> readers;
+  readers.reserve(options.readers);
+  for (unsigned r = 0; r < options.readers; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t done = 0;
+      std::uint64_t bad = 0;
+      std::uint64_t last_generation = 0;
+      std::uint64_t cursor = r;  // distinct per-thread pair streams
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t src = cursor % hosts;
+        const std::uint64_t dst = (cursor + 1 + r) % hosts;
+        cursor += 7;
+        if (src == dst) continue;
+        const serve::PathResult path = service.query_path(src, dst);
+        ++done;
+        // Torn-snapshot detectors: every answer must come from one
+        // consistent published generation.
+        if (!path.ok || path.generation < last_generation ||
+            path.usable > path.variants) {
+          ++bad;
+          continue;
+        }
+        last_generation = path.generation;
+        const topo::NodeId target = topology->host(dst);
+        for (const serve::VariantWalk& walk : path.walks) {
+          if (walk.delivered &&
+              (walk.nodes.empty() || walk.nodes.back() != target)) {
+            ++bad;
+          }
+        }
+      }
+      queries.fetch_add(done, std::memory_order_relaxed);
+      inconsistent.fetch_add(bad, std::memory_order_relaxed);
+    });
+  }
+
+  const auto start = Clock::now();
+  std::uint64_t applied = 0;
+  bool events_ok = true;
+  for (std::size_t i = 0; i < storm; ++i) {
+    const topo::Link& link =
+        topology->link(static_cast<topo::LinkId>(cables[i]));
+    fm::Event event;
+    event.a = link.src;
+    event.b = link.dst;
+    event.type = fm::EventType::kCableDown;
+    events_ok = service.apply_event(event).record.ok && events_ok;
+    ++applied;
+    event.type = fm::EventType::kCableUp;
+    events_ok = service.apply_event(event).record.ok && events_ok;
+    ++applied;
+  }
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+
+  if (!events_ok) {
+    result.error = "a storm event was rejected";
+    return result;
+  }
+  result.ok = true;
+  result.queries = queries.load();
+  result.events = applied;
+  result.inconsistent = inconsistent.load();
+  result.final_generation = service.generation();
+  if (result.seconds > 0.0) {
+    result.queries_per_sec =
+        static_cast<double>(result.queries) / result.seconds;
+    result.events_per_sec =
+        static_cast<double>(result.events) / result.seconds;
+  }
+  return result;
+}
+
+}  // namespace lmpr::engine

@@ -1,0 +1,44 @@
+// The serve_throughput workload: hammer a RoutingService with PATH
+// queries from reader threads WHILE a cable storm replays through the
+// ingest thread, and measure both sides.  Shared between the
+// serve_throughput scenario, the perf_baseline section that records the
+// numbers in BENCH_perf.json, and the bench smoke test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lmpr::engine {
+
+struct ServeThroughputOptions {
+  /// Factory spec of the served topology.
+  std::string spec = "XGFT(3;4,4,4;1,2,2)";
+  std::uint64_t k_paths = 4;
+  /// Concurrent PATH-query threads.
+  unsigned readers = 4;
+  /// Cables toggled down-then-up by the storm (2 repairs each).
+  std::uint64_t storm_cables = 64;
+  std::uint64_t seed = 1;
+};
+
+struct ServeThroughputResult {
+  bool ok = false;
+  std::string error;
+
+  std::uint64_t queries = 0;  ///< PATH queries answered across all readers
+  std::uint64_t events = 0;   ///< storm events applied (2 per cable)
+  double seconds = 0.0;       ///< storm wall-clock (readers run alongside)
+  double queries_per_sec = 0.0;
+  double events_per_sec = 0.0;
+
+  /// Reader-observed violations: a failed query, a non-monotonic
+  /// generation, or a delivered walk that does not end at the
+  /// destination.  MUST be 0 -- anything else is a torn snapshot.
+  std::uint64_t inconsistent = 0;
+  std::uint64_t final_generation = 0;
+};
+
+ServeThroughputResult run_serve_throughput(
+    const ServeThroughputOptions& options);
+
+}  // namespace lmpr::engine

@@ -20,12 +20,12 @@ std::uint64_t pair_key(topo::NodeId u, topo::NodeId v) {
   return (lo << 32) | hi;
 }
 
-/// Follows `tables` from src toward lid_of(dst, j), appending the links
-/// taken; returns whether the walk reached the destination host.
-bool walk_tables(const topo::Topology& topology, const fabric::Lft& lft,
-                 const fabric::Tables& tables, std::uint64_t src,
-                 std::uint64_t dst, std::uint32_t j,
-                 std::vector<topo::LinkId>& links) {
+}  // namespace
+
+bool follow_route(const topo::Topology& topology, const fabric::Lft& lft,
+                  const fabric::Tables& tables, std::uint64_t src,
+                  std::uint64_t dst, std::uint32_t j,
+                  std::vector<topo::LinkId>& links) {
   links.clear();
   if (src == dst) return true;
   const std::uint32_t lid = lft.lid_of(dst, j);
@@ -40,8 +40,6 @@ bool walk_tables(const topo::Topology& topology, const fabric::Lft& lft,
   }
   return false;  // hop budget exhausted: cannot happen
 }
-
-}  // namespace
 
 double reference_max_load(const topo::Topology& topology,
                           const fabric::Lft& lft,
@@ -58,12 +56,12 @@ double reference_max_load(const topo::Topology& topology,
     const std::uint64_t d = (s + shift) % hosts;
     std::uint32_t usable = 0;
     for (std::uint32_t j = 0; j < lft.block(); ++j) {
-      usable += walk_tables(topology, lft, tables, s, d, j, links);
+      usable += follow_route(topology, lft, tables, s, d, j, links);
     }
     if (usable == 0) continue;  // disconnected pair: no load placed
     const double fraction = 1.0 / static_cast<double>(usable);
     for (std::uint32_t j = 0; j < lft.block(); ++j) {
-      if (!walk_tables(topology, lft, tables, s, d, j, links)) continue;
+      if (!follow_route(topology, lft, tables, s, d, j, links)) continue;
       for (const topo::LinkId link : links) eval.add_load(link, fraction);
     }
   }
@@ -256,7 +254,7 @@ void FabricManager::finish_topology_event(EventRecord& record) {
 FabricManager::Walk FabricManager::walk(std::uint64_t src, std::uint64_t dst,
                                         std::uint32_t j) const {
   Walk result;
-  result.delivered = walk_tables(*topo_, *lft_, tables(), src, dst, j,
+  result.delivered = follow_route(*topo_, *lft_, tables(), src, dst, j,
                                  result.links);
   return result;
 }

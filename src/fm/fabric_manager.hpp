@@ -236,6 +236,18 @@ class FabricManager {
   bool prefer_own_ = true;
 };
 
+/// Follows `tables` from src toward lid_of(dst, j), appending the links
+/// taken; returns whether the walk reached the destination host.  A pure
+/// function of its arguments with no FabricManager state -- the off-thread
+/// repair hook `lmpr serve` queries through: readers walk a PRIVATE
+/// snapshot copy of the exposed tables while the ingest thread repairs the
+/// manager's own set (topology and LFT are immutable after construction,
+/// so sharing those across threads is safe).
+bool follow_route(const topo::Topology& topology, const fabric::Lft& lft,
+                  const fabric::Tables& tables, std::uint64_t src,
+                  std::uint64_t dst, std::uint32_t j,
+                  std::vector<topo::LinkId>& links);
+
 /// Max link load of the reference permutation (cyclic shift by half the
 /// fabric) routed over the given tables' surviving variants, each pair's
 /// unit demand split evenly across its usable variants.  This is the

@@ -1,0 +1,215 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace lmpr::serve {
+
+std::string_view to_string(Command command) noexcept {
+  switch (command) {
+    case Command::kLoad: return "LOAD";
+    case Command::kTopo: return "TOPO";
+    case Command::kEvent: return "EVENT";
+    case Command::kPath: return "PATH";
+    case Command::kStats: return "STATS";
+    case Command::kGen: return "GEN";
+    case Command::kQuit: return "QUIT";
+    case Command::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+namespace {
+
+ParsedRequest fail(std::string message) {
+  ParsedRequest parsed;
+  parsed.ok = false;
+  parsed.error = std::move(message);
+  return parsed;
+}
+
+/// Echo of a client-supplied token inside a diagnostic, clipped so a
+/// hostile kilobyte token cannot bloat the one-line ERR response.
+std::string clip(std::string_view token) {
+  constexpr std::size_t kMax = 40;
+  if (token.size() <= kMax) return std::string{token};
+  return std::string{token.substr(0, kMax - 3)} + "...";
+}
+
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::vector<std::string_view> tokenize(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && is_space(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !is_space(text[i])) ++i;
+    if (i > start) tokens.push_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool keyword_is(std::string_view token, std::string_view upper) {
+  if (token.size() != upper.size()) return false;
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(token[i])) != upper[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && first != last;
+}
+
+/// The fm::events parser prefixes every diagnostic with
+/// "event script line 1: " -- the payload is always a single line, so the
+/// session's own line counter supersedes it.
+std::string strip_event_prefix(const std::string& error) {
+  constexpr std::string_view kPrefix = "event script line 1: ";
+  if (error.rfind(kPrefix, 0) == 0) return error.substr(kPrefix.size());
+  return error;
+}
+
+ParsedRequest parse_event(std::string_view payload) {
+  if (payload.empty()) {
+    return fail("EVENT needs an event line (cable_down <u> <v>, "
+                "cable_up <u> <v>, switch_down <s>, switch_up <s> or "
+                "query <src> <dst>)");
+  }
+  const fm::EventScript script =
+      fm::parse_event_script(std::string{payload});
+  if (!script.ok) return fail(strip_event_prefix(script.error));
+  if (script.events.size() != 1) {
+    // A single line can only yield 0 or 1 events; 0 means the payload was
+    // all comment, which EVENT does not accept.
+    return fail("EVENT needs an event line, got a comment");
+  }
+  if (script.events.front().timed) {
+    return fail("EVENT does not accept @<cycle> stamps (replay scripts "
+                "only; a live daemon applies events on arrival)");
+  }
+  ParsedRequest parsed;
+  parsed.ok = true;
+  parsed.request.command = Command::kEvent;
+  parsed.request.event = script.events.front();
+  return parsed;
+}
+
+ParsedRequest parse_path(const std::vector<std::string_view>& tokens) {
+  if (tokens.size() < 3 || tokens.size() > 4) {
+    return fail("PATH expects <src> <dst> [K], got " +
+                std::to_string(tokens.size() - 1) + " operand" +
+                (tokens.size() == 2 ? "" : "s"));
+  }
+  ParsedRequest parsed;
+  parsed.request.command = Command::kPath;
+  if (!parse_u64(tokens[1], parsed.request.src)) {
+    return fail("bad src host id '" + clip(tokens[1]) + "'");
+  }
+  if (!parse_u64(tokens[2], parsed.request.dst)) {
+    return fail("bad dst host id '" + clip(tokens[2]) + "'");
+  }
+  if (tokens.size() == 4) {
+    std::uint64_t k = 0;
+    if (!parse_u64(tokens[3], k) || k == 0) {
+      return fail("bad variant count '" + clip(tokens[3]) +
+                  "' (expected an integer >= 1)");
+    }
+    if (k > 0xffffffffULL) {
+      return fail("variant count " + std::to_string(k) + " out of range");
+    }
+    parsed.request.limit = static_cast<std::uint32_t>(k);
+  }
+  parsed.ok = true;
+  return parsed;
+}
+
+ParsedRequest parse_bare(Command command,
+                         const std::vector<std::string_view>& tokens) {
+  if (tokens.size() > 1) {
+    return fail("trailing token '" + clip(tokens[1]) + "' after " +
+                std::string{to_string(command)});
+  }
+  ParsedRequest parsed;
+  parsed.ok = true;
+  parsed.request.command = command;
+  return parsed;
+}
+
+}  // namespace
+
+ParsedRequest parse_request(std::string_view line) {
+  if (line.size() > kMaxRequestBytes) {
+    return fail("request line exceeds " + std::to_string(kMaxRequestBytes) +
+                " bytes");
+  }
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+    line = line.substr(0, hash);
+  }
+  const std::string_view trimmed = trim(line);
+  if (trimmed.empty()) {
+    ParsedRequest parsed;
+    parsed.blank = true;
+    return parsed;
+  }
+
+  const auto tokens = tokenize(trimmed);
+  const std::string_view keyword = tokens.front();
+  // Remainder after the command keyword, for the rest-of-line commands
+  // (TOPO specs legally contain whitespace; EVENT reuses the fm grammar).
+  const std::string_view rest =
+      trim(trimmed.substr(keyword.size()));
+
+  if (keyword_is(keyword, "LOAD")) {
+    if (rest.empty()) return fail("LOAD expects a fabric file path");
+    if (tokens.size() > 2) {
+      return fail("trailing token '" + clip(tokens[2]) + "' after the "
+                  "LOAD path");
+    }
+    ParsedRequest parsed;
+    parsed.ok = true;
+    parsed.request.command = Command::kLoad;
+    parsed.request.text = std::string{rest};
+    return parsed;
+  }
+  if (keyword_is(keyword, "TOPO")) {
+    if (rest.empty()) {
+      return fail("TOPO expects a topology spec (XGFT(...) or RRG(...))");
+    }
+    ParsedRequest parsed;
+    parsed.ok = true;
+    parsed.request.command = Command::kTopo;
+    parsed.request.text = std::string{rest};
+    return parsed;
+  }
+  if (keyword_is(keyword, "EVENT")) return parse_event(rest);
+  if (keyword_is(keyword, "PATH")) return parse_path(tokens);
+  if (keyword_is(keyword, "STATS")) return parse_bare(Command::kStats, tokens);
+  if (keyword_is(keyword, "GEN")) return parse_bare(Command::kGen, tokens);
+  if (keyword_is(keyword, "QUIT")) return parse_bare(Command::kQuit, tokens);
+  if (keyword_is(keyword, "SHUTDOWN")) {
+    return parse_bare(Command::kShutdown, tokens);
+  }
+  return fail("unknown command '" + clip(keyword) +
+              "' (expected LOAD, TOPO, EVENT, PATH, STATS, GEN, QUIT or "
+              "SHUTDOWN)");
+}
+
+}  // namespace lmpr::serve

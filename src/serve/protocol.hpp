@@ -1,0 +1,78 @@
+// The `lmpr serve` wire protocol: one request per line, one response per
+// request (multi-line responses end with a bare `END`), '#' starts a
+// comment, blank/comment-only lines elicit no response.
+//
+//   LOAD <fabric-file>        install a discovery snapshot from disk
+//   TOPO <spec>               install a topology by factory spec string
+//   EVENT <fm-event-line>     apply one fm event (cable_down <u> <v>,
+//                             cable_up <u> <v>, switch_down <s>,
+//                             switch_up <s>, query <src> <dst>)
+//   PATH <src> <dst> [K]      the first K installed variant walks for the
+//                             pair from the live tables (default: all)
+//   STATS                     cumulative fabric-manager summary
+//   GEN                       current table generation
+//   QUIT                      end this session (socket: close connection)
+//   SHUTDOWN                  end this session AND stop the daemon
+//
+// Command keywords are case-insensitive; operands are not.  Parsing is
+// TOTAL: any malformed line -- unknown command, truncated operands,
+// oversized input, out-of-range ids, stray tokens -- produces ok = false
+// with a one-line reason the session renders as `ERR <line>:<reason>`,
+// never an exception.  The EVENT payload reuses the fm::events grammar
+// (and its diagnostics) verbatim, minus the `@<cycle>` replay stamps,
+// which have no meaning against a live daemon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fm/events.hpp"
+
+namespace lmpr::serve {
+
+enum class Command {
+  kLoad,
+  kTopo,
+  kEvent,
+  kPath,
+  kStats,
+  kGen,
+  kQuit,
+  kShutdown,
+};
+
+std::string_view to_string(Command command) noexcept;
+
+struct Request {
+  Command command = Command::kGen;
+  /// LOAD: the fabric file path; TOPO: the factory spec string.
+  std::string text;
+  /// EVENT: the parsed fm event.
+  fm::Event event;
+  /// PATH operands.
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  /// PATH optional K; 0 = every installed variant.
+  std::uint32_t limit = 0;
+};
+
+struct ParsedRequest {
+  bool ok = false;
+  /// Blank or comment-only line: nothing to answer (ok is false too).
+  bool blank = false;
+  /// Reason when !ok && !blank.  No line number -- the session prepends
+  /// its own input-line counter.
+  std::string error;
+  Request request;
+};
+
+/// Longest accepted request line (covers "oversized token" inputs: a
+/// line past the cap is rejected whole, before tokenization).
+inline constexpr std::size_t kMaxRequestBytes = 4096;
+
+/// Parses one request line (no trailing newline; a trailing '\r' from
+/// CRLF input is stripped).  Total: never throws.
+ParsedRequest parse_request(std::string_view line);
+
+}  // namespace lmpr::serve

@@ -1,0 +1,223 @@
+#include "serve/service.hpp"
+
+#include <utility>
+
+#include "discovery/io.hpp"
+#include "topology/factory.hpp"
+#include "topology/generic.hpp"
+
+namespace lmpr::serve {
+
+RoutingService::RoutingService(ServeConfig config)
+    : config_(std::move(config)) {
+  ingest_ = std::thread([this] { ingest_loop(); });
+}
+
+RoutingService::~RoutingService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  ingest_.join();
+}
+
+void RoutingService::enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_all();
+}
+
+void RoutingService::ingest_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void RoutingService::publish(bool tables_changed) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->live = live_;
+  const auto previous = snapshot();
+  if (tables_changed || previous == nullptr ||
+      previous->live != live_) {
+    snap->tables =
+        std::make_shared<const fabric::Tables>(live_->manager->tables());
+    ++generation_;
+  } else {
+    snap->tables = previous->tables;  // same table set, new counters
+  }
+  snap->generation = generation_;
+  snap->summary = live_->manager->summary();
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snap);
+}
+
+LoadOutcome RoutingService::install(std::shared_ptr<Live> live) {
+  std::promise<LoadOutcome> promise;
+  auto future = promise.get_future();
+  enqueue([this, live = std::move(live), &promise]() mutable {
+    live_ = std::move(live);
+    publish(/*tables_changed=*/true);
+    LoadOutcome outcome;
+    outcome.ok = true;
+    outcome.name = live_->name;
+    const topo::Topology& topology = live_->manager->topology();
+    outcome.hosts = topology.num_hosts();
+    outcome.nodes = topology.num_nodes();
+    outcome.cables = topology.num_cables();
+    outcome.k_paths = config_.fm.k_paths;
+    outcome.generation = generation_;
+    promise.set_value(std::move(outcome));
+  });
+  return future.get();
+}
+
+LoadOutcome RoutingService::load_fabric(const discovery::RawFabric& fabric,
+                                        std::string name) {
+  auto live = std::make_shared<Live>();
+  live->manager = std::make_unique<fm::FabricManager>(fabric, config_.fm);
+  if (!live->manager->ok()) {
+    LoadOutcome outcome;
+    outcome.error = live->manager->error();
+    return outcome;
+  }
+  live->name = std::move(name);
+  return install(std::move(live));
+}
+
+LoadOutcome RoutingService::load_spec(const std::string& spec) {
+  discovery::RawFabric fabric;
+  std::string name;
+  try {
+    const auto topology = topo::make_topology(spec);
+    fabric = topo::to_raw_fabric(*topology);
+    name = topology->name();
+  } catch (const std::exception& error) {
+    LoadOutcome outcome;
+    outcome.error = error.what();
+    return outcome;
+  }
+  return load_fabric(fabric, std::move(name));
+}
+
+LoadOutcome RoutingService::load_file(const std::string& path) {
+  const auto loaded = discovery::try_load_fabric_file(path);
+  if (!loaded.ok) {
+    LoadOutcome outcome;
+    outcome.error = loaded.error;
+    return outcome;
+  }
+  return load_fabric(loaded.fabric, path);
+}
+
+bool RoutingService::loaded() const noexcept { return snapshot() != nullptr; }
+
+std::uint64_t RoutingService::generation() const noexcept {
+  const auto snap = snapshot();
+  return snap == nullptr ? 0 : snap->generation;
+}
+
+std::future<AppliedEvent> RoutingService::submit_event(const fm::Event& event) {
+  auto promise = std::make_shared<std::promise<AppliedEvent>>();
+  auto future = promise->get_future();
+  enqueue([this, event, promise] {
+    AppliedEvent applied;
+    if (live_ == nullptr) {
+      applied.record.event = event;
+      applied.record.ok = false;
+      applied.record.error = "no fabric loaded (use LOAD or TOPO first)";
+      promise->set_value(std::move(applied));
+      return;
+    }
+    applied.record = live_->manager->apply(event);
+    publish(applied.record.ok && applied.record.event.topology_event());
+    applied.generation = generation_;
+    promise->set_value(std::move(applied));
+  });
+  return future;
+}
+
+AppliedEvent RoutingService::apply_event(const fm::Event& event) {
+  return submit_event(event).get();
+}
+
+PathResult RoutingService::query_path(std::uint64_t src, std::uint64_t dst,
+                                      std::uint32_t limit) const {
+  PathResult result;
+  const auto snap = snapshot();
+  if (snap == nullptr) {
+    result.error = "no fabric loaded (use LOAD or TOPO first)";
+    return result;
+  }
+  const fm::FabricManager& manager = *snap->live->manager;
+  const topo::Topology& topology = manager.topology();
+  const fabric::Lft& lft = manager.lft();
+  const std::uint64_t hosts = topology.num_hosts();
+  if (src >= hosts) {
+    result.error = "src " + std::to_string(src) + " out of range (" +
+                   std::to_string(hosts) + " hosts)";
+    return result;
+  }
+  if (dst >= hosts) {
+    result.error = "dst " + std::to_string(dst) + " out of range (" +
+                   std::to_string(hosts) + " hosts)";
+    return result;
+  }
+  const std::uint32_t block = lft.block();
+  if (limit > block) {
+    result.error = "variant count " + std::to_string(limit) +
+                   " exceeds the installed block (" + std::to_string(block) +
+                   " variants)";
+    return result;
+  }
+  const std::uint32_t count = limit == 0 ? block : limit;
+
+  result.ok = true;
+  result.generation = snap->generation;
+  result.variants = count;
+  result.walks.reserve(count);
+  std::vector<topo::LinkId> links;
+  for (std::uint32_t j = 0; j < count; ++j) {
+    VariantWalk walk;
+    walk.variant = j;
+    walk.delivered =
+        fm::follow_route(topology, lft, *snap->tables, src, dst, j, links);
+    walk.nodes.reserve(links.size() + 1);
+    walk.nodes.push_back(topology.host(src));
+    for (const topo::LinkId link : links) {
+      walk.nodes.push_back(topology.link(link).dst);
+    }
+    if (walk.delivered) ++result.usable;
+    result.walks.push_back(std::move(walk));
+  }
+  return result;
+}
+
+StatsResult RoutingService::stats() const {
+  StatsResult result;
+  const auto snap = snapshot();
+  if (snap == nullptr) {
+    result.error = "no fabric loaded (use LOAD or TOPO first)";
+    return result;
+  }
+  result.ok = true;
+  result.generation = snap->generation;
+  result.name = snap->live->name;
+  const topo::Topology& topology = snap->live->manager->topology();
+  result.hosts = topology.num_hosts();
+  result.cables = topology.num_cables();
+  result.summary = snap->summary;
+  return result;
+}
+
+}  // namespace lmpr::serve

@@ -1,0 +1,198 @@
+// The routing-controller service behind `lmpr serve`: one long-lived
+// object that owns a topo::Topology + fm::FabricManager and answers path
+// queries WHILE repairs run, subnet-manager style.
+//
+// Threading model (the whole point of this layer):
+//
+//   * ONE ingest thread owns every mutation.  LOAD/TOPO swaps and EVENT
+//     repairs are closures executed in submission order on that thread;
+//     the FabricManager is never touched from anywhere else.
+//   * Readers NEVER WAIT ON A REPAIR.  After every mutation the ingest
+//     thread publishes an immutable Snapshot -- the exposed forwarding
+//     tables copied at that instant, the fabric they belong to (kept
+//     alive by shared ownership), the table generation and the summary
+//     counters -- behind a mutex held only for the shared_ptr copy.  A
+//     PATH query grabs the pointer once and walks that snapshot to
+//     completion: the repair itself runs entirely outside that mutex, so
+//     a query can never block on a repair in flight and can never
+//     observe a half-repaired table (the RCU-style epoch scheme the
+//     fabric manager's atomic set_tables swap was built for -- see
+//     DESIGN §13).  std::atomic<std::shared_ptr> would make the pointer
+//     grab lock-free, but GCC 12's libstdc++ releases load()'s internal
+//     lock bit with a relaxed RMW, so the reader's critical section is
+//     formally unordered against the next store() -- a data race TSan
+//     (correctly) reports; the plain mutex is the portable spelling.
+//   * The table GENERATION counts installed table sets: 1 after a load,
+//     +1 per successful topology event.  Query events and rejected
+//     events republish summary counters under the same generation (the
+//     tables they expose are bitwise the same set).
+//
+// The service is transport-agnostic: serve/session.cpp speaks the line
+// protocol over any iostream pair, serve/socket.cpp multiplexes sessions
+// over a UNIX domain socket, and the serve_throughput bench drives the
+// API directly from hammering reader threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "discovery/recognize.hpp"
+#include "fm/events.hpp"
+#include "fm/fabric_manager.hpp"
+#include "topology/topology.hpp"
+
+namespace lmpr::serve {
+
+struct ServeConfig {
+  /// Forwarded to every FabricManager the service installs.  Defaults
+  /// diverge from FmConfig in two places: generic fabrics are admitted
+  /// (the TOPO command accepts any factory spec) and per-event link-load
+  /// evaluation is off (a daemon repairs on the fault path; load studies
+  /// belong to `lmpr fm`).
+  fm::FmConfig fm;
+
+  ServeConfig() {
+    fm.allow_generic = true;
+    fm.track_link_load = false;
+  }
+};
+
+struct LoadOutcome {
+  bool ok = false;
+  std::string error;
+  std::string name;  ///< topology name or fabric file path
+  std::uint64_t hosts = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t cables = 0;
+  std::uint64_t k_paths = 0;
+  std::uint64_t generation = 0;
+};
+
+/// An EVENT outcome plus the generation its effect is published under.
+struct AppliedEvent {
+  fm::EventRecord record;
+  std::uint64_t generation = 0;
+};
+
+struct VariantWalk {
+  std::uint32_t variant = 0;
+  bool delivered = false;
+  /// Hop-order node ids, starting at the source host.  For an
+  /// undelivered variant this is the partial walk up to the node whose
+  /// table has no surviving entry.
+  std::vector<topo::NodeId> nodes;
+};
+
+struct PathResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t generation = 0;
+  std::uint32_t variants = 0;  ///< walks reported (= min(K, installed))
+  std::uint32_t usable = 0;    ///< reported walks that deliver
+  std::vector<VariantWalk> walks;
+};
+
+struct StatsResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t generation = 0;
+  std::string name;
+  std::uint64_t hosts = 0;
+  std::uint64_t cables = 0;
+  fm::FmSummary summary;
+};
+
+class RoutingService {
+ public:
+  explicit RoutingService(ServeConfig config = {});
+  ~RoutingService();
+
+  RoutingService(const RoutingService&) = delete;
+  RoutingService& operator=(const RoutingService&) = delete;
+
+  const ServeConfig& config() const noexcept { return config_; }
+
+  /// Installs a fabric / topology, replacing any previous one.  Blocks
+  /// until the swap is published (loads are control-plane; queries keep
+  /// being served from the OLD snapshot until then).
+  LoadOutcome load_fabric(const discovery::RawFabric& fabric,
+                          std::string name);
+  LoadOutcome load_spec(const std::string& spec);
+  LoadOutcome load_file(const std::string& path);
+
+  bool loaded() const noexcept;
+
+  /// Enqueues one event for the ingest thread; the future resolves after
+  /// the repair ran and its table set was published.  Queries issued
+  /// meanwhile keep reading the previous snapshot -- they never wait.
+  std::future<AppliedEvent> submit_event(const fm::Event& event);
+  /// submit_event + wait.
+  AppliedEvent apply_event(const fm::Event& event);
+
+  /// Walks the first `limit` installed variants (0 = all) for the pair
+  /// from the CURRENT snapshot.  Lock-free; every walk in the result is
+  /// computed from the same table generation.
+  PathResult query_path(std::uint64_t src, std::uint64_t dst,
+                        std::uint32_t limit = 0) const;
+
+  StatsResult stats() const;
+
+  /// Current table generation (0 until the first load).
+  std::uint64_t generation() const noexcept;
+
+ private:
+  /// One installed fabric: the manager plus its identity.  Snapshots
+  /// share ownership so a LOAD replacing the fabric cannot free the
+  /// topology under a reader still walking the old tables.
+  struct Live {
+    std::unique_ptr<fm::FabricManager> manager;
+    std::string name;
+  };
+
+  struct Snapshot {
+    std::shared_ptr<const Live> live;
+    /// The exposed tables copied at publication (the manager's own copy
+    /// mutates in place during the next repair).
+    std::shared_ptr<const fabric::Tables> tables;
+    std::uint64_t generation = 0;
+    fm::FmSummary summary;
+  };
+
+  using Task = std::function<void()>;
+
+  std::shared_ptr<const Snapshot> snapshot() const {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    return snapshot_;
+  }
+
+  LoadOutcome install(std::shared_ptr<Live> live);  // any thread; blocks
+  void publish(bool tables_changed);                // ingest thread only
+  void enqueue(Task task);
+  void ingest_loop();
+
+  ServeConfig config_;
+  // Held only for the shared_ptr copy -- see the header comment for why
+  // this is a mutex and not std::atomic<std::shared_ptr>.
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;
+
+  // Ingest-thread-only state.
+  std::shared_ptr<Live> live_;
+  std::uint64_t generation_ = 0;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::thread ingest_;
+};
+
+}  // namespace lmpr::serve

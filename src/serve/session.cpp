@@ -1,0 +1,159 @@
+#include "serve/session.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace lmpr::serve {
+
+namespace {
+
+/// Wall-clock seconds with a fixed shape so ServeConfig::fm.zero_timings
+/// renders the same bytes on every run (golden sessions).
+std::string format_seconds(double seconds) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(6);
+  out << seconds;
+  return out.str();
+}
+
+std::string render_load(const LoadOutcome& outcome) {
+  std::ostringstream out;
+  out << "OK " << outcome.name << " hosts=" << outcome.hosts
+      << " nodes=" << outcome.nodes << " cables=" << outcome.cables
+      << " k=" << outcome.k_paths << " gen=" << outcome.generation;
+  return out.str();
+}
+
+std::string render_event(const AppliedEvent& applied) {
+  const fm::EventRecord& record = applied.record;
+  std::ostringstream out;
+  out << "OK gen=" << applied.generation;
+  if (record.event.topology_event()) {
+    out << " churn=" << record.churn
+        << " repaired=" << record.destinations_repaired
+        << " full=" << (record.full_rebuild ? 1 : 0)
+        << " disconnected=" << record.disconnected_pairs;
+  } else {
+    out << " connected=" << (record.connected ? 1 : 0)
+        << " usable=" << record.usable_variants
+        << " distinct=" << record.distinct_paths
+        << " hops=" << record.primary_hops;
+  }
+  return out.str();
+}
+
+void render_path(const PathResult& result, std::ostream& out) {
+  out << "OK gen=" << result.generation << " variants=" << result.variants
+      << " usable=" << result.usable << "\n";
+  for (const VariantWalk& walk : result.walks) {
+    out << "VAR " << walk.variant
+        << (walk.delivered ? " delivered" : " dropped") << " nodes=";
+    for (std::size_t i = 0; i < walk.nodes.size(); ++i) {
+      if (i > 0) out << '>';
+      out << walk.nodes[i];
+    }
+    out << "\n";
+  }
+  out << "END";
+}
+
+std::string render_stats(const StatsResult& result) {
+  const fm::FmSummary& s = result.summary;
+  std::ostringstream out;
+  out << "OK gen=" << result.generation << " name=" << result.name
+      << " hosts=" << result.hosts << " cables=" << result.cables
+      << " events=" << s.events << " topology=" << s.topology_events
+      << " queries=" << s.queries << " churn=" << s.total_churn
+      << " full_rebuilds=" << s.full_rebuilds
+      << " repaired=" << s.destinations_repaired
+      << " max_window=" << s.max_disconnected_window
+      << " disconnected=" << s.disconnected_pairs
+      << " repair_seconds=" << format_seconds(s.total_repair_seconds);
+  return out.str();
+}
+
+}  // namespace
+
+SessionExit run_session(RoutingService& service, std::istream& in,
+                        std::ostream& out) {
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const ParsedRequest parsed = parse_request(line);
+    if (parsed.blank) continue;
+
+    const auto err = [&](const std::string& reason) {
+      out << "ERR " << line_no << ": " << reason << "\n" << std::flush;
+    };
+    if (!parsed.ok) {
+      err(parsed.error);
+      continue;
+    }
+
+    const Request& request = parsed.request;
+    switch (request.command) {
+      case Command::kLoad:
+      case Command::kTopo: {
+        const LoadOutcome outcome = request.command == Command::kLoad
+                                        ? service.load_file(request.text)
+                                        : service.load_spec(request.text);
+        if (!outcome.ok) {
+          err(outcome.error);
+        } else {
+          out << render_load(outcome) << "\n" << std::flush;
+        }
+        break;
+      }
+      case Command::kEvent: {
+        // Synchronous on purpose: a scripted session stays deterministic
+        // (responses in request order); concurrent sessions' PATH queries
+        // still never wait on this repair.
+        const AppliedEvent applied = service.apply_event(request.event);
+        if (!applied.record.ok) {
+          err(applied.record.error);
+        } else {
+          out << render_event(applied) << "\n" << std::flush;
+        }
+        break;
+      }
+      case Command::kPath: {
+        const PathResult result =
+            service.query_path(request.src, request.dst, request.limit);
+        if (!result.ok) {
+          err(result.error);
+        } else {
+          render_path(result, out);
+          out << "\n" << std::flush;
+        }
+        break;
+      }
+      case Command::kStats: {
+        const StatsResult result = service.stats();
+        if (!result.ok) {
+          err(result.error);
+        } else {
+          out << render_stats(result) << "\n" << std::flush;
+        }
+        break;
+      }
+      case Command::kGen:
+        out << "OK gen=" << service.generation() << "\n" << std::flush;
+        break;
+      case Command::kQuit:
+        out << "OK bye\n" << std::flush;
+        return SessionExit::kQuit;
+      case Command::kShutdown:
+        out << "OK shutting down\n" << std::flush;
+        return SessionExit::kShutdown;
+    }
+  }
+  return SessionExit::kEof;
+}
+
+}  // namespace lmpr::serve

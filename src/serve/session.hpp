@@ -1,0 +1,34 @@
+// One protocol session: reads request lines from an istream, answers on
+// an ostream, until EOF / QUIT / SHUTDOWN.  Transport-agnostic -- the
+// driver binds it to stdin/stdout, serve/socket.cpp to a connection
+// stream, and tests to stringstreams.
+//
+// Response grammar (one response per non-blank request):
+//
+//   OK <fields...>                  success one-liner
+//   ERR <line>: <reason>            any failure, echoing the 1-based
+//                                   input line number
+//   OK gen=<G> variants=<V> usable=<U>
+//   VAR <j> delivered|dropped nodes=<a>b>c...>     (PATH only)
+//   END                                            (PATH terminator)
+//
+// Every response is flushed before the next request is read, so a client
+// can drive the daemon interactively over a pipe or socket.
+#pragma once
+
+#include <iosfwd>
+
+#include "serve/service.hpp"
+
+namespace lmpr::serve {
+
+enum class SessionExit {
+  kEof,       ///< input ran out
+  kQuit,      ///< client sent QUIT: close this session only
+  kShutdown,  ///< client sent SHUTDOWN: stop the whole daemon
+};
+
+SessionExit run_session(RoutingService& service, std::istream& in,
+                        std::ostream& out);
+
+}  // namespace lmpr::serve

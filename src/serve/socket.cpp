@@ -1,0 +1,164 @@
+#include "serve/socket.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <thread>
+#include <vector>
+
+#include "serve/session.hpp"
+
+namespace lmpr::serve {
+
+namespace {
+
+/// Minimal bidirectional streambuf over a connected socket fd, so one
+/// connection can feed run_session() the same istream/ostream pair the
+/// stdio mode uses.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t got = 0;
+    do {
+      got = ::read(fd_, in_, sizeof(in_));
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + got);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (!drain()) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return drain() ? 0 : -1; }
+
+ private:
+  bool drain() {
+    const char* next = pbase();
+    while (next < pptr()) {
+      const ssize_t put =
+          ::write(fd_, next, static_cast<std::size_t>(pptr() - next));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      next += put;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return true;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace
+
+bool socket_supported() noexcept { return true; }
+
+int run_socket_server(RoutingService& service, const std::string& path,
+                      std::string& error) {
+  // A client vanishing mid-response must not kill the daemon; the write
+  // failure surfaces as a stream error and the session ends.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path '" + path + "' exceeds " +
+            std::to_string(sizeof(addr.sun_path) - 1) + " bytes";
+    return 1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    error = std::string{"socket: "} + std::strerror(errno);
+    return 1;
+  }
+  ::unlink(path.c_str());  // replace a stale socket from a dead daemon
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    error = "bind '" + path + "': " + std::strerror(errno);
+    ::close(listener);
+    return 1;
+  }
+  if (::listen(listener, 8) != 0) {
+    error = "listen '" + path + "': " + std::strerror(errno);
+    ::close(listener);
+    ::unlink(path.c_str());
+    return 1;
+  }
+
+  std::atomic<bool> stopping{false};
+  std::vector<std::thread> sessions;
+  for (;;) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR && !stopping.load()) continue;
+      break;  // listener shut down by a SHUTDOWN session
+    }
+    if (stopping.load()) {
+      ::close(conn);
+      break;
+    }
+    sessions.emplace_back([&service, &stopping, listener, conn] {
+      FdStreambuf buffer(conn);
+      std::istream in(&buffer);
+      std::ostream out(&buffer);
+      const SessionExit exit = run_session(service, in, out);
+      out.flush();
+      ::close(conn);
+      if (exit == SessionExit::kShutdown) {
+        stopping.store(true);
+        ::shutdown(listener, SHUT_RDWR);  // unblocks the accept loop
+      }
+    });
+  }
+  for (std::thread& session : sessions) session.join();
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace lmpr::serve
+
+#else  // !(__unix__ || __APPLE__)
+
+namespace lmpr::serve {
+
+bool socket_supported() noexcept { return false; }
+
+int run_socket_server(RoutingService&, const std::string&,
+                      std::string& error) {
+  error = "UNIX domain sockets are not supported on this platform";
+  return 1;
+}
+
+}  // namespace lmpr::serve
+
+#endif

@@ -1,0 +1,31 @@
+// UNIX-domain-socket front end for the routing service: binds a
+// filesystem socket, accepts connections, and runs one protocol session
+// per connection on its own thread.  All sessions share ONE
+// RoutingService, so concurrent clients exercise exactly the
+// snapshot-reader / single-ingest-thread split the service was built
+// around: a PATH query on one connection never waits for an EVENT repair
+// submitted on another.
+//
+// SHUTDOWN (from any connection) closes the listener, drains the open
+// sessions and returns; QUIT only closes its own connection.  The socket
+// file is unlinked on the way out.
+//
+// POSIX only -- the driver rejects --socket on other platforms.
+#pragma once
+
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace lmpr::serve {
+
+/// True when this build can serve UNIX domain sockets.
+bool socket_supported() noexcept;
+
+/// Binds `path` (replacing a stale socket file) and serves until a client
+/// sends SHUTDOWN.  Returns 0 on a clean shutdown; on a socket error
+/// returns 1 with a one-line diagnostic in `error`.
+int run_socket_server(RoutingService& service, const std::string& path,
+                      std::string& error);
+
+}  // namespace lmpr::serve

@@ -8,14 +8,17 @@
 
 #include "topology/generic.hpp"
 #include "topology/spec.hpp"
+#include "topology/spec_scanner.hpp"
 #include "topology/xgft.hpp"
 
 namespace lmpr::topo {
 
 namespace {
 
-/// Strips every whitespace character (both families are whitespace
-/// insensitive) so "RRG( 18 ; 4 ; 3 )" parses like "RRG(18;4;3)".
+/// Strips every whitespace character so family dispatch sees "RRG(" even
+/// in "RRG ( 18 ; ...".  Parsing proper runs on the ORIGINAL text (both
+/// grammars are whitespace-insensitive) so diagnostics keep real
+/// line:column positions.
 std::string squeeze(std::string_view text) {
   std::string out;
   out.reserve(text.size());
@@ -25,47 +28,26 @@ std::string squeeze(std::string_view text) {
   return out;
 }
 
-[[noreturn]] void bad_rrg(const std::string& why) {
-  throw std::invalid_argument(
-      "RRG spec: " + why + " (expected RRG(switches;degree;hosts_per_switch"
-      "[;seed]))");
-}
-
-std::unique_ptr<const Topology> make_rrg(const std::string& squeezed) {
-  if (squeezed.back() != ')') bad_rrg("missing closing ')'");
-  const std::string body = squeezed.substr(4, squeezed.size() - 5);
-  std::vector<std::uint64_t> fields{0};
-  std::vector<bool> has_digits{false};
-  for (const char c : body) {
-    if (c == ';') {
-      fields.push_back(0);
-      has_digits.push_back(false);
-      continue;
-    }
-    if (c < '0' || c > '9') {
-      bad_rrg(std::string{"unexpected character '"} + c + "'");
-    }
-    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
-    if (fields.back() > (UINT64_MAX - digit) / 10) bad_rrg("field overflows");
-    fields.back() = fields.back() * 10 + digit;
-    has_digits.back() = true;
+std::unique_ptr<const Topology> make_rrg(const std::string& text) {
+  SpecScanner scan(text, "RrgSpec::parse");
+  scan.expect_keyword("RRG");
+  scan.expect('(', "expected '(' after RRG");
+  const std::uint32_t switches = scan.number("switch count");
+  scan.expect(';', "expected ';' after the switch count");
+  const std::uint32_t degree = scan.number("switch-to-switch degree");
+  scan.expect(';', "expected ';' after the degree");
+  const std::uint32_t hosts_per_switch = scan.number("hosts per switch");
+  bool has_seed = false;
+  std::uint64_t seed = 1;
+  if (scan.consume(';')) {
+    seed = scan.number64("seed");
+    has_seed = true;
   }
-  if (fields.size() < 3 || fields.size() > 4) {
-    bad_rrg("expected 3 or 4 ';'-separated fields, got " +
-            std::to_string(fields.size()));
+  scan.expect(')', "expected ')' after the RRG fields "
+                   "(RRG(switches;degree;hosts_per_switch[;seed]))");
+  if (!scan.at_end()) {
+    scan.fail(scan.position(), "trailing characters after ')'");
   }
-  for (std::size_t i = 0; i < fields.size(); ++i) {
-    if (!has_digits[i]) bad_rrg("field " + std::to_string(i + 1) + " is empty");
-  }
-  for (std::size_t i = 0; i < 3; ++i) {
-    if (fields[i] > UINT32_MAX) {
-      bad_rrg("field " + std::to_string(i + 1) + " exceeds 32 bits");
-    }
-  }
-  const auto switches = static_cast<std::uint32_t>(fields[0]);
-  const auto degree = static_cast<std::uint32_t>(fields[1]);
-  const auto hosts_per_switch = static_cast<std::uint32_t>(fields[2]);
-  const std::uint64_t seed = fields.size() == 4 ? fields[3] : 1;
   const discovery::RawFabric fabric =
       build_expander_fabric(switches, degree, hosts_per_switch, seed);
   std::string name = "RRG(";
@@ -74,7 +56,7 @@ std::unique_ptr<const Topology> make_rrg(const std::string& squeezed) {
   name += std::to_string(degree);
   name += ';';
   name += std::to_string(hosts_per_switch);
-  if (fields.size() == 4) {
+  if (has_seed) {
     name += ';';
     name += std::to_string(seed);
   }
@@ -82,9 +64,7 @@ std::unique_ptr<const Topology> make_rrg(const std::string& squeezed) {
   return std::make_unique<GenericGraphTopology>(fabric, std::move(name));
 }
 
-}  // namespace
-
-std::unique_ptr<const Topology> make_topology(std::string_view spec) {
+std::unique_ptr<const Topology> dispatch(std::string_view spec) {
   const std::string squeezed = squeeze(spec);
   if (squeezed.empty()) {
     throw std::invalid_argument("topology spec is empty");
@@ -93,11 +73,27 @@ std::unique_ptr<const Topology> make_topology(std::string_view spec) {
     return std::make_unique<Xgft>(XgftSpec::parse(std::string{spec}));
   }
   if (squeezed.rfind("RRG(", 0) == 0) {
-    return make_rrg(squeezed);
+    return make_rrg(std::string{spec});
   }
   throw std::invalid_argument(
-      "unknown topology family in \"" + std::string{spec} +
-      "\" (expected XGFT(...) or RRG(...))");
+      "unknown topology family (expected XGFT(...) or RRG(...))");
+}
+
+}  // namespace
+
+std::unique_ptr<const Topology> make_topology(std::string_view spec) {
+  try {
+    return dispatch(spec);
+  } catch (const std::invalid_argument& error) {
+    // Every rejection echoes the offending spec exactly once: the parse
+    // scanners already embed it ("... of '<spec>'"); semantic failures
+    // thrown deeper (XgftSpec::validate, the expander builder) get it
+    // prepended here.
+    const std::string what = error.what();
+    if (!spec.empty() && what.find(spec) != std::string::npos) throw;
+    throw std::invalid_argument("topology spec '" + std::string{spec} +
+                                "': " + what);
+  }
 }
 
 }  // namespace lmpr::topo

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "topology/spec_scanner.hpp"
 #include "util/contracts.hpp"
 
 namespace lmpr::topo {
@@ -116,113 +117,8 @@ std::string XgftSpec::to_string() const {
   return oss.str();
 }
 
-namespace {
-
-/// Cursor-based scanner for the XGFT(h;m..;w..) grammar.  Every rejection
-/// carries the 1-based line:column of the offending character in the
-/// ORIGINAL text (specs arrive from CLI flags and config files, so "bad
-/// spec" without a position is useless), and numbers are accumulated with
-/// an explicit 32-bit bound instead of std::stoul's silent truncation.
-class SpecScanner {
- public:
-  explicit SpecScanner(const std::string& text) : text_(text) {}
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  bool at_end() {
-    skip_ws();
-    return pos_ >= text_.size();
-  }
-
-  void expect_keyword(std::string_view keyword) {
-    skip_ws();
-    if (text_.compare(pos_, keyword.size(), keyword) != 0) {
-      fail(pos_, "expected '" + std::string{keyword} + "'");
-    }
-    pos_ += keyword.size();
-  }
-
-  void expect(char c, const char* what) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != c) fail(pos_, what);
-    ++pos_;
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  /// One unsigned decimal literal, bounded to 32 bits.
-  std::uint32_t number(const char* what) {
-    skip_ws();
-    const std::size_t start = pos_;
-    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
-      fail(pos_, std::string{"expected "} + what);
-    }
-    std::uint64_t value = 0;
-    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-      value = value * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
-      if (value > std::numeric_limits<std::uint32_t>::max()) {
-        fail(start, std::string{what} + " exceeds 32 bits");
-      }
-      ++pos_;
-    }
-    return static_cast<std::uint32_t>(value);
-  }
-
-  /// Comma-separated list of POSITIVE numbers (arities).
-  std::vector<std::uint32_t> arity_list(const char* what) {
-    std::vector<std::uint32_t> values;
-    do {
-      skip_ws();
-      const std::size_t start = pos_;
-      const std::uint32_t value = number(what);
-      if (value == 0) {
-        fail(start, std::string{what} + " must be at least 1");
-      }
-      values.push_back(value);
-    } while (consume(','));
-    return values;
-  }
-
-  std::size_t position() {
-    skip_ws();
-    return pos_;
-  }
-
-  [[noreturn]] void fail(std::size_t at, const std::string& what) const {
-    std::size_t line = 1;
-    std::size_t column = 1;
-    for (std::size_t i = 0; i < at && i < text_.size(); ++i) {
-      if (text_[i] == '\n') {
-        ++line;
-        column = 1;
-      } else {
-        ++column;
-      }
-    }
-    throw std::invalid_argument(
-        "XgftSpec::parse: " + what + " at line " + std::to_string(line) +
-        ", column " + std::to_string(column) + " of '" + text_ + "'");
-  }
-
- private:
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
 XgftSpec XgftSpec::parse(const std::string& text) {
-  SpecScanner scan(text);
+  SpecScanner scan(text, "XgftSpec::parse");
   scan.expect_keyword("XGFT");
   scan.expect('(', "expected '(' after XGFT");
   const std::size_t height_at = scan.position();

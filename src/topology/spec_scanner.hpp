@@ -1,0 +1,141 @@
+// Cursor-based scanner shared by the topology spec grammars
+// (XGFT(h;m..;w..) in spec.cpp, RRG(n;d;p[;seed]) in factory.cpp).
+// Every rejection carries the 1-based line:column of the offending
+// character in the ORIGINAL text plus the text itself -- specs arrive
+// from CLI flags, config files and the `lmpr serve` TOPO command, so a
+// "bad spec" without a position and an echo is useless.  Numbers are
+// accumulated with explicit overflow bounds instead of std::stoul's
+// silent truncation.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmpr::topo {
+
+class SpecScanner {
+ public:
+  /// `context` prefixes every diagnostic, e.g. "XgftSpec::parse".  The
+  /// text is held by reference: the scanner must not outlive it.
+  SpecScanner(const std::string& text, std::string context)
+      : text_(text), context_(std::move(context)) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  void expect_keyword(std::string_view keyword) {
+    skip_ws();
+    if (text_.compare(pos_, keyword.size(), keyword) != 0) {
+      fail(pos_, "expected '" + std::string{keyword} + "'");
+    }
+    pos_ += keyword.size();
+  }
+
+  void expect(char c, const char* what) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) fail(pos_, what);
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  /// One unsigned decimal literal, bounded to 64 bits.
+  std::uint64_t number64(const char* what) {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      fail(pos_, std::string{"expected "} + what);
+    }
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      const auto digit = static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+        fail(start, std::string{what} + " exceeds 64 bits");
+      }
+      value = value * 10 + digit;
+      ++pos_;
+    }
+    return value;
+  }
+
+  /// One unsigned decimal literal, bounded to 32 bits (checked per
+  /// digit, so any overlong literal reports the 32-bit bound).
+  std::uint32_t number(const char* what) {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      fail(pos_, std::string{"expected "} + what);
+    }
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (value > std::numeric_limits<std::uint32_t>::max()) {
+        fail(start, std::string{what} + " exceeds 32 bits");
+      }
+      ++pos_;
+    }
+    return static_cast<std::uint32_t>(value);
+  }
+
+  /// Comma-separated list of POSITIVE numbers (arities).
+  std::vector<std::uint32_t> arity_list(const char* what) {
+    std::vector<std::uint32_t> values;
+    do {
+      skip_ws();
+      const std::size_t start = pos_;
+      const std::uint32_t value = number(what);
+      if (value == 0) {
+        fail(start, std::string{what} + " must be at least 1");
+      }
+      values.push_back(value);
+    } while (consume(','));
+    return values;
+  }
+
+  std::size_t position() {
+    skip_ws();
+    return pos_;
+  }
+
+  [[noreturn]] void fail(std::size_t at, const std::string& what) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < at && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw std::invalid_argument(
+        context_ + ": " + what + " at line " + std::to_string(line) +
+        ", column " + std::to_string(column) + " of '" + text_ + "'");
+  }
+
+ private:
+  const std::string& text_;
+  std::string context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lmpr::topo

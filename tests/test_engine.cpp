@@ -35,7 +35,7 @@ TEST(ScenarioRegistry, ContainsEveryMigratedScenario) {
         "patterns_structured",
         "perf_baseline",
         "price_of_obliviousness", "replay_cable_storm", "replay_quick",
-        "resilience_multipath", "smodk_vs_dmodk",
+        "resilience_multipath", "serve_throughput", "smodk_vs_dmodk",
         "worst_case_permutations"}) {
     const Scenario* scenario = registry.find(name);
     ASSERT_NE(scenario, nullptr) << name;
@@ -45,7 +45,7 @@ TEST(ScenarioRegistry, ContainsEveryMigratedScenario) {
     EXPECT_FALSE(scenario->full_params.empty()) << name;
     EXPECT_TRUE(scenario->run != nullptr) << name;
   }
-  EXPECT_EQ(registry.all().size(), 29u);
+  EXPECT_EQ(registry.all().size(), 30u);
 }
 
 TEST(ScenarioRegistry, FindIsExactMatchOnly) {

@@ -1,0 +1,373 @@
+// Tests for the `lmpr serve` routing daemon: total protocol parsing
+// (reject/fuzz corpus in the fm::events style), service semantics
+// (generations, load swaps, error propagation), the byte-pinned golden
+// session, the torn-read hammer over the published snapshots, and a
+// smoke run of the serve_throughput bench.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/serve_support.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+
+namespace lmpr {
+namespace {
+
+using serve::Command;
+using serve::parse_request;
+
+// ---------------------------------------------------------------------------
+// Protocol parsing.
+
+TEST(ServeProtocol, ParsesCoreCommands) {
+  const auto load = parse_request("LOAD reports/fabric.json");
+  ASSERT_TRUE(load.ok) << load.error;
+  EXPECT_EQ(load.request.command, Command::kLoad);
+  EXPECT_EQ(load.request.text, "reports/fabric.json");
+
+  const auto topo = parse_request("topo XGFT( 2 ; 4,4 ; 1,4 )");
+  ASSERT_TRUE(topo.ok) << topo.error;
+  EXPECT_EQ(topo.request.command, Command::kTopo);
+  EXPECT_EQ(topo.request.text, "XGFT( 2 ; 4,4 ; 1,4 )");
+
+  const auto event = parse_request("Event cable_down 0 16");
+  ASSERT_TRUE(event.ok) << event.error;
+  EXPECT_EQ(event.request.command, Command::kEvent);
+  EXPECT_EQ(event.request.event,
+            (fm::Event{fm::EventType::kCableDown, 0, 16}));
+
+  const auto path = parse_request("PATH 3 9 2");
+  ASSERT_TRUE(path.ok) << path.error;
+  EXPECT_EQ(path.request.command, Command::kPath);
+  EXPECT_EQ(path.request.src, 3u);
+  EXPECT_EQ(path.request.dst, 9u);
+  EXPECT_EQ(path.request.limit, 2u);
+
+  const auto all = parse_request("PATH 3 9");
+  ASSERT_TRUE(all.ok) << all.error;
+  EXPECT_EQ(all.request.limit, 0u) << "no K means every installed variant";
+
+  for (const char* bare : {"STATS", "stats", "GEN", "QUIT", "shutdown"}) {
+    const auto parsed = parse_request(bare);
+    EXPECT_TRUE(parsed.ok) << bare << ": " << parsed.error;
+  }
+}
+
+TEST(ServeProtocol, BlankAndCommentLinesElicitNoResponse) {
+  for (const char* text : {"", "   ", "\t", "# a comment", "  # indented",
+                           "\r", "# CRLF comment\r"}) {
+    const auto parsed = parse_request(text);
+    EXPECT_FALSE(parsed.ok) << text;
+    EXPECT_TRUE(parsed.blank) << text;
+  }
+}
+
+TEST(ServeProtocol, StripsCrlfAndTrailingComments) {
+  const auto crlf = parse_request("GEN\r");
+  EXPECT_TRUE(crlf.ok) << crlf.error;
+
+  const auto comment = parse_request("PATH 1 2   # probe the pair\r");
+  ASSERT_TRUE(comment.ok) << comment.error;
+  EXPECT_EQ(comment.request.src, 1u);
+  EXPECT_EQ(comment.request.dst, 2u);
+}
+
+// Every malformed input yields ok = false with a one-line reason, never
+// a crash -- the daemon-facing analogue of the fm event-script corpus.
+TEST(ServeProtocol, RejectCorpusNeverCrashes) {
+  const struct {
+    const char* line;
+    const char* needle;
+  } corpus[] = {
+      {"BOGUS", "unknown command 'BOGUS'"},
+      {"LAUNCH the missiles", "unknown command 'LAUNCH'"},
+      {"LOAD", "LOAD expects a fabric file path"},
+      {"LOAD a b", "trailing token 'b'"},
+      {"TOPO", "TOPO expects a topology spec"},
+      {"EVENT", "EVENT needs an event line"},
+      {"EVENT # nothing", "EVENT needs an event line"},
+      {"EVENT reboot 3", "unknown event 'reboot'"},
+      {"EVENT cable_down 0", "expects 2 node ids"},
+      {"EVENT cable_down 0 1 2", "trailing token '2'"},
+      {"EVENT query 0 4294967296", "out of range"},
+      {"EVENT @5 cable_down 0 16", "does not accept @<cycle> stamps"},
+      {"PATH", "PATH expects <src> <dst> [K], got 0 operands"},
+      {"PATH 1", "got 1 operand"},
+      {"PATH 1 2 3 4", "got 4 operands"},
+      {"PATH x 2", "bad src host id 'x'"},
+      {"PATH 1 -2", "bad dst host id '-2'"},
+      {"PATH 1 2 0", "bad variant count '0'"},
+      {"PATH 1 2 99999999999", "variant count 99999999999 out of range"},
+      {"STATS now", "trailing token 'now'"},
+      {"GEN 1", "trailing token '1'"},
+      {"QUIT loudly", "trailing token 'loudly'"},
+      {"SHUTDOWN -f", "trailing token '-f'"},
+  };
+  for (const auto& entry : corpus) {
+    serve::ParsedRequest parsed;
+    EXPECT_NO_THROW(parsed = parse_request(entry.line)) << entry.line;
+    EXPECT_FALSE(parsed.ok) << entry.line;
+    EXPECT_FALSE(parsed.blank) << entry.line;
+    EXPECT_NE(parsed.error.find(entry.needle), std::string::npos)
+        << entry.line << " => " << parsed.error;
+  }
+}
+
+TEST(ServeProtocol, OversizedInputsAreRejectedWhole) {
+  const std::string giant(serve::kMaxRequestBytes + 1, 'a');
+  const auto parsed = parse_request(giant);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("exceeds"), std::string::npos);
+
+  // A hostile kilobyte token under the line cap is clipped in the echo.
+  const std::string token(1024, 'z');
+  const auto clipped = parse_request("PATH " + token + " 2");
+  EXPECT_FALSE(clipped.ok);
+  EXPECT_NE(clipped.error.find("..."), std::string::npos);
+  EXPECT_LT(clipped.error.size(), 120u);
+}
+
+// ---------------------------------------------------------------------------
+// Service semantics.
+
+TEST(ServeService, QueriesBeforeAnyLoadFail) {
+  serve::RoutingService service;
+  EXPECT_FALSE(service.loaded());
+  EXPECT_EQ(service.generation(), 0u);
+  const auto path = service.query_path(0, 1);
+  EXPECT_FALSE(path.ok);
+  EXPECT_NE(path.error.find("no fabric loaded"), std::string::npos);
+  EXPECT_FALSE(service.stats().ok);
+  const auto applied =
+      service.apply_event(fm::Event{fm::EventType::kCableDown, 0, 16});
+  EXPECT_FALSE(applied.record.ok);
+}
+
+TEST(ServeService, BadSpecsEchoTheFactoryDiagnostic) {
+  serve::RoutingService service;
+  const auto outcome = service.load_spec("XGFT(2;4,4)");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("XGFT(2;4,4)"), std::string::npos)
+      << outcome.error;
+  EXPECT_NE(outcome.error.find("line 1, column 11"), std::string::npos)
+      << outcome.error;
+  EXPECT_FALSE(service.loaded()) << "a failed load must not install";
+}
+
+TEST(ServeService, GenerationsCountTableSets) {
+  serve::RoutingService service;
+  const auto loaded = service.load_spec("XGFT(2;4,4;1,4)");
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.generation, 1u);
+
+  // Query events and rejected events republish under the same generation.
+  const auto query =
+      service.apply_event(fm::Event{fm::EventType::kQuery, 0, 5});
+  EXPECT_TRUE(query.record.ok);
+  EXPECT_EQ(query.generation, 1u);
+  const auto rejected =
+      service.apply_event(fm::Event{fm::EventType::kCableDown, 0, 7});
+  EXPECT_FALSE(rejected.record.ok) << "0-7 is not a cable";
+  EXPECT_EQ(rejected.generation, 1u);
+
+  // Topology events install a new table set.
+  const auto down =
+      service.apply_event(fm::Event{fm::EventType::kCableDown, 16, 20});
+  EXPECT_TRUE(down.record.ok) << down.record.error;
+  EXPECT_EQ(down.generation, 2u);
+  const auto up =
+      service.apply_event(fm::Event{fm::EventType::kCableUp, 16, 20});
+  EXPECT_TRUE(up.record.ok) << up.record.error;
+  EXPECT_EQ(up.generation, 3u);
+
+  // A replacing load starts a fresh table set too.
+  const auto reloaded = service.load_spec("XGFT(2;2,2;1,2)");
+  ASSERT_TRUE(reloaded.ok) << reloaded.error;
+  EXPECT_EQ(reloaded.generation, 4u);
+  EXPECT_EQ(service.stats().hosts, 4u);
+}
+
+TEST(ServeService, PathQueriesWalkEveryVariant) {
+  serve::RoutingService service;
+  ASSERT_TRUE(service.load_spec("XGFT(2;4,4;1,4)").ok);
+  const auto all = service.query_path(0, 5);
+  ASSERT_TRUE(all.ok) << all.error;
+  EXPECT_EQ(all.variants, 4u);
+  EXPECT_EQ(all.usable, 4u);
+  for (const auto& walk : all.walks) {
+    ASSERT_TRUE(walk.delivered);
+    ASSERT_GE(walk.nodes.size(), 2u);
+    EXPECT_EQ(walk.nodes.front(), 0u);
+    EXPECT_EQ(walk.nodes.back(), 5u) << "hosts are their own node ids here";
+  }
+
+  const auto limited = service.query_path(0, 5, 2);
+  ASSERT_TRUE(limited.ok);
+  EXPECT_EQ(limited.variants, 2u);
+
+  EXPECT_FALSE(service.query_path(99, 5).ok);
+  EXPECT_FALSE(service.query_path(0, 99).ok);
+  const auto over = service.query_path(0, 5, 9);
+  EXPECT_FALSE(over.ok);
+  EXPECT_NE(over.error.find("exceeds the installed block"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Golden session.
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The CI smoke session byte-for-byte: scripts/serve_smoke.txt through a
+// zero-timings service must reproduce tests/golden/serve_quick.txt.
+TEST(ServeSession, GoldenQuickSession) {
+  const std::string script =
+      slurp(std::string{LMPR_SCRIPTS_DIR} + "/serve_smoke.txt");
+  ASSERT_FALSE(script.empty());
+
+  serve::ServeConfig config;
+  config.fm.zero_timings = true;
+  serve::RoutingService service(config);
+  std::istringstream in(script);
+  std::ostringstream out;
+  const auto exit = serve::run_session(service, in, out);
+  EXPECT_EQ(exit, serve::SessionExit::kQuit);
+
+  const std::string golden =
+      slurp(std::string{LMPR_GOLDEN_DIR} + "/serve_quick.txt");
+  EXPECT_EQ(out.str(), golden)
+      << "serve session drifted from tests/golden/serve_quick.txt; if the "
+         "change is intentional, regenerate with: ./build/lmpr serve "
+         "--zero-timings --script scripts/serve_smoke.txt";
+}
+
+TEST(ServeSession, CrlfSessionsAnswerIdentically) {
+  serve::ServeConfig config;
+  config.fm.zero_timings = true;
+  serve::RoutingService lf_service(config);
+  serve::RoutingService crlf_service(config);
+  const std::string lf_script = "TOPO XGFT(2;4,4;1,4)\nPATH 0 5 1\nGEN\n";
+  std::string crlf_script = lf_script;
+  std::size_t at = 0;
+  while ((at = crlf_script.find('\n', at)) != std::string::npos) {
+    crlf_script.replace(at, 1, "\r\n");
+    at += 2;
+  }
+  std::istringstream lf_in(lf_script), crlf_in(crlf_script);
+  std::ostringstream lf_out, crlf_out;
+  serve::run_session(lf_service, lf_in, lf_out);
+  serve::run_session(crlf_service, crlf_in, crlf_out);
+  EXPECT_EQ(lf_out.str(), crlf_out.str());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: snapshots never tear.
+
+using WalkSet = std::vector<std::pair<bool, std::vector<topo::NodeId>>>;
+
+WalkSet flatten(const serve::PathResult& result) {
+  WalkSet walks;
+  walks.reserve(result.walks.size());
+  for (const auto& walk : result.walks) {
+    walks.emplace_back(walk.delivered, walk.nodes);
+  }
+  return walks;
+}
+
+// One cable toggles down/up while a reader hammers the same pair: the
+// tables have exactly TWO valid states (repair is deterministic and
+// healing restores the from-scratch build), mapped by generation parity.
+// Any answer matching neither state for its generation is a torn read.
+TEST(ServeConcurrency, HammeredReadersSeeOnlyWholeGenerations) {
+  serve::ServeConfig config;
+  config.fm.zero_timings = true;
+  serve::RoutingService service(config);
+  ASSERT_TRUE(service.load_spec("XGFT(2;4,4;1,4)").ok);
+
+  const std::uint64_t src = 0, dst = 5;
+  const auto healthy = service.query_path(src, dst);
+  ASSERT_TRUE(healthy.ok);
+  ASSERT_EQ(healthy.generation, 1u);
+  const WalkSet healthy_walks = flatten(healthy);
+
+  const fm::Event down{fm::EventType::kCableDown, 16, 20};
+  const fm::Event up{fm::EventType::kCableUp, 16, 20};
+  ASSERT_TRUE(service.apply_event(down).record.ok);
+  const auto degraded = service.query_path(src, dst);
+  ASSERT_TRUE(degraded.ok);
+  ASSERT_EQ(degraded.generation, 2u);
+  const WalkSet degraded_walks = flatten(degraded);
+  ASSERT_NE(degraded_walks, healthy_walks)
+      << "the toggled cable must actually change the pair's walks";
+  ASSERT_TRUE(service.apply_event(up).record.ok);
+  ASSERT_EQ(flatten(service.query_path(src, dst)), healthy_walks)
+      << "healing must restore the deterministic from-scratch tables";
+
+  // Generation parity now encodes the state: odd = healthy, even =
+  // degraded (gen 1 healthy, each toggle bumps by one).
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> observed{0};
+  std::thread reader([&] {
+    std::uint64_t last_generation = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto result = service.query_path(src, dst);
+      ++observed;
+      if (!result.ok || result.generation < last_generation) {
+        ++torn;
+        continue;
+      }
+      last_generation = result.generation;
+      const WalkSet& expected =
+          (result.generation % 2 == 1) ? healthy_walks : degraded_walks;
+      if (flatten(result) != expected) ++torn;
+    }
+  });
+
+  for (int toggle = 0; toggle < 200; ++toggle) {
+    ASSERT_TRUE(service.apply_event(down).record.ok);
+    ASSERT_TRUE(service.apply_event(up).record.ok);
+  }
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0u)
+      << "of " << observed.load() << " concurrent answers";
+  EXPECT_GT(observed.load(), 0u);
+  // 1 load + initial down/up + 200 toggles x 2 published table sets.
+  EXPECT_EQ(service.generation(), 403u);
+}
+
+// ---------------------------------------------------------------------------
+// Bench smoke.
+
+TEST(ServeBench, ThroughputWorkloadRunsConsistent) {
+  engine::ServeThroughputOptions options;
+  options.readers = 2;
+  options.storm_cables = 8;
+  options.seed = 7;
+  const auto result = engine::run_serve_throughput(options);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.events, 16u);
+  EXPECT_EQ(result.inconsistent, 0u);
+  EXPECT_GT(result.queries, 0u);
+  EXPECT_GT(result.queries_per_sec, 0.0);
+  // 1 load + 16 topology events, every one a published table set.
+  EXPECT_EQ(result.final_generation, 17u);
+}
+
+}  // namespace
+}  // namespace lmpr

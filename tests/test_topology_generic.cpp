@@ -388,4 +388,51 @@ TEST(TopologyFactory, RejectsMalformedSpecs) {
   }
 }
 
+// Every make_topology rejection echoes the offending spec, and scanner
+// rejections pinpoint the failure with the XgftSpec-style line:column.
+TEST(TopologyFactory, RejectionsEchoTheSpecWithPosition) {
+  const struct {
+    const char* spec;
+    const char* needle;
+  } corpus[] = {
+      {"TORUS(3;3)", "unknown topology family"},
+      {"XGFT(2;4,4)",
+       "expected ';' between the m and w arity lists at line 1, column 11"},
+      {"XGFT(2;4,0;2,2)", "m-arity must be at least 1 at line 1, column 10"},
+      {"RRG(8;4)", "expected ';' after the degree at line 1, column 8"},
+      {"RRG(8;x;2)",
+       "expected switch-to-switch degree at line 1, column 7"},
+      {"RRG(99999999999;4;2)",
+       "switch count exceeds 32 bits at line 1, column 5"},
+      {"RRG(8;4;2", "expected ')' after the RRG fields"},
+      // Semantic failures from deeper layers get the echo prepended.
+      {"RRG(2;1;1)", "expander needs at least 3 switches"},
+  };
+  for (const auto& entry : corpus) {
+    try {
+      make_topology(entry.spec);
+      FAIL() << entry.spec << " was accepted";
+    } catch (const std::invalid_argument& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(entry.spec), std::string::npos)
+          << entry.spec << " missing from: " << what;
+      EXPECT_NE(what.find(entry.needle), std::string::npos)
+          << entry.needle << " missing from: " << what;
+    }
+  }
+}
+
+// A spec spanning lines keeps real line:column positions (the squeeze
+// pass is for family dispatch only; parsing runs on the original text).
+TEST(TopologyFactory, MultiLineSpecsKeepRealPositions) {
+  try {
+    make_topology("RRG( 8 ;\n4 ; 2");
+    FAIL() << "truncated spec was accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string{error.what()}.find("line 2, column 6"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 }  // namespace
