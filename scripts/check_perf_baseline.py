@@ -5,9 +5,13 @@ Reads a BENCH_perf.json document (schema lmpr-perf-baseline/v1, written
 by `lmpr run perf_baseline`) and fails -- exit status 1 -- on either:
 
   * a `speedup` field anywhere in the document below the threshold
-    (default 1.0): the active-set flit kernel, the pooled fig5 sweep and
-    the cached permutation study must never be SLOWER than their
-    reference implementations; or
+    (default 1.0): the active-set flit kernel, the event kernel, the
+    pooled fig5 sweep and the cached permutation study must never be
+    SLOWER than their reference implementations;
+  * the event-kernel low-load bar: every `event_kernel` entry at
+    offered_load <= 0.2 must be at least as fast as the active-set
+    kernel, and the BEST low-load entry must reach --min-event-speedup
+    (default 5.0) -- the idle-cycle skipping the kernel exists for; or
   * a tracked benchmark section MISSING from the document.  A refactor
     that silently drops a benchmark would otherwise pass the speedup
     check vacuously; the key guard turns "we stopped measuring it" into
@@ -15,8 +19,8 @@ by `lmpr run perf_baseline`) and fails -- exit status 1 -- on either:
 
 Stdlib only, so CI can run it with a bare python3.
 
-Usage: check_perf_baseline.py [--min-speedup X] [--expect-key PATH]...
-                              [BENCH_perf.json]
+Usage: check_perf_baseline.py [--min-speedup X] [--min-event-speedup X]
+                              [--expect-key PATH]... [BENCH_perf.json]
 """
 
 import argparse
@@ -28,6 +32,7 @@ import sys
 # benchmark; never shrinks silently.
 DEFAULT_EXPECTED_KEYS = [
     "flit_kernel",
+    "event_kernel",
     "fig5_quick_sweep.speedup",
     "flow_permutation_study.speedup",
     "serve_throughput.queries_per_sec",
@@ -65,6 +70,10 @@ def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", nargs="?", default="BENCH_perf.json")
     parser.add_argument("--min-speedup", type=float, default=1.0)
+    parser.add_argument(
+        "--min-event-speedup", type=float, default=5.0,
+        help="floor for the best event-kernel speedup over active_set "
+             "at offered_load <= 0.2 (default %(default)s)")
     parser.add_argument(
         "--expect-key", action="append", default=[], metavar="PATH",
         help="additional dotted path that must be present "
@@ -107,6 +116,31 @@ def main(argv):
             failed = True
         else:
             print(f"ok   {path} = {value:.3f}")
+
+    # Event-kernel low-load bar: the walk above already enforced >= 1.0
+    # (never slower than active_set); here the BEST low-load point must
+    # additionally clear --min-event-speedup, or skipping idle cycles
+    # stopped paying for itself.
+    low_load = [
+        entry for entry in document.get("event_kernel", [])
+        if isinstance(entry, dict) and entry.get("offered_load", 1.0) <= 0.2
+    ]
+    if not low_load:
+        print("FAIL event_kernel has no entries with offered_load <= 0.2")
+        failed = True
+    else:
+        best = max(
+            (e.get("speedup") for e in low_load
+             if isinstance(e.get("speedup"), (int, float))),
+            default=0.0)
+        if best < args.min_event_speedup:
+            print(f"FAIL best low-load event_kernel speedup {best:.3f} "
+                  f"(< {args.min_event_speedup})")
+            failed = True
+        else:
+            print(f"ok   best low-load event_kernel speedup {best:.3f} "
+                  f">= {args.min_event_speedup}")
+
     if failed:
         print("perf baseline check failed: a tracked benchmark disappeared "
               f"or a speedup fell below {args.min_speedup}x", file=sys.stderr)

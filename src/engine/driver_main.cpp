@@ -49,6 +49,7 @@ int usage(std::ostream& os, int code) {
         "              [--layout disjoint|shift]\n"
         "              [--repair-policy first_surviving|load_aware]\n"
         "              [--drop-policy drop|reroute_at_switch]\n"
+        "              [--kernel reference|active_set|event]\n"
         "              [--load X] [--seed N] [--warmup N] [--measure N]\n"
         "              [--drain N] [--window N] [--json PATH]\n"
         "              [--zero-timings]\n"
@@ -78,8 +79,11 @@ int usage(std::ostream& os, int code) {
         "into the running router and per-window (epoch) metrics track the\n"
         "transient.  --drop-policy decides what happens to packets caught\n"
         "on a killed cable: drop (lost, counted) or reroute_at_switch\n"
-        "(re-homed onto a surviving path variant).  Exit status is 0 iff\n"
-        "the run recovered to the pre-fault delay baseline.\n"
+        "(re-homed onto a surviving path variant).  --kernel picks the\n"
+        "simulation engine (reference scan, active_set, or the\n"
+        "idle-cycle-skipping event kernel) -- all three produce\n"
+        "bit-identical reports.  Exit status is 0 iff the run recovered\n"
+        "to the pre-fault delay baseline.\n"
         "\n"
         "--topology selects ANY topology family through the factory\n"
         "(XGFT(...) or RRG(switches;degree;hosts_per_switch[;seed]), a\n"
@@ -345,6 +349,7 @@ int cmd_replay(const util::Cli& cli) {
   const std::string policy_name =
       cli.get_or("repair-policy", "first_surviving");
   const std::string drop_name = cli.get_or("drop-policy", "drop");
+  const std::string kernel_name = cli.get_or("kernel", "active_set");
   const std::int64_t k = cli.get_or("k", std::int64_t{4});
   const bool zero_timings = cli.has("zero-timings");
 
@@ -393,6 +398,13 @@ int cmd_replay(const util::Cli& cli) {
   } else {
     std::cerr << "lmpr replay: unknown drop policy '" << drop_name
               << "' (expected drop or reroute_at_switch)\n";
+    return 2;
+  }
+  if (const auto kernel = flit::kernel_from_string(kernel_name)) {
+    options.config.sim.kernel = *kernel;
+  } else {
+    std::cerr << "lmpr replay: unknown kernel '" << kernel_name
+              << "' (expected reference, active_set or event)\n";
     return 2;
   }
   if (!topo_text.empty() && !topology_text.empty()) {

@@ -53,6 +53,47 @@ inline std::optional<DropPolicy> drop_policy_from_string(
   return std::nullopt;
 }
 
+/// Which cycle-loop implementation drives the simulation.  All three
+/// produce bit-identical SimMetrics / WindowMetrics (proven by
+/// test_flit_kernel_equivalence and the `kernel_diff` property harness);
+/// they differ only in how much work an idle cycle costs.
+enum class Kernel {
+  /// The original full scans: the crossbar walks every (link, VC) input
+  /// channel and start_transmissions walks every link, every cycle.
+  /// Per-cycle cost O(num_links * num_vcs).  Kept as the oracle the
+  /// differential tests compare against.
+  kReference,
+  /// Sorted intrusive membership lists iterate only work that can
+  /// progress this cycle.  Per-cycle cost O(in-flight traffic), but the
+  /// loop still ticks every cycle (and scans every host NIC).
+  kActiveSet,
+  /// The active-set machinery plus an event-driven scheduler: hosts
+  /// sleep on a wake heap between Poisson arrivals, and when the fabric
+  /// is provably quiescent the clock fast-forwards to the next calendar
+  /// event or host wake, skipping idle cycles entirely.  Cost O(events),
+  /// independent of how long the fabric idles between them.
+  kEvent,
+};
+
+inline std::string_view to_string(Kernel kernel) noexcept {
+  switch (kernel) {
+    case Kernel::kReference: return "reference";
+    case Kernel::kActiveSet: return "active_set";
+    case Kernel::kEvent: return "event";
+  }
+  return "?";
+}
+
+/// "reference" / "active_set" / "event" -- the spelling `lmpr replay
+/// --kernel` accepts.
+inline std::optional<Kernel> kernel_from_string(
+    std::string_view name) noexcept {
+  if (name == "reference") return Kernel::kReference;
+  if (name == "active_set") return Kernel::kActiveSet;
+  if (name == "event") return Kernel::kEvent;
+  return std::nullopt;
+}
+
 /// How a multi-path route table is exercised by traffic.
 enum class PathSelection {
   kRandomPerMessage,  ///< one uniform pick per message (paper's model)
@@ -117,14 +158,13 @@ struct SimConfig {
   std::uint64_t hotspot_target = 0;
   double hotspot_fraction = 0.2;
 
-  /// Kernel selection.  The default active-set kernel iterates only input
-  /// channels holding switchable packets and links that are free with
-  /// queued output -- per-cycle cost O(in-flight traffic) instead of
-  /// O(num_links * num_vcs).  Setting this runs the original full-scan
-  /// loops instead; both kernels produce bit-identical SimMetrics (proven
-  /// by test_flit_kernel_equivalence), so the flag exists only for the
-  /// differential test and the perf_baseline scenario.
-  bool reference_kernel = false;
+  /// Kernel selection (see Kernel).  All three kernels produce
+  /// bit-identical SimMetrics / WindowMetrics; the choice only trades
+  /// implementation complexity against idle-cycle cost.  The active-set
+  /// kernel stays the default: the event kernel is strictly faster at low
+  /// load but younger, and the differential harnesses exist to keep all
+  /// three honest.
+  Kernel kernel = Kernel::kActiveSet;
 
   /// LFT-mode fault handling: what becomes of packets caught on a killed
   /// cable or pointed at a dead forwarding entry (ignored in route-table

@@ -1,0 +1,116 @@
+// Event kernel (SimConfig::kernel = kEvent): the active-set phases driven
+// by an event scheduler instead of an unconditional tick (DESIGN §14).
+//
+// Two mechanisms, both conservative so that bit-identity with the
+// reference kernel is an invariant, not a tolerance:
+//
+// 1. Event-driven injection.  In the reference scan a host whose source
+//    queue is empty and whose next Poisson arrival lies in the future is
+//    a strict no-op.  Such hosts sleep on a wake heap keyed by
+//    ceil(next_arrival) -- the exact first cycle at which the reference
+//    test `next_arrival <= now` turns true -- and only due or backlogged
+//    hosts are serviced, in ascending host id: the reference scan order
+//    restricted to hosts that can act.  That fixes the global
+//    packet/message freelist allocation order, which calendar event
+//    arguments and metric accumulation order depend on.
+//
+// 2. Quiescence fast-forward.  After a simulated cycle, if no host is
+//    active and both active-set membership lists are empty, then no
+//    state outside the calendar and the wake heap can change until one
+//    of them fires: every unblocking transition in the simulator is a
+//    calendar event (credit return, output slot free, delivery) or a
+//    host wake.  The clock therefore jumps straight to the earlier of
+//    the two (clamped to the run_until bound, so replay epoch
+//    boundaries still land on exact cycles).  The reference kernel
+//    would have executed the skipped cycles as pure no-ops: empty
+//    calendar buckets, no due arrivals, empty input channels, and links
+//    with nothing queued.  Membership lists may briefly over-approximate
+//    (drained entries are pruned lazily by the phases), which only
+//    delays a skip -- never permits an unsound one.
+#include <algorithm>
+#include <cmath>
+
+#include "flit/network.hpp"
+#include "util/contracts.hpp"
+
+namespace lmpr::flit {
+
+void Network::activate_host(std::uint64_t host) {
+  const auto slot = static_cast<std::size_t>(host);
+  if (host_active_[slot]) return;
+  host_active_[slot] = 1;
+  active_hosts_.insert(
+      std::lower_bound(active_hosts_.begin(), active_hosts_.end(), host),
+      host);
+}
+
+void Network::wake_due_hosts(Cycle now) {
+  while (!host_wake_.empty() && host_wake_.top_cycle() <= now) {
+    activate_host(host_wake_.pop_host());
+  }
+}
+
+void Network::inject_event(Cycle now) {
+  wake_due_hosts(now);
+  std::size_t w = 0;
+  for (const std::uint64_t host : active_hosts_) {
+    service_host(host, now);
+    const auto slot = static_cast<std::size_t>(host);
+    if (source_queue_[slot].empty()) {
+      // Nothing left to push: sleep until the next arrival is due.  The
+      // arrival loop in service_host ran to next_arrival > now, so the
+      // wake cycle is strictly in the future.
+      host_active_[slot] = 0;
+      host_wake_.push(
+          static_cast<Cycle>(std::ceil(next_arrival_[slot])), host);
+      continue;
+    }
+    active_hosts_[w++] = host;
+  }
+  active_hosts_.resize(w);
+}
+
+Cycle Network::next_activity_cycle(Cycle end) const {
+  Cycle next = end;
+  if (!host_wake_.empty() && host_wake_.top_cycle() < next) {
+    next = host_wake_.top_cycle();
+  }
+  // All pending calendar events lie within one ring revolution of the
+  // current cycle (schedule() asserts the horizon), and process_events
+  // clears whole buckets -- so the first non-empty bucket at residue
+  // (current + d) % size holds events for exactly cycle current + d.
+  const std::size_t size = calendar_.size();
+  for (Cycle d = 0; d < static_cast<Cycle>(size); ++d) {
+    const Cycle when = current_cycle_ + d;
+    if (when >= next) break;  // scanning further cannot improve
+    if (!calendar_[static_cast<std::size_t>(when % size)].empty()) {
+      next = when;
+      break;
+    }
+  }
+  return next;
+}
+
+void Network::run_cycles_event(Cycle end) {
+  while (current_cycle_ < end) {
+    process_events(current_cycle_);
+    inject_event(current_cycle_);
+    crossbar_active(current_cycle_);
+    start_transmissions_active(current_cycle_);
+    ++current_cycle_;
+    if (current_cycle_ >= end) break;
+    // Quiescence test on the raw membership lists: O(1), and safe even
+    // when they hold stale (drained) entries -- staleness only costs a
+    // ticked no-op cycle until the phase prunes catch up.
+    if (!active_hosts_.empty() || !active_inputs_.empty() ||
+        !active_links_.empty()) {
+      continue;
+    }
+    const Cycle next = next_activity_cycle(end);
+    LMPR_ASSERT(next >= current_cycle_);
+    cycles_skipped_ += next - current_cycle_;
+    current_cycle_ = next;
+  }
+}
+
+}  // namespace lmpr::flit

@@ -1,0 +1,61 @@
+// Event-kernel support: the host wake heap (SimConfig::kernel = kEvent).
+//
+// The event kernel (DESIGN §14) reuses the active-set per-cycle phases
+// but makes the injector event-driven: a host whose source queue is
+// empty sleeps here, keyed by the first integer cycle at which its next
+// Poisson arrival is due (ceil of the double-precision arrival time, so
+// the reference kernel's `next_arrival <= now` comparison fires at
+// exactly the same cycle).  Between pops the host costs nothing -- the
+// reference/active kernels instead test every host NIC every cycle.
+//
+// Pop order among equal wake cycles is unspecified; the caller re-sorts
+// woken hosts into its ascending active-host list, which is what fixes
+// the service order (and with it packet/message id allocation order) to
+// the reference kernel's host scan.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace lmpr::flit {
+
+/// Binary min-heap of (wake cycle, host).  push/pop are O(log sleepers);
+/// the common idle-cycle operation is the O(1) top_cycle() peek.
+class HostWakeQueue {
+ public:
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  /// Earliest wake cycle over all sleeping hosts; empty() must be false.
+  std::uint64_t top_cycle() const noexcept { return heap_.front().when; }
+
+  void push(std::uint64_t when, std::uint64_t host) {
+    heap_.push_back(Entry{when, host});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Removes and returns the host with the earliest wake cycle.
+  std::uint64_t pop_host() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const std::uint64_t host = heap_.back().host;
+    heap_.pop_back();
+    return host;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t when;
+    std::uint64_t host;
+  };
+  /// Ordering by later wake cycle turns std::push_heap's max-heap into
+  /// the min-heap we want.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.when > b.when;
+    }
+  };
+  std::vector<Entry> heap_;
+};
+
+}  // namespace lmpr::flit

@@ -1,6 +1,7 @@
 #include "flit/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/contracts.hpp"
 
@@ -21,7 +22,8 @@ Network::Network(const route::RouteTable* table, const fabric::Lft* lft,
       topo_(table != nullptr ? &table->topology() : &lft->topology()),
       config_(config),
       num_hosts_(topo_->num_hosts()),
-      active_sets_(!config.reference_kernel),
+      kernel_(config.kernel),
+      active_sets_(config.kernel != Kernel::kReference),
       lft_mode_(lft != nullptr),
       windowed_(config.window_metrics),
       mean_interval_(static_cast<double>(config.message_flits()) /
@@ -78,6 +80,19 @@ Network::Network(const route::RouteTable* table, const fabric::Lft* lft,
     host_rng_.push_back(seeder.fork());
     next_arrival_[static_cast<std::size_t>(h)] =
         host_rng_.back().exponential(mean_interval_);
+  }
+  if (kernel_ == Kernel::kEvent) {
+    // Every host starts asleep with an empty source queue; it wakes at
+    // the first integer cycle its arrival is due (ceil matches the
+    // reference kernel's `next_arrival <= now` test exactly).
+    host_active_.assign(static_cast<std::size_t>(num_hosts_), 0);
+    host_wake_.reserve(static_cast<std::size_t>(num_hosts_));
+    for (std::uint64_t h = 0; h < num_hosts_; ++h) {
+      host_wake_.push(
+          static_cast<Cycle>(
+              std::ceil(next_arrival_[static_cast<std::size_t>(h)])),
+          h);
+    }
   }
   if (config_.destination_mode == DestinationMode::kFixedPermutation) {
     if (!config_.fixed_destinations.empty()) {
@@ -357,57 +372,61 @@ topo::LinkId Network::route_output(topo::NodeId node, const Packet& packet,
   return adaptive_route(node, packet, now);
 }
 
+void Network::service_host(std::uint64_t host, Cycle now) {
+  const auto slot = static_cast<std::size_t>(host);
+  while (next_arrival_[slot] <= static_cast<double>(now)) {
+    generate_message(host, now);
+    next_arrival_[slot] += host_rng_[slot].exponential(mean_interval_);
+  }
+  // NIC moves at most one packet per cycle into an uplink output buffer.
+  auto& queue = source_queue_[slot];
+  if (queue.empty()) return;
+  if (lft_mode_) {
+    // Undeliverable head-of-queue packets (entry dead, no salvageable
+    // variant) drop instead of jamming the NIC; the first routable
+    // packet then gets the cycle's injection slot.
+    const topo::NodeId src_node = topo_->host(host);
+    while (!queue.empty()) {
+      const PacketId pkt_id = queue.front();
+      Packet& pkt = packets_[pkt_id];
+      topo::LinkId link = (*lft_tables_)[src_node][pkt.lid];
+      if (!usable(link)) {
+        link = config_.drop_policy == DropPolicy::kRerouteAtSwitch
+                   ? salvage_variant(src_node, pkt)
+                   : topo::kInvalidLink;
+        if (link == topo::kInvalidLink) {
+          queue.pop_front();
+          drop_packet(pkt_id);
+          continue;
+        }
+        ++metrics_.packets_rerouted;
+        if (windowed_) ++window_rerouted_;
+      }
+      OutputChannel& out = outputs_[channel(link, pkt.vc)];
+      if (out.occupancy >= config_.buffer_packets) break;  // NIC blocked
+      queue.pop_front();
+      pkt.head_arrival = now;
+      enqueue_output(channel(link, pkt.vc), link, pkt_id);
+      break;
+    }
+    return;
+  }
+  const PacketId pkt_id = queue.front();
+  Packet& pkt = packets_[pkt_id];
+  const topo::LinkId link =
+      config_.routing_mode == RoutingMode::kOblivious
+          ? pkt.path->links[0]
+          : adaptive_route(topo_->host(host), pkt, now);
+  OutputChannel& out = outputs_[channel(link, pkt.vc)];
+  if (out.occupancy >= config_.buffer_packets) return;
+  queue.pop_front();
+  pkt.head_arrival = now;
+  enqueue_output(channel(link, pkt.vc), link, pkt_id);
+}
+
 void Network::inject(Cycle now) {
   for (std::uint64_t host = 0; host < num_hosts_; ++host) {
-    const auto slot = static_cast<std::size_t>(host);
-    while (next_arrival_[slot] <= static_cast<double>(now)) {
-      generate_message(host, now);
-      next_arrival_[slot] += host_rng_[slot].exponential(mean_interval_);
-    }
-    // NIC moves at most one packet per cycle into an uplink output buffer.
-    auto& queue = source_queue_[slot];
-    if (queue.empty()) continue;
-    if (lft_mode_) {
-      // Undeliverable head-of-queue packets (entry dead, no salvageable
-      // variant) drop instead of jamming the NIC; the first routable
-      // packet then gets the cycle's injection slot.
-      const topo::NodeId src_node = topo_->host(host);
-      while (!queue.empty()) {
-        const PacketId pkt_id = queue.front();
-        Packet& pkt = packets_[pkt_id];
-        topo::LinkId link = (*lft_tables_)[src_node][pkt.lid];
-        if (!usable(link)) {
-          link = config_.drop_policy == DropPolicy::kRerouteAtSwitch
-                     ? salvage_variant(src_node, pkt)
-                     : topo::kInvalidLink;
-          if (link == topo::kInvalidLink) {
-            queue.pop_front();
-            drop_packet(pkt_id);
-            continue;
-          }
-          ++metrics_.packets_rerouted;
-          if (windowed_) ++window_rerouted_;
-        }
-        OutputChannel& out = outputs_[channel(link, pkt.vc)];
-        if (out.occupancy >= config_.buffer_packets) break;  // NIC blocked
-        queue.pop_front();
-        pkt.head_arrival = now;
-        enqueue_output(channel(link, pkt.vc), link, pkt_id);
-        break;
-      }
-      continue;
-    }
-    const PacketId pkt_id = queue.front();
-    Packet& pkt = packets_[pkt_id];
-    const topo::LinkId link =
-        config_.routing_mode == RoutingMode::kOblivious
-            ? pkt.path->links[0]
-            : adaptive_route(topo_->host(host), pkt, now);
-    OutputChannel& out = outputs_[channel(link, pkt.vc)];
-    if (out.occupancy >= config_.buffer_packets) continue;
-    queue.pop_front();
-    pkt.head_arrival = now;
-    enqueue_output(channel(link, pkt.vc), link, pkt_id);
+    service_host(host, now);
   }
 }
 
@@ -663,20 +682,26 @@ void Network::run_until(Cycle end) {
   LMPR_EXPECTS(end <= horizon());
   LMPR_EXPECTS(end >= current_cycle_);
   in_cycle_ = true;
-  if (active_sets_) {
-    for (; current_cycle_ < end; ++current_cycle_) {
-      process_events(current_cycle_);
-      inject(current_cycle_);
-      crossbar_active(current_cycle_);
-      start_transmissions_active(current_cycle_);
-    }
-  } else {
-    for (; current_cycle_ < end; ++current_cycle_) {
-      process_events(current_cycle_);
-      inject(current_cycle_);
-      crossbar_reference(current_cycle_);
-      start_transmissions_reference(current_cycle_);
-    }
+  switch (kernel_) {
+    case Kernel::kReference:
+      for (; current_cycle_ < end; ++current_cycle_) {
+        process_events(current_cycle_);
+        inject(current_cycle_);
+        crossbar_reference(current_cycle_);
+        start_transmissions_reference(current_cycle_);
+      }
+      break;
+    case Kernel::kActiveSet:
+      for (; current_cycle_ < end; ++current_cycle_) {
+        process_events(current_cycle_);
+        inject(current_cycle_);
+        crossbar_active(current_cycle_);
+        start_transmissions_active(current_cycle_);
+      }
+      break;
+    case Kernel::kEvent:
+      run_cycles_event(end);
+      break;
   }
   in_cycle_ = false;
 }

@@ -34,8 +34,8 @@
 // * Blocked packets wait in place, producing the backpressure / tree
 //   saturation the paper discusses for loads beyond saturation.
 //
-// Kernels.  The per-cycle phases exist in two implementations selected by
-// SimConfig::reference_kernel:
+// Kernels.  The per-cycle phases exist in three implementations selected
+// by SimConfig::kernel:
 //
 //   reference -- the original full scans: crossbar walks every
 //     (link, VC) input channel, start_transmissions walks every link.
@@ -46,6 +46,13 @@
 //     transmitting link leaves its list for the whole serialization and
 //     is re-armed by the kOutputSlotFree event at the cycle it frees.
 //     Per-cycle cost O(in-flight traffic).
+//   event -- the active-set phases plus an event-driven scheduler
+//     (DESIGN §14).  Hosts with nothing to inject sleep on a wake heap
+//     keyed by their next Poisson arrival cycle, so the injector visits
+//     only hosts that can act; and when the whole fabric is provably
+//     quiescent (no active host, input channel, or sendable link) the
+//     clock fast-forwards to the next calendar event or host wake
+//     instead of ticking.  Cost O(events), independent of idle time.
 //
 //   The lists are kept sorted by channel/link id and iterated with the
 //   same rotating offset the reference scan applies, so the service
@@ -54,8 +61,13 @@
 //   schedules no event in the reference scan either, both kernels grant
 //   the same packets in the same order, schedule the same calendar
 //   events in the same bucket order, and therefore produce bit-identical
-//   SimMetrics (test_flit_kernel_equivalence proves this over a grid of
-//   shapes x loads x routing modes).
+//   SimMetrics.  The event kernel extends the argument to whole cycles:
+//   a cycle is skipped only when every phase would have been a no-op in
+//   the reference kernel too (every unblocking transition is a calendar
+//   event or a host wake, both of which bound the jump), so the skipped
+//   stretch changes no state there either.  test_flit_kernel_equivalence
+//   proves all of this over a grid of shapes x loads x routing modes,
+//   and the `kernel_diff` property harness over randomized fault replays.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +77,7 @@
 #include "core/route_table.hpp"
 #include "fabric/degraded.hpp"
 #include "flit/config.hpp"
+#include "flit/event_kernel.hpp"
 #include "flit/metrics.hpp"
 #include "topology/topology.hpp"
 #include "util/rng.hpp"
@@ -86,7 +99,7 @@ using Cycle = std::uint64_t;
 /// cables with take_link_down()/bring_link_up(), and flags dead switches
 /// with set_switch_state(); all such mutations are asserted to happen at
 /// cycle boundaries (never mid-cycle), so a swap is atomic with respect
-/// to the per-cycle phases and both kernels observe the identical
+/// to the per-cycle phases and every kernel observes the identical
 /// routing function every cycle.
 class Network {
  public:
@@ -141,6 +154,11 @@ class Network {
   /// (SimConfig::window_metrics); the window spans [previous harvest,
   /// now()).
   WindowMetrics harvest_window();
+
+  /// Idle cycles the event kernel fast-forwarded over (0 for the other
+  /// kernels).  Not part of SimMetrics -- kernel-dependent by design;
+  /// tests use it to prove the skip path actually engaged.
+  Cycle cycles_skipped() const noexcept { return cycles_skipped_; }
 
  private:
   using PacketId = std::uint32_t;
@@ -234,6 +252,27 @@ class Network {
   void crossbar_active(Cycle now);
   void start_transmissions_active(Cycle now);
 
+  /// One host's slice of the injection phase: drain due Poisson arrivals
+  /// into the source queue, then let the NIC move at most one packet into
+  /// an uplink output buffer.  Shared verbatim by inject() (all hosts,
+  /// every cycle) and inject_event() (active hosts only).
+  void service_host(std::uint64_t host, Cycle now);
+
+  // -- event kernel (event_kernel.cpp) --------------------------------------
+  /// Event-driven injection: wakes due hosts off the heap, services the
+  /// active hosts in ascending id order (the reference scan order), and
+  /// puts hosts whose queue drained back to sleep.
+  void inject_event(Cycle now);
+  void wake_due_hosts(Cycle now);
+  /// Sorted-insert into active_hosts_ iff not already a member.
+  void activate_host(std::uint64_t host);
+  /// Earliest cycle >= current_cycle_ at which anything can happen: the
+  /// next non-empty calendar bucket or the earliest host wake, clamped
+  /// to `end`.  Only meaningful when the fabric is quiescent.
+  Cycle next_activity_cycle(Cycle end) const;
+  /// The event kernel's run_until loop body.
+  void run_cycles_event(Cycle end);
+
   /// Grants `pkt_id` (buffered at input channel `in_ch`, position decided
   /// by the caller) onto output link `out_link`: shared tail of both
   /// crossbar kernels once a packet has won arbitration.
@@ -317,7 +356,8 @@ class Network {
   const topo::Topology* topo_;
   SimConfig config_;
   std::uint64_t num_hosts_;
-  bool active_sets_;        ///< !config_.reference_kernel
+  Kernel kernel_;           ///< config_.kernel
+  bool active_sets_;        ///< kernel_ != Kernel::kReference
   bool lft_mode_;           ///< routing by lft_tables_ instead of table_
   bool windowed_;           ///< config_.window_metrics
   bool in_cycle_ = false;   ///< inside a run_until cycle (mutation guard)
@@ -336,6 +376,15 @@ class Network {
   std::vector<std::uint8_t> input_active_;
   std::vector<topo::LinkId> active_links_;
   std::vector<std::uint8_t> link_active_;
+
+  /// Event-kernel injection state (kEvent only).  A host is either
+  /// active (in the sorted active_hosts_ list: queued packets to push)
+  /// or asleep on the wake heap keyed by its next arrival cycle --
+  /// never both; host_active_ flags give O(1) membership dedup.
+  std::vector<std::uint64_t> active_hosts_;
+  std::vector<std::uint8_t> host_active_;
+  HostWakeQueue host_wake_;
+  Cycle cycles_skipped_ = 0;
 
   /// Hot-loop lookup tables (active kernel): channel -> link avoids the
   /// runtime division by num_vcs, link -> switching node avoids the Link

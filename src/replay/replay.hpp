@@ -12,7 +12,7 @@
 //
 //   * the manager ingests the event and incrementally repairs its LFTs;
 //   * the repaired tables are swapped into the router atomically
-//     (Network::set_tables -- both kernels route by the new tables from
+//     (Network::set_tables -- every kernel routes by the new tables from
 //     the next cycle on);
 //   * dead switches are flagged and every directed link whose cable or
 //     endpoint died is taken down, which per SimConfig::drop_policy drops

@@ -1,0 +1,303 @@
+// Randomized cross-kernel differential harness (ctest label
+// `kernel_diff`): fifty seeded (topology, traffic, fault-script) combos,
+// each replayed through the fault-replay engine once per flit kernel
+// (reference, active_set, event), asserting that every observable of the
+// run is IDENTICAL -- per-epoch WindowMetrics and swap-edge drop/reroute
+// counters, the overall SimMetrics accounting, and the recovery
+// analysis.  The scripts are generated against an evolving scratch
+// FabricManager exactly like tests/test_fm_property.cpp, so they mix
+// cable kills, heals, switch deaths/reboots and queries that are all
+// applicable when fired.  Everything is seeded through util::Rng: a
+// failure reproduces from the combo number alone.
+//
+// A pooled-sweep test rides along so the TSan CI step (which runs
+// `ctest -L kernel_diff`) races the event kernel across ThreadPool
+// workers, not just serially.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/route_table.hpp"
+#include "fabric/degraded.hpp"
+#include "flit/config.hpp"
+#include "flit/metrics.hpp"
+#include "flit/sweep.hpp"
+#include "fm/events.hpp"
+#include "fm/fabric_manager.hpp"
+#include "replay/replay.hpp"
+#include "topology/spec.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpr {
+namespace {
+
+using fabric::LidLayout;
+using fabric::RepairPolicy;
+
+constexpr int kCombos = 50;
+constexpr int kEventAttemptsPerCombo = 10;
+constexpr std::uint64_t kSeedBase = 0x9e3779b97f4a7c15ull;
+
+/// Random small XGFT shape: kept a notch smaller than the fm property
+/// harness because every combo runs the flit simulator three times.
+topo::XgftSpec random_spec(util::Rng& rng) {
+  const auto pick = [&rng](std::uint32_t lo, std::uint32_t hi) {
+    return lo + static_cast<std::uint32_t>(rng.below(hi - lo + 1));
+  };
+  if (rng.below(2) == 0) {
+    return topo::XgftSpec{{pick(2, 4), pick(2, 4)}, {pick(1, 2), pick(2, 3)}};
+  }
+  return topo::XgftSpec{{2, pick(2, 3), pick(2, 3)},
+                        {1, pick(1, 2), pick(2, 2)}};
+}
+
+/// Inverse of the recognition isomorphism: raw id whose canonical image
+/// is the given topo node (spec-built managers use raw = node id, but
+/// the harness goes through the mapping so it cannot silently rely on
+/// that).
+std::vector<std::uint32_t> raw_of(const fm::FabricManager& fm) {
+  const auto& canonical = fm.canonical();
+  std::vector<std::uint32_t> inverse(canonical.size(), 0);
+  for (std::uint32_t raw = 0; raw < canonical.size(); ++raw) {
+    inverse[static_cast<std::size_t>(canonical[raw])] = raw;
+  }
+  return inverse;
+}
+
+fm::Event cable_event(const fm::FabricManager& fm,
+                      const std::vector<std::uint32_t>& inverse,
+                      std::uint64_t cable, bool down) {
+  const topo::Link& link = fm.xgft().link(static_cast<topo::LinkId>(cable));
+  return {down ? fm::EventType::kCableDown : fm::EventType::kCableUp,
+          inverse[static_cast<std::size_t>(link.src)],
+          inverse[static_cast<std::size_t>(link.dst)]};
+}
+
+/// Draws the next event against the scratch manager's degradation state;
+/// returns false when the drawn branch has no applicable target.
+bool next_event(const fm::FabricManager& fm,
+                const std::vector<std::uint32_t>& inverse, util::Rng& rng,
+                fm::Event& event) {
+  const topo::Xgft& xgft = fm.xgft();
+  const fabric::Degradation& deg = fm.degradation();
+  const double roll = rng.uniform01();
+  if (roll < 0.45) {  // kill a random live cable
+    const std::uint64_t cable = rng.below(xgft.num_cables());
+    if (!deg.cable_ok(cable)) return false;
+    event = cable_event(fm, inverse, cable, /*down=*/true);
+  } else if (roll < 0.65) {  // heal a random dead cable
+    std::vector<std::uint64_t> dead;
+    for (std::uint64_t c = 0; c < xgft.num_cables(); ++c) {
+      if (!deg.cable_ok(c)) dead.push_back(c);
+    }
+    if (dead.empty()) return false;
+    event = cable_event(
+        fm, inverse, dead[static_cast<std::size_t>(rng.below(dead.size()))],
+        /*down=*/false);
+  } else if (roll < 0.75) {  // kill a random live switch (at most 1 dead)
+    for (topo::NodeId n = 0; n < xgft.num_nodes(); ++n) {
+      if (!xgft.is_host(n) && !deg.node_ok(n)) return false;
+    }
+    const std::uint64_t num_switches = xgft.num_nodes() - xgft.num_hosts();
+    const topo::NodeId node = static_cast<topo::NodeId>(
+        xgft.num_hosts() + rng.below(num_switches));
+    if (!deg.node_ok(node)) return false;
+    event = {fm::EventType::kSwitchDown, inverse[node], 0};
+  } else if (roll < 0.85) {  // heal a random dead switch
+    std::vector<topo::NodeId> dead;
+    for (topo::NodeId n = 0; n < xgft.num_nodes(); ++n) {
+      if (!xgft.is_host(n) && !deg.node_ok(n)) dead.push_back(n);
+    }
+    if (dead.empty()) return false;
+    event = {fm::EventType::kSwitchUp,
+             inverse[dead[static_cast<std::size_t>(rng.below(dead.size()))]],
+             0};
+  } else {  // query: state-preserving, exercises mixed streams
+    event = {fm::EventType::kQuery,
+             inverse[xgft.host(rng.below(xgft.num_hosts()))],
+             inverse[xgft.host(rng.below(xgft.num_hosts()))]};
+  }
+  return true;
+}
+
+/// Random replay configuration: short horizons (the combos add up), but
+/// every knob the kernels could disagree under is drawn from the seed.
+replay::ReplayConfig random_config(util::Rng& rng) {
+  replay::ReplayConfig config;
+  config.sim.warmup_cycles = 200;
+  config.sim.measure_cycles = 1'600;
+  config.sim.drain_cycles = 400;
+  const double loads[] = {0.05, 0.1, 0.3, 0.6};
+  config.sim.offered_load = loads[rng.below(4)];
+  config.sim.seed = 0xace1u + rng.below(1u << 16);
+  config.sim.drop_policy = rng.below(2) == 0
+                               ? flit::DropPolicy::kDrop
+                               : flit::DropPolicy::kRerouteAtSwitch;
+  config.sim.path_selection = rng.below(2) == 0
+                                  ? flit::PathSelection::kRandomPerMessage
+                                  : flit::PathSelection::kRandomPerPacket;
+  config.fm.k_paths = 1ull << rng.below(3);  // 1, 2 or 4
+  config.fm.layout = rng.below(2) == 0 ? LidLayout::kDisjointLayout
+                                       : LidLayout::kShiftLayout;
+  config.fm.repair_policy = rng.below(2) == 0 ? RepairPolicy::kFirstSurviving
+                                              : RepairPolicy::kLoadAware;
+  config.fm.zero_timings = true;
+  config.window_cycles = rng.below(2) == 0 ? 300 : 500;
+  return config;
+}
+
+void expect_stats_identical(const util::OnlineStats& a,
+                            const util::OnlineStats& b,
+                            const std::string& where) {
+  ASSERT_EQ(a.count(), b.count()) << where;
+  ASSERT_EQ(a.mean(), b.mean()) << where;
+  ASSERT_EQ(a.variance(), b.variance()) << where;
+}
+
+/// Every observable of a replayed run, compared exactly (doubles with
+/// operator==): epochs, swap-edge fault accounting, overall SimMetrics,
+/// recovery analysis.
+void expect_results_identical(const replay::ReplayResult& got,
+                              const replay::ReplayResult& oracle,
+                              const std::string& where) {
+  ASSERT_EQ(got.epochs.size(), oracle.epochs.size()) << where;
+  for (std::size_t i = 0; i < got.epochs.size(); ++i) {
+    const std::string at = where + " epoch " + std::to_string(i);
+    ASSERT_EQ(got.epochs[i].start_cycle, oracle.epochs[i].start_cycle) << at;
+    ASSERT_EQ(got.epochs[i].records.size(), oracle.epochs[i].records.size())
+        << at;
+    ASSERT_EQ(got.epochs[i].dropped_at_swap, oracle.epochs[i].dropped_at_swap)
+        << at;
+    ASSERT_EQ(got.epochs[i].rerouted_at_swap,
+              oracle.epochs[i].rerouted_at_swap)
+        << at;
+    ASSERT_EQ(got.epochs[i].window, oracle.epochs[i].window) << at;
+  }
+  const flit::SimMetrics& a = got.overall;
+  const flit::SimMetrics& b = oracle.overall;
+  ASSERT_EQ(a.throughput, b.throughput) << where;
+  ASSERT_EQ(a.messages_generated, b.messages_generated) << where;
+  ASSERT_EQ(a.messages_delivered, b.messages_delivered) << where;
+  ASSERT_EQ(a.messages_lost, b.messages_lost) << where;
+  ASSERT_EQ(a.packets_generated, b.packets_generated) << where;
+  ASSERT_EQ(a.packets_delivered, b.packets_delivered) << where;
+  ASSERT_EQ(a.packets_dropped, b.packets_dropped) << where;
+  ASSERT_EQ(a.packets_rerouted, b.packets_rerouted) << where;
+  ASSERT_EQ(a.packets_out_of_order, b.packets_out_of_order) << where;
+  ASSERT_EQ(a.flits_delivered, b.flits_delivered) << where;
+  expect_stats_identical(a.message_delay, b.message_delay, where);
+  expect_stats_identical(a.packet_delay, b.packet_delay, where);
+  ASSERT_EQ(got.event_errors, oracle.event_errors) << where;
+  ASSERT_EQ(got.baseline_delay, oracle.baseline_delay) << where;
+  ASSERT_EQ(got.peak_delay, oracle.peak_delay) << where;
+  ASSERT_EQ(got.recovered, oracle.recovered) << where;
+  ASSERT_EQ(got.recovery_cycles, oracle.recovery_cycles) << where;
+}
+
+replay::ReplayResult run_one(const topo::XgftSpec& spec,
+                             replay::ReplayConfig config, flit::Kernel kernel,
+                             const fm::EventScript& script,
+                             const std::string& where) {
+  config.sim.kernel = kernel;
+  replay::ReplayEngine engine{spec, config};
+  EXPECT_TRUE(engine.ok()) << where << ": " << engine.error();
+  replay::ReplayResult result = engine.run(script);
+  EXPECT_TRUE(result.ok) << where << ": " << result.error;
+  return result;
+}
+
+TEST(KernelProperty, RandomReplaysIdenticalAcrossAllThreeKernels) {
+  std::uint64_t total_events = 0;
+  std::uint64_t total_faulted = 0;  // combos whose swap edge killed packets
+  for (int combo = 0; combo < kCombos; ++combo) {
+    util::Rng rng{kSeedBase + static_cast<std::uint64_t>(combo)};
+    const topo::XgftSpec spec = random_spec(rng);
+    const replay::ReplayConfig config = random_config(rng);
+
+    // Generate the fault script against a scratch manager that evolves
+    // with it, so every drawn event is applicable when the replay fires
+    // it (same spec + same event order = same degradation trajectory).
+    fm::FmConfig scratch_config = config.fm;
+    fm::FabricManager scratch{spec, scratch_config};
+    ASSERT_TRUE(scratch.ok()) << scratch.error();
+    const auto inverse = raw_of(scratch);
+    fm::EventScript script{/*ok=*/true, /*error=*/"", /*events=*/{}};
+    for (int step = 0; step < kEventAttemptsPerCombo; ++step) {
+      fm::Event event;
+      if (!next_event(scratch, inverse, rng, event)) continue;
+      const fm::EventRecord record = scratch.apply(event);
+      ASSERT_TRUE(record.ok) << "combo " << combo << ": " << record.error;
+      script.events.push_back(event);
+    }
+
+    const std::string where =
+        "combo " + std::to_string(combo) + " (" + spec.to_string() +
+        " K=" + std::to_string(config.fm.k_paths) +
+        " load=" + std::to_string(config.sim.offered_load) + " events=" +
+        std::to_string(script.events.size()) + ")";
+    const auto reference =
+        run_one(spec, config, flit::Kernel::kReference, script, where);
+    const auto active =
+        run_one(spec, config, flit::Kernel::kActiveSet, script, where);
+    const auto event =
+        run_one(spec, config, flit::Kernel::kEvent, script, where);
+    expect_results_identical(active, reference, where + " [active_set]");
+    expect_results_identical(event, reference, where + " [event]");
+
+    ASSERT_GT(reference.epochs.size(), 0u) << where;
+    total_events += script.events.size();
+    for (const replay::Epoch& epoch : reference.epochs) {
+      total_faulted += epoch.dropped_at_swap + epoch.rerouted_at_swap;
+    }
+  }
+  // The harness must not degenerate: the seeds have to produce real
+  // fault scripts, and at least some runs must catch packets on a dying
+  // cable (the code path where the kernels are likeliest to drift).
+  EXPECT_GT(total_events, static_cast<std::uint64_t>(kCombos) * 4);
+  EXPECT_GT(total_faulted, 0u);
+}
+
+// Pooled event-kernel sweeps over random shapes: the unit of work the
+// TSan kernel_diff step races across ThreadPool workers.  Serial and
+// pooled sweeps must agree exactly for every shape (run_load_sweep
+// merges in index order, so any divergence is a determinism bug, and any
+// data race is TSan's to report).
+TEST(KernelProperty, PooledEventSweepsMatchSerialOnRandomShapes) {
+  util::ThreadPool pool(4);
+  const std::vector<double> loads{0.05, 0.2, 0.5};
+  for (int combo = 0; combo < 6; ++combo) {
+    constexpr std::uint64_t kSweepSalt = 0x5bd1e995;
+    util::Rng rng{(kSeedBase ^ kSweepSalt) +
+                  static_cast<std::uint64_t>(combo)};
+    const topo::XgftSpec spec = random_spec(rng);
+    const topo::Xgft xgft{spec};
+    const route::RouteTable table(xgft, route::Heuristic::kDisjoint, 2, 11);
+    flit::SimConfig base;
+    base.warmup_cycles = 200;
+    base.measure_cycles = 1'200;
+    base.drain_cycles = 400;
+    base.seed = 17 + static_cast<std::uint64_t>(combo);
+    base.kernel = flit::Kernel::kEvent;
+    const auto serial = flit::run_load_sweep(table, base, loads, nullptr);
+    const auto pooled = flit::run_load_sweep(table, base, loads, &pool);
+    ASSERT_EQ(serial.points.size(), pooled.points.size()) << combo;
+    ASSERT_EQ(serial.max_throughput, pooled.max_throughput) << combo;
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      ASSERT_EQ(serial.points[i].throughput, pooled.points[i].throughput)
+          << "combo " << combo << " point " << i;
+      ASSERT_EQ(serial.points[i].mean_message_delay,
+                pooled.points[i].mean_message_delay)
+          << "combo " << combo << " point " << i;
+      ASSERT_EQ(serial.points[i].p99_message_delay,
+                pooled.points[i].p99_message_delay)
+          << "combo " << combo << " point " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lmpr

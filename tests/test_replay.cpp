@@ -1,5 +1,6 @@
 // Tests for the dynamic fault-replay engine (src/replay): determinism of
-// the epoch-windowed metrics across both flit kernels and across reruns,
+// the epoch-windowed metrics across all three flit kernels and across
+// reruns,
 // the drop vs reroute_at_switch fault policies, the zero-completion
 // window guard, and the byte-stable golden JSON report for the pinned
 // replay_quick run.  Everything here carries the `replay` ctest label
@@ -35,10 +36,10 @@ fm::EventScript quick_script() {
   return script;
 }
 
-replay::ReplayResult run_quick(bool reference_kernel,
+replay::ReplayResult run_quick(flit::Kernel kernel,
                                flit::DropPolicy drop_policy) {
   replay::ReplayConfig config = engine::quick_replay_config();
-  config.sim.reference_kernel = reference_kernel;
+  config.sim.kernel = kernel;
   config.sim.drop_policy = drop_policy;
   replay::ReplayEngine engine({{4, 4}, {2, 2}}, config);
   EXPECT_TRUE(engine.ok()) << engine.error();
@@ -48,44 +49,61 @@ replay::ReplayResult run_quick(bool reference_kernel,
 }
 
 // The acceptance criterion the ISSUE names: the same seed and script must
-// produce IDENTICAL windowed metrics on the active-set and the reference
-// kernel, and across reruns.  WindowMetrics comparison is exact
-// (defaulted operator==, doubles included) -- any drift in grant order,
-// event timing or the table-swap cycle shows up here.
+// produce IDENTICAL windowed metrics on all three kernels, and across
+// reruns.  WindowMetrics comparison is exact (defaulted operator==,
+// doubles included) -- any drift in grant order, event timing or the
+// table-swap cycle shows up here.  For the event kernel this also pins
+// that epoch boundaries land on exact cycles despite the fast-forward
+// (run_until clamps the jump to the epoch edge).
 TEST(Replay, WindowedMetricsDeterministicAcrossKernelsAndReruns) {
-  const auto active = run_quick(false, flit::DropPolicy::kDrop);
-  const auto active_again = run_quick(false, flit::DropPolicy::kDrop);
-  const auto reference = run_quick(true, flit::DropPolicy::kDrop);
+  const auto active = run_quick(flit::Kernel::kActiveSet,
+                                flit::DropPolicy::kDrop);
+  const auto active_again = run_quick(flit::Kernel::kActiveSet,
+                                      flit::DropPolicy::kDrop);
+  const auto reference = run_quick(flit::Kernel::kReference,
+                                   flit::DropPolicy::kDrop);
+  const auto event = run_quick(flit::Kernel::kEvent, flit::DropPolicy::kDrop);
 
   ASSERT_GT(active.epochs.size(), 0u);
   ASSERT_EQ(active.epochs.size(), reference.epochs.size());
   ASSERT_EQ(active.epochs.size(), active_again.epochs.size());
+  ASSERT_EQ(active.epochs.size(), event.epochs.size());
   for (std::size_t i = 0; i < active.epochs.size(); ++i) {
     EXPECT_EQ(active.epochs[i].window, reference.epochs[i].window)
         << "kernel divergence in epoch " << i;
+    EXPECT_EQ(event.epochs[i].window, reference.epochs[i].window)
+        << "event-kernel divergence in epoch " << i;
     EXPECT_EQ(active.epochs[i].window, active_again.epochs[i].window)
         << "rerun divergence in epoch " << i;
     EXPECT_EQ(active.epochs[i].dropped_at_swap,
               reference.epochs[i].dropped_at_swap);
     EXPECT_EQ(active.epochs[i].rerouted_at_swap,
               reference.epochs[i].rerouted_at_swap);
+    EXPECT_EQ(event.epochs[i].dropped_at_swap,
+              reference.epochs[i].dropped_at_swap);
+    EXPECT_EQ(event.epochs[i].rerouted_at_swap,
+              reference.epochs[i].rerouted_at_swap);
   }
-  EXPECT_EQ(active.overall.packets_dropped, reference.overall.packets_dropped);
-  EXPECT_EQ(active.overall.packets_rerouted,
-            reference.overall.packets_rerouted);
-  EXPECT_EQ(active.overall.messages_delivered,
-            reference.overall.messages_delivered);
-  EXPECT_EQ(active.overall.messages_lost, reference.overall.messages_lost);
-  EXPECT_EQ(active.baseline_delay, reference.baseline_delay);
-  EXPECT_EQ(active.peak_delay, reference.peak_delay);
-  EXPECT_EQ(active.recovered, reference.recovered);
-  EXPECT_EQ(active.recovery_cycles, reference.recovery_cycles);
+  for (const auto* other : {&active, &event}) {
+    EXPECT_EQ(other->overall.packets_dropped,
+              reference.overall.packets_dropped);
+    EXPECT_EQ(other->overall.packets_rerouted,
+              reference.overall.packets_rerouted);
+    EXPECT_EQ(other->overall.messages_delivered,
+              reference.overall.messages_delivered);
+    EXPECT_EQ(other->overall.messages_lost, reference.overall.messages_lost);
+    EXPECT_EQ(other->baseline_delay, reference.baseline_delay);
+    EXPECT_EQ(other->peak_delay, reference.peak_delay);
+    EXPECT_EQ(other->recovered, reference.recovered);
+    EXPECT_EQ(other->recovery_cycles, reference.recovery_cycles);
+  }
 }
 
 // Epoch boundaries must tile the whole timeline back-to-back and stamp
 // every script event onto an edge.
 TEST(Replay, EpochsTileTheTimelineAndCarryTheEvents) {
-  const auto result = run_quick(false, flit::DropPolicy::kDrop);
+  const auto result = run_quick(flit::Kernel::kActiveSet,
+                                flit::DropPolicy::kDrop);
   const replay::ReplayConfig config = engine::quick_replay_config();
   const std::uint64_t horizon = config.sim.warmup_cycles +
                                 config.sim.measure_cycles +
@@ -255,6 +273,27 @@ TEST(ReplayReport, QuickGoldenFile) {
   const std::string want =
       slurp(std::string(LMPR_GOLDEN_DIR) + "/replay_quick.json");
   EXPECT_EQ(got, want) << "replay quick report drifted from golden file";
+}
+
+// Golden-pinned event-kernel replay: the same smoke storm run with
+// --kernel event must produce the byte-identical JSON report -- the
+// report does not echo the kernel, so identical cycle stamps and window
+// numbers mean identical bytes.  This is the strongest single check that
+// the event kernel's fast-forward never moves an epoch boundary or a
+// window metric.
+TEST(ReplayReport, EventKernelReproducesGoldenBytes) {
+  engine::ReplayRunOptions options;
+  options.config = engine::quick_replay_config();
+  options.config.sim.kernel = flit::Kernel::kEvent;
+  engine::Report report;
+  std::string error;
+  ASSERT_TRUE(engine::run_replay(options, quick_script(), report, error))
+      << error;
+  const std::string got = engine::JsonSink::document({report}).dump(2) + "\n";
+  const std::string want =
+      slurp(std::string(LMPR_GOLDEN_DIR) + "/replay_quick.json");
+  EXPECT_EQ(got, want)
+      << "event-kernel replay diverged from the pinned golden bytes";
 }
 
 // The CLI smoke script shipped in scripts/ must stay identical to the
