@@ -2,24 +2,34 @@
 """Perf-regression guard over the perf_baseline run report.
 
 Reads a BENCH_perf.json document (schema lmpr-perf-baseline/v1, written
-by `lmpr run perf_baseline`) and fails -- exit status 1 -- on either:
+by `lmpr run perf_baseline`) and fails -- exit status 1 -- on any of:
 
   * a `speedup` field anywhere in the document below the threshold
     (default 1.0): the active-set flit kernel, the event kernel, the
-    pooled fig5 sweep and the cached permutation study must never be
-    SLOWER than their reference implementations;
+    pooled fig5 sweep, the cached permutation study and the sharded
+    fabric manager must never be SLOWER than their reference
+    implementations;
   * the event-kernel low-load bar: every `event_kernel` entry at
     offered_load <= 0.2 must be at least as fast as the active-set
     kernel, and the BEST low-load entry must reach --min-event-speedup
-    (default 5.0) -- the idle-cycle skipping the kernel exists for; or
+    (default 5.0) -- the idle-cycle skipping the kernel exists for;
+  * the sharded-manager bar: fm_shard.speedup must reach
+    --min-shard-speedup (default 4.0) on the island-local storm at the
+    paper's Ranger shape, and fm_shard.identical must be true (a
+    speedup bought by computing something else is a bug, not a result);
   * a tracked benchmark section MISSING from the document.  A refactor
     that silently drops a benchmark would otherwise pass the speedup
     check vacuously; the key guard turns "we stopped measuring it" into
     a build failure.
 
+Every check always runs -- nothing stops at the first violation -- and
+on failure the FULL per-check comparison table (observed vs required,
+aligned) is printed so one CI log shows every regression at once.
+
 Stdlib only, so CI can run it with a bare python3.
 
 Usage: check_perf_baseline.py [--min-speedup X] [--min-event-speedup X]
+                              [--min-shard-speedup X]
                               [--expect-key PATH]... [BENCH_perf.json]
 """
 
@@ -38,6 +48,9 @@ DEFAULT_EXPECTED_KEYS = [
     "serve_throughput.queries_per_sec",
     "serve_throughput.events_per_sec",
     "serve_throughput.inconsistent",
+    "fm_shard.speedup",
+    "fm_shard.sharded_events_per_sec",
+    "fm_shard.identical",
     "lft_build.build_seconds",
 ]
 
@@ -66,6 +79,45 @@ def lookup(document, dotted):
     return True, node
 
 
+def fmt(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+class Checks:
+    """Accumulates every check's outcome; nothing short-circuits."""
+
+    def __init__(self):
+        self.rows = []  # (check, observed, required, ok)
+
+    def add(self, check, observed, required, ok):
+        self.rows.append((check, fmt(observed), required, bool(ok)))
+        print(f"{'ok  ' if ok else 'FAIL'} {check} = {fmt(observed)}"
+              f" (required: {required})")
+
+    @property
+    def failed(self):
+        return any(not ok for _, _, _, ok in self.rows)
+
+    def print_table(self, stream):
+        """The full per-check comparison table, aligned."""
+        header = ("check", "observed", "required", "status")
+        rows = [header] + [(c, o, r, "ok" if ok else "FAIL")
+                           for c, o, r, ok in self.rows]
+        widths = [max(len(row[i]) for row in rows) for i in range(4)]
+        for j, row in enumerate(rows):
+            line = "  ".join(cell.ljust(widths[i])
+                             for i, cell in enumerate(row))
+            print(line.rstrip(), file=stream)
+            if j == 0:
+                print("  ".join("-" * w for w in widths), file=stream)
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", nargs="?", default="BENCH_perf.json")
@@ -74,6 +126,11 @@ def main(argv):
         "--min-event-speedup", type=float, default=5.0,
         help="floor for the best event-kernel speedup over active_set "
              "at offered_load <= 0.2 (default %(default)s)")
+    parser.add_argument(
+        "--min-shard-speedup", type=float, default=4.0,
+        help="floor for the sharded fabric manager's repair speedup over "
+             "the monolithic manager on the island-local storm "
+             "(default %(default)s)")
     parser.add_argument(
         "--expect-key", action="append", default=[], metavar="PATH",
         help="additional dotted path that must be present "
@@ -93,29 +150,24 @@ def main(argv):
               "lmpr-perf-baseline/*", file=sys.stderr)
         return 2
 
-    failed = False
+    checks = Checks()
     for dotted in DEFAULT_EXPECTED_KEYS + args.expect_key:
         found, value = lookup(document, dotted)
         if not found:
-            print(f"FAIL key ${dotted} is missing from {args.report}")
-            failed = True
+            checks.add(f"key ${dotted}", "missing", "present", False)
         elif isinstance(value, list) and not value:
-            print(f"FAIL key ${dotted} is an empty list")
-            failed = True
+            checks.add(f"key ${dotted}", "empty list", "non-empty", False)
         else:
-            print(f"ok   key ${dotted} present")
+            checks.add(f"key ${dotted}", "present", "present", True)
 
     speedups = list(walk_speedups(document))
     if not speedups:
         print(f"error: no speedup fields in {args.report}", file=sys.stderr)
         return 2
-
     for path, value in speedups:
-        if not isinstance(value, (int, float)) or value < args.min_speedup:
-            print(f"FAIL {path} = {value} (< {args.min_speedup})")
-            failed = True
-        else:
-            print(f"ok   {path} = {value:.3f}")
+        numeric = isinstance(value, (int, float))
+        checks.add(path, value, f">= {args.min_speedup}",
+                   numeric and value >= args.min_speedup)
 
     # Event-kernel low-load bar: the walk above already enforced >= 1.0
     # (never slower than active_set); here the BEST low-load point must
@@ -126,28 +178,39 @@ def main(argv):
         if isinstance(entry, dict) and entry.get("offered_load", 1.0) <= 0.2
     ]
     if not low_load:
-        print("FAIL event_kernel has no entries with offered_load <= 0.2")
-        failed = True
+        checks.add("event_kernel low-load entries", 0, ">= 1", False)
     else:
         best = max(
             (e.get("speedup") for e in low_load
              if isinstance(e.get("speedup"), (int, float))),
             default=0.0)
-        if best < args.min_event_speedup:
-            print(f"FAIL best low-load event_kernel speedup {best:.3f} "
-                  f"(< {args.min_event_speedup})")
-            failed = True
-        else:
-            print(f"ok   best low-load event_kernel speedup {best:.3f} "
-                  f">= {args.min_event_speedup}")
+        checks.add("best low-load event_kernel speedup", best,
+                   f">= {args.min_event_speedup}",
+                   best >= args.min_event_speedup)
 
-    if failed:
-        print("perf baseline check failed: a tracked benchmark disappeared "
-              f"or a speedup fell below {args.min_speedup}x", file=sys.stderr)
+    # Sharded-manager bar: >= 1.0 came from the generic walk; the
+    # tracked target is --min-shard-speedup, and the speedup only counts
+    # if the sharded run was bit-identical to the monolithic one.
+    found, shard_speedup = lookup(document, "fm_shard.speedup")
+    if found:
+        numeric = isinstance(shard_speedup, (int, float))
+        checks.add("fm_shard.speedup target", shard_speedup,
+                   f">= {args.min_shard_speedup}",
+                   numeric and shard_speedup >= args.min_shard_speedup)
+    found, identical = lookup(document, "fm_shard.identical")
+    if found:
+        checks.add("fm_shard.identical", identical, "true", identical is True)
+
+    if checks.failed:
+        print(file=sys.stderr)
+        print("perf baseline check failed; full comparison:",
+              file=sys.stderr)
+        checks.print_table(sys.stderr)
         return 1
-    print(f"all {len(speedups)} speedups >= {args.min_speedup}x and all "
+    print(f"all {len(checks.rows)} checks passed ({len(speedups)} speedups "
+          f">= {args.min_speedup}x, all "
           f"{len(DEFAULT_EXPECTED_KEYS) + len(args.expect_key)} expected "
-          "keys present")
+          "keys present)")
     return 0
 
 

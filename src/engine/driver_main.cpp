@@ -11,6 +11,7 @@
 // JSON run report stamping scenario, config, seed, samples, convergence
 // and wall-clock duration.
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <exception>
 #include <fstream>
@@ -25,6 +26,7 @@
 #include "engine/runner.hpp"
 #include "serve/session.hpp"
 #include "serve/socket.hpp"
+#include "shard/island_map.hpp"
 #include "topology/factory.hpp"
 #include "topology/generic.hpp"
 
@@ -43,6 +45,7 @@ int usage(std::ostream& os, int code) {
         "  lmpr fm [--script PATH] [--topo SPEC | --fabric FILE |\n"
         "          --topology SPEC] [--k N] [--layout disjoint|shift]\n"
         "          [--repair-policy first_surviving|load_aware]\n"
+        "          [--shards auto|N] [--list-islands]\n"
         "          [--json PATH] [--zero-timings]\n"
         "  lmpr replay [--script PATH] [--topo SPEC | --topology SPEC]"
         " [--k N]\n"
@@ -57,7 +60,7 @@ int usage(std::ostream& os, int code) {
         "             [--topology SPEC | --fabric FILE] [--k N]\n"
         "             [--layout disjoint|shift]\n"
         "             [--repair-policy first_surviving|load_aware]\n"
-        "             [--zero-timings]\n"
+        "             [--shards auto|N] [--zero-timings]\n"
         "\n"
         "Scenario names accept globs (e.g. 'fig4?', 'ablation_*').  Pass\n"
         "--full (or set LMPR_FULL=1) for paper-scale runs; the default is\n"
@@ -71,7 +74,12 @@ int usage(std::ostream& os, int code) {
         "variants are re-homed: first_surviving (next surviving port) or\n"
         "load_aware (spread by per-cable use counts).  The script is read\n"
         "from --script or stdin; --zero-timings blanks wall-clock fields\n"
-        "for byte-stable reports.\n"
+        "for byte-stable reports.  --shards partitions the fabric into\n"
+        "per-island repair domains (auto = one shard per top-level\n"
+        "subtree) so island-local faults repair only the rows they can\n"
+        "change; reports stay byte-identical to the monolithic manager.\n"
+        "--list-islands prints the island/shard partition table and exits\n"
+        "without reading a script.\n"
         "\n"
         "`replay` drives the flit-level simulator from the same script:\n"
         "event lines may carry `@<cycle>` stamps (offsets into the\n"
@@ -230,6 +238,30 @@ int cmd_run(const util::Cli& cli) {
   return 0;
 }
 
+// Parses `--shards auto|N` into the FabricManager convention: 0 = auto
+// (one shard per island), N >= 1 = that many shards.  Returns false on
+// anything else ("0", garbage, negatives).
+bool parse_shards(const std::string& text, std::size_t& shards) {
+  if (text == "auto") {
+    shards = 0;
+    return true;
+  }
+  // stoull accepts (and wraps!) a leading minus sign; require digits.
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  std::size_t pos = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (pos != text.size() || value == 0) return false;
+  shards = static_cast<std::size_t>(value);
+  return true;
+}
+
 int cmd_fm(const util::Cli& cli) {
   const std::string script_path = cli.get_or("script", "");
   const std::string fabric_path = cli.get_or("fabric", "");
@@ -241,6 +273,11 @@ int cmd_fm(const util::Cli& cli) {
       cli.get_or("repair-policy", "first_surviving");
   const std::int64_t k = cli.get_or("k", std::int64_t{4});
   const bool zero_timings = cli.has("zero-timings");
+  const bool list_islands = cli.has("list-islands");
+  // A bare --list-islands defaults to the auto partition; an explicit
+  // --shards shows (or runs) that clamped shard count instead.
+  const std::string shards_text =
+      cli.get_or("shards", list_islands ? "auto" : "1");
   if (const auto unknown = cli.unknown_flags(); !unknown.empty()) {
     std::cerr << "lmpr fm: unknown flag --" << unknown.front() << "\n";
     return 2;
@@ -258,6 +295,11 @@ int cmd_fm(const util::Cli& cli) {
   }
 
   FmRunOptions options;
+  if (!parse_shards(shards_text, options.shards)) {
+    std::cerr << "lmpr fm: bad --shards '" << shards_text
+              << "' (expected auto or a positive count)\n";
+    return 2;
+  }
   options.config.k_paths = static_cast<std::uint64_t>(k);
   options.config.zero_timings = zero_timings;
   if (const auto layout = fabric::layout_from_string(layout_name)) {
@@ -301,6 +343,27 @@ int cmd_fm(const util::Cli& cli) {
       std::cerr << "lmpr fm: bad --topo: " << error.what() << "\n";
       return 2;
     }
+  }
+
+  if (list_islands) {
+    // Dry run: recognize the fabric, print the island/shard partition the
+    // requested --shards value would produce, and exit without reading a
+    // script.
+    std::unique_ptr<fm::FabricManager> manager;
+    if (options.fabric != nullptr) {
+      manager =
+          std::make_unique<fm::FabricManager>(*options.fabric, options.config);
+    } else {
+      manager =
+          std::make_unique<fm::FabricManager>(options.spec, options.config);
+    }
+    if (!manager->ok()) {
+      std::cerr << "lmpr fm: " << manager->error() << "\n";
+      return 1;
+    }
+    const shard::IslandMap map(manager->topology(), options.shards);
+    std::cout << shard::render_island_table(map, manager->topology());
+    return 0;
   }
 
   fm::EventScript script;
@@ -478,6 +541,7 @@ int cmd_serve(const util::Cli& cli) {
   const std::string policy_name =
       cli.get_or("repair-policy", "first_surviving");
   const std::int64_t k = cli.get_or("k", std::int64_t{4});
+  const std::string shards_text = cli.get_or("shards", "1");
   const bool zero_timings = cli.has("zero-timings");
   if (const auto unknown = cli.unknown_flags(); !unknown.empty()) {
     std::cerr << "lmpr serve: unknown flag --" << unknown.front() << "\n";
@@ -497,6 +561,11 @@ int cmd_serve(const util::Cli& cli) {
   }
 
   serve::ServeConfig config;
+  if (!parse_shards(shards_text, config.shards)) {
+    std::cerr << "lmpr serve: bad --shards '" << shards_text
+              << "' (expected auto or a positive count)\n";
+    return 2;
+  }
   config.fm.k_paths = static_cast<std::uint64_t>(k);
   config.fm.zero_timings = zero_timings;
   if (const auto layout = fabric::layout_from_string(layout_name)) {
@@ -555,7 +624,7 @@ int cmd_serve(const util::Cli& cli) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"full", "zero-timings"});
+  const util::Cli cli(argc, argv, {"full", "zero-timings", "list-islands"});
   if (cli.positional().empty()) {
     const bool help = cli.has("help");
     return usage(help ? std::cout : std::cerr, help ? 0 : 2);

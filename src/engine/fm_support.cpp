@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "shard/sharded_manager.hpp"
 #include "util/table.hpp"
 
 namespace lmpr::engine {
@@ -17,6 +18,21 @@ std::string event_operands(const fm::Event& event) {
   return std::to_string(event.a) + " " + std::to_string(event.b);
 }
 
+// Monolithic manager for shards == 1, ShardedFabricManager otherwise.
+// Either way the caller holds a plain fm::FabricManager pointer; the
+// report schema (and bytes) do not depend on the choice.
+template <typename Source>
+std::unique_ptr<fm::FabricManager> make_manager(const Source& source,
+                                                const FmRunOptions& options) {
+  if (options.shards == 1) {
+    return std::make_unique<fm::FabricManager>(source, options.config);
+  }
+  shard::ShardConfig config;
+  config.fm = options.config;
+  config.shards = options.shards;
+  return std::make_unique<shard::ShardedFabricManager>(source, config);
+}
+
 }  // namespace
 
 bool run_fm_events(const FmRunOptions& options, const fm::EventScript& script,
@@ -27,8 +43,7 @@ bool run_fm_events(const FmRunOptions& options, const fm::EventScript& script,
   }
   std::unique_ptr<fm::FabricManager> manager;
   if (options.fabric != nullptr) {
-    manager =
-        std::make_unique<fm::FabricManager>(*options.fabric, options.config);
+    manager = make_manager(*options.fabric, options);
     report.add_config("topology",
                       options.topology_name.empty()
                           ? "external fabric (" +
@@ -36,7 +51,7 @@ bool run_fm_events(const FmRunOptions& options, const fm::EventScript& script,
                                 " nodes)"
                           : options.topology_name);
   } else {
-    manager = std::make_unique<fm::FabricManager>(options.spec, options.config);
+    manager = make_manager(options.spec, options);
     report.add_config("topology", options.spec.to_string());
   }
   if (!manager->ok()) {

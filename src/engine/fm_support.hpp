@@ -25,6 +25,11 @@ struct FmRunOptions {
   /// the report falls back to a node-count summary.
   std::string topology_name;
   fm::FmConfig config;
+  /// Shard count for the fabric manager: 1 = monolithic (default), 0 =
+  /// auto (one shard per island), N = that many shards.  Sharded runs
+  /// emit byte-identical reports -- no config echo changes -- so golden
+  /// comparisons against monolithic output stay valid.
+  std::size_t shards = 1;
 };
 
 /// Runs the script through a FabricManager and fills `report` with the

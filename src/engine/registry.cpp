@@ -67,6 +67,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   register_flow_scenarios(registry);
   register_analysis_scenarios(registry);
   register_fm_scenarios(registry);
+  register_shard_scenarios(registry);
   register_generic_scenarios(registry);
   register_replay_scenarios(registry);
   register_perf_scenarios(registry);

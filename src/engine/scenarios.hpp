@@ -13,6 +13,7 @@ void register_flow_scenarios(ScenarioRegistry& registry);      // flow-level abl
 void register_flit_scenarios(ScenarioRegistry& registry);      // table1, fig5, flit ablations
 void register_analysis_scenarios(ScenarioRegistry& registry);  // LID/LFT analyses
 void register_fm_scenarios(ScenarioRegistry& registry);        // fabric manager
+void register_shard_scenarios(ScenarioRegistry& registry);     // sharded fm scaling
 void register_generic_scenarios(ScenarioRegistry& registry);   // generic graphs vs XGFT
 void register_replay_scenarios(ScenarioRegistry& registry);    // dynamic fault replay
 void register_perf_scenarios(ScenarioRegistry& registry);      // perf_baseline

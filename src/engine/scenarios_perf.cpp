@@ -15,6 +15,7 @@
 
 #include "engine/registry.hpp"
 #include "engine/serve_support.hpp"
+#include "engine/shard_support.hpp"
 #include "engine/study.hpp"
 #include "fabric/lft.hpp"
 #include "util/json.hpp"
@@ -298,6 +299,40 @@ void run_perf_baseline(const RunContext& ctx, Report& report) {
     doc.set("serve_throughput", std::move(serve_bench));
     report.add_metric("serve_queries_per_sec", serve.queries_per_sec);
     report.add_metric("serve_events_per_sec", serve.events_per_sec);
+  }
+
+  // -- (d2) sharded fabric manager at the paper's Ranger shape -------------
+  // Monolithic vs sharded repair wall-clock under one island-local cable
+  // storm on XGFT(3;12,12,24;1,12,12) (the paper's 3456-host Ranger
+  // point).  The sharded side repairs remote destination columns
+  // island-scoped (O(island rows) instead of O(all rows)), so the
+  // speedup is algorithmic and holds on a single core; the bench fails
+  // `converged` unless the two runs were bit-identical.  The `speedup`
+  // field is walked by the generic >= 1.0 guard and
+  // check_perf_baseline.py additionally requires >= 4x.
+  {
+    ShardBenchOptions shard_options;
+    shard_options.spec = topo::XgftSpec{{12, 12, 24}, {1, 12, 12}};
+    shard_options.events = 6;
+    shard_options.seed = ctx.seed();
+    shard_options.pool = &ctx.pool();
+    const ShardBenchResult shard = run_shard_bench(shard_options);
+    if (!shard.ok || !shard.identical) report.converged = false;
+    util::Json shard_bench = util::Json::object();
+    shard_bench.set("topology", shard_options.spec.to_string());
+    shard_bench.set("islands", static_cast<std::uint64_t>(shard.islands));
+    shard_bench.set("shards", static_cast<std::uint64_t>(shard.shards));
+    shard_bench.set("storm_events", static_cast<std::uint64_t>(shard.events));
+    shard_bench.set("columns_full", shard.columns_full);
+    shard_bench.set("columns_scoped", shard.columns_scoped);
+    shard_bench.set("monolithic_seconds", shard.monolithic_seconds);
+    shard_bench.set("sharded_seconds", shard.sharded_seconds);
+    shard_bench.set("sharded_events_per_sec", shard.sharded_events_per_sec);
+    shard_bench.set("speedup", shard.speedup);
+    shard_bench.set("identical", shard.identical);
+    doc.set("fm_shard", std::move(shard_bench));
+    report.add_metric("fm_shard_speedup", shard.speedup);
+    report.add_metric("fm_shard_events_per_sec", shard.sharded_events_per_sec);
   }
 
   // -- (e) LFT build time ---------------------------------------------------

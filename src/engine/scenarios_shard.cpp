@@ -1,0 +1,86 @@
+// Sharded-fabric-manager scaling scenario: the tentpole measurement of
+// per-island repair domains.  A seeded island-local cable storm is
+// replayed through the monolithic manager and the sharded manager in
+// lockstep; the scenario reports the wall-clock ratio (the sharded side
+// repairs remote destination columns island-scoped instead of
+// fabric-wide) and asserts the two runs were bit-identical -- a speedup
+// bought by computing something else would be a bug, not a result.
+#include <string>
+
+#include "engine/registry.hpp"
+#include "engine/shard_support.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+void run_fm_shard_scaling(const RunContext& ctx, Report& report) {
+  ShardBenchOptions options;
+  options.spec = ctx.full() ? topo::XgftSpec{{12, 12, 24}, {1, 12, 12}}
+                            : topo::XgftSpec{{4, 4, 4}, {1, 2, 2}};
+  options.events = ctx.full() ? 12 : 24;
+  options.seed = ctx.derived_seed("fm_shard_scaling");
+  options.pool = &ctx.pool();
+  const ShardBenchResult result = run_shard_bench(options);
+  if (!result.ok) {
+    report.add_config("error", result.error);
+    report.converged = false;
+    return;
+  }
+
+  util::Table table({"manager", "events", "columns_full", "columns_scoped",
+                     "total_churn", "seconds", "events_per_sec"});
+  const double mono_eps =
+      result.monolithic_seconds > 0.0
+          ? static_cast<double>(result.events) / result.monolithic_seconds
+          : 0.0;
+  table.add_row({"monolithic", util::Table::num(result.events),
+                 util::Table::num(result.columns_full +
+                                  result.columns_scoped),
+                 "0", util::Table::num(result.total_churn),
+                 util::Table::num(result.monolithic_seconds, 3),
+                 util::Table::num(mono_eps, 1)});
+  table.add_row({"sharded", util::Table::num(result.events),
+                 util::Table::num(result.columns_full),
+                 util::Table::num(result.columns_scoped),
+                 util::Table::num(result.total_churn),
+                 util::Table::num(result.sharded_seconds, 3),
+                 util::Table::num(result.sharded_events_per_sec, 1)});
+
+  report.add_config("topology", options.spec.to_string());
+  report.add_config("islands", std::to_string(result.islands));
+  report.add_config("shards", std::to_string(result.shards));
+  report.add_config("events", std::to_string(result.events));
+  report.add_metric("speedup", result.speedup);
+  report.add_metric("identical", result.identical ? 1.0 : 0.0);
+  report.add_metric("monolithic_seconds", result.monolithic_seconds);
+  report.add_metric("sharded_seconds", result.sharded_seconds);
+  report.add_metric("sharded_events_per_sec", result.sharded_events_per_sec);
+  report.add_metric("columns_scoped",
+                    static_cast<double>(result.columns_scoped));
+  report.samples = result.events;
+  report.converged = report.converged && result.identical;
+  report.add_section("Monolithic vs sharded repair under one island-local "
+                         "cable storm, " +
+                         options.spec.to_string(),
+                     std::move(table));
+}
+
+}  // namespace
+
+void register_shard_scenarios(ScenarioRegistry& registry) {
+  Scenario scaling;
+  scaling.name = "fm_shard_scaling";
+  scaling.artifact = "extension";
+  scaling.family = Family::kAnalysis;
+  scaling.description = "Repair wall-clock of the sharded fabric manager "
+                        "(per-island repair domains) against the monolithic "
+                        "manager under one island-local cable storm, with a "
+                        "bit-identity cross-check";
+  scaling.quick_params = "XGFT(3;4,4,4;1,2,2), 24 events, auto shards";
+  scaling.full_params = "XGFT(3;12,12,24;1,12,12), 12 events, auto shards";
+  scaling.run = run_fm_shard_scaling;
+  registry.add(scaling);
+}
+
+}  // namespace lmpr::engine

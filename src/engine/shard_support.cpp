@@ -1,0 +1,145 @@
+#include "engine/shard_support.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "shard/sharded_manager.hpp"
+#include "util/rng.hpp"
+
+namespace lmpr::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+fm::Event cable_event(const fm::FabricManager& manager,
+                      const std::vector<std::uint32_t>& inverse,
+                      std::uint64_t cable, bool down) {
+  const topo::Link& link =
+      manager.xgft().link(static_cast<topo::LinkId>(cable));
+  return {down ? fm::EventType::kCableDown : fm::EventType::kCableUp,
+          inverse[static_cast<std::size_t>(link.src)],
+          inverse[static_cast<std::size_t>(link.dst)]};
+}
+
+/// The same seeded kill/heal storm the fm scenarios replay (p=0.6 kill).
+/// Cable events only: every cable is owned by the island of its lower
+/// endpoint, so the storm is island-local by construction and the
+/// sharded side repairs remote columns island-scoped throughout.
+std::vector<fm::Event> cable_storm(const fm::FabricManager& probe,
+                                   std::size_t count, util::Rng& rng) {
+  const auto& canonical = probe.canonical();
+  std::vector<std::uint32_t> inverse(canonical.size(), 0);
+  for (std::uint32_t raw = 0; raw < canonical.size(); ++raw) {
+    inverse[static_cast<std::size_t>(canonical[raw])] = raw;
+  }
+  const std::uint64_t cables = probe.xgft().num_cables();
+  std::vector<bool> dead(static_cast<std::size_t>(cables), false);
+  std::vector<std::uint64_t> dead_list;
+  std::vector<fm::Event> events;
+  events.reserve(count);
+  while (events.size() < count) {
+    const bool kill = dead_list.empty() ||
+                      (dead_list.size() < cables && rng.uniform01() < 0.6);
+    if (kill) {
+      std::uint64_t cable = rng.below(cables);
+      while (dead[static_cast<std::size_t>(cable)]) {
+        cable = rng.below(cables);
+      }
+      dead[static_cast<std::size_t>(cable)] = true;
+      dead_list.push_back(cable);
+      events.push_back(cable_event(probe, inverse, cable, /*down=*/true));
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.below(dead_list.size()));
+      const std::uint64_t cable = dead_list[pick];
+      dead_list[pick] = dead_list.back();
+      dead_list.pop_back();
+      dead[static_cast<std::size_t>(cable)] = false;
+      events.push_back(cable_event(probe, inverse, cable, /*down=*/false));
+    }
+  }
+  return events;
+}
+
+bool records_match(const fm::EventRecord& a, const fm::EventRecord& b) {
+  return a.ok == b.ok && a.churn == b.churn &&
+         a.destinations_repaired == b.destinations_repaired &&
+         a.full_rebuild == b.full_rebuild &&
+         a.disconnected_pairs == b.disconnected_pairs;
+}
+
+}  // namespace
+
+ShardBenchResult run_shard_bench(const ShardBenchOptions& options) {
+  ShardBenchResult result;
+
+  fm::FmConfig config;
+  config.k_paths = options.k_paths;
+  config.repair_policy = options.policy;
+  // The benchmark measures the repair path itself; the per-event load
+  // evaluation is identical work on both sides and would only dilute it.
+  config.track_link_load = false;
+  config.zero_timings = true;
+
+  fm::FabricManager monolithic{options.spec, config};
+  if (!monolithic.ok()) {
+    result.error = monolithic.error();
+    return result;
+  }
+  shard::ShardConfig sharded_config;
+  sharded_config.fm = config;
+  sharded_config.shards = options.shards;
+  sharded_config.pool = options.pool;
+  shard::ShardedFabricManager sharded{options.spec, sharded_config};
+  if (!sharded.ok()) {
+    result.error = sharded.error();
+    return result;
+  }
+  result.islands = sharded.islands().num_islands();
+  result.shards = sharded.islands().num_shards();
+
+  util::Rng rng{options.seed};
+  const auto events = cable_storm(monolithic, options.events, rng);
+  result.events = events.size();
+
+  // Lockstep replay: apply each event to both managers, fold the two
+  // wall-clocks separately, and fail `identical` on the first divergent
+  // record.  The full-table comparison runs once at the end (per-event
+  // table scans would dominate the measured time at paper scale).
+  bool identical = true;
+  for (const auto& event : events) {
+    auto start = Clock::now();
+    const auto mono_record = monolithic.apply(event);
+    result.monolithic_seconds += seconds_since(start);
+    start = Clock::now();
+    const auto shard_record = sharded.apply(event);
+    result.sharded_seconds += seconds_since(start);
+    identical = identical && records_match(mono_record, shard_record);
+  }
+  identical = identical && monolithic.tables() == sharded.tables() &&
+              monolithic.policy_tables() == sharded.policy_tables() &&
+              monolithic.summary().disconnected_pairs ==
+                  sharded.summary().disconnected_pairs &&
+              monolithic.summary().total_churn ==
+                  sharded.summary().total_churn;
+  result.identical = identical;
+
+  const shard::ShardStats total = sharded.aggregate();
+  result.columns_full = total.columns_full;
+  result.columns_scoped = total.columns_scoped;
+  result.total_churn = total.churn;
+  if (result.sharded_seconds > 0.0) {
+    result.speedup = result.monolithic_seconds / result.sharded_seconds;
+    result.sharded_events_per_sec =
+        static_cast<double>(result.events) / result.sharded_seconds;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace lmpr::engine

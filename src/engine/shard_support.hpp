@@ -1,0 +1,57 @@
+// Shared monolithic-vs-sharded fabric-manager benchmark: replays one
+// seeded island-local cable storm through a monolithic fm::FabricManager
+// and a shard::ShardedFabricManager in lockstep, times both repair
+// paths, and proves the sharded run produced bit-identical results
+// (per-event records and the final forwarding tables).  Used by the
+// fm_shard_scaling scenario and the perf_baseline fm_shard section so
+// both report the same measurement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fm/fabric_manager.hpp"
+#include "topology/spec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpr::engine {
+
+struct ShardBenchOptions {
+  topo::XgftSpec spec{{4, 4, 4}, {1, 2, 2}};
+  /// Cable storm length (kill/heal events; cables only, so every event
+  /// is island-owned -- spine serialization is exercised by the tests,
+  /// not the benchmark).
+  std::size_t events = 12;
+  std::uint64_t seed = 0;
+  std::uint64_t k_paths = 4;
+  fabric::RepairPolicy policy = fabric::RepairPolicy::kFirstSurviving;
+  /// Shard count for the sharded side (0 = auto, one shard per island).
+  std::size_t shards = 0;
+  /// Worker pool for the sharded side (may be null or empty: ranges then
+  /// run inline, which is also where the single-core speedup comes from
+  /// -- island scoping is algorithmic, not thread parallelism).
+  util::ThreadPool* pool = nullptr;
+};
+
+struct ShardBenchResult {
+  bool ok = false;
+  std::string error;
+  /// Every per-event record and the final tables matched the monolithic
+  /// manager bit-for-bit.
+  bool identical = false;
+  std::size_t events = 0;
+  std::size_t islands = 0;
+  std::size_t shards = 0;
+  double monolithic_seconds = 0.0;
+  double sharded_seconds = 0.0;
+  double speedup = 0.0;
+  double sharded_events_per_sec = 0.0;
+  std::uint64_t columns_full = 0;    ///< sharded-side full column rebuilds
+  std::uint64_t columns_scoped = 0;  ///< sharded-side island-scoped rebuilds
+  std::uint64_t total_churn = 0;
+};
+
+ShardBenchResult run_shard_bench(const ShardBenchOptions& options);
+
+}  // namespace lmpr::engine

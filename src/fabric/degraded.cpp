@@ -28,14 +28,156 @@ bool Degradation::healthy() const {
              node_dead.end();
 }
 
+namespace {
+
+/// Phase-1 deliverability of one node, assuming `good` already holds the
+/// answer for the far endpoint of every candidate link.
+bool node_deliverable(const topo::Topology& topo, const Degradation& deg,
+                      std::uint64_t dst, topo::NodeId dst_host,
+                      topo::NodeId node, std::span<const std::uint8_t> good,
+                      std::vector<topo::LinkId>& candidates) {
+  if (node == dst_host) return true;  // the destination delivers to itself
+  if (!deg.node_ok(node)) return false;
+  topo.candidate_links(node, dst, candidates);
+  for (const topo::LinkId link : candidates) {
+    if (deg.cable_ok(topo.cable_of(link)) && good[topo.link(link).dst] != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Phase 2 for one node: rewrites its row of the destination column,
+/// diffed against the current contents.  Returns entries changed and ORs
+/// the node's kNode* outcome into `flags`.
+std::size_t rebuild_node_row(const Lft& lft, const Degradation& deg,
+                             const topo::Topology& topo, std::uint64_t dst,
+                             topo::NodeId dst_host, topo::NodeId node,
+                             std::span<const std::uint8_t> good,
+                             Tables& tables, RebuildScratch& scratch,
+                             RepairPolicy policy, std::uint8_t& flags) {
+  const std::uint32_t block = lft.block();
+  auto& row = tables[static_cast<std::size_t>(node)];
+  LMPR_EXPECTS(row.size() == lft.lid_end());
+  std::size_t written = 0;
+
+  const auto write_entry = [&](std::uint32_t j, topo::LinkId entry) {
+    const std::uint32_t lid = lft.lid_of(dst, j);
+    if (row[lid] != entry) {
+      row[lid] = entry;
+      ++written;
+    }
+  };
+
+  if (node == dst_host) {
+    // Own LIDs stay invalid: the packet has arrived.
+    for (std::uint32_t j = 0; j < block; ++j) {
+      write_entry(j, topo::kInvalidLink);
+    }
+    return written;
+  }
+  if (!deg.node_ok(node)) {
+    flags |= kNodeDeviates;  // a dead switch's row is wiped
+    for (std::uint32_t j = 0; j < block; ++j) {
+      write_entry(j, topo::kInvalidLink);
+    }
+    return written;
+  }
+
+  // A surviving candidate (live cable to a live good far endpoint)
+  // serves every variant LID alike, so delivery is variant- and
+  // policy-independent; only the variant -> port assignment differs.
+  auto& candidates = scratch.candidates;
+  topo.candidate_links(node, dst, candidates);
+  const std::uint32_t radix = static_cast<std::uint32_t>(candidates.size());
+  scratch.port_ok.assign(radix, 0);
+  bool any_ok = false;
+  for (std::uint32_t p = 0; p < radix; ++p) {
+    const topo::LinkId link = candidates[p];
+    const bool ok = deg.cable_ok(topo.cable_of(link)) &&
+                    good[topo.link(link).dst] != 0;
+    scratch.port_ok[p] = ok ? 1 : 0;
+    any_ok = any_ok || ok;
+  }
+  if (!any_ok) {
+    flags |= kNodeDeviates;
+    if (topo.is_host(node)) flags |= kNodeDisconnected;
+    for (std::uint32_t j = 0; j < block; ++j) {
+      write_entry(j, topo::kInvalidLink);
+    }
+    return written;
+  }
+
+  // Single-candidate nodes (fat-tree ancestors) take their forced hop
+  // for every variant; the anchor/variant machinery only matters when
+  // there is a real choice.
+  const std::uint32_t anchor = radix > 1 ? topo.route_anchor(node, dst) : 0;
+  const std::uint32_t level = radix > 1 ? topo.level_of(node) : 0;
+  const auto base_of = [&](std::uint32_t j) -> std::uint32_t {
+    if (radix <= 1) return 0;
+    return (anchor + lft.variant_digit(level, j)) % radix;
+  };
+
+  if (policy == RepairPolicy::kFirstSurviving) {
+    for (std::uint32_t j = 0; j < block; ++j) {
+      const std::uint32_t base = base_of(j);
+      for (std::uint32_t t = 0; t < radix; ++t) {
+        const std::uint32_t port = (base + t) % radix;
+        if (scratch.port_ok[port] == 0) continue;
+        if (t != 0) flags |= kNodeDeviates;  // surviving-variant fallback
+        write_entry(j, candidates[port]);
+        break;
+      }
+    }
+    return written;
+  }
+
+  // kLoadAware.  Pass 1: variants whose healthy port survives keep it,
+  // so a healthy column stays byte-identical to the nominal layout.
+  scratch.port_load.assign(radix, 0);
+  scratch.chosen.assign(block, radix);  // radix marks "displaced"
+  for (std::uint32_t j = 0; j < block; ++j) {
+    const std::uint32_t base = base_of(j);
+    if (scratch.port_ok[base] != 0) {
+      scratch.chosen[j] = base;
+      ++scratch.port_load[base];
+    }
+  }
+  // Pass 2: displaced variants go, in variant order, to the surviving
+  // port carrying the fewest variants of this column (the column-local
+  // estimate of the post-repair cable load); ties keep the
+  // kFirstSurviving probe order so the output stays deterministic.
+  for (std::uint32_t j = 0; j < block; ++j) {
+    if (scratch.chosen[j] != radix) continue;
+    flags |= kNodeDeviates;
+    const std::uint32_t base = base_of(j);
+    std::uint32_t best = radix;
+    for (std::uint32_t t = 0; t < radix; ++t) {
+      const std::uint32_t port = (base + t) % radix;
+      if (scratch.port_ok[port] == 0) continue;
+      if (best == radix ||
+          scratch.port_load[port] < scratch.port_load[best]) {
+        best = port;
+      }
+    }
+    scratch.chosen[j] = best;
+    ++scratch.port_load[best];
+  }
+  for (std::uint32_t j = 0; j < block; ++j) {
+    write_entry(j, candidates[scratch.chosen[j]]);
+  }
+  return written;
+}
+
+}  // namespace
+
 RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
                                  std::uint64_t dst, Tables& tables,
-                                 RebuildScratch& scratch,
-                                 RepairPolicy policy) {
+                                 RebuildScratch& scratch, RepairPolicy policy,
+                                 std::vector<std::uint8_t>* node_flags) {
   const topo::Topology& topo = lft.topology();
   LMPR_EXPECTS(dst < topo.num_hosts());
   LMPR_EXPECTS(tables.size() == topo.num_nodes());
-  const std::uint32_t block = lft.block();
   const std::size_t num_nodes = static_cast<std::size_t>(topo.num_nodes());
   const topo::NodeId dst_host = topo.host(dst);
 
@@ -44,138 +186,59 @@ RebuildStats rebuild_destination(const Lft& lft, const Degradation& deg,
   // so one pass settles the whole fabric.
   scratch.good.assign(num_nodes, 0);
   auto& good = scratch.good;
-  auto& candidates = scratch.candidates;
   topo.repair_order(dst, scratch.order);
   for (const topo::NodeId node : scratch.order) {
-    if (node == dst_host) {
-      good[node] = 1;  // the destination delivers to itself
-      continue;
-    }
-    bool ok = false;
-    if (deg.node_ok(node)) {
-      topo.candidate_links(node, dst, candidates);
-      for (const topo::LinkId link : candidates) {
-        if (deg.cable_ok(topo.cable_of(link)) &&
-            good[topo.link(link).dst] != 0) {
-          ok = true;
-          break;
-        }
-      }
-    }
-    good[node] = ok ? 1 : 0;
+    good[node] = node_deliverable(topo, deg, dst, dst_host, node, good,
+                                  scratch.candidates)
+                     ? 1
+                     : 0;
   }
 
   // Phase 2: the column's entries, diffed against the current tables.
+  if (node_flags != nullptr) node_flags->assign(num_nodes, 0);
   RebuildStats stats;
   for (std::size_t n = 0; n < num_nodes; ++n) {
     const topo::NodeId node = static_cast<topo::NodeId>(n);
-    auto& row = tables[n];
-    LMPR_EXPECTS(row.size() == lft.lid_end());
+    std::uint8_t flags = 0;
+    stats.entries_written += rebuild_node_row(
+        lft, deg, topo, dst, dst_host, node, good, tables, scratch, policy,
+        flags);
+    if ((flags & kNodeDeviates) != 0) stats.nominal = false;
+    if ((flags & kNodeDisconnected) != 0) ++stats.disconnected_sources;
+    if (node_flags != nullptr) (*node_flags)[n] = flags;
+  }
+  return stats;
+}
 
-    const auto write_entry = [&](std::uint32_t j, topo::LinkId entry) {
-      const std::uint32_t lid = lft.lid_of(dst, j);
-      if (row[lid] != entry) {
-        row[lid] = entry;
-        ++stats.entries_written;
-      }
-    };
+RebuildStats rebuild_destination_scoped(const Lft& lft, const Degradation& deg,
+                                        std::uint64_t dst, Tables& tables,
+                                        std::span<const topo::NodeId> scope,
+                                        std::span<std::uint8_t> good,
+                                        RebuildScratch& scratch,
+                                        RepairPolicy policy) {
+  const topo::Topology& topo = lft.topology();
+  LMPR_EXPECTS(dst < topo.num_hosts());
+  LMPR_EXPECTS(tables.size() == topo.num_nodes());
+  LMPR_EXPECTS(good.size() == topo.num_nodes());
+  const topo::NodeId dst_host = topo.host(dst);
 
-    if (node == dst_host) {
-      // Own LIDs stay invalid: the packet has arrived.
-      for (std::uint32_t j = 0; j < block; ++j) {
-        write_entry(j, topo::kInvalidLink);
-      }
-      continue;
-    }
-    if (!deg.node_ok(node)) {
-      stats.nominal = false;  // a dead switch's row is wiped
-      for (std::uint32_t j = 0; j < block; ++j) {
-        write_entry(j, topo::kInvalidLink);
-      }
-      continue;
-    }
+  // Phase 1 over the scope only; out-of-scope far endpoints read the
+  // caller's cached deliverability (valid under the scoping contract).
+  for (const topo::NodeId node : scope) {
+    good[node] = node_deliverable(topo, deg, dst, dst_host, node, good,
+                                  scratch.candidates)
+                     ? 1
+                     : 0;
+  }
 
-    // A surviving candidate (live cable to a live good far endpoint)
-    // serves every variant LID alike, so delivery is variant- and
-    // policy-independent; only the variant -> port assignment differs.
-    topo.candidate_links(node, dst, candidates);
-    const std::uint32_t radix = static_cast<std::uint32_t>(candidates.size());
-    scratch.port_ok.assign(radix, 0);
-    bool any_ok = false;
-    for (std::uint32_t p = 0; p < radix; ++p) {
-      const topo::LinkId link = candidates[p];
-      const bool ok = deg.cable_ok(topo.cable_of(link)) &&
-                      good[topo.link(link).dst] != 0;
-      scratch.port_ok[p] = ok ? 1 : 0;
-      any_ok = any_ok || ok;
-    }
-    if (!any_ok) {
-      stats.nominal = false;
-      if (topo.is_host(node)) ++stats.disconnected_sources;
-      for (std::uint32_t j = 0; j < block; ++j) {
-        write_entry(j, topo::kInvalidLink);
-      }
-      continue;
-    }
-
-    // Single-candidate nodes (fat-tree ancestors) take their forced hop
-    // for every variant; the anchor/variant machinery only matters when
-    // there is a real choice.
-    const std::uint32_t anchor = radix > 1 ? topo.route_anchor(node, dst) : 0;
-    const std::uint32_t level = radix > 1 ? topo.level_of(node) : 0;
-    const auto base_of = [&](std::uint32_t j) -> std::uint32_t {
-      if (radix <= 1) return 0;
-      return (anchor + lft.variant_digit(level, j)) % radix;
-    };
-
-    if (policy == RepairPolicy::kFirstSurviving) {
-      for (std::uint32_t j = 0; j < block; ++j) {
-        const std::uint32_t base = base_of(j);
-        for (std::uint32_t t = 0; t < radix; ++t) {
-          const std::uint32_t port = (base + t) % radix;
-          if (scratch.port_ok[port] == 0) continue;
-          if (t != 0) stats.nominal = false;  // surviving-variant fallback
-          write_entry(j, candidates[port]);
-          break;
-        }
-      }
-      continue;
-    }
-
-    // kLoadAware.  Pass 1: variants whose healthy port survives keep it,
-    // so a healthy column stays byte-identical to the nominal layout.
-    scratch.port_load.assign(radix, 0);
-    scratch.chosen.assign(block, radix);  // radix marks "displaced"
-    for (std::uint32_t j = 0; j < block; ++j) {
-      const std::uint32_t base = base_of(j);
-      if (scratch.port_ok[base] != 0) {
-        scratch.chosen[j] = base;
-        ++scratch.port_load[base];
-      }
-    }
-    // Pass 2: displaced variants go, in variant order, to the surviving
-    // port carrying the fewest variants of this column (the column-local
-    // estimate of the post-repair cable load); ties keep the
-    // kFirstSurviving probe order so the output stays deterministic.
-    for (std::uint32_t j = 0; j < block; ++j) {
-      if (scratch.chosen[j] != radix) continue;
-      stats.nominal = false;
-      const std::uint32_t base = base_of(j);
-      std::uint32_t best = radix;
-      for (std::uint32_t t = 0; t < radix; ++t) {
-        const std::uint32_t port = (base + t) % radix;
-        if (scratch.port_ok[port] == 0) continue;
-        if (best == radix ||
-            scratch.port_load[port] < scratch.port_load[best]) {
-          best = port;
-        }
-      }
-      scratch.chosen[j] = best;
-      ++scratch.port_load[best];
-    }
-    for (std::uint32_t j = 0; j < block; ++j) {
-      write_entry(j, candidates[scratch.chosen[j]]);
-    }
+  RebuildStats stats;
+  for (const topo::NodeId node : scope) {
+    std::uint8_t flags = 0;
+    stats.entries_written += rebuild_node_row(
+        lft, deg, topo, dst, dst_host, node, good, tables, scratch, policy,
+        flags);
+    if ((flags & kNodeDeviates) != 0) stats.nominal = false;
+    if ((flags & kNodeDisconnected) != 0) ++stats.disconnected_sources;
   }
   return stats;
 }

@@ -43,6 +43,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -101,18 +102,48 @@ struct RebuildStats {
   std::size_t entries_written = 0;  ///< entries whose value changed
   /// True when the rebuilt column equals the HEALTHY layout everywhere:
   /// no invalid entries where the nominal table has valid ones and no
-  /// fallback variant digits in effect.
+  /// fallback variant digits in effect.  For the scoped rebuild this (and
+  /// disconnected_sources) covers the SCOPE only.
   bool nominal = true;
   /// Hosts s != dst whose entry toward dst is invalid (disconnected
   /// sources for this destination).
   std::uint64_t disconnected_sources = 0;
 };
 
+/// Per-node outcome flags for rebuild_destination's optional `node_flags`
+/// output (callers partitioning the fabric fold these per region).
+inline constexpr std::uint8_t kNodeDeviates = 1;      ///< row differs from nominal
+inline constexpr std::uint8_t kNodeDisconnected = 2;  ///< host with no survivor
+
 /// Recomputes destination `dst`'s column (every node, every variant LID)
 /// of `tables` for the degraded topology, diffing against the current
 /// contents.  `tables` must have one row of size lft.lid_end() per node.
+/// When `node_flags` is non-null it is resized to num_nodes and filled
+/// with the kNode* flags per node (so stats.nominal == "no flag set" and
+/// stats.disconnected_sources == count of kNodeDisconnected entries);
+/// scratch.good is left holding the column's deliverability vector.
 RebuildStats rebuild_destination(
     const Lft& lft, const Degradation& deg, std::uint64_t dst, Tables& tables,
+    RebuildScratch& scratch,
+    RepairPolicy policy = RepairPolicy::kFirstSurviving,
+    std::vector<std::uint8_t>* node_flags = nullptr);
+
+/// Scope-restricted column repair: recomputes deliverability and entries
+/// of destination `dst`'s column ONLY for the nodes in `scope`, reading
+/// `good` -- a cached full-size deliverability vector for this column --
+/// for every out-of-scope far endpoint and updating the in-scope entries
+/// of `good` in place.  Entries and use of out-of-scope nodes are left
+/// untouched, so the caller must guarantee (a) `scope` is dependency-
+/// ordered (the far endpoint of every in-scope candidate link is either
+/// out of scope or listed earlier -- for an XGFT island and a REMOTE
+/// destination: switches by descending level, then hosts) and (b) every
+/// change the current degradation implies for this column relative to the
+/// state `good`/`tables` describe is confined to `scope`.  Under that
+/// contract the result is entry-for-entry identical to a full
+/// rebuild_destination; the returned stats cover the scope only.
+RebuildStats rebuild_destination_scoped(
+    const Lft& lft, const Degradation& deg, std::uint64_t dst, Tables& tables,
+    std::span<const topo::NodeId> scope, std::span<std::uint8_t> good,
     RebuildScratch& scratch,
     RepairPolicy policy = RepairPolicy::kFirstSurviving);
 

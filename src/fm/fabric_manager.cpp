@@ -90,7 +90,7 @@ fabric::Tables build_managed_tables(const topo::Topology& topology,
 }
 
 FabricManager::FabricManager(const discovery::RawFabric& fabric,
-                             const FmConfig& config)
+                             const FmConfig& config, DeferShadow)
     : config_(config) {
   LMPR_EXPECTS(config.k_paths >= 1);
   LMPR_EXPECTS(config.full_rebuild_threshold > 0.0);
@@ -117,17 +117,32 @@ FabricManager::FabricManager(const discovery::RawFabric& fabric,
   tables_ = fabric::build_lft(*lft_, *degradation_, config.repair_policy);
   index_cables();
   const std::size_t hosts = static_cast<std::size_t>(topo_->num_hosts());
-  degraded_.assign(hosts, false);
+  degraded_.assign(hosts, 0);
   disconnected_sources_.assign(hosts, 0);
   rebuild_use_counts();
-  if (config.repair_policy == fabric::RepairPolicy::kLoadAware) {
-    FmConfig shadow_config = config;
-    shadow_config.repair_policy = fabric::RepairPolicy::kFirstSurviving;
-    // The twin never reports; we read its tables and compute both loads
-    // ourselves during arbitration.
-    shadow_config.track_link_load = false;
-    shadow_ = std::make_unique<FabricManager>(fabric, shadow_config);
-    LMPR_ASSERT(shadow_->ok());
+}
+
+FmConfig FabricManager::shadow_config(const FmConfig& config) {
+  FmConfig shadow = config;
+  shadow.repair_policy = fabric::RepairPolicy::kFirstSurviving;
+  // The twin never reports; we read its tables and compute both loads
+  // ourselves during arbitration.
+  shadow.track_link_load = false;
+  return shadow;
+}
+
+void FabricManager::adopt_shadow(std::unique_ptr<FabricManager> twin) {
+  LMPR_EXPECTS(config_.repair_policy == fabric::RepairPolicy::kLoadAware);
+  LMPR_EXPECTS(shadow_ == nullptr && twin != nullptr && twin->ok());
+  shadow_ = std::move(twin);
+}
+
+FabricManager::FabricManager(const discovery::RawFabric& fabric,
+                             const FmConfig& config)
+    : FabricManager(fabric, config, DeferShadow{}) {
+  if (ok() && config.repair_policy == fabric::RepairPolicy::kLoadAware) {
+    adopt_shadow(
+        std::make_unique<FabricManager>(fabric, shadow_config(config)));
   }
 }
 
@@ -168,6 +183,29 @@ void FabricManager::adjust_use(std::uint64_t dst, int delta) {
   const std::uint32_t block = lft_->block();
   const std::uint32_t first = lft_->lid_of(dst, 0);
   for (const auto& row : tables_) {
+    for (std::uint32_t j = 0; j < block; ++j) {
+      const topo::LinkId entry = row[first + j];
+      if (entry == topo::kInvalidLink) continue;
+      auto& count =
+          use_counts_[static_cast<std::size_t>(topo_->cable_of(entry))]
+                     [static_cast<std::size_t>(dst)];
+      if (delta > 0) {
+        ++count;
+      } else {
+        LMPR_ASSERT(count > 0);
+        --count;
+      }
+    }
+  }
+}
+
+void FabricManager::adjust_use_scoped(std::uint64_t dst,
+                                      std::span<const topo::NodeId> rows,
+                                      int delta) {
+  const std::uint32_t block = lft_->block();
+  const std::uint32_t first = lft_->lid_of(dst, 0);
+  for (const topo::NodeId node : rows) {
+    const auto& row = tables_[static_cast<std::size_t>(node)];
     for (std::uint32_t j = 0; j < block; ++j) {
       const topo::LinkId entry = row[first + j];
       if (entry == topo::kInvalidLink) continue;

@@ -55,6 +55,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -140,6 +141,7 @@ class FabricManager {
 
   FabricManager(const FabricManager&) = delete;
   FabricManager& operator=(const FabricManager&) = delete;
+  virtual ~FabricManager() = default;
 
   bool ok() const noexcept { return error_.empty(); }
   const std::string& error() const noexcept { return error_; }
@@ -201,14 +203,38 @@ class FabricManager {
   /// lid_of(dst, j).
   Walk walk(std::uint64_t src, std::uint64_t dst, std::uint32_t j) const;
 
- private:
+ protected:
+  /// Tag for derived classes: construct WITHOUT the load_aware shadow
+  /// twin (the derived constructor adopts a twin of its own kind via
+  /// adopt_shadow, since virtual dispatch is unavailable here).
+  struct DeferShadow {};
+  FabricManager(const discovery::RawFabric& fabric, const FmConfig& config,
+                DeferShadow);
+  /// Installs the first_surviving arbitration twin a deferred-shadow
+  /// construction skipped; requires load_aware policy and no shadow yet.
+  void adopt_shadow(std::unique_ptr<FabricManager> twin);
+  /// The config the arbitration twin runs: same knobs, first_surviving,
+  /// no per-event load evaluation (arbitration reads its tables only).
+  static FmConfig shadow_config(const FmConfig& config);
+
   void index_cables();
   void rebuild_use_counts();
   void adjust_use(std::uint64_t dst, int delta);
+  /// adjust_use restricted to the given table rows -- the bookkeeping
+  /// counterpart of fabric::rebuild_destination_scoped (only in-scope
+  /// rows of the column can have changed).
+  void adjust_use_scoped(std::uint64_t dst,
+                         std::span<const topo::NodeId> rows, int delta);
   /// Repairs the given destinations (or all, past the threshold),
-  /// filling the record's churn fields.
-  void repair(const std::vector<std::uint64_t>& affected,
-              EventRecord& record);
+  /// filling the record's churn fields.  The virtual hook the sharded
+  /// manager overrides: everything else (event validation, degradation
+  /// flips, affected-set computation, summary/arbitration upkeep) is
+  /// shared base behavior.  Overrides must preserve the base invariants:
+  /// tables_/use_counts_/degraded_/disconnected_sources_ consistent and
+  /// record.churn/destinations_repaired/full_rebuild as the base computes
+  /// them.
+  virtual void repair(const std::vector<std::uint64_t>& affected,
+                      EventRecord& record);
   void finish_topology_event(EventRecord& record);
   std::uint64_t cable_between(topo::NodeId u, topo::NodeId v) const;
 
@@ -225,7 +251,10 @@ class FabricManager {
   fabric::RebuildScratch scratch_;
   /// use_counts_[cable][dst]: table entries of dst routed over the cable.
   std::vector<std::vector<std::uint32_t>> use_counts_;
-  std::vector<bool> degraded_;  ///< per destination: deviates from nominal
+  /// Per destination: deviates from nominal.  Bytes, not vector<bool>:
+  /// the sharded repair writes disjoint destinations from concurrent
+  /// tasks, which bit-packing would turn into a data race.
+  std::vector<std::uint8_t> degraded_;
   std::vector<std::uint64_t> disconnected_sources_;  ///< per destination
   FmSummary summary_;
   /// First-surviving twin fed the same topology events, so arbitration

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "discovery/io.hpp"
+#include "shard/sharded_manager.hpp"
 #include "topology/factory.hpp"
 #include "topology/generic.hpp"
 
@@ -85,7 +86,15 @@ LoadOutcome RoutingService::install(std::shared_ptr<Live> live) {
 LoadOutcome RoutingService::load_fabric(const discovery::RawFabric& fabric,
                                         std::string name) {
   auto live = std::make_shared<Live>();
-  live->manager = std::make_unique<fm::FabricManager>(fabric, config_.fm);
+  if (config_.shards == 1) {
+    live->manager = std::make_unique<fm::FabricManager>(fabric, config_.fm);
+  } else {
+    shard::ShardConfig sharded;
+    sharded.fm = config_.fm;
+    sharded.shards = config_.shards;
+    live->manager =
+        std::make_unique<shard::ShardedFabricManager>(fabric, sharded);
+  }
   if (!live->manager->ok()) {
     LoadOutcome outcome;
     outcome.error = live->manager->error();

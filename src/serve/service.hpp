@@ -59,6 +59,14 @@ struct ServeConfig {
   /// belong to `lmpr fm`).
   fm::FmConfig fm;
 
+  /// Shard count for every installed manager: 1 = monolithic (default),
+  /// 0 = auto (one shard per island), N = that many shards.  Sharding is
+  /// invisible to the protocol: repairs produce bit-identical tables, and
+  /// the service still publishes exactly one immutable snapshot per EVENT
+  /// (shard results fold into one generation before the swap), so PATH
+  /// queries keep their lock-free snapshot isolation unchanged.
+  std::size_t shards = 1;
+
   ServeConfig() {
     fm.allow_generic = true;
     fm.track_link_load = false;

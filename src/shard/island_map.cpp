@@ -1,0 +1,163 @@
+#include "shard/island_map.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "topology/xgft.hpp"
+#include "util/contracts.hpp"
+#include "util/table.hpp"
+
+namespace lmpr::shard {
+
+namespace {
+
+/// "a-b,c,d-e" compression of a sorted id list.
+std::string render_ranges(const std::vector<topo::NodeId>& ids) {
+  if (ids.empty()) return "-";
+  std::ostringstream oss;
+  std::size_t i = 0;
+  while (i < ids.size()) {
+    std::size_t j = i;
+    while (j + 1 < ids.size() && ids[j + 1] == ids[j] + 1) ++j;
+    if (i > 0) oss << ",";
+    oss << ids[i];
+    if (j > i) oss << "-" << ids[j];
+    i = j + 1;
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+IslandMap::IslandMap(const topo::Topology& topology, std::size_t shards)
+    : topology_(topology) {
+  const std::size_t num_nodes =
+      static_cast<std::size_t>(topology.num_nodes());
+  const std::uint64_t num_hosts = topology.num_hosts();
+  node_island_.assign(num_nodes, 0);
+
+  std::size_t islands = 1;
+  const topo::Xgft* xgft = nullptr;
+  if (topology.kind() == "xgft") {
+    xgft = static_cast<const topo::Xgft*>(&topology);
+    const std::uint32_t h = xgft->height();
+    // Islands are the height-(h-1) subtrees; one per top m-digit.  A
+    // height-1 tree has no subtree below the top that contains switches,
+    // and m_h = 1 leaves nothing to split.
+    if (h >= 2) islands = static_cast<std::size_t>(xgft->num_subtrees(h - 1));
+  }
+  if (islands <= 1 || num_hosts == 0) {
+    // Degenerate single-island partition: everything in island 0, no
+    // spine (scoped repair is never used; the manager runs monolithic).
+    islands_.resize(1);
+    islands_[0].host_count = num_hosts;
+    hosts_per_island_ = num_hosts > 0 ? num_hosts : 1;
+    num_shards_ = 1;
+    auto& nodes = islands_[0].nodes;
+    nodes.reserve(num_nodes);
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      nodes.push_back(static_cast<topo::NodeId>(n));
+      if (!topology.is_host(static_cast<topo::NodeId>(n))) {
+        ++islands_[0].num_switches;
+      }
+    }
+    return;
+  }
+
+  const std::uint32_t h = xgft->height();
+  hosts_per_island_ = xgft->hosts_per_subtree(h - 1);
+  islands_.resize(islands);
+  num_shards_ = shards == 0 ? islands
+                            : std::min(std::max<std::size_t>(shards, 1),
+                                       islands);
+  for (std::size_t i = 0; i < islands; ++i) {
+    islands_[i].shard = shard_of_island(i);
+    islands_[i].first_host = static_cast<std::uint64_t>(i) * hosts_per_island_;
+    islands_[i].host_count = hosts_per_island_;
+  }
+
+  // Bucket switches by (island, level) so each island's scope list comes
+  // out in descending-level dependency order, then append the hosts.
+  // digits[h-1] = a_h, the top m-digit, names the island of every node
+  // below the top level.
+  std::vector<std::vector<topo::NodeId>> by_island_level(
+      islands * static_cast<std::size_t>(h));
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    const topo::NodeId node = static_cast<topo::NodeId>(n);
+    const std::uint32_t level = xgft->level_of(node);
+    if (level == h) {
+      node_island_[n] = kSpine;
+      ++spine_switches_;
+      continue;
+    }
+    std::size_t island;
+    if (level == 0) {
+      island = island_of_host(static_cast<std::uint64_t>(n));
+    } else {
+      island = xgft->label_of(node).digits[h - 1];
+    }
+    node_island_[n] = island;
+    by_island_level[island * h + level].push_back(node);
+  }
+  for (std::size_t i = 0; i < islands; ++i) {
+    auto& out = islands_[i].nodes;
+    for (std::uint32_t level = h - 1; level >= 1; --level) {
+      const auto& bucket = by_island_level[i * h + level];
+      islands_[i].num_switches += bucket.size();
+      out.insert(out.end(), bucket.begin(), bucket.end());
+    }
+    const auto& hosts = by_island_level[i * h + 0];
+    out.insert(out.end(), hosts.begin(), hosts.end());
+  }
+}
+
+std::size_t IslandMap::island_of_cable(std::uint64_t cable) const {
+  // The UP LinkId of a cable IS the cable index, and its src is the
+  // lower endpoint (topology.hpp contract).
+  const topo::Link& link =
+      topology_.link(static_cast<topo::LinkId>(cable));
+  const std::size_t island = island_of_node(link.src);
+  LMPR_ASSERT(island != kSpine);
+  return island;
+}
+
+std::string render_island_table(const IslandMap& map,
+                                const topo::Topology& topology) {
+  std::ostringstream oss;
+  oss << "island partition of " << topology.name() << ": "
+      << map.num_islands() << " island(s), " << map.num_shards()
+      << " shard(s), " << map.spine_switches() << " spine switch(es)\n";
+  util::Table table({"island", "shard", "hosts", "switches", "switch_ids"});
+  for (std::size_t i = 0; i < map.num_islands(); ++i) {
+    const auto& island = map.island(i);
+    std::vector<topo::NodeId> switches;
+    switches.reserve(static_cast<std::size_t>(island.num_switches));
+    for (const topo::NodeId node : island.nodes) {
+      if (!topology.is_host(node)) switches.push_back(node);
+    }
+    std::sort(switches.begin(), switches.end());
+    const std::string hosts =
+        island.host_count == 0
+            ? std::string{"-"}
+            : std::to_string(island.first_host) + ".." +
+                  std::to_string(island.first_host + island.host_count - 1);
+    table.add_row({util::Table::num(i), util::Table::num(island.shard),
+                   hosts, util::Table::num(island.num_switches),
+                   render_ranges(switches)});
+  }
+  if (map.spine_switches() > 0) {
+    std::vector<topo::NodeId> spine;
+    for (std::uint64_t n = 0; n < topology.num_nodes(); ++n) {
+      const topo::NodeId node = static_cast<topo::NodeId>(n);
+      if (map.island_of_node(node) == IslandMap::kSpine) {
+        spine.push_back(node);
+      }
+    }
+    table.add_row({"spine", "-", "-", util::Table::num(spine.size()),
+                   render_ranges(spine)});
+  }
+  table.print(oss);
+  return oss.str();
+}
+
+}  // namespace lmpr::shard

@@ -1,0 +1,99 @@
+// The coordinate mapper behind the sharded fabric manager: partitions a
+// topology into repair ISLANDS plus a SPINE, and groups islands into the
+// shards whose repairs may run concurrently.
+//
+// Island rule (DESIGN §15).  For an XGFT of height h >= 2 with m_h > 1,
+// the islands are the m_h height-(h-1) subtrees rooted below the top
+// level: island I owns the contiguous host range [I*M_{h-1},
+// (I+1)*M_{h-1}) and every switch at levels 1..h-1 whose top label digit
+// a_h equals I.  The top-level switches form the SPINE -- the only nodes
+// reachable from more than one island, and so the only place inter-island
+// variants meet.  Anything else (generic graphs, height-1 XGFTs, m_h = 1)
+// degenerates to a single island, where the sharded manager falls back to
+// the monolithic repair path.
+//
+// The partition is what makes island-scoped column repair sound: for a
+// fault INSIDE island I and a destination OUTSIDE it, only island-I rows
+// of that destination's column can change (island-J != I nodes route up
+// within J, and a top switch's descent toward the destination never
+// traverses I), so fabric::rebuild_destination_scoped over island I's
+// nodes reproduces the full rebuild entry-for-entry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace lmpr::shard {
+
+class IslandMap {
+ public:
+  /// Segment id of the spine (top-level switches).
+  static constexpr std::size_t kSpine = static_cast<std::size_t>(-1);
+
+  /// Builds the natural island partition of `topology` and groups the
+  /// islands into `shards` contiguous shards (0 = "auto": one shard per
+  /// island; otherwise clamped to [1, islands]).  The topology reference
+  /// must outlive the map.
+  IslandMap(const topo::Topology& topology, std::size_t shards);
+
+  std::size_t num_islands() const noexcept { return islands_.size(); }
+  std::size_t num_shards() const noexcept { return num_shards_; }
+  /// Single-island partitions carry no concurrency or scoping structure;
+  /// the sharded manager delegates to the monolithic repair loop.
+  bool single() const noexcept { return islands_.size() <= 1; }
+  std::uint64_t hosts_per_island() const noexcept { return hosts_per_island_; }
+  std::size_t spine_switches() const noexcept { return spine_switches_; }
+
+  std::size_t island_of_host(std::uint64_t host) const {
+    return static_cast<std::size_t>(host / hosts_per_island_);
+  }
+  /// kSpine for top-level switches.
+  std::size_t island_of_node(topo::NodeId node) const {
+    return node_island_[static_cast<std::size_t>(node)];
+  }
+  /// The island owning a cable's repair: the island of its LOWER
+  /// endpoint.  Level-(h-1) cables touch the spine but attribute to the
+  /// island side -- for a remote destination only island rows change in
+  /// either link direction (the top endpoint's descent avoids the
+  /// island), so island scoping stays sound.  Never kSpine: top switches
+  /// have no up links, so every cable's lower endpoint sits below the
+  /// top level.
+  std::size_t island_of_cable(std::uint64_t cable) const;
+  std::size_t shard_of_island(std::size_t island) const {
+    return island * num_shards_ / islands_.size();
+  }
+
+  struct Island {
+    std::size_t shard = 0;
+    std::uint64_t first_host = 0;
+    std::uint64_t host_count = 0;
+    std::uint64_t num_switches = 0;
+    /// The island's nodes in the dependency order
+    /// fabric::rebuild_destination_scoped requires for REMOTE destination
+    /// columns: switches by descending level, then hosts (every in-scope
+    /// candidate link points to a higher level, i.e. earlier in the list
+    /// or out of scope at the spine).
+    std::vector<topo::NodeId> nodes;
+  };
+  const Island& island(std::size_t i) const { return islands_[i]; }
+
+ private:
+  const topo::Topology& topology_;
+  std::vector<Island> islands_;
+  /// Per node: owning island, kSpine for top-level switches.
+  std::vector<std::size_t> node_island_;
+  std::uint64_t hosts_per_island_ = 0;
+  std::size_t spine_switches_ = 0;
+  std::size_t num_shards_ = 1;
+};
+
+/// The partition table `lmpr fm --list-islands` prints: one row per
+/// island (shard id, host range, switch id ranges) plus the spine row.
+std::string render_island_table(const IslandMap& map,
+                                const topo::Topology& topology);
+
+}  // namespace lmpr::shard

@@ -1,0 +1,249 @@
+#include "shard/sharded_manager.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace lmpr::shard {
+
+ShardedFabricManager::ShardedFabricManager(const discovery::RawFabric& fabric,
+                                           const ShardConfig& config)
+    : fm::FabricManager(fabric, config.fm, DeferShadow{}),
+      shard_config_(config) {
+  if (!ok()) return;
+  map_ = std::make_unique<IslandMap>(*topo_, config.shards);
+  init_shard_state();
+  if (config.fm.repair_policy == fabric::RepairPolicy::kLoadAware) {
+    // The arbitration twin shards the same way, so its repairs enjoy the
+    // same island scoping (and the same bit-identity guarantee).
+    ShardConfig twin = config;
+    twin.fm = shadow_config(config.fm);
+    adopt_shadow(std::make_unique<ShardedFabricManager>(fabric, twin));
+  }
+}
+
+ShardedFabricManager::ShardedFabricManager(const topo::XgftSpec& spec,
+                                           const ShardConfig& config)
+    : ShardedFabricManager(discovery::export_fabric(topo::Xgft{spec}),
+                           config) {}
+
+void ShardedFabricManager::init_shard_state() {
+  shard_stats_.assign(map_->num_shards(), ShardStats{});
+  slot_scratch_.resize(1);
+  slot_flags_.resize(1);
+  if (map_->single()) return;  // monolithic fallback: no caches needed
+  const std::size_t num_nodes = static_cast<std::size_t>(topo_->num_nodes());
+  const std::size_t hosts = static_cast<std::size_t>(topo_->num_hosts());
+  good_stride_ = num_nodes;
+  // Healthy start: a connected XGFT delivers everywhere, so every cached
+  // deliverability bit begins 1 and every segment begins nominal.
+  good_cache_.assign(hosts * num_nodes, 1);
+  seg_deviates_.assign(hosts * segments(), 0);
+  seg_disc_.assign(hosts * segments(), 0);
+}
+
+std::size_t ShardedFabricManager::owning_segment(
+    const fm::Event& event) const {
+  switch (event.type) {
+    case fm::EventType::kCableDown:
+    case fm::EventType::kCableUp: {
+      const topo::NodeId u = canonical_[event.a];
+      const topo::NodeId v = canonical_[event.b];
+      return map_->island_of_cable(cable_between(u, v));
+    }
+    case fm::EventType::kSwitchDown:
+    case fm::EventType::kSwitchUp:
+      return map_->island_of_node(canonical_[event.a]);
+    default:
+      LMPR_ASSERT(false);  // queries never reach repair
+      return IslandMap::kSpine;
+  }
+}
+
+void ShardedFabricManager::repair(const std::vector<std::uint64_t>& affected,
+                                  fm::EventRecord& record) {
+  if (map_->single()) {
+    fm::FabricManager::repair(affected, record);
+    if (affected.empty()) return;
+    ShardStats& ss = shard_stats_[0];
+    ++ss.events;
+    ss.churn += record.churn;
+    ss.columns_full += record.destinations_repaired;
+    if (record.churn > 0) ++ss.generation;
+    ss.disconnected_pairs = summary_.disconnected_pairs;
+    return;
+  }
+  // Classification counter: every topology event the spine owns counts,
+  // including no-ops where the dead element carried no route (the event
+  // still serialized against the shards).
+  const std::size_t event_segment = owning_segment(record.event);
+  if (event_segment == IslandMap::kSpine) ++spine_events_;
+  if (affected.empty()) return;
+
+  const std::uint64_t hosts = topo_->num_hosts();
+  const bool full =
+      static_cast<double>(affected.size()) >=
+      config_.full_rebuild_threshold * static_cast<double>(hosts);
+  record.full_rebuild = full;
+
+  // The worklist, ascending by destination (as the base repair visits
+  // it); a threshold escalation repairs every column but REMOTE columns
+  // still repair island-scoped -- the event's changes remain confined to
+  // its island, whatever the affected-set size.
+  std::vector<std::uint64_t> all;
+  const std::vector<std::uint64_t>* work = &affected;
+  if (full) {
+    all.resize(static_cast<std::size_t>(hosts));
+    std::iota(all.begin(), all.end(), 0);
+    work = &all;
+  }
+  record.destinations_repaired = work->size();
+
+  // Contiguous per-shard ranges: islands (and so shards) are ascending in
+  // the destination id, so each shard owns at most one range.
+  struct Range {
+    std::size_t shard = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<Range> ranges;
+  for (std::size_t i = 0; i < work->size();) {
+    const std::size_t shard =
+        map_->shard_of_island(map_->island_of_host((*work)[i]));
+    std::size_t j = i + 1;
+    while (j < work->size() &&
+           map_->shard_of_island(map_->island_of_host((*work)[j])) == shard) {
+      ++j;
+    }
+    ranges.push_back({shard, i, j});
+    i = j;
+  }
+
+  util::ThreadPool* pool = shard_config_.pool;
+  const std::size_t slots =
+      (pool != nullptr ? pool->worker_count() : 0) + 1;
+  if (slot_scratch_.size() < slots) {
+    slot_scratch_.resize(slots);
+    slot_flags_.resize(slots);
+  }
+
+  struct TaskResult {
+    std::uint64_t churn = 0;
+    std::int64_t disc_delta = 0;
+    std::uint64_t cols_full = 0;
+    std::uint64_t cols_scoped = 0;
+  };
+  std::vector<TaskResult> results(ranges.size());
+  const std::size_t num_segments = segments();
+  const std::size_t num_nodes = static_cast<std::size_t>(topo_->num_nodes());
+
+  // One shard's columns.  Everything touched is destination-indexed
+  // (table LID slices, use-count columns, caches, degraded flags), so
+  // concurrent ranges write disjoint state and the merged result is
+  // schedule-independent.
+  const auto run_range = [&](std::size_t r) {
+    const Range& range = ranges[r];
+    TaskResult& out = results[r];
+    const std::size_t slot = util::ThreadPool::worker_slot();
+    fabric::RebuildScratch& scratch = slot_scratch_[slot];
+    std::vector<std::uint8_t>& flags = slot_flags_[slot];
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const std::uint64_t dst = (*work)[i];
+      const std::size_t dst_island = map_->island_of_host(dst);
+      std::uint8_t* dev = seg_deviates(dst);
+      std::uint32_t* disc = seg_disc(dst);
+      std::uint64_t new_total = 0;
+      std::uint64_t written = 0;
+      if (event_segment == IslandMap::kSpine || dst_island == event_segment) {
+        // Local column (or spine event): full rebuild, then refresh the
+        // deliverability cache and the per-segment state wholesale.
+        adjust_use(dst, -1);
+        const auto stats = fabric::rebuild_destination(
+            *lft_, *degradation_, dst, tables_, scratch,
+            config_.repair_policy, &flags);
+        adjust_use(dst, +1);
+        std::copy(scratch.good.begin(), scratch.good.end(), good_cache(dst));
+        std::fill(dev, dev + num_segments, 0);
+        std::fill(disc, disc + num_segments, 0);
+        for (std::size_t n = 0; n < num_nodes; ++n) {
+          if (flags[n] == 0) continue;
+          std::size_t seg =
+              map_->island_of_node(static_cast<topo::NodeId>(n));
+          if (seg == IslandMap::kSpine) seg = num_segments - 1;
+          if ((flags[n] & fabric::kNodeDeviates) != 0) dev[seg] = 1;
+          if ((flags[n] & fabric::kNodeDisconnected) != 0) ++disc[seg];
+        }
+        new_total = stats.disconnected_sources;
+        written = stats.entries_written;
+        ++out.cols_full;
+      } else {
+        // Remote column: only the event island's rows can have changed.
+        const auto& scope = map_->island(event_segment).nodes;
+        const std::span<std::uint8_t> good{good_cache(dst), num_nodes};
+        adjust_use_scoped(dst, scope, -1);
+        const auto stats = fabric::rebuild_destination_scoped(
+            *lft_, *degradation_, dst, tables_, scope, good, scratch,
+            config_.repair_policy);
+        adjust_use_scoped(dst, scope, +1);
+        const std::uint64_t old_seg = disc[event_segment];
+        dev[event_segment] = stats.nominal ? 0 : 1;
+        disc[event_segment] =
+            static_cast<std::uint32_t>(stats.disconnected_sources);
+        new_total = disconnected_sources_[static_cast<std::size_t>(dst)] -
+                    old_seg + stats.disconnected_sources;
+        written = stats.entries_written;
+        ++out.cols_scoped;
+      }
+      bool any_dev = false;
+      for (std::size_t s = 0; s < num_segments; ++s) {
+        any_dev = any_dev || dev[s] != 0;
+      }
+      degraded_[static_cast<std::size_t>(dst)] = any_dev ? 1 : 0;
+      auto& old_total = disconnected_sources_[static_cast<std::size_t>(dst)];
+      out.disc_delta += static_cast<std::int64_t>(new_total) -
+                        static_cast<std::int64_t>(old_total);
+      old_total = new_total;
+      out.churn += written;
+    }
+  };
+
+  if (pool != nullptr && pool->worker_count() > 0 && ranges.size() > 1) {
+    pool->parallel_for(ranges.size(), run_range);
+  } else {
+    for (std::size_t r = 0; r < ranges.size(); ++r) run_range(r);
+  }
+
+  // Deterministic merge in shard order, whatever the execution schedule.
+  for (std::size_t r = 0; r < ranges.size(); ++r) {
+    const TaskResult& result = results[r];
+    record.churn += static_cast<std::size_t>(result.churn);
+    summary_.disconnected_pairs = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(summary_.disconnected_pairs) +
+        result.disc_delta);
+    ShardStats& ss = shard_stats_[ranges[r].shard];
+    ++ss.events;
+    ss.churn += result.churn;
+    ss.columns_full += result.cols_full;
+    ss.columns_scoped += result.cols_scoped;
+    if (result.churn > 0) ++ss.generation;
+    ss.disconnected_pairs = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(ss.disconnected_pairs) +
+        result.disc_delta);
+  }
+}
+
+ShardStats ShardedFabricManager::aggregate() const {
+  ShardStats total;
+  for (const ShardStats& ss : shard_stats_) {
+    total.events += ss.events;
+    total.generation += ss.generation;
+    total.columns_full += ss.columns_full;
+    total.columns_scoped += ss.columns_scoped;
+    total.churn += ss.churn;
+    total.disconnected_pairs += ss.disconnected_pairs;
+  }
+  return total;
+}
+
+}  // namespace lmpr::shard

@@ -1,0 +1,133 @@
+// ShardedFabricManager: the fm::FabricManager whose repair cost stops
+// scaling with fabric size.  It partitions the XGFT into islands (see
+// island_map.hpp), routes every fault event to its owning island via the
+// coordinate mapper, and repairs each affected destination column at the
+// cheapest sound granularity:
+//
+//   * columns LOCAL to the event's island (and every column of a SPINE
+//     event -- a top-level switch fault, which serializes against all
+//     islands) get the full fabric::rebuild_destination;
+//   * columns REMOTE to the event's island get
+//     fabric::rebuild_destination_scoped over the island's nodes only --
+//     O(island) instead of O(fabric) rows, entry-for-entry identical by
+//     the island-partition theorem (island_map.hpp).
+//
+// Per destination column the manager caches the deliverability vector
+// (refreshed by every full rebuild, patched in place by scoped ones) and
+// per-SEGMENT deviation/disconnect state (one segment per island plus the
+// spine), so the base manager's degraded_ flag and disconnected-pair
+// accounting stay bit-identical to the monolithic manager's.
+//
+// Destination columns are disjoint state -- tables rows' LID slices, use
+// counts, degraded flags, caches are all indexed by destination -- so the
+// per-shard column groups repair concurrently on an optional
+// util::ThreadPool (inline without one, or on single-core hosts; results
+// are schedule-independent either way).  tables(), summaries, walks and
+// the load_aware shadow arbitration are inherited base behavior on the
+// merged state, so `lmpr fm` / `lmpr serve` reports are byte-compatible
+// with the monolithic manager; per-shard churn/columns/generation
+// counters are exposed through shard_stats() and fold into the base
+// FmSummary via the aggregate() cross-check.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fm/fabric_manager.hpp"
+#include "shard/island_map.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpr::shard {
+
+struct ShardConfig {
+  fm::FmConfig fm;
+  /// Repair task groups: 0 = "auto" (one shard per island); otherwise
+  /// clamped to [1, islands].  1 still uses island-scoped column repair
+  /// -- only the concurrency width collapses.
+  std::size_t shards = 0;
+  /// Optional pool for island-parallel dispatch (not owned; may be
+  /// shared).  Null = shard groups run inline on the calling thread.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Per-shard repair metrics, merged into the base FmSummary by
+/// construction (aggregate() is the cross-check the tests pin).
+struct ShardStats {
+  std::uint64_t events = 0;      ///< events whose repair touched this shard
+  std::uint64_t generation = 0;  ///< repairs that changed this shard's state
+  std::uint64_t columns_full = 0;    ///< whole-column rebuilds
+  std::uint64_t columns_scoped = 0;  ///< island-scoped rebuilds
+  std::uint64_t churn = 0;           ///< entries rewritten by this shard
+  /// Current disconnected (s, d) pairs over destinations this shard owns.
+  std::uint64_t disconnected_pairs = 0;
+};
+
+class ShardedFabricManager : public fm::FabricManager {
+ public:
+  ShardedFabricManager(const discovery::RawFabric& fabric,
+                       const ShardConfig& config);
+  ShardedFabricManager(const topo::XgftSpec& spec, const ShardConfig& config);
+
+  const IslandMap& islands() const noexcept { return *map_; }
+  const ShardConfig& shard_config() const noexcept { return shard_config_; }
+  const std::vector<ShardStats>& shard_stats() const noexcept {
+    return shard_stats_;
+  }
+  /// Spine events (top-level switch faults): global full rebuilds that
+  /// serialized against every island.
+  std::uint64_t spine_events() const noexcept { return spine_events_; }
+  /// The thin aggregator: per-shard metrics summed.  Invariants the
+  /// equivalence harness asserts: aggregate().churn ==
+  /// summary().total_churn and aggregate().disconnected_pairs ==
+  /// summary().disconnected_pairs after every event.
+  ShardStats aggregate() const;
+
+ protected:
+  void repair(const std::vector<std::uint64_t>& affected,
+              fm::EventRecord& record) override;
+
+ private:
+  void init_shard_state();
+  /// Segment owning `record.event`'s repair: an island id, or
+  /// IslandMap::kSpine for top-level switch events.
+  std::size_t owning_segment(const fm::Event& event) const;
+
+  std::size_t segments() const noexcept { return map_->num_islands() + 1; }
+  std::uint8_t* seg_deviates(std::uint64_t dst) {
+    return seg_deviates_.data() + static_cast<std::size_t>(dst) * segments();
+  }
+  std::uint32_t* seg_disc(std::uint64_t dst) {
+    return seg_disc_.data() + static_cast<std::size_t>(dst) * segments();
+  }
+  std::uint8_t* good_cache(std::uint64_t dst) {
+    return good_cache_.data() +
+           static_cast<std::size_t>(dst) * good_stride_;
+  }
+
+  ShardConfig shard_config_;
+  std::unique_ptr<IslandMap> map_;
+  /// Per destination column, flattened [dst * num_nodes + node]: the
+  /// cached phase-1 deliverability vector scoped rebuilds read for
+  /// out-of-scope nodes.  Refreshed whole by full rebuilds, in scope by
+  /// scoped ones; valid because every event that could change a column's
+  /// out-of-island deliverability repairs that column full (island
+  /// events repair their local columns full, spine events repair
+  /// everything full).
+  std::vector<std::uint8_t> good_cache_;
+  std::size_t good_stride_ = 0;
+  /// [dst * segments + segment]: column deviates-from-nominal within the
+  /// segment (islands 0..n-1, spine last).  degraded_[dst] == OR of the
+  /// row -- exactly the monolithic flag, segment by segment.
+  std::vector<std::uint8_t> seg_deviates_;
+  /// [dst * segments + segment]: disconnected sources within the segment.
+  std::vector<std::uint32_t> seg_disc_;
+  /// Per ThreadPool slot (worker_slot()), so concurrent shard tasks never
+  /// share rebuild scratch.
+  std::vector<fabric::RebuildScratch> slot_scratch_;
+  std::vector<std::vector<std::uint8_t>> slot_flags_;
+  std::vector<ShardStats> shard_stats_;
+  std::uint64_t spine_events_ = 0;
+};
+
+}  // namespace lmpr::shard

@@ -7,6 +7,10 @@ namespace lmpr::util {
 namespace {
 // 0 = not a pool worker (the submitting thread); i + 1 = pool worker i.
 thread_local std::size_t t_worker_slot = 0;
+// True while this thread executes batch bodies inside run_share --
+// covering both pool workers AND the submitting thread, which takes a
+// share of its own batch.  Guards against nested submission.
+thread_local bool t_in_batch = false;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -36,6 +40,8 @@ std::size_t ThreadPool::default_workers() {
 }
 
 void ThreadPool::run_share(Batch& batch) {
+  const bool was_in_batch = t_in_batch;
+  t_in_batch = true;
   for (;;) {
     const std::size_t index =
         batch.next.fetch_add(1, std::memory_order_relaxed);
@@ -55,6 +61,7 @@ void ThreadPool::run_share(Batch& batch) {
       finished_.notify_all();
     }
   }
+  t_in_batch = was_in_batch;
 }
 
 void ThreadPool::worker_loop() {
@@ -84,7 +91,14 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
-  if (threads_.empty()) {
+  // Nested submission guard: a body already running inside a batch (on a
+  // pool worker OR on the submitting thread's own share, of this pool or
+  // any other's) that submits again would deadlock -- the inner call
+  // would wait on workers that are themselves waiting for the outer batch
+  // to retire (and tripping the current_ precondition below at best).
+  // Inner parallelism is already covered by the outer batch's workers, so
+  // the nested call simply runs inline on the submitting thread.
+  if (threads_.empty() || t_in_batch) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }

@@ -37,6 +37,10 @@ class ThreadPool {
   /// Runs body(i) for every i in [0, count).  Indices are claimed from a
   /// shared atomic counter (dynamic schedule); the call returns when all
   /// completed.  The first exception thrown by any body is rethrown here.
+  /// NESTED submission -- a body calling parallel_for from a pool worker
+  /// -- runs the inner loop inline on that worker instead of deadlocking
+  /// on pool-internal waits (the outer batch already owns the workers);
+  /// results are unchanged because execution is index-deterministic.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
@@ -47,8 +51,8 @@ class ThreadPool {
   /// submitting (or any non-pool) thread, i + 1 on pool worker i.  Lets
   /// call sites keep per-thread scratch state (e.g. one evaluator per
   /// slot, indexed by worker_slot()) without locking, sized
-  /// worker_count() + 1.  Valid whenever parallel_for is entered from a
-  /// non-worker thread, which the no-nested-submit contract guarantees.
+  /// worker_count() + 1.  A nested parallel_for (which runs inline) sees
+  /// the enclosing worker's slot, so per-slot scratch stays exclusive.
   static std::size_t worker_slot() noexcept;
 
  private:

@@ -31,7 +31,7 @@ TEST(ScenarioRegistry, ContainsEveryMigratedScenario) {
         "ablation_lft_realizability", "ablation_virtual_channels",
         "adaptive_vs_oblivious", "collectives_workloads",
         "fm_churn_disjoint_vs_shift", "fm_rebalance_vs_first",
-        "fm_repair_scaling", "generic_vs_xgft", "kernel_grid",
+        "fm_repair_scaling", "fm_shard_scaling", "generic_vs_xgft", "kernel_grid",
         "oversubscribed_tree",
         "patterns_structured",
         "perf_baseline",
@@ -46,7 +46,7 @@ TEST(ScenarioRegistry, ContainsEveryMigratedScenario) {
     EXPECT_FALSE(scenario->full_params.empty()) << name;
     EXPECT_TRUE(scenario->run != nullptr) << name;
   }
-  EXPECT_EQ(registry.all().size(), 31u);
+  EXPECT_EQ(registry.all().size(), 32u);
 }
 
 TEST(ScenarioRegistry, FindIsExactMatchOnly) {

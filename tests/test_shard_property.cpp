@@ -1,0 +1,331 @@
+// Seeded randomized equivalence harness for the sharded fabric manager.
+// Fifty random XGFT shapes x random event scripts -- cable kills/heals at
+// every level (including the level-(h-1) cables that touch the spine),
+// switch kills/heals including TOP-LEVEL (spine) switches, cross-island
+// faults and queries -- each replayed in lockstep through a monolithic
+// fm::FabricManager and a shard::ShardedFabricManager with a random
+// shard count.  After EVERY event the harness asserts bit-identity of
+// the observable state (per-event records, exposed and per-policy
+// tables, use counts, summary) plus the aggregator invariants
+// (aggregate().churn == summary().total_churn, same for disconnected
+// pairs).  A separate hammer drives island repairs concurrently on a
+// real multi-worker ThreadPool -- the TSan CI step races it -- and the
+// --list-islands partition table is pinned against a golden file.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fm/fabric_manager.hpp"
+#include "shard/island_map.hpp"
+#include "shard/sharded_manager.hpp"
+#include "topology/spec.hpp"
+#include "topology/xgft.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpr {
+namespace {
+
+using fabric::LidLayout;
+using fabric::RepairPolicy;
+
+constexpr int kCombos = 50;
+constexpr int kEventsPerCombo = 16;
+constexpr std::uint64_t kSeedBase = 0x5ba4de11c0ffee01ull;
+
+/// Random small XGFT shape: 2 or 3 levels with a real top width, so the
+/// partition has several islands and a non-trivial spine.
+topo::XgftSpec random_spec(util::Rng& rng) {
+  const auto pick = [&rng](std::uint32_t lo, std::uint32_t hi) {
+    return lo + static_cast<std::uint32_t>(rng.below(hi - lo + 1));
+  };
+  if (rng.below(2) == 0) {
+    return topo::XgftSpec{{pick(2, 4), pick(2, 4)}, {pick(1, 3), pick(2, 3)}};
+  }
+  return topo::XgftSpec{{pick(2, 3), pick(2, 3), pick(2, 3)},
+                        {pick(1, 2), pick(2, 3), pick(2, 3)}};
+}
+
+std::vector<std::uint32_t> raw_of(const fm::FabricManager& fm) {
+  const auto& canonical = fm.canonical();
+  std::vector<std::uint32_t> inverse(canonical.size(), 0);
+  for (std::uint32_t raw = 0; raw < canonical.size(); ++raw) {
+    inverse[static_cast<std::size_t>(canonical[raw])] = raw;
+  }
+  return inverse;
+}
+
+fm::Event cable_event(const fm::FabricManager& fm,
+                      const std::vector<std::uint32_t>& inverse,
+                      std::uint64_t cable, bool down) {
+  const topo::Link& link = fm.xgft().link(static_cast<topo::LinkId>(cable));
+  return {down ? fm::EventType::kCableDown : fm::EventType::kCableUp,
+          inverse[static_cast<std::size_t>(link.src)],
+          inverse[static_cast<std::size_t>(link.dst)]};
+}
+
+/// Draws the next event against the current degradation state; returns
+/// false when the drawn branch has no applicable target this step.  The
+/// switch-kill branch picks a TOP-LEVEL switch half the time so every
+/// combo exercises spine events against the sharded repair path.
+bool next_event(const fm::FabricManager& fm,
+                const std::vector<std::uint32_t>& inverse, util::Rng& rng,
+                fm::Event& event) {
+  const topo::Xgft& xgft = fm.xgft();
+  const fabric::Degradation& deg = fm.degradation();
+  const double roll = rng.uniform01();
+  if (roll < 0.38) {  // kill a random live cable (any level)
+    const std::uint64_t cable = rng.below(xgft.num_cables());
+    if (!deg.cable_ok(cable)) return false;
+    event = cable_event(fm, inverse, cable, /*down=*/true);
+  } else if (roll < 0.58) {  // heal a random dead cable
+    std::vector<std::uint64_t> dead;
+    for (std::uint64_t c = 0; c < xgft.num_cables(); ++c) {
+      if (!deg.cable_ok(c)) dead.push_back(c);
+    }
+    if (dead.empty()) return false;
+    event = cable_event(
+        fm, inverse, dead[static_cast<std::size_t>(rng.below(dead.size()))],
+        /*down=*/false);
+  } else if (roll < 0.72) {  // kill a live switch (at most 2 dead)
+    std::size_t dead_switches = 0;
+    std::vector<topo::NodeId> live;
+    const bool want_spine = rng.below(2) == 0;
+    for (topo::NodeId n = 0; n < xgft.num_nodes(); ++n) {
+      if (xgft.is_host(n)) continue;
+      if (!deg.node_ok(n)) {
+        ++dead_switches;
+        continue;
+      }
+      if (!want_spine || xgft.level_of(n) == xgft.height()) live.push_back(n);
+    }
+    if (dead_switches >= 2 || live.empty()) return false;
+    event = {fm::EventType::kSwitchDown,
+             inverse[live[static_cast<std::size_t>(rng.below(live.size()))]],
+             0};
+  } else if (roll < 0.85) {  // heal a random dead switch
+    std::vector<topo::NodeId> dead;
+    for (topo::NodeId n = 0; n < xgft.num_nodes(); ++n) {
+      if (!xgft.is_host(n) && !deg.node_ok(n)) dead.push_back(n);
+    }
+    if (dead.empty()) return false;
+    event = {fm::EventType::kSwitchUp,
+             inverse[dead[static_cast<std::size_t>(rng.below(dead.size()))]],
+             0};
+  } else {  // query: state-preserving, exercises the mixed stream
+    event = {fm::EventType::kQuery,
+             inverse[xgft.host(rng.below(xgft.num_hosts()))],
+             inverse[xgft.host(rng.below(xgft.num_hosts()))]};
+  }
+  return true;
+}
+
+void check_records_equal(const fm::EventRecord& mono,
+                         const fm::EventRecord& shard,
+                         const std::string& where) {
+  ASSERT_EQ(mono.ok, shard.ok) << where;
+  ASSERT_EQ(mono.churn, shard.churn) << where;
+  ASSERT_EQ(mono.destinations_repaired, shard.destinations_repaired) << where;
+  ASSERT_EQ(mono.full_rebuild, shard.full_rebuild) << where;
+  ASSERT_EQ(mono.disconnected_pairs, shard.disconnected_pairs) << where;
+  ASSERT_EQ(mono.connected, shard.connected) << where;
+  ASSERT_EQ(mono.usable_variants, shard.usable_variants) << where;
+  ASSERT_EQ(mono.distinct_paths, shard.distinct_paths) << where;
+  ASSERT_EQ(mono.primary_hops, shard.primary_hops) << where;
+}
+
+/// Full observable-state comparison plus the aggregator invariants.
+void check_state_equal(const fm::FabricManager& mono,
+                       const shard::ShardedFabricManager& sharded,
+                       const std::string& where) {
+  ASSERT_EQ(mono.tables(), sharded.tables()) << where;
+  ASSERT_EQ(mono.policy_tables(), sharded.policy_tables()) << where;
+  ASSERT_EQ(mono.use_counts(), sharded.use_counts()) << where;
+  ASSERT_EQ(mono.shadow_tables() == nullptr,
+            sharded.shadow_tables() == nullptr) << where;
+  if (mono.shadow_tables() != nullptr) {
+    ASSERT_EQ(*mono.shadow_tables(), *sharded.shadow_tables()) << where;
+  }
+  const fm::FmSummary& ms = mono.summary();
+  const fm::FmSummary& ss = sharded.summary();
+  ASSERT_EQ(ms.total_churn, ss.total_churn) << where;
+  ASSERT_EQ(ms.full_rebuilds, ss.full_rebuilds) << where;
+  ASSERT_EQ(ms.destinations_repaired, ss.destinations_repaired) << where;
+  ASSERT_EQ(ms.disconnected_pairs, ss.disconnected_pairs) << where;
+  ASSERT_EQ(ms.max_disconnected_window, ss.max_disconnected_window) << where;
+
+  // The thin aggregator: per-shard metrics must re-derive the merged
+  // control plane's totals exactly.
+  const shard::ShardStats total = sharded.aggregate();
+  ASSERT_EQ(total.churn, ss.total_churn) << where;
+  ASSERT_EQ(total.disconnected_pairs, ss.disconnected_pairs) << where;
+  ASSERT_EQ(total.columns_full + total.columns_scoped,
+            static_cast<std::uint64_t>(ss.destinations_repaired)) << where;
+}
+
+TEST(ShardProperty, FiftySeedEquivalenceWithMonolithic) {
+  for (int combo = 0; combo < kCombos; ++combo) {
+    util::Rng rng{kSeedBase + static_cast<std::uint64_t>(combo)};
+    const topo::XgftSpec spec = random_spec(rng);
+
+    fm::FmConfig config;
+    config.k_paths = 1ull << rng.below(3);  // 1, 2 or 4
+    config.layout = rng.below(2) == 0 ? LidLayout::kDisjointLayout
+                                      : LidLayout::kShiftLayout;
+    config.repair_policy = rng.below(2) == 0 ? RepairPolicy::kFirstSurviving
+                                             : RepairPolicy::kLoadAware;
+    config.track_link_load = false;
+    config.zero_timings = true;
+
+    fm::FabricManager mono{spec, config};
+    ASSERT_TRUE(mono.ok()) << mono.error();
+
+    shard::ShardConfig shard_config;
+    shard_config.fm = config;
+    // 0 = auto (per island), 1 = one group (scoping still active), or a
+    // partial grouping.
+    shard_config.shards = rng.below(3);
+    shard::ShardedFabricManager sharded{spec, shard_config};
+    ASSERT_TRUE(sharded.ok()) << sharded.error();
+
+    const auto inverse = raw_of(mono);
+    std::uint64_t spine_before = 0;
+    for (int step = 0; step < kEventsPerCombo; ++step) {
+      fm::Event event;
+      if (!next_event(mono, inverse, rng, event)) continue;
+      const std::string where =
+          "combo " + std::to_string(combo) + " (" + spec.to_string() +
+          " K=" + std::to_string(config.k_paths) + " shards=" +
+          std::to_string(sharded.islands().num_shards()) + ") step " +
+          std::to_string(step) + " " + std::string(to_string(event.type));
+
+      const fm::EventRecord mono_record = mono.apply(event);
+      const fm::EventRecord shard_record = sharded.apply(event);
+      check_records_equal(mono_record, shard_record, where);
+      if (HasFatalFailure()) return;
+      check_state_equal(mono, sharded, where);
+      if (HasFatalFailure()) return;
+
+      // Spine accounting only moves on top-level switch events.
+      if (!sharded.islands().single() &&
+          (event.type == fm::EventType::kSwitchDown ||
+           event.type == fm::EventType::kSwitchUp)) {
+        const topo::NodeId node =
+            mono.canonical()[static_cast<std::size_t>(event.a)];
+        const bool spine =
+            mono.xgft().level_of(node) == mono.xgft().height();
+        ASSERT_EQ(sharded.spine_events(), spine_before + (spine ? 1 : 0))
+            << where;
+      }
+      spine_before = sharded.spine_events();
+    }
+  }
+}
+
+/// The TSan hammer: island repairs dispatched concurrently on a real
+/// multi-worker pool, against a monolithic reference in lockstep.  Any
+/// cross-column write sharing (tables, use counts, caches, flags) is a
+/// race the sanitizer flags and a divergence this harness catches.
+TEST(ShardProperty, ConcurrentIslandRepairsMatchMonolithic) {
+  const topo::XgftSpec spec{{4, 4, 4}, {1, 2, 2}};
+  util::ThreadPool pool(4);
+  for (const RepairPolicy policy :
+       {RepairPolicy::kFirstSurviving, RepairPolicy::kLoadAware}) {
+    fm::FmConfig config;
+    config.repair_policy = policy;
+    config.track_link_load = false;
+    config.zero_timings = true;
+
+    fm::FabricManager mono{spec, config};
+    ASSERT_TRUE(mono.ok()) << mono.error();
+    shard::ShardConfig shard_config;
+    shard_config.fm = config;
+    shard_config.pool = &pool;
+    shard::ShardedFabricManager sharded{spec, shard_config};
+    ASSERT_TRUE(sharded.ok()) << sharded.error();
+    ASSERT_GT(sharded.islands().num_shards(), 1u);
+
+    const auto inverse = raw_of(mono);
+    const std::uint64_t salt =
+        policy == RepairPolicy::kFirstSurviving ? 0 : 1;
+    util::Rng rng{std::uint64_t{0x7e577e57} + salt};
+    for (int step = 0; step < 60; ++step) {
+      fm::Event event;
+      if (!next_event(mono, inverse, rng, event)) continue;
+      const std::string where = "policy " +
+                                std::string(to_string(policy)) + " step " +
+                                std::to_string(step);
+      const fm::EventRecord mono_record = mono.apply(event);
+      const fm::EventRecord shard_record = sharded.apply(event);
+      check_records_equal(mono_record, shard_record, where);
+      if (HasFatalFailure()) return;
+    }
+    check_state_equal(mono, sharded, "final state, policy " +
+                                         std::string(to_string(policy)));
+  }
+}
+
+/// Degenerate partitions fall back to the monolithic repair loop but
+/// must stay observably identical too.
+TEST(ShardProperty, SingleIslandFallbackMatchesMonolithic) {
+  // m_h == 1: one island, no spine -- IslandMap::single() is true.
+  const topo::XgftSpec spec{{4, 1}, {2, 2}};
+  fm::FmConfig config;
+  config.track_link_load = false;
+  config.zero_timings = true;
+  fm::FabricManager mono{spec, config};
+  ASSERT_TRUE(mono.ok()) << mono.error();
+  shard::ShardConfig shard_config;
+  shard_config.fm = config;
+  shard::ShardedFabricManager sharded{spec, shard_config};
+  ASSERT_TRUE(sharded.ok()) << sharded.error();
+  ASSERT_TRUE(sharded.islands().single());
+
+  const auto inverse = raw_of(mono);
+  util::Rng rng{42};
+  for (int step = 0; step < 20; ++step) {
+    fm::Event event;
+    if (!next_event(mono, inverse, rng, event)) continue;
+    const std::string where = "single-island step " + std::to_string(step);
+    const fm::EventRecord mono_record = mono.apply(event);
+    const fm::EventRecord shard_record = sharded.apply(event);
+    check_records_equal(mono_record, shard_record, where);
+    if (HasFatalFailure()) return;
+    check_state_equal(mono, sharded, where);
+    if (HasFatalFailure()) return;
+  }
+  const shard::ShardStats total = sharded.aggregate();
+  ASSERT_EQ(total.churn, sharded.summary().total_churn);
+}
+
+/// Pins the `lmpr fm --list-islands` partition table byte-for-byte: the
+/// CLI prints exactly render_island_table(), so this golden covers the
+/// driver output for the default fm topology and a height-3 shape with
+/// a partial (2-shard) grouping.
+TEST(ShardProperty, ListIslandsGolden) {
+  std::ostringstream got;
+  {
+    const topo::Xgft xgft{topo::XgftSpec{{4, 4}, {2, 2}}};
+    const shard::IslandMap map(xgft, 0);
+    got << render_island_table(map, xgft);
+  }
+  {
+    const topo::Xgft xgft{topo::XgftSpec{{4, 4, 4}, {1, 2, 2}}};
+    const shard::IslandMap map(xgft, 2);
+    got << render_island_table(map, xgft);
+  }
+  const std::string golden_path =
+      std::string(LMPR_GOLDEN_DIR) + "/list_islands.txt";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  ASSERT_EQ(got.str(), want.str())
+      << "--list-islands output drifted from " << golden_path;
+}
+
+}  // namespace
+}  // namespace lmpr

@@ -112,6 +112,30 @@ TEST(ThreadPool, WorstCaseSearchIdenticalWithAndWithoutPool) {
 }
 
 
+TEST(ThreadPool, NestedSubmissionFromWorkerRunsInline) {
+  // Regression test: parallel_for from inside a worker used to trip the
+  // single-batch precondition (or deadlock a 1-worker pool waiting for
+  // itself).  Nested submissions now run inline on the calling worker.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::atomic<int> outer_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    outer_total.fetch_add(1, std::memory_order_relaxed);
+    pool.parallel_for(16, [&](std::size_t) {
+      // Two levels down is inline again: still inside the outer batch.
+      pool.parallel_for(2, [&](std::size_t) {
+        inner_total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  });
+  EXPECT_EQ(outer_total.load(), 8);
+  EXPECT_EQ(inner_total.load(), 8 * 16 * 2);
+  // The pool is intact for the next top-level batch.
+  std::atomic<int> after{0};
+  pool.parallel_for(10, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
 TEST(ThreadPool, WorkerSlotIsZeroOnCallerAndBoundedOnWorkers) {
   ThreadPool pool(3);
   EXPECT_EQ(ThreadPool::worker_slot(), 0u);  // the submitting thread
