@@ -17,6 +17,11 @@ by `lmpr run perf_baseline`) and fails -- exit status 1 -- on any of:
     --min-shard-speedup (default 4.0) on the island-local storm at the
     paper's Ranger shape, and fm_shard.identical must be true (a
     speedup bought by computing something else is a bug, not a result);
+  * the adaptive-selector bar: adaptive_selector.overhead (active-set
+    wall-clock, adaptive_credit over oblivious, at matched load) must
+    stay at or below --max-adaptive-overhead (default 1.10), and
+    adaptive_selector.switches must be positive (an overhead measured
+    while the selector never switched variants is meaningless);
   * a tracked benchmark section MISSING from the document.  A refactor
     that silently drops a benchmark would otherwise pass the speedup
     check vacuously; the key guard turns "we stopped measuring it" into
@@ -30,6 +35,7 @@ Stdlib only, so CI can run it with a bare python3.
 
 Usage: check_perf_baseline.py [--min-speedup X] [--min-event-speedup X]
                               [--min-shard-speedup X]
+                              [--max-adaptive-overhead X]
                               [--expect-key PATH]... [BENCH_perf.json]
 """
 
@@ -51,6 +57,9 @@ DEFAULT_EXPECTED_KEYS = [
     "fm_shard.speedup",
     "fm_shard.sharded_events_per_sec",
     "fm_shard.identical",
+    "adaptive_selector.overhead",
+    "adaptive_selector.decisions",
+    "adaptive_selector.switches",
     "lft_build.build_seconds",
 ]
 
@@ -132,6 +141,11 @@ def main(argv):
              "the monolithic manager on the island-local storm "
              "(default %(default)s)")
     parser.add_argument(
+        "--max-adaptive-overhead", type=float, default=1.10,
+        help="ceiling for adaptive_selector.overhead, the adaptive-"
+             "selector hot-path cost over oblivious at matched load "
+             "(default %(default)s)")
+    parser.add_argument(
         "--expect-key", action="append", default=[], metavar="PATH",
         help="additional dotted path that must be present "
              f"(always checked: {', '.join(DEFAULT_EXPECTED_KEYS)})")
@@ -200,6 +214,23 @@ def main(argv):
     found, identical = lookup(document, "fm_shard.identical")
     if found:
         checks.add("fm_shard.identical", identical, "true", identical is True)
+
+    # Adaptive-selector bar: overhead is a COST ratio (adaptive over
+    # oblivious seconds), deliberately not named `speedup` so the generic
+    # >= 1.0 walk never sees it; the ceiling is the tentpole's <= 10%
+    # hot-path budget.  The switch count must be positive or the timed
+    # adaptive run never actually exercised the selector.
+    found, overhead = lookup(document, "adaptive_selector.overhead")
+    if found:
+        numeric = isinstance(overhead, (int, float))
+        checks.add("adaptive_selector.overhead ceiling", overhead,
+                   f"<= {args.max_adaptive_overhead}",
+                   numeric and overhead <= args.max_adaptive_overhead)
+    found, switches = lookup(document, "adaptive_selector.switches")
+    if found:
+        numeric = isinstance(switches, (int, float))
+        checks.add("adaptive_selector.switches", switches, ">= 1",
+                   numeric and switches >= 1)
 
     if checks.failed:
         print(file=sys.stderr)

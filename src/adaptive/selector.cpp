@@ -1,0 +1,25 @@
+#include "adaptive/selector.hpp"
+
+namespace lmpr::adaptive {
+
+std::string_view to_string(SelectPolicy policy) noexcept {
+  switch (policy) {
+    case SelectPolicy::kOblivious:
+      return "oblivious";
+    case SelectPolicy::kAdaptiveCredit:
+      return "adaptive_credit";
+    case SelectPolicy::kAdaptiveOccupancy:
+      return "adaptive_occupancy";
+  }
+  return "?";
+}
+
+std::optional<SelectPolicy> select_policy_from_string(
+    std::string_view name) noexcept {
+  if (name == "oblivious") return SelectPolicy::kOblivious;
+  if (name == "adaptive_credit") return SelectPolicy::kAdaptiveCredit;
+  if (name == "adaptive_occupancy") return SelectPolicy::kAdaptiveOccupancy;
+  return std::nullopt;
+}
+
+}  // namespace lmpr::adaptive

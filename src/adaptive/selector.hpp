@@ -1,0 +1,190 @@
+// Adaptive multi-path variant selection: credit-aware choice among the K
+// installed LFT variants of a destination.
+//
+// The paper's limited multi-path routing is traffic-oblivious -- the
+// source spreads packets over the K variant LIDs and every switch then
+// forwards by DLID alone.  This subsystem adds the other side of the
+// design space (Rocher-Gonzalez et al.; FatPaths): at injection and at
+// each UPWARD hop, the switch may rewrite the packet's DLID to a sibling
+// variant of the same destination when that variant's output port looks
+// healthier by live credit/occupancy state.
+//
+// Contract (DESIGN.md §16 spells out the full argument):
+//
+//  * Decision points are exactly (a) head-of-queue injection at a source
+//    NIC and (b) a packet's ARRIVAL at a switch input buffer -- once per
+//    hop, sampling the port state live at the arrival cycle, never again
+//    while the packet waits (so the active-set kernel's enqueue-time
+//    route snapshots stay valid), and only at nodes whose tables map some
+//    destination's variants to >= 2 DISTINCT output links (a host NIC's
+//    single uplink, or a switch whose variants collapsed, can never
+//    switch a packet -- skipping those wholesale is what keeps the hot
+//    path within the tracked <= 10% overhead budget).  Both events are
+//    raised by machinery shared verbatim by all three flit kernels, and
+//    the event kernel's fast-forward only fires on a whole-network
+//    quiescent cycle (nothing buffered or in flight anywhere), so no
+//    decision point is ever skipped and the selector preserves kernel
+//    bit-identity.
+//  * The selector only engages when the packet's CURRENT table entry is
+//    usable and points up.  All candidate variants considered must be
+//    usable and up as well; otherwise the incumbent entry is returned
+//    untouched, so the fault path (salvage / drop accounting) stays
+//    entry-for-entry identical to an oblivious run.
+//  * Rewriting the DLID mid-route is loop-free: on an XGFT all ancestors
+//    of a node at a level cover the same subtree, so every variant's
+//    entry at a node below the apex points up and the descent (at and
+//    above the apex) is variant-independent.  Up hops strictly increase
+//    the level, levels are bounded, and the forced descent delivers.
+//
+// The selector itself is deliberately simulator-agnostic: the flit
+// network supplies candidates (per-variant output link + port state)
+// through a callable, and the selector owns only the scoring, the
+// rotating deterministic tie-break and the decision/switch counters that
+// the equivalence harnesses assert are kernel-independent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace lmpr::adaptive {
+
+/// How a packet's path variant is (re)chosen at each decision point.
+/// `kOblivious` is the paper's behavior: the variant picked at the source
+/// (SimConfig::path_selection) is final.  The adaptive policies re-score
+/// all K variants against live output-port state:
+///
+///   kAdaptiveCredit     downstream credits first (mirrors the all-ports
+///                       RoutingMode::kAdaptive score so the two baselines
+///                       are comparable): 1 + credits*4 + free_slots*2 + idle
+///   kAdaptiveOccupancy  local output occupancy first:
+///                       1 + free_slots*4 + credits*2 + idle
+enum class SelectPolicy : std::uint8_t {
+  kOblivious,
+  kAdaptiveCredit,
+  kAdaptiveOccupancy,
+};
+
+/// "oblivious" / "adaptive_credit" / "adaptive_occupancy" -- the spelling
+/// `lmpr replay --select` accepts.
+std::string_view to_string(SelectPolicy policy) noexcept;
+std::optional<SelectPolicy> select_policy_from_string(
+    std::string_view name) noexcept;
+
+/// Live state of one candidate output port at the decision cycle.
+struct PortState {
+  std::uint32_t credits = 0;     ///< free buffer slots at the far endpoint
+  std::uint32_t free_slots = 0;  ///< free slots in the local output buffer
+  bool idle = false;             ///< serializer not busy this cycle
+};
+
+/// The per-policy port score.  Strictly positive for any valid port so a
+/// zero can never tie with a real candidate.
+inline std::uint64_t port_score(SelectPolicy policy,
+                                const PortState& port) noexcept {
+  const std::uint64_t idle = port.idle ? 1 : 0;
+  switch (policy) {
+    case SelectPolicy::kAdaptiveCredit:
+      return 1 + std::uint64_t{port.credits} * 4 +
+             std::uint64_t{port.free_slots} * 2 + idle;
+    case SelectPolicy::kAdaptiveOccupancy:
+      return 1 + std::uint64_t{port.free_slots} * 4 +
+             std::uint64_t{port.credits} * 2 + idle;
+    case SelectPolicy::kOblivious:
+      break;
+  }
+  return 0;
+}
+
+/// Kernel-independent observables: how often the selector evaluated a
+/// decision point and how often it actually moved a packet off its
+/// incumbent variant.  The differential harnesses assert these match
+/// bit-for-bit across the three kernels AND are non-zero on adaptive
+/// configurations (the degeneracy guard).
+struct SelectorStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t switches = 0;
+
+  friend bool operator==(const SelectorStats&,
+                         const SelectorStats&) = default;
+};
+
+/// Picks among `block` variant LIDs of one destination.  The simulator
+/// provides a callable `variant -> Candidate`; the selector never touches
+/// simulator state directly.
+class VariantSelector {
+ public:
+  VariantSelector() = default;
+  /// `perfect_score` is the score of a completely healthy port (full
+  /// credits, empty output buffer, idle serializer) under `policy`, or 0
+  /// to disable the shortcut: an incumbent scoring it cannot be STRICTLY
+  /// beaten, so pick() skips the sibling scan entirely.  Pure hot-path
+  /// optimization -- the chosen variant is identical with or without it.
+  VariantSelector(SelectPolicy policy, std::uint32_t block,
+                  std::uint64_t perfect_score = 0) noexcept
+      : policy_(policy), block_(block), perfect_score_(perfect_score) {}
+
+  /// False when every decision is a no-op (oblivious policy or a single
+  /// installed variant) -- callers skip the candidate scan entirely.
+  bool engaged() const noexcept {
+    return policy_ != SelectPolicy::kOblivious && block_ > 1;
+  }
+
+  SelectPolicy policy() const noexcept { return policy_; }
+  std::uint32_t block() const noexcept { return block_; }
+  const SelectorStats& stats() const noexcept { return stats_; }
+
+  /// One candidate variant: `valid` means its table entry is usable, up
+  /// and therefore a legal rewrite target; `same_link` means it forwards
+  /// through the incumbent's output port (scored once via the incumbent).
+  struct Candidate {
+    PortState port;
+    bool valid = false;
+    bool same_link = false;
+  };
+
+  /// Evaluates all variants and returns the chosen one.  The incumbent is
+  /// seeded as best and only displaced by a STRICTLY better score; among
+  /// equal non-incumbent candidates the rotating start `(i + now) % block`
+  /// breaks the tie deterministically (the same rotation the all-ports
+  /// adaptive baseline uses), so reruns and kernels agree bit-for-bit.
+  template <typename CandidateFn>
+  std::uint32_t pick(std::uint32_t incumbent, CandidateFn&& candidate,
+                     std::uint64_t now) {
+    ++stats_.decisions;
+    const Candidate base = candidate(incumbent);
+    std::uint32_t best = incumbent;
+    std::uint64_t best_score = port_score(policy_, base.port);
+    // A perfect incumbent cannot be strictly displaced: skip the scan.
+    // (The decision still counts -- the counters stay kernel-identical.)
+    if (perfect_score_ != 0 && best_score >= perfect_score_) return incumbent;
+    // One modulo per decision, not per candidate: the rotating start is
+    // computed once and wraps by compare-and-reset (this is the selector's
+    // hot path -- a 64-bit divide per candidate blows the overhead budget).
+    std::uint32_t j = static_cast<std::uint32_t>(now % block_);
+    for (std::uint32_t i = 0; i < block_; ++i) {
+      const std::uint32_t v = j;
+      if (++j == block_) j = 0;
+      if (v == incumbent) continue;
+      const Candidate c = candidate(v);
+      if (!c.valid || c.same_link) continue;
+      const std::uint64_t score = port_score(policy_, c.port);
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    if (best != incumbent) ++stats_.switches;
+    return best;
+  }
+
+  void reset_stats() noexcept { stats_ = SelectorStats{}; }
+
+ private:
+  SelectPolicy policy_ = SelectPolicy::kOblivious;
+  std::uint32_t block_ = 1;
+  std::uint64_t perfect_score_ = 0;  ///< see ctor; 0 disables the shortcut
+  SelectorStats stats_{};
+};
+
+}  // namespace lmpr::adaptive

@@ -53,6 +53,9 @@ int usage(std::ostream& os, int code) {
         "              [--repair-policy first_surviving|load_aware]\n"
         "              [--drop-policy drop|reroute_at_switch]\n"
         "              [--kernel reference|active_set|event]\n"
+        "              [--routing oblivious|adaptive]\n"
+        "              [--select oblivious|adaptive_credit|"
+        "adaptive_occupancy]\n"
         "              [--load X] [--seed N] [--warmup N] [--measure N]\n"
         "              [--drain N] [--window N] [--json PATH]\n"
         "              [--zero-timings]\n"
@@ -90,8 +93,13 @@ int usage(std::ostream& os, int code) {
         "(re-homed onto a surviving path variant).  --kernel picks the\n"
         "simulation engine (reference scan, active_set, or the\n"
         "idle-cycle-skipping event kernel) -- all three produce\n"
-        "bit-identical reports.  Exit status is 0 iff the run recovered\n"
-        "to the pre-fault delay baseline.\n"
+        "bit-identical reports.  --routing adaptive replays against the\n"
+        "all-ports adaptive baseline (deterministic credit tie-break);\n"
+        "--select adaptive_credit|adaptive_occupancy engages the\n"
+        "per-switch variant selector, which re-picks among the K\n"
+        "installed LFT variants from live output state at injection and\n"
+        "every upward hop (DESIGN.md section 16).  Exit status is 0 iff\n"
+        "the run recovered to the pre-fault delay baseline.\n"
         "\n"
         "--topology selects ANY topology family through the factory\n"
         "(XGFT(...) or RRG(switches;degree;hosts_per_switch[;seed]), a\n"
@@ -413,6 +421,8 @@ int cmd_replay(const util::Cli& cli) {
       cli.get_or("repair-policy", "first_surviving");
   const std::string drop_name = cli.get_or("drop-policy", "drop");
   const std::string kernel_name = cli.get_or("kernel", "active_set");
+  const std::string routing_name = cli.get_or("routing", "oblivious");
+  const std::string select_name = cli.get_or("select", "oblivious");
   const std::int64_t k = cli.get_or("k", std::int64_t{4});
   const bool zero_timings = cli.has("zero-timings");
 
@@ -468,6 +478,29 @@ int cmd_replay(const util::Cli& cli) {
   } else {
     std::cerr << "lmpr replay: unknown kernel '" << kernel_name
               << "' (expected reference, active_set or event)\n";
+    return 2;
+  }
+  if (const auto routing = flit::routing_mode_from_string(routing_name)) {
+    options.config.sim.routing_mode = *routing;
+  } else {
+    std::cerr << "lmpr replay: unknown routing mode '" << routing_name
+              << "' (expected oblivious or adaptive)\n";
+    return 2;
+  }
+  if (const auto select = adaptive::select_policy_from_string(select_name)) {
+    options.config.sim.select = *select;
+  } else {
+    std::cerr << "lmpr replay: unknown select policy '" << select_name
+              << "' (expected oblivious, adaptive_credit or"
+                 " adaptive_occupancy)\n";
+    return 2;
+  }
+  if (options.config.sim.select != adaptive::SelectPolicy::kOblivious &&
+      options.config.sim.routing_mode != flit::RoutingMode::kOblivious) {
+    std::cerr << "lmpr replay: --select " << select_name << " and --routing "
+              << routing_name
+              << " are mutually exclusive (the all-ports adaptive baseline"
+                 " already ignores the tables)\n";
     return 2;
   }
   if (!topo_text.empty() && !topology_text.empty()) {

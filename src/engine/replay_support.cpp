@@ -53,6 +53,9 @@ bool run_replay(const ReplayRunOptions& options, const fm::EventScript& script,
                     std::string(to_string(config.fm.repair_policy)));
   report.add_config("drop_policy",
                     std::string(to_string(config.sim.drop_policy)));
+  report.add_config("routing",
+                    std::string(to_string(config.sim.routing_mode)));
+  report.add_config("select", std::string(to_string(config.sim.select)));
   report.add_config("offered_load",
                     util::Table::num(config.sim.offered_load, 2));
   report.add_config("seed", std::to_string(config.sim.seed));
@@ -122,6 +125,10 @@ bool run_replay(const ReplayRunOptions& options, const fm::EventScript& script,
   report.add_metric("recovered", result.recovered ? 1.0 : 0.0);
   report.add_metric("recovery_cycles",
                     static_cast<double>(result.recovery_cycles));
+  report.add_metric("selector_decisions",
+                    static_cast<double>(result.selector.decisions));
+  report.add_metric("selector_switches",
+                    static_cast<double>(result.selector.switches));
   report.add_metric("total_churn",
                     static_cast<double>(result.fm_summary.total_churn));
   report.add_metric("disconnected_pairs",

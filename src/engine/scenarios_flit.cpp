@@ -1,8 +1,11 @@
 // Flit-level scenarios: Table 1, Figure 5, the traffic-split /
-// destination-model / virtual-channel ablations, and the credit-based
-// adaptive-routing reference point.
+// destination-model / virtual-channel ablations, and the adaptive
+// variant-selection study (oblivious vs credit-aware choice among the K
+// installed LFT variants).
 #include "engine/registry.hpp"
 #include "engine/study.hpp"
+#include "fabric/degraded.hpp"
+#include "fabric/lft.hpp"
 
 namespace lmpr::engine {
 
@@ -258,54 +261,154 @@ void run_virtual_channels(const RunContext& ctx, Report& report) {
       std::move(table));
 }
 
+// The headline study for the adaptive variant-selection subsystem
+// (DESIGN.md section 16): on the same disjoint-layout LFTs, compare the
+// oblivious split across the K installed variants against the per-switch
+// selector that re-picks a variant from live output credits/occupancy at
+// injection and every upward hop.  Two traffic patterns where oblivious
+// splitting is known to leave throughput on the table -- the shift-1
+// permutation (the paper's worst case for the shift LID layout) and a
+// hotspot -- and the K=16 table (every top switch, the LFT analogue of
+// UMULTI) as the upper reference.  The all-ports credit-based adaptive
+// router rides along as the unconstrained baseline: the selector may only
+// choose among the K *installed* variants, so the gap between the two is
+// the price of staying LFT-deployable.
 void run_adaptive_vs_oblivious(const RunContext& ctx, Report& report) {
-  const topo::Xgft xgft{topo::XgftSpec::m_port_n_tree(8, 3)};
+  const auto spec = ctx.topo_or(topo::XgftSpec::m_port_n_tree(8, 3));
+  const topo::Xgft xgft{spec};
+  const fabric::Degradation healthy(xgft);
 
-  const auto base = flit_base_config(ctx.full());
+  auto base = flit_base_config(ctx.full());
+  base.seed = ctx.seed();
   const auto loads = flit_load_grid(ctx.full());
-  const auto pairings =
-      shared_pairings(xgft.num_hosts(), ctx.seed(), ctx.full() ? 3 : 2);
 
-  util::Table table({"routing", "max_throughput_%", "low_load_delay_cyc"});
-
-  // Oblivious schemes.
-  struct Scheme {
+  struct Traffic {
     const char* name;
-    route::Heuristic heuristic;
-    std::size_t k;
+    flit::DestinationMode mode;
   };
-  for (const Scheme& scheme :
-       {Scheme{"dmodk (oblivious)", route::Heuristic::kDModK, 1},
-        Scheme{"disjoint(4) (oblivious)", route::Heuristic::kDisjoint, 4},
-        Scheme{"disjoint(8) (oblivious)", route::Heuristic::kDisjoint, 8},
-        Scheme{"umulti(16) (oblivious)", route::Heuristic::kUmulti, 16}}) {
-    const route::RouteTable rt(xgft, scheme.heuristic, scheme.k,
-                               ctx.seed());
-    const auto result =
-        measure_saturation(rt, base, loads, pairings, &ctx.pool());
-    table.add_row({scheme.name,
-                   util::Table::num(100.0 * result.max_throughput, 2),
-                   util::Table::num(result.delay_at_low_load, 1)});
+  const Traffic traffics[] = {
+      {"shift1", flit::DestinationMode::kShift},
+      {"hotspot", flit::DestinationMode::kHotspot},
+  };
+  struct Policy {
+    const char* name;
+    flit::SelectPolicy select;
+  };
+  const Policy policies[] = {
+      {"oblivious", flit::SelectPolicy::kOblivious},
+      {"adaptive_credit", flit::SelectPolicy::kAdaptiveCredit},
+      {"adaptive_occupancy", flit::SelectPolicy::kAdaptiveOccupancy},
+  };
+
+  const auto umulti_k = spec.num_top_switches();
+  std::vector<std::uint64_t> k_values{1, 2, 4};
+  if (k_values.back() < umulti_k) k_values.push_back(umulti_k);
+
+  // shift-1 rescue metrics: does adaptive K=2 recover what oblivious K=2
+  // loses, and how close does it get to the UMULTI-style K=16 reference?
+  double shift1_k2_oblivious = 0.0;
+  double shift1_k2_adaptive = 0.0;
+  double shift1_umulti = 0.0;
+
+  util::Table table({"traffic", "k_paths", "policy", "max_throughput_%",
+                     "low_load_delay_cyc", "reorder_frac@high"});
+  for (const std::uint64_t k : k_values) {
+    const fabric::Lft lft(xgft, k, fabric::LidLayout::kDisjointLayout);
+    const fabric::Tables tables = fabric::build_lft(lft, healthy);
+    const bool umulti_row = k == umulti_k && k > 4;
+    for (const Traffic& traffic : traffics) {
+      flit::SimConfig config = base;
+      config.destination_mode = traffic.mode;
+      for (const Policy& policy : policies) {
+        // K=1 has a single variant: the selector cannot engage, so only
+        // the oblivious row is measured (the others would be identical).
+        if (k == 1 && policy.select != flit::SelectPolicy::kOblivious) {
+          continue;
+        }
+        config.select = policy.select;
+        const auto result =
+            measure_saturation_lft(lft, tables, config, loads, &ctx.pool());
+        const std::string label =
+            umulti_row ? std::string("umulti(") + std::to_string(k) + ")"
+                       : std::to_string(k);
+        table.add_row({traffic.name, label, policy.name,
+                       util::Table::num(100.0 * result.max_throughput, 2),
+                       util::Table::num(result.delay_at_low_load, 1),
+                       util::Table::num(result.reorder_at_high_load)});
+        if (traffic.mode == flit::DestinationMode::kShift && k == 2) {
+          if (policy.select == flit::SelectPolicy::kOblivious) {
+            shift1_k2_oblivious = result.max_throughput;
+          } else if (policy.select == flit::SelectPolicy::kAdaptiveCredit) {
+            shift1_k2_adaptive = result.max_throughput;
+          }
+        }
+        if (traffic.mode == flit::DestinationMode::kShift && umulti_row &&
+            policy.select == flit::SelectPolicy::kOblivious) {
+          shift1_umulti = result.max_throughput;
+        }
+      }
+    }
   }
 
-  // Adaptive routing (route table is a placeholder; routing ignores it).
+  // Unconstrained baseline: the all-ports credit-based adaptive router
+  // (RoutingMode::kAdaptive) on the K=1 tables -- it ignores the variant
+  // block entirely and picks among every usable upward port.
   {
-    const route::RouteTable rt(xgft, route::Heuristic::kDModK, 1,
-                               ctx.seed());
-    flit::SimConfig config = base;
-    config.routing_mode = flit::RoutingMode::kAdaptive;
-    const auto result =
-          measure_saturation(rt, config, loads, pairings, &ctx.pool());
-    table.add_row({"credit-based adaptive",
-                   util::Table::num(100.0 * result.max_throughput, 2),
-                   util::Table::num(result.delay_at_low_load, 1)});
+    const fabric::Lft lft(xgft, 1, fabric::LidLayout::kDisjointLayout);
+    const fabric::Tables tables = fabric::build_lft(lft, healthy);
+    for (const Traffic& traffic : traffics) {
+      flit::SimConfig config = base;
+      config.destination_mode = traffic.mode;
+      config.routing_mode = flit::RoutingMode::kAdaptive;
+      const auto result =
+          measure_saturation_lft(lft, tables, config, loads, &ctx.pool());
+      table.add_row({traffic.name, "all-ports", "adaptive_credit",
+                     util::Table::num(100.0 * result.max_throughput, 2),
+                     util::Table::num(result.delay_at_low_load, 1),
+                     util::Table::num(result.reorder_at_high_load)});
+    }
   }
-  report.add_config("topology", xgft.spec().to_string());
-  report.add_config("pairings", std::to_string(pairings.size()));
-  report.samples = pairings.size();
-  report.add_section("Adaptive vs oblivious routing (fixed pairing), " +
-                         xgft.spec().to_string(),
-                     std::move(table));
+
+  // Selector-engagement probe: one mid-load shift-1 run at K=4 whose
+  // decision/switch counters prove the adaptive rows above actually
+  // exercised non-default variants (the degeneracy guard the equivalence
+  // tests also enforce), and that the counters are kernel-independent.
+  {
+    const fabric::Lft lft(xgft, 4, fabric::LidLayout::kDisjointLayout);
+    const fabric::Tables tables = fabric::build_lft(lft, healthy);
+    flit::SimConfig config = base;
+    config.destination_mode = flit::DestinationMode::kShift;
+    config.select = flit::SelectPolicy::kAdaptiveCredit;
+    config.offered_load = 0.75;
+    flit::Network net(lft, tables, config);
+    net.run();
+    const adaptive::SelectorStats& stats = net.selector_stats();
+    report.add_metric("selector_decisions",
+                      static_cast<double>(stats.decisions));
+    report.add_metric("selector_switches",
+                      static_cast<double>(stats.switches));
+  }
+
+  report.add_config("topology", spec.to_string());
+  report.add_config("layout", "disjoint");
+  report.add_config("loads", std::to_string(loads.size()));
+  report.add_config("hotspot",
+                    std::to_string(base.hotspot_target) + " @ " +
+                        util::Table::num(base.hotspot_fraction, 2));
+  report.add_metric("shift1_k2_oblivious_throughput", shift1_k2_oblivious);
+  report.add_metric("shift1_k2_adaptive_throughput", shift1_k2_adaptive);
+  report.add_metric("shift1_umulti_throughput", shift1_umulti);
+  if (shift1_umulti > shift1_k2_oblivious) {
+    // Fraction of the oblivious-K=2 -> UMULTI gap the selector recovers.
+    report.add_metric("shift1_k2_rescue_fraction",
+                      (shift1_k2_adaptive - shift1_k2_oblivious) /
+                          (shift1_umulti - shift1_k2_oblivious));
+  }
+  report.samples = k_values.size();
+  report.add_section(
+      "Adaptive variant selection vs oblivious split (disjoint LFTs), " +
+          spec.to_string(),
+      std::move(table));
 }
 
 }  // namespace
@@ -370,10 +473,15 @@ void register_flit_scenarios(ScenarioRegistry& registry) {
   adaptive.name = "adaptive_vs_oblivious";
   adaptive.artifact = "extension";
   adaptive.family = Family::kFlit;
-  adaptive.description = "Credit-based adaptive up-routing as the upper "
-                         "reference for oblivious multi-path";
-  adaptive.quick_params = "2 pairings x 5 loads";
-  adaptive.full_params = "3 pairings x 10 loads";
+  adaptive.description =
+      "Adaptive variant selection (credit/occupancy-aware choice among "
+      "the K installed LFT variants) vs the oblivious split, under "
+      "shift-1 and hotspot traffic, with UMULTI-style K=16 and all-ports "
+      "adaptive as references";
+  adaptive.quick_params = "K in {1,2,4,16} x 2 traffics x 5 loads, "
+                          "15k cycles";
+  adaptive.full_params = "K in {1,2,4,16} x 2 traffics x 10 loads, "
+                         "50k cycles";
   adaptive.run = run_adaptive_vs_oblivious;
   registry.add(adaptive);
 }

@@ -176,4 +176,23 @@ inline SaturationResult measure_saturation(
   return result;
 }
 
+/// LFT-routed saturation sweep (adaptive_vs_oblivious and anything else
+/// exercising SimConfig::select, which only exists on a destination-
+/// routed fabric).  The traffic pattern (hotspot / shift / permutation)
+/// comes in through `base.destination_mode`, so there is no pairing loop;
+/// the load points parallelize through the LFT run_load_sweep overload
+/// with the identical per-point seed derivation.
+inline SaturationResult measure_saturation_lft(
+    const fabric::Lft& lft, const fabric::Tables& tables,
+    const flit::SimConfig& base, const std::vector<double>& loads,
+    util::ThreadPool* pool = nullptr) {
+  const flit::SweepResult sweep =
+      flit::run_load_sweep(lft, tables, base, loads, pool);
+  SaturationResult result;
+  result.max_throughput = sweep.max_throughput;
+  result.delay_at_low_load = sweep.points.front().mean_message_delay;
+  result.reorder_at_high_load = sweep.points.back().out_of_order_fraction;
+  return result;
+}
+
 }  // namespace lmpr::engine

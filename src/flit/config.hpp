@@ -21,7 +21,14 @@
 #include <string_view>
 #include <vector>
 
+#include "adaptive/selector.hpp"
+
 namespace lmpr::flit {
+
+/// The adaptive variant-selection policy lives in src/adaptive (the
+/// subsystem owns scoring, tie-break and counters); the flit config just
+/// names it the way it names the other per-run policies.
+using SelectPolicy = adaptive::SelectPolicy;
 
 /// What happens to a packet whose forwarding entry dies under it (LFT
 /// mode only -- the replay engine's fault model; see DESIGN §11).
@@ -113,6 +120,23 @@ enum class RoutingMode {
   kAdaptive,
 };
 
+inline std::string_view to_string(RoutingMode mode) noexcept {
+  switch (mode) {
+    case RoutingMode::kOblivious: return "oblivious";
+    case RoutingMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+/// "oblivious" / "adaptive" -- the spelling `lmpr replay --routing`
+/// accepts.
+inline std::optional<RoutingMode> routing_mode_from_string(
+    std::string_view name) noexcept {
+  if (name == "oblivious") return RoutingMode::kOblivious;
+  if (name == "adaptive") return RoutingMode::kAdaptive;
+  return std::nullopt;
+}
+
 /// How each message's destination is chosen.
 ///
 /// The paper's flit experiments use "uniform random traffic, where each
@@ -129,7 +153,21 @@ enum class DestinationMode {
   kPerMessage,        ///< fresh uniform destination per message (ablation)
   kHotspot,           ///< hotspot_fraction of messages hit hotspot_target,
                       ///< the rest uniform (classic endpoint congestion)
+  kShift,             ///< fixed pairing dst = (src + shift_distance) mod
+                      ///< hosts: the adversarial shift permutation (shift-1
+                      ///< concentrates every leaf's traffic on one uplink
+                      ///< column under deterministic single-path routing)
 };
+
+inline std::string_view to_string(DestinationMode mode) noexcept {
+  switch (mode) {
+    case DestinationMode::kFixedPermutation: return "fixed_permutation";
+    case DestinationMode::kPerMessage: return "per_message";
+    case DestinationMode::kHotspot: return "hotspot";
+    case DestinationMode::kShift: return "shift";
+  }
+  return "?";
+}
 
 struct SimConfig {
   std::uint32_t packet_flits = 16;     ///< flits per packet
@@ -154,9 +192,25 @@ struct SimConfig {
   PathSelection path_selection = PathSelection::kRandomPerMessage;
   DestinationMode destination_mode = DestinationMode::kFixedPermutation;
 
-  /// kHotspot parameters.
+  /// Adaptive variant selection among the K installed LFT variants (LFT
+  /// mode only; rejected at Network construction in route-table mode,
+  /// where packets carry explicit paths with no sibling variants, and
+  /// alongside RoutingMode::kAdaptive, which ignores the tables).
+  /// `path_selection` still draws the INITIAL variant; the adaptive
+  /// policies may then rewrite the packet's DLID to a sibling variant at
+  /// injection and at each upward hop (DESIGN §16).
+  SelectPolicy select = SelectPolicy::kOblivious;
+
+  /// kHotspot parameters.  Validated at Network construction:
+  /// hotspot_target must name a host and hotspot_fraction must be in
+  /// [0, 1] (std::invalid_argument otherwise).
   std::uint64_t hotspot_target = 0;
   double hotspot_fraction = 0.2;
+
+  /// kShift parameter: dst = (src + shift_distance) mod hosts.  A
+  /// distance that is 0 mod hosts pairs every source with itself and
+  /// silences all traffic, so it is rejected at construction.
+  std::uint64_t shift_distance = 1;
 
   /// Kernel selection (see Kernel).  All three kernels produce
   /// bit-identical SimMetrics / WindowMetrics; the choice only trades

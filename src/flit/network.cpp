@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/contracts.hpp"
 
@@ -34,15 +36,64 @@ Network::Network(const route::RouteTable* table, const fabric::Lft* lft,
   LMPR_EXPECTS(config_.num_vcs >= 1);
   LMPR_EXPECTS(config_.offered_load > 0.0 && config_.offered_load <= 1.0);
   LMPR_EXPECTS(num_hosts_ >= 2);
+  // Traffic/policy parameters come from user-facing configuration (CLI
+  // flags, replay scripts), so misconfiguration is a recoverable error
+  // with a message, not a contract violation.
+  if (config_.destination_mode == DestinationMode::kHotspot) {
+    if (config_.hotspot_target >= num_hosts_) {
+      throw std::invalid_argument(
+          "flit: hotspot_target " + std::to_string(config_.hotspot_target) +
+          " must name a host (fabric has " + std::to_string(num_hosts_) +
+          " hosts)");
+    }
+    if (!(config_.hotspot_fraction >= 0.0 &&
+          config_.hotspot_fraction <= 1.0)) {
+      throw std::invalid_argument(
+          "flit: hotspot_fraction " +
+          std::to_string(config_.hotspot_fraction) + " must be in [0, 1]");
+    }
+  }
+  if (config_.destination_mode == DestinationMode::kShift &&
+      config_.shift_distance % num_hosts_ == 0) {
+    throw std::invalid_argument(
+        "flit: shift_distance " + std::to_string(config_.shift_distance) +
+        " is 0 mod " + std::to_string(num_hosts_) +
+        " hosts; a zero shift pairs every source with itself");
+  }
+  if (config_.select != SelectPolicy::kOblivious) {
+    if (!lft_mode_) {
+      throw std::invalid_argument(
+          "flit: adaptive variant selection (SimConfig::select) requires "
+          "LFT-routed construction; route-table packets carry explicit "
+          "paths with no sibling variants to switch to");
+    }
+    if (config_.routing_mode != RoutingMode::kOblivious) {
+      throw std::invalid_argument(
+          "flit: SimConfig::select and RoutingMode::kAdaptive are mutually "
+          "exclusive (the all-ports baseline already ignores the tables)");
+    }
+  }
   if (lft_mode_) {
-    // Destination-based forwarding has no adaptive leg: the tables ARE
-    // the routing function.
-    LMPR_EXPECTS(config_.routing_mode == RoutingMode::kOblivious);
     LMPR_EXPECTS(lft_tables_->size() ==
                  static_cast<std::size_t>(topo_->num_nodes()));
     link_enabled_.assign(static_cast<std::size_t>(topo_->num_links()), 1);
     switch_dead_.assign(static_cast<std::size_t>(topo_->num_nodes()), 0);
+    // The perfect score -- full credits, empty output buffer, idle
+    // serializer -- lets pick() skip the sibling scan when the incumbent
+    // port is completely healthy (the common case at moderate load).
+    const adaptive::PortState ideal{config_.buffer_packets,
+                                    config_.buffer_packets, true};
+    selector_ = adaptive::VariantSelector(
+        config_.select, static_cast<std::uint32_t>(lft_->block()),
+        adaptive::port_score(config_.select, ideal));
+    variant_mask_ = static_cast<std::uint32_t>(lft_->block()) - 1;
   }
+  // Only the all-ports adaptive mode routes from per-CYCLE credit state
+  // and must bypass the active crossbar's enqueue-time snapshots.  The
+  // variant selector decides once per hop at arrival (enqueue_input), so
+  // its decision is baked into pkt.lid and the snapshots stay valid --
+  // that is what keeps its hot-path overhead within the tracked budget.
+  recompute_route_ = config_.routing_mode == RoutingMode::kAdaptive;
   if (windowed_) {
     window_link_flits_.assign(static_cast<std::size_t>(topo_->num_links()),
                               0);
@@ -64,12 +115,17 @@ Network::Network(const route::RouteTable* table, const fabric::Lft* lft,
   }
   link_node_.resize(links_.size());
   link_terminal_.resize(links_.size());
+  if (lft_mode_) link_up_.resize(links_.size());
   for (std::size_t id = 0; id < links_.size(); ++id) {
     const topo::Link& link = topo_->link(static_cast<topo::LinkId>(id));
     link_node_[id] = link.dst;
     link_terminal_[id] =
         static_cast<std::uint8_t>(topo_->is_host(link.dst));
+    if (lft_mode_) link_up_[id] = static_cast<std::uint8_t>(link.up);
   }
+  // After link_up_ / link_enabled_ exist: the selector's diversity map
+  // and per-link gate derive from them and the installed tables.
+  refresh_variant_diversity();
 
   source_queue_.resize(static_cast<std::size_t>(num_hosts_));
   next_arrival_.resize(static_cast<std::size_t>(num_hosts_));
@@ -103,6 +159,14 @@ Network::Network(const route::RouteTable* table, const fabric::Lft* lft,
       const auto perm =
           seeder.permutation(static_cast<std::size_t>(num_hosts_));
       fixed_dst_.assign(perm.begin(), perm.end());
+    }
+  } else if (config_.destination_mode == DestinationMode::kShift) {
+    // The shift permutation is a fixed pairing, so it reuses the
+    // kFixedPermutation injection machinery (no per-message RNG draw).
+    fixed_dst_.resize(static_cast<std::size_t>(num_hosts_));
+    for (std::uint64_t h = 0; h < num_hosts_; ++h) {
+      fixed_dst_[static_cast<std::size_t>(h)] =
+          (h + config_.shift_distance) % num_hosts_;
     }
   }
 
@@ -183,17 +247,48 @@ void Network::enqueue_output(ChannelId ch, topo::LinkId link, PacketId pkt) {
 
 void Network::enqueue_input(ChannelId ch, PacketId pkt) {
   InputChannel& in = inputs_[ch];
+  Packet& packet = packets_[pkt];
+  // Per-hop decision point of the variant selector: re-pick among the K
+  // installed variants from live output state ONCE per arrival, baking
+  // the choice into packet.lid.  Every kernel funnels arrivals through
+  // here (transmit() is shared machinery), so the decision sequence --
+  // and with it the selector counters -- is kernel-independent, and the
+  // enqueue-time snapshot stays trustworthy for the active crossbar.
+  // The selector never engages on a dead entry: the salvage/drop path
+  // must stay entry-for-entry identical to an oblivious run.
   if (!active_sets_) {
+    if (selector_.engaged()) {
+      const auto in_link = static_cast<topo::LinkId>(ch / config_.num_vcs);
+      const topo::NodeId node = link_node_[in_link];
+      const topo::LinkId cur = (*lft_tables_)[node][packet.lid];
+      // selector_gate_ folds enabled + points-up + node-diverse into one
+      // byte; the sentinel compare guards the indexing.
+      if (cur != topo::kInvalidLink && selector_gate_[cur] != 0) {
+        select_variant(node, packet, cur, current_cycle_);
+      }
+    }
     in.fifo.push_back(pkt);
     return;
   }
-  const Packet& packet = packets_[pkt];
-  const topo::LinkId out_link =
-      lft_mode_
-          ? (*lft_tables_)[link_node_[channel_link_[ch]]][packet.lid]
-          : config_.routing_mode == RoutingMode::kOblivious
-                ? packet.path->links[packet.hop]
-                : topo::LinkId{0};  // recomputed per cycle from credit state
+  topo::LinkId out_link;
+  if (lft_mode_) {
+    // One table read serves both the selector's decision and the route
+    // snapshot (select_variant returns the post-rewrite entry).  The
+    // selector_gate_ byte keeps the out-of-line scan off the descent,
+    // disabled-entry and collapsed-variant arrivals in a single read:
+    // entry enabled, entry points up, node offers >= 2 distinct variant
+    // links (the sentinel compare guards the indexing).
+    const topo::NodeId node = link_node_[channel_link_[ch]];
+    out_link = (*lft_tables_)[node][packet.lid];
+    if (selector_.engaged() && out_link != topo::kInvalidLink &&
+        selector_gate_[out_link] != 0) {
+      out_link = select_variant(node, packet, out_link, current_cycle_);
+    }
+  } else {
+    out_link = config_.routing_mode == RoutingMode::kOblivious
+                   ? packet.path->links[packet.hop]
+                   : topo::LinkId{0};  // recomputed per cycle from credits
+  }
   in.slots.push_back(InputSlot{pkt, out_link, packet.vc,
                                packet.head_arrival});
   ++in.live;
@@ -256,7 +351,8 @@ void Network::process_events(Cycle now) {
 void Network::generate_message(std::uint64_t host, Cycle now) {
   util::Rng& rng = host_rng_[static_cast<std::size_t>(host)];
   std::uint64_t dst;
-  if (config_.destination_mode == DestinationMode::kFixedPermutation) {
+  if (config_.destination_mode == DestinationMode::kFixedPermutation ||
+      config_.destination_mode == DestinationMode::kShift) {
     dst = fixed_dst_[static_cast<std::size_t>(host)];
     if (dst == host) return;  // permutation fixed point: silent source
   } else if (config_.destination_mode == DestinationMode::kHotspot &&
@@ -336,13 +432,22 @@ topo::LinkId Network::adaptive_route(topo::NodeId node, const Packet& packet,
   topo_->candidate_links(node, packet.dst, route_scratch_);
   const std::size_t count = route_scratch_.size();
   LMPR_ASSERT(count > 0);  // only the destination host has no way forward
-  if (count == 1) return route_scratch_[0];  // forced hop (e.g. descent)
+  // LFT mode can degrade (killed cables mask candidates); the route-table
+  // fabric never does, and its link_enabled_ vector is empty.
+  const bool masked = lft_mode_;
+  if (count == 1) {
+    // Forced hop (e.g. descent); a masked forced hop has no way around
+    // and resolves through the caller's drop policy.
+    const topo::LinkId only = route_scratch_[0];
+    return !masked || usable(only) ? only : topo::kInvalidLink;
+  }
   topo::LinkId best = topo::kInvalidLink;
   std::uint64_t best_score = 0;
   // Rotating tie-break keeps the choice fair across cycles.
   for (std::size_t i = 0; i < count; ++i) {
     const topo::LinkId link =
         route_scratch_[static_cast<std::size_t>((i + now) % count)];
+    if (masked && !usable(link)) continue;
     const OutputChannel& out = outputs_[channel(link, packet.vc)];
     // Prefer downstream credit headroom, then free output slots, then an
     // idle physical channel: 'least congested candidate first'.
@@ -355,12 +460,18 @@ topo::LinkId Network::adaptive_route(topo::NodeId node, const Packet& packet,
       best = link;
     }
   }
-  return best;
+  return best;  // kInvalidLink when every candidate is masked
 }
 
 topo::LinkId Network::route_output(topo::NodeId node, const Packet& packet,
                                    Cycle now) const {
   if (lft_mode_) {
+    if (config_.routing_mode == RoutingMode::kAdaptive) {
+      // The all-ports adaptive baseline on an LFT fabric: live candidate
+      // scoring replaces the tables entirely (the DLID still identifies
+      // the destination for salvage accounting).
+      return adaptive_route(node, packet, now);
+    }
     // Destination-based forwarding: the current tables decide, and the
     // entry may be kInvalidLink / masked (the crossbars resolve that
     // through the drop policy).
@@ -370,6 +481,96 @@ topo::LinkId Network::route_output(topo::NodeId node, const Packet& packet,
     return packet.path->links[packet.hop];
   }
   return adaptive_route(node, packet, now);
+}
+
+void Network::refresh_variant_diversity() {
+  if (!selector_.engaged()) return;
+  node_variant_diverse_.assign(
+      static_cast<std::size_t>(topo_->num_nodes()), 0);
+  const std::uint32_t block = variant_mask_ + 1;
+  for (std::size_t node = 0; node < lft_tables_->size(); ++node) {
+    const auto& row = (*lft_tables_)[node];
+    // LID 0 is reserved; destination blocks start at 1 and are contiguous.
+    for (std::size_t base = 1; base + block <= row.size() + 1;
+         base += block) {
+      const topo::LinkId first = row[base];
+      for (std::uint32_t j = 1; j < block; ++j) {
+        if (row[base + j] != first) {
+          node_variant_diverse_[node] = 1;
+          break;
+        }
+      }
+      if (node_variant_diverse_[node] != 0) break;
+    }
+  }
+  selector_gate_.assign(links_.size(), 0);
+  for (std::size_t id = 0; id < links_.size(); ++id) {
+    refresh_selector_gate(static_cast<topo::LinkId>(id));
+  }
+}
+
+void Network::refresh_selector_gate(topo::LinkId link) {
+  if (selector_gate_.empty()) return;
+  selector_gate_[link] = static_cast<std::uint8_t>(
+      link_enabled_[link] != 0 && link_up_[link] != 0 &&
+      node_variant_diverse_[topo_->link(link).src] != 0);
+}
+
+topo::LinkId Network::select_variant(topo::NodeId node, Packet& pkt,
+                                     topo::LinkId cur, Cycle now) {
+  // The descent is variant-independent (all ancestors of a node at a
+  // level cover the same subtree), so only the upward leg offers a
+  // choice.  On generic fabrics every candidate-respecting hop strictly
+  // decreases the BFS distance to the destination, so rewriting the DLID
+  // mid-route can never loop there either.
+  if (link_up_[cur] == 0) return cur;
+  // Lft's LID layout is a contiguous 1-based block per destination of
+  // size 2^LMC (lid_of(d, j) == lid_of(d, 0) + j), so the block base
+  // falls out of the packet's own LID by mask arithmetic -- no
+  // out-of-line lid_of call on the selector's hot path.
+  const std::uint32_t base = ((pkt.lid - 1) & ~variant_mask_) + 1;
+  const std::uint32_t incumbent = (pkt.lid - 1) & variant_mask_;
+  const auto& row = (*lft_tables_)[node];
+  const auto candidate = [&](std::uint32_t j) {
+    adaptive::VariantSelector::Candidate c;
+    const topo::LinkId link = row[base + j];
+    if (j != incumbent && link == cur) {
+      // A sibling forwarding through the incumbent's port can never
+      // score strictly better than the incumbent: skip it.
+      c.same_link = true;
+      return c;
+    }
+    c.valid = j == incumbent || (usable(link) && link_up_[link] != 0);
+    if (c.valid) {
+      const OutputChannel& out = outputs_[channel(link, pkt.vc)];
+      c.port.credits = out.credits;
+      c.port.free_slots = config_.buffer_packets - out.occupancy;
+      c.port.idle = links_[link].busy_until <= now;
+    }
+    return c;
+  };
+  const std::uint32_t chosen = selector_.pick(incumbent, candidate, now);
+  if (chosen == incumbent) return cur;
+  pkt.lid = base + chosen;
+  return row[pkt.lid];
+}
+
+topo::LinkId Network::forward_link(topo::NodeId node, Packet& pkt,
+                                   Cycle now) {
+  // The selector's INJECTION decision point (per-hop decisions live in
+  // enqueue_input).  Engaged only in LFT mode under oblivious table
+  // routing (validated at construction).  The selector never engages on
+  // an unusable entry -- the fault path (salvage/drop) must stay
+  // entry-for-entry identical to an oblivious run.
+  if (selector_.engaged()) {
+    const topo::LinkId cur = (*lft_tables_)[node][pkt.lid];
+    // Same single-byte gate as the arrival path: an unusable entry falls
+    // through untouched (the caller's salvage/drop handling sees exactly
+    // what route_output would have returned).
+    if (cur == topo::kInvalidLink || selector_gate_[cur] == 0) return cur;
+    return select_variant(node, pkt, cur, now);
+  }
+  return route_output(node, pkt, now);
 }
 
 void Network::service_host(std::uint64_t host, Cycle now) {
@@ -389,7 +590,10 @@ void Network::service_host(std::uint64_t host, Cycle now) {
     while (!queue.empty()) {
       const PacketId pkt_id = queue.front();
       Packet& pkt = packets_[pkt_id];
-      topo::LinkId link = (*lft_tables_)[src_node][pkt.lid];
+      // Injection is the selector's first decision point (a single-uplink
+      // NIC degenerates to the table entry, but the decision is counted
+      // so the observables stay kernel-independent).
+      topo::LinkId link = forward_link(src_node, pkt, now);
       if (!usable(link)) {
         link = config_.drop_policy == DropPolicy::kRerouteAtSwitch
                    ? salvage_variant(src_node, pkt)
@@ -460,6 +664,9 @@ void Network::crossbar_reference(Cycle now) {
       const PacketId pkt_id = in.fifo[pos];
       Packet& pkt = packets_[pkt_id];
       if (pkt.head_arrival > now) break;  // later packets arrive later
+      // The selector's hop decision already happened at arrival
+      // (enqueue_input rewrote pkt.lid), so this is a pure table read --
+      // identical to the active kernel's enqueue-time snapshot.
       topo::LinkId out_link = route_output(node, pkt, now);
       if (lft_mode_ && !usable(out_link)) {
         // The route died under the packet: salvage another variant or
@@ -506,7 +713,6 @@ void Network::crossbar_active(Cycle now) {
       std::lower_bound(active_inputs_.begin(), active_inputs_.end(), offset) -
       active_inputs_.begin());
   const std::size_t active = active_inputs_.size();
-  const bool oblivious = config_.routing_mode == RoutingMode::kOblivious;
   for (std::size_t n = 0; n < active; ++n) {
     const std::size_t at = start + n;
     const ChannelId idx = active_inputs_[at < active ? at : at - active];
@@ -517,9 +723,9 @@ void Network::crossbar_active(Cycle now) {
       if (slot.id == kNone) continue;  // hole left by an earlier grant
       if (slot.head_arrival > now) break;  // later packets arrive later
       topo::LinkId out_link =
-          oblivious ? slot.out_link
-                    : route_output(link_node_[channel_link_[idx]],
-                                   packets_[slot.id], now);
+          !recompute_route_ ? slot.out_link
+                            : route_output(link_node_[channel_link_[idx]],
+                                           packets_[slot.id], now);
       if (lft_mode_ && !usable(out_link)) {
         // Mirrors the reference kernel: the snapshot equals the current
         // table entry (set_tables refreshes it), so both kernels resolve
@@ -865,6 +1071,7 @@ Network::FaultStats Network::take_link_down(topo::LinkId link) {
   const std::uint64_t dropped_before = metrics_.packets_dropped;
   const std::uint64_t rerouted_before = metrics_.packets_rerouted;
   link_enabled_[link] = 0;
+  refresh_selector_gate(link);
   const topo::Link& edge = topo_->link(link);
   const bool src_dead =
       !topo_->is_host(edge.src) && switch_dead_[edge.src] != 0;
@@ -898,6 +1105,7 @@ void Network::bring_link_up(topo::LinkId link) {
   LMPR_EXPECTS(!in_cycle_);
   if (link_enabled_[link] != 0) return;
   link_enabled_[link] = 1;
+  refresh_selector_gate(link);
   // Nothing routes onto a masked link, so its output queues stayed empty
   // between the kill and the revival.
   LMPR_ASSERT(links_[link].queued == 0);
@@ -915,6 +1123,9 @@ void Network::set_tables(const fabric::Tables& tables) {
   LMPR_EXPECTS(!in_cycle_);
   LMPR_EXPECTS(tables.size() == static_cast<std::size_t>(topo_->num_nodes()));
   lft_tables_ = &tables;
+  // Repair can merge or split variant entries, changing which nodes
+  // offer the selector a real choice.
+  refresh_variant_diversity();
   if (!active_sets_) return;
   // Refresh the routing snapshots the active crossbar scans so the
   // invariant slot.out_link == tables[node][pkt.lid] keeps holding.

@@ -74,6 +74,7 @@
 #include <deque>
 #include <vector>
 
+#include "adaptive/selector.hpp"
 #include "core/route_table.hpp"
 #include "fabric/degraded.hpp"
 #include "flit/config.hpp"
@@ -104,10 +105,14 @@ using Cycle = std::uint64_t;
 class Network {
  public:
   Network(const route::RouteTable& table, const SimConfig& config);
-  /// LFT-routed construction: oblivious routing only, `tables` must have
-  /// one row of lft.lid_end() entries per node (fabric::build_lft /
+  /// LFT-routed construction: `tables` must have one row of
+  /// lft.lid_end() entries per node (fabric::build_lft /
   /// fm::FabricManager::tables() layout) and must outlive the Network (or
-  /// be replaced via set_tables before the next run_until).
+  /// be replaced via set_tables before the next run_until).  Routing is
+  /// oblivious by the tables' DLID entries; RoutingMode::kAdaptive
+  /// instead scores all candidate ports live (the all-ports baseline),
+  /// and SimConfig::select adds the in-between: oblivious tables with
+  /// adaptive choice among the K variant DLIDs (DESIGN §16).
   Network(const fabric::Lft& lft, const fabric::Tables& tables,
           const SimConfig& config);
 
@@ -160,6 +165,15 @@ class Network {
   /// tests use it to prove the skip path actually engaged.
   Cycle cycles_skipped() const noexcept { return cycles_skipped_; }
 
+  /// Adaptive variant-selection counters (SimConfig::select; zero under
+  /// the oblivious policy).  Unlike cycles_skipped() these are
+  /// kernel-INDEPENDENT observables: the differential harnesses assert
+  /// they match bit-for-bit across the three kernels and are non-zero on
+  /// adaptive configurations (the degeneracy guard).
+  const adaptive::SelectorStats& selector_stats() const noexcept {
+    return selector_.stats();
+  }
+
  private:
   using PacketId = std::uint32_t;
   using MessageId = std::uint32_t;
@@ -198,8 +212,11 @@ class Network {
   /// reaches it, and in oblivious mode the output link is a pure
   /// function of the packet's hop), so it is snapshotted at enqueue and
   /// the saturated-fabric rescan of blocked packets stays inside this
-  /// contiguous vector instead of chasing `packets_`.  In adaptive mode
-  /// `out_link` is recomputed per cycle from credit state.
+  /// contiguous vector instead of chasing `packets_`.  Under all-ports
+  /// adaptive routing (see recompute_route_) `out_link` is recomputed
+  /// per cycle instead; an engaged variant selector needs NO recompute
+  /// because its decision is baked into pkt.lid at arrival, before the
+  /// snapshot is taken.
   struct InputSlot {
     PacketId id = kNone;         ///< kNone marks a hole left by a grant
     topo::LinkId out_link = 0;   ///< oblivious-mode output (constant)
@@ -323,13 +340,38 @@ class Network {
   void purge_pending_delivers(topo::LinkId link);
 
   /// Output link the packet must leave `node` on.  Oblivious: the next
-  /// path hop.  Adaptive: among the topology's candidate links toward the
+  /// path hop (LFT mode: the current table entry for the packet's DLID).
+  /// Adaptive: among the topology's candidate links toward the
   /// destination, a forced hop routes deterministically and a multi-way
-  /// choice goes to the candidate with the best credit score.
+  /// choice goes to the candidate with the best credit score (LFT mode
+  /// additionally masks killed cables; kInvalidLink when every candidate
+  /// is down, resolved by the caller through the drop policy).
   topo::LinkId route_output(topo::NodeId node, const Packet& packet,
                             Cycle now) const;
   topo::LinkId adaptive_route(topo::NodeId node, const Packet& packet,
                               Cycle now) const;
+
+  /// The LFT-mode NIC's injection decision point: route_output plus,
+  /// when SimConfig::select is adaptive, the variant selector's chance
+  /// to rewrite the packet's DLID to a sibling variant (select_variant;
+  /// the per-HOP decisions happen at arrival, in enqueue_input).  May
+  /// return an unusable link exactly when route_output would (the
+  /// selector never engages on one), so the caller's salvage/drop
+  /// handling is unchanged.
+  topo::LinkId forward_link(topo::NodeId node, Packet& pkt, Cycle now);
+  /// Re-scores the K variant entries of pkt's destination at `node`
+  /// against live output credit/occupancy (src/adaptive).  `cur` is the
+  /// packet's current usable table entry; engages only when `cur` points
+  /// up (the descent is variant-independent), considers only usable+up
+  /// sibling entries, commits by rewriting pkt.lid and returns the chosen
+  /// entry (== `cur` unless a sibling scored strictly better).
+  topo::LinkId select_variant(topo::NodeId node, Packet& pkt,
+                              topo::LinkId cur, Cycle now);
+  /// Recomputes node_variant_diverse_ and selector_gate_ from the current
+  /// tables (ctor and set_tables; no-op when the selector is disengaged).
+  void refresh_variant_diversity();
+  /// Re-derives one link's selector_gate_ byte (link kill / revive).
+  void refresh_selector_gate(topo::LinkId link);
 
   ChannelId channel(topo::LinkId link, std::uint32_t vc) const {
     return static_cast<ChannelId>(link * config_.num_vcs + vc);
@@ -360,8 +402,35 @@ class Network {
   bool active_sets_;        ///< kernel_ != Kernel::kReference
   bool lft_mode_;           ///< routing by lft_tables_ instead of table_
   bool windowed_;           ///< config_.window_metrics
+  /// True when the crossbar must recompute a buffered packet's output
+  /// per cycle instead of trusting the InputSlot snapshot: all-ports
+  /// adaptive routing only (the variant selector decides at arrival and
+  /// bakes its choice into pkt.lid, so snapshots stay valid under it).
+  bool recompute_route_ = false;
   bool in_cycle_ = false;   ///< inside a run_until cycle (mutation guard)
   double mean_interval_;    ///< message_flits / offered_load, loop-invariant
+
+  /// Adaptive variant selection among the K installed LFT variants
+  /// (SimConfig::select; disengaged outside LFT mode / under oblivious).
+  adaptive::VariantSelector selector_;
+  /// block() - 1 (LFT mode): lets select_variant recover a destination's
+  /// LID-block base from the packet's own LID by mask arithmetic.
+  std::uint32_t variant_mask_ = 0;
+  /// node -> 1 iff some destination block in the node's LFT row maps its
+  /// variants to >= 2 DISTINCT output links (engaged selector only).  A
+  /// non-diverse node -- every host NIC (single uplink), plus any switch
+  /// whose variants collapsed -- can never switch a packet's variant, so
+  /// its decision points are skipped wholesale: the selector's hot-path
+  /// cost concentrates on the arrivals where a choice actually exists.
+  /// Refreshed by set_tables (repair can change which rows diverge).
+  std::vector<std::uint8_t> node_variant_diverse_;
+  /// link -> 1 iff a packet whose current table entry is this link is
+  /// worth a variant scan: link enabled, link points up, and the node it
+  /// forwards FROM (link.src) is variant-diverse.  Folds the selector's
+  /// three-array reject chain into one byte read on the per-arrival hot
+  /// path.  Engaged selector only; maintained by refresh_variant_diversity
+  /// (ctor / set_tables) and the link kill / revive transitions.
+  std::vector<std::uint8_t> selector_gate_;
 
   std::vector<InputChannel> inputs_;    ///< indexed by ChannelId
   std::vector<OutputChannel> outputs_;  ///< indexed by ChannelId
@@ -393,6 +462,9 @@ class Network {
   std::vector<topo::LinkId> channel_link_;
   std::vector<topo::NodeId> link_node_;
   std::vector<std::uint8_t> link_terminal_;
+  /// link -> points-up flag (LFT mode only): the selector's cheap gate
+  /// for "the packet is on its upward leg".
+  std::vector<std::uint8_t> link_up_;
   /// Scratch for adaptive routing's candidate query (route_output is
   /// called from const phases, hence mutable).
   mutable std::vector<topo::LinkId> route_scratch_;

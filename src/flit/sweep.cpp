@@ -11,11 +11,28 @@
 
 namespace lmpr::flit {
 
+namespace {
+
+SweepPoint condense(const SimMetrics& metrics);
+
+}  // namespace
+
 SweepPoint simulate_load_point(const route::RouteTable& table,
                                const SimConfig& config) {
   Network network(table, config);
-  const SimMetrics metrics = network.run();
+  return condense(network.run());
+}
 
+SweepPoint simulate_load_point(const fabric::Lft& lft,
+                               const fabric::Tables& tables,
+                               const SimConfig& config) {
+  Network network(lft, tables, config);
+  return condense(network.run());
+}
+
+namespace {
+
+SweepPoint condense(const SimMetrics& metrics) {
   SweepPoint point;
   point.offered_load = metrics.offered_load;
   point.throughput = metrics.throughput;
@@ -39,10 +56,11 @@ SweepPoint simulate_load_point(const route::RouteTable& table,
   return point;
 }
 
-SweepResult run_load_sweep(const route::RouteTable& table,
-                           const SimConfig& base_config,
-                           const std::vector<double>& loads,
-                           util::ThreadPool* pool) {
+/// Shared sweep driver: `point_fn(config)` runs one load point.
+template <typename PointFn>
+SweepResult sweep_impl(const SimConfig& base_config,
+                       const std::vector<double>& loads,
+                       util::ThreadPool* pool, PointFn&& point_fn) {
   SweepResult result;
   result.points.resize(loads.size());
   const auto run_point = [&](std::size_t i) {
@@ -51,7 +69,7 @@ SweepResult run_load_sweep(const route::RouteTable& table,
     // Independent but reproducible randomness per load point.
     std::uint64_t mix = base_config.seed + i;
     config.seed = util::splitmix64(mix);
-    result.points[i] = simulate_load_point(table, config);
+    result.points[i] = point_fn(config);
   };
   if (pool != nullptr) {
     pool->parallel_for(loads.size(), run_point);
@@ -63,6 +81,27 @@ SweepResult run_load_sweep(const route::RouteTable& table,
     result.max_throughput = std::max(result.max_throughput, point.throughput);
   }
   return result;
+}
+
+}  // namespace
+
+SweepResult run_load_sweep(const route::RouteTable& table,
+                           const SimConfig& base_config,
+                           const std::vector<double>& loads,
+                           util::ThreadPool* pool) {
+  return sweep_impl(base_config, loads, pool, [&](const SimConfig& config) {
+    return simulate_load_point(table, config);
+  });
+}
+
+SweepResult run_load_sweep(const fabric::Lft& lft,
+                           const fabric::Tables& tables,
+                           const SimConfig& base_config,
+                           const std::vector<double>& loads,
+                           util::ThreadPool* pool) {
+  return sweep_impl(base_config, loads, pool, [&](const SimConfig& config) {
+    return simulate_load_point(lft, tables, config);
+  });
 }
 
 std::vector<double> linspace_loads(double lo, double hi, std::size_t count) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/route_table.hpp"
+#include "fabric/degraded.hpp"
 #include "flit/config.hpp"
 #include "flit/metrics.hpp"
 
@@ -37,6 +38,12 @@ struct SweepResult {
 /// both run_load_sweep and engine::measure_saturation parallelize over.
 SweepPoint simulate_load_point(const route::RouteTable& table,
                                const SimConfig& config);
+/// LFT-routed load point (destination-based forwarding; required for
+/// SimConfig::select, the adaptive variant selector).  `tables` is the
+/// healthy forwarding state (fabric::build_lft / fm tables layout).
+SweepPoint simulate_load_point(const fabric::Lft& lft,
+                               const fabric::Tables& tables,
+                               const SimConfig& config);
 
 /// Runs one simulation per offered load in `loads` (each load gets an
 /// independent, deterministic seed derived from config.seed).  When
@@ -44,6 +51,12 @@ SweepPoint simulate_load_point(const route::RouteTable& table,
 /// merged in index order, so the output is identical for any worker
 /// count including none.
 SweepResult run_load_sweep(const route::RouteTable& table,
+                           const SimConfig& base_config,
+                           const std::vector<double>& loads,
+                           util::ThreadPool* pool = nullptr);
+/// LFT-routed sweep, same seeding and index-ordered merge.
+SweepResult run_load_sweep(const fabric::Lft& lft,
+                           const fabric::Tables& tables,
                            const SimConfig& base_config,
                            const std::vector<double>& loads,
                            util::ThreadPool* pool = nullptr);

@@ -10,9 +10,9 @@ namespace lmpr::replay {
 ReplayEngine::ReplayEngine(const topo::XgftSpec& spec,
                            const ReplayConfig& config)
     : config_(config) {
-  // LFT-routed replay is oblivious by construction, and epochs need the
-  // window accumulators; force both so callers cannot misconfigure.
-  config_.sim.routing_mode = flit::RoutingMode::kOblivious;
+  // Epochs need the window accumulators; force them so callers cannot
+  // misconfigure.  routing_mode and select pass through (oblivious
+  // tables, the all-ports adaptive baseline, or the variant selector).
   config_.sim.window_metrics = true;
   if (config_.window_cycles == 0) {
     error_ = "window_cycles must be positive";
@@ -25,7 +25,6 @@ ReplayEngine::ReplayEngine(const topo::XgftSpec& spec,
 ReplayEngine::ReplayEngine(const discovery::RawFabric& fabric,
                            const ReplayConfig& config)
     : config_(config) {
-  config_.sim.routing_mode = flit::RoutingMode::kOblivious;
   config_.sim.window_metrics = true;
   if (config_.window_cycles == 0) {
     error_ = "window_cycles must be positive";
@@ -152,6 +151,7 @@ ReplayResult ReplayEngine::run(const fm::EventScript& script) {
   LMPR_ASSERT(next_event == stamps.size());
   result.overall = net.finalize();
   result.fm_summary = manager_->summary();
+  result.selector = net.selector_stats();
 
   // Recovery analysis over the epoch means.
   bool any_topo = false;

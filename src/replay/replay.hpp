@@ -41,8 +41,13 @@
 namespace lmpr::replay {
 
 struct ReplayConfig {
-  /// Traffic + fault-handling knobs.  routing_mode is forced to
-  /// kOblivious and window_metrics to true (LFT replay requires both).
+  /// Traffic + fault-handling knobs.  window_metrics is forced to true
+  /// (epochs need the window accumulators).  routing_mode and select
+  /// pass through: `--routing adaptive` replays against the all-ports
+  /// adaptive baseline, `--select adaptive_*` replays with the variant
+  /// selector, which consults the post-swap tables only (it reads the
+  /// router's current fabric::Tables, the ones set_tables just
+  /// installed, and never engages on a masked entry).
   flit::SimConfig sim;
   /// Fabric-manager knobs (path limit, LID layout, repair policy).
   fm::FmConfig fm;
@@ -76,6 +81,10 @@ struct ReplayResult {
   flit::SimMetrics overall;
   fm::FmSummary fm_summary;
   std::size_t event_errors = 0;  ///< events the manager rejected
+  /// Adaptive variant-selection counters (SimConfig::select; zero under
+  /// oblivious).  Kernel-independent: the kernel_diff harness asserts
+  /// they replay bit-identically across all three kernels.
+  adaptive::SelectorStats selector;
 
   // Recovery analysis (only meaningful when the script has topology
   // events; `recovered` is trivially true otherwise).

@@ -20,7 +20,10 @@
 #include <cmath>
 #include <vector>
 
+#include "adaptive/selector.hpp"
 #include "engine/study.hpp"
+#include "fabric/degraded.hpp"
+#include "fabric/lft.hpp"
 #include "flit/network.hpp"
 #include "flit/sweep.hpp"
 #include "util/thread_pool.hpp"
@@ -98,6 +101,30 @@ void run_all_kernels(const RouteTable& table, SimConfig config) {
   expect_metrics_identical(event, reference);
 }
 
+/// LFT-routed three-way cell: like run_all_kernels, but the packets are
+/// forwarded by DLID tables, the configuration may engage the adaptive
+/// variant selector, and the selector's decision/switch counters -- a
+/// kernel-INDEPENDENT observable -- must also match bit-for-bit.
+/// Returns the reference kernel's counters so callers can assert the
+/// adaptive cells were not degenerate.
+adaptive::SelectorStats run_all_kernels_lft(const fabric::Lft& lft,
+                                            const fabric::Tables& tables,
+                                            SimConfig config) {
+  config.kernel = flit::Kernel::kReference;
+  Network reference_net(lft, tables, config);
+  const SimMetrics reference = reference_net.run();
+  EXPECT_GT(reference.packets_generated, 0u);
+  config.kernel = flit::Kernel::kActiveSet;
+  Network active_net(lft, tables, config);
+  expect_metrics_identical(active_net.run(), reference);
+  EXPECT_EQ(active_net.selector_stats(), reference_net.selector_stats());
+  config.kernel = flit::Kernel::kEvent;
+  Network event_net(lft, tables, config);
+  expect_metrics_identical(event_net.run(), reference);
+  EXPECT_EQ(event_net.selector_stats(), reference_net.selector_stats());
+  return reference_net.selector_stats();
+}
+
 SimConfig grid_config(double load) {
   SimConfig config;
   config.warmup_cycles = 400;
@@ -160,6 +187,72 @@ TEST(KernelEquivalence, HotspotTraffic) {
   config.hotspot_target = 3;
   config.hotspot_fraction = 0.3;
   run_all_kernels(table, config);
+}
+
+TEST(KernelEquivalence, AdaptiveVariantSelectionGrid) {
+  // The variant selector's decision points (injection + per-hop arrival)
+  // ride machinery shared by all three kernels; this grid proves the
+  // claim over shapes x K x policy x traffic, including the selector
+  // counters.  The degeneracy guard at the bottom rejects a vacuous
+  // pass: across the adaptive cells packets must actually have moved
+  // off their incumbent variant in every policy.
+  struct SelectCase {
+    const char* name;
+    std::size_t k;
+    fabric::LidLayout layout;
+    flit::SelectPolicy select;
+    DestinationMode traffic;
+  };
+  const SelectCase cases[] = {
+      {"credit-k2-perm", 2, fabric::LidLayout::kDisjointLayout,
+       flit::SelectPolicy::kAdaptiveCredit, DestinationMode::kFixedPermutation},
+      {"credit-k4-shift", 4, fabric::LidLayout::kDisjointLayout,
+       flit::SelectPolicy::kAdaptiveCredit, DestinationMode::kShift},
+      {"occupancy-k4-perm", 4, fabric::LidLayout::kShiftLayout,
+       flit::SelectPolicy::kAdaptiveOccupancy,
+       DestinationMode::kFixedPermutation},
+      {"occupancy-k2-hotspot", 2, fabric::LidLayout::kDisjointLayout,
+       flit::SelectPolicy::kAdaptiveOccupancy, DestinationMode::kHotspot},
+      {"oblivious-k4-perm", 4, fabric::LidLayout::kDisjointLayout,
+       flit::SelectPolicy::kOblivious, DestinationMode::kFixedPermutation},
+  };
+  const XgftSpec shapes[] = {
+      XgftSpec::m_port_n_tree(4, 2),
+      XgftSpec{{4, 4, 4}, {1, 2, 2}},
+  };
+  std::uint64_t credit_switches = 0;
+  std::uint64_t occupancy_switches = 0;
+  for (const XgftSpec& spec : shapes) {
+    const Xgft xgft{spec};
+    const fabric::Degradation healthy(xgft);
+    for (const SelectCase& sc : cases) {
+      const fabric::Lft lft(xgft, sc.k, sc.layout);
+      const fabric::Tables tables = fabric::build_lft(lft, healthy);
+      for (const double load : {0.2, 0.6}) {
+        SCOPED_TRACE(std::string(sc.name) + " " + spec.to_string() +
+                     " load " + std::to_string(load));
+        SimConfig config = grid_config(load);
+        config.select = sc.select;
+        config.destination_mode = sc.traffic;
+        config.shift_distance = 5;   // cross-leaf: every message climbs
+        config.hotspot_fraction = 0.3;
+        config.hotspot_target = 3;
+        const adaptive::SelectorStats stats =
+            run_all_kernels_lft(lft, tables, config);
+        if (sc.select == flit::SelectPolicy::kOblivious) {
+          EXPECT_EQ(stats.decisions, 0u);
+        }
+        if (sc.select == flit::SelectPolicy::kAdaptiveCredit) {
+          credit_switches += stats.switches;
+        }
+        if (sc.select == flit::SelectPolicy::kAdaptiveOccupancy) {
+          occupancy_switches += stats.switches;
+        }
+      }
+    }
+  }
+  EXPECT_GT(credit_switches, 0u);
+  EXPECT_GT(occupancy_switches, 0u);
 }
 
 TEST(KernelEquivalence, FreshDestinationPerMessage) {

@@ -140,6 +140,16 @@ replay::ReplayConfig random_config(util::Rng& rng) {
   config.sim.path_selection = rng.below(2) == 0
                                   ? flit::PathSelection::kRandomPerMessage
                                   : flit::PathSelection::kRandomPerPacket;
+  // Half the combos replay with the adaptive variant selector engaged
+  // (DESIGN §16): its per-hop DLID rewrites ride the same decision
+  // points in all three kernels, so the fault storms must stay
+  // bit-identical under it too -- including the selector counters,
+  // asserted below.
+  const flit::SelectPolicy selects[] = {
+      flit::SelectPolicy::kOblivious, flit::SelectPolicy::kOblivious,
+      flit::SelectPolicy::kAdaptiveCredit,
+      flit::SelectPolicy::kAdaptiveOccupancy};
+  config.sim.select = selects[rng.below(4)];
   config.fm.k_paths = 1ull << rng.below(3);  // 1, 2 or 4
   config.fm.layout = rng.below(2) == 0 ? LidLayout::kDisjointLayout
                                        : LidLayout::kShiftLayout;
@@ -191,6 +201,8 @@ void expect_results_identical(const replay::ReplayResult& got,
   ASSERT_EQ(a.flits_delivered, b.flits_delivered) << where;
   expect_stats_identical(a.message_delay, b.message_delay, where);
   expect_stats_identical(a.packet_delay, b.packet_delay, where);
+  ASSERT_EQ(got.selector.decisions, oracle.selector.decisions) << where;
+  ASSERT_EQ(got.selector.switches, oracle.selector.switches) << where;
   ASSERT_EQ(got.event_errors, oracle.event_errors) << where;
   ASSERT_EQ(got.baseline_delay, oracle.baseline_delay) << where;
   ASSERT_EQ(got.peak_delay, oracle.peak_delay) << where;
@@ -213,6 +225,8 @@ replay::ReplayResult run_one(const topo::XgftSpec& spec,
 TEST(KernelProperty, RandomReplaysIdenticalAcrossAllThreeKernels) {
   std::uint64_t total_events = 0;
   std::uint64_t total_faulted = 0;  // combos whose swap edge killed packets
+  std::uint64_t adaptive_combos = 0;  // selector engaged (adaptive, K > 1)
+  std::uint64_t adaptive_switches = 0;
   for (int combo = 0; combo < kCombos; ++combo) {
     util::Rng rng{kSeedBase + static_cast<std::uint64_t>(combo)};
     const topo::XgftSpec spec = random_spec(rng);
@@ -253,12 +267,24 @@ TEST(KernelProperty, RandomReplaysIdenticalAcrossAllThreeKernels) {
     for (const replay::Epoch& epoch : reference.epochs) {
       total_faulted += epoch.dropped_at_swap + epoch.rerouted_at_swap;
     }
+    if (config.sim.select != flit::SelectPolicy::kOblivious &&
+        config.fm.k_paths > 1) {
+      ++adaptive_combos;
+      adaptive_switches += reference.selector.switches;
+    } else {
+      ASSERT_EQ(reference.selector.decisions, 0u) << where;
+    }
   }
   // The harness must not degenerate: the seeds have to produce real
-  // fault scripts, and at least some runs must catch packets on a dying
-  // cable (the code path where the kernels are likeliest to drift).
+  // fault scripts, at least some runs must catch packets on a dying
+  // cable (the code path where the kernels are likeliest to drift), and
+  // the adaptive draws must both occur and actually move packets across
+  // variants (an engagement floor -- comparing counters that are always
+  // zero would prove nothing about the selector).
   EXPECT_GT(total_events, static_cast<std::uint64_t>(kCombos) * 4);
   EXPECT_GT(total_faulted, 0u);
+  EXPECT_GT(adaptive_combos, 0u);
+  EXPECT_GT(adaptive_switches, 0u);
 }
 
 // Pooled event-kernel sweeps over random shapes: the unit of work the

@@ -296,6 +296,43 @@ TEST(ReplayReport, EventKernelReproducesGoldenBytes) {
       << "event-kernel replay diverged from the pinned golden bytes";
 }
 
+// Golden-pinned ADAPTIVE replay: the same smoke storm with the variant
+// selector engaged (--select adaptive_credit) must stay byte-stable too,
+// and across all three kernels -- the selector decides at injection and
+// per-hop arrival, both shared kernel machinery, so identical bytes here
+// are the strongest end-to-end check that adaptivity never perturbs an
+// epoch boundary, a window metric, or the fault accounting differently
+// per kernel.  Regenerate consciously with:
+//   build/lmpr replay --script scripts/replay_smoke.script
+//       --select adaptive_credit --zero-timings
+//       --json tests/golden/replay_adaptive_quick.json  (one command line)
+TEST(ReplayReport, AdaptiveGoldenFileAcrossAllKernels) {
+  const std::string want =
+      slurp(std::string(LMPR_GOLDEN_DIR) + "/replay_adaptive_quick.json");
+  for (const flit::Kernel kernel :
+       {flit::Kernel::kActiveSet, flit::Kernel::kReference,
+        flit::Kernel::kEvent}) {
+    engine::ReplayRunOptions options;
+    options.config = engine::quick_replay_config();
+    options.config.sim.select = flit::SelectPolicy::kAdaptiveCredit;
+    options.config.sim.kernel = kernel;
+    engine::Report report;
+    std::string error;
+    ASSERT_TRUE(engine::run_replay(options, quick_script(), report, error))
+        << error;
+    EXPECT_TRUE(report.converged);
+    const std::string got =
+        engine::JsonSink::document({report}).dump(2) + "\n";
+    EXPECT_EQ(got, want)
+        << "adaptive replay report drifted from golden file (kernel "
+        << static_cast<int>(kernel) << ")";
+  }
+  // The golden itself must not be degenerate: the pinned storm has to
+  // have exercised real variant switches.
+  EXPECT_NE(want.find("\"selector_decisions\": 19524"), std::string::npos);
+  EXPECT_NE(want.find("\"selector_switches\": 8030"), std::string::npos);
+}
+
 // The CLI smoke script shipped in scripts/ must stay identical to the
 // embedded constant the golden test and replay_quick scenario run, or the
 // CI byte-diff and the golden file would silently test different storms.
